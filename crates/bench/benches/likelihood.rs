@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the data-likelihood kernel (the hot loop of
+//! the whole system, Section 5.2.2): serial versus site-parallel Felsenstein
+//! pruning, and scaling with sequence length and sequence count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use benchkit::{harness_rng, simulate_alignment};
+use phylo::likelihood::ExecutionMode;
+use phylo::model::F81;
+use phylo::{upgma_tree, FelsensteinPruner};
+
+fn bench_pruning_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("felsenstein_pruning");
+    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let mut rng = harness_rng("bench-lik", 0);
+    for &sites in &[200usize, 1_000] {
+        let alignment = simulate_alignment(&mut rng, 1.0, 12, sites);
+        let tree = upgma_tree(&alignment, 1.0).unwrap();
+        for (label, mode) in
+            [("serial", ExecutionMode::Serial), ("site_parallel", ExecutionMode::Parallel)]
+        {
+            let engine = FelsensteinPruner::new(
+                &alignment,
+                F81::normalized(alignment.base_frequencies()),
+            )
+            .with_mode(mode);
+            group.bench_with_input(
+                BenchmarkId::new(label, sites),
+                &tree,
+                |b, tree| b.iter(|| engine.log_likelihood(tree).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pruning_vs_sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruning_vs_sequences");
+    group.sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let mut rng = harness_rng("bench-lik-seqs", 0);
+    for &n in &[12usize, 48] {
+        let alignment = simulate_alignment(&mut rng, 1.0, n, 200);
+        let tree = upgma_tree(&alignment, 1.0).unwrap();
+        let engine =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| engine.log_likelihood(tree).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning_modes, bench_pruning_vs_sequences);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the supporting primitives: the proposal
+//! kernel, MT19937 generation, log-sum-exp reductions, UPGMA construction and
+//! coalescent simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use benchkit::{harness_rng, simulate_alignment};
+use coalescent::CoalescentSimulator;
+use lamarc::GenealogyProposer;
+use mcmc::logdomain::log_sum_exp;
+use mcmc::rng::Mt19937;
+use phylo::upgma_tree;
+use rand::RngCore;
+
+fn quick(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+}
+
+fn bench_proposal_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposal_kernel");
+    quick(&mut group);
+    let mut rng = harness_rng("bench-proposal", 0);
+    for &n in &[12usize, 48] {
+        let tree =
+            CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
+        let proposer = GenealogyProposer::new(1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            let mut prop_rng = harness_rng("bench-proposal-run", n as u64);
+            b.iter(|| {
+                let target = proposer.sample_target(tree, &mut prop_rng);
+                proposer.propose(tree, target, &mut prop_rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mt19937(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mt19937");
+    quick(&mut group);
+    group.bench_function("next_u32_x1000", |b| {
+        let mut rng = Mt19937::new(5489);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u32());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_log_sum_exp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_sum_exp");
+    quick(&mut group);
+    for &n in &[32usize, 1_024] {
+        let values: Vec<f64> = (0..n).map(|i| -1_000.0 - (i as f64) * 0.37).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| log_sum_exp(v))
+        });
+    }
+    group.finish();
+}
+
+fn bench_upgma_and_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    quick(&mut group);
+    let mut rng = harness_rng("bench-upgma", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, 24, 200);
+    group.bench_function("upgma_24seq_200bp", |b| b.iter(|| upgma_tree(&alignment, 1.0).unwrap()));
+    group.bench_function("coalescent_sim_24tips", |b| {
+        let sim = CoalescentSimulator::constant(1.0).unwrap();
+        let mut sim_rng = harness_rng("bench-sim", 1);
+        b.iter(|| sim.simulate(&mut sim_rng, 24).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_proposal_kernel,
+    bench_mt19937,
+    bench_log_sum_exp,
+    bench_upgma_and_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the two samplers: cost per retained genealogy
+//! sample for the single-proposal baseline and the multi-proposal sampler at
+//! several proposal-set sizes (the wall-clock counterpart of Tables 2–4; the
+//! modelled speedups live in the table harness binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use benchkit::{harness_rng, simulate_alignment};
+use exec::Backend;
+use lamarc::{LamarcSampler, SamplerConfig};
+use mpcgs::sampler::MultiProposalSampler;
+use mpcgs::MpcgsConfig;
+use phylo::model::F81;
+use phylo::{upgma_tree, FelsensteinPruner};
+
+const SAMPLES_PER_RUN: usize = 200;
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_sampler");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    let mut rng = harness_rng("bench-baseline", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
+    let initial = upgma_tree(&alignment, 1.0).unwrap();
+    let engine =
+        FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let config = SamplerConfig {
+        theta: 1.0,
+        burn_in: 0,
+        samples: SAMPLES_PER_RUN,
+        thinning: 1,
+        ..Default::default()
+    };
+    let sampler = LamarcSampler::new(engine, config).unwrap();
+    group.bench_function("200_samples_12seq_200bp", |b| {
+        b.iter(|| {
+            let mut run_rng = harness_rng("bench-baseline-run", 1);
+            sampler.run(initial.clone(), &mut run_rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_multiproposal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiproposal_sampler");
+    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    let mut rng = harness_rng("bench-gmh", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
+    let initial = upgma_tree(&alignment, 1.0).unwrap();
+    for &proposals in &[4usize, 16] {
+        let engine =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+        let config = MpcgsConfig {
+            initial_theta: 1.0,
+            proposals_per_iteration: proposals,
+            draws_per_iteration: proposals,
+            burn_in_draws: 0,
+            sample_draws: SAMPLES_PER_RUN,
+            backend: Backend::Rayon,
+            ..Default::default()
+        };
+        let sampler = MultiProposalSampler::new(engine, config).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("200_samples_12seq_200bp", proposals),
+            &initial,
+            |b, initial| {
+                b.iter(|| {
+                    let mut run_rng = harness_rng("bench-gmh-run", proposals as u64);
+                    sampler.run(initial.clone(), &mut run_rng).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline, bench_multiproposal);
+criterion_main!(benches);

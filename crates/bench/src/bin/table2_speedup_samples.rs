@@ -1,0 +1,34 @@
+//! Table 2 / Figure 14 — speedup versus the number of genealogy samples.
+//!
+//! The speedups are produced by the calibrated device/host cost model of
+//! `mpcgs::perf` (see DESIGN.md: no GPU is available, so the figure is
+//! regenerated from modelled kernel launches driven by the sampler's
+//! structure). The paper's measured values are printed alongside.
+
+use benchkit::render_table;
+use mpcgs::perf::{SpeedupModel, TABLE2_PAPER, TABLE2_SAMPLES};
+
+fn main() {
+    let model = SpeedupModel::paper_calibrated();
+    let sweep = model.sweep_samples(&TABLE2_SAMPLES);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .zip(TABLE2_PAPER.iter())
+        .map(|(&(samples, speedup), &paper)| {
+            vec![
+                format!("{samples}"),
+                format!("{speedup:.2}"),
+                format!("{paper:.2}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 2 / Figure 14: speedup factor for varying number of samples",
+            &["# samples", "modelled speedup", "paper speedup"],
+            &rows,
+        )
+    );
+    println!("calibration: host scaled by {:.4} to anchor the 20k-sample row at 3.69x", model.host_calibration());
+}

@@ -1,0 +1,28 @@
+//! Table 3 / Figure 15 — speedup versus the number of sequences.
+//!
+//! Produced by the calibrated device/host cost model (see DESIGN.md); the
+//! paper's measured values are printed alongside.
+
+use benchkit::render_table;
+use mpcgs::perf::{SpeedupModel, TABLE3_PAPER, TABLE3_SEQUENCES};
+
+fn main() {
+    let model = SpeedupModel::paper_calibrated();
+    let sweep = model.sweep_sequences(&TABLE3_SEQUENCES);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .zip(TABLE3_PAPER.iter())
+        .map(|(&(n, speedup), &paper)| {
+            vec![format!("{n}"), format!("{speedup:.2}"), format!("{paper:.2}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 3 / Figure 15: speedup factor for varying number of sequences",
+            &["# sequences", "modelled speedup", "paper speedup"],
+            &rows,
+        )
+    );
+    println!("calibration: host scaled by {:.4} to anchor the 12-sequence row at 3.69x", model.host_calibration());
+}

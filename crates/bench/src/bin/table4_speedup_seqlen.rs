@@ -1,0 +1,28 @@
+//! Table 4 / Figure 16 — speedup versus the sequence size (base pairs).
+//!
+//! Produced by the calibrated device/host cost model (see DESIGN.md); the
+//! paper's measured values are printed alongside.
+
+use benchkit::render_table;
+use mpcgs::perf::{SpeedupModel, TABLE4_LENGTHS, TABLE4_PAPER};
+
+fn main() {
+    let model = SpeedupModel::paper_calibrated();
+    let sweep = model.sweep_sequence_length(&TABLE4_LENGTHS);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .zip(TABLE4_PAPER.iter())
+        .map(|(&(len, speedup), &paper)| {
+            vec![format!("{len}"), format!("{speedup:.2}"), format!("{paper:.2}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 4 / Figure 16: speedup factor for varying sequence size",
+            &["sequence size", "modelled speedup", "paper speedup"],
+            &rows,
+        )
+    );
+    println!("calibration: host scaled by {:.4} to anchor the 200bp row at 3.69x", model.host_calibration());
+}

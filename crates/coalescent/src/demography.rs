@@ -1,0 +1,227 @@
+//! Population-size histories (demographic models).
+//!
+//! The coalescent rate while `k` lineages exist is `k(k−1)/θ(t)` where `θ(t)`
+//! reflects the (scaled) population size at time `t` before the present. The
+//! thesis estimates a constant θ, but LAMARC's wider parameter set includes
+//! growth rates (Section 7 lists extending the estimator as future work), so
+//! a minimal demography abstraction is provided: constant size and
+//! exponential growth. The key operation is drawing the waiting time to the
+//! next coalescence by inverting the cumulative hazard.
+
+use rand::Rng;
+
+use crate::error::CoalescentError;
+
+/// A population-size history expressed through the time-dependent scaled
+/// parameter θ(t).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Demography {
+    /// Constant θ.
+    Constant {
+        /// The scaled population parameter θ = mN_e.
+        theta: f64,
+    },
+    /// Exponential growth toward the present at rate `growth` (> 0 means the
+    /// population was smaller in the past): θ(t) = θ₀·e^{−growth·t} looking
+    /// backwards in time.
+    Exponential {
+        /// θ at the present.
+        theta0: f64,
+        /// Growth rate per unit coalescent time.
+        growth: f64,
+    },
+}
+
+impl Demography {
+    /// A constant-size demography.
+    pub fn constant(theta: f64) -> Result<Self, CoalescentError> {
+        if !(theta > 0.0 && theta.is_finite()) {
+            return Err(CoalescentError::InvalidParameter {
+                name: "theta",
+                value: theta,
+                constraint: "theta > 0",
+            });
+        }
+        Ok(Demography::Constant { theta })
+    }
+
+    /// An exponentially growing (or shrinking, for negative rates) population.
+    pub fn exponential(theta0: f64, growth: f64) -> Result<Self, CoalescentError> {
+        if !(theta0 > 0.0 && theta0.is_finite()) {
+            return Err(CoalescentError::InvalidParameter {
+                name: "theta0",
+                value: theta0,
+                constraint: "theta0 > 0",
+            });
+        }
+        if !growth.is_finite() {
+            return Err(CoalescentError::InvalidParameter {
+                name: "growth",
+                value: growth,
+                constraint: "finite",
+            });
+        }
+        Ok(Demography::Exponential { theta0, growth })
+    }
+
+    /// θ at time `t` before the present.
+    pub fn theta_at(&self, t: f64) -> f64 {
+        match *self {
+            Demography::Constant { theta } => theta,
+            Demography::Exponential { theta0, growth } => theta0 * (-growth * t).exp(),
+        }
+    }
+
+    /// θ at the present (t = 0).
+    pub fn theta0(&self) -> f64 {
+        self.theta_at(0.0)
+    }
+
+    /// Cumulative coalescent hazard for `k` lineages between `start` and
+    /// `start + dt`: ∫ k(k−1)/θ(s) ds.
+    pub fn cumulative_hazard(&self, k: usize, start: f64, dt: f64) -> f64 {
+        let pairs_rate = (k * (k - 1)) as f64;
+        match *self {
+            Demography::Constant { theta } => pairs_rate * dt / theta,
+            Demography::Exponential { theta0, growth } => {
+                if growth.abs() < 1e-12 {
+                    pairs_rate * dt / theta0
+                } else {
+                    pairs_rate / (theta0 * growth)
+                        * ((growth * (start + dt)).exp() - (growth * start).exp())
+                }
+            }
+        }
+    }
+
+    /// Draw the waiting time from `start` until the next coalescence of `k`
+    /// lineages, by inverting the cumulative hazard against a standard
+    /// exponential draw.
+    pub fn sample_waiting_time<R: Rng + ?Sized>(&self, rng: &mut R, k: usize, start: f64) -> f64 {
+        assert!(k >= 2, "waiting times need at least two lineages");
+        let pairs_rate = (k * (k - 1)) as f64;
+        let e = mcmc::rng::dist::exponential(rng, 1.0);
+        match *self {
+            Demography::Constant { theta } => e * theta / pairs_rate,
+            Demography::Exponential { theta0, growth } => {
+                if growth.abs() < 1e-12 {
+                    e * theta0 / pairs_rate
+                } else {
+                    // Solve pairs/(theta0*g) * (e^{g(start+t)} - e^{g start}) = E.
+                    let base = (growth * start).exp();
+                    let arg = base + e * theta0 * growth / pairs_rate;
+                    if arg <= 0.0 {
+                        // Shrinking population whose hazard never reaches E:
+                        // effectively an infinite wait; return a huge value.
+                        f64::INFINITY
+                    } else {
+                        arg.ln() / growth - start
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmc::rng::Mt19937;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Demography::constant(1.0).is_ok());
+        assert!(Demography::constant(0.0).is_err());
+        assert!(Demography::exponential(1.0, 0.5).is_ok());
+        assert!(Demography::exponential(1.0, -0.5).is_ok());
+        assert!(Demography::exponential(0.0, 0.5).is_err());
+        assert!(Demography::exponential(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn theta_at_follows_the_model() {
+        let c = Demography::constant(2.0).unwrap();
+        assert_eq!(c.theta_at(0.0), 2.0);
+        assert_eq!(c.theta_at(10.0), 2.0);
+        assert_eq!(c.theta0(), 2.0);
+
+        let e = Demography::exponential(2.0, 1.0).unwrap();
+        assert_eq!(e.theta0(), 2.0);
+        assert!((e.theta_at(1.0) - 2.0 * (-1.0f64).exp()).abs() < 1e-12);
+        assert!(e.theta_at(5.0) < e.theta_at(1.0));
+    }
+
+    #[test]
+    fn cumulative_hazard_constant_matches_closed_form() {
+        let c = Demography::constant(4.0).unwrap();
+        // k=3: rate 6/4 = 1.5 per unit time; over 2 units -> 3.
+        assert!((c.cumulative_hazard(3, 0.0, 2.0) - 3.0).abs() < 1e-12);
+        // Exponential with ~zero growth reduces to constant.
+        let e = Demography::exponential(4.0, 1e-15).unwrap();
+        assert!((e.cumulative_hazard(3, 0.0, 2.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growing_population_coalesces_faster_in_the_past() {
+        let e = Demography::exponential(1.0, 2.0).unwrap();
+        let early = e.cumulative_hazard(2, 0.0, 0.5);
+        let late = e.cumulative_hazard(2, 2.0, 0.5);
+        assert!(late > early, "hazard deeper in the past must be larger under growth");
+    }
+
+    #[test]
+    fn constant_waiting_times_have_the_kingman_mean() {
+        let mut rng = Mt19937::new(7);
+        let d = Demography::constant(2.0).unwrap();
+        let n = 50_000;
+        let k = 4;
+        let mean: f64 =
+            (0..n).map(|_| d.sample_waiting_time(&mut rng, k, 0.0)).sum::<f64>() / n as f64;
+        // E[T] = theta / (k(k-1)) = 2/12.
+        assert!((mean - 2.0 / 12.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_waiting_times_match_inverted_hazard_statistics() {
+        let mut rng = Mt19937::new(11);
+        let d = Demography::exponential(1.0, 1.0).unwrap();
+        let n = 50_000;
+        let k = 2;
+        let times: Vec<f64> = (0..n).map(|_| d.sample_waiting_time(&mut rng, k, 0.0)).collect();
+        // All finite, positive, and the cumulative hazard evaluated at the
+        // drawn time is Exp(1)-distributed (mean ~ 1).
+        assert!(times.iter().all(|&t| t.is_finite() && t >= 0.0));
+        let mean_hazard: f64 =
+            times.iter().map(|&t| d.cumulative_hazard(k, 0.0, t)).sum::<f64>() / n as f64;
+        assert!((mean_hazard - 1.0).abs() < 0.02, "mean hazard {mean_hazard}");
+        // Growth shortens waits relative to the constant model.
+        let c = Demography::constant(1.0).unwrap();
+        let mean_growth: f64 = times.iter().sum::<f64>() / n as f64;
+        let mean_const: f64 =
+            (0..n).map(|_| c.sample_waiting_time(&mut rng, k, 0.0)).sum::<f64>() / n as f64;
+        assert!(mean_growth < mean_const);
+    }
+
+    #[test]
+    fn shrinking_population_can_never_coalesce() {
+        // With a strongly negative growth rate the hazard saturates; some
+        // draws exceed it and must return infinity rather than panic.
+        let mut rng = Mt19937::new(13);
+        let d = Demography::exponential(1.0, -5.0).unwrap();
+        let mut saw_infinite = false;
+        for _ in 0..2_000 {
+            if d.sample_waiting_time(&mut rng, 2, 0.0).is_infinite() {
+                saw_infinite = true;
+                break;
+            }
+        }
+        assert!(saw_infinite, "expected some draws to be infinite under strong shrinkage");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn waiting_time_requires_two_lineages() {
+        let mut rng = Mt19937::new(1);
+        Demography::constant(1.0).unwrap().sample_waiting_time(&mut rng, 1, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the coalescent substrate.
+
+use std::fmt;
+
+/// Errors produced by the coalescent simulators and prior computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoalescentError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A simulation was requested with an unusable size (e.g. fewer than two
+    /// samples).
+    InvalidSize {
+        /// What was being sized.
+        what: &'static str,
+        /// The requested size.
+        requested: usize,
+        /// The minimum acceptable size.
+        minimum: usize,
+    },
+    /// An error bubbled up from the phylogenetic substrate.
+    Phylo(phylo::PhyloError),
+}
+
+impl fmt::Display for CoalescentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoalescentError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name}={value}: must satisfy {constraint}")
+            }
+            CoalescentError::InvalidSize { what, requested, minimum } => {
+                write!(f, "invalid {what} size {requested}: need at least {minimum}")
+            }
+            CoalescentError::Phylo(e) => write!(f, "phylogenetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoalescentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoalescentError::Phylo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<phylo::PhyloError> for CoalescentError {
+    fn from(e: phylo::PhyloError) -> Self {
+        CoalescentError::Phylo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoalescentError::InvalidParameter {
+            name: "theta",
+            value: -1.0,
+            constraint: "theta > 0",
+        };
+        assert!(e.to_string().contains("theta"));
+
+        let e = CoalescentError::InvalidSize { what: "sample", requested: 1, minimum: 2 };
+        assert!(e.to_string().contains("at least 2"));
+
+        let inner = phylo::PhyloError::Empty { what: "tree" };
+        let e: CoalescentError = inner.into();
+        assert!(e.to_string().contains("tree"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

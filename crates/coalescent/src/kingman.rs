@@ -1,0 +1,235 @@
+//! The Kingman coalescent prior `P(G|θ)` (Eq. 17–18).
+//!
+//! Under the Wright–Fisher model with scaled parameter θ = mN_e (Section
+//! 2.4), the waiting time to the next coalescence while `k` lineages exist is
+//! exponential with rate `k(k−1)/θ`, and each specific genealogy picks up a
+//! factor `2/θ` per coalescent event. The log prior of a genealogy is
+//! therefore
+//!
+//! ```text
+//! ln P(G|θ) = (n−1)·ln(2/θ) − Σ_intervals k(k−1)·t_k / θ
+//! ```
+//!
+//! which is Eq. 18. The relative-likelihood ratio `P(G|θ)/P(G|θ₀)` of Eq. 25
+//! is also provided directly since it is the quantity the MLE stage needs.
+
+use phylo::tree::CoalescentIntervals;
+use phylo::GeneTree;
+
+use crate::error::CoalescentError;
+
+/// The Kingman coalescent prior for a given θ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KingmanPrior {
+    theta: f64,
+}
+
+impl KingmanPrior {
+    /// Create a prior with the given θ (> 0).
+    pub fn new(theta: f64) -> Result<Self, CoalescentError> {
+        if !(theta > 0.0 && theta.is_finite()) {
+            return Err(CoalescentError::InvalidParameter {
+                name: "theta",
+                value: theta,
+                constraint: "theta > 0",
+            });
+        }
+        Ok(KingmanPrior { theta })
+    }
+
+    /// The θ parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// `ln P(G|θ)` from an interval decomposition.
+    pub fn log_prior_intervals(&self, intervals: &CoalescentIntervals) -> f64 {
+        let events = intervals.n_coalescences() as f64;
+        events * (2.0 / self.theta).ln() - intervals.waiting_statistic() / self.theta
+    }
+
+    /// `ln P(G|θ)` for a genealogy.
+    pub fn log_prior(&self, tree: &GeneTree) -> f64 {
+        self.log_prior_intervals(&tree.intervals())
+    }
+
+    /// The log relative likelihood `ln [P(G|θ)/P(G|θ₀)]` of Eq. 25, where
+    /// `self` plays the role of the driving θ₀.
+    pub fn log_relative_likelihood(
+        &self,
+        intervals: &CoalescentIntervals,
+        theta: f64,
+    ) -> Result<f64, CoalescentError> {
+        let other = KingmanPrior::new(theta)?;
+        Ok(other.log_prior_intervals(intervals) - self.log_prior_intervals(intervals))
+    }
+
+    /// Expected time to the most recent common ancestor of `n` samples:
+    /// `θ·(1 − 1/n)` with the paper's rate convention.
+    pub fn expected_tmrca(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        self.theta * (1.0 - 1.0 / n as f64)
+    }
+
+    /// Expected total branch length of a genealogy of `n` samples:
+    /// `θ·Σ_{i=1}^{n−1} 1/i`.
+    pub fn expected_total_branch_length(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        self.theta * (1..n).map(|i| 1.0 / i as f64).sum::<f64>()
+    }
+
+    /// Expected length of the interval during which `k` lineages exist:
+    /// `θ / (k(k−1))`.
+    pub fn expected_interval_length(&self, k: usize) -> f64 {
+        if k < 2 {
+            return 0.0;
+        }
+        self.theta / (k * (k - 1)) as f64
+    }
+
+    /// The density `p_k(t)` of Eq. 17: probability density that the most
+    /// recent coalescence of `k` lineages occurred `t` time units ago.
+    pub fn interval_density(&self, k: usize, t: f64) -> f64 {
+        if k < 2 || t < 0.0 {
+            return 0.0;
+        }
+        let rate = (k * (k - 1)) as f64 / self.theta;
+        // Density of the waiting time: rate * exp(-rate * t). Eq. 17 writes
+        // the per-pair form (2/θ)·exp(−k(k−1)t/θ); the total-event density
+        // integrates to one and is what a simulator must use.
+        rate * (-rate * t).exp()
+    }
+
+    /// Maximum-likelihood θ̂ given a single observed genealogy: setting
+    /// `d/dθ ln P(G|θ) = d/dθ [−(n−1)·ln θ − W/θ] = 0` (with `W` the waiting
+    /// statistic `Σ k(k−1) t_k`) gives `θ̂ = W / (n−1)`.
+    pub fn mle_from_intervals(intervals: &CoalescentIntervals) -> f64 {
+        let events = intervals.n_coalescences().max(1) as f64;
+        intervals.waiting_statistic() / events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::tree::TreeBuilder;
+
+    fn four_tip_tree() -> GeneTree {
+        let mut b = TreeBuilder::new();
+        let t0 = b.add_tip("t0", 0.0);
+        let t1 = b.add_tip("t1", 0.0);
+        let t2 = b.add_tip("t2", 0.0);
+        let t3 = b.add_tip("t3", 0.0);
+        let a = b.join(t0, t1, 1.0);
+        let c = b.join(a, t2, 2.5);
+        b.join(c, t3, 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn log_prior_matches_hand_computation() {
+        let tree = four_tip_tree();
+        let prior = KingmanPrior::new(2.0).unwrap();
+        // Intervals: k=4 len 1.0, k=3 len 1.5, k=2 len 1.5; W = 24 (see the
+        // phylo interval tests). ln P = 3 ln(2/2) - 24/2 = -12.
+        let lp = prior.log_prior(&tree);
+        assert!((lp - (-12.0)).abs() < 1e-12, "{lp}");
+
+        let prior1 = KingmanPrior::new(1.0).unwrap();
+        let lp1 = prior1.log_prior(&tree);
+        assert!((lp1 - (3.0 * 2.0f64.ln() - 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_likelihood_is_difference_of_log_priors() {
+        let tree = four_tip_tree();
+        let intervals = tree.intervals();
+        let driving = KingmanPrior::new(0.5).unwrap();
+        let rel = driving.log_relative_likelihood(&intervals, 2.0).unwrap();
+        let expect = KingmanPrior::new(2.0).unwrap().log_prior_intervals(&intervals)
+            - driving.log_prior_intervals(&intervals);
+        assert!((rel - expect).abs() < 1e-12);
+        // Relative likelihood of the driving value itself is zero.
+        assert!(driving.log_relative_likelihood(&intervals, 0.5).unwrap().abs() < 1e-12);
+        assert!(driving.log_relative_likelihood(&intervals, -1.0).is_err());
+    }
+
+    #[test]
+    fn analytic_expectations() {
+        let prior = KingmanPrior::new(3.0).unwrap();
+        assert_eq!(prior.theta(), 3.0);
+        assert!((prior.expected_tmrca(2) - 1.5).abs() < 1e-12);
+        assert!((prior.expected_tmrca(10) - 3.0 * 0.9).abs() < 1e-12);
+        assert_eq!(prior.expected_tmrca(1), 0.0);
+        assert!((prior.expected_interval_length(2) - 1.5).abs() < 1e-12);
+        assert!((prior.expected_interval_length(4) - 0.25).abs() < 1e-12);
+        assert_eq!(prior.expected_interval_length(1), 0.0);
+        // n=3: theta * (1 + 1/2) = 4.5.
+        assert!((prior.expected_total_branch_length(3) - 4.5).abs() < 1e-12);
+        assert_eq!(prior.expected_total_branch_length(1), 0.0);
+    }
+
+    #[test]
+    fn interval_density_integrates_to_one() {
+        let prior = KingmanPrior::new(1.5).unwrap();
+        let k = 5;
+        let dt = 1e-4;
+        let mut integral = 0.0;
+        let mut t = 0.0;
+        while t < 10.0 {
+            integral += prior.interval_density(k, t) * dt;
+            t += dt;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+        assert_eq!(prior.interval_density(1, 0.5), 0.0);
+        assert_eq!(prior.interval_density(3, -0.5), 0.0);
+    }
+
+    #[test]
+    fn mle_recovers_theta_that_maximises_the_prior() {
+        let tree = four_tip_tree();
+        let intervals = tree.intervals();
+        let mle = KingmanPrior::mle_from_intervals(&intervals);
+        // W = 24, events = 3 -> 8.
+        assert!((mle - 8.0).abs() < 1e-12);
+        // The log prior at the MLE beats nearby values.
+        let at = KingmanPrior::new(mle).unwrap().log_prior_intervals(&intervals);
+        let lo = KingmanPrior::new(mle * 0.8).unwrap().log_prior_intervals(&intervals);
+        let hi = KingmanPrior::new(mle * 1.2).unwrap().log_prior_intervals(&intervals);
+        assert!(at > lo && at > hi);
+    }
+
+    #[test]
+    fn rejects_invalid_theta() {
+        assert!(KingmanPrior::new(0.0).is_err());
+        assert!(KingmanPrior::new(-2.0).is_err());
+        assert!(KingmanPrior::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn larger_theta_favours_taller_trees() {
+        // A tall tree should be relatively more probable under a large theta
+        // than under a small one.
+        let mut b = TreeBuilder::new();
+        let t0 = b.add_tip("a", 0.0);
+        let t1 = b.add_tip("b", 0.0);
+        b.join(t0, t1, 5.0);
+        let tall = b.build().unwrap();
+
+        let mut b = TreeBuilder::new();
+        let t0 = b.add_tip("a", 0.0);
+        let t1 = b.add_tip("b", 0.0);
+        b.join(t0, t1, 0.1);
+        let short = b.build().unwrap();
+
+        let small = KingmanPrior::new(0.5).unwrap();
+        let large = KingmanPrior::new(5.0).unwrap();
+        let ratio_tall = large.log_prior(&tall) - small.log_prior(&tall);
+        let ratio_short = large.log_prior(&short) - small.log_prior(&short);
+        assert!(ratio_tall > ratio_short);
+    }
+}

@@ -1,0 +1,267 @@
+//! Sequence simulation along a genealogy (the `seq-gen` substitute).
+//!
+//! Section 6.1 produces test data with `seq-gen -mF84 -l 200 -s 1.0 <
+//! treefile`: a root sequence is drawn from the model's stationary
+//! frequencies and evolved down each branch under the substitution model,
+//! with an overall branch-length scale factor (the `-s` option — the thesis
+//! uses it to express the true θ of the simulated population). The output is
+//! an alignment in PHYLIP format.
+
+use rand::Rng;
+
+use mcmc::rng::dist::categorical;
+use phylo::model::SubstitutionModel;
+use phylo::{Alignment, GeneTree, Nucleotide, Sequence};
+
+use crate::error::CoalescentError;
+
+/// Simulates sequence data along genealogies under a substitution model.
+#[derive(Debug, Clone)]
+pub struct SequenceSimulator<M> {
+    model: M,
+    sequence_length: usize,
+    branch_scale: f64,
+}
+
+impl<M: SubstitutionModel> SequenceSimulator<M> {
+    /// Create a simulator producing sequences of `sequence_length` sites with
+    /// branch lengths multiplied by `branch_scale` (the `-s` scale of
+    /// seq-gen; the thesis passes the true θ here).
+    pub fn new(
+        model: M,
+        sequence_length: usize,
+        branch_scale: f64,
+    ) -> Result<Self, CoalescentError> {
+        if sequence_length == 0 {
+            return Err(CoalescentError::InvalidSize {
+                what: "sequence length",
+                requested: 0,
+                minimum: 1,
+            });
+        }
+        if !(branch_scale > 0.0 && branch_scale.is_finite()) {
+            return Err(CoalescentError::InvalidParameter {
+                name: "branch_scale",
+                value: branch_scale,
+                constraint: "branch_scale > 0",
+            });
+        }
+        Ok(SequenceSimulator { model, sequence_length, branch_scale })
+    }
+
+    /// The substitution model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The configured sequence length.
+    pub fn sequence_length(&self) -> usize {
+        self.sequence_length
+    }
+
+    /// The branch-length scale factor.
+    pub fn branch_scale(&self) -> f64 {
+        self.branch_scale
+    }
+
+    /// Draw a root sequence from the stationary distribution.
+    fn root_sequence<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Nucleotide> {
+        let freqs = self.model.base_frequencies().as_array();
+        (0..self.sequence_length)
+            .map(|_| {
+                let idx = categorical(rng, &freqs).expect("frequencies are a distribution");
+                Nucleotide::from_index(idx)
+            })
+            .collect()
+    }
+
+    /// Evolve a parent sequence along a branch of (unscaled) length `t`.
+    fn evolve_branch<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        parent: &[Nucleotide],
+        t: f64,
+    ) -> Vec<Nucleotide> {
+        let scaled = (t * self.branch_scale).max(0.0);
+        // One transition matrix per branch; rows are categorical samplers.
+        let matrix = self.model.transition_matrix(scaled);
+        parent
+            .iter()
+            .map(|&from| {
+                let row = &matrix[from.index()];
+                let idx = categorical(rng, row).expect("transition rows are distributions");
+                Nucleotide::from_index(idx)
+            })
+            .collect()
+    }
+
+    /// Simulate an alignment for the tips of `tree`.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tree: &GeneTree,
+    ) -> Result<Alignment, CoalescentError> {
+        // Pre-order: parents before children, so we can evolve top-down.
+        let mut pre_order = tree.post_order();
+        pre_order.reverse();
+        let mut sequences: Vec<Option<Vec<Nucleotide>>> = vec![None; tree.n_nodes()];
+        sequences[tree.root()] = Some(self.root_sequence(rng));
+        for &node in &pre_order {
+            if node == tree.root() {
+                continue;
+            }
+            let parent = tree.parent(node).expect("non-root node has a parent");
+            let branch = tree.branch_length(node).expect("non-root node has a branch");
+            let parent_seq =
+                sequences[parent].clone().expect("pre-order guarantees the parent is done");
+            sequences[node] = Some(self.evolve_branch(rng, &parent_seq, branch));
+        }
+        let mut out = Vec::with_capacity(tree.n_tips());
+        for tip in tree.tips() {
+            let name = tree
+                .label(tip)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("t{tip}"));
+            let bases = sequences[tip].clone().expect("every tip was reached");
+            out.push(Sequence::new(name, bases));
+        }
+        Ok(Alignment::new(out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_sim::CoalescentSimulator;
+    use mcmc::rng::Mt19937;
+    use phylo::model::{BaseFrequencies, Jc69, F84};
+    use phylo::tree::TreeBuilder;
+
+    fn two_tip_tree(height: f64) -> GeneTree {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        let y = b.add_tip("y", 0.0);
+        b.join(x, y, height);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_names_match_the_tree() {
+        let mut rng = Mt19937::new(3);
+        let sim = SequenceSimulator::new(Jc69::new(), 150, 1.0).unwrap();
+        let tree = CoalescentSimulator::constant(1.0)
+            .unwrap()
+            .simulate(&mut rng, 12)
+            .unwrap();
+        let alignment = sim.simulate(&mut rng, &tree).unwrap();
+        assert_eq!(alignment.n_sequences(), 12);
+        assert_eq!(alignment.n_sites(), 150);
+        for label in tree.tip_labels() {
+            assert!(alignment.by_name(&label).is_some(), "missing sequence for tip {label}");
+        }
+        assert_eq!(sim.sequence_length(), 150);
+        assert_eq!(sim.branch_scale(), 1.0);
+        assert_eq!(sim.model().name(), "JC69");
+    }
+
+    #[test]
+    fn zero_height_tree_gives_identical_sequences() {
+        let mut rng = Mt19937::new(4);
+        let sim = SequenceSimulator::new(Jc69::new(), 200, 1.0).unwrap();
+        let tree = two_tip_tree(1e-12);
+        let alignment = sim.simulate(&mut rng, &tree).unwrap();
+        assert_eq!(
+            alignment.sequence(0).hamming_distance(alignment.sequence(1)),
+            0,
+            "vanishing branch lengths must not introduce substitutions"
+        );
+    }
+
+    #[test]
+    fn divergence_grows_with_branch_length() {
+        let mut rng = Mt19937::new(5);
+        let sim = SequenceSimulator::new(Jc69::new(), 2_000, 1.0).unwrap();
+        let close = sim.simulate(&mut rng, &two_tip_tree(0.01)).unwrap();
+        let far = sim.simulate(&mut rng, &two_tip_tree(1.5)).unwrap();
+        let d_close = close.sequence(0).hamming_distance(close.sequence(1));
+        let d_far = far.sequence(0).hamming_distance(far.sequence(1));
+        assert!(d_far > 5 * d_close.max(1), "close {d_close} vs far {d_far}");
+    }
+
+    #[test]
+    fn pairwise_divergence_matches_jc_expectation() {
+        // Two tips at height t: separation 2t; expected p-distance is
+        // JC69::prob_differ(2t).
+        let mut rng = Mt19937::new(6);
+        let t = 0.25;
+        let sites = 20_000;
+        let sim = SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap();
+        let alignment = sim.simulate(&mut rng, &two_tip_tree(t)).unwrap();
+        let p = alignment.sequence(0).hamming_distance(alignment.sequence(1)) as f64
+            / sites as f64;
+        let expect = Jc69::prob_differ(2.0 * t);
+        assert!((p - expect).abs() < 0.012, "p {p} vs expected {expect}");
+    }
+
+    #[test]
+    fn branch_scale_acts_like_longer_branches() {
+        let mut rng = Mt19937::new(7);
+        let sites = 8_000;
+        let scaled = SequenceSimulator::new(Jc69::new(), sites, 3.0).unwrap();
+        let unscaled = SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap();
+        let tree = two_tip_tree(0.1);
+        let a = scaled.simulate(&mut rng, &tree).unwrap();
+        let b = unscaled.simulate(&mut rng, &tree).unwrap();
+        let da = a.sequence(0).hamming_distance(a.sequence(1));
+        let db = b.sequence(0).hamming_distance(b.sequence(1));
+        assert!(da > db, "scaling branches up must increase divergence: {da} vs {db}");
+    }
+
+    #[test]
+    fn f84_simulation_shows_transition_bias() {
+        let mut rng = Mt19937::new(8);
+        let freqs = BaseFrequencies::uniform();
+        let sim = SequenceSimulator::new(F84::new(freqs, 8.0).unwrap(), 30_000, 1.0).unwrap();
+        let alignment = sim.simulate(&mut rng, &two_tip_tree(0.15)).unwrap();
+        let (mut transitions, mut transversions) = (0usize, 0usize);
+        for site in 0..alignment.n_sites() {
+            let a = alignment.base(0, site);
+            let b = alignment.base(1, site);
+            if a == b {
+                continue;
+            }
+            if a.is_transition_with(b) {
+                transitions += 1;
+            } else {
+                transversions += 1;
+            }
+        }
+        assert!(
+            transitions as f64 > 1.5 * transversions as f64,
+            "F84 with kappa=8 should be transition-biased: {transitions} ts vs {transversions} tv"
+        );
+    }
+
+    #[test]
+    fn base_composition_follows_model_frequencies() {
+        let mut rng = Mt19937::new(9);
+        let freqs = BaseFrequencies::new(0.4, 0.1, 0.1, 0.4).unwrap();
+        let sim = SequenceSimulator::new(
+            phylo::model::F81::normalized(freqs),
+            30_000,
+            1.0,
+        )
+        .unwrap();
+        let alignment = sim.simulate(&mut rng, &two_tip_tree(0.2)).unwrap();
+        let observed = alignment.base_frequencies();
+        assert!((observed.freq(Nucleotide::A) - 0.4).abs() < 0.02);
+        assert!((observed.freq(Nucleotide::C) - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_bad_configuration() {
+        assert!(SequenceSimulator::new(Jc69::new(), 0, 1.0).is_err());
+        assert!(SequenceSimulator::new(Jc69::new(), 10, 0.0).is_err());
+        assert!(SequenceSimulator::new(Jc69::new(), 10, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Coalescent genealogy simulation (the `ms` substitute).
+//!
+//! Section 6.1 generates test genealogies with Hudson's `ms` (`ms 12 1 -T`);
+//! this module provides the equivalent generator: `n` contemporaneous
+//! lineages coalesce backwards in time, the waiting time while `k` lineages
+//! remain being exponential with rate `k(k−1)/θ` (or the demography's
+//! time-rescaled version), and the coalescing pair chosen uniformly. Trees
+//! can be exported as Newick strings exactly as `ms -T` would print them.
+
+use mcmc::rng::dist::sample_without_replacement;
+use rand::Rng;
+
+use phylo::io::newick::write_newick;
+use phylo::tree::TreeBuilder;
+use phylo::GeneTree;
+
+use crate::demography::Demography;
+use crate::error::CoalescentError;
+
+/// Simulates coalescent genealogies under a demographic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescentSimulator {
+    demography: Demography,
+}
+
+impl CoalescentSimulator {
+    /// Simulator for a constant-size population with the given θ.
+    pub fn constant(theta: f64) -> Result<Self, CoalescentError> {
+        Ok(CoalescentSimulator { demography: Demography::constant(theta)? })
+    }
+
+    /// Simulator for an arbitrary demography.
+    pub fn new(demography: Demography) -> Self {
+        CoalescentSimulator { demography }
+    }
+
+    /// The demography in use.
+    pub fn demography(&self) -> &Demography {
+        &self.demography
+    }
+
+    /// Simulate one genealogy of `n_samples` contemporaneous tips, labelled
+    /// `"1"…"n"` in the `ms` convention.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_samples: usize,
+    ) -> Result<GeneTree, CoalescentError> {
+        self.simulate_labelled(rng, &default_labels(n_samples))
+    }
+
+    /// Simulate one genealogy with explicit tip labels.
+    pub fn simulate_labelled<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        labels: &[String],
+    ) -> Result<GeneTree, CoalescentError> {
+        let n = labels.len();
+        if n < 2 {
+            return Err(CoalescentError::InvalidSize {
+                what: "sample",
+                requested: n,
+                minimum: 2,
+            });
+        }
+        let mut builder = TreeBuilder::new();
+        let mut active: Vec<usize> = labels.iter().map(|l| builder.add_tip(l.clone(), 0.0)).collect();
+        let mut time = 0.0f64;
+        while active.len() > 1 {
+            let k = active.len();
+            let wait = self.demography.sample_waiting_time(rng, k, time);
+            if !wait.is_finite() {
+                return Err(CoalescentError::InvalidParameter {
+                    name: "growth",
+                    value: f64::NEG_INFINITY,
+                    constraint: "demography must allow all lineages to coalesce",
+                });
+            }
+            time += wait;
+            let pair = sample_without_replacement(rng, k, 2);
+            let (i, j) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            let b_node = active.remove(j);
+            let a_node = active.remove(i);
+            let parent = builder.join(a_node, b_node, time);
+            active.push(parent);
+        }
+        Ok(builder.build()?)
+    }
+
+    /// Simulate `count` independent genealogies.
+    pub fn simulate_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_samples: usize,
+        count: usize,
+    ) -> Result<Vec<GeneTree>, CoalescentError> {
+        (0..count).map(|_| self.simulate(rng, n_samples)).collect()
+    }
+
+    /// Simulate one genealogy and render it as a Newick string, as `ms -T`
+    /// prints it.
+    pub fn simulate_newick<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n_samples: usize,
+    ) -> Result<String, CoalescentError> {
+        Ok(write_newick(&self.simulate(rng, n_samples)?))
+    }
+}
+
+/// The `ms` tip labels `"1"…"n"`.
+pub fn default_labels(n: usize) -> Vec<String> {
+    (1..=n).map(|i| i.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kingman::KingmanPrior;
+    use mcmc::rng::Mt19937;
+    use phylo::io::newick::parse_newick;
+
+    #[test]
+    fn simulated_trees_are_structurally_valid() {
+        let mut rng = Mt19937::new(42);
+        let sim = CoalescentSimulator::constant(1.0).unwrap();
+        for n in [2usize, 3, 5, 12, 40] {
+            let tree = sim.simulate(&mut rng, n).unwrap();
+            tree.validate().unwrap();
+            assert_eq!(tree.n_tips(), n);
+            assert_eq!(tree.n_nodes(), 2 * n - 1);
+            assert!(tree.tmrca() > 0.0);
+            // ms-style labels.
+            assert!(tree.tip_by_label("1").is_some());
+            assert!(tree.tip_by_label(&n.to_string()).is_some());
+        }
+    }
+
+    #[test]
+    fn tmrca_and_length_match_kingman_expectations() {
+        let mut rng = Mt19937::new(2024);
+        let theta = 2.0;
+        let n = 10usize;
+        let sim = CoalescentSimulator::constant(theta).unwrap();
+        let prior = KingmanPrior::new(theta).unwrap();
+        let reps = 4_000;
+        let mut tmrca_sum = 0.0;
+        let mut length_sum = 0.0;
+        for _ in 0..reps {
+            let tree = sim.simulate(&mut rng, n).unwrap();
+            tmrca_sum += tree.tmrca();
+            length_sum += tree.total_branch_length();
+        }
+        let tmrca_mean = tmrca_sum / reps as f64;
+        let length_mean = length_sum / reps as f64;
+        let expect_tmrca = prior.expected_tmrca(n);
+        let expect_length = prior.expected_total_branch_length(n);
+        assert!(
+            (tmrca_mean / expect_tmrca - 1.0).abs() < 0.05,
+            "TMRCA mean {tmrca_mean} vs expected {expect_tmrca}"
+        );
+        assert!(
+            (length_mean / expect_length - 1.0).abs() < 0.05,
+            "length mean {length_mean} vs expected {expect_length}"
+        );
+    }
+
+    #[test]
+    fn scaling_with_theta_is_linear() {
+        let mut rng = Mt19937::new(5);
+        let n = 8;
+        let reps = 2_000;
+        let mean_height = |theta: f64, rng: &mut Mt19937| -> f64 {
+            let sim = CoalescentSimulator::constant(theta).unwrap();
+            (0..reps).map(|_| sim.simulate(rng, n).unwrap().tmrca()).sum::<f64>() / reps as f64
+        };
+        let h1 = mean_height(1.0, &mut rng);
+        let h4 = mean_height(4.0, &mut rng);
+        assert!((h4 / h1 - 4.0).abs() < 0.4, "heights should scale ~4x: {h1} vs {h4}");
+    }
+
+    #[test]
+    fn growth_produces_shorter_trees_than_constant_size() {
+        let mut rng = Mt19937::new(77);
+        let n = 10;
+        let reps = 1_500;
+        let constant = CoalescentSimulator::constant(1.0).unwrap();
+        let growing =
+            CoalescentSimulator::new(Demography::exponential(1.0, 3.0).unwrap());
+        let mean = |sim: &CoalescentSimulator, rng: &mut Mt19937| -> f64 {
+            (0..reps).map(|_| sim.simulate(rng, n).unwrap().tmrca()).sum::<f64>() / reps as f64
+        };
+        let h_const = mean(&constant, &mut rng);
+        let h_grow = mean(&growing, &mut rng);
+        assert!(
+            h_grow < h_const,
+            "growth compresses deep coalescences: {h_grow} vs {h_const}"
+        );
+        assert_eq!(growing.demography().theta0(), 1.0);
+    }
+
+    #[test]
+    fn newick_output_round_trips() {
+        let mut rng = Mt19937::new(8);
+        let sim = CoalescentSimulator::constant(1.0).unwrap();
+        let text = sim.simulate_newick(&mut rng, 12).unwrap();
+        assert!(text.ends_with(';'));
+        let parsed = parse_newick(&text).unwrap();
+        parsed.validate().unwrap();
+        assert_eq!(parsed.n_tips(), 12);
+    }
+
+    #[test]
+    fn simulate_many_and_custom_labels() {
+        let mut rng = Mt19937::new(9);
+        let sim = CoalescentSimulator::constant(0.5).unwrap();
+        let trees = sim.simulate_many(&mut rng, 6, 10).unwrap();
+        assert_eq!(trees.len(), 10);
+        let labels: Vec<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        let tree = sim.simulate_labelled(&mut rng, &labels).unwrap();
+        assert!(tree.tip_by_label("y").is_some());
+    }
+
+    #[test]
+    fn rejects_too_few_samples_and_bad_theta() {
+        let mut rng = Mt19937::new(10);
+        let sim = CoalescentSimulator::constant(1.0).unwrap();
+        assert!(sim.simulate(&mut rng, 1).is_err());
+        assert!(sim.simulate(&mut rng, 0).is_err());
+        assert!(CoalescentSimulator::constant(-1.0).is_err());
+    }
+
+    #[test]
+    fn default_labels_follow_ms_convention() {
+        assert_eq!(default_labels(3), vec!["1", "2", "3"]);
+        assert!(default_labels(0).is_empty());
+    }
+}

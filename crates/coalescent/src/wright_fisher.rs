@@ -1,0 +1,239 @@
+//! Forward-time Wright–Fisher drift simulation (Section 2.4, Eq. 14–16).
+//!
+//! A diploid population of `N` individuals carries `2N` allele copies; in
+//! each discrete generation every copy picks its parent copy uniformly at
+//! random, so the count of allele `A` in the next generation is binomial with
+//! parameters `2N` and the current frequency (Eq. 16). The simulator exposes
+//! single-generation steps, whole trajectories, fixation experiments and the
+//! decay of heterozygosity — the quantities the paper's background uses to
+//! motivate θ as the estimable compound parameter.
+
+use rand::Rng;
+
+use mcmc::rng::dist::binomial;
+
+use crate::error::CoalescentError;
+
+/// A Wright–Fisher population tracking a single bi-allelic locus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrightFisher {
+    /// Number of diploid individuals (2N allele copies).
+    population_size: u64,
+}
+
+/// Outcome of running a trajectory to fixation or loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixationOutcome {
+    /// Whether the focal allele fixed (true) or was lost (false).
+    pub fixed: bool,
+    /// Number of generations until absorption.
+    pub generations: usize,
+    /// The full allele-count trajectory including both endpoints.
+    pub trajectory: Vec<u64>,
+}
+
+impl WrightFisher {
+    /// Create a population of `population_size` diploid individuals.
+    pub fn new(population_size: u64) -> Result<Self, CoalescentError> {
+        if population_size == 0 {
+            return Err(CoalescentError::InvalidSize {
+                what: "population",
+                requested: 0,
+                minimum: 1,
+            });
+        }
+        Ok(WrightFisher { population_size })
+    }
+
+    /// Number of diploid individuals.
+    pub fn population_size(&self) -> u64 {
+        self.population_size
+    }
+
+    /// Number of allele copies (2N).
+    pub fn allele_copies(&self) -> u64 {
+        2 * self.population_size
+    }
+
+    /// One generation of drift: resample the allele count binomially
+    /// (Eq. 16).
+    pub fn step<R: Rng + ?Sized>(&self, rng: &mut R, count: u64) -> u64 {
+        let copies = self.allele_copies();
+        assert!(count <= copies, "allele count {count} exceeds {copies} copies");
+        let p = count as f64 / copies as f64;
+        binomial(rng, copies, p)
+    }
+
+    /// Simulate `generations` generations starting from `initial_count`,
+    /// returning the trajectory (length `generations + 1`).
+    pub fn trajectory<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        initial_count: u64,
+        generations: usize,
+    ) -> Vec<u64> {
+        let mut out = Vec::with_capacity(generations + 1);
+        let mut count = initial_count;
+        out.push(count);
+        for _ in 0..generations {
+            count = self.step(rng, count);
+            out.push(count);
+        }
+        out
+    }
+
+    /// Run until the allele fixes or is lost (absorbing states), up to
+    /// `max_generations` (after which the run is truncated and reported as
+    /// not fixed).
+    pub fn run_to_fixation<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        initial_count: u64,
+        max_generations: usize,
+    ) -> FixationOutcome {
+        let copies = self.allele_copies();
+        let mut trajectory = vec![initial_count];
+        let mut count = initial_count;
+        for generation in 1..=max_generations {
+            count = self.step(rng, count);
+            trajectory.push(count);
+            if count == 0 || count == copies {
+                return FixationOutcome { fixed: count == copies, generations: generation, trajectory };
+            }
+        }
+        FixationOutcome { fixed: false, generations: max_generations, trajectory }
+    }
+
+    /// Estimate the fixation probability of an allele starting at
+    /// `initial_count` copies from `replicates` independent runs. Under pure
+    /// drift this converges to `initial_count / 2N`.
+    pub fn fixation_probability<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        initial_count: u64,
+        replicates: usize,
+    ) -> f64 {
+        let max_gen = (40 * self.allele_copies()) as usize;
+        let fixed = (0..replicates)
+            .filter(|_| self.run_to_fixation(rng, initial_count, max_gen).fixed)
+            .count();
+        fixed as f64 / replicates as f64
+    }
+
+    /// Expected heterozygosity `2p(1−p)` of a frequency.
+    pub fn heterozygosity(&self, count: u64) -> f64 {
+        let p = count as f64 / self.allele_copies() as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    /// The theoretical per-generation retention factor of heterozygosity
+    /// under drift, `1 − 1/(2N)`.
+    pub fn heterozygosity_retention(&self) -> f64 {
+        1.0 - 1.0 / self.allele_copies() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcmc::rng::Mt19937;
+
+    #[test]
+    fn constructor_validates_and_reports_sizes() {
+        assert!(WrightFisher::new(0).is_err());
+        let wf = WrightFisher::new(50).unwrap();
+        assert_eq!(wf.population_size(), 50);
+        assert_eq!(wf.allele_copies(), 100);
+        assert!((wf.heterozygosity_retention() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_preserves_bounds_and_absorbing_states() {
+        let mut rng = Mt19937::new(1);
+        let wf = WrightFisher::new(20).unwrap();
+        for _ in 0..200 {
+            let next = wf.step(&mut rng, 10);
+            assert!(next <= 40);
+        }
+        // Absorbing states stay absorbed.
+        assert_eq!(wf.step(&mut rng, 0), 0);
+        assert_eq!(wf.step(&mut rng, 40), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn step_rejects_impossible_counts() {
+        let mut rng = Mt19937::new(1);
+        WrightFisher::new(10).unwrap().step(&mut rng, 21);
+    }
+
+    #[test]
+    fn drift_is_unbiased_in_expectation() {
+        let mut rng = Mt19937::new(2);
+        let wf = WrightFisher::new(100).unwrap();
+        let reps = 20_000;
+        let mean: f64 =
+            (0..reps).map(|_| wf.step(&mut rng, 60) as f64).sum::<f64>() / reps as f64;
+        assert!((mean - 60.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn trajectory_has_requested_length_and_valid_values() {
+        let mut rng = Mt19937::new(3);
+        let wf = WrightFisher::new(25).unwrap();
+        let traj = wf.trajectory(&mut rng, 25, 100);
+        assert_eq!(traj.len(), 101);
+        assert_eq!(traj[0], 25);
+        assert!(traj.iter().all(|&c| c <= 50));
+    }
+
+    #[test]
+    fn fixation_probability_equals_initial_frequency() {
+        let mut rng = Mt19937::new(4);
+        let wf = WrightFisher::new(25).unwrap();
+        // Start at 20% frequency: fixation probability should be ~0.2.
+        let p = wf.fixation_probability(&mut rng, 10, 2_000);
+        assert!((p - 0.2).abs() < 0.03, "fixation probability {p}");
+    }
+
+    #[test]
+    fn run_to_fixation_reaches_an_absorbing_state() {
+        let mut rng = Mt19937::new(5);
+        let wf = WrightFisher::new(10).unwrap();
+        let outcome = wf.run_to_fixation(&mut rng, 10, 100_000);
+        let last = *outcome.trajectory.last().unwrap();
+        assert!(last == 0 || last == 20);
+        assert_eq!(outcome.fixed, last == 20);
+        assert_eq!(outcome.trajectory.len(), outcome.generations + 1);
+    }
+
+    #[test]
+    fn heterozygosity_decays_at_the_predicted_rate() {
+        let mut rng = Mt19937::new(6);
+        let wf = WrightFisher::new(50).unwrap();
+        let generations = 30usize;
+        let reps = 3_000;
+        let start = wf.allele_copies() / 2;
+        let mut het_sum = 0.0;
+        for _ in 0..reps {
+            let traj = wf.trajectory(&mut rng, start, generations);
+            het_sum += wf.heterozygosity(*traj.last().unwrap());
+        }
+        let observed = het_sum / reps as f64;
+        let predicted =
+            wf.heterozygosity(start) * wf.heterozygosity_retention().powi(generations as i32);
+        assert!(
+            (observed / predicted - 1.0).abs() < 0.1,
+            "observed {observed} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn heterozygosity_is_maximal_at_half_frequency() {
+        let wf = WrightFisher::new(10).unwrap();
+        assert_eq!(wf.heterozygosity(0), 0.0);
+        assert_eq!(wf.heterozygosity(20), 0.0);
+        assert!((wf.heterozygosity(10) - 0.5).abs() < 1e-12);
+        assert!(wf.heterozygosity(10) > wf.heterozygosity(5));
+    }
+}

@@ -1,0 +1,115 @@
+//! Speedup laws and the multi-chain efficiency model (Section 3, Figure 6).
+//!
+//! The paper's argument for Generalized Metropolis–Hastings is an Amdahl's
+//! law argument: the per-chain burn-in `B` is a serial component that the
+//! multi-independent-chain work-around cannot parallelise, so its cost
+//! `B + N/P` approaches `B` as the processor count grows (Eq. 27), whereas
+//! the multi-proposal scheme parallelises the burn-in too and keeps dividing,
+//! `(B + N)/P`. These closed forms — together with the classical Amdahl and
+//! Gustafson laws — feed the Figure 6 harness and the efficiency analyses in
+//! the benches.
+
+/// Amdahl's law: speedup of a workload with serial fraction `serial_fraction`
+/// on `p` processors.
+///
+/// # Panics
+/// Panics if `p == 0` or the fraction is outside `[0, 1]`.
+pub fn amdahl_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1], got {serial_fraction}"
+    );
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p as f64)
+}
+
+/// Gustafson's law: scaled speedup when the parallel part grows with the
+/// machine.
+pub fn gustafson_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1], got {serial_fraction}"
+    );
+    p as f64 - serial_fraction * (p as f64 - 1.0)
+}
+
+/// Idealised time of the multi-chain work-around (Section 3): each of `p`
+/// chains pays the full burn-in `b` and `n/p` of the sampling work.
+pub fn multichain_time(b: f64, n: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    b + n / p as f64
+}
+
+/// Idealised time when the burn-in is parallelised as well (the
+/// generalized-MH scheme): `(b + n)/p`.
+pub fn parallel_burnin_time(b: f64, n: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    (b + n) / p as f64
+}
+
+/// Parallel efficiency of the multi-chain scheme relative to perfect scaling.
+pub fn multichain_efficiency(b: f64, n: f64, p: usize) -> f64 {
+    let ideal = (b + n) / p as f64;
+    ideal / multichain_time(b, n, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+        assert_eq!(amdahl_speedup(1.0, 8), 1.0);
+        // 10% serial: classic asymptote at 10x.
+        assert!(amdahl_speedup(0.1, 1_000_000) < 10.0);
+        assert!(amdahl_speedup(0.1, 1_000_000) > 9.9);
+        // Monotone in p.
+        assert!(amdahl_speedup(0.2, 16) > amdahl_speedup(0.2, 4));
+    }
+
+    #[test]
+    fn gustafson_grows_linearly() {
+        assert_eq!(gustafson_speedup(0.0, 64), 64.0);
+        assert_eq!(gustafson_speedup(1.0, 64), 1.0);
+        let s8 = gustafson_speedup(0.25, 8);
+        assert!((s8 - (8.0 - 0.25 * 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure6_arithmetic() {
+        // B = 4, N = 4 as drawn in Figure 6.
+        assert_eq!(multichain_time(4.0, 4.0, 1), 8.0);
+        assert_eq!(multichain_time(4.0, 4.0, 2), 6.0);
+        assert_eq!(multichain_time(4.0, 4.0, 4), 5.0);
+        // Equation 27: the limit is B.
+        assert!((multichain_time(4.0, 4.0, 1_000_000) - 4.0).abs() < 1e-3);
+        // The parallel-burn-in scheme keeps dividing.
+        assert_eq!(parallel_burnin_time(4.0, 4.0, 4), 2.0);
+        assert!(parallel_burnin_time(4.0, 4.0, 8) < multichain_time(4.0, 4.0, 8));
+    }
+
+    #[test]
+    fn efficiency_degrades_with_processor_count() {
+        let e1 = multichain_efficiency(1_000.0, 10_000.0, 1);
+        let e16 = multichain_efficiency(1_000.0, 10_000.0, 16);
+        let e256 = multichain_efficiency(1_000.0, 10_000.0, 256);
+        assert!((e1 - 1.0).abs() < 1e-12);
+        assert!(e16 < 1.0);
+        assert!(e256 < e16, "efficiency must keep dropping: {e16} vs {e256}");
+        assert!(e256 < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_processors_rejected() {
+        multichain_time(1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn bad_fraction_rejected() {
+        amdahl_speedup(1.5, 4);
+    }
+}

@@ -1,0 +1,296 @@
+//! A simulated SIMD (GPGPU-style) device with an occupancy / latency-hiding
+//! cost model.
+//!
+//! The paper's speedups come from mapping the sampler's three kernels onto a
+//! CUDA device (compute capability 3.5, Kepler). No GPU is available in this
+//! environment, so the speedup *figures* are regenerated from this explicit
+//! cost model driven by the real operation counts of the Rust sampler. The
+//! model captures the three effects the paper credits for the observed
+//! curves:
+//!
+//! 1. **Kernel launch overhead and serial residue** — fixed per-iteration
+//!    costs that amortise as the number of samples grows (Figure 14's gentle
+//!    rise).
+//! 2. **Occupancy-driven latency hiding** — the device only reaches full
+//!    throughput when enough threads are resident to cover memory latency;
+//!    the data-likelihood kernel launches one thread per (proposal, site)
+//!    pair, so throughput — and therefore speedup — grows roughly linearly
+//!    with sequence length until the device saturates (Figure 16, and the
+//!    paper's observation that "increasing sequence size primarily increases
+//!    the number of data likelihood threads executing simultaneously ...
+//!    hiding memory latency").
+//! 3. **Per-thread memory pressure** — each thread's tree traversal touches
+//!    memory proportionally to the number of nodes, and beyond the register /
+//!    L1 budget the recursion spills, so larger trees expose more latency and
+//!    erode speedup slightly (Figure 15's mild decline).
+
+/// Physical characteristics of the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp (32 on every CUDA generation).
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: usize,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Global-memory latency in cycles.
+    pub global_latency_cycles: f64,
+    /// Constant-memory (cached, broadcast) latency in cycles.
+    pub const_latency_cycles: f64,
+    /// Number of registers' worth of per-thread working set before traversal
+    /// state spills to local (global) memory.
+    pub register_budget: usize,
+}
+
+impl DeviceSpec {
+    /// A Kepler-class card comparable to the compute-3.5 hardware used in the
+    /// thesis (GK110-like: 13 SMs × 192 cores).
+    pub fn kepler() -> Self {
+        DeviceSpec {
+            sms: 13,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.824,
+            max_threads_per_sm: 2_048,
+            launch_overhead_us: 8.0,
+            global_latency_cycles: 400.0,
+            const_latency_cycles: 12.0,
+            register_budget: 64,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> usize {
+        self.sms * self.cores_per_sm
+    }
+
+    /// Maximum number of resident threads across the device.
+    pub fn max_resident_threads(&self) -> usize {
+        self.sms * self.max_threads_per_sm
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec::kepler()
+    }
+}
+
+/// One kernel launch, described by its thread count and per-thread work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelLaunch {
+    /// Number of threads launched.
+    pub threads: usize,
+    /// Arithmetic operations per thread.
+    pub flops_per_thread: f64,
+    /// Global-memory accesses per thread.
+    pub global_accesses_per_thread: f64,
+    /// Constant-memory accesses per thread.
+    pub const_accesses_per_thread: f64,
+    /// Fraction of the kernel's total work that executes serially (final
+    /// block-level reductions, Section 5.2.1's single-thread reduction tail).
+    pub serial_fraction: f64,
+}
+
+impl KernelLaunch {
+    /// A launch with the given thread count and per-thread work and no
+    /// serial residue.
+    pub fn new(threads: usize, flops: f64, global: f64, constant: f64) -> Self {
+        KernelLaunch {
+            threads,
+            flops_per_thread: flops,
+            global_accesses_per_thread: global,
+            const_accesses_per_thread: constant,
+            serial_fraction: 0.0,
+        }
+    }
+
+    /// Set the serial residue fraction.
+    pub fn with_serial_fraction(mut self, fraction: f64) -> Self {
+        self.serial_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Cycles of work a single thread performs, with the exposed fraction of
+    /// memory latency given.
+    fn cycles_per_thread(&self, spec: &DeviceSpec, exposed: f64) -> f64 {
+        self.flops_per_thread
+            + self.global_accesses_per_thread * spec.global_latency_cycles * exposed
+            + self.const_accesses_per_thread * spec.const_latency_cycles * exposed
+    }
+}
+
+/// The device cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceModel {
+    spec: DeviceSpec,
+}
+
+impl DeviceModel {
+    /// Create a model over the given device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        DeviceModel { spec }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Occupancy of a launch: the fraction of the device's resident-thread
+    /// capacity that the launch fills (rounded up to whole warps).
+    pub fn occupancy(&self, launch: &KernelLaunch) -> f64 {
+        if launch.threads == 0 {
+            return 0.0;
+        }
+        let warps = launch.threads.div_ceil(self.spec.warp_size);
+        let threads = warps * self.spec.warp_size;
+        (threads as f64 / self.spec.max_resident_threads() as f64).min(1.0)
+    }
+
+    /// The fraction of memory latency left exposed after occupancy-based
+    /// hiding: with a full complement of resident warps the scheduler can
+    /// almost always find an eligible warp, with few warps stalls are fully
+    /// exposed.
+    pub fn exposed_latency_fraction(&self, launch: &KernelLaunch) -> f64 {
+        // Hiding improves with occupancy; the floor keeps even a saturated
+        // device from being modelled as latency-free.
+        let occupancy = self.occupancy(launch);
+        (1.0 - 0.95 * occupancy).clamp(0.05, 1.0)
+    }
+
+    /// Modelled execution time of one kernel launch, in microseconds.
+    pub fn kernel_time_us(&self, launch: &KernelLaunch) -> f64 {
+        if launch.threads == 0 {
+            return self.spec.launch_overhead_us;
+        }
+        let exposed = self.exposed_latency_fraction(launch);
+        let cycles_per_thread = launch.cycles_per_thread(&self.spec, exposed);
+        let total_cycles = cycles_per_thread * launch.threads as f64;
+        // Parallel portion: spread over all cores.
+        let parallel_cycles = total_cycles * (1.0 - launch.serial_fraction)
+            / self.spec.total_cores() as f64;
+        // Serial portion: one core.
+        let serial_cycles = total_cycles * launch.serial_fraction;
+        let cycles = parallel_cycles + serial_cycles;
+        self.spec.launch_overhead_us + cycles / (self.spec.clock_ghz * 1_000.0)
+    }
+
+    /// Modelled time for a sequence of launches (microseconds).
+    pub fn total_time_us(&self, launches: &[KernelLaunch]) -> f64 {
+        launches.iter().map(|l| self.kernel_time_us(l)).sum()
+    }
+
+    /// Per-thread global-memory accesses for a pruning traversal over a tree
+    /// with `tree_nodes` nodes: structural reads plus spill traffic once the
+    /// working set exceeds the register budget (the effect the paper notes as
+    /// "the real possibility that a set of sequence data could overrun the
+    /// stack", Section 5.2.2).
+    pub fn traversal_global_accesses(&self, tree_nodes: usize) -> f64 {
+        let structural = tree_nodes as f64;
+        let excess = tree_nodes.saturating_sub(self.spec.register_budget) as f64;
+        structural + 0.5 * excess
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DeviceModel {
+        DeviceModel::new(DeviceSpec::kepler())
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let spec = DeviceSpec::kepler();
+        assert_eq!(spec.total_cores(), 13 * 192);
+        assert_eq!(spec.max_resident_threads(), 13 * 2_048);
+        assert_eq!(DeviceSpec::default(), spec);
+        assert_eq!(*model().spec(), spec);
+    }
+
+    #[test]
+    fn occupancy_grows_with_threads_and_saturates() {
+        let m = model();
+        let small = KernelLaunch::new(640, 100.0, 10.0, 5.0);
+        let large = KernelLaunch::new(40_000, 100.0, 10.0, 5.0);
+        assert!(m.occupancy(&small) < m.occupancy(&large));
+        assert!(m.occupancy(&large) <= 1.0);
+        let huge = KernelLaunch::new(10_000_000, 100.0, 10.0, 5.0);
+        assert_eq!(m.occupancy(&huge), 1.0);
+        assert_eq!(m.occupancy(&KernelLaunch::new(0, 1.0, 1.0, 1.0)), 0.0);
+        // Rounded up to a full warp.
+        let one = KernelLaunch::new(1, 1.0, 0.0, 0.0);
+        assert!(m.occupancy(&one) > 0.0);
+    }
+
+    #[test]
+    fn higher_occupancy_hides_more_latency() {
+        let m = model();
+        let small = KernelLaunch::new(640, 100.0, 10.0, 5.0);
+        let large = KernelLaunch::new(26_000, 100.0, 10.0, 5.0);
+        assert!(m.exposed_latency_fraction(&large) < m.exposed_latency_fraction(&small));
+        assert!(m.exposed_latency_fraction(&large) >= 0.05);
+    }
+
+    #[test]
+    fn kernel_time_includes_launch_overhead() {
+        let m = model();
+        let empty = KernelLaunch::new(0, 0.0, 0.0, 0.0);
+        assert_eq!(m.kernel_time_us(&empty), DeviceSpec::kepler().launch_overhead_us);
+        let tiny = KernelLaunch::new(32, 10.0, 0.0, 0.0);
+        assert!(m.kernel_time_us(&tiny) > DeviceSpec::kepler().launch_overhead_us);
+    }
+
+    #[test]
+    fn throughput_efficiency_improves_with_thread_count() {
+        // Time per thread should drop as the launch grows (latency hiding),
+        // i.e. doubling the threads less than doubles the time for
+        // memory-bound kernels.
+        let m = model();
+        let work = |threads: usize| KernelLaunch::new(threads, 50.0, 20.0, 10.0);
+        let t1 = m.kernel_time_us(&work(2_000));
+        let t2 = m.kernel_time_us(&work(20_000));
+        assert!(t2 < 10.0 * t1 * 0.9, "expected sublinear growth: {t1} -> {t2}");
+    }
+
+    #[test]
+    fn serial_fraction_slows_the_kernel() {
+        let m = model();
+        let base = KernelLaunch::new(10_000, 200.0, 10.0, 0.0);
+        let with_serial = base.with_serial_fraction(0.01);
+        assert!(m.kernel_time_us(&with_serial) > m.kernel_time_us(&base));
+        // Clamping.
+        assert_eq!(base.with_serial_fraction(2.0).serial_fraction, 1.0);
+        assert_eq!(base.with_serial_fraction(-1.0).serial_fraction, 0.0);
+    }
+
+    #[test]
+    fn traversal_spill_grows_superlinearly_past_the_register_budget() {
+        let m = model();
+        let small = m.traversal_global_accesses(23); // 12-tip tree
+        let large = m.traversal_global_accesses(263); // 132-tip tree
+        assert!(small < large);
+        // Below the budget there is no spill: accesses equal node count.
+        assert_eq!(m.traversal_global_accesses(23), 23.0);
+        // Above the budget the per-node cost exceeds 1.
+        assert!(m.traversal_global_accesses(263) > 263.0);
+    }
+
+    #[test]
+    fn total_time_sums_individual_launches() {
+        let m = model();
+        let a = KernelLaunch::new(1_000, 100.0, 10.0, 5.0);
+        let b = KernelLaunch::new(5_000, 50.0, 5.0, 2.0);
+        let total = m.total_time_us(&[a, b]);
+        assert!((total - (m.kernel_time_us(&a) + m.kernel_time_us(&b))).abs() < 1e-9);
+        assert_eq!(m.total_time_us(&[]), 0.0);
+    }
+}

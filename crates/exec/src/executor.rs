@@ -1,0 +1,130 @@
+//! Data-parallel execution backends.
+//!
+//! The samplers express their bulk work (generate N proposals, score P site
+//! patterns, evaluate M posterior terms) as pure per-item closures; the
+//! [`Backend`] decides whether that work runs serially or on the rayon
+//! thread pool. This mirrors the structure of the CUDA implementation, where
+//! the same loops are expressed as kernels with one thread per item.
+
+use rayon::prelude::*;
+
+/// Where data-parallel work runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Run everything on the calling thread.
+    Serial,
+    /// Run on the global rayon thread pool.
+    #[default]
+    Rayon,
+}
+
+impl Backend {
+    /// The number of worker threads this backend will use.
+    pub fn threads(&self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::Rayon => rayon::current_num_threads(),
+        }
+    }
+
+    /// Map `f` over `0..n`, collecting results in index order.
+    pub fn map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync + Send,
+    {
+        match self {
+            Backend::Serial => (0..n).map(f).collect(),
+            Backend::Rayon => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+
+    /// Map `f` over a slice, collecting results in order.
+    pub fn map_slice<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync + Send,
+    {
+        match self {
+            Backend::Serial => items.iter().map(f).collect(),
+            Backend::Rayon => items.par_iter().map(f).collect(),
+        }
+    }
+
+    /// Sum `f(i)` over `0..n` (an additive reduction, the operation the
+    /// paper implements with warp shuffles).
+    pub fn sum_indexed<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync + Send,
+    {
+        match self {
+            Backend::Serial => (0..n).map(f).sum(),
+            Backend::Rayon => (0..n).into_par_iter().map(f).sum(),
+        }
+    }
+
+    /// Maximum of `f(i)` over `0..n` (the normalising reduction used by the
+    /// posterior kernel before its additive reduction, Section 5.2.3).
+    pub fn max_indexed<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync + Send,
+    {
+        match self {
+            Backend::Serial => (0..n).map(f).fold(f64::NEG_INFINITY, f64::max),
+            Backend::Rayon => (0..n)
+                .into_par_iter()
+                .map(f)
+                .reduce(|| f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for backend in [Backend::Serial, Backend::Rayon] {
+            let out = backend.map_indexed(100, |i| i * i);
+            assert_eq!(out.len(), 100);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn map_slice_matches_serial_reference() {
+        let items: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let serial = Backend::Serial.map_slice(&items, |x| x.sin());
+        let parallel = Backend::Rayon.map_slice(&items, |x| x.sin());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reductions_agree_between_backends() {
+        let f = |i: usize| ((i as f64) * 0.37).cos();
+        let s1 = Backend::Serial.sum_indexed(5_000, f);
+        let s2 = Backend::Rayon.sum_indexed(5_000, f);
+        assert!((s1 - s2).abs() < 1e-9);
+        let m1 = Backend::Serial.max_indexed(5_000, f);
+        let m2 = Backend::Rayon.max_indexed(5_000, f);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert!(Backend::Rayon.map_indexed(0, |i| i).is_empty());
+        assert_eq!(Backend::Serial.sum_indexed(0, |_| 1.0), 0.0);
+        assert_eq!(Backend::Rayon.max_indexed(0, |_| 1.0), f64::NEG_INFINITY);
+        let empty: Vec<u8> = vec![];
+        assert!(Backend::Serial.map_slice(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn thread_counts_are_sensible() {
+        assert_eq!(Backend::Serial.threads(), 1);
+        assert!(Backend::Rayon.threads() >= 1);
+        assert_eq!(Backend::default(), Backend::Rayon);
+    }
+}

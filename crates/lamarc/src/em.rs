@@ -1,0 +1,295 @@
+//! The expectation–maximisation driver (Sections 2.5, 4.2, 5.1).
+//!
+//! One EM iteration runs the genealogy sampler with the current driving θ₀
+//! (the expectation stage), builds the relative-likelihood function of Eq. 26
+//! from the sampled interval summaries, and maximises it (the maximisation
+//! stage) to obtain the next driving value. The paper runs a statically
+//! defined number of iterations of this loop (Figure 11); the estimator here
+//! also exposes the per-iteration history so the accuracy harness can report
+//! convergence.
+
+use rand::Rng;
+
+use phylo::likelihood::ExecutionMode;
+use phylo::model::F81;
+use phylo::{upgma_tree, Alignment, FelsensteinPruner, PhyloError};
+
+use crate::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
+use crate::proposal::ProposalConfig;
+use crate::sampler::{LamarcSampler, SamplerConfig};
+
+/// Configuration of the full estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Initial driving value θ₀ (the second command-line argument of the
+    /// original program).
+    pub initial_theta: f64,
+    /// Number of EM iterations (chain runs).
+    pub em_iterations: usize,
+    /// Burn-in transitions per chain.
+    pub burn_in: usize,
+    /// Retained samples per chain.
+    pub samples: usize,
+    /// Thinning applied to retained samples.
+    pub thinning: usize,
+    /// Proposal configuration.
+    pub proposal: ProposalConfig,
+    /// Gradient-ascent configuration.
+    pub ascent: GradientAscentConfig,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            initial_theta: 1.0,
+            em_iterations: 3,
+            burn_in: 500,
+            samples: 5_000,
+            thinning: 1,
+            proposal: ProposalConfig::default(),
+            ascent: GradientAscentConfig::default(),
+        }
+    }
+}
+
+/// One EM iteration's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmIteration {
+    /// The driving θ used by the chain.
+    pub driving_theta: f64,
+    /// The maximiser of the relative likelihood (the next driving value).
+    pub estimate: f64,
+    /// Acceptance rate of the chain.
+    pub acceptance_rate: f64,
+    /// Mean `ln P(D|G)` over the retained samples.
+    pub mean_log_data_likelihood: f64,
+}
+
+/// The final estimate and its history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmEstimate {
+    /// The final θ̂.
+    pub theta: f64,
+    /// Per-iteration records.
+    pub iterations: Vec<EmIteration>,
+}
+
+impl EmEstimate {
+    /// Whether the estimate stabilised (relative change of the last two
+    /// iterations below `tolerance`).
+    pub fn converged(&self, tolerance: f64) -> bool {
+        if self.iterations.len() < 2 {
+            return false;
+        }
+        let last = self.iterations[self.iterations.len() - 1].estimate;
+        let prev = self.iterations[self.iterations.len() - 2].estimate;
+        ((last - prev) / prev.max(f64::MIN_POSITIVE)).abs() < tolerance
+    }
+}
+
+/// The baseline (LAMARC-style) θ estimator over one alignment.
+#[derive(Debug, Clone)]
+pub struct LamarcEstimator {
+    alignment: Alignment,
+    config: EmConfig,
+    execution: ExecutionMode,
+}
+
+impl LamarcEstimator {
+    /// Create an estimator for the alignment.
+    pub fn new(alignment: Alignment, config: EmConfig) -> Result<Self, PhyloError> {
+        if !(config.initial_theta > 0.0 && config.initial_theta.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "initial_theta",
+                value: config.initial_theta,
+                constraint: "theta > 0",
+            });
+        }
+        if config.em_iterations == 0 || config.samples == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "em_iterations/samples",
+                value: 0.0,
+                constraint: "at least one iteration and one sample",
+            });
+        }
+        Ok(LamarcEstimator { alignment, config, execution: ExecutionMode::Serial })
+    }
+
+    /// Choose how the likelihood engine executes its per-site work.
+    pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EmConfig {
+        &self.config
+    }
+
+    /// Run the estimator.
+    pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<EmEstimate, PhyloError> {
+        let mut theta = self.config.initial_theta;
+        let mut iterations = Vec::with_capacity(self.config.em_iterations);
+        // Section 5.1.3: the starting genealogy is the UPGMA tree; follow-up
+        // chains start from the final genealogy of the previous chain.
+        let mut current_tree = Some(upgma_tree(&self.alignment, 1.0)?);
+
+        for _ in 0..self.config.em_iterations {
+            let engine = FelsensteinPruner::new(
+                &self.alignment,
+                F81::normalized(self.alignment.base_frequencies()),
+            )
+            .with_mode(self.execution);
+            let sampler_config = SamplerConfig {
+                theta,
+                burn_in: self.config.burn_in,
+                samples: self.config.samples,
+                thinning: self.config.thinning,
+                proposal: self.config.proposal,
+            };
+            let sampler = LamarcSampler::new(engine, sampler_config)?;
+            let initial = current_tree.take().expect("a starting tree is always available");
+            let run = sampler.run(initial, rng)?;
+
+            let summaries = run.interval_summaries();
+            let relative = RelativeLikelihood::new(theta, &summaries).map_err(|e| {
+                PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+            })?;
+            let estimate = maximize_relative_likelihood(&relative, &self.config.ascent);
+            let mean_loglik = run
+                .samples
+                .iter()
+                .map(|s| s.log_data_likelihood)
+                .sum::<f64>()
+                / run.samples.len() as f64;
+            iterations.push(EmIteration {
+                driving_theta: theta,
+                estimate,
+                acceptance_rate: run.acceptance_rate(),
+                mean_log_data_likelihood: mean_loglik,
+            });
+            theta = estimate.max(1e-9);
+            current_tree = Some(run.final_tree);
+        }
+
+        Ok(EmEstimate { theta, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use mcmc::rng::Mt19937;
+    use phylo::model::Jc69;
+
+    fn simulated_alignment(rng: &mut Mt19937, n: usize, sites: usize, theta: f64) -> Alignment {
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(rng, n).unwrap();
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(rng, &tree).unwrap()
+    }
+
+    #[test]
+    fn configuration_validation() {
+        let mut rng = Mt19937::new(51);
+        let alignment = simulated_alignment(&mut rng, 4, 40, 1.0);
+        assert!(LamarcEstimator::new(
+            alignment.clone(),
+            EmConfig { initial_theta: 0.0, ..Default::default() }
+        )
+        .is_err());
+        assert!(LamarcEstimator::new(
+            alignment.clone(),
+            EmConfig { em_iterations: 0, ..Default::default() }
+        )
+        .is_err());
+        let ok = LamarcEstimator::new(alignment, EmConfig::default()).unwrap();
+        assert_eq!(ok.config().em_iterations, 3);
+    }
+
+    #[test]
+    fn estimator_runs_and_reports_history() {
+        let mut rng = Mt19937::new(53);
+        let alignment = simulated_alignment(&mut rng, 6, 80, 1.0);
+        let config = EmConfig {
+            initial_theta: 0.3,
+            em_iterations: 2,
+            burn_in: 100,
+            samples: 400,
+            thinning: 1,
+            ..Default::default()
+        };
+        let estimator = LamarcEstimator::new(alignment, config).unwrap();
+        let estimate = estimator.estimate(&mut rng).unwrap();
+        assert_eq!(estimate.iterations.len(), 2);
+        assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+        assert_eq!(estimate.iterations[0].driving_theta, 0.3);
+        // The second iteration's driving value is the first's estimate.
+        assert!(
+            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs()
+                < 1e-12
+        );
+        for it in &estimate.iterations {
+            assert!(it.acceptance_rate > 0.0 && it.acceptance_rate <= 1.0);
+            assert!(it.mean_log_data_likelihood.is_finite());
+        }
+        // converged() needs at least two iterations and a tolerance.
+        let _ = estimate.converged(0.5);
+    }
+
+    #[test]
+    fn estimate_is_in_a_plausible_range_for_simulated_data() {
+        // theta = 1 data; the estimate will be noisy with a small chain but
+        // must land within an order of magnitude — the sharper accuracy
+        // comparison is the Table 1 integration test / bench.
+        let mut rng = Mt19937::new(59);
+        let alignment = simulated_alignment(&mut rng, 8, 150, 1.0);
+        let config = EmConfig {
+            initial_theta: 0.1,
+            em_iterations: 2,
+            burn_in: 200,
+            samples: 1_500,
+            thinning: 1,
+            ..Default::default()
+        };
+        let estimator = LamarcEstimator::new(alignment, config).unwrap();
+        let estimate = estimator.estimate(&mut rng).unwrap();
+        assert!(
+            estimate.theta > 0.05 && estimate.theta < 10.0,
+            "estimate {} is implausible for data simulated at theta = 1",
+            estimate.theta
+        );
+    }
+
+    #[test]
+    fn converged_logic() {
+        let e = EmEstimate {
+            theta: 1.0,
+            iterations: vec![EmIteration {
+                driving_theta: 1.0,
+                estimate: 1.0,
+                acceptance_rate: 0.5,
+                mean_log_data_likelihood: -10.0,
+            }],
+        };
+        assert!(!e.converged(0.1));
+        let e2 = EmEstimate {
+            theta: 1.02,
+            iterations: vec![
+                EmIteration {
+                    driving_theta: 1.0,
+                    estimate: 1.0,
+                    acceptance_rate: 0.5,
+                    mean_log_data_likelihood: -10.0,
+                },
+                EmIteration {
+                    driving_theta: 1.0,
+                    estimate: 1.02,
+                    acceptance_rate: 0.5,
+                    mean_log_data_likelihood: -10.0,
+                },
+            ],
+        };
+        assert!(e2.converged(0.05));
+        assert!(!e2.converged(0.001));
+    }
+}

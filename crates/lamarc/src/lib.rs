@@ -1,0 +1,39 @@
+//! Baseline LAMARC-style coalescent genealogy sampler.
+//!
+//! This crate implements the conventional, single-proposal sampler the paper
+//! modifies (Section 4.2), and the machinery shared with the multi-proposal
+//! sampler in the `mpcgs` crate:
+//!
+//! * [`proposal`] — the neighborhood-resimulation proposal mechanism of
+//!   Kuhner, Yamato & Felsenstein (1995): a target interior node and its
+//!   parent are dissolved, and the three orphaned ("active") lineages are
+//!   re-coalesced by sampling from the conditional coalescent prior over the
+//!   feasible intervals (Figures 7–9).
+//! * [`target`] — the posterior pieces: `ln P(D|G)` (via the `phylo` pruner)
+//!   and `ln P(G|θ)` (via the `coalescent` prior), combined per Eq. 24.
+//! * [`sampler`] — the standard Metropolis–Hastings genealogy sampler with
+//!   the acceptance ratio of Eq. 28.
+//! * [`mle`] — the relative-likelihood curve `L(θ)` of Eq. 26 over sampled
+//!   genealogies and the step-halving gradient ascent of Algorithm 2.
+//! * [`em`] — the expectation–maximisation driver: run a chain with the
+//!   driving θ₀, maximise `L(θ)`, replace θ₀, repeat.
+//! * [`multi_chain`] — the multiple-independent-chains work-around of
+//!   Section 3 (each chain pays its own burn-in), provided as the scalability
+//!   baseline that Figure 6 criticises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod em;
+pub mod mle;
+pub mod multi_chain;
+pub mod proposal;
+pub mod sampler;
+pub mod target;
+
+pub use em::{EmConfig, EmEstimate, EmIteration, LamarcEstimator};
+pub use mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
+pub use multi_chain::{MultiChainConfig, MultiChainRun};
+pub use proposal::{GenealogyProposer, HazardModel, ProposalConfig};
+pub use sampler::{GenealogySample, LamarcSampler, SamplerConfig, SamplerRun};
+pub use target::GenealogyTarget;

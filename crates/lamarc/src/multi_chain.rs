@@ -1,0 +1,240 @@
+//! The multiple-independent-chains work-around (Section 3, Figure 6).
+//!
+//! The conventional way to parallelise an MCMC sampler is to run `P`
+//! independent chains — each with its own burn-in — and pool the post-burn-in
+//! samples. The pooled sample size is what matters for the estimate, but the
+//! *work* performed is `P·B + N` transitions instead of `B + N`, which is the
+//! Amdahl-style inefficiency the paper's Figure 6 illustrates and that the
+//! multi-proposal sampler removes. This module implements the work-around
+//! faithfully (each chain really does run, on its own thread) and reports the
+//! work accounting so the Figure 6 harness can compare measured against
+//! idealised costs.
+
+use mcmc::rng::{Mt19937, SplitMix64};
+
+use phylo::likelihood::LikelihoodEngine;
+use phylo::tree::CoalescentIntervals;
+use phylo::{GeneTree, PhyloError};
+
+use crate::sampler::{LamarcSampler, SamplerConfig, SamplerRun};
+
+/// Configuration of a multi-chain run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiChainConfig {
+    /// Number of independent chains (the `P` of Section 3).
+    pub n_chains: usize,
+    /// Burn-in transitions per chain (`B`).
+    pub burn_in: usize,
+    /// Total pooled samples wanted across all chains (`N`).
+    pub total_samples: usize,
+    /// The driving θ.
+    pub theta: f64,
+}
+
+impl Default for MultiChainConfig {
+    fn default() -> Self {
+        MultiChainConfig { n_chains: 4, burn_in: 1_000, total_samples: 10_000, theta: 1.0 }
+    }
+}
+
+/// The outcome of a multi-chain run.
+#[derive(Debug, Clone)]
+pub struct MultiChainRun {
+    /// The per-chain runs.
+    pub chains: Vec<SamplerRun>,
+    /// Pooled post-burn-in interval summaries across all chains.
+    pub pooled: Vec<CoalescentIntervals>,
+    /// Transitions performed per chain (`B + N/P`).
+    pub transitions_per_chain: usize,
+    /// Total transitions performed across all chains (`P·B + N`).
+    pub total_transitions: usize,
+}
+
+impl MultiChainRun {
+    /// The idealised per-chain cost `B + N/P` of Section 3 for this
+    /// configuration (what a wall-clock measurement would approach with one
+    /// chain per processor).
+    pub fn ideal_parallel_cost(config: &MultiChainConfig) -> f64 {
+        config.burn_in as f64 + config.total_samples as f64 / config.n_chains as f64
+    }
+
+    /// Fraction of all work spent in burn-in.
+    pub fn burn_in_fraction(&self, config: &MultiChainConfig) -> f64 {
+        (config.n_chains * config.burn_in) as f64 / self.total_transitions as f64
+    }
+}
+
+/// Run `P` independent chains over clones of the same likelihood engine and
+/// pool their samples. Each chain gets a decorrelated RNG stream derived from
+/// `seed`.
+pub fn run_multi_chain<E>(
+    engine_factory: impl Fn() -> E + Sync,
+    initial: &GeneTree,
+    config: &MultiChainConfig,
+    seed: u64,
+) -> Result<MultiChainRun, PhyloError>
+where
+    E: LikelihoodEngine,
+{
+    if config.n_chains == 0 {
+        return Err(PhyloError::InvalidParameter {
+            name: "n_chains",
+            value: 0.0,
+            constraint: "at least one chain",
+        });
+    }
+    let per_chain_samples = config.total_samples.div_ceil(config.n_chains);
+    let sampler_config = SamplerConfig {
+        theta: config.theta,
+        burn_in: config.burn_in,
+        samples: per_chain_samples,
+        thinning: 1,
+        proposal: Default::default(),
+    };
+
+    // Derive one independent seed per chain up front.
+    let mut seeder = SplitMix64::new(seed);
+    let seeds: Vec<u32> = (0..config.n_chains).map(|_| seeder.next_seed32()).collect();
+
+    // Run the chains on scoped threads (crossbeam): with one chain per
+    // processor this is exactly the work-around of Section 3.
+    let chain_results: Vec<Result<SamplerRun, PhyloError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&chain_seed| {
+                    let engine = engine_factory();
+                    let tree = initial.clone();
+                    let cfg = sampler_config;
+                    scope.spawn(move |_| {
+                        let mut rng = Mt19937::new(chain_seed);
+                        let sampler = LamarcSampler::new(engine, cfg)?;
+                        sampler.run(tree, &mut rng)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
+        })
+        .expect("crossbeam scope failed");
+
+    let mut chains = Vec::with_capacity(config.n_chains);
+    for result in chain_results {
+        chains.push(result?);
+    }
+    let pooled: Vec<CoalescentIntervals> = chains
+        .iter()
+        .flat_map(|run| run.samples.iter().map(|s| s.intervals.clone()))
+        .collect();
+    let transitions_per_chain = config.burn_in + per_chain_samples;
+    Ok(MultiChainRun {
+        pooled,
+        transitions_per_chain,
+        total_transitions: transitions_per_chain * config.n_chains,
+        chains,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
+    use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use mcmc::diagnostics::gelman_rubin;
+    use phylo::model::Jc69;
+    use phylo::{upgma_tree, Alignment, FelsensteinPruner};
+
+    fn simulated_alignment(seed: u32, n: usize, sites: usize, theta: f64) -> Alignment {
+        let mut rng = Mt19937::new(seed);
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n).unwrap();
+        SequenceSimulator::new(Jc69::new(), sites, 1.0)
+            .unwrap()
+            .simulate(&mut rng, &tree)
+            .unwrap()
+    }
+
+    #[test]
+    fn pooled_samples_and_work_accounting() {
+        let alignment = simulated_alignment(61, 5, 60, 1.0);
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config =
+            MultiChainConfig { n_chains: 3, burn_in: 50, total_samples: 300, theta: 1.0 };
+        let run = run_multi_chain(
+            || FelsensteinPruner::new(&alignment, Jc69::new()),
+            &initial,
+            &config,
+            99,
+        )
+        .unwrap();
+        assert_eq!(run.chains.len(), 3);
+        assert_eq!(run.pooled.len(), 300);
+        assert_eq!(run.transitions_per_chain, 50 + 100);
+        assert_eq!(run.total_transitions, 450);
+        // The ideal parallel cost matches B + N/P.
+        assert_eq!(MultiChainRun::ideal_parallel_cost(&config), 150.0);
+        assert!((run.burn_in_fraction(&config) - 150.0 / 450.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chains_converge_to_the_same_distribution() {
+        let alignment = simulated_alignment(67, 6, 80, 1.0);
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config =
+            MultiChainConfig { n_chains: 3, burn_in: 300, total_samples: 2_400, theta: 1.0 };
+        let run = run_multi_chain(
+            || FelsensteinPruner::new(&alignment, Jc69::new()),
+            &initial,
+            &config,
+            7,
+        )
+        .unwrap();
+        // Gelman-Rubin on the per-chain tree depths.
+        let depth_chains: Vec<Vec<f64>> = run
+            .chains
+            .iter()
+            .map(|c| c.samples.iter().map(|s| s.intervals.depth()).collect())
+            .collect();
+        let r_hat = gelman_rubin(&depth_chains).unwrap();
+        assert!(r_hat < 1.2, "chains disagree: R-hat = {r_hat}");
+
+        // The pooled estimate is usable by the maximiser.
+        let rl = RelativeLikelihood::new(1.0, &run.pooled).unwrap();
+        let mle = maximize_relative_likelihood(&rl, &GradientAscentConfig::default());
+        assert!(mle > 0.0 && mle.is_finite());
+    }
+
+    #[test]
+    fn more_chains_mean_more_total_burn_in_work() {
+        // The point of Figure 6: pooled sample size is fixed, but the burn-in
+        // work scales with the chain count.
+        let alignment = simulated_alignment(71, 4, 40, 1.0);
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let mut totals = Vec::new();
+        for p in [1usize, 2, 4] {
+            let config =
+                MultiChainConfig { n_chains: p, burn_in: 40, total_samples: 120, theta: 1.0 };
+            let run = run_multi_chain(
+                || FelsensteinPruner::new(&alignment, Jc69::new()),
+                &initial,
+                &config,
+                3,
+            )
+            .unwrap();
+            totals.push(run.total_transitions);
+        }
+        assert!(totals[0] < totals[1] && totals[1] < totals[2]);
+    }
+
+    #[test]
+    fn zero_chains_is_rejected() {
+        let alignment = simulated_alignment(73, 4, 40, 1.0);
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config = MultiChainConfig { n_chains: 0, ..Default::default() };
+        assert!(run_multi_chain(
+            || FelsensteinPruner::new(&alignment, Jc69::new()),
+            &initial,
+            &config,
+            1,
+        )
+        .is_err());
+    }
+}

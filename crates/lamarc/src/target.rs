@@ -1,0 +1,105 @@
+//! The posterior pieces of the genealogy samplers (Eq. 24).
+//!
+//! A genealogy is scored by two factors: the data likelihood `P(D|G)`
+//! computed by Felsenstein pruning over the alignment, and the coalescent
+//! prior `P(G|θ)` of Eq. 18. Their product (sum in log domain) is the
+//! unnormalised posterior `P(G|D,θ)` that both samplers target.
+
+use coalescent::KingmanPrior;
+use phylo::likelihood::LikelihoodEngine;
+use phylo::{GeneTree, PhyloError};
+
+/// The sampler target: data likelihood plus coalescent prior for a fixed
+/// driving θ.
+#[derive(Debug, Clone)]
+pub struct GenealogyTarget<E> {
+    engine: E,
+    prior: KingmanPrior,
+}
+
+impl<E: LikelihoodEngine> GenealogyTarget<E> {
+    /// Create a target from a likelihood engine and a driving θ.
+    pub fn new(engine: E, theta: f64) -> Result<Self, PhyloError> {
+        let prior = KingmanPrior::new(theta).map_err(|_| PhyloError::InvalidParameter {
+            name: "theta",
+            value: theta,
+            constraint: "theta > 0",
+        })?;
+        Ok(GenealogyTarget { engine, prior })
+    }
+
+    /// The driving θ.
+    pub fn theta(&self) -> f64 {
+        self.prior.theta()
+    }
+
+    /// The likelihood engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// `ln P(D|G)`.
+    pub fn log_data_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
+        self.engine.log_likelihood(tree)
+    }
+
+    /// `ln P(G|θ)`.
+    pub fn log_prior(&self, tree: &GeneTree) -> f64 {
+        self.prior.log_prior(tree)
+    }
+
+    /// `ln P(D|G) + ln P(G|θ)`, the unnormalised log posterior of Eq. 24.
+    pub fn log_posterior(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
+        Ok(self.log_data_likelihood(tree)? + self.log_prior(tree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::model::Jc69;
+    use phylo::tree::TreeBuilder;
+    use phylo::{Alignment, FelsensteinPruner};
+
+    fn setup() -> (GenealogyTarget<FelsensteinPruner<Jc69>>, GeneTree) {
+        let alignment =
+            Alignment::from_letters(&[("a", "ACGTACGT"), ("b", "ACGTACGA"), ("c", "ACGAACGA")])
+                .unwrap();
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("a", 0.0);
+        let y = b.add_tip("b", 0.0);
+        let z = b.add_tip("c", 0.0);
+        let v = b.join(x, y, 0.1);
+        b.join(v, z, 0.3);
+        (GenealogyTarget::new(engine, 1.0).unwrap(), b.build().unwrap())
+    }
+
+    #[test]
+    fn posterior_is_sum_of_likelihood_and_prior() {
+        let (target, tree) = setup();
+        let data = target.log_data_likelihood(&tree).unwrap();
+        let prior = target.log_prior(&tree);
+        let posterior = target.log_posterior(&tree).unwrap();
+        assert!((posterior - (data + prior)).abs() < 1e-12);
+        assert!(data < 0.0);
+        assert!(posterior.is_finite());
+        assert_eq!(target.theta(), 1.0);
+        assert_eq!(target.engine().n_sequences(), 3);
+    }
+
+    #[test]
+    fn invalid_theta_is_rejected() {
+        let alignment = Alignment::from_letters(&[("a", "ACGT"), ("b", "ACGA")]).unwrap();
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        assert!(GenealogyTarget::new(engine, 0.0).is_err());
+    }
+
+    #[test]
+    fn prior_prefers_heights_commensurate_with_theta() {
+        let (target, tree) = setup();
+        let mut tall = tree.clone();
+        tall.scale_times(50.0);
+        assert!(target.log_prior(&tree) > target.log_prior(&tall));
+    }
+}

@@ -1,0 +1,216 @@
+//! Chain schedules and traces.
+//!
+//! A [`ChainSchedule`] describes how long a chain runs, how many of its first
+//! transitions are discarded as burn-in (Section 2.3), and how aggressively
+//! the post-burn-in states are thinned. A [`Trace`] stores scalar summaries
+//! of the visited states for diagnostics and plotting (the burn-in trace of
+//! Figure 2 is produced from one).
+
+use crate::error::McmcError;
+
+/// How a Markov chain run is scheduled: burn-in, retained samples, thinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSchedule {
+    /// Number of initial transitions discarded (the burn-in period `B`).
+    pub burn_in: usize,
+    /// Number of samples retained after burn-in (`N`).
+    pub samples: usize,
+    /// Keep every `thinning`-th post-burn-in state (1 = keep all).
+    pub thinning: usize,
+}
+
+impl ChainSchedule {
+    /// Create a schedule, validating that it will produce at least one sample.
+    pub fn new(burn_in: usize, samples: usize, thinning: usize) -> Result<Self, McmcError> {
+        if samples == 0 {
+            return Err(McmcError::InvalidSchedule { reason: "samples must be > 0".into() });
+        }
+        if thinning == 0 {
+            return Err(McmcError::InvalidSchedule { reason: "thinning must be >= 1".into() });
+        }
+        Ok(ChainSchedule { burn_in, samples, thinning })
+    }
+
+    /// Total number of Markov transitions the schedule requires
+    /// (`B + N * thinning`).
+    pub fn total_transitions(&self) -> usize {
+        self.burn_in + self.samples * self.thinning
+    }
+
+    /// The idealised parallel cost `B + N/P` of Section 3 / Figure 6 for the
+    /// multi-chain work-around: each of `p` chains pays the full burn-in but
+    /// only `N/P` of the sampling work.
+    pub fn multichain_cost(&self, p: usize) -> f64 {
+        assert!(p > 0, "processor count must be positive");
+        self.burn_in as f64 + (self.samples * self.thinning) as f64 / p as f64
+    }
+
+    /// The idealised cost when the burn-in itself is parallelised, i.e. the
+    /// generalized-MH scheme: `(B + N)/P`.
+    pub fn parallel_burnin_cost(&self, p: usize) -> f64 {
+        assert!(p > 0, "processor count must be positive");
+        self.total_transitions() as f64 / p as f64
+    }
+}
+
+impl Default for ChainSchedule {
+    fn default() -> Self {
+        ChainSchedule { burn_in: 1_000, samples: 10_000, thinning: 1 }
+    }
+}
+
+/// A recorded trace of scalar chain statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    values: Vec<f64>,
+    burn_in: usize,
+}
+
+impl Trace {
+    /// Create an empty trace whose first `burn_in` recorded values belong to
+    /// the burn-in period.
+    pub fn with_burn_in(burn_in: usize) -> Self {
+        Trace { values: Vec::new(), burn_in }
+    }
+
+    /// Create a trace directly from values (all treated as post-burn-in).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Trace { values, burn_in: 0 }
+    }
+
+    /// Record one value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// All recorded values including burn-in.
+    pub fn all(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Values recorded after the burn-in boundary.
+    pub fn post_burn_in(&self) -> &[f64] {
+        if self.burn_in >= self.values.len() {
+            &[]
+        } else {
+            &self.values[self.burn_in..]
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The burn-in boundary.
+    pub fn burn_in(&self) -> usize {
+        self.burn_in
+    }
+
+    /// Re-declare where the burn-in boundary is (useful when it is determined
+    /// post hoc from the trace itself).
+    pub fn set_burn_in(&mut self, burn_in: usize) {
+        self.burn_in = burn_in;
+    }
+
+    /// Mean of the post-burn-in values.
+    pub fn mean(&self) -> Option<f64> {
+        let xs = self.post_burn_in();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+
+    /// Unbiased sample variance of the post-burn-in values.
+    pub fn variance(&self) -> Option<f64> {
+        let xs = self.post_burn_in();
+        if xs.len() < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        Some(xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_validation() {
+        assert!(ChainSchedule::new(10, 100, 1).is_ok());
+        assert!(matches!(
+            ChainSchedule::new(10, 0, 1),
+            Err(McmcError::InvalidSchedule { .. })
+        ));
+        assert!(matches!(
+            ChainSchedule::new(10, 100, 0),
+            Err(McmcError::InvalidSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_transition_counts() {
+        let s = ChainSchedule::new(100, 1_000, 2).unwrap();
+        assert_eq!(s.total_transitions(), 100 + 2_000);
+        let d = ChainSchedule::default();
+        assert_eq!(d.total_transitions(), 11_000);
+    }
+
+    #[test]
+    fn multichain_cost_reproduces_figure6_arithmetic() {
+        // Figure 6: B = 4, N = 4. With P chains each pays B + N/P.
+        let s = ChainSchedule::new(4, 4, 1).unwrap();
+        assert_eq!(s.multichain_cost(1), 8.0);
+        assert_eq!(s.multichain_cost(2), 6.0);
+        assert_eq!(s.multichain_cost(4), 5.0);
+        // Amdahl limit: cost tends to B as P grows.
+        assert!((s.multichain_cost(1_000_000) - 4.0).abs() < 1e-3);
+        // The generalized scheme keeps dividing.
+        assert_eq!(s.parallel_burnin_cost(4), 2.0);
+        assert!(s.parallel_burnin_cost(8) < s.multichain_cost(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn multichain_cost_rejects_zero_processors() {
+        ChainSchedule::default().multichain_cost(0);
+    }
+
+    #[test]
+    fn trace_burn_in_split() {
+        let mut t = Trace::with_burn_in(3);
+        for v in [10.0, 11.0, 12.0, 1.0, 2.0, 3.0] {
+            t.push(v);
+        }
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.burn_in(), 3);
+        assert_eq!(t.post_burn_in(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.mean(), Some(2.0));
+        assert_eq!(t.variance(), Some(1.0));
+        assert_eq!(t.all().len(), 6);
+    }
+
+    #[test]
+    fn trace_edge_cases() {
+        let t = Trace::with_burn_in(5);
+        assert!(t.is_empty());
+        assert!(t.post_burn_in().is_empty());
+        assert_eq!(t.mean(), None);
+        assert_eq!(t.variance(), None);
+
+        let mut t = Trace::from_values(vec![4.0]);
+        assert_eq!(t.mean(), Some(4.0));
+        assert_eq!(t.variance(), None);
+        t.set_burn_in(1);
+        assert_eq!(t.mean(), None);
+    }
+}

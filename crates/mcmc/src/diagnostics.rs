@@ -1,0 +1,307 @@
+//! Chain diagnostics: summary statistics, autocorrelation, effective sample
+//! size, and the Gelman–Rubin potential scale reduction factor.
+//!
+//! Section 2.3 of the paper discusses the difficulty of judging burn-in and
+//! convergence; these are the standard tools used to do so in practice (and
+//! the tools the integration tests use to demonstrate that the multi-proposal
+//! sampler converges to the same distribution as the baseline).
+
+use crate::error::McmcError;
+
+/// Summary statistics of a scalar sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Standard deviation (sqrt of variance).
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Median (by sorting).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute a summary of the values.
+    pub fn of(values: &[f64]) -> Result<Summary, McmcError> {
+        if values.is_empty() {
+            return Err(McmcError::InsufficientSamples { available: 0, required: 1 });
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Ok(Summary {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// The Monte-Carlo standard error `sd / sqrt(n)` (the 1/√N convergence
+    /// rate quoted in Section 2.2).
+    pub fn standard_error(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+/// Sample autocorrelation at the given lag.
+///
+/// Returns `None` when the lag is not smaller than the series length or the
+/// series has no variance.
+pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
+    let n = values.len();
+    if lag >= n || n < 2 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let denom: f64 = values.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let num: f64 =
+        (0..n - lag).map(|i| (values[i] - mean) * (values[i + lag] - mean)).sum();
+    Some(num / denom)
+}
+
+/// Effective sample size using the initial positive sequence estimator
+/// (Geyer 1992): sum autocorrelations in pairs and truncate at the first pair
+/// whose sum is non-positive.
+///
+/// Returns `n` for an i.i.d. (or anti-correlated) series and a value well
+/// below `n` for a sticky chain.
+pub fn effective_sample_size(values: &[f64]) -> Result<f64, McmcError> {
+    let n = values.len();
+    if n < 4 {
+        return Err(McmcError::InsufficientSamples { available: n, required: 4 });
+    }
+    let mut sum_rho = 0.0f64;
+    let max_lag = n - 2;
+    let mut lag = 1usize;
+    while lag + 1 <= max_lag {
+        let rho_a = autocorrelation(values, lag).unwrap_or(0.0);
+        let rho_b = autocorrelation(values, lag + 1).unwrap_or(0.0);
+        let pair = rho_a + rho_b;
+        if pair <= 0.0 {
+            break;
+        }
+        sum_rho += pair;
+        lag += 2;
+        // Don't scan absurdly far for long series; the tail contributes noise.
+        if lag > 1_000 {
+            break;
+        }
+    }
+    let ess = n as f64 / (1.0 + 2.0 * sum_rho);
+    Ok(ess.clamp(1.0, n as f64))
+}
+
+/// Gelman–Rubin potential scale reduction factor R̂ across multiple chains.
+///
+/// Values close to 1.0 indicate the chains are sampling the same
+/// distribution; values substantially above 1.1 indicate non-convergence
+/// (insufficient burn-in — exactly the multi-chain check described at the end
+/// of Section 2.3).
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> Result<f64, McmcError> {
+    let m = chains.len();
+    if m < 2 {
+        return Err(McmcError::InsufficientSamples { available: m, required: 2 });
+    }
+    let n = chains.iter().map(|c| c.len()).min().unwrap_or(0);
+    if n < 4 {
+        return Err(McmcError::InsufficientSamples { available: n, required: 4 });
+    }
+    // Truncate all chains to the common length n.
+    let means: Vec<f64> =
+        chains.iter().map(|c| c[..n].iter().sum::<f64>() / n as f64).collect();
+    let grand_mean = means.iter().sum::<f64>() / m as f64;
+    // Between-chain variance.
+    let b = n as f64 / (m as f64 - 1.0)
+        * means.iter().map(|mu| (mu - grand_mean).powi(2)).sum::<f64>();
+    // Within-chain variance.
+    let w = chains
+        .iter()
+        .zip(&means)
+        .map(|(c, mu)| {
+            c[..n].iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w <= 0.0 {
+        // All chains constant: perfectly converged by definition.
+        return Ok(1.0);
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    Ok((var_plus / w).sqrt())
+}
+
+/// A crude automatic burn-in detector: the first index after which the
+/// running mean of the series stays within `tol` standard deviations of the
+/// final mean. Used by the burn-in trace harness (Figure 2) to annotate where
+/// convergence visually happens; it is deliberately conservative.
+pub fn detect_burn_in(values: &[f64], tol: f64) -> usize {
+    let n = values.len();
+    if n < 10 {
+        return 0;
+    }
+    let tail = &values[n / 2..];
+    let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    let tail_sd = (tail.iter().map(|x| (x - tail_mean).powi(2)).sum::<f64>()
+        / tail.len() as f64)
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
+    for (i, &v) in values.iter().enumerate() {
+        if (v - tail_mean).abs() <= tol * tail_sd {
+            return i;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::dist::standard_normal;
+    use crate::rng::Mt19937;
+
+    #[test]
+    fn summary_basic_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.variance - 2.5).abs() < 1e-12);
+        assert!((s.standard_error() - (2.5f64).sqrt() / 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_even_length_median_and_single_value() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        let s1 = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s1.variance, 0.0);
+        assert_eq!(s1.median, 7.0);
+        assert!(Summary::of(&[]).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_series_is_small() {
+        let mut rng = Mt19937::new(44);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        let r5 = autocorrelation(&xs, 5).unwrap();
+        assert!(r1.abs() < 0.03, "lag-1 autocorrelation {r1}");
+        assert!(r5.abs() < 0.03, "lag-5 autocorrelation {r5}");
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_ar1_series_matches_phi() {
+        let mut rng = Mt19937::new(45);
+        let phi = 0.8;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = phi * x + standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        assert!((r1 - phi).abs() < 0.03, "lag-1 {r1} should be near {phi}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0], 0), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[2.0, 2.0, 2.0], 1), None);
+    }
+
+    #[test]
+    fn ess_iid_is_close_to_n_and_correlated_is_smaller() {
+        let mut rng = Mt19937::new(46);
+        let iid: Vec<f64> = (0..5_000).map(|_| standard_normal(&mut rng)).collect();
+        let ess_iid = effective_sample_size(&iid).unwrap();
+        assert!(ess_iid > 3_000.0, "iid ESS {ess_iid}");
+
+        let phi = 0.95;
+        let mut x = 0.0;
+        let ar: Vec<f64> = (0..5_000)
+            .map(|_| {
+                x = phi * x + standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let ess_ar = effective_sample_size(&ar).unwrap();
+        assert!(ess_ar < 1_000.0, "AR(1) ESS {ess_ar} should be far below n");
+        assert!(ess_ar >= 1.0);
+
+        assert!(effective_sample_size(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gelman_rubin_converged_chains_near_one() {
+        let mut rng = Mt19937::new(47);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..2_000).map(|_| standard_normal(&mut rng)).collect())
+            .collect();
+        let r = gelman_rubin(&chains).unwrap();
+        assert!((r - 1.0).abs() < 0.02, "R-hat {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_detects_divergent_chains() {
+        let mut rng = Mt19937::new(48);
+        let a: Vec<f64> = (0..1_000).map(|_| standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = (0..1_000).map(|_| 10.0 + standard_normal(&mut rng)).collect();
+        let r = gelman_rubin(&[a, b]).unwrap();
+        assert!(r > 3.0, "R-hat {r} should flag the 10-sigma offset");
+    }
+
+    #[test]
+    fn gelman_rubin_edge_cases() {
+        assert!(gelman_rubin(&[vec![1.0, 2.0, 3.0, 4.0]]).is_err());
+        assert!(gelman_rubin(&[vec![1.0], vec![2.0]]).is_err());
+        // Constant chains are converged by definition.
+        let r = gelman_rubin(&[vec![2.0; 10], vec![2.0; 10]]).unwrap();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn detect_burn_in_finds_transient() {
+        // A series that starts at 100 and decays to noise around zero.
+        let mut rng = Mt19937::new(49);
+        let values: Vec<f64> = (0..500)
+            .map(|i| 100.0 * (-(i as f64) / 30.0).exp() + 0.1 * standard_normal(&mut rng))
+            .collect();
+        let b = detect_burn_in(&values, 3.0);
+        assert!(b > 10 && b < 400, "burn-in estimate {b}");
+        // Already-converged series needs no burn-in.
+        let flat: Vec<f64> = (0..100).map(|_| standard_normal(&mut rng)).collect();
+        assert!(detect_burn_in(&flat, 3.0) <= 2);
+        // Tiny series returns zero.
+        assert_eq!(detect_burn_in(&[1.0, 2.0], 3.0), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Log-domain probability arithmetic (underflow avoidance, Section 5.3).
+//!
+//! Likelihoods of genealogies are products over hundreds of sites of numbers
+//! much smaller than one; stored naively they underflow even in double
+//! precision. Following Section 5.3 every probability in this workspace is
+//! carried as its natural logarithm, additions use the max-shifted
+//! log-sum-exp identity (Eq. 32 of the paper), and [`LogProb`] gives the
+//! pattern a small newtype so intent is visible in signatures.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+
+/// Numerically stable `ln(Σ exp(x_i))`.
+///
+/// Implements Eq. 32: the maximum is factored out so at least one term of the
+/// inner sum is exactly 1 and none can overflow. Empty input and all-`-inf`
+/// input return `-inf` (the log of zero mass); any `+inf` input returns
+/// `+inf`; a `NaN` input propagates.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        if x.is_nan() {
+            return f64::NAN;
+        }
+        if x > max {
+            max = x;
+        }
+    }
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if max == f64::INFINITY {
+        return f64::INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))` for two values.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return f64::NAN;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Normalise log weights into linear-domain probabilities that sum to one.
+///
+/// Returns an empty vector if the input has no finite mass.
+pub fn normalize_log_weights(log_weights: &[f64]) -> Vec<f64> {
+    let norm = log_sum_exp(log_weights);
+    if !norm.is_finite() {
+        return Vec::new();
+    }
+    log_weights.iter().map(|&lw| (lw - norm).exp()).collect()
+}
+
+/// The mean of linear-domain values supplied as logs, returned as a log:
+/// `ln((1/n) Σ exp(x_i))`.
+///
+/// This is the form of the relative-likelihood estimator of Eq. 26.
+pub fn log_mean_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    log_sum_exp(xs) - (xs.len() as f64).ln()
+}
+
+/// A probability (or likelihood) stored as its natural logarithm.
+///
+/// Multiplication of probabilities is addition of `LogProb`s; addition of
+/// probabilities uses [`log_add_exp`]. The type is a transparent `f64`
+/// wrapper: `value()` returns the stored log, [`LogProb::linear`] exponentiates.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogProb(f64);
+
+impl LogProb {
+    /// The log-probability of an impossible event (probability zero).
+    pub const ZERO: LogProb = LogProb(f64::NEG_INFINITY);
+    /// The log-probability of a certain event (probability one).
+    pub const ONE: LogProb = LogProb(0.0);
+
+    /// Wrap an already-log-domain value.
+    pub fn new(log_value: f64) -> Self {
+        LogProb(log_value)
+    }
+
+    /// Convert a linear-domain probability into log domain.
+    ///
+    /// # Panics
+    /// Panics if `p` is negative or NaN.
+    pub fn from_linear(p: f64) -> Self {
+        assert!(p >= 0.0 && !p.is_nan(), "probabilities must be non-negative, got {p}");
+        LogProb(p.ln())
+    }
+
+    /// The stored log value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Exponentiate back to linear domain (may underflow to 0.0, which is the
+    /// entire reason this type exists).
+    pub fn linear(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Whether this represents exactly zero probability.
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Whether the stored log value is finite or `-inf` (i.e. not NaN/`+inf`).
+    pub fn is_valid(self) -> bool {
+        !self.0.is_nan() && self.0 != f64::INFINITY
+    }
+}
+
+impl Default for LogProb {
+    fn default() -> Self {
+        LogProb::ONE
+    }
+}
+
+/// Product of probabilities: addition in log space.
+impl Mul for LogProb {
+    type Output = LogProb;
+    fn mul(self, rhs: LogProb) -> LogProb {
+        LogProb(self.0 + rhs.0)
+    }
+}
+
+impl MulAssign for LogProb {
+    fn mul_assign(&mut self, rhs: LogProb) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Ratio of probabilities: subtraction in log space.
+impl Div for LogProb {
+    type Output = LogProb;
+    fn div(self, rhs: LogProb) -> LogProb {
+        LogProb(self.0 - rhs.0)
+    }
+}
+
+/// Sum of probabilities: log-add-exp.
+impl Add for LogProb {
+    type Output = LogProb;
+    fn add(self, rhs: LogProb) -> LogProb {
+        LogProb(log_add_exp(self.0, rhs.0))
+    }
+}
+
+impl AddAssign for LogProb {
+    fn add_assign(&mut self, rhs: LogProb) {
+        self.0 = log_add_exp(self.0, rhs.0);
+    }
+}
+
+/// `p - q` in linear domain, valid only when `p >= q`; result stays in log
+/// domain. Useful for complementary probabilities.
+impl Sub for LogProb {
+    type Output = LogProb;
+    fn sub(self, rhs: LogProb) -> LogProb {
+        if rhs.is_zero() {
+            return self;
+        }
+        debug_assert!(
+            rhs.0 <= self.0 + 1e-12,
+            "LogProb subtraction would be negative: {} - {}",
+            self.0,
+            rhs.0
+        );
+        let d = rhs.0 - self.0;
+        // ln(e^a - e^b) = a + ln(1 - e^{b-a})
+        LogProb(self.0 + (-(d.exp())).ln_1p())
+    }
+}
+
+impl Sum for LogProb {
+    fn sum<I: Iterator<Item = LogProb>>(iter: I) -> LogProb {
+        let logs: Vec<f64> = iter.map(|p| p.0).collect();
+        LogProb(log_sum_exp(&logs))
+    }
+}
+
+impl From<f64> for LogProb {
+    /// Interprets the `f64` as an already-log-domain value.
+    fn from(log_value: f64) -> Self {
+        LogProb(log_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct_sum_for_moderate_values() {
+        let xs = [0.1f64, -1.2, 2.3, 0.0];
+        let direct: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!(close(log_sum_exp(&xs), direct, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_survives_extreme_magnitudes() {
+        let xs = [-1e6, -1e6 + 1.0];
+        let got = log_sum_exp(&xs);
+        let expect = -1e6 + (1.0 + 1f64.exp()).ln();
+        assert!(close(got, expect, 1e-9), "{got} vs {expect}");
+    }
+
+    #[test]
+    fn log_sum_exp_edge_cases() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::INFINITY, 0.0]), f64::INFINITY);
+        assert!(log_sum_exp(&[f64::NAN, 0.0]).is_nan());
+        // Singleton is identity.
+        assert!(close(log_sum_exp(&[-3.25]), -3.25, 1e-15));
+    }
+
+    #[test]
+    fn log_add_exp_agrees_with_log_sum_exp() {
+        for &(a, b) in &[(0.0, 0.0), (-700.0, -701.0), (5.0, -5.0), (f64::NEG_INFINITY, -2.0)] {
+            assert!(close(log_add_exp(a, b), log_sum_exp(&[a, b]), 1e-12), "({a},{b})");
+        }
+        assert_eq!(
+            log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        assert!(log_add_exp(f64::NAN, 1.0).is_nan());
+    }
+
+    #[test]
+    fn normalize_log_weights_sums_to_one() {
+        let lw = [-500.0, -501.0, -499.5];
+        let p = normalize_log_weights(&lw);
+        assert_eq!(p.len(), 3);
+        assert!(close(p.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(p[2] > p[0] && p[0] > p[1]);
+        assert!(normalize_log_weights(&[f64::NEG_INFINITY]).is_empty());
+        assert!(normalize_log_weights(&[]).is_empty());
+    }
+
+    #[test]
+    fn log_mean_exp_is_mean_in_linear_domain() {
+        let xs = [0.0f64, (2.0f64).ln()];
+        // mean of 1 and 2 = 1.5
+        assert!(close(log_mean_exp(&xs), 1.5f64.ln(), 1e-12));
+        assert_eq!(log_mean_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logprob_multiplication_is_addition_of_logs() {
+        let a = LogProb::from_linear(0.5);
+        let b = LogProb::from_linear(0.25);
+        assert!(close((a * b).linear(), 0.125, 1e-12));
+        let mut c = a;
+        c *= b;
+        assert!(close(c.linear(), 0.125, 1e-12));
+    }
+
+    #[test]
+    fn logprob_addition_is_linear_sum() {
+        let a = LogProb::from_linear(0.5);
+        let b = LogProb::from_linear(0.25);
+        assert!(close((a + b).linear(), 0.75, 1e-12));
+        let mut c = a;
+        c += b;
+        assert!(close(c.linear(), 0.75, 1e-12));
+    }
+
+    #[test]
+    fn logprob_subtraction_and_division() {
+        let a = LogProb::from_linear(0.75);
+        let b = LogProb::from_linear(0.25);
+        assert!(close((a - b).linear(), 0.5, 1e-12));
+        assert!(close((a / b).linear(), 3.0, 1e-12));
+        // Subtracting zero is identity.
+        assert_eq!((a - LogProb::ZERO).value(), a.value());
+    }
+
+    #[test]
+    fn logprob_constants_and_predicates() {
+        assert!(LogProb::ZERO.is_zero());
+        assert!(!LogProb::ONE.is_zero());
+        assert!(LogProb::ONE.is_valid());
+        assert!(LogProb::ZERO.is_valid());
+        assert!(!LogProb::new(f64::NAN).is_valid());
+        assert!(!LogProb::new(f64::INFINITY).is_valid());
+        assert_eq!(LogProb::default(), LogProb::ONE);
+        assert_eq!(LogProb::ONE.linear(), 1.0);
+        assert_eq!(LogProb::ZERO.linear(), 0.0);
+    }
+
+    #[test]
+    fn logprob_sum_over_iterator() {
+        let parts = vec![LogProb::from_linear(0.1), LogProb::from_linear(0.2), LogProb::from_linear(0.3)];
+        let total: LogProb = parts.into_iter().sum();
+        assert!(close(total.linear(), 0.6, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn logprob_from_linear_rejects_negative() {
+        let _ = LogProb::from_linear(-0.1);
+    }
+
+    #[test]
+    fn logprob_ordering_matches_linear_ordering() {
+        let a = LogProb::from_linear(0.1);
+        let b = LogProb::from_linear(0.9);
+        assert!(a < b);
+        assert!(LogProb::ZERO < a);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn log_sum_exp_ge_max(xs in proptest::collection::vec(-500.0f64..500.0, 1..50)) {
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = log_sum_exp(&xs);
+            prop_assert!(lse >= max - 1e-9);
+            prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-9);
+        }
+
+        #[test]
+        fn normalize_is_a_distribution(xs in proptest::collection::vec(-2000.0f64..0.0, 1..40)) {
+            let p = normalize_log_weights(&xs);
+            prop_assert_eq!(p.len(), xs.len());
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+
+        #[test]
+        fn logprob_mul_commutes(a in -700.0f64..0.0, b in -700.0f64..0.0) {
+            let x = LogProb::new(a) * LogProb::new(b);
+            let y = LogProb::new(b) * LogProb::new(a);
+            prop_assert!((x.value() - y.value()).abs() < 1e-12);
+        }
+
+        #[test]
+        fn logprob_add_commutes_and_dominates(a in -700.0f64..0.0, b in -700.0f64..0.0) {
+            let x = LogProb::new(a) + LogProb::new(b);
+            let y = LogProb::new(b) + LogProb::new(a);
+            prop_assert!((x.value() - y.value()).abs() < 1e-12);
+            prop_assert!(x.value() >= a.max(b) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Hand-rolled samplers for the distributions the samplers need.
+//!
+//! Only `rand`'s uniform primitives are used; everything else (exponential,
+//! truncated exponential, categorical from log weights, binomial, normal,
+//! gamma-free Poisson) is implemented here so the workspace does not pull in
+//! `rand_distr`. Each sampler is documented with the inversion / rejection
+//! scheme it uses and is covered by statistical unit tests.
+
+use rand::Rng;
+
+use crate::logdomain::log_sum_exp;
+
+/// Sample an exponential random variable with the given `rate` (λ > 0) by
+/// inversion: `-ln(1-U)/λ`.
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive, got {rate}");
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1]; ln of it is finite.
+    -(1.0 - u).ln() / rate
+}
+
+/// Sample an exponential with rate λ conditioned on the value being less than
+/// `bound`, by inversion of the truncated CDF.
+///
+/// Used when placing a coalescent event inside a feasible interval of known
+/// length (Section 4.2): the waiting time is exponential but must fall inside
+/// the interval.
+///
+/// # Panics
+/// Panics if `rate <= 0` or `bound <= 0`.
+pub fn truncated_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64, bound: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+    assert!(bound > 0.0, "bound must be positive, got {bound}");
+    let u: f64 = rng.gen();
+    // CDF on [0, bound]: F(t) = (1 - exp(-rate t)) / (1 - exp(-rate bound)).
+    let z = 1.0 - (-rate * bound).exp();
+    if z <= f64::EPSILON {
+        // Rate * bound so small the distribution is effectively uniform.
+        return u * bound;
+    }
+    let t = -(1.0 - u * z).ln() / rate;
+    t.min(bound)
+}
+
+/// Sample an index from a categorical distribution given unnormalised
+/// probabilities (linear domain).
+///
+/// Returns `None` if the weights are empty or sum to zero / are not finite.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+    if weights.is_empty() || total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    let mut last_valid = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if !(w.is_finite() && w > 0.0) {
+            continue;
+        }
+        last_valid = Some(i);
+        if x < w {
+            return Some(i);
+        }
+        x -= w;
+    }
+    // Floating point slack: fall back to the last positive-weight index.
+    last_valid
+}
+
+/// Sample an index from a categorical distribution given **log** weights.
+///
+/// This is the sampling step of the Generalized Metropolis–Hastings index
+/// chain (Section 4.3): the weights are `log P(D|G̃_i)` values which may be
+/// hundreds of log-units below zero, so normalisation must happen in log
+/// space (Section 5.3).
+///
+/// Returns `None` if no weight is finite.
+pub fn log_categorical<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> Option<usize> {
+    if log_weights.is_empty() {
+        return None;
+    }
+    let norm = log_sum_exp(log_weights);
+    if !norm.is_finite() {
+        return None;
+    }
+    let u: f64 = rng.gen();
+    let mut cum = 0.0f64;
+    let mut last_valid = None;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        let p = (lw - norm).exp();
+        if p > 0.0 {
+            last_valid = Some(i);
+        }
+        cum += p;
+        if u < cum {
+            return Some(i);
+        }
+    }
+    last_valid
+}
+
+/// Sample a binomial(n, p) by direct Bernoulli summation for small n and by
+/// the normal approximation with continuity correction (clamped to [0, n])
+/// for large n.
+///
+/// Wright–Fisher generations (Section 2.4) draw `2N` allele copies per
+/// generation; population sizes in the tests and examples are modest so the
+/// exact path dominates, but the approximation keeps large-population
+/// simulations tractable.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "binomial p must lie in [0,1], got {p}");
+    if p == 0.0 || n == 0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    const EXACT_LIMIT: u64 = 4096;
+    if n <= EXACT_LIMIT {
+        let mut k = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        k
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = standard_normal(rng);
+        let x = (mean + sd * z + 0.5).floor();
+        x.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would make ln(0) = -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a normal with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `sd` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative, got {sd}");
+    mean + sd * standard_normal(rng)
+}
+
+/// Sample a uniform integer in `[0, n)`. Convenience wrapper matching the
+/// auxiliary-variable draw of Section 4.3 (`phi ~ Uniform(1..N)`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    assert!(n > 0, "cannot draw a uniform index from an empty range");
+    rng.gen_range(0..n)
+}
+
+/// Sample from a discrete uniform over the provided slice, returning a
+/// reference to the chosen element.
+///
+/// # Panics
+/// Panics if the slice is empty.
+pub fn choose<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[uniform_index(rng, items.len())]
+}
+
+/// Sample `k` distinct indices from `[0, n)` by partial Fisher–Yates.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Mt19937;
+
+    fn rng() -> Mt19937 {
+        Mt19937::new(20_240_101)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let rate = 2.5;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        let mut r = rng();
+        exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn truncated_exponential_stays_in_bound() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let t = truncated_exponential(&mut r, 0.7, 3.0);
+            assert!((0.0..=3.0).contains(&t), "{t}");
+        }
+    }
+
+    #[test]
+    fn truncated_exponential_tiny_rate_is_uniform_like() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| truncated_exponential(&mut r, 1e-14, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} should be ~1.0 (uniform on [0,2])");
+    }
+
+    #[test]
+    fn truncated_exponential_matches_conditional_mean() {
+        // E[T | T < b] = 1/λ - b·e^{-λb}/(1 - e^{-λb})
+        let mut r = rng();
+        let (rate, bound) = (1.5, 2.0);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| truncated_exponential(&mut r, rate, bound)).sum::<f64>() / n as f64;
+        let expect = 1.0 / rate - bound * (-rate * bound).exp() / (1.0 - (-rate * bound).exp());
+        assert!((mean - expect).abs() < 0.01, "mean {mean} vs expected {expect}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 2.0, 7.0];
+        let n = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[categorical(&mut r, &w).unwrap()] += 1;
+        }
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p2 - 0.7).abs() < 0.02, "p2 {p2}");
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - 0.1).abs() < 0.02, "p0 {p0}");
+    }
+
+    #[test]
+    fn categorical_handles_degenerate_inputs() {
+        let mut r = rng();
+        assert_eq!(categorical(&mut r, &[]), None);
+        assert_eq!(categorical(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(categorical(&mut r, &[f64::NAN, 0.0]), None);
+        // A single positive weight amid zeros always wins.
+        for _ in 0..100 {
+            assert_eq!(categorical(&mut r, &[0.0, 3.0, 0.0]), Some(1));
+        }
+    }
+
+    #[test]
+    fn log_categorical_matches_linear_categorical() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let w = [0.5f64, 1.5, 3.0, 0.25];
+        let lw: Vec<f64> = w.iter().map(|x| x.ln()).collect();
+        let n = 40_000;
+        let mut lin = [0usize; 4];
+        let mut log = [0usize; 4];
+        for _ in 0..n {
+            lin[categorical(&mut r1, &w).unwrap()] += 1;
+            log[log_categorical(&mut r2, &lw).unwrap()] += 1;
+        }
+        for i in 0..4 {
+            let a = lin[i] as f64 / n as f64;
+            let b = log[i] as f64 / n as f64;
+            assert!((a - b).abs() < 0.02, "bucket {i}: linear {a} vs log {b}");
+        }
+    }
+
+    #[test]
+    fn log_categorical_handles_extreme_magnitudes() {
+        let mut r = rng();
+        // Weights far below exp-able range must still normalise correctly.
+        let lw = [-100_000.0, -100_000.0 + (2.0f64).ln()];
+        let n = 30_000;
+        let ones = (0..n).filter(|_| log_categorical(&mut r, &lw) == Some(1)).count();
+        let p1 = ones as f64 / n as f64;
+        assert!((p1 - 2.0 / 3.0).abs() < 0.02, "p1 {p1}");
+    }
+
+    #[test]
+    fn log_categorical_rejects_all_infinite() {
+        let mut r = rng();
+        assert_eq!(log_categorical(&mut r, &[f64::NEG_INFINITY, f64::NEG_INFINITY]), None);
+        assert_eq!(log_categorical(&mut r, &[]), None);
+    }
+
+    #[test]
+    fn binomial_exact_path_mean_and_bounds() {
+        let mut r = rng();
+        let (n_trials, p) = (100u64, 0.3);
+        let reps = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..reps {
+            let k = binomial(&mut r, n_trials, p);
+            assert!(k <= n_trials);
+            sum += k;
+        }
+        let mean = sum as f64 / reps as f64;
+        assert!((mean - 30.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_normal_approximation_path() {
+        let mut r = rng();
+        let (n_trials, p) = (1_000_000u64, 0.5);
+        let reps = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..reps {
+            let k = binomial(&mut r, n_trials, p);
+            assert!(k <= n_trials);
+            sum += k as f64;
+        }
+        let mean = sum / reps as f64;
+        assert!((mean / 500_000.0 - 1.0).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn uniform_index_and_choose_cover_range() {
+        let mut r = rng();
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let i = uniform_index(&mut r, 3);
+            assert!(i < 3);
+            seen[i] = true;
+            let _ = choose(&mut r, &items);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct_and_complete() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_without_replacement(&mut r, 10, 4);
+            assert_eq!(s.len(), 4);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 4);
+            assert!(s.iter().all(|&i| i < 10));
+        }
+        let all = sample_without_replacement(&mut r, 5, 5);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

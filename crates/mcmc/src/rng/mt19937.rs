@@ -1,0 +1,271 @@
+//! MT19937 Mersenne Twister (Matsumoto & Nishimura 1998).
+//!
+//! This is the standard 32-bit variant with the canonical parameters
+//! (n = 624, m = 397, r = 31, a = 0x9908B0DF and the usual tempering
+//! constants). The reference initialisation-by-seed routine (`init_genrand`)
+//! and initialisation-by-array routine (`init_by_array`) are both provided so
+//! that the generator is bit-compatible with the reference C implementation;
+//! the unit tests below check the first outputs against the published
+//! reference sequence for the standard test seed array.
+
+use rand::{Error, RngCore, SeedableRng};
+
+const N: usize = 624;
+const M: usize = 397;
+const MATRIX_A: u32 = 0x9908_b0df;
+const UPPER_MASK: u32 = 0x8000_0000;
+const LOWER_MASK: u32 = 0x7fff_ffff;
+
+/// The MT19937 Mersenne Twister pseudo-random number generator.
+#[derive(Clone)]
+pub struct Mt19937 {
+    state: [u32; N],
+    index: usize,
+}
+
+impl std::fmt::Debug for Mt19937 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937").field("index", &self.index).finish_non_exhaustive()
+    }
+}
+
+impl Mt19937 {
+    /// Create a generator from a 32-bit seed using the reference
+    /// `init_genrand` routine.
+    pub fn new(seed: u32) -> Self {
+        let mut mt = Mt19937 { state: [0u32; N], index: N + 1 };
+        mt.reseed(seed);
+        mt
+    }
+
+    /// Create a generator from a seed array using the reference
+    /// `init_by_array` routine.
+    pub fn from_seed_array(key: &[u32]) -> Self {
+        let mut mt = Mt19937::new(19_650_218);
+        let mut i: usize = 1;
+        let mut j: usize = 0;
+        let mut k = N.max(key.len());
+        while k > 0 {
+            let prev = mt.state[i - 1];
+            mt.state[i] = (mt.state[i] ^ ((prev ^ (prev >> 30)).wrapping_mul(1_664_525)))
+                .wrapping_add(key[j])
+                .wrapping_add(j as u32);
+            i += 1;
+            j += 1;
+            if i >= N {
+                mt.state[0] = mt.state[N - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = N - 1;
+        while k > 0 {
+            let prev = mt.state[i - 1];
+            mt.state[i] = (mt.state[i] ^ ((prev ^ (prev >> 30)).wrapping_mul(1_566_083_941)))
+                .wrapping_sub(i as u32);
+            i += 1;
+            if i >= N {
+                mt.state[0] = mt.state[N - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        mt.state[0] = 0x8000_0000;
+        mt.index = N;
+        mt
+    }
+
+    /// Re-seed the generator in place from a 32-bit seed.
+    pub fn reseed(&mut self, seed: u32) {
+        self.state[0] = seed;
+        for i in 1..N {
+            let prev = self.state[i - 1];
+            self.state[i] =
+                (1_812_433_253u32.wrapping_mul(prev ^ (prev >> 30))).wrapping_add(i as u32);
+        }
+        self.index = N;
+    }
+
+    fn generate_block(&mut self) {
+        for i in 0..N {
+            let y = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % N] & LOWER_MASK);
+            let mut next = self.state[(i + M) % N] ^ (y >> 1);
+            if y & 1 != 0 {
+                next ^= MATRIX_A;
+            }
+            self.state[i] = next;
+        }
+        self.index = 0;
+    }
+
+    /// Generate the next raw 32-bit output (`genrand_int32`).
+    #[inline]
+    pub fn next_u32_raw(&mut self) -> u32 {
+        if self.index >= N {
+            self.generate_block();
+        }
+        let mut y = self.state[self.index];
+        self.index += 1;
+        // Tempering.
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9d2c_5680;
+        y ^= (y << 15) & 0xefc6_0000;
+        y ^= y >> 18;
+        y
+    }
+
+    /// A double in `[0, 1)` with 53-bit resolution (`genrand_res53`).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        let a = (self.next_u32_raw() >> 5) as f64; // 27 bits
+        let b = (self.next_u32_raw() >> 6) as f64; // 26 bits
+        (a * 67_108_864.0 + b) * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+impl RngCore for Mt19937 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_u32_raw()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32_raw() as u64;
+        let hi = self.next_u32_raw() as u64;
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Mt19937 {
+    type Seed = [u8; 4];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Mt19937::new(u32::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Mix the 64-bit seed into a 2-word key so that both halves matter.
+        Mt19937::from_seed_array(&[state as u32, (state >> 32) as u32])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// First outputs of the reference C implementation for
+    /// `init_by_array({0x123, 0x234, 0x345, 0x456})` (the published
+    /// mt19937ar.out test vector).
+    const REFERENCE_PREFIX: [u32; 3] = [1067595299, 955945823, 477289528];
+
+    #[test]
+    fn matches_reference_sequence() {
+        let mut mt = Mt19937::from_seed_array(&[0x123, 0x234, 0x345, 0x456]);
+        for &expect in &REFERENCE_PREFIX {
+            assert_eq!(mt.next_u32_raw(), expect);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Mt19937::new(5489);
+        let mut b = Mt19937::new(5489);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32_raw(), b.next_u32_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Mt19937::new(1);
+        let mut b = Mt19937::new(2);
+        let same = (0..100).filter(|_| a.next_u32_raw() == b.next_u32_raw()).count();
+        assert!(same < 5, "seeds 1 and 2 produced {same} identical outputs of 100");
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut mt = Mt19937::new(7);
+        for _ in 0..10_000 {
+            let x = mt.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_near_half() {
+        let mut mt = Mt19937::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| mt.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut mt = Mt19937::new(3);
+        let mut buf = [0u8; 7];
+        mt.fill_bytes(&mut buf);
+        // Compare with manual extraction from an identical generator.
+        let mut mt2 = Mt19937::new(3);
+        let w0 = mt2.next_u32_raw().to_le_bytes();
+        let w1 = mt2.next_u32_raw().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..], &w1[..3]);
+    }
+
+    #[test]
+    fn rand_trait_integration() {
+        let mut mt = Mt19937::seed_from_u64(0xDEAD_BEEF_CAFE_F00D);
+        let x: f64 = mt.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y: u64 = mt.gen_range(0..100);
+        assert!(y < 100);
+    }
+
+    #[test]
+    fn reseed_restarts_sequence() {
+        let mut a = Mt19937::new(99);
+        let first: Vec<u32> = (0..5).map(|_| a.next_u32_raw()).collect();
+        a.reseed(99);
+        let second: Vec<u32> = (0..5).map(|_| a.next_u32_raw()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn chi_square_uniformity_of_low_bits() {
+        // 16 buckets over the low 4 bits; very loose bound on the chi-square
+        // statistic (df = 15, 99.9th percentile ~ 37.7).
+        let mut mt = Mt19937::new(20_160_401);
+        let n = 64_000usize;
+        let mut buckets = [0usize; 16];
+        for _ in 0..n {
+            buckets[(mt.next_u32_raw() & 0xF) as usize] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        let chi2: f64 =
+            buckets.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
+        assert!(chi2 < 40.0, "chi-square statistic too large: {chi2}");
+    }
+}

@@ -1,0 +1,158 @@
+//! A bank of decorrelated per-thread random number streams.
+//!
+//! The CUDA implementation uses MTGP32, which keeps independent Mersenne
+//! Twister state for up to 256 device threads so that concurrent threads can
+//! draw random numbers without correlation (Section 5.1.2). This module
+//! reproduces that *role* on the host: a [`StreamBank`] owns one [`Mt19937`]
+//! per logical stream, each seeded from a [`SplitMix64`] seed sequence so the
+//! streams are decorrelated, and hands out independent mutable generators
+//! that parallel workers (e.g. one per proposal slot) can consume.
+
+use super::{Mt19937, SplitMix64};
+
+/// A bank of independently seeded MT19937 streams, one per logical thread.
+#[derive(Debug, Clone)]
+pub struct StreamBank {
+    streams: Vec<Mt19937>,
+    master_seed: u64,
+}
+
+impl StreamBank {
+    /// The stream count used by the reference MTGP32 deployment.
+    pub const MTGP32_DEFAULT_STREAMS: usize = 256;
+
+    /// Create a bank of `n` streams derived from `master_seed`.
+    pub fn new(master_seed: u64, n: usize) -> Self {
+        let mut seeder = SplitMix64::new(master_seed);
+        let streams = (0..n).map(|_| Mt19937::new(seeder.next_seed32())).collect();
+        StreamBank { streams, master_seed }
+    }
+
+    /// Number of streams in the bank.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The master seed the bank was derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Borrow stream `i` mutably.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn stream_mut(&mut self, i: usize) -> &mut Mt19937 {
+        &mut self.streams[i]
+    }
+
+    /// Split the bank into independently owned generators, consuming it.
+    ///
+    /// This is the form consumed by `rayon` workers: each parallel task takes
+    /// ownership of exactly one generator, so no locking is needed.
+    pub fn into_streams(self) -> Vec<Mt19937> {
+        self.streams
+    }
+
+    /// Produce a fresh detached generator for slot `i` without touching the
+    /// bank state. Detached generators are seeded from
+    /// `(master_seed, epoch, i)` so that the same `(epoch, i)` always yields
+    /// the same stream — this is how per-iteration device kernels obtain
+    /// reproducible but decorrelated randomness.
+    pub fn detached(&self, epoch: u64, i: usize) -> Mt19937 {
+        let mut seeder = SplitMix64::new(
+            self.master_seed ^ epoch.rotate_left(17) ^ (i as u64).wrapping_mul(0x9E37_79B9),
+        );
+        // Burn one output so trivially related inputs decorrelate further.
+        seeder.next();
+        Mt19937::new(seeder.next_seed32())
+    }
+
+    /// Grow the bank to at least `n` streams, preserving existing streams.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n <= self.streams.len() {
+            return;
+        }
+        let mut seeder = SplitMix64::new(self.master_seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        for _ in 0..self.streams.len() {
+            seeder.next(); // advance past seeds that conceptually belong to existing streams
+        }
+        while self.streams.len() < n {
+            self.streams.push(Mt19937::new(seeder.next_seed32()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = StreamBank::new(7, 8);
+        let mut b = StreamBank::new(7, 8);
+        for i in 0..8 {
+            assert_eq!(a.stream_mut(i).next_u32(), b.stream_mut(i).next_u32());
+        }
+    }
+
+    #[test]
+    fn streams_are_pairwise_decorrelated() {
+        let mut bank = StreamBank::new(99, 4);
+        let outputs: Vec<Vec<u32>> = (0..4)
+            .map(|i| {
+                let s = bank.stream_mut(i);
+                (0..64).map(|_| s.next_u32()).collect()
+            })
+            .collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let same =
+                    outputs[i].iter().zip(&outputs[j]).filter(|(a, b)| a == b).count();
+                assert!(same < 3, "streams {i} and {j} share {same} of 64 outputs");
+            }
+        }
+    }
+
+    #[test]
+    fn detached_is_reproducible_and_epoch_dependent() {
+        let bank = StreamBank::new(1234, 2);
+        let mut a = bank.detached(5, 0);
+        let mut b = bank.detached(5, 0);
+        let mut c = bank.detached(6, 0);
+        assert_eq!(a.next_u32(), b.next_u32());
+        // Different epoch should (overwhelmingly) differ.
+        let mut a2 = bank.detached(5, 0);
+        a2.next_u32();
+        assert_ne!(a2.next_u32(), c.next_u32());
+    }
+
+    #[test]
+    fn ensure_len_preserves_existing_streams() {
+        let mut bank = StreamBank::new(55, 2);
+        let first_before = bank.stream_mut(0).clone().next_u32();
+        bank.ensure_len(10);
+        assert_eq!(bank.len(), 10);
+        let first_after = bank.stream_mut(0).clone().next_u32();
+        assert_eq!(first_before, first_after);
+        // Growing to a smaller size is a no-op.
+        bank.ensure_len(3);
+        assert_eq!(bank.len(), 10);
+    }
+
+    #[test]
+    fn into_streams_yields_len_generators() {
+        let bank = StreamBank::new(3, 16);
+        assert_eq!(bank.len(), 16);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.master_seed(), 3);
+        let streams = bank.into_streams();
+        assert_eq!(streams.len(), 16);
+    }
+}

@@ -1,0 +1,144 @@
+//! Configuration of the multi-proposal estimator.
+
+use exec::Backend;
+use lamarc::mle::GradientAscentConfig;
+use lamarc::proposal::ProposalConfig;
+use phylo::PhyloError;
+
+/// Full configuration of the mpcgs θ estimator (Figure 11's loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcgsConfig {
+    /// The initial driving value θ₀ (second command-line argument of the
+    /// original program).
+    pub initial_theta: f64,
+    /// Number of EM iterations (chain runs followed by maximisation).
+    pub em_iterations: usize,
+    /// Number of proposals generated per Generalized-MH iteration (`N`).
+    pub proposals_per_iteration: usize,
+    /// Number of index draws (output samples) per iteration (`M`); the paper
+    /// samples once per proposal, so the default equals
+    /// `proposals_per_iteration`.
+    pub draws_per_iteration: usize,
+    /// Draws discarded as burn-in at the start of each chain.
+    pub burn_in_draws: usize,
+    /// Draws retained per chain (the "number of genealogical samples" swept
+    /// in Table 2).
+    pub sample_draws: usize,
+    /// Proposal-mechanism configuration.
+    pub proposal: ProposalConfig,
+    /// Gradient-ascent configuration for the maximisation stage.
+    pub ascent: GradientAscentConfig,
+    /// Data-parallel backend for proposal generation and likelihood
+    /// evaluation (the host-side analogue of the CUDA kernels).
+    pub backend: Backend,
+    /// Master seed for the per-proposal random-number streams (the MTGP32
+    /// substitute).
+    pub stream_seed: u64,
+}
+
+impl Default for MpcgsConfig {
+    fn default() -> Self {
+        MpcgsConfig {
+            initial_theta: 1.0,
+            em_iterations: 3,
+            proposals_per_iteration: 32,
+            draws_per_iteration: 32,
+            burn_in_draws: 1_000,
+            sample_draws: 10_000,
+            proposal: ProposalConfig::default(),
+            ascent: GradientAscentConfig::default(),
+            backend: Backend::Rayon,
+            stream_seed: 0x6D70_6367_7372_7573, // "mpcgsrus"
+        }
+    }
+}
+
+impl MpcgsConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), PhyloError> {
+        if !(self.initial_theta > 0.0 && self.initial_theta.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "initial_theta",
+                value: self.initial_theta,
+                constraint: "theta > 0",
+            });
+        }
+        if self.em_iterations == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "em_iterations",
+                value: 0.0,
+                constraint: "at least one EM iteration",
+            });
+        }
+        if self.proposals_per_iteration == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "proposals_per_iteration",
+                value: 0.0,
+                constraint: "at least one proposal per iteration",
+            });
+        }
+        if self.draws_per_iteration == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "draws_per_iteration",
+                value: 0.0,
+                constraint: "at least one draw per iteration",
+            });
+        }
+        if self.sample_draws == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "sample_draws",
+                value: 0.0,
+                constraint: "at least one retained draw",
+            });
+        }
+        Ok(())
+    }
+
+    /// Total draws per chain (burn-in plus retained).
+    pub fn total_draws(&self) -> usize {
+        self.burn_in_draws + self.sample_draws
+    }
+
+    /// Number of Generalized-MH iterations (proposal-set constructions) one
+    /// chain performs.
+    pub fn gmh_iterations(&self) -> usize {
+        self.total_draws().div_ceil(self.draws_per_iteration.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_sized() {
+        let c = MpcgsConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.proposals_per_iteration, c.draws_per_iteration);
+        assert_eq!(c.total_draws(), 11_000);
+        assert_eq!(c.gmh_iterations(), 11_000_usize.div_ceil(32));
+    }
+
+    #[test]
+    fn validation_catches_each_degenerate_field() {
+        let base = MpcgsConfig::default();
+        assert!(MpcgsConfig { initial_theta: 0.0, ..base }.validate().is_err());
+        assert!(MpcgsConfig { initial_theta: f64::NAN, ..base }.validate().is_err());
+        assert!(MpcgsConfig { em_iterations: 0, ..base }.validate().is_err());
+        assert!(MpcgsConfig { proposals_per_iteration: 0, ..base }.validate().is_err());
+        assert!(MpcgsConfig { draws_per_iteration: 0, ..base }.validate().is_err());
+        assert!(MpcgsConfig { sample_draws: 0, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn iteration_arithmetic_rounds_up() {
+        let c = MpcgsConfig {
+            burn_in_draws: 10,
+            sample_draws: 25,
+            draws_per_iteration: 16,
+            ..Default::default()
+        };
+        assert_eq!(c.total_draws(), 35);
+        assert_eq!(c.gmh_iterations(), 3);
+    }
+}

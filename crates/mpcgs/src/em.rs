@@ -1,0 +1,271 @@
+//! The mpcgs θ estimator: Generalized-MH sampling driven by an
+//! expectation–maximisation loop (Figure 11).
+
+use rand::Rng;
+
+use lamarc::mle::{maximize_relative_likelihood, RelativeLikelihood};
+use phylo::likelihood::ExecutionMode;
+use phylo::model::F81;
+use phylo::{upgma_tree, Alignment, FelsensteinPruner, PhyloError};
+
+use crate::config::MpcgsConfig;
+use crate::sampler::{GmhRunStats, MultiProposalSampler};
+
+/// One EM iteration's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcgsIteration {
+    /// The driving θ used for this chain.
+    pub driving_theta: f64,
+    /// The maximiser of the relative likelihood (next driving value).
+    pub estimate: f64,
+    /// Move rate of the index chain.
+    pub move_rate: f64,
+    /// Mean `ln P(D|G)` over the retained samples.
+    pub mean_log_data_likelihood: f64,
+    /// Work counters of the chain.
+    pub stats: GmhRunStats,
+}
+
+/// The final estimate and its history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcgsEstimate {
+    /// The final θ̂.
+    pub theta: f64,
+    /// Per-iteration records.
+    pub iterations: Vec<MpcgsIteration>,
+}
+
+impl MpcgsEstimate {
+    /// Whether the estimate stabilised (relative change between the last two
+    /// EM iterations below `tolerance`).
+    pub fn converged(&self, tolerance: f64) -> bool {
+        if self.iterations.len() < 2 {
+            return false;
+        }
+        let last = self.iterations[self.iterations.len() - 1].estimate;
+        let prev = self.iterations[self.iterations.len() - 2].estimate;
+        ((last - prev) / prev.max(f64::MIN_POSITIVE)).abs() < tolerance
+    }
+
+    /// Total likelihood evaluations across all EM iterations.
+    pub fn total_likelihood_evaluations(&self) -> usize {
+        self.iterations.iter().map(|i| i.stats.likelihood_evaluations).sum()
+    }
+}
+
+/// The mpcgs θ estimator over one alignment.
+#[derive(Debug, Clone)]
+pub struct ThetaEstimator {
+    alignment: Alignment,
+    config: MpcgsConfig,
+    execution: ExecutionMode,
+}
+
+impl ThetaEstimator {
+    /// Create an estimator (the programmatic form of
+    /// `mpcgs <seqdata.phy> <init theta>`).
+    pub fn new(alignment: Alignment, config: MpcgsConfig) -> Result<Self, PhyloError> {
+        config.validate()?;
+        Ok(ThetaEstimator { alignment, config, execution: ExecutionMode::Serial })
+    }
+
+    /// Choose how the likelihood engine executes its per-site work
+    /// (`Parallel` mirrors the per-site threads of the CUDA data-likelihood
+    /// kernel).
+    pub fn with_execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MpcgsConfig {
+        &self.config
+    }
+
+    /// The alignment being analysed.
+    pub fn alignment(&self) -> &Alignment {
+        &self.alignment
+    }
+
+    /// Run the estimator: `em_iterations` rounds of sampling (expectation)
+    /// followed by maximisation of the relative likelihood (Eq. 26).
+    pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<MpcgsEstimate, PhyloError> {
+        let mut theta = self.config.initial_theta;
+        let mut iterations = Vec::with_capacity(self.config.em_iterations);
+        // Section 5.1.3: G0 is the UPGMA tree; subsequent chains start from
+        // the final genealogy of the previous chain.
+        let mut current_tree = Some(upgma_tree(&self.alignment, 1.0)?);
+
+        for _ in 0..self.config.em_iterations {
+            let engine = FelsensteinPruner::new(
+                &self.alignment,
+                F81::normalized(self.alignment.base_frequencies()),
+            )
+            .with_mode(self.execution);
+            let sampler = MultiProposalSampler::with_theta(engine, self.config, theta)?;
+            let initial = current_tree.take().expect("a starting tree is always available");
+            let run = sampler.run(initial, rng)?;
+
+            let summaries: Vec<_> = run.samples.iter().map(|s| s.intervals.clone()).collect();
+            let relative = RelativeLikelihood::new(theta, &summaries).map_err(|e| {
+                PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+            })?;
+            let estimate = maximize_relative_likelihood(&relative, &self.config.ascent);
+            let mean_loglik = run
+                .samples
+                .iter()
+                .map(|s| s.log_data_likelihood)
+                .sum::<f64>()
+                / run.samples.len() as f64;
+
+            iterations.push(MpcgsIteration {
+                driving_theta: theta,
+                estimate,
+                move_rate: run.stats.move_rate(),
+                mean_log_data_likelihood: mean_loglik,
+                stats: run.stats,
+            });
+            theta = estimate.max(1e-9);
+            current_tree = Some(run.final_tree);
+        }
+
+        Ok(MpcgsEstimate { theta, iterations })
+    }
+
+    /// Evaluate the relative-likelihood curve for one chain run (Figure 5):
+    /// run a single chain with the configured driving value and return
+    /// `(θ, ln L(θ))` pairs over a log-spaced grid.
+    pub fn likelihood_curve<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        grid: &[f64],
+    ) -> Result<Vec<(f64, f64)>, PhyloError> {
+        let engine = FelsensteinPruner::new(
+            &self.alignment,
+            F81::normalized(self.alignment.base_frequencies()),
+        )
+        .with_mode(self.execution);
+        let sampler =
+            MultiProposalSampler::with_theta(engine, self.config, self.config.initial_theta)?;
+        let initial = upgma_tree(&self.alignment, 1.0)?;
+        let run = sampler.run(initial, rng)?;
+        let summaries: Vec<_> = run.samples.iter().map(|s| s.intervals.clone()).collect();
+        let relative =
+            RelativeLikelihood::new(self.config.initial_theta, &summaries).map_err(|e| {
+                PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+            })?;
+        Ok(relative.curve(grid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use exec::Backend;
+    use mcmc::rng::Mt19937;
+    use phylo::model::Jc69;
+
+    fn simulated_alignment(rng: &mut Mt19937, n: usize, sites: usize, theta: f64) -> Alignment {
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(rng, n).unwrap();
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(rng, &tree).unwrap()
+    }
+
+    fn small_config() -> MpcgsConfig {
+        MpcgsConfig {
+            initial_theta: 0.5,
+            em_iterations: 2,
+            proposals_per_iteration: 8,
+            draws_per_iteration: 8,
+            burn_in_draws: 80,
+            sample_draws: 600,
+            backend: Backend::Serial,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn estimator_runs_and_chains_the_driving_value() {
+        let mut rng = Mt19937::new(91);
+        let alignment = simulated_alignment(&mut rng, 6, 80, 1.0);
+        let estimator = ThetaEstimator::new(alignment, small_config()).unwrap();
+        assert_eq!(estimator.alignment().n_sequences(), 6);
+        assert_eq!(estimator.config().em_iterations, 2);
+        let estimate = estimator.estimate(&mut rng).unwrap();
+        assert_eq!(estimate.iterations.len(), 2);
+        assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+        assert!(
+            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs()
+                < 1e-12
+        );
+        assert!(estimate.total_likelihood_evaluations() > 0);
+        for it in &estimate.iterations {
+            assert!(it.move_rate > 0.0);
+            assert!(it.mean_log_data_likelihood.is_finite());
+        }
+        let _ = estimate.converged(0.5);
+    }
+
+    #[test]
+    fn estimate_lands_in_a_plausible_range() {
+        let mut rng = Mt19937::new(97);
+        let alignment = simulated_alignment(&mut rng, 8, 150, 1.0);
+        let config = MpcgsConfig { sample_draws: 1_200, ..small_config() };
+        let estimator = ThetaEstimator::new(alignment, config).unwrap();
+        let estimate = estimator.estimate(&mut rng).unwrap();
+        assert!(
+            estimate.theta > 0.05 && estimate.theta < 10.0,
+            "estimate {} is implausible for data simulated at theta = 1",
+            estimate.theta
+        );
+    }
+
+    #[test]
+    fn likelihood_curve_peaks_away_from_a_tiny_driving_value() {
+        // Figure 5's qualitative shape: with a driving value far below the
+        // truth, the relative-likelihood curve must rise away from theta0.
+        let mut rng = Mt19937::new(101);
+        let alignment = simulated_alignment(&mut rng, 6, 120, 1.0);
+        let config = MpcgsConfig {
+            initial_theta: 0.05,
+            em_iterations: 1,
+            sample_draws: 800,
+            ..small_config()
+        };
+        let estimator = ThetaEstimator::new(alignment, config).unwrap();
+        let grid = RelativeLikelihood::log_grid(0.05, 5.0, 20);
+        let curve = estimator.likelihood_curve(&mut rng, &grid).unwrap();
+        assert_eq!(curve.len(), 20);
+        let at_driving = curve[0].1;
+        let best = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert!(
+            best.1 > at_driving,
+            "curve should rise away from the driving value: best {best:?} vs {at_driving}"
+        );
+        assert!(best.0 > 0.05);
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected_up_front() {
+        let mut rng = Mt19937::new(103);
+        let alignment = simulated_alignment(&mut rng, 4, 40, 1.0);
+        let bad = MpcgsConfig { em_iterations: 0, ..small_config() };
+        assert!(ThetaEstimator::new(alignment, bad).is_err());
+    }
+
+    #[test]
+    fn converged_logic() {
+        let it = |estimate: f64| MpcgsIteration {
+            driving_theta: 1.0,
+            estimate,
+            move_rate: 0.5,
+            mean_log_data_likelihood: -5.0,
+            stats: GmhRunStats::default(),
+        };
+        let single = MpcgsEstimate { theta: 1.0, iterations: vec![it(1.0)] };
+        assert!(!single.converged(0.1));
+        let stable = MpcgsEstimate { theta: 1.01, iterations: vec![it(1.0), it(1.01)] };
+        assert!(stable.converged(0.05));
+        assert!(!stable.converged(0.001));
+    }
+}

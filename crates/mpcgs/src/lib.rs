@@ -1,0 +1,65 @@
+//! mpcgs — the multi-proposal coalescent genealogy sampler.
+//!
+//! This crate is the paper's primary contribution: a coalescent genealogy
+//! sampler in which the conventional single-proposal Metropolis–Hastings
+//! kernel of LAMARC is replaced by Calderhead's Generalized
+//! Metropolis–Hastings so that the bulk of the work — proposal generation and
+//! likelihood evaluation — becomes embarrassingly parallel (Sections 4 and
+//! 5). The crate builds on the substrates in this workspace:
+//!
+//! * `phylo` for sequences, genealogies and the pruning likelihood;
+//! * `coalescent` for the Kingman prior and the data simulators;
+//! * `mcmc` for the random-number streams and log-domain arithmetic;
+//! * `lamarc` for the shared neighborhood-resimulation proposal, the
+//!   relative-likelihood maximiser and the baseline sampler;
+//! * `exec` for the data-parallel backend and the simulated-device cost
+//!   model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use coalescent::{CoalescentSimulator, SequenceSimulator};
+//! use mcmc::rng::Mt19937;
+//! use phylo::model::Jc69;
+//! use mpcgs::{MpcgsConfig, ThetaEstimator};
+//!
+//! // Simulate a small data set with known theta = 1.0 (the paper's Section
+//! // 6.1 workflow: ms + seq-gen).
+//! let mut rng = Mt19937::new(42);
+//! let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 6).unwrap();
+//! let alignment = SequenceSimulator::new(Jc69::new(), 100, 1.0)
+//!     .unwrap()
+//!     .simulate(&mut rng, &tree)
+//!     .unwrap();
+//!
+//! // Estimate theta with a deliberately small run (keep doctests fast).
+//! let config = MpcgsConfig {
+//!     initial_theta: 0.5,
+//!     em_iterations: 1,
+//!     burn_in_draws: 64,
+//!     sample_draws: 256,
+//!     proposals_per_iteration: 8,
+//!     ..MpcgsConfig::default()
+//! };
+//! let estimate = ThetaEstimator::new(alignment, config).unwrap().estimate(&mut rng).unwrap();
+//! assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod em;
+pub mod perf;
+pub mod sampler;
+
+pub use config::MpcgsConfig;
+pub use em::{MpcgsEstimate, MpcgsIteration, ThetaEstimator};
+pub use perf::{SpeedupModel, Workload};
+pub use sampler::{GmhRunStats, MultiProposalSampler, MultiProposalSamplerRun};
+
+// Re-export the pieces of the shared machinery that form part of the public
+// API surface of the sampler, so downstream users only need this crate.
+pub use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
+pub use lamarc::proposal::{GenealogyProposer, HazardModel, ProposalConfig};
+pub use lamarc::sampler::GenealogySample;

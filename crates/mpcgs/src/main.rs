@@ -1,0 +1,143 @@
+//! The `mpcgs` command-line program.
+//!
+//! The original program is invoked as `./mpcgs <seqdata.phy> <init theta>`
+//! (Section 5.1.1); this binary keeps that positional interface and adds a
+//! few optional flags for chain sizing so the examples and benches can drive
+//! short runs.
+
+use std::process::ExitCode;
+
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use phylo::io::phylip::parse_phylip;
+use phylo::likelihood::ExecutionMode;
+
+use mpcgs::{MpcgsConfig, ThetaEstimator};
+
+struct CliArgs {
+    phylip_path: String,
+    initial_theta: f64,
+    samples: usize,
+    burn_in: usize,
+    proposals: usize,
+    em_iterations: usize,
+    seed: u32,
+    serial: bool,
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: mpcgs <seqdata.phy> <init-theta> [options]\n\
+         \n\
+         options:\n\
+           --samples <n>      retained genealogy samples per chain (default 10000)\n\
+           --burn-in <n>      burn-in draws per chain (default 1000)\n\
+           --proposals <n>    proposals per Generalized-MH iteration (default 32)\n\
+           --em <n>           EM iterations (default 3)\n\
+           --seed <n>         host RNG seed (default 20160401)\n\
+           --serial           disable thread-level parallelism"
+    );
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    if args.len() < 2 {
+        return Err("expected a PHYLIP file and an initial theta".to_string());
+    }
+    let phylip_path = args[0].clone();
+    let initial_theta: f64 =
+        args[1].parse().map_err(|_| format!("invalid initial theta {:?}", args[1]))?;
+    let mut cli = CliArgs {
+        phylip_path,
+        initial_theta,
+        samples: 10_000,
+        burn_in: 1_000,
+        proposals: 32,
+        em_iterations: 3,
+        seed: 20_160_401,
+        serial: false,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag {
+            "--samples" => cli.samples = take_value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?,
+            "--burn-in" => cli.burn_in = take_value("--burn-in")?.parse().map_err(|e| format!("--burn-in: {e}"))?,
+            "--proposals" => cli.proposals = take_value("--proposals")?.parse().map_err(|e| format!("--proposals: {e}"))?,
+            "--em" => cli.em_iterations = take_value("--em")?.parse().map_err(|e| format!("--em: {e}"))?,
+            "--seed" => cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--serial" => cli.serial = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn run(cli: CliArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&cli.phylip_path)
+        .map_err(|e| format!("cannot read {}: {e}", cli.phylip_path))?;
+    let alignment = parse_phylip(&text).map_err(|e| format!("cannot parse PHYLIP input: {e}"))?;
+    println!(
+        "mpcgs: {} sequences x {} sites, initial theta {}",
+        alignment.n_sequences(),
+        alignment.n_sites(),
+        cli.initial_theta
+    );
+
+    let config = MpcgsConfig {
+        initial_theta: cli.initial_theta,
+        em_iterations: cli.em_iterations,
+        proposals_per_iteration: cli.proposals,
+        draws_per_iteration: cli.proposals,
+        burn_in_draws: cli.burn_in,
+        sample_draws: cli.samples,
+        backend: if cli.serial { Backend::Serial } else { Backend::Rayon },
+        ..MpcgsConfig::default()
+    };
+    let estimator = ThetaEstimator::new(alignment, config)
+        .map_err(|e| format!("invalid configuration: {e}"))?
+        .with_execution(if cli.serial { ExecutionMode::Serial } else { ExecutionMode::Parallel });
+
+    let mut rng = Mt19937::new(cli.seed);
+    let estimate = estimator.estimate(&mut rng).map_err(|e| format!("estimation failed: {e}"))?;
+
+    println!("\n  iter   driving-theta      estimate   move-rate   mean ln P(D|G)");
+    for (i, it) in estimate.iterations.iter().enumerate() {
+        println!(
+            "  {:>4}   {:>13.6}   {:>11.6}   {:>9.3}   {:>14.3}",
+            i + 1,
+            it.driving_theta,
+            it.estimate,
+            it.move_rate,
+            it.mean_log_data_likelihood
+        );
+    }
+    println!("\nfinal estimate of theta: {:.6}", estimate.theta);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&args) {
+        Ok(cli) => match run(cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Multiple-sequence alignments.
+//!
+//! An [`Alignment`] is a set of equal-length sequences; it is the `D` term of
+//! the paper. Besides storage it provides the empirical base frequencies used
+//! as the stationary distribution π of the F81 model (Eq. 20–21) and
+//! column access used by the site-pattern compressor and likelihood engine.
+
+use crate::error::PhyloError;
+use crate::model::BaseFrequencies;
+use crate::nucleotide::Nucleotide;
+use crate::sequence::Sequence;
+
+/// An alignment of equal-length DNA sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    sequences: Vec<Sequence>,
+    length: usize,
+}
+
+impl Alignment {
+    /// Build an alignment, validating that at least one sequence is present
+    /// and that all sequences have the same length.
+    pub fn new(sequences: Vec<Sequence>) -> Result<Self, PhyloError> {
+        let first = sequences.first().ok_or(PhyloError::Empty { what: "alignment" })?;
+        let length = first.len();
+        if length == 0 {
+            return Err(PhyloError::Empty { what: "alignment sequence" });
+        }
+        for seq in &sequences {
+            if seq.len() != length {
+                return Err(PhyloError::UnequalSequenceLengths {
+                    expected: length,
+                    found: seq.len(),
+                    name: seq.name().to_string(),
+                });
+            }
+        }
+        Ok(Alignment { sequences, length })
+    }
+
+    /// Convenience constructor from `(name, letters)` pairs.
+    pub fn from_letters(pairs: &[(&str, &str)]) -> Result<Self, PhyloError> {
+        let sequences = pairs
+            .iter()
+            .map(|(name, text)| Sequence::parse(*name, text))
+            .collect::<Result<Vec<_>, _>>()?;
+        Alignment::new(sequences)
+    }
+
+    /// The sequences.
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.sequences
+    }
+
+    /// Number of sequences (the tip count of genealogies over this data).
+    pub fn n_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of sites (base-pair positions).
+    pub fn n_sites(&self) -> usize {
+        self.length
+    }
+
+    /// The sequence at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn sequence(&self, index: usize) -> &Sequence {
+        &self.sequences[index]
+    }
+
+    /// Look a sequence up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Sequence> {
+        self.sequences.iter().find(|s| s.name() == name)
+    }
+
+    /// The base of sequence `seq` at site `site`.
+    pub fn base(&self, seq: usize, site: usize) -> Nucleotide {
+        self.sequences[seq].base(site)
+    }
+
+    /// The alignment column at `site`, one base per sequence.
+    pub fn column(&self, site: usize) -> Vec<Nucleotide> {
+        self.sequences.iter().map(|s| s.base(site)).collect()
+    }
+
+    /// Empirical relative frequency of each nucleotide across all sequences
+    /// and sites (the prior π of Eq. 21). Frequencies of unobserved bases are
+    /// floored at a small pseudo-count so no base has probability zero.
+    pub fn base_frequencies(&self) -> BaseFrequencies {
+        let mut counts = [0usize; 4];
+        for seq in &self.sequences {
+            for &b in seq.bases() {
+                counts[b.index()] += 1;
+            }
+        }
+        BaseFrequencies::from_counts(counts)
+    }
+
+    /// Number of sites at which not all sequences carry the same base.
+    pub fn variable_sites(&self) -> usize {
+        (0..self.length)
+            .filter(|&site| {
+                let first = self.sequences[0].base(site);
+                self.sequences.iter().any(|s| s.base(site) != first)
+            })
+            .count()
+    }
+
+    /// Names of all sequences in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.sequences.iter().map(|s| s.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Alignment {
+        Alignment::from_letters(&[
+            ("s1", "ACGTACGT"),
+            ("s2", "ACGTACGA"),
+            ("s3", "ACGTTCGA"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = toy();
+        assert_eq!(a.n_sequences(), 3);
+        assert_eq!(a.n_sites(), 8);
+        assert_eq!(a.sequence(0).name(), "s1");
+        assert_eq!(a.by_name("s3").unwrap().to_letters(), "ACGTTCGA");
+        assert!(a.by_name("nope").is_none());
+        assert_eq!(a.base(1, 7), Nucleotide::A);
+        assert_eq!(a.names(), vec!["s1", "s2", "s3"]);
+        assert_eq!(a.sequences().len(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged_input() {
+        assert!(matches!(
+            Alignment::new(vec![]),
+            Err(PhyloError::Empty { what: "alignment" })
+        ));
+        assert!(matches!(
+            Alignment::from_letters(&[("a", "")]),
+            Err(PhyloError::Empty { .. })
+        ));
+        let err = Alignment::from_letters(&[("a", "ACGT"), ("b", "ACG")]).unwrap_err();
+        assert!(matches!(
+            err,
+            PhyloError::UnequalSequenceLengths { expected: 4, found: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn columns_are_per_site_slices() {
+        let a = toy();
+        assert_eq!(
+            a.column(4),
+            vec![Nucleotide::A, Nucleotide::A, Nucleotide::T]
+        );
+        assert_eq!(a.column(0), vec![Nucleotide::A; 3]);
+    }
+
+    #[test]
+    fn base_frequencies_sum_to_one_and_reflect_composition() {
+        let a = Alignment::from_letters(&[("x", "AAAA"), ("y", "AAAT")]).unwrap();
+        let f = a.base_frequencies();
+        let total: f64 = Nucleotide::ALL.iter().map(|&n| f.freq(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(f.freq(Nucleotide::A) > 0.6);
+        // Unseen bases still get a non-zero floor.
+        assert!(f.freq(Nucleotide::G) > 0.0);
+    }
+
+    #[test]
+    fn variable_sites_counts_polymorphic_columns() {
+        let a = toy();
+        // Columns 4 (A/A/T) and 7 (T/A/A) vary.
+        assert_eq!(a.variable_sites(), 2);
+        let mono = Alignment::from_letters(&[("a", "AC"), ("b", "AC")]).unwrap();
+        assert_eq!(mono.variable_sites(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pairwise sequence distances.
+//!
+//! The UPGMA starting tree of Section 5.1.3 is built from "the distance
+//! between sequences in D", where "the distance between individual sequences
+//! is taken to be the number of base pair positions that are different
+//! between the two sequences". This module provides that raw Hamming
+//! distance, the proportion form (p-distance), and the Jukes–Cantor corrected
+//! distance as a matrix over an alignment.
+
+use crate::alignment::Alignment;
+use crate::error::PhyloError;
+use crate::model::Jc69;
+
+/// How pairwise distances are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceMetric {
+    /// Raw count of differing positions (the thesis's choice).
+    Hamming,
+    /// Proportion of differing positions.
+    PDistance,
+    /// Jukes–Cantor corrected expected substitutions per site; saturated
+    /// pairs (p ≥ 3/4) are clamped to a large finite distance.
+    JukesCantor,
+}
+
+/// A symmetric matrix of pairwise distances between the sequences of an
+/// alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major storage of the full (symmetric) matrix.
+    values: Vec<f64>,
+    names: Vec<String>,
+}
+
+impl DistanceMatrix {
+    /// Compute the matrix for an alignment under the given metric.
+    pub fn from_alignment(
+        alignment: &Alignment,
+        metric: DistanceMetric,
+    ) -> Result<Self, PhyloError> {
+        let n = alignment.n_sequences();
+        if n == 0 {
+            return Err(PhyloError::Empty { what: "alignment" });
+        }
+        let sites = alignment.n_sites() as f64;
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let hamming =
+                    alignment.sequence(i).hamming_distance(alignment.sequence(j)) as f64;
+                let d = match metric {
+                    DistanceMetric::Hamming => hamming,
+                    DistanceMetric::PDistance => hamming / sites,
+                    DistanceMetric::JukesCantor => {
+                        let p = hamming / sites;
+                        Jc69::distance_from_p(p).unwrap_or(10.0)
+                    }
+                };
+                values[i * n + j] = d;
+                values[j * n + i] = d;
+            }
+        }
+        let names = alignment.names().iter().map(|s| s.to_string()).collect();
+        Ok(DistanceMatrix { n, values, names })
+    }
+
+    /// Build directly from a full symmetric matrix (row-major).
+    ///
+    /// # Panics
+    /// Panics if the value length is not `names.len()²`.
+    pub fn from_values(names: Vec<String>, values: Vec<f64>) -> Self {
+        let n = names.len();
+        assert_eq!(values.len(), n * n, "distance matrix must be square");
+        DistanceMatrix { n, values, names }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The distance between sequences `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Sequence names in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The largest off-diagonal distance.
+    pub fn max_distance(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    max = max.max(self.get(i, j));
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Alignment {
+        Alignment::from_letters(&[
+            ("s1", "AAAAAAAA"),
+            ("s2", "AAAAAATT"),
+            ("s3", "TTTTAAAA"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let m = DistanceMatrix::from_alignment(&toy(), DistanceMetric::Hamming).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.get(1, 0), m.get(0, 1));
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.max_distance(), 6.0);
+        assert_eq!(m.names(), &["s1".to_string(), "s2".into(), "s3".into()]);
+    }
+
+    #[test]
+    fn p_distance_is_hamming_over_sites() {
+        let m = DistanceMatrix::from_alignment(&toy(), DistanceMetric::PDistance).unwrap();
+        assert!((m.get(0, 1) - 0.25).abs() < 1e-12);
+        assert!((m.get(1, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jukes_cantor_corrects_and_clamps_saturation() {
+        let m = DistanceMatrix::from_alignment(&toy(), DistanceMetric::JukesCantor).unwrap();
+        // p = 0.25 corrects upward.
+        assert!(m.get(0, 1) > 0.25);
+        // p = 0.75 is saturated and clamped.
+        assert_eq!(m.get(1, 2), 10.0);
+        // Identical sequences have zero distance.
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_values_round_trip() {
+        let m = DistanceMatrix::from_values(
+            vec!["a".into(), "b".into()],
+            vec![0.0, 3.0, 3.0, 0.0],
+        );
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.max_distance(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn from_values_rejects_non_square() {
+        DistanceMatrix::from_values(vec!["a".into()], vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for the phylogenetic substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating phylogenetic data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyloError {
+    /// A character in a sequence was not one of `A`, `C`, `G`, `T` (case
+    /// insensitive).
+    InvalidNucleotide {
+        /// The offending character.
+        character: char,
+        /// Position within the sequence (0-based).
+        position: usize,
+    },
+    /// Sequences in an alignment have differing lengths.
+    UnequalSequenceLengths {
+        /// Length of the first sequence.
+        expected: usize,
+        /// Length of the offending sequence.
+        found: usize,
+        /// Name of the offending sequence.
+        name: String,
+    },
+    /// An alignment or tree was empty where data was required.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// A parse error with a location and description.
+    Parse {
+        /// Line number (1-based) where the error occurred, 0 if unknown.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A tree operation referenced a node that does not exist or has the
+    /// wrong kind (e.g. asking for the children of a tip).
+    InvalidNode {
+        /// The node index.
+        node: usize,
+        /// Description of the violated expectation.
+        message: String,
+    },
+    /// A tree failed a structural validity check.
+    InvalidTree {
+        /// Description of the structural problem.
+        message: String,
+    },
+    /// A numeric parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for PhyloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyloError::InvalidNucleotide { character, position } => {
+                write!(f, "invalid nucleotide character {character:?} at position {position}")
+            }
+            PhyloError::UnequalSequenceLengths { expected, found, name } => write!(
+                f,
+                "sequence {name:?} has length {found} but the alignment expects {expected}"
+            ),
+            PhyloError::Empty { what } => write!(f, "{what} is empty"),
+            PhyloError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error on line {line}: {message}")
+                }
+            }
+            PhyloError::InvalidNode { node, message } => {
+                write!(f, "invalid node {node}: {message}")
+            }
+            PhyloError::InvalidTree { message } => write!(f, "invalid tree: {message}"),
+            PhyloError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name}={value}: must satisfy {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhyloError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_details() {
+        let e = PhyloError::InvalidNucleotide { character: 'X', position: 5 };
+        assert!(e.to_string().contains('X') && e.to_string().contains('5'));
+
+        let e = PhyloError::UnequalSequenceLengths {
+            expected: 10,
+            found: 8,
+            name: "seq1".into(),
+        };
+        assert!(e.to_string().contains("seq1"));
+
+        let e = PhyloError::Empty { what: "alignment" };
+        assert!(e.to_string().contains("alignment"));
+
+        let e = PhyloError::Parse { line: 3, message: "bad header".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = PhyloError::Parse { line: 0, message: "bad header".into() };
+        assert!(!e.to_string().contains("line"));
+
+        let e = PhyloError::InvalidNode { node: 7, message: "tip has no children".into() };
+        assert!(e.to_string().contains('7'));
+
+        let e = PhyloError::InvalidTree { message: "cycle detected".into() };
+        assert!(e.to_string().contains("cycle"));
+
+        let e = PhyloError::InvalidParameter {
+            name: "theta",
+            value: -2.0,
+            constraint: "theta > 0",
+        };
+        assert!(e.to_string().contains("theta"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: &E) {}
+        takes_error(&PhyloError::Empty { what: "tree" });
+    }
+}

@@ -1,0 +1,12 @@
+//! File-format readers and writers.
+//!
+//! * [`phylip`] — the PHYLIP sequential alignment format the original
+//!   program accepts as input (Section 5.1.1) and `seq-gen` writes.
+//! * [`newick`] — the Newick tree format `ms` emits and the thesis uses to
+//!   pass simulated genealogies to `seq-gen` (Section 6.1).
+
+pub mod newick;
+pub mod phylip;
+
+pub use newick::{parse_newick, write_newick};
+pub use phylip::{parse_phylip, write_phylip};

@@ -1,0 +1,55 @@
+//! Phylogenetic substrate for the coalescent genealogy samplers.
+//!
+//! This crate provides everything the samplers need to represent and score
+//! genealogies against sequence data (Sections 2.4, 4.2 and 5.2 of the
+//! paper):
+//!
+//! * [`nucleotide`] — the four-letter DNA alphabet with 2-bit packing
+//!   (Section 5.1.3 packs sequence data two bits per base so a warp can read
+//!   one 64-bit word; the packed representation here serves the same role of
+//!   a compact, cache-friendly encoding).
+//! * [`sequence`] / [`alignment`] — named sequences and equal-length
+//!   alignments, with empirical base-frequency estimation (the prior π of
+//!   Eq. 20 is "approximated by the relative frequency of each nucleotide in
+//!   all the sampling data").
+//! * [`patterns`] — site-pattern compression: identical alignment columns are
+//!   collapsed with multiplicities so the likelihood loop touches each
+//!   distinct pattern once.
+//! * [`io`] — PHYLIP alignment and Newick tree readers/writers (the input
+//!   formats of the original program and of `ms`/`seq-gen`).
+//! * [`tree`] — the genealogy tree arena: binary coalescent trees with node
+//!   times, traversals, neighborhood queries used by the proposal kernel, and
+//!   coalescent-interval extraction.
+//! * [`distance`] / [`upgma`] — pairwise distances and UPGMA construction of
+//!   the starting genealogy G₀ (Section 5.1.3).
+//! * [`model`] — nucleotide substitution models (JC69, F81 — the model of
+//!   Eq. 20 —, K80, F84, TN93/HKY85) behind one [`model::SubstitutionModel`]
+//!   trait.
+//! * [`likelihood`] — the Felsenstein-pruning data likelihood `P(D|G)`
+//!   (Eq. 19–23), serial and site-parallel (the "data likelihood kernel" of
+//!   Section 5.2.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod distance;
+pub mod error;
+pub mod io;
+pub mod likelihood;
+pub mod model;
+pub mod nucleotide;
+pub mod patterns;
+pub mod sequence;
+pub mod tree;
+pub mod upgma;
+
+pub use alignment::Alignment;
+pub use error::PhyloError;
+pub use likelihood::{FelsensteinPruner, LikelihoodEngine};
+pub use model::{BaseFrequencies, SubstitutionModel};
+pub use nucleotide::Nucleotide;
+pub use patterns::SitePatterns;
+pub use sequence::Sequence;
+pub use tree::{CoalescentIntervals, GeneTree, NodeId};
+pub use upgma::upgma_tree;

@@ -1,0 +1,125 @@
+//! The Felsenstein 1981 (F81) substitution model — the model of Eq. 20.
+//!
+//! Substitution events occur at rate `u`; when an event occurs the new base
+//! is drawn from the stationary frequencies π, independent of the old base.
+//! The transition probability is therefore
+//!
+//! ```text
+//! P_XY(t) = e^{-u t} δ_XY + (1 - e^{-u t}) π_Y
+//! ```
+//!
+//! which is exactly Eq. 20 of the paper. When π is uniform this reduces to
+//! JC69.
+
+use super::{BaseFrequencies, SubstitutionModel};
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// The F81 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F81 {
+    freqs: BaseFrequencies,
+    rate: f64,
+}
+
+impl F81 {
+    /// Create an F81 model with an explicit event rate `u` (Eq. 20's `u`).
+    pub fn with_rate(freqs: BaseFrequencies, rate: f64) -> Result<Self, PhyloError> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "rate > 0",
+            });
+        }
+        Ok(F81 { freqs, rate })
+    }
+
+    /// Create an F81 model whose *expected substitution rate* is one per unit
+    /// time, so branch lengths are measured in expected substitutions per
+    /// site. The event rate is `u = 1 / (1 - Σ π_i²)` because an event only
+    /// produces an observable substitution when the drawn base differs from
+    /// the current one.
+    pub fn normalized(freqs: BaseFrequencies) -> Self {
+        let sum_sq: f64 = freqs.as_array().iter().map(|p| p * p).sum();
+        let rate = 1.0 / (1.0 - sum_sq);
+        F81 { freqs, rate }
+    }
+
+    /// The event rate `u`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl SubstitutionModel for F81 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        let decay = (-self.rate * t).exp();
+        let same = if from == to { 1.0 } else { 0.0 };
+        decay * same + (1.0 - decay) * self.freqs.freq(to)
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        &self.freqs
+    }
+
+    fn name(&self) -> &'static str {
+        "F81"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conformance;
+
+    fn skewed() -> BaseFrequencies {
+        BaseFrequencies::new(0.1, 0.2, 0.3, 0.4).unwrap()
+    }
+
+    #[test]
+    fn conformance_checks() {
+        conformance::assert_all(&F81::normalized(skewed()));
+        conformance::assert_all(&F81::with_rate(skewed(), 0.7).unwrap());
+        conformance::assert_all(&F81::normalized(BaseFrequencies::uniform()));
+    }
+
+    #[test]
+    fn matches_equation_20_directly() {
+        let model = F81::with_rate(skewed(), 2.0).unwrap();
+        let t = 0.3;
+        let decay = (-2.0f64 * t).exp();
+        let p_same = model.transition_prob(Nucleotide::G, Nucleotide::G, t);
+        assert!((p_same - (decay + (1.0 - decay) * 0.3)).abs() < 1e-12);
+        let p_diff = model.transition_prob(Nucleotide::A, Nucleotide::T, t);
+        assert!((p_diff - (1.0 - decay) * 0.4).abs() < 1e-12);
+        assert_eq!(model.rate(), 2.0);
+        assert_eq!(model.name(), "F81");
+    }
+
+    #[test]
+    fn normalized_rate_for_uniform_frequencies_is_four_thirds() {
+        let model = F81::normalized(BaseFrequencies::uniform());
+        assert!((model.rate() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_expected_substitution_rate_is_one() {
+        // Expected instantaneous substitution rate: sum_i pi_i * u * (1 - pi_i) = 1.
+        let freqs = skewed();
+        let model = F81::normalized(freqs);
+        let expected: f64 = freqs
+            .as_array()
+            .iter()
+            .map(|&pi| pi * model.rate() * (1.0 - pi))
+            .sum();
+        assert!((expected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_rate() {
+        assert!(F81::with_rate(skewed(), 0.0).is_err());
+        assert!(F81::with_rate(skewed(), -1.0).is_err());
+        assert!(F81::with_rate(skewed(), f64::INFINITY).is_err());
+    }
+}

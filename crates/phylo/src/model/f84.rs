@@ -1,0 +1,199 @@
+//! The Felsenstein 1984 (F84) substitution model.
+//!
+//! This is the model used by `seq-gen -mF84` in the paper's accuracy
+//! experiment (Section 6.1). It superimposes two Poisson event processes:
+//!
+//! * *general* events at rate `b`: the base is replaced by a draw from the
+//!   stationary frequencies π (any base);
+//! * *within-group* events at rate `a`: the base is replaced by a draw from π
+//!   restricted to its own purine/pyrimidine group.
+//!
+//! The resulting transition probability is
+//!
+//! ```text
+//! P_XY(t) = e^{-(a+b)t} δ_XY
+//!         + e^{-bt} (1 − e^{-at}) (π_Y / Π_{g(X)}) [g(X) = g(Y)]
+//!         + (1 − e^{-bt}) π_Y
+//! ```
+//!
+//! where `Π_{g(X)}` is the total frequency of X's group. Elevated `a`
+//! produces the transition/transversion bias that distinguishes F84 from F81
+//! (`a = 0` recovers F81 exactly, which is tested below).
+
+use super::{BaseFrequencies, SubstitutionModel};
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// The F84 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F84 {
+    freqs: BaseFrequencies,
+    /// Within-group event rate.
+    a: f64,
+    /// General event rate.
+    b: f64,
+}
+
+impl F84 {
+    /// Create an F84 model from explicit event rates `a` (within-group) and
+    /// `b` (general).
+    pub fn with_rates(freqs: BaseFrequencies, a: f64, b: f64) -> Result<Self, PhyloError> {
+        if !(a >= 0.0 && a.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "a",
+                value: a,
+                constraint: "a >= 0",
+            });
+        }
+        if !(b > 0.0 && b.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "b",
+                value: b,
+                constraint: "b > 0",
+            });
+        }
+        Ok(F84 { freqs, a, b })
+    }
+
+    /// Create an F84 model from the within-group/general rate ratio
+    /// κ = a / b, normalised so that one unit of branch length corresponds to
+    /// one expected substitution per site.
+    pub fn new(freqs: BaseFrequencies, kappa: f64) -> Result<Self, PhyloError> {
+        if !(kappa >= 0.0 && kappa.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+                constraint: "kappa >= 0",
+            });
+        }
+        // Expected substitution rate per unit time for unit b:
+        //   S1 = sum_x pi_x (1 - pi_x)                  (general events that change the base)
+        //   S2 = sum_x pi_x (1 - pi_x / group(x))       (within-group events that change the base)
+        // mu = b*S1 + a*S2 with a = kappa*b; choose b so mu = 1.
+        let s1: f64 = Nucleotide::ALL.iter().map(|&x| freqs.freq(x) * (1.0 - freqs.freq(x))).sum();
+        let s2: f64 = Nucleotide::ALL
+            .iter()
+            .map(|&x| freqs.freq(x) * (1.0 - freqs.freq(x) / freqs.group(x)))
+            .sum();
+        let b = 1.0 / (s1 + kappa * s2);
+        let a = kappa * b;
+        F84::with_rates(freqs, a, b)
+    }
+
+    /// The within-group event rate `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The general event rate `b`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Expected number of substitutions per site per unit time.
+    pub fn expected_rate(&self) -> f64 {
+        let s1: f64 = Nucleotide::ALL
+            .iter()
+            .map(|&x| self.freqs.freq(x) * (1.0 - self.freqs.freq(x)))
+            .sum();
+        let s2: f64 = Nucleotide::ALL
+            .iter()
+            .map(|&x| self.freqs.freq(x) * (1.0 - self.freqs.freq(x) / self.freqs.group(x)))
+            .sum();
+        self.b * s1 + self.a * s2
+    }
+}
+
+impl SubstitutionModel for F84 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        let decay_both = (-(self.a + self.b) * t).exp();
+        let decay_b = (-self.b * t).exp();
+        let pi_to = self.freqs.freq(to);
+        let mut p = (1.0 - decay_b) * pi_to;
+        if from.is_purine() == to.is_purine() {
+            p += decay_b * (1.0 - (-self.a * t).exp()) * pi_to / self.freqs.group(from);
+        }
+        if from == to {
+            p += decay_both;
+        }
+        p
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        &self.freqs
+    }
+
+    fn name(&self) -> &'static str {
+        "F84"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conformance;
+    use crate::model::F81;
+
+    fn skewed() -> BaseFrequencies {
+        BaseFrequencies::new(0.35, 0.15, 0.25, 0.25).unwrap()
+    }
+
+    #[test]
+    fn conformance_checks() {
+        conformance::assert_all(&F84::new(skewed(), 2.0).unwrap());
+        conformance::assert_all(&F84::new(skewed(), 0.0).unwrap());
+        conformance::assert_all(&F84::new(BaseFrequencies::uniform(), 5.0).unwrap());
+        conformance::assert_all(&F84::with_rates(skewed(), 0.3, 0.9).unwrap());
+    }
+
+    #[test]
+    fn zero_kappa_reduces_to_f81() {
+        let freqs = skewed();
+        let f84 = F84::new(freqs, 0.0).unwrap();
+        let f81 = F81::with_rate(freqs, f84.b()).unwrap();
+        for &t in &[0.05, 0.4, 1.5] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let a = f84.transition_prob(x, y, t);
+                    let b = f81.transition_prob(x, y, t);
+                    assert!((a - b).abs() < 1e-12, "t={t} {x}->{y}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalised_expected_rate_is_one() {
+        for kappa in [0.0, 1.0, 3.0, 10.0] {
+            let model = F84::new(skewed(), kappa).unwrap();
+            assert!(
+                (model.expected_rate() - 1.0).abs() < 1e-12,
+                "kappa={kappa}: rate {}",
+                model.expected_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn positive_kappa_biases_toward_transitions() {
+        let model = F84::new(BaseFrequencies::uniform(), 5.0).unwrap();
+        let t = 0.2;
+        let transition = model.transition_prob(Nucleotide::C, Nucleotide::T, t);
+        let transversion = model.transition_prob(Nucleotide::C, Nucleotide::A, t);
+        assert!(
+            transition > 2.0 * transversion,
+            "transition {transition} vs transversion {transversion}"
+        );
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let m = F84::new(skewed(), 2.0).unwrap();
+        assert!(m.a() > 0.0 && m.b() > 0.0);
+        assert!((m.a() / m.b() - 2.0).abs() < 1e-12);
+        assert_eq!(m.name(), "F84");
+        assert!(F84::new(skewed(), -1.0).is_err());
+        assert!(F84::with_rates(skewed(), -0.1, 1.0).is_err());
+        assert!(F84::with_rates(skewed(), 0.1, 0.0).is_err());
+    }
+}

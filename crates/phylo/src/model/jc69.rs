@@ -1,0 +1,125 @@
+//! The Jukes–Cantor 1969 (JC69) substitution model.
+//!
+//! All substitutions occur at the same rate and the stationary distribution
+//! is uniform. With branch lengths measured in expected substitutions per
+//! site the transition probabilities have the closed form
+//!
+//! ```text
+//! P_same(t) = 1/4 + 3/4 · e^{-4t/3}
+//! P_diff(t) = 1/4 − 1/4 · e^{-4t/3}
+//! ```
+
+use super::{BaseFrequencies, SubstitutionModel};
+use crate::nucleotide::Nucleotide;
+
+/// The JC69 model (no free parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jc69 {
+    freqs: BaseFrequencies,
+}
+
+impl Jc69 {
+    /// Create the model.
+    pub fn new() -> Self {
+        Jc69 { freqs: BaseFrequencies::uniform() }
+    }
+
+    /// The probability that the base at the two ends of a branch of length
+    /// `t` differs (used by the JC distance correction).
+    pub fn prob_differ(t: f64) -> f64 {
+        0.75 - 0.75 * (-4.0 * t / 3.0).exp()
+    }
+
+    /// The JC69 distance correction: converts an observed proportion of
+    /// differing sites `p` into an expected number of substitutions per site.
+    /// Returns `None` when `p >= 3/4` (saturation).
+    pub fn distance_from_p(p: f64) -> Option<f64> {
+        if !(0.0..0.75).contains(&p) {
+            return None;
+        }
+        Some(-0.75 * (1.0 - 4.0 * p / 3.0).ln())
+    }
+}
+
+impl Default for Jc69 {
+    fn default() -> Self {
+        Jc69::new()
+    }
+}
+
+impl SubstitutionModel for Jc69 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        let decay = (-4.0 * t / 3.0).exp();
+        if from == to {
+            0.25 + 0.75 * decay
+        } else {
+            0.25 - 0.25 * decay
+        }
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        &self.freqs
+    }
+
+    fn name(&self) -> &'static str {
+        "JC69"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conformance;
+    use crate::model::F81;
+
+    #[test]
+    fn conformance_checks() {
+        conformance::assert_all(&Jc69::new());
+    }
+
+    #[test]
+    fn equals_normalized_f81_with_uniform_frequencies() {
+        let jc = Jc69::new();
+        let f81 = F81::normalized(BaseFrequencies::uniform());
+        for &t in &[0.0, 0.1, 0.5, 2.0] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let a = jc.transition_prob(x, y, t);
+                    let b = f81.transition_prob(x, y, t);
+                    assert!((a - b).abs() < 1e-12, "t={t} {x}->{y}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prob_differ_matches_off_diagonal_sum() {
+        let jc = Jc69::new();
+        let t = 0.37;
+        let sum_off: f64 = Nucleotide::ALL
+            .iter()
+            .filter(|&&y| y != Nucleotide::A)
+            .map(|&y| jc.transition_prob(Nucleotide::A, y, t))
+            .sum();
+        assert!((Jc69::prob_differ(t) - sum_off).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_correction_inverts_prob_differ() {
+        for &t in &[0.01, 0.1, 0.5, 1.0] {
+            let p = Jc69::prob_differ(t);
+            let d = Jc69::distance_from_p(p).unwrap();
+            assert!((d - t).abs() < 1e-9, "t={t} recovered as {d}");
+        }
+        assert_eq!(Jc69::distance_from_p(0.75), None);
+        assert_eq!(Jc69::distance_from_p(0.9), None);
+        assert_eq!(Jc69::distance_from_p(-0.1), None);
+        assert_eq!(Jc69::distance_from_p(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(Jc69::default(), Jc69::new());
+        assert_eq!(Jc69::new().name(), "JC69");
+    }
+}

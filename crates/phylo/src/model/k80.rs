@@ -1,0 +1,128 @@
+//! The Kimura 1980 two-parameter (K80) substitution model.
+//!
+//! Transitions (A↔G, C↔T) occur at rate α and each transversion at rate β,
+//! with a uniform stationary distribution. The model is parameterised by the
+//! transition/transversion rate ratio κ = α/β and normalised so branch
+//! lengths are expected substitutions per site (α + 2β = 1).
+
+use super::{BaseFrequencies, SubstitutionModel};
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// The K80 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct K80 {
+    freqs: BaseFrequencies,
+    alpha: f64,
+    beta: f64,
+}
+
+impl K80 {
+    /// Create a K80 model from the transition/transversion rate ratio κ,
+    /// normalised to one expected substitution per unit branch length.
+    pub fn new(kappa: f64) -> Result<Self, PhyloError> {
+        if !(kappa > 0.0 && kappa.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+                constraint: "kappa > 0",
+            });
+        }
+        let beta = 1.0 / (kappa + 2.0);
+        let alpha = kappa * beta;
+        Ok(K80 { freqs: BaseFrequencies::uniform(), alpha, beta })
+    }
+
+    /// The transition rate α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The transversion rate β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The rate ratio κ = α / β.
+    pub fn kappa(&self) -> f64 {
+        self.alpha / self.beta
+    }
+}
+
+impl SubstitutionModel for K80 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        let e4b = (-4.0 * self.beta * t).exp();
+        let e2ab = (-2.0 * (self.alpha + self.beta) * t).exp();
+        if from == to {
+            0.25 + 0.25 * e4b + 0.5 * e2ab
+        } else if from.is_transition_with(to) {
+            0.25 + 0.25 * e4b - 0.5 * e2ab
+        } else {
+            0.25 - 0.25 * e4b
+        }
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        &self.freqs
+    }
+
+    fn name(&self) -> &'static str {
+        "K80"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conformance;
+    use crate::model::Jc69;
+
+    #[test]
+    fn conformance_checks() {
+        for kappa in [0.5, 1.0, 2.0, 10.0] {
+            conformance::assert_all(&K80::new(kappa).unwrap());
+        }
+    }
+
+    #[test]
+    fn kappa_one_reduces_to_jc69() {
+        let k80 = K80::new(1.0).unwrap();
+        let jc = Jc69::new();
+        for &t in &[0.0, 0.1, 0.7, 3.0] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let a = k80.transition_prob(x, y, t);
+                    let b = jc.transition_prob(x, y, t);
+                    assert!((a - b).abs() < 1e-12, "t={t} {x}->{y}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_kappa_favours_transitions() {
+        let k80 = K80::new(10.0).unwrap();
+        let t = 0.2;
+        let transition = k80.transition_prob(Nucleotide::A, Nucleotide::G, t);
+        let transversion = k80.transition_prob(Nucleotide::A, Nucleotide::C, t);
+        assert!(
+            transition > 3.0 * transversion,
+            "transition {transition} should dominate transversion {transversion}"
+        );
+    }
+
+    #[test]
+    fn normalisation_gives_unit_rate() {
+        let k80 = K80::new(4.0).unwrap();
+        assert!((k80.alpha() + 2.0 * k80.beta() - 1.0).abs() < 1e-12);
+        assert!((k80.kappa() - 4.0).abs() < 1e-12);
+        assert_eq!(k80.name(), "K80");
+    }
+
+    #[test]
+    fn rejects_bad_kappa() {
+        assert!(K80::new(0.0).is_err());
+        assert!(K80::new(-1.0).is_err());
+        assert!(K80::new(f64::NAN).is_err());
+    }
+}

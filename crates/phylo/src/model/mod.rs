@@ -1,0 +1,305 @@
+//! Nucleotide substitution models.
+//!
+//! A substitution model supplies the transition probability
+//! `P_{XY}(t)` — the probability that nucleotide `X` mutates to `Y` over a
+//! branch of length `t` — used by the Felsenstein-pruning likelihood
+//! (Eq. 19–20) and by the sequence simulator. The paper's likelihood kernel
+//! uses the Felsenstein 1981 (F81) model of Eq. 20; the accuracy experiment
+//! simulates data under F84 (`seq-gen -mF84`), so both are provided, along
+//! with JC69, K80 and TN93/HKY85.
+//!
+//! All models implement [`SubstitutionModel`]; implementations satisfy the
+//! usual stochastic-matrix invariants (each row of `P(t)` sums to one,
+//! `P(0) = I`, `P(∞)` rows converge to the stationary frequencies) and
+//! detailed balance with respect to their stationary distribution. These
+//! invariants are enforced by shared property tests in this module.
+
+mod f81;
+mod f84;
+mod jc69;
+mod k80;
+mod tn93;
+
+pub use f81::F81;
+pub use f84::F84;
+pub use jc69::Jc69;
+pub use k80::K80;
+pub use tn93::{Hky85, Tn93};
+
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// Stationary base frequencies (π_A, π_C, π_G, π_T).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseFrequencies {
+    freqs: [f64; 4],
+}
+
+impl BaseFrequencies {
+    /// Equal frequencies (¼ each).
+    pub fn uniform() -> Self {
+        BaseFrequencies { freqs: [0.25; 4] }
+    }
+
+    /// Build from raw frequencies, which must be non-negative and sum to a
+    /// positive value; they are normalised to sum to one. Zero entries are
+    /// floored at a tiny pseudo-frequency so that log-likelihoods stay finite.
+    pub fn new(a: f64, c: f64, g: f64, t: f64) -> Result<Self, PhyloError> {
+        let raw = [a, c, g, t];
+        if raw.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "base frequency",
+                value: *raw.iter().find(|&&x| x < 0.0 || !x.is_finite()).unwrap(),
+                constraint: "finite and non-negative",
+            });
+        }
+        let sum: f64 = raw.iter().sum();
+        if sum <= 0.0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "base frequency sum",
+                value: sum,
+                constraint: "strictly positive",
+            });
+        }
+        const FLOOR: f64 = 1e-9;
+        let mut freqs = [0.0; 4];
+        for i in 0..4 {
+            freqs[i] = (raw[i] / sum).max(FLOOR);
+        }
+        let renorm: f64 = freqs.iter().sum();
+        for f in &mut freqs {
+            *f /= renorm;
+        }
+        Ok(BaseFrequencies { freqs })
+    }
+
+    /// Build from observed counts (e.g. from an alignment), applying a
+    /// +1 pseudo-count so no frequency is zero.
+    pub fn from_counts(counts: [usize; 4]) -> Self {
+        let total: usize = counts.iter().sum::<usize>() + 4;
+        let freqs = [
+            (counts[0] + 1) as f64 / total as f64,
+            (counts[1] + 1) as f64 / total as f64,
+            (counts[2] + 1) as f64 / total as f64,
+            (counts[3] + 1) as f64 / total as f64,
+        ];
+        BaseFrequencies { freqs }
+    }
+
+    /// Frequency of the given nucleotide.
+    #[inline]
+    pub fn freq(&self, n: Nucleotide) -> f64 {
+        self.freqs[n.index()]
+    }
+
+    /// Frequencies in `A, C, G, T` order.
+    pub fn as_array(&self) -> [f64; 4] {
+        self.freqs
+    }
+
+    /// Frequency of purines (π_A + π_G).
+    pub fn purine(&self) -> f64 {
+        self.freqs[Nucleotide::A.index()] + self.freqs[Nucleotide::G.index()]
+    }
+
+    /// Frequency of pyrimidines (π_C + π_T).
+    pub fn pyrimidine(&self) -> f64 {
+        self.freqs[Nucleotide::C.index()] + self.freqs[Nucleotide::T.index()]
+    }
+
+    /// Frequency of the group (purine or pyrimidine) that `n` belongs to.
+    pub fn group(&self, n: Nucleotide) -> f64 {
+        if n.is_purine() {
+            self.purine()
+        } else {
+            self.pyrimidine()
+        }
+    }
+}
+
+impl Default for BaseFrequencies {
+    fn default() -> Self {
+        BaseFrequencies::uniform()
+    }
+}
+
+/// A nucleotide substitution model.
+pub trait SubstitutionModel: Send + Sync {
+    /// Transition probability `P_{from,to}(t)`.
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64;
+
+    /// The model's stationary base frequencies.
+    fn base_frequencies(&self) -> &BaseFrequencies;
+
+    /// Short human-readable model name.
+    fn name(&self) -> &'static str;
+
+    /// The full 4×4 transition matrix for branch length `t`, indexed
+    /// `[from][to]`.
+    fn transition_matrix(&self, t: f64) -> [[f64; 4]; 4] {
+        let mut m = [[0.0; 4]; 4];
+        for &x in &Nucleotide::ALL {
+            for &y in &Nucleotide::ALL {
+                m[x.index()][y.index()] = self.transition_prob(x, y, t);
+            }
+        }
+        m
+    }
+}
+
+/// Shared conformance checks used by each model's unit tests.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    pub fn assert_stochastic_rows<M: SubstitutionModel>(model: &M) {
+        for &t in &[0.0, 1e-6, 0.01, 0.3, 1.0, 5.0, 50.0] {
+            let m = model.transition_matrix(t);
+            for row in &m {
+                let sum: f64 = row.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{}: row sum {} at t={}",
+                    model.name(),
+                    sum,
+                    t
+                );
+                assert!(row.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+            }
+        }
+    }
+
+    pub fn assert_identity_at_zero<M: SubstitutionModel>(model: &M) {
+        let m = model.transition_matrix(0.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (m[i][j] - expect).abs() < 1e-9,
+                    "{}: P(0)[{}][{}] = {}",
+                    model.name(),
+                    i,
+                    j,
+                    m[i][j]
+                );
+            }
+        }
+    }
+
+    pub fn assert_converges_to_stationary<M: SubstitutionModel>(model: &M) {
+        let m = model.transition_matrix(1e4);
+        let pi = model.base_frequencies();
+        for &x in &Nucleotide::ALL {
+            for &y in &Nucleotide::ALL {
+                assert!(
+                    (m[x.index()][y.index()] - pi.freq(y)).abs() < 1e-6,
+                    "{}: P(inf)[{}][{}] = {} but pi = {}",
+                    model.name(),
+                    x,
+                    y,
+                    m[x.index()][y.index()],
+                    pi.freq(y)
+                );
+            }
+        }
+    }
+
+    pub fn assert_detailed_balance<M: SubstitutionModel>(model: &M) {
+        let pi = model.base_frequencies();
+        for &t in &[0.05, 0.5, 2.0] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let lhs = pi.freq(x) * model.transition_prob(x, y, t);
+                    let rhs = pi.freq(y) * model.transition_prob(y, x, t);
+                    assert!(
+                        (lhs - rhs).abs() < 1e-9,
+                        "{}: detailed balance violated at t={} for {}->{}: {} vs {}",
+                        model.name(),
+                        t,
+                        x,
+                        y,
+                        lhs,
+                        rhs
+                    );
+                }
+            }
+        }
+    }
+
+    pub fn assert_chapman_kolmogorov<M: SubstitutionModel>(model: &M) {
+        // P(t1 + t2) = P(t1) P(t2) for time-homogeneous Markov substitution.
+        let (t1, t2) = (0.17, 0.41);
+        let a = model.transition_matrix(t1);
+        let b = model.transition_matrix(t2);
+        let c = model.transition_matrix(t1 + t2);
+        for i in 0..4 {
+            for j in 0..4 {
+                let composed: f64 = (0..4).map(|k| a[i][k] * b[k][j]).sum();
+                assert!(
+                    (composed - c[i][j]).abs() < 1e-9,
+                    "{}: Chapman-Kolmogorov violated at [{}][{}]: {} vs {}",
+                    model.name(),
+                    i,
+                    j,
+                    composed,
+                    c[i][j]
+                );
+            }
+        }
+    }
+
+    pub fn assert_all<M: SubstitutionModel>(model: &M) {
+        assert_stochastic_rows(model);
+        assert_identity_at_zero(model);
+        assert_converges_to_stationary(model);
+        assert_detailed_balance(model);
+        assert_chapman_kolmogorov(model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_frequencies() {
+        let f = BaseFrequencies::uniform();
+        for &n in &Nucleotide::ALL {
+            assert_eq!(f.freq(n), 0.25);
+        }
+        assert_eq!(f.purine(), 0.5);
+        assert_eq!(f.pyrimidine(), 0.5);
+        assert_eq!(BaseFrequencies::default(), f);
+    }
+
+    #[test]
+    fn new_normalises_and_floors() {
+        let f = BaseFrequencies::new(2.0, 1.0, 1.0, 0.0).unwrap();
+        let arr = f.as_array();
+        assert!((arr.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f.freq(Nucleotide::A) - 0.5).abs() < 1e-6);
+        assert!(f.freq(Nucleotide::T) > 0.0, "zero frequency must be floored");
+    }
+
+    #[test]
+    fn new_rejects_invalid_input() {
+        assert!(BaseFrequencies::new(-1.0, 1.0, 1.0, 1.0).is_err());
+        assert!(BaseFrequencies::new(0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(BaseFrequencies::new(f64::NAN, 1.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_counts_applies_pseudocount() {
+        let f = BaseFrequencies::from_counts([6, 0, 0, 0]);
+        assert!(f.freq(Nucleotide::C) > 0.0);
+        assert!((f.as_array().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f.freq(Nucleotide::A), 0.7);
+    }
+
+    #[test]
+    fn group_frequency_dispatch() {
+        let f = BaseFrequencies::new(0.1, 0.2, 0.3, 0.4).unwrap();
+        assert!((f.group(Nucleotide::A) - 0.4).abs() < 1e-9);
+        assert!((f.group(Nucleotide::C) - 0.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! The Tamura–Nei 1993 (TN93) substitution model and its HKY85 special case.
+//!
+//! TN93 allows unequal base frequencies, a transversion rate β and separate
+//! transition rates within purines (α_R) and within pyrimidines (α_Y). The
+//! closed-form transition probabilities use the spectral decomposition of the
+//! rate matrix; with `Π_g` the total frequency of the group `g(j)` of the
+//! target base and `λ_g = Π_g α_g + (1 − Π_g) β`:
+//!
+//! ```text
+//! transversion:  P_ij(t) = π_j (1 − e^{-βt})
+//! transition:    P_ij(t) = π_j + π_j (1/Π_g − 1) e^{-βt} − (π_j/Π_g) e^{-λ_g t}
+//! identity:      P_jj(t) = π_j + π_j (1/Π_g − 1) e^{-βt} + ((Π_g − π_j)/Π_g) e^{-λ_g t}
+//! ```
+//!
+//! HKY85 is TN93 with α_R = α_Y = κβ. The correctness of the closed form is
+//! enforced by the shared conformance tests (stochastic rows, identity at
+//! t = 0, convergence to π, detailed balance and Chapman–Kolmogorov), plus
+//! reductions to JC69 and F81 in the unit tests.
+
+use super::{BaseFrequencies, SubstitutionModel};
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// The TN93 model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tn93 {
+    freqs: BaseFrequencies,
+    alpha_r: f64,
+    alpha_y: f64,
+    beta: f64,
+}
+
+impl Tn93 {
+    /// Create a TN93 model from raw rates.
+    pub fn with_rates(
+        freqs: BaseFrequencies,
+        alpha_r: f64,
+        alpha_y: f64,
+        beta: f64,
+    ) -> Result<Self, PhyloError> {
+        for (name, value) in [("alpha_r", alpha_r), ("alpha_y", alpha_y), ("beta", beta)] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(PhyloError::InvalidParameter {
+                    name: match name {
+                        "alpha_r" => "alpha_r",
+                        "alpha_y" => "alpha_y",
+                        _ => "beta",
+                    },
+                    value,
+                    constraint: "rate > 0",
+                });
+            }
+        }
+        Ok(Tn93 { freqs, alpha_r, alpha_y, beta })
+    }
+
+    /// Create a TN93 model from the two transition/transversion ratios
+    /// κ_R = α_R/β and κ_Y = α_Y/β, normalised to one expected substitution
+    /// per site per unit branch length.
+    pub fn new(freqs: BaseFrequencies, kappa_r: f64, kappa_y: f64) -> Result<Self, PhyloError> {
+        if !(kappa_r > 0.0 && kappa_r.is_finite()) || !(kappa_y > 0.0 && kappa_y.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "kappa",
+                value: if kappa_r.is_finite() && kappa_r > 0.0 { kappa_y } else { kappa_r },
+                constraint: "kappa > 0",
+            });
+        }
+        let pi = freqs.as_array();
+        let (pa, pc, pg, pt) = (pi[0], pi[1], pi[2], pi[3]);
+        let pr = pa + pg;
+        let py = pc + pt;
+        // Expected rate for beta = 1: mu = 2(pa*pg*kr + pc*pt*ky + pr*py).
+        let mu_unit = 2.0 * (pa * pg * kappa_r + pc * pt * kappa_y + pr * py);
+        let beta = 1.0 / mu_unit;
+        Tn93::with_rates(freqs, kappa_r * beta, kappa_y * beta, beta)
+    }
+
+    /// Purine transition rate α_R.
+    pub fn alpha_r(&self) -> f64 {
+        self.alpha_r
+    }
+
+    /// Pyrimidine transition rate α_Y.
+    pub fn alpha_y(&self) -> f64 {
+        self.alpha_y
+    }
+
+    /// Transversion rate β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Expected substitutions per site per unit time.
+    pub fn expected_rate(&self) -> f64 {
+        let pi = self.freqs.as_array();
+        let (pa, pc, pg, pt) = (pi[0], pi[1], pi[2], pi[3]);
+        let pr = pa + pg;
+        let py = pc + pt;
+        2.0 * (pa * pg * self.alpha_r + pc * pt * self.alpha_y + pr * py * self.beta)
+    }
+
+    fn group_rate(&self, n: Nucleotide) -> f64 {
+        if n.is_purine() {
+            self.alpha_r
+        } else {
+            self.alpha_y
+        }
+    }
+}
+
+impl SubstitutionModel for Tn93 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        let pi_j = self.freqs.freq(to);
+        let e_beta = (-self.beta * t).exp();
+        if from.is_transversion_with(to) {
+            return pi_j * (1.0 - e_beta);
+        }
+        // Same group (includes the diagonal).
+        let group = self.freqs.group(to);
+        let alpha = self.group_rate(to);
+        let lambda = group * alpha + (1.0 - group) * self.beta;
+        let e_lambda = (-lambda * t).exp();
+        let shared = pi_j + pi_j * (1.0 / group - 1.0) * e_beta;
+        if from == to {
+            shared + ((group - pi_j) / group) * e_lambda
+        } else {
+            shared - (pi_j / group) * e_lambda
+        }
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        &self.freqs
+    }
+
+    fn name(&self) -> &'static str {
+        "TN93"
+    }
+}
+
+/// The Hasegawa–Kishino–Yano 1985 model: TN93 with a single transition /
+/// transversion ratio κ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hky85 {
+    inner: Tn93,
+}
+
+impl Hky85 {
+    /// Create an HKY85 model, normalised to one expected substitution per
+    /// site per unit branch length.
+    pub fn new(freqs: BaseFrequencies, kappa: f64) -> Result<Self, PhyloError> {
+        Ok(Hky85 { inner: Tn93::new(freqs, kappa, kappa)? })
+    }
+
+    /// The underlying TN93 parameterisation.
+    pub fn as_tn93(&self) -> &Tn93 {
+        &self.inner
+    }
+
+    /// The transition/transversion rate ratio κ.
+    pub fn kappa(&self) -> f64 {
+        self.inner.alpha_r() / self.inner.beta()
+    }
+}
+
+impl SubstitutionModel for Hky85 {
+    fn transition_prob(&self, from: Nucleotide, to: Nucleotide, t: f64) -> f64 {
+        self.inner.transition_prob(from, to, t)
+    }
+
+    fn base_frequencies(&self) -> &BaseFrequencies {
+        self.inner.base_frequencies()
+    }
+
+    fn name(&self) -> &'static str {
+        "HKY85"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conformance;
+    use crate::model::{Jc69, F81};
+
+    fn skewed() -> BaseFrequencies {
+        BaseFrequencies::new(0.3, 0.2, 0.15, 0.35).unwrap()
+    }
+
+    #[test]
+    fn conformance_checks() {
+        conformance::assert_all(&Tn93::new(skewed(), 2.0, 4.0).unwrap());
+        conformance::assert_all(&Tn93::new(skewed(), 1.0, 1.0).unwrap());
+        conformance::assert_all(&Hky85::new(skewed(), 3.0).unwrap());
+        conformance::assert_all(&Hky85::new(BaseFrequencies::uniform(), 1.0).unwrap());
+        conformance::assert_all(&Tn93::with_rates(skewed(), 0.5, 0.8, 0.2).unwrap());
+    }
+
+    #[test]
+    fn uniform_frequencies_unit_kappa_reduces_to_jc69() {
+        let hky = Hky85::new(BaseFrequencies::uniform(), 1.0).unwrap();
+        let jc = Jc69::new();
+        for &t in &[0.05, 0.3, 1.2] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let a = hky.transition_prob(x, y, t);
+                    let b = jc.transition_prob(x, y, t);
+                    assert!((a - b).abs() < 1e-9, "t={t} {x}->{y}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_kappa_skewed_frequencies_reduces_to_f81() {
+        // With alpha = beta the TN93 rate matrix is exactly the F81 matrix
+        // with event rate u = beta.
+        let freqs = skewed();
+        let hky = Hky85::new(freqs, 1.0).unwrap();
+        let f81 = F81::with_rate(freqs, hky.as_tn93().beta()).unwrap();
+        for &t in &[0.05, 0.4, 2.0] {
+            for &x in &Nucleotide::ALL {
+                for &y in &Nucleotide::ALL {
+                    let a = hky.transition_prob(x, y, t);
+                    let b = f81.transition_prob(x, y, t);
+                    assert!((a - b).abs() < 1e-9, "t={t} {x}->{y}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalised_expected_rate_is_one() {
+        for (kr, ky) in [(1.0, 1.0), (2.0, 5.0), (8.0, 3.0)] {
+            let m = Tn93::new(skewed(), kr, ky).unwrap();
+            assert!(
+                (m.expected_rate() - 1.0).abs() < 1e-12,
+                "({kr},{ky}): {}",
+                m.expected_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn transition_bias_follows_group_rates() {
+        // alpha_Y >> alpha_R: pyrimidine transitions should outpace purine ones.
+        let m = Tn93::new(BaseFrequencies::uniform(), 1.0, 10.0).unwrap();
+        let t = 0.1;
+        let py_transition = m.transition_prob(Nucleotide::C, Nucleotide::T, t);
+        let pu_transition = m.transition_prob(Nucleotide::A, Nucleotide::G, t);
+        assert!(py_transition > 2.0 * pu_transition);
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let m = Tn93::new(skewed(), 2.0, 3.0).unwrap();
+        assert!(m.alpha_r() > 0.0 && m.alpha_y() > 0.0 && m.beta() > 0.0);
+        assert!((m.alpha_r() / m.beta() - 2.0).abs() < 1e-9);
+        assert!((m.alpha_y() / m.beta() - 3.0).abs() < 1e-9);
+        assert_eq!(m.name(), "TN93");
+
+        let h = Hky85::new(skewed(), 4.0).unwrap();
+        assert!((h.kappa() - 4.0).abs() < 1e-9);
+        assert_eq!(h.name(), "HKY85");
+
+        assert!(Tn93::new(skewed(), 0.0, 1.0).is_err());
+        assert!(Tn93::new(skewed(), 1.0, -2.0).is_err());
+        assert!(Tn93::with_rates(skewed(), 1.0, 1.0, 0.0).is_err());
+        assert!(Hky85::new(skewed(), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Named DNA sequences and their 2-bit packed representation.
+
+use crate::error::PhyloError;
+use crate::nucleotide::Nucleotide;
+
+/// A named DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    name: String,
+    bases: Vec<Nucleotide>,
+}
+
+impl Sequence {
+    /// Create a sequence from a name and bases.
+    pub fn new(name: impl Into<String>, bases: Vec<Nucleotide>) -> Self {
+        Sequence { name: name.into(), bases }
+    }
+
+    /// Parse a sequence from a string of `ACGT` characters (case
+    /// insensitive, whitespace ignored).
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, PhyloError> {
+        let mut bases = Vec::with_capacity(text.len());
+        for (i, c) in text.chars().filter(|c| !c.is_whitespace()).enumerate() {
+            bases.push(Nucleotide::try_from_char(c, i)?);
+        }
+        Ok(Sequence { name: name.into(), bases })
+    }
+
+    /// The sequence name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bases.
+    pub fn bases(&self) -> &[Nucleotide] {
+        &self.bases
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The base at `position`.
+    ///
+    /// # Panics
+    /// Panics if `position` is out of range.
+    pub fn base(&self, position: usize) -> Nucleotide {
+        self.bases[position]
+    }
+
+    /// Render the bases as an `ACGT` string.
+    pub fn to_letters(&self) -> String {
+        self.bases.iter().map(|b| b.to_char()).collect()
+    }
+
+    /// Number of positions at which `self` and `other` differ, compared over
+    /// the shorter of the two lengths.
+    pub fn hamming_distance(&self, other: &Sequence) -> usize {
+        self.bases
+            .iter()
+            .zip(other.bases.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Pack into a compact 2-bit-per-base representation.
+    pub fn packed(&self) -> PackedSequence {
+        PackedSequence::from_bases(&self.bases)
+    }
+}
+
+/// A DNA sequence packed two bits per base into 64-bit words.
+///
+/// Thirty-two bases fit in each word, mirroring the constant-memory layout of
+/// Section 5.1.3 where "an entire warp can be populated out of 64 bits of
+/// data".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSequence {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedSequence {
+    /// Bases stored per 64-bit word.
+    pub const BASES_PER_WORD: usize = 32;
+
+    /// Pack a slice of bases.
+    pub fn from_bases(bases: &[Nucleotide]) -> Self {
+        let mut words = vec![0u64; bases.len().div_ceil(Self::BASES_PER_WORD)];
+        for (i, base) in bases.iter().enumerate() {
+            let word = i / Self::BASES_PER_WORD;
+            let shift = 2 * (i % Self::BASES_PER_WORD);
+            words[word] |= (base.to_bits() as u64) << shift;
+        }
+        PackedSequence { words, len: bases.len() }
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The base at `position`.
+    ///
+    /// # Panics
+    /// Panics if `position >= len()`.
+    #[inline]
+    pub fn base(&self, position: usize) -> Nucleotide {
+        assert!(position < self.len, "position {position} out of range for length {}", self.len);
+        let word = self.words[position / Self::BASES_PER_WORD];
+        let shift = 2 * (position % Self::BASES_PER_WORD);
+        Nucleotide::from_bits(((word >> shift) & 0b11) as u8)
+    }
+
+    /// Unpack into a vector of bases.
+    pub fn unpack(&self) -> Vec<Nucleotide> {
+        (0..self.len).map(|i| self.base(i)).collect()
+    }
+
+    /// The underlying packed words (the last word's unused high bits are
+    /// zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bytes of storage used by the packed representation.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let s = Sequence::parse("s1", "ACG TTa cg").unwrap();
+        assert_eq!(s.name(), "s1");
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_letters(), "ACGTTACG");
+        assert_eq!(s.base(0), Nucleotide::A);
+        assert_eq!(s.base(7), Nucleotide::G);
+    }
+
+    #[test]
+    fn parse_rejects_invalid_characters() {
+        let err = Sequence::parse("bad", "ACGX").unwrap_err();
+        assert!(matches!(err, PhyloError::InvalidNucleotide { character: 'X', .. }));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::new("e", vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.to_letters(), "");
+        let p = s.packed();
+        assert!(p.is_empty());
+        assert_eq!(p.unpack(), Vec::<Nucleotide>::new());
+        assert_eq!(p.storage_bytes(), 0);
+    }
+
+    #[test]
+    fn hamming_distance_counts_mismatches() {
+        let a = Sequence::parse("a", "AAAA").unwrap();
+        let b = Sequence::parse("b", "AATT").unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+        // Shorter-of-the-two comparison.
+        let c = Sequence::parse("c", "AA").unwrap();
+        assert_eq!(a.hamming_distance(&c), 0);
+    }
+
+    #[test]
+    fn packing_round_trips_for_awkward_lengths() {
+        for len in [1usize, 31, 32, 33, 63, 64, 65, 100] {
+            let bases: Vec<Nucleotide> =
+                (0..len).map(|i| Nucleotide::from_index(i % 4)).collect();
+            let packed = PackedSequence::from_bases(&bases);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.unpack(), bases);
+            assert_eq!(packed.words().len(), len.div_ceil(32));
+        }
+    }
+
+    #[test]
+    fn packed_storage_is_compact() {
+        let bases: Vec<Nucleotide> = (0..640).map(|i| Nucleotide::from_index(i % 4)).collect();
+        let packed = PackedSequence::from_bases(&bases);
+        // 640 bases -> 20 words -> 160 bytes, versus 640 bytes unpacked.
+        assert_eq!(packed.storage_bytes(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_base_out_of_range_panics() {
+        let packed = PackedSequence::from_bases(&[Nucleotide::A]);
+        let _ = packed.base(1);
+    }
+
+    #[test]
+    fn packed_from_sequence_matches_manual_packing() {
+        let s = Sequence::parse("s", "ACGTACGT").unwrap();
+        assert_eq!(s.packed(), PackedSequence::from_bases(s.bases()));
+    }
+}

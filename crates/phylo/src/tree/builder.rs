@@ -1,0 +1,165 @@
+//! Incremental construction of genealogies.
+
+use super::{GeneTree, Node, NodeId};
+use crate::error::PhyloError;
+
+/// Builds a [`GeneTree`] by adding tips and joining nodes bottom-up.
+///
+/// The builder mirrors how a coalescent history is narrated: tips exist at
+/// the present, and each `join` is one coalescent event at a given time.
+#[derive(Debug, Default, Clone)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    n_tips: usize,
+}
+
+impl TreeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new(), n_tips: 0 }
+    }
+
+    /// Add a labelled tip at the given time (0 for contemporary samples).
+    pub fn add_tip(&mut self, label: impl Into<String>, time: f64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            parent: None,
+            children: None,
+            time,
+            label: Some(label.into()),
+        });
+        self.n_tips += 1;
+        id
+    }
+
+    /// Join two parentless nodes under a new interior node at `time`,
+    /// returning the new node's id.
+    ///
+    /// # Panics
+    /// Panics if either node already has a parent or if `a == b`.
+    pub fn join(&mut self, a: NodeId, b: NodeId, time: f64) -> NodeId {
+        assert_ne!(a, b, "cannot join a node with itself");
+        assert!(self.nodes[a].parent.is_none(), "node {a} already has a parent");
+        assert!(self.nodes[b].parent.is_none(), "node {b} already has a parent");
+        let id = self.nodes.len();
+        self.nodes.push(Node { parent: None, children: Some((a, b)), time, label: None });
+        self.nodes[a].parent = Some(id);
+        self.nodes[b].parent = Some(id);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tips added so far.
+    pub fn n_tips(&self) -> usize {
+        self.n_tips
+    }
+
+    /// Ids of the nodes that currently have no parent (the "active roots").
+    pub fn orphans(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].parent.is_none()).collect()
+    }
+
+    /// The time of a node added so far.
+    pub fn time(&self, node: NodeId) -> f64 {
+        self.nodes[node].time
+    }
+
+    /// Finish building. Fails unless exactly one parentless node remains
+    /// (the root) and the tree passes [`GeneTree::validate`].
+    pub fn build(self) -> Result<GeneTree, PhyloError> {
+        if self.n_tips == 0 {
+            return Err(PhyloError::Empty { what: "tree" });
+        }
+        let orphans = self.orphans();
+        if orphans.len() != 1 {
+            return Err(PhyloError::InvalidTree {
+                message: format!(
+                    "expected exactly one root, found {} parentless nodes",
+                    orphans.len()
+                ),
+            });
+        }
+        let tree = GeneTree::from_parts(self.nodes, orphans[0], self.n_tips);
+        tree.validate()?;
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_tree() {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        let y = b.add_tip("y", 0.0);
+        assert_eq!(b.n_tips(), 2);
+        assert_eq!(b.orphans(), vec![x, y]);
+        let r = b.join(x, y, 1.0);
+        assert_eq!(b.n_nodes(), 3);
+        assert_eq!(b.time(r), 1.0);
+        let tree = b.build().unwrap();
+        assert_eq!(tree.root(), r);
+        assert_eq!(tree.n_tips(), 2);
+        assert_eq!(tree.children(r), Some((x, y)));
+    }
+
+    #[test]
+    fn rejects_empty_and_forest() {
+        assert!(matches!(TreeBuilder::new().build(), Err(PhyloError::Empty { .. })));
+
+        let mut b = TreeBuilder::new();
+        b.add_tip("a", 0.0);
+        b.add_tip("b", 0.0);
+        // Two orphans, no join: not a tree.
+        assert!(matches!(b.build(), Err(PhyloError::InvalidTree { .. })));
+    }
+
+    #[test]
+    fn rejects_time_inversions_at_build() {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        let y = b.add_tip("y", 0.0);
+        let z = b.add_tip("z", 0.0);
+        let inner = b.join(x, y, 2.0);
+        // Root younger than its child: invalid.
+        let _root = b.join(inner, z, 1.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a parent")]
+    fn join_rejects_reuse() {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        let y = b.add_tip("y", 0.0);
+        let z = b.add_tip("z", 0.0);
+        b.join(x, y, 1.0);
+        b.join(x, z, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn join_rejects_self_join() {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        b.join(x, x, 1.0);
+    }
+
+    #[test]
+    fn serially_sampled_tips_are_allowed() {
+        let mut b = TreeBuilder::new();
+        let x = b.add_tip("x", 0.0);
+        let y = b.add_tip("y", 0.5);
+        let r = b.join(x, y, 2.0);
+        let tree = b.build().unwrap();
+        assert_eq!(tree.time(y), 0.5);
+        assert_eq!(tree.branch_length(y), Some(1.5));
+        assert_eq!(tree.root(), r);
+    }
+}

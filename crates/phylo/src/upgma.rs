@@ -1,0 +1,223 @@
+//! UPGMA tree construction (Section 5.1.3).
+//!
+//! The starting genealogy G₀ of the Markov chain is "the UPGMA tree generated
+//! by the distance between sequences in D": clusters are repeatedly merged in
+//! order of smallest average linkage distance, the height of each merge being
+//! half the distance (so leaf-to-root paths are ultrametric). Branch lengths
+//! are subsequently scaled by the driving θ via [`GeneTree::scale_times`].
+
+use crate::alignment::Alignment;
+use crate::distance::{DistanceMatrix, DistanceMetric};
+use crate::error::PhyloError;
+use crate::tree::{GeneTree, TreeBuilder};
+
+/// Build a UPGMA tree from a precomputed distance matrix.
+pub fn upgma_from_distances(matrix: &DistanceMatrix) -> Result<GeneTree, PhyloError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(PhyloError::Empty { what: "distance matrix" });
+    }
+    if n == 1 {
+        return Err(PhyloError::InvalidTree {
+            message: "UPGMA needs at least two sequences".into(),
+        });
+    }
+
+    let mut builder = TreeBuilder::new();
+    /// One active cluster during agglomeration.
+    struct Cluster {
+        node: usize,
+        size: usize,
+        height: f64,
+    }
+    let mut clusters: Vec<Cluster> = (0..n)
+        .map(|i| Cluster { node: builder.add_tip(matrix.names()[i].clone(), 0.0), size: 1, height: 0.0 })
+        .collect();
+    // Working copy of pairwise distances between active clusters, indexed by
+    // position in `clusters`.
+    let mut dist: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
+
+    while clusters.len() > 1 {
+        // Find the closest pair.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if dist[i][j] < best {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Merge: height of the new node is half the distance, but never below
+        // either child's height (guards against non-ultrametric input).
+        let height = (best / 2.0).max(clusters[bi].height).max(clusters[bj].height);
+        let node = builder.join(clusters[bi].node, clusters[bj].node, height);
+        let merged_size = clusters[bi].size + clusters[bj].size;
+
+        // New distances by weighted average linkage.
+        let mut new_row: Vec<f64> = Vec::with_capacity(clusters.len() - 1);
+        for k in 0..clusters.len() {
+            if k == bi || k == bj {
+                continue;
+            }
+            let d = (dist[bi][k] * clusters[bi].size as f64
+                + dist[bj][k] * clusters[bj].size as f64)
+                / merged_size as f64;
+            new_row.push(d);
+        }
+
+        // Remove bj then bi (bj > bi) from clusters and the distance matrix.
+        let (hi, lo) = (bj, bi);
+        clusters.remove(hi);
+        clusters.remove(lo);
+        dist.remove(hi);
+        dist.remove(lo);
+        for row in &mut dist {
+            row.remove(hi);
+            row.remove(lo);
+        }
+        // Append the merged cluster.
+        clusters.push(Cluster { node, size: merged_size, height });
+        for (row, &d) in dist.iter_mut().zip(new_row.iter()) {
+            row.push(d);
+        }
+        let mut last_row = new_row;
+        last_row.push(0.0);
+        dist.push(last_row);
+    }
+
+    builder.build()
+}
+
+/// Build the UPGMA starting genealogy for an alignment, as the paper does:
+/// Hamming distances, merge heights of half the distance, then scale all node
+/// times by `theta_scale` (the driving θ, divided by the sequence length so
+/// the heights are in the same units as coalescent time).
+pub fn upgma_tree(alignment: &Alignment, theta_scale: f64) -> Result<GeneTree, PhyloError> {
+    if !(theta_scale > 0.0 && theta_scale.is_finite()) {
+        return Err(PhyloError::InvalidParameter {
+            name: "theta_scale",
+            value: theta_scale,
+            constraint: "theta_scale > 0",
+        });
+    }
+    let matrix = DistanceMatrix::from_alignment(alignment, DistanceMetric::PDistance)?;
+    let mut tree = upgma_from_distances(&matrix)?;
+    // Guard against a completely invariant alignment, which yields a
+    // zero-height tree that the samplers cannot perturb: give it a small
+    // positive height proportional to the driving value.
+    if tree.tmrca() <= 0.0 {
+        let n = tree.n_nodes();
+        for node in tree.internal_nodes() {
+            // Spread internal nodes over (0, 0.5] in arena order.
+            let t = 0.5 * ((node + 1) as f64 / n as f64);
+            tree.set_time(node, t);
+        }
+        // Re-sort times so parents stay older than children.
+        fix_ordering(&mut tree);
+    }
+    tree.scale_times(theta_scale);
+    tree.validate()?;
+    Ok(tree)
+}
+
+/// Ensure each parent is at least as old as its children by pushing parents
+/// upward where necessary (used only for the degenerate invariant-data case).
+fn fix_ordering(tree: &mut GeneTree) {
+    let order = tree.post_order();
+    for node in order {
+        if let Some((a, b)) = tree.children(node) {
+            let min_parent = tree.time(a).max(tree.time(b)) + 1e-6;
+            if tree.time(node) < min_parent {
+                tree.set_time(node, min_parent);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Alignment;
+
+    #[test]
+    fn clusters_most_similar_sequences_first() {
+        let a = Alignment::from_letters(&[
+            ("close1", "AAAAAAAAAA"),
+            ("close2", "AAAAAAAAAT"),
+            ("far", "TTTTTTTTAA"),
+        ])
+        .unwrap();
+        let tree = upgma_tree(&a, 1.0).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.n_tips(), 3);
+        let c1 = tree.tip_by_label("close1").unwrap();
+        let c2 = tree.tip_by_label("close2").unwrap();
+        // close1 and close2 must be siblings.
+        assert_eq!(tree.sibling(c1), Some(c2));
+        // Their ancestor must be younger than the root.
+        let anc = tree.parent(c1).unwrap();
+        assert!(tree.time(anc) < tree.tmrca());
+    }
+
+    #[test]
+    fn ultrametric_heights_are_half_the_distance() {
+        let a = Alignment::from_letters(&[("x", "AAAA"), ("y", "AATT")]).unwrap();
+        let tree = upgma_tree(&a, 1.0).unwrap();
+        // p-distance = 0.5, height = 0.25.
+        assert!((tree.tmrca() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_scaling_multiplies_times() {
+        let a = Alignment::from_letters(&[("x", "AAAA"), ("y", "AATT")]).unwrap();
+        let t1 = upgma_tree(&a, 1.0).unwrap();
+        let t2 = upgma_tree(&a, 2.0).unwrap();
+        assert!((t2.tmrca() - 2.0 * t1.tmrca()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_alignment_still_produces_a_usable_tree() {
+        let a = Alignment::from_letters(&[
+            ("a", "AAAA"),
+            ("b", "AAAA"),
+            ("c", "AAAA"),
+        ])
+        .unwrap();
+        let tree = upgma_tree(&a, 0.5).unwrap();
+        tree.validate().unwrap();
+        assert!(tree.tmrca() > 0.0, "degenerate tree must be given positive height");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let a = Alignment::from_letters(&[("x", "AAAA"), ("y", "AATT")]).unwrap();
+        assert!(upgma_tree(&a, 0.0).is_err());
+        assert!(upgma_tree(&a, f64::NAN).is_err());
+        let single = Alignment::from_letters(&[("only", "ACGT")]).unwrap();
+        assert!(upgma_tree(&single, 1.0).is_err());
+    }
+
+    #[test]
+    fn larger_alignment_produces_valid_binary_tree() {
+        let a = Alignment::from_letters(&[
+            ("s1", "ACGTACGTACGTACGT"),
+            ("s2", "ACGTACGTACGTACGA"),
+            ("s3", "ACGTACGAACGTACGA"),
+            ("s4", "ACGAACGAACGTACGA"),
+            ("s5", "TCGAACGAACGAACGA"),
+            ("s6", "TCGAACGAACGAACTA"),
+        ])
+        .unwrap();
+        let tree = upgma_tree(&a, 1.0).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.n_tips(), 6);
+        assert_eq!(tree.n_nodes(), 11);
+        // Every tip label survives.
+        for name in ["s1", "s2", "s3", "s4", "s5", "s6"] {
+            assert!(tree.tip_by_label(name).is_some(), "missing {name}");
+        }
+    }
+}

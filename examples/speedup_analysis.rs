@@ -1,0 +1,46 @@
+//! Speedup analysis: the device/host cost model behind Tables 2–4 and the
+//! Amdahl argument of Section 3, printed for interactive exploration.
+//!
+//! Run with `cargo run --release -p mpcgs --example speedup_analysis`.
+
+use exec::amdahl::{multichain_time, parallel_burnin_time};
+use mpcgs::perf::{
+    SpeedupModel, Workload, TABLE2_SAMPLES, TABLE3_SEQUENCES, TABLE4_LENGTHS,
+};
+
+fn main() {
+    let model = SpeedupModel::paper_calibrated();
+    let reference = Workload::reference();
+    println!("reference workload: {reference:?}");
+    println!(
+        "modelled runtimes: baseline {:.1} s, mpcgs {:.1} s, speedup {:.2}x\n",
+        model.lamarc_time_us(&reference) / 1e6,
+        model.mpcgs_time_us(&reference) / 1e6,
+        model.speedup(&reference)
+    );
+
+    println!("speedup vs number of samples (Table 2 / Figure 14):");
+    for (samples, speedup) in model.sweep_samples(&TABLE2_SAMPLES) {
+        println!("   {samples:>7} samples -> {speedup:.2}x");
+    }
+    println!("\nspeedup vs number of sequences (Table 3 / Figure 15):");
+    for (n, speedup) in model.sweep_sequences(&TABLE3_SEQUENCES) {
+        println!("   {n:>3} sequences -> {speedup:.2}x");
+    }
+    println!("\nspeedup vs sequence length (Table 4 / Figure 16):");
+    for (len, speedup) in model.sweep_sequence_length(&TABLE4_LENGTHS) {
+        println!("   {len:>4} bp -> {speedup:.2}x");
+    }
+
+    // The Amdahl argument (Section 3): why the multi-chain work-around stops
+    // scaling while the parallel-burn-in scheme keeps dividing.
+    println!("\nidealised chain cost with B = 1000, N = 10000 (Section 3):");
+    println!("   P    multi-chain B+N/P    parallel burn-in (B+N)/P");
+    for p in [1usize, 4, 16, 64, 256] {
+        println!(
+            "   {p:>3}  {:>18.1}  {:>25.1}",
+            multichain_time(1_000.0, 10_000.0, p),
+            parallel_burnin_time(1_000.0, 10_000.0, p)
+        );
+    }
+}

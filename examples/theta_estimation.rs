@@ -1,0 +1,89 @@
+//! Side-by-side θ estimation: the baseline single-proposal sampler versus the
+//! multi-proposal sampler on the same simulated data (the comparison behind
+//! Table 1 / Figure 13), plus the relative-likelihood curve of Figure 5.
+//!
+//! Run with `cargo run --release -p mpcgs --example theta_estimation`.
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use lamarc::{EmConfig, LamarcEstimator};
+use mcmc::rng::Mt19937;
+use phylo::model::Jc69;
+
+use mpcgs::{MpcgsConfig, RelativeLikelihood, ThetaEstimator};
+
+fn main() {
+    let true_theta = 2.0;
+    let mut rng = Mt19937::new(99);
+    let tree = CoalescentSimulator::constant(true_theta)
+        .expect("valid theta")
+        .simulate(&mut rng, 10)
+        .expect("simulation succeeds");
+    let alignment = SequenceSimulator::new(Jc69::new(), 300, 1.0)
+        .expect("valid simulator")
+        .simulate(&mut rng, &tree)
+        .expect("sequence simulation succeeds");
+    println!(
+        "data: {} sequences x {} sites simulated at theta = {true_theta}\n",
+        alignment.n_sequences(),
+        alignment.n_sites()
+    );
+
+    // Baseline estimator (single-proposal Metropolis-Hastings).
+    let baseline = LamarcEstimator::new(
+        alignment.clone(),
+        EmConfig {
+            initial_theta: 0.5,
+            em_iterations: 2,
+            burn_in: 400,
+            samples: 4_000,
+            thinning: 1,
+            ..Default::default()
+        },
+    )
+    .expect("valid baseline configuration")
+    .estimate(&mut rng)
+    .expect("baseline estimation succeeds");
+    println!("baseline (LAMARC-style) estimate: theta = {:.4}", baseline.theta);
+    for (i, it) in baseline.iterations.iter().enumerate() {
+        println!(
+            "   iteration {}: driving {:.4} -> estimate {:.4} (acceptance {:.2})",
+            i + 1,
+            it.driving_theta,
+            it.estimate,
+            it.acceptance_rate
+        );
+    }
+
+    // Multi-proposal estimator.
+    let config = MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 16,
+        draws_per_iteration: 16,
+        burn_in_draws: 400,
+        sample_draws: 4_000,
+        ..MpcgsConfig::default()
+    };
+    let estimator =
+        ThetaEstimator::new(alignment, config).expect("valid mpcgs configuration");
+    let mpcgs_estimate = estimator.estimate(&mut rng).expect("mpcgs estimation succeeds");
+    println!("\nmpcgs (multi-proposal) estimate:  theta = {:.4}", mpcgs_estimate.theta);
+    for (i, it) in mpcgs_estimate.iterations.iter().enumerate() {
+        println!(
+            "   iteration {}: driving {:.4} -> estimate {:.4} (move rate {:.2})",
+            i + 1,
+            it.driving_theta,
+            it.estimate,
+            it.move_rate
+        );
+    }
+
+    // The relative-likelihood curve around the final estimate (Figure 5).
+    let grid = RelativeLikelihood::log_grid(0.2, 8.0, 16);
+    let curve = estimator.likelihood_curve(&mut rng, &grid).expect("curve evaluation succeeds");
+    println!("\nrelative log-likelihood curve (driving theta = 0.5):");
+    for (theta, lnl) in curve {
+        println!("   theta {:>7.3}   ln L {:>9.3}", theta, lnl);
+    }
+    println!("\ntrue theta: {true_theta}");
+}

@@ -1,0 +1,99 @@
+//! Accuracy integration test (a scaled-down Table 1): both estimators must
+//! track the true θ across data sets simulated at different values, and must
+//! agree with each other. The full-size sweep lives in the
+//! `table1_accuracy` bench harness; this test keeps the chains short enough
+//! for CI while still distinguishing a θ = 0.4 population from a θ = 3.0 one.
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use lamarc::{EmConfig, LamarcEstimator};
+use mcmc::rng::Mt19937;
+use phylo::model::Jc69;
+use phylo::Alignment;
+
+use mpcgs::{MpcgsConfig, ThetaEstimator};
+
+fn simulate(seed: u32, true_theta: f64, n: usize, sites: usize) -> Alignment {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(true_theta).unwrap().simulate(&mut rng, n).unwrap();
+    SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
+}
+
+fn mpcgs_estimate(alignment: &Alignment, seed: u32) -> f64 {
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 150,
+        sample_draws: 1_200,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    };
+    let mut rng = Mt19937::new(seed);
+    ThetaEstimator::new(alignment.clone(), config).unwrap().estimate(&mut rng).unwrap().theta
+}
+
+fn baseline_estimate(alignment: &Alignment, seed: u32) -> f64 {
+    let config = EmConfig {
+        initial_theta: 1.0,
+        em_iterations: 2,
+        burn_in: 150,
+        samples: 1_200,
+        thinning: 1,
+        ..Default::default()
+    };
+    let mut rng = Mt19937::new(seed);
+    LamarcEstimator::new(alignment.clone(), config).unwrap().estimate(&mut rng).unwrap().theta
+}
+
+#[test]
+fn both_estimators_separate_low_theta_from_high_theta() {
+    // Average over two replicates per theta to damp sampling noise; the data
+    // sets are deliberately information-rich (10 sequences x 250 sites).
+    let low_data: Vec<Alignment> =
+        (0..2).map(|r| simulate(100 + r, 0.4, 10, 250)).collect();
+    let high_data: Vec<Alignment> =
+        (0..2).map(|r| simulate(200 + r, 3.0, 10, 250)).collect();
+
+    let low_mpcgs: f64 =
+        low_data.iter().enumerate().map(|(i, a)| mpcgs_estimate(a, 1_000 + i as u32)).sum::<f64>()
+            / low_data.len() as f64;
+    let high_mpcgs: f64 = high_data
+        .iter()
+        .enumerate()
+        .map(|(i, a)| mpcgs_estimate(a, 2_000 + i as u32))
+        .sum::<f64>()
+        / high_data.len() as f64;
+    assert!(
+        high_mpcgs > 2.0 * low_mpcgs,
+        "mpcgs must separate theta = 3.0 data ({high_mpcgs:.3}) from theta = 0.4 data ({low_mpcgs:.3})"
+    );
+
+    let low_baseline: f64 = low_data
+        .iter()
+        .enumerate()
+        .map(|(i, a)| baseline_estimate(a, 3_000 + i as u32))
+        .sum::<f64>()
+        / low_data.len() as f64;
+    let high_baseline: f64 = high_data
+        .iter()
+        .enumerate()
+        .map(|(i, a)| baseline_estimate(a, 4_000 + i as u32))
+        .sum::<f64>()
+        / high_data.len() as f64;
+    assert!(
+        high_baseline > 2.0 * low_baseline,
+        "the baseline must separate theta = 3.0 ({high_baseline:.3}) from theta = 0.4 ({low_baseline:.3})"
+    );
+
+    // The two estimators must agree with each other (Figure 13's diagonal)
+    // within a factor of two on every aggregate.
+    for (a, b) in [(low_mpcgs, low_baseline), (high_mpcgs, high_baseline)] {
+        let ratio = a / b;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "estimators disagree: mpcgs {a:.3} vs baseline {b:.3}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end integration: simulate data (coalescent + sequence evolution),
+//! write and re-read it through the PHYLIP layer, run the full mpcgs
+//! estimator on it, and check the output is a sane θ estimate. This exercises
+//! every crate in the workspace along the same path the `mpcgs` binary takes.
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use phylo::io::phylip::{parse_phylip, write_phylip};
+use phylo::likelihood::ExecutionMode;
+use phylo::model::Jc69;
+
+use mpcgs::{MpcgsConfig, ThetaEstimator};
+
+fn small_config() -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 100,
+        sample_draws: 800,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    }
+}
+
+#[test]
+fn simulate_roundtrip_estimate() {
+    let mut rng = Mt19937::new(20_160_401);
+    let true_theta = 1.0;
+    let tree = CoalescentSimulator::constant(true_theta)
+        .unwrap()
+        .simulate(&mut rng, 8)
+        .unwrap();
+    let alignment =
+        SequenceSimulator::new(Jc69::new(), 120, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+
+    // Round-trip the data through the PHYLIP format, as the CLI does.
+    let text = write_phylip(&alignment);
+    let reread = parse_phylip(&text).unwrap();
+    assert_eq!(reread, alignment);
+
+    let estimator = ThetaEstimator::new(reread, small_config()).unwrap();
+    let estimate = estimator.estimate(&mut rng).unwrap();
+    assert_eq!(estimate.iterations.len(), 2);
+    assert!(
+        estimate.theta > 0.02 && estimate.theta < 20.0,
+        "theta estimate {} is not in a plausible range for data at theta = {true_theta}",
+        estimate.theta
+    );
+    // The EM loop must chain its driving values.
+    assert!((estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs() < 1e-12);
+    // Work counters are consistent with the configuration.
+    let stats = estimate.iterations[0].stats;
+    assert_eq!(stats.draws, 900);
+    assert_eq!(stats.proposals_generated, stats.iterations * 8);
+}
+
+#[test]
+fn parallel_likelihood_and_rayon_backend_agree_with_serial() {
+    let mut rng = Mt19937::new(77);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 6).unwrap();
+    let alignment =
+        SequenceSimulator::new(Jc69::new(), 100, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+
+    let serial_estimator = ThetaEstimator::new(alignment.clone(), small_config())
+        .unwrap()
+        .with_execution(ExecutionMode::Serial);
+    let parallel_config = MpcgsConfig { backend: Backend::Rayon, ..small_config() };
+    let parallel_estimator = ThetaEstimator::new(alignment, parallel_config)
+        .unwrap()
+        .with_execution(ExecutionMode::Parallel);
+
+    let mut rng_a = Mt19937::new(5);
+    let serial = serial_estimator.estimate(&mut rng_a).unwrap();
+    let mut rng_b = Mt19937::new(5);
+    let parallel = parallel_estimator.estimate(&mut rng_b).unwrap();
+
+    // Identical host RNG seeds and identical per-proposal streams: the two
+    // runs are deterministic replicas, so the estimates must agree exactly.
+    assert!(
+        (serial.theta - parallel.theta).abs() < 1e-9,
+        "serial {} vs parallel {}",
+        serial.theta,
+        parallel.theta
+    );
+}
+
+#[test]
+fn cli_binary_runs_on_a_phylip_file() {
+    // Build the same artefacts the CLI consumes and run the binary itself.
+    let mut rng = Mt19937::new(3);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 6).unwrap();
+    let alignment =
+        SequenceSimulator::new(Jc69::new(), 80, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    let dir = std::env::temp_dir().join("mpcgs_integration_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toy.phy");
+    std::fs::write(&path, write_phylip(&alignment)).unwrap();
+
+    let exe = env!("CARGO_BIN_EXE_mpcgs");
+    let output = std::process::Command::new(exe)
+        .args([
+            path.to_str().unwrap(),
+            "0.5",
+            "--samples",
+            "400",
+            "--burn-in",
+            "50",
+            "--proposals",
+            "8",
+            "--em",
+            "1",
+            "--serial",
+        ])
+        .output()
+        .expect("the mpcgs binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("final estimate of theta"), "unexpected output:\n{stdout}");
+
+    // Bad invocations fail cleanly.
+    let bad = std::process::Command::new(exe).arg("missing.phy").output().unwrap();
+    assert!(!bad.status.success());
+}

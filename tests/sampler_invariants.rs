@@ -1,0 +1,113 @@
+//! Property-based integration tests of the sampler invariants: every
+//! genealogy the samplers touch stays structurally valid, tips are never
+//! created or destroyed, interval summaries stay consistent with the trees
+//! they were taken from, and the proposal mechanism preserves the coalescent
+//! prior for arbitrary (small) problem sizes.
+
+use coalescent::{CoalescentSimulator, KingmanPrior};
+use lamarc::{GenealogyProposer, HazardModel, ProposalConfig};
+use mcmc::rng::Mt19937;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any number of proposals applied to any simulated starting tree keeps
+    /// the genealogy valid and the tip set fixed.
+    #[test]
+    fn proposals_preserve_structure(
+        seed in 0u32..10_000,
+        n_tips in 3usize..20,
+        theta in 0.1f64..5.0,
+        steps in 1usize..40,
+    ) {
+        let mut rng = Mt19937::new(seed);
+        let sim = CoalescentSimulator::constant(theta).unwrap();
+        let mut tree = sim.simulate(&mut rng, n_tips).unwrap();
+        let labels = tree.tip_labels();
+        let proposer = GenealogyProposer::new(theta).unwrap();
+        for _ in 0..steps {
+            let target = proposer.sample_target(&tree, &mut rng);
+            tree = proposer.propose(&tree, target, &mut rng);
+            prop_assert!(tree.validate().is_ok());
+            prop_assert_eq!(tree.n_tips(), n_tips);
+        }
+        prop_assert_eq!(tree.tip_labels(), labels);
+    }
+
+    /// Interval summaries agree with the trees they are extracted from: the
+    /// number of coalescences is n-1, the depth equals the TMRCA, and the
+    /// total branch length matches.
+    #[test]
+    fn interval_summaries_are_consistent(
+        seed in 0u32..10_000,
+        n_tips in 2usize..30,
+        theta in 0.1f64..4.0,
+    ) {
+        let mut rng = Mt19937::new(seed);
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+        let intervals = tree.intervals();
+        prop_assert_eq!(intervals.n_coalescences(), n_tips - 1);
+        prop_assert!((intervals.depth() - tree.tmrca()).abs() < 1e-9);
+        prop_assert!((intervals.total_branch_length() - tree.total_branch_length()).abs() < 1e-6);
+        // The Kingman prior computed from the tree and from the summary agree.
+        let prior = KingmanPrior::new(theta).unwrap();
+        prop_assert!((prior.log_prior(&tree) - prior.log_prior_intervals(&intervals)).abs() < 1e-9);
+    }
+
+    /// Both hazard models keep event times inside the window imposed by the
+    /// ancestor node (when one exists).
+    #[test]
+    fn proposals_respect_the_ancestor_bound(
+        seed in 0u32..10_000,
+        n_tips in 4usize..16,
+        hazard_conditional in proptest::bool::ANY,
+    ) {
+        let mut rng = Mt19937::new(seed);
+        let theta = 1.0;
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+        let hazard = if hazard_conditional { HazardModel::Conditional } else { HazardModel::ActiveOnly };
+        let proposer = GenealogyProposer::with_config(
+            theta,
+            ProposalConfig { hazard, ..Default::default() },
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let target = proposer.sample_target(&tree, &mut rng);
+            let parent = tree.parent(target).unwrap();
+            let proposal = proposer.propose(&tree, target, &mut rng);
+            if let Some(ancestor) = tree.parent(parent) {
+                prop_assert!(proposal.time(parent) <= tree.time(ancestor) + 1e-9);
+            }
+            prop_assert!(proposal.time(target) <= proposal.time(parent));
+        }
+    }
+}
+
+/// The long-run Gibbs check on a fixed size (kept out of proptest so its cost
+/// is paid once): repeatedly accepted proposals must preserve the Kingman
+/// prior's mean TMRCA.
+#[test]
+fn gibbs_chain_matches_kingman_expectation_for_five_tips() {
+    let theta = 1.0;
+    let n_tips = 5;
+    let mut rng = Mt19937::new(424_242);
+    let proposer = GenealogyProposer::new(theta).unwrap();
+    let mut tree =
+        CoalescentSimulator::constant(5.0).unwrap().simulate(&mut rng, n_tips).unwrap();
+    let (burn_in, samples) = (1_000, 12_000);
+    let mut sum = 0.0;
+    for step in 0..(burn_in + samples) {
+        let target = proposer.sample_target(&tree, &mut rng);
+        tree = proposer.propose(&tree, target, &mut rng);
+        if step >= burn_in {
+            sum += tree.tmrca();
+        }
+    }
+    let mean = sum / samples as f64;
+    let expected = KingmanPrior::new(theta).unwrap().expected_tmrca(n_tips);
+    assert!(
+        (mean / expected - 1.0).abs() < 0.15,
+        "Gibbs mean TMRCA {mean} vs Kingman expectation {expected}"
+    );
+}
