@@ -1,0 +1,141 @@
+//! The headline benchmark of the batched likelihood engine: scoring a
+//! 32-proposal set (16 taxa × 1 kb, the shape of one Generalized-MH
+//! iteration) by fresh full pruning of every tree versus the cached
+//! dirty-path engine. Run with `cargo bench --bench batch_likelihood`.
+//!
+//! Besides the criterion groups, `main` prints an explicit A/B speedup
+//! summary so the caching win is a single observable number.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use benchkit::{harness_rng, simulate_alignment};
+use exec::Backend;
+use lamarc::GenealogyProposer;
+use phylo::likelihood::LikelihoodEngine;
+use phylo::model::F81;
+use phylo::{upgma_tree, Alignment, FelsensteinPruner, GeneTree, NodeId, TreeProposal};
+
+const N_TAXA: usize = 16;
+const N_SITES: usize = 1_000;
+const N_PROPOSALS: usize = 32;
+
+struct Fixture {
+    alignment: Alignment,
+    generator: GeneTree,
+    edits: Vec<(GeneTree, Vec<NodeId>)>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = harness_rng("batch-likelihood", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, N_TAXA, N_SITES);
+    let generator = upgma_tree(&alignment, 1.0).unwrap();
+    let proposer = GenealogyProposer::new(1.0).unwrap();
+    // One φ per iteration, resimulated independently per proposal slot,
+    // exactly as the multi-proposal sampler constructs its set.
+    let phi = proposer.sample_target(&generator, &mut rng);
+    let edits =
+        (0..N_PROPOSALS).map(|_| proposer.propose_with_edit(&generator, phi, &mut rng)).collect();
+    Fixture { alignment, generator, edits }
+}
+
+fn engine_for(fixture: &Fixture) -> FelsensteinPruner<F81> {
+    FelsensteinPruner::new(
+        &fixture.alignment,
+        F81::normalized(fixture.alignment.base_frequencies()),
+    )
+}
+
+fn proposal_refs(fixture: &Fixture) -> Vec<TreeProposal<'_>> {
+    fixture.edits.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect()
+}
+
+/// The naive baseline: a fresh full prune of the generator and of every
+/// proposal, no state carried anywhere.
+fn score_fresh(engine: &FelsensteinPruner<F81>, fixture: &Fixture) -> f64 {
+    let mut total = engine.log_likelihood(&fixture.generator).unwrap();
+    for (tree, _) in &fixture.edits {
+        total += engine.log_likelihood(tree).unwrap();
+    }
+    total
+}
+
+/// The batched engine: dirty-path rescoring against the memoised generator
+/// workspace.
+fn score_batched(engine: &FelsensteinPruner<F81>, fixture: &Fixture, backend: Backend) -> f64 {
+    let proposals = proposal_refs(fixture);
+    let eval = engine.log_likelihood_batch(backend, &fixture.generator, &proposals).unwrap();
+    eval.generator_log_likelihood + eval.log_likelihoods.iter().sum::<f64>()
+}
+
+fn bench_batch_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_likelihood_32x16taxa_1kb");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let fixture = fixture();
+
+    let fresh_engine = engine_for(&fixture);
+    group.bench_function("fresh_full_prune", |b| b.iter(|| score_fresh(&fresh_engine, &fixture)));
+
+    for (label, backend) in [("serial", Backend::Serial), ("rayon", Backend::Rayon)] {
+        let engine = engine_for(&fixture);
+        // Warm the generator memo once so the steady-state (per-iteration)
+        // cost is what gets measured, as in a sampler run.
+        let _ = score_batched(&engine, &fixture, backend);
+        group.bench_with_input(
+            BenchmarkId::new("cached_dirty_path", label),
+            &backend,
+            |b, &backend| b.iter(|| score_batched(&engine, &fixture, backend)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_scoring);
+
+/// Explicit A/B measurement printed after the criterion groups: wall time of
+/// `reps` proposal-set evaluations, fresh versus cached, plus the acceptance
+/// threshold check (≥2×).
+fn speedup_summary() {
+    let fixture = fixture();
+    let reps = 30;
+
+    let fresh_engine = engine_for(&fixture);
+    let _ = score_fresh(&fresh_engine, &fixture); // warm caches of the allocator
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(score_fresh(&fresh_engine, &fixture));
+    }
+    let fresh = t0.elapsed();
+
+    let batched_engine = engine_for(&fixture);
+    let _ = score_batched(&batched_engine, &fixture, Backend::Serial); // warm the memo
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(score_batched(&batched_engine, &fixture, Backend::Serial));
+    }
+    let batched = t1.elapsed();
+
+    let speedup = fresh.as_secs_f64() / batched.as_secs_f64();
+    println!();
+    println!(
+        "speedup summary ({N_PROPOSALS} proposals, {N_TAXA} taxa x {N_SITES} bp, {reps} reps):"
+    );
+    println!("  fresh full prune : {:>10.2} ms/set", fresh.as_secs_f64() * 1e3 / reps as f64);
+    println!("  cached dirty path: {:>10.2} ms/set", batched.as_secs_f64() * 1e3 / reps as f64);
+    println!(
+        "  speedup          : {speedup:>10.2}x  ({})",
+        if speedup >= 2.0 {
+            "meets the >=2x acceptance bar"
+        } else {
+            "BELOW the 2x acceptance bar"
+        }
+    );
+}
+
+fn main() {
+    benches();
+    speedup_summary();
+}

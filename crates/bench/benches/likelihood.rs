@@ -12,7 +12,10 @@ use phylo::{upgma_tree, FelsensteinPruner};
 
 fn bench_pruning_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("felsenstein_pruning");
-    group.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-lik", 0);
     for &sites in &[200usize, 1_000] {
         let alignment = simulate_alignment(&mut rng, 1.0, 12, sites);
@@ -20,16 +23,12 @@ fn bench_pruning_modes(c: &mut Criterion) {
         for (label, mode) in
             [("serial", ExecutionMode::Serial), ("site_parallel", ExecutionMode::Parallel)]
         {
-            let engine = FelsensteinPruner::new(
-                &alignment,
-                F81::normalized(alignment.base_frequencies()),
-            )
-            .with_mode(mode);
-            group.bench_with_input(
-                BenchmarkId::new(label, sites),
-                &tree,
-                |b, tree| b.iter(|| engine.log_likelihood(tree).unwrap()),
-            );
+            let engine =
+                FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()))
+                    .with_mode(mode);
+            group.bench_with_input(BenchmarkId::new(label, sites), &tree, |b, tree| {
+                b.iter(|| engine.log_likelihood(tree).unwrap())
+            });
         }
     }
     group.finish();
@@ -37,7 +36,10 @@ fn bench_pruning_modes(c: &mut Criterion) {
 
 fn bench_pruning_vs_sequences(c: &mut Criterion) {
     let mut group = c.benchmark_group("pruning_vs_sequences");
-    group.sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-lik-seqs", 0);
     for &n in &[12usize, 48] {
         let alignment = simulate_alignment(&mut rng, 1.0, n, 200);

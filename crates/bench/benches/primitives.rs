@@ -25,8 +25,7 @@ fn bench_proposal_kernel(c: &mut Criterion) {
     quick(&mut group);
     let mut rng = harness_rng("bench-proposal", 0);
     for &n in &[12usize, 48] {
-        let tree =
-            CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
+        let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
         let proposer = GenealogyProposer::new(1.0).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
             let mut prop_rng = harness_rng("bench-proposal-run", n as u64);

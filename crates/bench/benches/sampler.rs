@@ -18,12 +18,14 @@ const SAMPLES_PER_RUN: usize = 200;
 
 fn bench_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_sampler");
-    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-baseline", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
     let initial = upgma_tree(&alignment, 1.0).unwrap();
-    let engine =
-        FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
     let config = SamplerConfig {
         theta: 1.0,
         burn_in: 0,
@@ -43,7 +45,10 @@ fn bench_baseline(c: &mut Criterion) {
 
 fn bench_multiproposal(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiproposal_sampler");
-    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-gmh", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
     let initial = upgma_tree(&alignment, 1.0).unwrap();

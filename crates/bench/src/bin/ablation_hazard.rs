@@ -25,11 +25,9 @@ fn main() {
         ("active-only a(a-1)/theta", HazardModel::ActiveOnly),
     ] {
         let mut rng = harness_rng("ablation-hazard", hazard as u64);
-        let proposer = GenealogyProposer::with_config(
-            theta,
-            ProposalConfig { hazard, ..Default::default() },
-        )
-        .expect("valid proposer");
+        let proposer =
+            GenealogyProposer::with_config(theta, ProposalConfig { hazard, ..Default::default() })
+                .expect("valid proposer");
         let mut tree = CoalescentSimulator::constant(theta)
             .expect("valid theta")
             .simulate(&mut rng, n_tips)

@@ -16,8 +16,7 @@ fn main() {
     let transitions = if quick { 1_500 } else { 6_000 };
     let mut rng = harness_rng("fig2", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 10, 150);
-    let engine =
-        FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
     let config = SamplerConfig {
         theta: 1.0,
         burn_in: 0,
@@ -51,10 +50,14 @@ fn main() {
         let mean = trace[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
         let frac = (mean - finite_min) / span;
         let bar = "#".repeat((frac * 48.0).round() as usize + 1);
-        let marker = if lo <= burn_in && burn_in < hi { "  <- estimated end of burn-in" } else { "" };
+        let marker =
+            if lo <= burn_in && burn_in < hi { "  <- estimated end of burn-in" } else { "" };
         println!("  {lo:>10}     {mean:>14.2}   {bar}{marker}");
     }
     println!("\nautomatic burn-in estimate: {burn_in} transitions");
-    println!("post-burn-in effective sample size: {ess:.0} (of {} transitions)", trace.len() - burn_in);
+    println!(
+        "post-burn-in effective sample size: {ess:.0} (of {} transitions)",
+        trace.len() - burn_in
+    );
     println!("acceptance rate: {:.3}", run.acceptance_rate());
 }

@@ -13,8 +13,7 @@ use mpcgs::{MpcgsConfig, RelativeLikelihood, ThetaEstimator};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (n_sequences, sites, samples) =
-        if quick { (8, 100, 1_500) } else { (12, 200, 6_000) };
+    let (n_sequences, sites, samples) = if quick { (8, 100, 1_500) } else { (12, 200, 6_000) };
     let mut rng = harness_rng("fig5", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, n_sequences, sites);
 
@@ -47,13 +46,6 @@ fn main() {
         };
         println!("  {theta:>10.4}  {lnl:>14.3}  {bar}");
     }
-    let best = curve
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
-    println!(
-        "\npeak of the curve: theta = {:.3} (true value 1.0, driving value 0.01)",
-        best.0
-    );
+    let best = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+    println!("\npeak of the curve: theta = {:.3} (true value 1.0, driving value 0.01)", best.0);
 }

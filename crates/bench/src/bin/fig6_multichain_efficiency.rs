@@ -40,7 +40,11 @@ fn main() {
     println!("{}", ideal_table(4.0, 4.0, "Figure 6 (idealised, B = 4, N = 4):"));
     println!(
         "{}",
-        ideal_table(1_000.0, 10_000.0, "Idealised costs for a realistic chain (B = 1000, N = 10000):")
+        ideal_table(
+            1_000.0,
+            10_000.0,
+            "Idealised costs for a realistic chain (B = 1000, N = 10000):"
+        )
     );
 
     // Measured multi-chain runs.

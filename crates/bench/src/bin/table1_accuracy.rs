@@ -24,9 +24,23 @@ struct Scale {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick {
-        Scale { replicates: 2, n_sequences: 8, sites: 120, samples: 1_500, burn_in: 200, em_iterations: 2 }
+        Scale {
+            replicates: 2,
+            n_sequences: 8,
+            sites: 120,
+            samples: 1_500,
+            burn_in: 200,
+            em_iterations: 2,
+        }
     } else {
-        Scale { replicates: 5, n_sequences: 12, sites: 200, samples: 6_000, burn_in: 600, em_iterations: 3 }
+        Scale {
+            replicates: 5,
+            n_sequences: 12,
+            sites: 200,
+            samples: 6_000,
+            burn_in: 600,
+            em_iterations: 3,
+        }
     };
     let true_thetas = [0.5, 1.0, 2.0, 3.0, 4.0];
 

@@ -15,11 +15,7 @@ fn main() {
         .iter()
         .zip(TABLE2_PAPER.iter())
         .map(|(&(samples, speedup), &paper)| {
-            vec![
-                format!("{samples}"),
-                format!("{speedup:.2}"),
-                format!("{paper:.2}"),
-            ]
+            vec![format!("{samples}"), format!("{speedup:.2}"), format!("{paper:.2}")]
         })
         .collect();
     println!(
@@ -30,5 +26,8 @@ fn main() {
             &rows,
         )
     );
-    println!("calibration: host scaled by {:.4} to anchor the 20k-sample row at 3.69x", model.host_calibration());
+    println!(
+        "calibration: host scaled by {:.4} to anchor the 20k-sample row at 3.69x",
+        model.host_calibration()
+    );
 }

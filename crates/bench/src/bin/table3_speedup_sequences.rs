@@ -24,5 +24,8 @@ fn main() {
             &rows,
         )
     );
-    println!("calibration: host scaled by {:.4} to anchor the 12-sequence row at 3.69x", model.host_calibration());
+    println!(
+        "calibration: host scaled by {:.4} to anchor the 12-sequence row at 3.69x",
+        model.host_calibration()
+    );
 }

@@ -123,12 +123,7 @@ trait SeedPair {
 
 impl SeedPair for Mt19937 {
     fn seed_from_u64_pair(a: u64, b: u64) -> Self {
-        Mt19937::from_seed_array(&[
-            a as u32,
-            (a >> 32) as u32,
-            b as u32,
-            (b >> 32) as u32,
-        ])
+        Mt19937::from_seed_array(&[a as u32, (a >> 32) as u32, b as u32, (b >> 32) as u32])
     }
 }
 

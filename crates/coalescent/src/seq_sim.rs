@@ -118,10 +118,7 @@ impl<M: SubstitutionModel> SequenceSimulator<M> {
         }
         let mut out = Vec::with_capacity(tree.n_tips());
         for tip in tree.tips() {
-            let name = tree
-                .label(tip)
-                .map(str::to_string)
-                .unwrap_or_else(|| format!("t{tip}"));
+            let name = tree.label(tip).map(str::to_string).unwrap_or_else(|| format!("t{tip}"));
             let bases = sequences[tip].clone().expect("every tip was reached");
             out.push(Sequence::new(name, bases));
         }
@@ -149,10 +146,7 @@ mod tests {
     fn dimensions_and_names_match_the_tree() {
         let mut rng = Mt19937::new(3);
         let sim = SequenceSimulator::new(Jc69::new(), 150, 1.0).unwrap();
-        let tree = CoalescentSimulator::constant(1.0)
-            .unwrap()
-            .simulate(&mut rng, 12)
-            .unwrap();
+        let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 12).unwrap();
         let alignment = sim.simulate(&mut rng, &tree).unwrap();
         assert_eq!(alignment.n_sequences(), 12);
         assert_eq!(alignment.n_sites(), 150);
@@ -197,8 +191,7 @@ mod tests {
         let sites = 20_000;
         let sim = SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap();
         let alignment = sim.simulate(&mut rng, &two_tip_tree(t)).unwrap();
-        let p = alignment.sequence(0).hamming_distance(alignment.sequence(1)) as f64
-            / sites as f64;
+        let p = alignment.sequence(0).hamming_distance(alignment.sequence(1)) as f64 / sites as f64;
         let expect = Jc69::prob_differ(2.0 * t);
         assert!((p - expect).abs() < 0.012, "p {p} vs expected {expect}");
     }
@@ -246,12 +239,8 @@ mod tests {
     fn base_composition_follows_model_frequencies() {
         let mut rng = Mt19937::new(9);
         let freqs = BaseFrequencies::new(0.4, 0.1, 0.1, 0.4).unwrap();
-        let sim = SequenceSimulator::new(
-            phylo::model::F81::normalized(freqs),
-            30_000,
-            1.0,
-        )
-        .unwrap();
+        let sim =
+            SequenceSimulator::new(phylo::model::F81::normalized(freqs), 30_000, 1.0).unwrap();
         let alignment = sim.simulate(&mut rng, &two_tip_tree(0.2)).unwrap();
         let observed = alignment.base_frequencies();
         assert!((observed.freq(Nucleotide::A) - 0.4).abs() < 0.02);

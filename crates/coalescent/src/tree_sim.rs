@@ -57,14 +57,11 @@ impl CoalescentSimulator {
     ) -> Result<GeneTree, CoalescentError> {
         let n = labels.len();
         if n < 2 {
-            return Err(CoalescentError::InvalidSize {
-                what: "sample",
-                requested: n,
-                minimum: 2,
-            });
+            return Err(CoalescentError::InvalidSize { what: "sample", requested: n, minimum: 2 });
         }
         let mut builder = TreeBuilder::new();
-        let mut active: Vec<usize> = labels.iter().map(|l| builder.add_tip(l.clone(), 0.0)).collect();
+        let mut active: Vec<usize> =
+            labels.iter().map(|l| builder.add_tip(l.clone(), 0.0)).collect();
         let mut time = 0.0f64;
         while active.len() > 1 {
             let k = active.len();
@@ -185,17 +182,13 @@ mod tests {
         let n = 10;
         let reps = 1_500;
         let constant = CoalescentSimulator::constant(1.0).unwrap();
-        let growing =
-            CoalescentSimulator::new(Demography::exponential(1.0, 3.0).unwrap());
+        let growing = CoalescentSimulator::new(Demography::exponential(1.0, 3.0).unwrap());
         let mean = |sim: &CoalescentSimulator, rng: &mut Mt19937| -> f64 {
             (0..reps).map(|_| sim.simulate(rng, n).unwrap().tmrca()).sum::<f64>() / reps as f64
         };
         let h_const = mean(&constant, &mut rng);
         let h_grow = mean(&growing, &mut rng);
-        assert!(
-            h_grow < h_const,
-            "growth compresses deep coalescences: {h_grow} vs {h_const}"
-        );
+        assert!(h_grow < h_const, "growth compresses deep coalescences: {h_grow} vs {h_const}");
         assert_eq!(growing.demography().theta0(), 1.0);
     }
 

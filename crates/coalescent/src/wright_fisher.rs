@@ -98,7 +98,11 @@ impl WrightFisher {
             count = self.step(rng, count);
             trajectory.push(count);
             if count == 0 || count == copies {
-                return FixationOutcome { fixed: count == copies, generations: generation, trajectory };
+                return FixationOutcome {
+                    fixed: count == copies,
+                    generations: generation,
+                    trajectory,
+                };
             }
         }
         FixationOutcome { fixed: false, generations: max_generations, trajectory }
@@ -172,8 +176,7 @@ mod tests {
         let mut rng = Mt19937::new(2);
         let wf = WrightFisher::new(100).unwrap();
         let reps = 20_000;
-        let mean: f64 =
-            (0..reps).map(|_| wf.step(&mut rng, 60) as f64).sum::<f64>() / reps as f64;
+        let mean: f64 = (0..reps).map(|_| wf.step(&mut rng, 60) as f64).sum::<f64>() / reps as f64;
         assert!((mean - 60.0).abs() < 0.5, "mean {mean}");
     }
 

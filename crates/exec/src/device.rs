@@ -174,8 +174,8 @@ impl DeviceModel {
         let cycles_per_thread = launch.cycles_per_thread(&self.spec, exposed);
         let total_cycles = cycles_per_thread * launch.threads as f64;
         // Parallel portion: spread over all cores.
-        let parallel_cycles = total_cycles * (1.0 - launch.serial_fraction)
-            / self.spec.total_cores() as f64;
+        let parallel_cycles =
+            total_cycles * (1.0 - launch.serial_fraction) / self.spec.total_cores() as f64;
         // Serial portion: one core.
         let serial_cycles = total_cycles * launch.serial_fraction;
         let cycles = parallel_cycles + serial_cycles;

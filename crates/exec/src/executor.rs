@@ -72,10 +72,7 @@ impl Backend {
     {
         match self {
             Backend::Serial => (0..n).map(f).fold(f64::NEG_INFINITY, f64::max),
-            Backend::Rayon => (0..n)
-                .into_par_iter()
-                .map(f)
-                .reduce(|| f64::NEG_INFINITY, f64::max),
+            Backend::Rayon => (0..n).into_par_iter().map(f).reduce(|| f64::NEG_INFINITY, f64::max),
         }
     }
 }

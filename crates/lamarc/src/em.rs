@@ -156,11 +156,7 @@ impl LamarcEstimator {
                 PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
             })?;
             let estimate = maximize_relative_likelihood(&relative, &self.config.ascent);
-            let mean_loglik = run
-                .samples
-                .iter()
-                .map(|s| s.log_data_likelihood)
-                .sum::<f64>()
+            let mean_loglik = run.samples.iter().map(|s| s.log_data_likelihood).sum::<f64>()
                 / run.samples.len() as f64;
             iterations.push(EmIteration {
                 driving_theta: theta,
@@ -225,8 +221,7 @@ mod tests {
         assert_eq!(estimate.iterations[0].driving_theta, 0.3);
         // The second iteration's driving value is the first's estimate.
         assert!(
-            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs()
-                < 1e-12
+            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs() < 1e-12
         );
         for it in &estimate.iterations {
             assert!(it.acceptance_rate > 0.0 && it.acceptance_rate <= 1.0);

@@ -32,10 +32,7 @@ pub struct RelativeLikelihood {
 
 impl RelativeLikelihood {
     /// Build the function from interval summaries of the sampled genealogies.
-    pub fn new(
-        theta0: f64,
-        samples: &[CoalescentIntervals],
-    ) -> Result<Self, CoalescentError> {
+    pub fn new(theta0: f64, samples: &[CoalescentIntervals]) -> Result<Self, CoalescentError> {
         let driving = KingmanPrior::new(theta0)?;
         if samples.is_empty() {
             return Err(CoalescentError::InvalidSize {
@@ -44,12 +41,9 @@ impl RelativeLikelihood {
                 minimum: 1,
             });
         }
-        let stats: Vec<(f64, f64)> = samples
-            .iter()
-            .map(|s| (s.n_coalescences() as f64, s.waiting_statistic()))
-            .collect();
-        let log_prior_at_driving =
-            samples.iter().map(|s| driving.log_prior_intervals(s)).collect();
+        let stats: Vec<(f64, f64)> =
+            samples.iter().map(|s| (s.n_coalescences() as f64, s.waiting_statistic())).collect();
+        let log_prior_at_driving = samples.iter().map(|s| driving.log_prior_intervals(s)).collect();
         Ok(RelativeLikelihood { theta0, stats, log_prior_at_driving })
     }
 
@@ -110,12 +104,7 @@ pub struct GradientAscentConfig {
 
 impl Default for GradientAscentConfig {
     fn default() -> Self {
-        GradientAscentConfig {
-            delta: 1e-4,
-            epsilon: 1e-6,
-            max_iterations: 200,
-            max_halvings: 60,
-        }
+        GradientAscentConfig { delta: 1e-4, epsilon: 1e-6, max_iterations: 200, max_halvings: 60 }
     }
 }
 
@@ -152,9 +141,7 @@ pub fn maximize_relative_likelihood(
                 break;
             }
             let candidate = theta + gradient;
-            if candidate > 0.0
-                && likelihood.log_relative_likelihood(candidate) >= current
-            {
+            if candidate > 0.0 && likelihood.log_relative_likelihood(candidate) >= current {
                 break;
             }
             gradient *= 0.5;
@@ -190,12 +177,15 @@ mod tests {
     use coalescent::{CoalescentSimulator, KingmanPrior};
     use mcmc::rng::Mt19937;
 
-    fn interval_samples(theta: f64, n_tips: usize, count: usize, seed: u32) -> Vec<CoalescentIntervals> {
+    fn interval_samples(
+        theta: f64,
+        n_tips: usize,
+        count: usize,
+        seed: u32,
+    ) -> Vec<CoalescentIntervals> {
         let mut rng = Mt19937::new(seed);
         let sim = CoalescentSimulator::constant(theta).unwrap();
-        (0..count)
-            .map(|_| sim.simulate(&mut rng, n_tips).unwrap().intervals())
-            .collect()
+        (0..count).map(|_| sim.simulate(&mut rng, n_tips).unwrap().intervals()).collect()
     }
 
     #[test]
@@ -249,9 +239,7 @@ mod tests {
         let rl_bad = RelativeLikelihood::new(0.3, &samples).unwrap();
         let mle = maximize_relative_likelihood(&rl_bad, &GradientAscentConfig::default());
         assert!(mle > 0.3, "ascent should move upward from 0.3, got {mle}");
-        assert!(
-            rl_bad.log_relative_likelihood(mle) >= rl_bad.log_relative_likelihood(0.3) - 1e-9
-        );
+        assert!(rl_bad.log_relative_likelihood(mle) >= rl_bad.log_relative_likelihood(0.3) - 1e-9);
         let per_sample_mles: Vec<f64> =
             samples.iter().map(KingmanPrior::mle_from_intervals).collect();
         let lo = per_sample_mles.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -276,11 +264,7 @@ mod tests {
         // The curve is finite everywhere on the positive grid.
         assert!(curve.iter().all(|(_, y)| y.is_finite()));
         // And the maximum of the curve is attained strictly inside (0.1, 10).
-        let best = curve
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+        let best = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         assert!(best.0 > 0.1 && best.0 < 10.0);
     }
 
@@ -301,8 +285,6 @@ mod tests {
         // Both must be positive and finite; the capped run may stop early.
         assert!(one_step > 0.0 && one_step.is_finite());
         assert!(full > 0.0 && full.is_finite());
-        assert!(
-            rl.log_relative_likelihood(full) >= rl.log_relative_likelihood(one_step) - 1e-9
-        );
+        assert!(rl.log_relative_likelihood(full) >= rl.log_relative_likelihood(one_step) - 1e-9);
     }
 }

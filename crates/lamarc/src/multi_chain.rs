@@ -96,35 +96,31 @@ where
     let mut seeder = SplitMix64::new(seed);
     let seeds: Vec<u32> = (0..config.n_chains).map(|_| seeder.next_seed32()).collect();
 
-    // Run the chains on scoped threads (crossbeam): with one chain per
-    // processor this is exactly the work-around of Section 3.
-    let chain_results: Vec<Result<SamplerRun, PhyloError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&chain_seed| {
-                    let engine = engine_factory();
-                    let tree = initial.clone();
-                    let cfg = sampler_config;
-                    scope.spawn(move |_| {
-                        let mut rng = Mt19937::new(chain_seed);
-                        let sampler = LamarcSampler::new(engine, cfg)?;
-                        sampler.run(tree, &mut rng)
-                    })
+    // Run the chains on scoped threads: with one chain per processor this is
+    // exactly the work-around of Section 3.
+    let chain_results: Vec<Result<SamplerRun, PhyloError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&chain_seed| {
+                let engine = engine_factory();
+                let tree = initial.clone();
+                let cfg = sampler_config;
+                scope.spawn(move || {
+                    let mut rng = Mt19937::new(chain_seed);
+                    let sampler = LamarcSampler::new(engine, cfg)?;
+                    sampler.run(tree, &mut rng)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
-        })
-        .expect("crossbeam scope failed");
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
+    });
 
     let mut chains = Vec::with_capacity(config.n_chains);
     for result in chain_results {
         chains.push(result?);
     }
-    let pooled: Vec<CoalescentIntervals> = chains
-        .iter()
-        .flat_map(|run| run.samples.iter().map(|s| s.intervals.clone()))
-        .collect();
+    let pooled: Vec<CoalescentIntervals> =
+        chains.iter().flat_map(|run| run.samples.iter().map(|s| s.intervals.clone())).collect();
     let transitions_per_chain = config.burn_in + per_chain_samples;
     Ok(MultiChainRun {
         pooled,
@@ -146,18 +142,14 @@ mod tests {
     fn simulated_alignment(seed: u32, n: usize, sites: usize, theta: f64) -> Alignment {
         let mut rng = Mt19937::new(seed);
         let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n).unwrap();
-        SequenceSimulator::new(Jc69::new(), sites, 1.0)
-            .unwrap()
-            .simulate(&mut rng, &tree)
-            .unwrap()
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
     }
 
     #[test]
     fn pooled_samples_and_work_accounting() {
         let alignment = simulated_alignment(61, 5, 60, 1.0);
         let initial = upgma_tree(&alignment, 1.0).unwrap();
-        let config =
-            MultiChainConfig { n_chains: 3, burn_in: 50, total_samples: 300, theta: 1.0 };
+        let config = MultiChainConfig { n_chains: 3, burn_in: 50, total_samples: 300, theta: 1.0 };
         let run = run_multi_chain(
             || FelsensteinPruner::new(&alignment, Jc69::new()),
             &initial,

@@ -137,12 +137,26 @@ impl GenealogyProposer {
         target: NodeId,
         rng: &mut R,
     ) -> GeneTree {
+        self.propose_with_edit(tree, target, rng).0
+    }
+
+    /// Like [`GenealogyProposer::propose`], but also report the edited node
+    /// set — the nodes whose times or wiring differ from the input tree (the
+    /// φ-neighborhood). The batched likelihood engine uses this to recompute
+    /// only the dirty path from the edit to the root
+    /// (`phylo::LikelihoodEngine::log_likelihood_batch`).
+    pub fn propose_with_edit<R: Rng + ?Sized>(
+        &self,
+        tree: &GeneTree,
+        target: NodeId,
+        rng: &mut R,
+    ) -> (GeneTree, Vec<NodeId>) {
         let mut out = tree.clone();
         if tree.is_root(target) || tree.is_tip(target) {
             // Two-tip degenerate case (or an explicit root target): re-draw
             // the root time from the prior conditional on its children.
             self.redraw_root_time(&mut out, rng);
-            return out;
+            return (out, vec![tree.root()]);
         }
         let parent = tree.parent(target).expect("non-root node has a parent");
         let (c1, c2) = tree.children(target).expect("interior target has children");
@@ -158,8 +172,7 @@ impl GenealogyProposer {
 
         // Topology: the first event merges a uniformly chosen pair among the
         // heads available at u1; the second merges the result with the rest.
-        let available: Vec<usize> =
-            (0..3).filter(|&i| head_times[i] <= u1 + 1e-15).collect();
+        let available: Vec<usize> = (0..3).filter(|&i| head_times[i] <= u1 + 1e-15).collect();
         debug_assert!(available.len() >= 2, "first event requires two available heads");
         let pick = mcmc::rng::dist::sample_without_replacement(rng, available.len(), 2);
         let first_a = heads[available[pick[0]]];
@@ -178,7 +191,7 @@ impl GenealogyProposer {
         // The parent's own parent (the ancestor) is untouched; if the parent
         // was the root it stays the root.
         debug_assert!(out.validate().is_ok(), "proposal produced an invalid tree");
-        out
+        (out, vec![target, parent])
     }
 
     /// Degenerate proposal for two-tip trees: re-draw the root time from the
@@ -545,6 +558,36 @@ mod tests {
     }
 
     #[test]
+    fn reported_edits_cover_every_changed_node() {
+        // propose_with_edit must list exactly the nodes whose time or wiring
+        // differs from the input tree; everything else is certified unchanged
+        // (this is what the dirty-path likelihood cache relies on).
+        let mut rng = Mt19937::new(41);
+        let theta = 1.0;
+        let proposer = GenealogyProposer::new(theta).unwrap();
+        for n in [2usize, 5, 9] {
+            let tree = random_tree(&mut rng, n, theta);
+            for _ in 0..100 {
+                let target = proposer.sample_target(&tree, &mut rng);
+                let (proposal, edited) = proposer.propose_with_edit(&tree, target, &mut rng);
+                proposal.validate().unwrap();
+                assert!(!edited.is_empty() && edited.len() <= 2);
+                for node in 0..tree.n_nodes() {
+                    if edited.contains(&node) {
+                        continue;
+                    }
+                    assert_eq!(proposal.time(node), tree.time(node), "node {node} time changed");
+                    assert_eq!(
+                        proposal.children(node),
+                        tree.children(node),
+                        "node {node} wiring changed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn only_the_neighborhood_changes() {
         let mut rng = Mt19937::new(13);
         let theta = 1.0;
@@ -704,8 +747,7 @@ mod tests {
         // Positive rate: mean matches the truncated exponential mean.
         let (rate, len) = (2.0f64, 1.5f64);
         let n = 60_000;
-        let mean: f64 =
-            (0..n).map(|_| tilted_uniform(&mut rng, rate, len)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| tilted_uniform(&mut rng, rate, len)).sum::<f64>() / n as f64;
         let expect = 1.0 / rate - len * (-rate * len).exp() / (1.0 - (-rate * len).exp());
         assert!((mean - expect).abs() < 0.01, "mean {mean} vs {expect}");
     }

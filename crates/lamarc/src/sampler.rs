@@ -8,10 +8,11 @@
 //! genealogies are reduced to their coalescent-interval summaries, which is
 //! all the maximisation stage needs (Section 5.1.3).
 
+use exec::Backend;
 use mcmc::chain::Trace;
 use rand::Rng;
 
-use phylo::likelihood::LikelihoodEngine;
+use phylo::likelihood::{LikelihoodEngine, TreeProposal};
 use phylo::tree::CoalescentIntervals;
 use phylo::{GeneTree, PhyloError};
 
@@ -65,6 +66,12 @@ pub struct SamplerRun {
     pub accepted: usize,
     /// Attempted transitions.
     pub attempted: usize,
+    /// Interior nodes recomputed along dirty paths by the incremental
+    /// likelihood engine (proposal scoring).
+    pub nodes_repruned: usize,
+    /// Interior nodes recomputed by full prunes (generator workspace
+    /// rebuilds after accepted moves).
+    pub nodes_full_pruned: usize,
     /// The final genealogy (used to seed follow-up chains).
     pub final_tree: GeneTree,
 }
@@ -120,15 +127,29 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
         let thinning = self.config.thinning.max(1);
         let total = self.config.burn_in + self.config.samples * thinning;
         let mut current = initial;
-        let mut current_loglik = self.target.log_data_likelihood(&current)?;
         let mut trace = Trace::with_burn_in(self.config.burn_in);
         let mut samples = Vec::with_capacity(self.config.samples);
         let mut accepted = 0usize;
+        let mut nodes_repruned = 0usize;
+        let mut nodes_full_pruned = 0usize;
 
         for step in 0..total {
             let target_node = self.proposer.sample_target(&current, rng);
-            let proposal = self.proposer.propose(&current, target_node, rng);
-            let proposal_loglik = self.target.log_data_likelihood(&proposal)?;
+            let (proposal, edited) = self.proposer.propose_with_edit(&current, target_node, rng);
+            // Score the proposal through the batched engine: the generator's
+            // partials are cached inside the engine across consecutive
+            // rejections, so a transition costs one dirty path (O(log n)
+            // nodes) instead of a full prune — the incremental evaluation the
+            // paper credits serial LAMARC with (Section 5.2.2).
+            let eval = self.target.log_data_likelihood_batch(
+                Backend::Serial,
+                &current,
+                &[TreeProposal { tree: &proposal, edited: &edited }],
+            )?;
+            let mut current_loglik = eval.generator_log_likelihood;
+            let proposal_loglik = eval.log_likelihoods[0];
+            nodes_repruned += eval.nodes_repruned;
+            nodes_full_pruned += eval.nodes_full_pruned;
             // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r).
             let log_ratio = proposal_loglik - current_loglik;
             if log_ratio >= 0.0 || rng.gen::<f64>().ln() < log_ratio {
@@ -137,7 +158,8 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
                 accepted += 1;
             }
             trace.push(current_loglik);
-            if step >= self.config.burn_in && (step - self.config.burn_in) % thinning == 0 {
+            if step >= self.config.burn_in && (step - self.config.burn_in).is_multiple_of(thinning)
+            {
                 samples.push(GenealogySample {
                     intervals: current.intervals(),
                     log_data_likelihood: current_loglik,
@@ -150,6 +172,8 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
             trace,
             accepted,
             attempted: total,
+            nodes_repruned,
+            nodes_full_pruned,
             final_tree: current,
         })
     }
@@ -189,6 +213,12 @@ mod tests {
         assert_eq!(run.trace.len(), 450);
         assert!(run.acceptance_rate() > 0.0 && run.acceptance_rate() <= 1.0);
         assert_eq!(run.interval_summaries().len(), 200);
+        // The incremental engine recomputes only dirty paths per proposal;
+        // full prunes happen at most once per accepted move (plus the first).
+        let n_internal = run.final_tree.n_internal();
+        assert!(run.nodes_repruned > 0);
+        assert!(run.nodes_repruned <= run.attempted * n_internal);
+        assert!(run.nodes_full_pruned <= (run.accepted + 1) * n_internal);
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.config().samples, 200);
         assert_eq!(sampler.target().theta(), 1.0);
@@ -211,13 +241,15 @@ mod tests {
         // A deliberately terrible start: a random tree stretched far too tall.
         let mut initial = CoalescentSimulator::constant(1.0)
             .unwrap()
-            .simulate_labelled(&mut rng, &alignment.names().iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .simulate_labelled(
+                &mut rng,
+                &alignment.names().iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            )
             .unwrap();
         initial.scale_times(30.0);
         let run = sampler.run(initial, &mut rng).unwrap();
         let first = run.trace.all()[0];
-        let last_mean: f64 =
-            run.trace.all().iter().rev().take(100).sum::<f64>() / 100.0;
+        let last_mean: f64 = run.trace.all().iter().rev().take(100).sum::<f64>() / 100.0;
         assert!(
             last_mean > first,
             "chain should improve the data likelihood: started {first}, ended around {last_mean}"
@@ -230,14 +262,9 @@ mod tests {
         // the tree, so the chain samples (approximately) the coalescent
         // prior; mean TMRCA must approach the Kingman expectation.
         let mut rng = Mt19937::new(47);
-        let alignment = Alignment::from_letters(&[
-            ("1", "A"),
-            ("2", "A"),
-            ("3", "A"),
-            ("4", "A"),
-            ("5", "A"),
-        ])
-        .unwrap();
+        let alignment =
+            Alignment::from_letters(&[("1", "A"), ("2", "A"), ("3", "A"), ("4", "A"), ("5", "A")])
+                .unwrap();
         let theta = 1.0;
         let engine = FelsensteinPruner::new(&alignment, Jc69::new());
         let config = SamplerConfig {
@@ -256,12 +283,8 @@ mod tests {
             )
             .unwrap();
         let run = sampler.run(initial, &mut rng).unwrap();
-        let mean_depth: f64 = run
-            .samples
-            .iter()
-            .map(|s| s.intervals.depth())
-            .sum::<f64>()
-            / run.samples.len() as f64;
+        let mean_depth: f64 =
+            run.samples.iter().map(|s| s.intervals.depth()).sum::<f64>() / run.samples.len() as f64;
         let expected = KingmanPrior::new(theta).unwrap().expected_tmrca(5);
         // The invariant site still weakly favours shorter trees, so allow a
         // generous band around the prior expectation.

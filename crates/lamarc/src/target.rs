@@ -6,7 +6,8 @@
 //! unnormalised posterior `P(G|D,θ)` that both samplers target.
 
 use coalescent::KingmanPrior;
-use phylo::likelihood::LikelihoodEngine;
+use exec::Backend;
+use phylo::likelihood::{BatchEvaluation, LikelihoodEngine, TreeProposal};
 use phylo::{GeneTree, PhyloError};
 
 /// The sampler target: data likelihood plus coalescent prior for a fixed
@@ -41,6 +42,18 @@ impl<E: LikelihoodEngine> GenealogyTarget<E> {
     /// `ln P(D|G)`.
     pub fn log_data_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
         self.engine.log_likelihood(tree)
+    }
+
+    /// Score a whole proposal set against a generator genealogy through the
+    /// engine's batched, dirty-path-cached evaluation (the data-likelihood
+    /// kernel of Section 5.2.2 applied to the proposal set of Section 4.3).
+    pub fn log_data_likelihood_batch(
+        &self,
+        backend: Backend,
+        generator: &GeneTree,
+        proposals: &[TreeProposal<'_>],
+    ) -> Result<BatchEvaluation, PhyloError> {
+        self.engine.log_likelihood_batch(backend, generator, proposals)
     }
 
     /// `ln P(G|θ)`.

@@ -146,14 +146,8 @@ mod tests {
     #[test]
     fn schedule_validation() {
         assert!(ChainSchedule::new(10, 100, 1).is_ok());
-        assert!(matches!(
-            ChainSchedule::new(10, 0, 1),
-            Err(McmcError::InvalidSchedule { .. })
-        ));
-        assert!(matches!(
-            ChainSchedule::new(10, 100, 0),
-            Err(McmcError::InvalidSchedule { .. })
-        ));
+        assert!(matches!(ChainSchedule::new(10, 0, 1), Err(McmcError::InvalidSchedule { .. })));
+        assert!(matches!(ChainSchedule::new(10, 100, 0), Err(McmcError::InvalidSchedule { .. })));
     }
 
     #[test]

@@ -42,11 +42,8 @@ impl Summary {
         };
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-        };
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]) };
         Ok(Summary {
             n,
             mean,
@@ -79,8 +76,7 @@ pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
     if denom <= 0.0 {
         return None;
     }
-    let num: f64 =
-        (0..n - lag).map(|i| (values[i] - mean) * (values[i + lag] - mean)).sum();
+    let num: f64 = (0..n - lag).map(|i| (values[i] - mean) * (values[i + lag] - mean)).sum();
     Some(num / denom)
 }
 
@@ -98,7 +94,7 @@ pub fn effective_sample_size(values: &[f64]) -> Result<f64, McmcError> {
     let mut sum_rho = 0.0f64;
     let max_lag = n - 2;
     let mut lag = 1usize;
-    while lag + 1 <= max_lag {
+    while lag < max_lag {
         let rho_a = autocorrelation(values, lag).unwrap_or(0.0);
         let rho_b = autocorrelation(values, lag + 1).unwrap_or(0.0);
         let pair = rho_a + rho_b;
@@ -132,19 +128,16 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> Result<f64, McmcError> {
         return Err(McmcError::InsufficientSamples { available: n, required: 4 });
     }
     // Truncate all chains to the common length n.
-    let means: Vec<f64> =
-        chains.iter().map(|c| c[..n].iter().sum::<f64>() / n as f64).collect();
+    let means: Vec<f64> = chains.iter().map(|c| c[..n].iter().sum::<f64>() / n as f64).collect();
     let grand_mean = means.iter().sum::<f64>() / m as f64;
     // Between-chain variance.
-    let b = n as f64 / (m as f64 - 1.0)
-        * means.iter().map(|mu| (mu - grand_mean).powi(2)).sum::<f64>();
+    let b =
+        n as f64 / (m as f64 - 1.0) * means.iter().map(|mu| (mu - grand_mean).powi(2)).sum::<f64>();
     // Within-chain variance.
     let w = chains
         .iter()
         .zip(&means)
-        .map(|(c, mu)| {
-            c[..n].iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0)
-        })
+        .map(|(c, mu)| c[..n].iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
     if w <= 0.0 {
@@ -166,8 +159,7 @@ pub fn detect_burn_in(values: &[f64], tol: f64) -> usize {
     }
     let tail = &values[n / 2..];
     let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
-    let tail_sd = (tail.iter().map(|x| (x - tail_mean).powi(2)).sum::<f64>()
-        / tail.len() as f64)
+    let tail_sd = (tail.iter().map(|x| (x - tail_mean).powi(2)).sum::<f64>() / tail.len() as f64)
         .sqrt()
         .max(f64::MIN_POSITIVE);
     for (i, &v) in values.iter().enumerate() {
@@ -264,9 +256,8 @@ mod tests {
     #[test]
     fn gelman_rubin_converged_chains_near_one() {
         let mut rng = Mt19937::new(47);
-        let chains: Vec<Vec<f64>> = (0..4)
-            .map(|_| (0..2_000).map(|_| standard_normal(&mut rng)).collect())
-            .collect();
+        let chains: Vec<Vec<f64>> =
+            (0..4).map(|_| (0..2_000).map(|_| standard_normal(&mut rng)).collect()).collect();
         let r = gelman_rubin(&chains).unwrap();
         assert!((r - 1.0).abs() < 0.02, "R-hat {r}");
     }

@@ -65,11 +65,7 @@ mod tests {
         assert!(e.to_string().contains("zero samples"));
         let e = McmcError::InsufficientSamples { available: 1, required: 10 };
         assert!(e.to_string().contains("have 1"));
-        let e = McmcError::InvalidParameter {
-            name: "theta",
-            value: -1.0,
-            constraint: "theta > 0",
-        };
+        let e = McmcError::InvalidParameter { name: "theta", value: -1.0, constraint: "theta > 0" };
         assert!(e.to_string().contains("theta"));
     }
 

@@ -181,14 +181,7 @@ impl<P, W> GeneralizedMetropolisHastings<P, W> {
             }
         }
 
-        GmhRun {
-            samples,
-            trace,
-            iterations,
-            moved,
-            draws: total_draws,
-            final_state: generator,
-        }
+        GmhRun { samples, trace, iterations, moved, draws: total_draws, final_state: generator }
     }
 }
 
@@ -209,9 +202,7 @@ mod tests {
 
     impl<R: Rng + ?Sized> MultiProposal<f64, R> for WindowProposal {
         fn propose_set(&self, generator: &f64, n: usize, rng: &mut R) -> Vec<f64> {
-            (0..n)
-                .map(|_| generator + self.half_width * (2.0 * rng.gen::<f64>() - 1.0))
-                .collect()
+            (0..n).map(|_| generator + self.half_width * (2.0 * rng.gen::<f64>() - 1.0)).collect()
         }
     }
 
@@ -305,8 +296,7 @@ mod tests {
             burn_in_draws: 0,
             sample_draws: 20,
         };
-        let gmh =
-            GeneralizedMetropolisHastings::new(Stuck, |_: &f64| f64::NEG_INFINITY, config);
+        let gmh = GeneralizedMetropolisHastings::new(Stuck, |_: &f64| f64::NEG_INFINITY, config);
         let mut rng = Mt19937::new(3);
         let run = gmh.run(5.0, &mut rng);
         assert_eq!(run.samples.len(), 20);

@@ -129,12 +129,14 @@ impl Default for LogProb {
 /// Product of probabilities: addition in log space.
 impl Mul for LogProb {
     type Output = LogProb;
+    #[allow(clippy::suspicious_arithmetic_impl)] // log domain: product == sum of logs
     fn mul(self, rhs: LogProb) -> LogProb {
         LogProb(self.0 + rhs.0)
     }
 }
 
 impl MulAssign for LogProb {
+    #[allow(clippy::suspicious_op_assign_impl)] // log domain: product == sum of logs
     fn mul_assign(&mut self, rhs: LogProb) {
         self.0 += rhs.0;
     }
@@ -143,6 +145,7 @@ impl MulAssign for LogProb {
 /// Ratio of probabilities: subtraction in log space.
 impl Div for LogProb {
     type Output = LogProb;
+    #[allow(clippy::suspicious_arithmetic_impl)] // log domain: ratio == difference of logs
     fn div(self, rhs: LogProb) -> LogProb {
         LogProb(self.0 - rhs.0)
     }
@@ -234,10 +237,7 @@ mod tests {
         for &(a, b) in &[(0.0, 0.0), (-700.0, -701.0), (5.0, -5.0), (f64::NEG_INFINITY, -2.0)] {
             assert!(close(log_add_exp(a, b), log_sum_exp(&[a, b]), 1e-12), "({a},{b})");
         }
-        assert_eq!(
-            log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
         assert!(log_add_exp(f64::NAN, 1.0).is_nan());
     }
 
@@ -305,7 +305,8 @@ mod tests {
 
     #[test]
     fn logprob_sum_over_iterator() {
-        let parts = vec![LogProb::from_linear(0.1), LogProb::from_linear(0.2), LogProb::from_linear(0.3)];
+        let parts =
+            vec![LogProb::from_linear(0.1), LogProb::from_linear(0.2), LogProb::from_linear(0.3)];
         let total: LogProb = parts.into_iter().sum();
         assert!(close(total.linear(), 0.6, 1e-12));
     }
@@ -325,42 +326,95 @@ mod tests {
     }
 }
 
+// Property-style tests over randomly drawn inputs. Hand-rolled case driver:
+// the build environment cannot fetch `proptest`, so each property loops over
+// random draws from the same ranges the original strategies described.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::{Rng, RngCore};
 
-    proptest! {
-        #[test]
-        fn log_sum_exp_ge_max(xs in proptest::collection::vec(-500.0f64..500.0, 1..50)) {
+    /// Minimal xorshift so this crate's tests do not depend on `crate::rng`
+    /// internals under test elsewhere.
+    struct CaseRng(u64);
+
+    impl RngCore for CaseRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    fn vec_in(rng: &mut CaseRng, lo: f64, hi: f64, max_len: usize) -> Vec<f64> {
+        let len = rng.gen_range(1..max_len);
+        (0..len).map(|_| lo + rng.gen::<f64>() * (hi - lo)).collect()
+    }
+
+    const CASES: usize = 64;
+
+    #[test]
+    fn log_sum_exp_ge_max() {
+        let mut rng = CaseRng(0x1157_5E1F);
+        for _ in 0..CASES {
+            let xs = vec_in(&mut rng, -500.0, 500.0, 50);
             let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = log_sum_exp(&xs);
-            prop_assert!(lse >= max - 1e-9);
-            prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-9);
+            assert!(lse >= max - 1e-9, "lse {lse} < max {max} for {xs:?}");
+            assert!(lse <= max + (xs.len() as f64).ln() + 1e-9, "lse {lse} too large for {xs:?}");
         }
+    }
 
-        #[test]
-        fn normalize_is_a_distribution(xs in proptest::collection::vec(-2000.0f64..0.0, 1..40)) {
+    #[test]
+    fn normalize_is_a_distribution() {
+        let mut rng = CaseRng(0x0D15_7217);
+        for _ in 0..CASES {
+            let xs = vec_in(&mut rng, -2000.0, 0.0, 40);
             let p = normalize_log_weights(&xs);
-            prop_assert_eq!(p.len(), xs.len());
+            assert_eq!(p.len(), xs.len());
             let sum: f64 = p.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} for {xs:?}");
+            assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)), "{p:?}");
         }
+    }
 
-        #[test]
-        fn logprob_mul_commutes(a in -700.0f64..0.0, b in -700.0f64..0.0) {
+    #[test]
+    fn logprob_mul_commutes() {
+        let mut rng = CaseRng(0xC0_77E5);
+        for _ in 0..CASES {
+            let a = -700.0 * rng.gen::<f64>();
+            let b = -700.0 * rng.gen::<f64>();
             let x = LogProb::new(a) * LogProb::new(b);
             let y = LogProb::new(b) * LogProb::new(a);
-            prop_assert!((x.value() - y.value()).abs() < 1e-12);
+            assert!((x.value() - y.value()).abs() < 1e-12, "a={a} b={b}");
         }
+    }
 
-        #[test]
-        fn logprob_add_commutes_and_dominates(a in -700.0f64..0.0, b in -700.0f64..0.0) {
+    #[test]
+    fn logprob_add_commutes_and_dominates() {
+        let mut rng = CaseRng(0xADD_C0DE);
+        for _ in 0..CASES {
+            let a = -700.0 * rng.gen::<f64>();
+            let b = -700.0 * rng.gen::<f64>();
             let x = LogProb::new(a) + LogProb::new(b);
             let y = LogProb::new(b) + LogProb::new(a);
-            prop_assert!((x.value() - y.value()).abs() < 1e-12);
-            prop_assert!(x.value() >= a.max(b) - 1e-12);
+            assert!((x.value() - y.value()).abs() < 1e-12, "a={a} b={b}");
+            assert!(x.value() >= a.max(b) - 1e-12, "a={a} b={b}");
         }
     }
 }

@@ -119,18 +119,12 @@ impl<T, K> MetropolisHastings<T, K> {
                 accepted += 1;
             }
             trace.push(current_logp);
-            if step >= burn_in && (step - burn_in) % thinning == 0 {
+            if step >= burn_in && (step - burn_in).is_multiple_of(thinning) {
                 out.push(current.clone());
             }
         }
 
-        MhRun {
-            samples: out,
-            trace,
-            accepted,
-            attempted: total,
-            final_state: current,
-        }
+        MhRun { samples: out, trace, accepted, attempted: total, final_state: current }
     }
 }
 
@@ -177,8 +171,7 @@ mod tests {
         fn propose(&self, current: &f64, rng: &mut R) -> (f64, f64) {
             let factor = (0.5 + rng.gen::<f64>()).max(1e-9);
             let proposal = current.abs().max(1e-12) * factor;
-            let correction =
-                if factor >= 2.0 / 3.0 { -factor.ln() } else { f64::NEG_INFINITY };
+            let correction = if factor >= 2.0 / 3.0 { -factor.ln() } else { f64::NEG_INFINITY };
             (proposal, correction)
         }
     }

@@ -264,8 +264,7 @@ mod tests {
             buckets[(mt.next_u32_raw() & 0xF) as usize] += 1;
         }
         let expected = n as f64 / 16.0;
-        let chi2: f64 =
-            buckets.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = buckets.iter().map(|&o| (o as f64 - expected).powi(2) / expected).sum();
         assert!(chi2 < 40.0, "chi-square statistic too large: {chi2}");
     }
 }

@@ -21,6 +21,7 @@ impl SplitMix64 {
 
     /// Next 64-bit output.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // canonical SplitMix64 step, not an Iterator
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -113,8 +113,7 @@ mod tests {
             .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
-                let same =
-                    outputs[i].iter().zip(&outputs[j]).filter(|(a, b)| a == b).count();
+                let same = outputs[i].iter().zip(&outputs[j]).filter(|(a, b)| a == b).count();
                 assert!(same < 3, "streams {i} and {j} share {same} of 64 outputs");
             }
         }

@@ -111,11 +111,7 @@ impl ThetaEstimator {
                 PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
             })?;
             let estimate = maximize_relative_likelihood(&relative, &self.config.ascent);
-            let mean_loglik = run
-                .samples
-                .iter()
-                .map(|s| s.log_data_likelihood)
-                .sum::<f64>()
+            let mean_loglik = run.samples.iter().map(|s| s.log_data_likelihood).sum::<f64>()
                 / run.samples.len() as f64;
 
             iterations.push(MpcgsIteration {
@@ -195,8 +191,7 @@ mod tests {
         assert_eq!(estimate.iterations.len(), 2);
         assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
         assert!(
-            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs()
-                < 1e-12
+            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs() < 1e-12
         );
         assert!(estimate.total_likelihood_evaluations() > 0);
         for it in &estimate.iterations {

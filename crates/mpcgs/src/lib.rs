@@ -55,7 +55,7 @@ pub mod sampler;
 
 pub use config::MpcgsConfig;
 pub use em::{MpcgsEstimate, MpcgsIteration, ThetaEstimator};
-pub use perf::{SpeedupModel, Workload};
+pub use perf::{CachingReport, SpeedupModel, Workload};
 pub use sampler::{GmhRunStats, MultiProposalSampler, MultiProposalSamplerRun};
 
 // Re-export the pieces of the shared machinery that form part of the public

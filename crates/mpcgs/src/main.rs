@@ -64,11 +64,24 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
         };
         match flag {
-            "--samples" => cli.samples = take_value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?,
-            "--burn-in" => cli.burn_in = take_value("--burn-in")?.parse().map_err(|e| format!("--burn-in: {e}"))?,
-            "--proposals" => cli.proposals = take_value("--proposals")?.parse().map_err(|e| format!("--proposals: {e}"))?,
-            "--em" => cli.em_iterations = take_value("--em")?.parse().map_err(|e| format!("--em: {e}"))?,
-            "--seed" => cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--samples" => {
+                cli.samples =
+                    take_value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            "--burn-in" => {
+                cli.burn_in =
+                    take_value("--burn-in")?.parse().map_err(|e| format!("--burn-in: {e}"))?
+            }
+            "--proposals" => {
+                cli.proposals =
+                    take_value("--proposals")?.parse().map_err(|e| format!("--proposals: {e}"))?
+            }
+            "--em" => {
+                cli.em_iterations = take_value("--em")?.parse().map_err(|e| format!("--em: {e}"))?
+            }
+            "--seed" => {
+                cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
             "--serial" => cli.serial = true,
             other => return Err(format!("unknown option {other:?}")),
         }

@@ -35,6 +35,56 @@
 
 use exec::{DeviceModel, DeviceSpec, HostModel, KernelLaunch};
 
+use crate::sampler::GmhRunStats;
+
+/// Observed effectiveness of the batched engine's dirty-path caching,
+/// derived from the work counters a run collects ([`GmhRunStats`]). Where
+/// [`SpeedupModel`] *models* the paper's GPU-versus-host ratios, this report
+/// measures what the likelihood engine actually recomputed, making the
+/// caching layer observable in benchmarks and logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachingReport {
+    /// Interior nodes recomputed per likelihood evaluation (dirty paths plus
+    /// amortised generator workspace rebuilds).
+    pub nodes_per_evaluation: f64,
+    /// Interior nodes a fresh full prune recomputes (the naive per-proposal
+    /// cost).
+    pub full_prune_nodes: usize,
+    /// `nodes_per_evaluation / full_prune_nodes` — the fraction of a full
+    /// prune the engine actually performs.
+    pub reprune_fraction: f64,
+    /// `1 / reprune_fraction`: the node-recomputation speedup of the cached
+    /// engine over naive per-proposal pruning.
+    pub estimated_kernel_speedup: f64,
+    /// Fraction of Generalized-MH iterations whose generator workspace was
+    /// served from the engine's memo instead of being rebuilt.
+    pub generator_cache_hit_rate: f64,
+}
+
+impl CachingReport {
+    /// Build a report from run counters and the interior-node count of the
+    /// genealogies scored.
+    pub fn from_stats(stats: &GmhRunStats, n_internal: usize) -> Self {
+        let nodes_per_evaluation = stats.nodes_pruned_per_evaluation();
+        let reprune_fraction =
+            if n_internal == 0 { 0.0 } else { nodes_per_evaluation / n_internal as f64 };
+        let estimated_kernel_speedup =
+            if reprune_fraction > 0.0 { 1.0 / reprune_fraction } else { 1.0 };
+        let generator_cache_hit_rate = if stats.iterations == 0 {
+            0.0
+        } else {
+            stats.generator_cache_hits as f64 / stats.iterations as f64
+        };
+        CachingReport {
+            nodes_per_evaluation,
+            full_prune_nodes: n_internal,
+            reprune_fraction,
+            estimated_kernel_speedup,
+            generator_cache_hit_rate,
+        }
+    }
+}
+
 /// A workload description (one row of Tables 2–4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
@@ -172,8 +222,7 @@ impl SpeedupModel {
     /// Modelled device (mpcgs) runtime in microseconds.
     pub fn mpcgs_time_us(&self, w: &Workload) -> f64 {
         let n = w.proposals_per_iteration;
-        let iterations =
-            (w.total_draws().div_ceil(n) * w.em_iterations) as f64;
+        let iterations = (w.total_draws().div_ceil(n) * w.em_iterations) as f64;
 
         // Proposal kernel: one thread per proposal.
         let proposal_kernel = KernelLaunch::new(
@@ -307,8 +356,7 @@ mod tests {
         );
         // The growth is roughly linear: the ratio of speedup to length stays
         // within a factor-two band across the sweep.
-        let per_bp: Vec<f64> =
-            sweep.iter().map(|&(len, s)| s / len as f64).collect();
+        let per_bp: Vec<f64> = sweep.iter().map(|&(len, s)| s / len as f64).collect();
         let max = per_bp.iter().cloned().fold(f64::MIN, f64::max);
         let min = per_bp.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max / min < 2.5, "per-bp speedup should stay near-constant: {per_bp:?}");
@@ -363,6 +411,37 @@ mod tests {
     }
 
     #[test]
+    fn caching_report_summarises_run_counters() {
+        let stats = GmhRunStats {
+            iterations: 10,
+            proposals_generated: 80,
+            likelihood_evaluations: 80,
+            draws: 80,
+            moved: 40,
+            nodes_repruned: 240,    // 3 nodes per dirty path
+            nodes_full_pruned: 110, // 10 full prunes of 11 interior nodes
+            generator_cache_hits: 4,
+        };
+        let report = CachingReport::from_stats(&stats, 11);
+        assert!((report.nodes_per_evaluation - 350.0 / 80.0).abs() < 1e-12);
+        assert_eq!(report.full_prune_nodes, 11);
+        assert!((report.reprune_fraction - (350.0 / 80.0) / 11.0).abs() < 1e-12);
+        assert!(report.estimated_kernel_speedup > 2.0);
+        assert!((report.generator_cache_hit_rate - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caching_report_handles_empty_runs() {
+        let report = CachingReport::from_stats(&GmhRunStats::default(), 11);
+        assert_eq!(report.nodes_per_evaluation, 0.0);
+        assert_eq!(report.reprune_fraction, 0.0);
+        assert_eq!(report.estimated_kernel_speedup, 1.0);
+        assert_eq!(report.generator_cache_hit_rate, 0.0);
+        let degenerate = CachingReport::from_stats(&GmhRunStats::default(), 0);
+        assert_eq!(degenerate.reprune_fraction, 0.0);
+    }
+
+    #[test]
     fn paper_reference_tables_are_consistent() {
         assert_eq!(TABLE2_SAMPLES.len(), TABLE2_PAPER.len());
         assert_eq!(TABLE3_SEQUENCES.len(), TABLE3_PAPER.len());
@@ -371,4 +450,3 @@ mod tests {
         assert_eq!(TABLE2_PAPER[0], TABLE4_PAPER[0]);
     }
 }
-

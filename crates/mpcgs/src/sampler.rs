@@ -30,8 +30,8 @@ use rand::Rng;
 use lamarc::proposal::GenealogyProposer;
 use lamarc::sampler::GenealogySample;
 use lamarc::target::GenealogyTarget;
-use phylo::likelihood::LikelihoodEngine;
-use phylo::{GeneTree, PhyloError};
+use phylo::likelihood::{LikelihoodEngine, TreeProposal};
+use phylo::{GeneTree, NodeId, PhyloError};
 
 use crate::config::MpcgsConfig;
 
@@ -49,6 +49,15 @@ pub struct GmhRunStats {
     pub draws: usize,
     /// Draws whose sampled index differed from the generator.
     pub moved: usize,
+    /// Interior nodes recomputed along dirty paths by the batched likelihood
+    /// engine (one path per proposal evaluation).
+    pub nodes_repruned: usize,
+    /// Interior nodes recomputed by full prunes (generator workspace builds
+    /// on cache misses).
+    pub nodes_full_pruned: usize,
+    /// Iterations whose generator workspace was served from the engine's
+    /// cache (the generator was unchanged since the previous iteration).
+    pub generator_cache_hits: usize,
 }
 
 impl GmhRunStats {
@@ -59,6 +68,17 @@ impl GmhRunStats {
             0.0
         } else {
             self.moved as f64 / self.draws as f64
+        }
+    }
+
+    /// Interior-node recomputations actually performed per likelihood
+    /// evaluation (dirty paths plus amortised generator rebuilds).
+    pub fn nodes_pruned_per_evaluation(&self) -> f64 {
+        if self.likelihood_evaluations == 0 {
+            0.0
+        } else {
+            (self.nodes_repruned + self.nodes_full_pruned) as f64
+                / self.likelihood_evaluations as f64
         }
     }
 }
@@ -133,7 +153,6 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         let backend: Backend = self.config.backend;
 
         let mut generator = initial;
-        let mut generator_loglik = self.target.log_data_likelihood(&generator)?;
         let mut samples = Vec::with_capacity(self.config.sample_draws);
         let mut trace = Trace::with_burn_in(self.config.burn_in_draws);
         let mut stats = GmhRunStats::default();
@@ -147,29 +166,36 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
             // Step 1: the auxiliary variable φ (host RNG).
             let phi = self.proposer.sample_target(&generator, rng);
 
-            // Step 2+3: proposal kernel and data-likelihood kernel. One
-            // logical thread per proposal; each thread owns a detached RNG
-            // stream and reports (proposal, ln P(D|G̃)).
+            // Step 2: the proposal kernel. One logical thread per proposal;
+            // each thread owns a detached RNG stream and reports the edited
+            // φ-neighborhood alongside the proposed tree.
             let generator_ref = &generator;
             let proposer = &self.proposer;
-            let target = &self.target;
             let streams = &self.streams;
-            let results: Vec<Result<(GeneTree, f64), PhyloError>> =
-                backend.map_indexed(n_proposals, move |slot| {
-                    let mut stream = streams.detached(epoch, slot);
-                    let proposal = proposer.propose(generator_ref, phi, &mut stream);
-                    let loglik = target.log_data_likelihood(&proposal)?;
-                    Ok((proposal, loglik))
-                });
-            let mut set: Vec<(GeneTree, f64)> = Vec::with_capacity(n_proposals + 1);
-            for r in results {
-                set.push(r?);
-            }
+            let set: Vec<(GeneTree, Vec<NodeId>)> = backend.map_indexed(n_proposals, move |slot| {
+                let mut stream = streams.detached(epoch, slot);
+                proposer.propose_with_edit(generator_ref, phi, &mut stream)
+            });
+
+            // Step 3: the data-likelihood kernel, batched: the whole proposal
+            // set is scored against the generator in one call. The engine
+            // reuses the generator's cached partials for everything outside
+            // each proposal's dirty path, and the generator workspace itself
+            // is memoised across iterations whose generator did not move.
+            let proposal_refs: Vec<TreeProposal<'_>> =
+                set.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
+            let eval =
+                self.target.log_data_likelihood_batch(backend, &generator, &proposal_refs)?;
+            drop(proposal_refs);
+            let generator_loglik = eval.generator_log_likelihood;
             stats.proposals_generated += n_proposals;
             stats.likelihood_evaluations += n_proposals;
+            stats.nodes_repruned += eval.nodes_repruned;
+            stats.nodes_full_pruned += eval.nodes_full_pruned;
+            stats.generator_cache_hits += eval.generator_cache_hit as usize;
             // The generator joins the set with its cached likelihood.
             let generator_index = set.len();
-            let mut log_weights: Vec<f64> = set.iter().map(|(_, l)| *l).collect();
+            let mut log_weights: Vec<f64> = eval.log_likelihoods.clone();
             log_weights.push(generator_loglik);
             let usable = log_sum_exp(&log_weights).is_finite();
 
@@ -190,7 +216,7 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
                 let (tree, loglik) = if idx == generator_index {
                     (&generator, generator_loglik)
                 } else {
-                    (&set[idx].0, set[idx].1)
+                    (&set[idx].0, eval.log_likelihoods[idx])
                 };
                 trace.push(loglik);
                 if draws_done >= self.config.burn_in_draws {
@@ -206,7 +232,7 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
 
             // Step 5: the last sample generates the next proposal set.
             if last_index != generator_index {
-                generator_loglik = set[last_index].1;
+                let mut set = set;
                 generator = set.swap_remove(last_index).0;
             }
         }
@@ -257,6 +283,15 @@ mod tests {
         assert_eq!(run.stats.proposals_generated, 55 * 8);
         assert_eq!(run.stats.likelihood_evaluations, 55 * 8);
         assert!(run.stats.move_rate() > 0.0);
+        // Dirty-path caching: every proposal evaluation reprunes only the
+        // edited neighborhood's path to the root, never the whole tree, and
+        // the average per-evaluation work (including generator rebuilds)
+        // stays below a full prune.
+        let n_internal = run.final_tree.n_internal();
+        assert!(run.stats.nodes_repruned > 0);
+        assert!(run.stats.nodes_repruned < run.stats.likelihood_evaluations * n_internal);
+        assert!(run.stats.nodes_full_pruned >= n_internal);
+        assert!(run.stats.nodes_pruned_per_evaluation() < n_internal as f64);
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.theta(), 1.0);
         assert_eq!(sampler.config().proposals_per_iteration, 8);
@@ -282,10 +317,8 @@ mod tests {
             .run(initial.clone(), &mut rng_a)
             .unwrap();
         let mut rng_b = Mt19937::new(1234);
-        let run_b = MultiProposalSampler::new(engine, rayon_cfg)
-            .unwrap()
-            .run(initial, &mut rng_b)
-            .unwrap();
+        let run_b =
+            MultiProposalSampler::new(engine, rayon_cfg).unwrap().run(initial, &mut rng_b).unwrap();
 
         // Identical seeds and identical deterministic streams: the outputs
         // must match exactly, which also proves the backend does not change
@@ -302,14 +335,9 @@ mod tests {
         // must be near the Kingman expectation — the multi-proposal analogue
         // of the baseline sampler's prior-recovery test.
         let mut rng = Mt19937::new(79);
-        let alignment = Alignment::from_letters(&[
-            ("1", "A"),
-            ("2", "A"),
-            ("3", "A"),
-            ("4", "A"),
-            ("5", "A"),
-        ])
-        .unwrap();
+        let alignment =
+            Alignment::from_letters(&[("1", "A"), ("2", "A"), ("3", "A"), ("4", "A"), ("5", "A")])
+                .unwrap();
         let theta = 1.0;
         let engine = FelsensteinPruner::new(&alignment, Jc69::new());
         let config = MpcgsConfig {
@@ -374,8 +402,7 @@ mod tests {
         let baseline = LamarcSampler::new(engine, baseline_config).unwrap();
         let baseline_run = baseline.run(initial, &mut rng).unwrap();
 
-        let gmh_depths: Vec<f64> =
-            gmh_run.samples.iter().map(|s| s.intervals.depth()).collect();
+        let gmh_depths: Vec<f64> = gmh_run.samples.iter().map(|s| s.intervals.depth()).collect();
         let base_depths: Vec<f64> =
             baseline_run.samples.iter().map(|s| s.intervals.depth()).collect();
         let gmh_mean = Summary::of(&gmh_depths).unwrap().mean;

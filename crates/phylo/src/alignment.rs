@@ -119,12 +119,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Alignment {
-        Alignment::from_letters(&[
-            ("s1", "ACGTACGT"),
-            ("s2", "ACGTACGA"),
-            ("s3", "ACGTTCGA"),
-        ])
-        .unwrap()
+        Alignment::from_letters(&[("s1", "ACGTACGT"), ("s2", "ACGTACGA"), ("s3", "ACGTTCGA")])
+            .unwrap()
     }
 
     #[test]
@@ -142,28 +138,16 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_ragged_input() {
-        assert!(matches!(
-            Alignment::new(vec![]),
-            Err(PhyloError::Empty { what: "alignment" })
-        ));
-        assert!(matches!(
-            Alignment::from_letters(&[("a", "")]),
-            Err(PhyloError::Empty { .. })
-        ));
+        assert!(matches!(Alignment::new(vec![]), Err(PhyloError::Empty { what: "alignment" })));
+        assert!(matches!(Alignment::from_letters(&[("a", "")]), Err(PhyloError::Empty { .. })));
         let err = Alignment::from_letters(&[("a", "ACGT"), ("b", "ACG")]).unwrap_err();
-        assert!(matches!(
-            err,
-            PhyloError::UnequalSequenceLengths { expected: 4, found: 3, .. }
-        ));
+        assert!(matches!(err, PhyloError::UnequalSequenceLengths { expected: 4, found: 3, .. }));
     }
 
     #[test]
     fn columns_are_per_site_slices() {
         let a = toy();
-        assert_eq!(
-            a.column(4),
-            vec![Nucleotide::A, Nucleotide::A, Nucleotide::T]
-        );
+        assert_eq!(a.column(4), vec![Nucleotide::A, Nucleotide::A, Nucleotide::T]);
         assert_eq!(a.column(0), vec![Nucleotide::A; 3]);
     }
 

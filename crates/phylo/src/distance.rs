@@ -47,8 +47,7 @@ impl DistanceMatrix {
         let mut values = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let hamming =
-                    alignment.sequence(i).hamming_distance(alignment.sequence(j)) as f64;
+                let hamming = alignment.sequence(i).hamming_distance(alignment.sequence(j)) as f64;
                 let d = match metric {
                     DistanceMetric::Hamming => hamming,
                     DistanceMetric::PDistance => hamming / sites,
@@ -114,12 +113,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Alignment {
-        Alignment::from_letters(&[
-            ("s1", "AAAAAAAA"),
-            ("s2", "AAAAAATT"),
-            ("s3", "TTTTAAAA"),
-        ])
-        .unwrap()
+        Alignment::from_letters(&[("s1", "AAAAAAAA"), ("s2", "AAAAAATT"), ("s3", "TTTTAAAA")])
+            .unwrap()
     }
 
     #[test]
@@ -156,10 +151,7 @@ mod tests {
 
     #[test]
     fn from_values_round_trip() {
-        let m = DistanceMatrix::from_values(
-            vec!["a".into(), "b".into()],
-            vec![0.0, 3.0, 3.0, 0.0],
-        );
+        let m = DistanceMatrix::from_values(vec!["a".into(), "b".into()], vec![0.0, 3.0, 3.0, 0.0]);
         assert_eq!(m.get(0, 1), 3.0);
         assert_eq!(m.max_distance(), 3.0);
     }

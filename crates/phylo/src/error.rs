@@ -98,11 +98,7 @@ mod tests {
         let e = PhyloError::InvalidNucleotide { character: 'X', position: 5 };
         assert!(e.to_string().contains('X') && e.to_string().contains('5'));
 
-        let e = PhyloError::UnequalSequenceLengths {
-            expected: 10,
-            found: 8,
-            name: "seq1".into(),
-        };
+        let e = PhyloError::UnequalSequenceLengths { expected: 10, found: 8, name: "seq1".into() };
         assert!(e.to_string().contains("seq1"));
 
         let e = PhyloError::Empty { what: "alignment" };
@@ -119,11 +115,8 @@ mod tests {
         let e = PhyloError::InvalidTree { message: "cycle detected".into() };
         assert!(e.to_string().contains("cycle"));
 
-        let e = PhyloError::InvalidParameter {
-            name: "theta",
-            value: -2.0,
-            constraint: "theta > 0",
-        };
+        let e =
+            PhyloError::InvalidParameter { name: "theta", value: -2.0, constraint: "theta > 0" };
         assert!(e.to_string().contains("theta"));
     }
 

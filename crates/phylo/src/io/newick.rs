@@ -34,10 +34,7 @@ fn write_node(tree: &GeneTree, node: NodeId, out: &mut String) {
 }
 
 fn sanitise(label: &str) -> String {
-    label
-        .chars()
-        .map(|c| if c.is_whitespace() || "():,;".contains(c) { '_' } else { c })
-        .collect()
+    label.chars().map(|c| if c.is_whitespace() || "():,;".contains(c) { '_' } else { c }).collect()
 }
 
 fn format_branch(len: f64) -> String {
@@ -158,11 +155,7 @@ fn clade_to_tree(root: Clade) -> Result<GeneTree, PhyloError> {
         if clade.children.is_empty() {
             here
         } else {
-            clade
-                .children
-                .iter()
-                .map(|c| max_depth(c, here))
-                .fold(f64::NEG_INFINITY, f64::max)
+            clade.children.iter().map(|c| max_depth(c, here)).fold(f64::NEG_INFINITY, f64::max)
         }
     }
     // The root's own branch length (if any) is ignored for timing purposes.

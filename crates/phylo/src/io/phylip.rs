@@ -20,21 +20,16 @@ const NAME_WIDTH: usize = 10;
 /// Parse a PHYLIP-format alignment from text.
 pub fn parse_phylip(text: &str) -> Result<Alignment, PhyloError> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (header_line_no, header) = lines
-        .next()
-        .ok_or(PhyloError::Parse { line: 0, message: "empty PHYLIP input".into() })?;
+    let (header_line_no, header) =
+        lines.next().ok_or(PhyloError::Parse { line: 0, message: "empty PHYLIP input".into() })?;
     let mut header_fields = header.split_whitespace();
-    let n_seqs: usize = header_fields
-        .next()
-        .and_then(|f| f.parse().ok())
-        .ok_or_else(|| PhyloError::Parse {
+    let n_seqs: usize =
+        header_fields.next().and_then(|f| f.parse().ok()).ok_or_else(|| PhyloError::Parse {
             line: header_line_no + 1,
             message: "header must start with the sequence count".into(),
         })?;
-    let n_sites: usize = header_fields
-        .next()
-        .and_then(|f| f.parse().ok())
-        .ok_or_else(|| PhyloError::Parse {
+    let n_sites: usize =
+        header_fields.next().and_then(|f| f.parse().ok()).ok_or_else(|| PhyloError::Parse {
             line: header_line_no + 1,
             message: "header must give the sequence length".into(),
         })?;
@@ -49,12 +44,11 @@ pub fn parse_phylip(text: &str) -> Result<Alignment, PhyloError> {
     let mut current_name: Option<String> = None;
     let mut current_bases: Vec<Nucleotide> = Vec::with_capacity(n_sites);
 
-    let flush =
-        |name: Option<String>, bases: &mut Vec<Nucleotide>, seqs: &mut Vec<Sequence>| {
-            if let Some(name) = name {
-                seqs.push(Sequence::new(name, std::mem::take(bases)));
-            }
-        };
+    let flush = |name: Option<String>, bases: &mut Vec<Nucleotide>, seqs: &mut Vec<Sequence>| {
+        if let Some(name) = name {
+            seqs.push(Sequence::new(name, std::mem::take(bases)));
+        }
+    };
 
     for (line_no, raw_line) in lines {
         let line = raw_line.trim_end();
@@ -120,11 +114,7 @@ fn split_name(line: &str) -> (String, &str) {
     }
 }
 
-fn append_bases(
-    text: &str,
-    line_no: usize,
-    bases: &mut Vec<Nucleotide>,
-) -> Result<(), PhyloError> {
+fn append_bases(text: &str, line_no: usize, bases: &mut Vec<Nucleotide>) -> Result<(), PhyloError> {
     for c in text.chars().filter(|c| !c.is_whitespace()) {
         let base = Nucleotide::from_char(c).ok_or(PhyloError::Parse {
             line: line_no + 1,

@@ -26,8 +26,10 @@
 //!   Eq. 20 —, K80, F84, TN93/HKY85) behind one [`model::SubstitutionModel`]
 //!   trait.
 //! * [`likelihood`] — the Felsenstein-pruning data likelihood `P(D|G)`
-//!   (Eq. 19–23), serial and site-parallel (the "data likelihood kernel" of
-//!   Section 5.2.2).
+//!   (Eq. 19–23): a pattern-outer reference path (serial and site-parallel,
+//!   the "data likelihood kernel" of Section 5.2.2) and the batched engine
+//!   with structure-of-arrays [`likelihood::LikelihoodWorkspace`] buffers and
+//!   dirty-path caching for scoring whole proposal sets (Section 4.3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +48,10 @@ pub mod upgma;
 
 pub use alignment::Alignment;
 pub use error::PhyloError;
-pub use likelihood::{FelsensteinPruner, LikelihoodEngine};
+pub use likelihood::{
+    BatchEvaluation, DirtyEvaluation, FelsensteinPruner, LikelihoodEngine, LikelihoodWorkspace,
+    TreeProposal,
+};
 pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;
 pub use patterns::SitePatterns;

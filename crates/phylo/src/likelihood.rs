@@ -7,13 +7,31 @@
 //! transition probabilities (Eq. 19). The per-site likelihoods multiply
 //! (Eq. 22 — stored as a sum of logs per Section 5.3).
 //!
-//! Two execution strategies mirror the paper's "data likelihood kernel"
-//! (Section 5.2.2), which assigns one device thread per base-pair position:
-//! here the per-pattern loop can run serially or data-parallel over rayon
-//! worker threads. Site-pattern compression is used by default; the
-//! uncompressed path (what the CUDA kernel does, recomputing every site) is
-//! also available so the trade-off can be benchmarked.
+//! Two evaluation paths are provided:
+//!
+//! * The **reference path** ([`FelsensteinPruner::pattern_log_likelihoods`])
+//!   prunes pattern-by-pattern exactly as the textbook recursion is written.
+//!   It is kept as the oracle the fast path is verified against, and it can
+//!   run its per-pattern loop serially or data-parallel over rayon worker
+//!   threads ([`ExecutionMode`]), mirroring the paper's one-device-thread-
+//!   per-site data-likelihood kernel (Section 5.2.2).
+//! * The **batched engine** ([`LikelihoodEngine::log_likelihood_batch`])
+//!   scores a whole proposal set against one generator genealogy, the shape
+//!   of the multi-proposal sampler's inner loop (Section 4.3). Partial
+//!   likelihoods live in a reusable [`LikelihoodWorkspace`] — structure-of-
+//!   arrays buffers of `[node × pattern × 4]`, split into pattern chunks,
+//!   with a node-outer/pattern-inner loop order so the 4×4 products
+//!   vectorise and nothing is allocated per pattern. Because every proposal
+//!   differs from the generator only inside the φ-neighborhood, the engine
+//!   recomputes only the edited nodes and the path from them to the root
+//!   (*dirty-path caching*), reusing the generator's cached partials for
+//!   every other subtree. The generator workspace itself is memoised inside
+//!   the engine, so consecutive evaluations against an unchanged generator
+//!   (rejected moves, repeated index draws) skip the full prune entirely.
 
+use std::sync::Mutex;
+
+use exec::Backend;
 use rayon::prelude::*;
 
 use crate::alignment::Alignment;
@@ -23,13 +41,87 @@ use crate::nucleotide::Nucleotide;
 use crate::patterns::SitePatterns;
 use crate::tree::{GeneTree, NodeId};
 
+/// Number of site patterns per workspace chunk. Chunks are the unit of
+/// pattern-level parallelism and bound the working set of the inner loops to
+/// roughly `chunk × nodes × 5` doubles.
+const PATTERN_CHUNK: usize = 256;
+
+/// A proposal to be scored against a generator genealogy: the proposed tree
+/// plus the set of nodes whose times or wiring differ from the generator
+/// (the φ-neighborhood of Section 4.3). Nodes *above* the edited set are
+/// discovered by the engine; only the directly edited nodes need listing.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeProposal<'a> {
+    /// The proposed genealogy. Must share the arena layout (node ids, tips,
+    /// labels) of the generator it is scored against.
+    pub tree: &'a GeneTree,
+    /// The directly edited nodes. An empty slice means "identical to the
+    /// generator".
+    pub edited: &'a [NodeId],
+}
+
+/// The outcome of one batched likelihood evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEvaluation {
+    /// `ln P(D|G)` of the generator genealogy.
+    pub generator_log_likelihood: f64,
+    /// `ln P(D|G̃_i)` for every proposal, in input order.
+    pub log_likelihoods: Vec<f64>,
+    /// Interior nodes whose partials were recomputed across all proposals
+    /// (the dirty paths). The paper's incremental-LAMARC baseline performs
+    /// the same O(path-to-root) work per transition (Section 5.2.2).
+    pub nodes_repruned: usize,
+    /// Interior nodes recomputed to (re)build the generator workspace: the
+    /// full interior count on a cache miss, zero on a hit.
+    pub nodes_full_pruned: usize,
+    /// Whether the generator workspace was reused from the engine's cache.
+    pub generator_cache_hit: bool,
+}
+
+impl BatchEvaluation {
+    /// Interior-node recomputations a naive engine would have performed for
+    /// the same batch (every node of every proposal plus the generator).
+    pub fn naive_node_cost(n_internal: usize, n_proposals: usize) -> usize {
+        n_internal * (n_proposals + 1)
+    }
+}
+
 /// Anything that can score a genealogy against fixed data.
 pub trait LikelihoodEngine: Send + Sync {
     /// `ln P(D|G)`.
     fn log_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError>;
+
+    /// Score a whole proposal set against a generator genealogy.
+    ///
+    /// `backend` chooses where the proposal-parallel outer loop runs. The
+    /// default implementation scores every tree independently with
+    /// [`LikelihoodEngine::log_likelihood`] (no caching); engines that can
+    /// exploit the φ-neighborhood structure override it.
+    fn log_likelihood_batch(
+        &self,
+        backend: Backend,
+        generator: &GeneTree,
+        proposals: &[TreeProposal<'_>],
+    ) -> Result<BatchEvaluation, PhyloError> {
+        let generator_log_likelihood = self.log_likelihood(generator)?;
+        let results = backend.map_slice(proposals, |proposal| self.log_likelihood(proposal.tree));
+        let mut log_likelihoods = Vec::with_capacity(proposals.len());
+        let mut nodes_repruned = 0;
+        for (result, proposal) in results.into_iter().zip(proposals) {
+            log_likelihoods.push(result?);
+            nodes_repruned += proposal.tree.n_internal();
+        }
+        Ok(BatchEvaluation {
+            generator_log_likelihood,
+            log_likelihoods,
+            nodes_repruned,
+            nodes_full_pruned: generator.n_internal(),
+            generator_cache_hit: false,
+        })
+    }
 }
 
-/// How the per-site work is executed.
+/// How the per-site work of the reference path is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
     /// One thread, pattern-compressed.
@@ -40,9 +132,90 @@ pub enum ExecutionMode {
     Parallel,
 }
 
+/// One pattern chunk of a [`LikelihoodWorkspace`]: structure-of-arrays
+/// conditional-likelihood storage for every node over a contiguous range of
+/// site patterns.
+#[derive(Debug, Clone)]
+struct PatternChunk {
+    /// First pattern index covered by this chunk.
+    start: usize,
+    /// Number of patterns in this chunk.
+    len: usize,
+    /// Partial likelihoods, laid out `[node][pattern][4]` (node-major so the
+    /// node-outer/pattern-inner loops stream contiguously).
+    partials: Vec<f64>,
+    /// Cumulative log scaling factored out of the subtree below each node,
+    /// laid out `[node][pattern]` (Section 5.3 underflow protection).
+    scales: Vec<f64>,
+    /// Weighted `ln P(D|G)` contribution of this chunk's patterns.
+    log_likelihood: f64,
+}
+
+impl PatternChunk {
+    #[inline]
+    fn partial_offset(&self, node: NodeId) -> usize {
+        node * self.len * 4
+    }
+
+    #[inline]
+    fn scale_offset(&self, node: NodeId) -> usize {
+        node * self.len
+    }
+}
+
+/// Reusable pattern-major partial-likelihood storage for one genealogy: the
+/// cached state the batched engine's dirty-path evaluations read from.
+#[derive(Debug, Clone)]
+pub struct LikelihoodWorkspace {
+    n_nodes: usize,
+    n_patterns: usize,
+    chunks: Vec<PatternChunk>,
+    /// Weighted total `ln P(D|G)` over all patterns.
+    log_likelihood: f64,
+}
+
+impl LikelihoodWorkspace {
+    /// Number of tree nodes the workspace stores partials for.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of compressed site patterns covered.
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Number of pattern chunks (the unit of pattern-level parallelism).
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The `ln P(D|G)` of the genealogy this workspace was built from.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+}
+
+/// The cached generator state the engine keeps between batch evaluations.
+#[derive(Debug)]
+struct GeneratorCache {
+    tree: GeneTree,
+    workspace: LikelihoodWorkspace,
+}
+
+/// The outcome of scoring a single edited tree against a cached workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtyEvaluation {
+    /// `ln P(D|G̃)` of the edited tree.
+    pub log_likelihood: f64,
+    /// Interior nodes recomputed (the edited nodes plus the path to the
+    /// root); the rest were reused from the workspace.
+    pub nodes_repruned: usize,
+}
+
 /// Felsenstein-pruning likelihood engine bound to one alignment and one
 /// substitution model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FelsensteinPruner<M> {
     model: M,
     patterns: SitePatterns,
@@ -51,28 +224,46 @@ pub struct FelsensteinPruner<M> {
     mode: ExecutionMode,
     /// Scaling threshold below which partial likelihoods are renormalised.
     scale_threshold: f64,
+    /// Memoised generator workspace for the batched engine. Guarded by a
+    /// mutex so the engine stays `Sync`; the workspace is taken out for the
+    /// duration of an evaluation and put back afterwards.
+    cache: Mutex<Option<GeneratorCache>>,
+}
+
+impl<M: Clone> Clone for FelsensteinPruner<M> {
+    fn clone(&self) -> Self {
+        FelsensteinPruner {
+            model: self.model.clone(),
+            patterns: self.patterns.clone(),
+            name_to_row: self.name_to_row.clone(),
+            mode: self.mode,
+            scale_threshold: self.scale_threshold,
+            // Caches are per-engine working state, not semantics: a clone
+            // starts cold.
+            cache: Mutex::new(None),
+        }
+    }
 }
 
 impl<M: SubstitutionModel> FelsensteinPruner<M> {
     /// Create an engine for the given alignment and model.
     pub fn new(alignment: &Alignment, model: M) -> Self {
         let patterns = SitePatterns::from_alignment(alignment);
-        let name_to_row = alignment
-            .names()
-            .iter()
-            .enumerate()
-            .map(|(i, name)| (name.to_string(), i))
-            .collect();
+        let name_to_row =
+            alignment.names().iter().enumerate().map(|(i, name)| (name.to_string(), i)).collect();
         FelsensteinPruner {
             model,
             patterns,
             name_to_row,
             mode: ExecutionMode::Serial,
             scale_threshold: 1e-100,
+            cache: Mutex::new(None),
         }
     }
 
-    /// Select the execution mode.
+    /// Select the execution mode: [`ExecutionMode::Parallel`] runs the
+    /// reference path pattern-parallel and upgrades the batched engine's
+    /// backend to rayon whatever the caller passes.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
         self
@@ -116,19 +307,17 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         let mut rows = vec![None; tree.n_nodes()];
         for tip in tree.tips() {
             let label = tree.label(tip).unwrap_or_default();
-            let row = self.name_to_row.get(label).copied().ok_or_else(|| {
-                PhyloError::InvalidNode {
+            let row =
+                self.name_to_row.get(label).copied().ok_or_else(|| PhyloError::InvalidNode {
                     node: tip,
                     message: format!("tip label {label:?} not present in the alignment"),
-                }
-            })?;
+                })?;
             rows[tip] = Some(row);
         }
         Ok(rows)
     }
 
-    /// Per-pattern log likelihoods (ordered as the patterns are).
-    pub fn pattern_log_likelihoods(&self, tree: &GeneTree) -> Result<Vec<f64>, PhyloError> {
+    fn check_tree(&self, tree: &GeneTree) -> Result<(), PhyloError> {
         if tree.n_tips() != self.n_sequences() {
             return Err(PhyloError::InvalidTree {
                 message: format!(
@@ -138,12 +327,28 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
                 ),
             });
         }
+        Ok(())
+    }
+
+    /// Per-branch transition matrices for every node of `tree`.
+    fn transition_matrices(&self, tree: &GeneTree) -> Vec<Option<[[f64; 4]; 4]>> {
+        (0..tree.n_nodes())
+            .map(|node| tree.branch_length(node).map(|t| self.model.transition_matrix(t.max(0.0))))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reference path: pattern-outer pruning, the oracle for the fast path.
+    // ------------------------------------------------------------------
+
+    /// Per-pattern log likelihoods (ordered as the patterns are), computed by
+    /// the reference pattern-outer recursion.
+    pub fn pattern_log_likelihoods(&self, tree: &GeneTree) -> Result<Vec<f64>, PhyloError> {
+        self.check_tree(tree)?;
         let tip_rows = self.tip_rows(tree)?;
         let order = tree.post_order();
         // Precompute per-branch transition matrices (shared across patterns).
-        let matrices: Vec<Option<[[f64; 4]; 4]>> = (0..tree.n_nodes())
-            .map(|node| tree.branch_length(node).map(|t| self.model.transition_matrix(t.max(0.0))))
-            .collect();
+        let matrices = self.transition_matrices(tree);
 
         let compute_pattern = |pattern: &[Nucleotide]| -> f64 {
             self.prune_one_pattern(tree, &order, &matrices, &tip_rows, pattern)
@@ -211,10 +416,8 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         }
         let root = tree.root();
         let freqs = self.model.base_frequencies();
-        let site_likelihood: f64 = Nucleotide::ALL
-            .iter()
-            .map(|&x| freqs.freq(x) * partial[root][x.index()])
-            .sum();
+        let site_likelihood: f64 =
+            Nucleotide::ALL.iter().map(|&x| freqs.freq(x) * partial[root][x.index()]).sum();
         if site_likelihood <= 0.0 {
             f64::NEG_INFINITY
         } else {
@@ -222,21 +425,369 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         }
     }
 
-    /// Per-site log likelihoods expanded back to alignment order is not
-    /// needed by the samplers; this returns the weighted total directly.
+    /// `ln P(D|G)` by the reference path (per-site likelihoods expanded back
+    /// to alignment order are not needed by the samplers; this returns the
+    /// weighted total directly).
     pub fn log_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
         let per_pattern = self.pattern_log_likelihoods(tree)?;
-        Ok(per_pattern
-            .iter()
-            .zip(self.patterns.weights())
-            .map(|(lnl, &w)| lnl * w as f64)
-            .sum())
+        Ok(per_pattern.iter().zip(self.patterns.weights()).map(|(lnl, &w)| lnl * w as f64).sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched engine: workspace build + dirty-path rescoring.
+    // ------------------------------------------------------------------
+
+    /// Build a full [`LikelihoodWorkspace`] for `tree`, with the pattern
+    /// chunks evaluated on `backend`.
+    pub fn build_workspace(
+        &self,
+        backend: Backend,
+        tree: &GeneTree,
+    ) -> Result<LikelihoodWorkspace, PhyloError> {
+        self.check_tree(tree)?;
+        let tip_rows = self.tip_rows(tree)?;
+        let order = tree.post_order();
+        let matrices = self.transition_matrices(tree);
+
+        let n_patterns = self.patterns.n_patterns();
+        let n_chunks = n_patterns.div_ceil(PATTERN_CHUNK).max(1);
+        let chunks: Vec<PatternChunk> = backend.map_indexed(n_chunks, |c| {
+            let start = c * PATTERN_CHUNK;
+            let len = PATTERN_CHUNK.min(n_patterns - start);
+            self.build_chunk(tree, &order, &matrices, &tip_rows, start, len)
+        });
+        let log_likelihood = chunks.iter().map(|chunk| chunk.log_likelihood).sum();
+        Ok(LikelihoodWorkspace { n_nodes: tree.n_nodes(), n_patterns, chunks, log_likelihood })
+    }
+
+    /// Fill one pattern chunk by a node-outer/pattern-inner full prune.
+    fn build_chunk(
+        &self,
+        tree: &GeneTree,
+        order: &[NodeId],
+        matrices: &[Option<[[f64; 4]; 4]>],
+        tip_rows: &[Option<usize>],
+        start: usize,
+        len: usize,
+    ) -> PatternChunk {
+        let n_nodes = tree.n_nodes();
+        let mut chunk = PatternChunk {
+            start,
+            len,
+            partials: vec![0.0; n_nodes * len * 4],
+            scales: vec![0.0; n_nodes * len],
+            log_likelihood: 0.0,
+        };
+        // Scratch rows reused for every interior node: zero per-pattern and
+        // zero per-node allocation.
+        let mut partial_row = vec![0.0f64; len * 4];
+        let mut scale_row = vec![0.0f64; len];
+        for &node in order {
+            if let Some(row) = tip_rows[node] {
+                let offset = chunk.partial_offset(node);
+                for p in 0..len {
+                    let observed = self.patterns.pattern(start + p)[row];
+                    chunk.partials[offset + p * 4 + observed.index()] = 1.0;
+                }
+                // Tip scales stay zero.
+            } else {
+                let (a, b) = tree.children(node).expect("interior node");
+                let ma = matrices[a].expect("non-root child has a branch");
+                let mb = matrices[b].expect("non-root child has a branch");
+                self.combine_children_rows(
+                    &ma,
+                    &mb,
+                    &chunk.partials[chunk.partial_offset(a)..chunk.partial_offset(a) + len * 4],
+                    &chunk.partials[chunk.partial_offset(b)..chunk.partial_offset(b) + len * 4],
+                    &chunk.scales[chunk.scale_offset(a)..chunk.scale_offset(a) + len],
+                    &chunk.scales[chunk.scale_offset(b)..chunk.scale_offset(b) + len],
+                    &mut partial_row,
+                    &mut scale_row,
+                );
+                let offset = chunk.partial_offset(node);
+                chunk.partials[offset..offset + len * 4].copy_from_slice(&partial_row);
+                let soffset = chunk.scale_offset(node);
+                chunk.scales[soffset..soffset + len].copy_from_slice(&scale_row);
+            }
+        }
+        chunk.log_likelihood = self.chunk_root_log_likelihood(
+            &chunk.partials[chunk.partial_offset(tree.root())..],
+            &chunk.scales[chunk.scale_offset(tree.root())..],
+            start,
+            len,
+        );
+        chunk
+    }
+
+    /// The node-outer/pattern-inner kernel: combine two children's partial
+    /// rows into the parent's row through the branch transition matrices,
+    /// rescaling per pattern where the magnitude drops below the threshold.
+    #[allow(clippy::too_many_arguments)]
+    fn combine_children_rows(
+        &self,
+        ma: &[[f64; 4]; 4],
+        mb: &[[f64; 4]; 4],
+        pa: &[f64],
+        pb: &[f64],
+        sa: &[f64],
+        sb: &[f64],
+        out_partials: &mut [f64],
+        out_scales: &mut [f64],
+    ) {
+        let len = out_scales.len();
+        for p in 0..len {
+            let pa4 = &pa[p * 4..p * 4 + 4];
+            let pb4 = &pb[p * 4..p * 4 + 4];
+            let mut vec = [0.0f64; 4];
+            let mut max = 0.0f64;
+            for x in 0..4 {
+                let mut sum_a = 0.0;
+                let mut sum_b = 0.0;
+                for y in 0..4 {
+                    sum_a += ma[x][y] * pa4[y];
+                    sum_b += mb[x][y] * pb4[y];
+                }
+                let v = sum_a * sum_b;
+                vec[x] = v;
+                if v > max {
+                    max = v;
+                }
+            }
+            let mut scale = sa[p] + sb[p];
+            if max > 0.0 && max < self.scale_threshold {
+                for v in &mut vec {
+                    *v /= max;
+                }
+                scale += max.ln();
+            }
+            out_partials[p * 4..p * 4 + 4].copy_from_slice(&vec);
+            out_scales[p] = scale;
+        }
+    }
+
+    /// Weighted `ln P(D|G)` contribution of one chunk given the root's
+    /// partial and scale rows.
+    fn chunk_root_log_likelihood(
+        &self,
+        root_partials: &[f64],
+        root_scales: &[f64],
+        start: usize,
+        len: usize,
+    ) -> f64 {
+        let freqs = self.model.base_frequencies();
+        let weights = self.patterns.weights();
+        let mut total = 0.0;
+        for p in 0..len {
+            let row = &root_partials[p * 4..p * 4 + 4];
+            let site_likelihood: f64 =
+                Nucleotide::ALL.iter().map(|&x| freqs.freq(x) * row[x.index()]).sum();
+            let lnl = if site_likelihood <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                site_likelihood.ln() + root_scales[p]
+            };
+            total += lnl * weights[start + p] as f64;
+        }
+        total
+    }
+
+    /// Score an edited tree against a cached generator workspace, recomputing
+    /// only the edited nodes and the path from them to the root.
+    pub fn rescore_with_workspace(
+        &self,
+        workspace: &LikelihoodWorkspace,
+        proposal: &GeneTree,
+        edited: &[NodeId],
+    ) -> Result<DirtyEvaluation, PhyloError> {
+        if proposal.n_nodes() != workspace.n_nodes() {
+            return Err(PhyloError::InvalidTree {
+                message: format!(
+                    "proposal has {} nodes but the cached workspace covers {}",
+                    proposal.n_nodes(),
+                    workspace.n_nodes()
+                ),
+            });
+        }
+        if edited.is_empty() {
+            return Ok(DirtyEvaluation {
+                log_likelihood: workspace.log_likelihood,
+                nodes_repruned: 0,
+            });
+        }
+
+        let n_nodes = proposal.n_nodes();
+        // Mark the dirty region: every edited interior node plus all of its
+        // ancestors (a changed node time also changes the branch to its
+        // parent, so invalidation always propagates to the root).
+        let mut dirty_mark = vec![false; n_nodes];
+        for &edit in edited {
+            let mut cursor = Some(edit);
+            while let Some(node) = cursor {
+                if !proposal.is_tip(node) {
+                    if dirty_mark[node] {
+                        break;
+                    }
+                    dirty_mark[node] = true;
+                }
+                cursor = proposal.parent(node);
+            }
+        }
+        // Evaluate dirty nodes children-before-parents.
+        let dirty: Vec<NodeId> =
+            proposal.post_order().into_iter().filter(|&n| dirty_mark[n]).collect();
+        let mut dirty_index = vec![usize::MAX; n_nodes];
+        for (i, &node) in dirty.iter().enumerate() {
+            dirty_index[node] = i;
+        }
+        // Transition matrices are needed only for the children of dirty
+        // nodes; branch lengths come from the *proposal* tree.
+        let mut matrices: Vec<Option<[[f64; 4]; 4]>> = vec![None; n_nodes];
+        for &node in &dirty {
+            let (a, b) = proposal.children(node).expect("dirty nodes are interior");
+            for child in [a, b] {
+                let t = proposal.branch_length(child).expect("child of an interior node");
+                matrices[child] = Some(self.model.transition_matrix(t.max(0.0)));
+            }
+        }
+
+        let root = proposal.root();
+        debug_assert!(dirty_mark[root], "the dirty path always reaches the root");
+        let n_dirty = dirty.len();
+        let mut total = 0.0;
+        // Overlay buffers sized to the dirty set only, reused across chunks.
+        let mut overlay_partials = vec![0.0f64; n_dirty * PATTERN_CHUNK * 4];
+        let mut overlay_scales = vec![0.0f64; n_dirty * PATTERN_CHUNK];
+        let mut partial_row = vec![0.0f64; PATTERN_CHUNK * 4];
+        let mut scale_row = vec![0.0f64; PATTERN_CHUNK];
+        for chunk in &workspace.chunks {
+            let len = chunk.len;
+            for (di, &node) in dirty.iter().enumerate() {
+                let (a, b) = proposal.children(node).expect("dirty nodes are interior");
+                let ma = matrices[a].expect("children of dirty nodes have matrices");
+                let mb = matrices[b].expect("children of dirty nodes have matrices");
+                let (pa, sa) =
+                    read_rows(chunk, &overlay_partials, &overlay_scales, &dirty_index, a, len);
+                let (pb, sb) =
+                    read_rows(chunk, &overlay_partials, &overlay_scales, &dirty_index, b, len);
+                self.combine_children_rows(
+                    &ma,
+                    &mb,
+                    pa,
+                    pb,
+                    sa,
+                    sb,
+                    &mut partial_row[..len * 4],
+                    &mut scale_row[..len],
+                );
+                overlay_partials[di * PATTERN_CHUNK * 4..di * PATTERN_CHUNK * 4 + len * 4]
+                    .copy_from_slice(&partial_row[..len * 4]);
+                overlay_scales[di * PATTERN_CHUNK..di * PATTERN_CHUNK + len]
+                    .copy_from_slice(&scale_row[..len]);
+            }
+            let root_slot = dirty_index[root];
+            total += self.chunk_root_log_likelihood(
+                &overlay_partials[root_slot * PATTERN_CHUNK * 4..],
+                &overlay_scales[root_slot * PATTERN_CHUNK..],
+                chunk.start,
+                len,
+            );
+        }
+        Ok(DirtyEvaluation { log_likelihood: total, nodes_repruned: n_dirty })
+    }
+
+    /// Drop the memoised generator workspace (mainly useful for measuring
+    /// cold-path behaviour).
+    pub fn clear_cache(&self) {
+        *self.cache.lock().expect("likelihood cache poisoned") = None;
+    }
+}
+
+/// Borrow node `node`'s partial and scale rows for `len` patterns, from the
+/// overlay when the node is dirty and from the cached chunk otherwise.
+fn read_rows<'a>(
+    chunk: &'a PatternChunk,
+    overlay_partials: &'a [f64],
+    overlay_scales: &'a [f64],
+    dirty_index: &[usize],
+    node: NodeId,
+    len: usize,
+) -> (&'a [f64], &'a [f64]) {
+    let di = dirty_index[node];
+    if di == usize::MAX {
+        let po = chunk.partial_offset(node);
+        let so = chunk.scale_offset(node);
+        (&chunk.partials[po..po + len * 4], &chunk.scales[so..so + len])
+    } else {
+        (
+            &overlay_partials[di * PATTERN_CHUNK * 4..di * PATTERN_CHUNK * 4 + len * 4],
+            &overlay_scales[di * PATTERN_CHUNK..di * PATTERN_CHUNK + len],
+        )
     }
 }
 
 impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
     fn log_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
         FelsensteinPruner::log_likelihood(self, tree)
+    }
+
+    /// The batched, dirty-path-cached evaluation: the generator is pruned in
+    /// full at most once (and reused from the memo when it is unchanged since
+    /// the previous call), then every proposal recomputes only its edited
+    /// nodes and the path from them to the root. The proposal-parallel outer
+    /// loop runs on `backend`; inside, patterns are walked chunk by chunk.
+    fn log_likelihood_batch(
+        &self,
+        backend: Backend,
+        generator: &GeneTree,
+        proposals: &[TreeProposal<'_>],
+    ) -> Result<BatchEvaluation, PhyloError> {
+        // `with_mode(Parallel)` asks for site-parallel evaluation regardless
+        // of how the caller schedules the outer loop: upgrade the backend so
+        // the knob keeps meaning what it meant on the reference path.
+        let backend = match self.mode {
+            ExecutionMode::Parallel => Backend::Rayon,
+            ExecutionMode::Serial => backend,
+        };
+        // Reuse the memoised workspace when the generator is unchanged; on a
+        // hit the cache entry (tree key included) is kept intact so nothing
+        // is cloned on the hot path.
+        let taken = { self.cache.lock().expect("likelihood cache poisoned").take() };
+        let (cache, generator_cache_hit) = match taken {
+            Some(cache) if cache.tree == *generator => (cache, true),
+            _ => {
+                let workspace = self.build_workspace(backend, generator)?;
+                (GeneratorCache { tree: generator.clone(), workspace }, false)
+            }
+        };
+        let nodes_full_pruned = if generator_cache_hit { 0 } else { generator.n_internal() };
+
+        let workspace_ref = &cache.workspace;
+        let results = backend.map_slice(proposals, move |proposal| {
+            self.rescore_with_workspace(workspace_ref, proposal.tree, proposal.edited)
+        });
+
+        let generator_log_likelihood = cache.workspace.log_likelihood;
+        // Put the cache back for the next evaluation against the same
+        // generator (e.g. rejected moves).
+        {
+            let mut slot = self.cache.lock().expect("likelihood cache poisoned");
+            *slot = Some(cache);
+        }
+
+        let mut log_likelihoods = Vec::with_capacity(proposals.len());
+        let mut nodes_repruned = 0;
+        for result in results {
+            let eval = result?;
+            log_likelihoods.push(eval.log_likelihood);
+            nodes_repruned += eval.nodes_repruned;
+        }
+        Ok(BatchEvaluation {
+            generator_log_likelihood,
+            log_likelihoods,
+            nodes_repruned,
+            nodes_full_pruned,
+            generator_cache_hit,
+        })
     }
 }
 
@@ -327,9 +878,7 @@ mod tests {
                     .collect::<Vec<_>>(),
             )
             .unwrap();
-            manual += FelsensteinPruner::new(&single, Jc69::new())
-                .log_likelihood(&tree)
-                .unwrap();
+            manual += FelsensteinPruner::new(&single, Jc69::new()).log_likelihood(&tree).unwrap();
         }
         assert!((compressed - manual).abs() < 1e-10, "{compressed} vs {manual}");
     }
@@ -353,7 +902,8 @@ mod tests {
         builder.join(ab, cd, 0.2);
         let tree = builder.build().unwrap();
 
-        let serial = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+        let serial =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
         let parallel = serial.clone().with_mode(ExecutionMode::Parallel);
         assert_eq!(parallel.mode(), ExecutionMode::Parallel);
         let l1 = serial.log_likelihood(&tree).unwrap();
@@ -369,10 +919,7 @@ mod tests {
         let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
         let short = pruner.log_likelihood(&two_tip_tree(0.01, 0.01, 0.01)).unwrap();
         let long = pruner.log_likelihood(&two_tip_tree(1.0, 1.0, 1.0)).unwrap();
-        assert!(
-            short > long,
-            "identical sequences should favour shorter trees: {short} vs {long}"
-        );
+        assert!(short > long, "identical sequences should favour shorter trees: {short} vs {long}");
     }
 
     #[test]
@@ -392,12 +939,10 @@ mod tests {
         let alignment =
             Alignment::from_letters(&[("x", "AATTATAATT"), ("y", "AATTATATTT")]).unwrap();
         let tree = two_tip_tree(0.1, 0.1, 0.1);
-        let matched = FelsensteinPruner::new(
-            &alignment,
-            F81::normalized(alignment.base_frequencies()),
-        )
-        .log_likelihood(&tree)
-        .unwrap();
+        let matched =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()))
+                .log_likelihood(&tree)
+                .unwrap();
         let mismatched = FelsensteinPruner::new(
             &alignment,
             F81::normalized(BaseFrequencies::new(0.05, 0.45, 0.45, 0.05).unwrap()),
@@ -419,6 +964,7 @@ mod tests {
         b.join(p, q, 1.0);
         let bad_labels = b.build().unwrap();
         assert!(pruner.log_likelihood(&bad_labels).is_err());
+        assert!(pruner.build_workspace(Backend::Serial, &bad_labels).is_err());
 
         // Wrong number of tips.
         let mut b = TreeBuilder::new();
@@ -429,6 +975,7 @@ mod tests {
         b.join(pq, r, 2.0);
         let too_many = b.build().unwrap();
         assert!(pruner.log_likelihood(&too_many).is_err());
+        assert!(pruner.build_workspace(Backend::Serial, &too_many).is_err());
     }
 
     #[test]
@@ -453,6 +1000,11 @@ mod tests {
         let lnl = pruner.log_likelihood(&tree).unwrap();
         assert!(lnl.is_finite());
         assert!(lnl < 0.0);
+
+        // The workspace path applies the same per-pattern rescaling and must
+        // agree with the reference result.
+        let ws = pruner.build_workspace(Backend::Serial, &tree).unwrap();
+        assert!((ws.log_likelihood() - lnl).abs() < 1e-10, "{} vs {lnl}", ws.log_likelihood());
     }
 
     #[test]
@@ -461,9 +1013,215 @@ mod tests {
         let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
         let tree = two_tip_tree(0.1, 0.1, 0.1);
         let w = pruner.work_per_evaluation(&tree);
-        assert_eq!(w, (pruner.n_patterns() as u64) * 1 * 64);
+        assert_eq!(w, (pruner.n_patterns() as u64) * 64);
         assert_eq!(pruner.n_sites(), 8);
         assert_eq!(pruner.n_sequences(), 2);
         assert_eq!(pruner.model().name(), "JC69");
+    }
+
+    // ------------------------------------------------------------------
+    // Batched engine tests.
+    // ------------------------------------------------------------------
+
+    /// A deterministic five-tip alignment/tree fixture for batch tests.
+    fn five_tip_fixture() -> (Alignment, GeneTree) {
+        let alignment = Alignment::from_letters(&[
+            ("t0", "ACGTACGTAACCGGTTACGTTGCA"),
+            ("t1", "ACGTACGAAACCGGTTACGATGCA"),
+            ("t2", "ACGAACGTAACCGGTAACGTTGCC"),
+            ("t3", "TCGTACGTAACCGGTTACGTAGCA"),
+            ("t4", "TCGTACGTTACCGGTTACGTAGGA"),
+        ])
+        .unwrap();
+        let mut b = TreeBuilder::new();
+        let t0 = b.add_tip("t0", 0.0);
+        let t1 = b.add_tip("t1", 0.0);
+        let t2 = b.add_tip("t2", 0.0);
+        let t3 = b.add_tip("t3", 0.0);
+        let t4 = b.add_tip("t4", 0.0);
+        let v = b.join(t0, t1, 0.15);
+        let u = b.join(v, t2, 0.3);
+        let w = b.join(t3, t4, 0.2);
+        b.join(u, w, 0.5);
+        (alignment, b.build().unwrap())
+    }
+
+    /// Perturb the neighborhood of `target` in place the way the proposal
+    /// kernel does (retime the target and its parent), returning the edited
+    /// node list.
+    fn perturb(tree: &GeneTree, target: NodeId, delta: f64) -> (GeneTree, Vec<NodeId>) {
+        let mut out = tree.clone();
+        let parent = tree.parent(target).expect("non-root target");
+        out.set_time(target, tree.time(target) + delta);
+        out.set_time(parent, tree.time(parent) + delta);
+        out.validate().unwrap();
+        (out, vec![target, parent])
+    }
+
+    #[test]
+    fn workspace_total_matches_reference_path() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+        let reference = pruner.log_likelihood(&tree).unwrap();
+        for backend in [Backend::Serial, Backend::Rayon] {
+            let ws = pruner.build_workspace(backend, &tree).unwrap();
+            assert!(
+                (ws.log_likelihood() - reference).abs() < 1e-10,
+                "{} vs {reference}",
+                ws.log_likelihood()
+            );
+            assert_eq!(ws.n_nodes(), tree.n_nodes());
+            assert_eq!(ws.n_patterns(), pruner.n_patterns());
+            assert!(ws.n_chunks() >= 1);
+        }
+    }
+
+    #[test]
+    fn batch_matches_naive_per_proposal_scoring() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+
+        // Three proposals editing different neighborhoods.
+        let targets: Vec<NodeId> = tree.non_root_internal_nodes();
+        let edits: Vec<(GeneTree, Vec<NodeId>)> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| perturb(&tree, t, 0.01 * (i as f64 + 1.0)))
+            .collect();
+        let proposals: Vec<TreeProposal<'_>> =
+            edits.iter().map(|(t, e)| TreeProposal { tree: t, edited: e }).collect();
+
+        let eval = pruner.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert_eq!(eval.log_likelihoods.len(), proposals.len());
+        assert!(
+            (eval.generator_log_likelihood - pruner.log_likelihood(&tree).unwrap()).abs() < 1e-10
+        );
+        for ((proposal, _), &batched) in edits.iter().zip(&eval.log_likelihoods) {
+            let naive = pruner.log_likelihood(proposal).unwrap();
+            assert!((batched - naive).abs() < 1e-10, "batched {batched} vs naive {naive}");
+        }
+        // Every proposal reprunes strictly fewer nodes than a full prune.
+        assert!(eval.nodes_repruned < tree.n_internal() * proposals.len() + 1);
+        assert!(eval.nodes_repruned > 0);
+    }
+
+    #[test]
+    fn dirty_path_reprunes_only_the_path_to_the_root() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let ws = pruner.build_workspace(Backend::Serial, &tree).unwrap();
+
+        for &target in &tree.non_root_internal_nodes() {
+            let (proposal, edited) = perturb(&tree, target, 0.005);
+            let eval = pruner.rescore_with_workspace(&ws, &proposal, &edited).unwrap();
+            // The dirty set is the two edited nodes plus the ancestors of the
+            // parent: exactly the path to the root.
+            let parent = tree.parent(target).unwrap();
+            let mut expected = 2;
+            let mut cursor = tree.parent(parent);
+            while let Some(node) = cursor {
+                expected += 1;
+                cursor = tree.parent(node);
+            }
+            assert_eq!(eval.nodes_repruned, expected, "target {target}");
+            let naive = pruner.log_likelihood(&proposal).unwrap();
+            assert!((eval.log_likelihood - naive).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_edit_reuses_the_cached_total() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let ws = pruner.build_workspace(Backend::Serial, &tree).unwrap();
+        let eval = pruner.rescore_with_workspace(&ws, &tree, &[]).unwrap();
+        assert_eq!(eval.nodes_repruned, 0);
+        assert_eq!(eval.log_likelihood, ws.log_likelihood());
+    }
+
+    #[test]
+    fn generator_cache_hits_on_repeated_batches() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let target = tree.non_root_internal_nodes()[0];
+        let (proposal, edited) = perturb(&tree, target, 0.01);
+        let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+
+        let first = pruner.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(!first.generator_cache_hit);
+        assert_eq!(first.nodes_full_pruned, tree.n_internal());
+
+        let second = pruner.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(second.generator_cache_hit);
+        assert_eq!(second.nodes_full_pruned, 0);
+        assert_eq!(first.log_likelihoods, second.log_likelihoods);
+        assert_eq!(first.generator_log_likelihood, second.generator_log_likelihood);
+
+        // A different generator invalidates the cache.
+        let third = pruner.log_likelihood_batch(Backend::Serial, &proposal, &[]).unwrap();
+        assert!(!third.generator_cache_hit);
+
+        pruner.clear_cache();
+        let fourth = pruner.log_likelihood_batch(Backend::Serial, &proposal, &[]).unwrap();
+        assert!(!fourth.generator_cache_hit);
+    }
+
+    #[test]
+    fn rayon_and_serial_batches_are_identical() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let edits: Vec<(GeneTree, Vec<NodeId>)> =
+            tree.non_root_internal_nodes().iter().map(|&t| perturb(&tree, t, 0.02)).collect();
+        let proposals: Vec<TreeProposal<'_>> =
+            edits.iter().map(|(t, e)| TreeProposal { tree: t, edited: e }).collect();
+
+        let serial_engine = pruner.clone();
+        let serial =
+            serial_engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        let rayon_engine = pruner.clone();
+        let parallel =
+            rayon_engine.log_likelihood_batch(Backend::Rayon, &tree, &proposals).unwrap();
+        assert_eq!(serial.log_likelihoods, parallel.log_likelihoods);
+        assert_eq!(serial.generator_log_likelihood, parallel.generator_log_likelihood);
+        assert_eq!(serial.nodes_repruned, parallel.nodes_repruned);
+    }
+
+    #[test]
+    fn batch_rejects_mismatched_arenas() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let ws = pruner.build_workspace(Backend::Serial, &tree).unwrap();
+        let small = two_tip_tree(0.1, 0.1, 0.2);
+        assert!(pruner.rescore_with_workspace(&ws, &small, &[0]).is_err());
+    }
+
+    #[test]
+    fn naive_default_batch_agrees_with_the_engine_override() {
+        /// A wrapper that only exposes the reference path, so the trait's
+        /// default batch implementation is exercised.
+        struct NaiveOnly(FelsensteinPruner<Jc69>);
+
+        impl LikelihoodEngine for NaiveOnly {
+            fn log_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
+                self.0.log_likelihood(tree)
+            }
+        }
+
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let naive = NaiveOnly(FelsensteinPruner::new(&alignment, Jc69::new()));
+        let target = tree.non_root_internal_nodes()[1];
+        let (proposal, edited) = perturb(&tree, target, 0.03);
+        let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+
+        let fast = pruner.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        let slow = naive.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!((fast.generator_log_likelihood - slow.generator_log_likelihood).abs() < 1e-10);
+        assert!((fast.log_likelihoods[0] - slow.log_likelihoods[0]).abs() < 1e-10);
+        // The naive path reprunes everything; the engine override does not.
+        assert_eq!(slow.nodes_repruned, tree.n_internal());
+        assert!(fast.nodes_repruned < slow.nodes_repruned);
+        assert_eq!(BatchEvaluation::naive_node_cost(tree.n_internal(), 1), 2 * tree.n_internal());
     }
 }

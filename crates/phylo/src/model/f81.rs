@@ -108,11 +108,7 @@ mod tests {
         // Expected instantaneous substitution rate: sum_i pi_i * u * (1 - pi_i) = 1.
         let freqs = skewed();
         let model = F81::normalized(freqs);
-        let expected: f64 = freqs
-            .as_array()
-            .iter()
-            .map(|&pi| pi * model.rate() * (1.0 - pi))
-            .sum();
+        let expected: f64 = freqs.as_array().iter().map(|&pi| pi * model.rate() * (1.0 - pi)).sum();
         assert!((expected - 1.0).abs() < 1e-12);
     }
 

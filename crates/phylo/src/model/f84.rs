@@ -39,18 +39,10 @@ impl F84 {
     /// `b` (general).
     pub fn with_rates(freqs: BaseFrequencies, a: f64, b: f64) -> Result<Self, PhyloError> {
         if !(a >= 0.0 && a.is_finite()) {
-            return Err(PhyloError::InvalidParameter {
-                name: "a",
-                value: a,
-                constraint: "a >= 0",
-            });
+            return Err(PhyloError::InvalidParameter { name: "a", value: a, constraint: "a >= 0" });
         }
         if !(b > 0.0 && b.is_finite()) {
-            return Err(PhyloError::InvalidParameter {
-                name: "b",
-                value: b,
-                constraint: "b > 0",
-            });
+            return Err(PhyloError::InvalidParameter { name: "b", value: b, constraint: "b > 0" });
         }
         Ok(F84 { freqs, a, b })
     }
@@ -92,10 +84,8 @@ impl F84 {
 
     /// Expected number of substitutions per site per unit time.
     pub fn expected_rate(&self) -> f64 {
-        let s1: f64 = Nucleotide::ALL
-            .iter()
-            .map(|&x| self.freqs.freq(x) * (1.0 - self.freqs.freq(x)))
-            .sum();
+        let s1: f64 =
+            Nucleotide::ALL.iter().map(|&x| self.freqs.freq(x) * (1.0 - self.freqs.freq(x))).sum();
         let s2: f64 = Nucleotide::ALL
             .iter()
             .map(|&x| self.freqs.freq(x) * (1.0 - self.freqs.freq(x) / self.freqs.group(x)))

@@ -157,18 +157,13 @@ pub(crate) mod conformance {
             let m = model.transition_matrix(t);
             for row in &m {
                 let sum: f64 = row.iter().sum();
-                assert!(
-                    (sum - 1.0).abs() < 1e-9,
-                    "{}: row sum {} at t={}",
-                    model.name(),
-                    sum,
-                    t
-                );
+                assert!((sum - 1.0).abs() < 1e-9, "{}: row sum {} at t={}", model.name(), sum, t);
                 assert!(row.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
             }
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // i/j index the 4x4 matrix symmetrically
     pub fn assert_identity_at_zero<M: SubstitutionModel>(model: &M) {
         let m = model.transition_matrix(0.0);
         for i in 0..4 {

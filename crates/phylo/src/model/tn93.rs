@@ -58,7 +58,7 @@ impl Tn93 {
     /// κ_R = α_R/β and κ_Y = α_Y/β, normalised to one expected substitution
     /// per site per unit branch length.
     pub fn new(freqs: BaseFrequencies, kappa_r: f64, kappa_y: f64) -> Result<Self, PhyloError> {
-        if !(kappa_r > 0.0 && kappa_r.is_finite()) || !(kappa_y > 0.0 && kappa_y.is_finite()) {
+        if !(kappa_r > 0.0 && kappa_r.is_finite() && kappa_y > 0.0 && kappa_y.is_finite()) {
             return Err(PhyloError::InvalidParameter {
                 name: "kappa",
                 value: if kappa_r.is_finite() && kappa_r > 0.0 { kappa_y } else { kappa_r },
@@ -232,11 +232,7 @@ mod tests {
     fn normalised_expected_rate_is_one() {
         for (kr, ky) in [(1.0, 1.0), (2.0, 5.0), (8.0, 3.0)] {
             let m = Tn93::new(skewed(), kr, ky).unwrap();
-            assert!(
-                (m.expected_rate() - 1.0).abs() < 1e-12,
-                "({kr},{ky}): {}",
-                m.expected_rate()
-            );
+            assert!((m.expected_rate() - 1.0).abs() < 1e-12, "({kr},{ky}): {}", m.expected_rate());
         }
     }
 

@@ -55,8 +55,7 @@ impl Nucleotide {
 
     /// Parse a single character, reporting the position on failure.
     pub fn try_from_char(c: char, position: usize) -> Result<Nucleotide, PhyloError> {
-        Nucleotide::from_char(c)
-            .ok_or(PhyloError::InvalidNucleotide { character: c, position })
+        Nucleotide::from_char(c).ok_or(PhyloError::InvalidNucleotide { character: c, position })
     }
 
     /// The upper-case character for this nucleotide.

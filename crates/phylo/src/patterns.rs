@@ -103,12 +103,8 @@ mod tests {
 
     #[test]
     fn collapses_identical_columns() {
-        let a = Alignment::from_letters(&[
-            ("s1", "AAGAA"),
-            ("s2", "AAGAA"),
-            ("s3", "AATAA"),
-        ])
-        .unwrap();
+        let a =
+            Alignment::from_letters(&[("s1", "AAGAA"), ("s2", "AAGAA"), ("s3", "AATAA")]).unwrap();
         let p = SitePatterns::from_alignment(&a);
         // Columns: (A,A,A) x4? -> cols 0,1,3,4 are (A,A,A)? col2 = (G,G,T).
         assert_eq!(p.n_sites(), 5);

@@ -62,11 +62,7 @@ impl Sequence {
     /// Number of positions at which `self` and `other` differ, compared over
     /// the shorter of the two lengths.
     pub fn hamming_distance(&self, other: &Sequence) -> usize {
-        self.bases
-            .iter()
-            .zip(other.bases.iter())
-            .filter(|(a, b)| a != b)
-            .count()
+        self.bases.iter().zip(other.bases.iter()).filter(|(a, b)| a != b).count()
     }
 
     /// Pack into a compact 2-bit-per-base representation.
@@ -187,8 +183,7 @@ mod tests {
     #[test]
     fn packing_round_trips_for_awkward_lengths() {
         for len in [1usize, 31, 32, 33, 63, 64, 65, 100] {
-            let bases: Vec<Nucleotide> =
-                (0..len).map(|i| Nucleotide::from_index(i % 4)).collect();
+            let bases: Vec<Nucleotide> = (0..len).map(|i| Nucleotide::from_index(i % 4)).collect();
             let packed = PackedSequence::from_bases(&bases);
             assert_eq!(packed.len(), len);
             assert_eq!(packed.unpack(), bases);

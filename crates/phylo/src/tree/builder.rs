@@ -22,12 +22,7 @@ impl TreeBuilder {
     /// Add a labelled tip at the given time (0 for contemporary samples).
     pub fn add_tip(&mut self, label: impl Into<String>, time: f64) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node {
-            parent: None,
-            children: None,
-            time,
-            label: Some(label.into()),
-        });
+        self.nodes.push(Node { parent: None, children: None, time, label: Some(label.into()) });
         self.n_tips += 1;
         id
     }

@@ -117,10 +117,7 @@ impl CoalescentIntervals {
 
     /// The Σ k(k−1)·t_k statistic appearing in the exponent of Eq. 18.
     pub fn waiting_statistic(&self) -> f64 {
-        self.intervals
-            .iter()
-            .map(|i| (i.lineages * (i.lineages - 1)) as f64 * i.length)
-            .sum()
+        self.intervals.iter().map(|i| (i.lineages * (i.lineages - 1)) as f64 * i.length).sum()
     }
 }
 
@@ -178,8 +175,7 @@ mod tests {
         let ks: Vec<usize> = iv.intervals().iter().map(|i| i.lineages).collect();
         // 2 lineages from 0..1, 1 lineage 1..2, 2 lineages 2..3.
         assert_eq!(ks, vec![2, 1, 2]);
-        let coalescing: Vec<bool> =
-            iv.intervals().iter().map(|i| i.ends_in_coalescence).collect();
+        let coalescing: Vec<bool> = iv.intervals().iter().map(|i| i.ends_in_coalescence).collect();
         assert_eq!(coalescing, vec![true, false, true]);
         assert_eq!(iv.n_coalescences(), 2);
     }

@@ -131,9 +131,7 @@ impl GeneTree {
     /// Interior nodes other than the root — the candidate targets of the
     /// proposal kernel's auxiliary variable φ (Section 4.3).
     pub fn non_root_internal_nodes(&self) -> Vec<NodeId> {
-        (0..self.n_nodes())
-            .filter(|&i| !self.is_tip(i) && !self.is_root(i))
-            .collect()
+        (0..self.n_nodes()).filter(|&i| !self.is_tip(i) && !self.is_root(i)).collect()
     }
 
     /// Post-order traversal from the root (children before parents), the
@@ -161,9 +159,7 @@ impl GeneTree {
 
     /// Sum of all branch lengths.
     pub fn total_branch_length(&self) -> f64 {
-        (0..self.n_nodes())
-            .filter_map(|i| self.branch_length(i))
-            .sum()
+        (0..self.n_nodes()).filter_map(|i| self.branch_length(i)).sum()
     }
 
     /// Multiply every node time by `factor` (used when scaling the UPGMA

@@ -31,13 +31,18 @@ pub fn upgma_from_distances(matrix: &DistanceMatrix) -> Result<GeneTree, PhyloEr
         height: f64,
     }
     let mut clusters: Vec<Cluster> = (0..n)
-        .map(|i| Cluster { node: builder.add_tip(matrix.names()[i].clone(), 0.0), size: 1, height: 0.0 })
+        .map(|i| Cluster {
+            node: builder.add_tip(matrix.names()[i].clone(), 0.0),
+            size: 1,
+            height: 0.0,
+        })
         .collect();
     // Working copy of pairwise distances between active clusters, indexed by
     // position in `clusters`.
     let mut dist: Vec<Vec<f64>> =
         (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
 
+    #[allow(clippy::needless_range_loop)] // triangular indexing over a shrinking matrix
     while clusters.len() > 1 {
         // Find the closest pair.
         let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
@@ -180,12 +185,7 @@ mod tests {
 
     #[test]
     fn invariant_alignment_still_produces_a_usable_tree() {
-        let a = Alignment::from_letters(&[
-            ("a", "AAAA"),
-            ("b", "AAAA"),
-            ("c", "AAAA"),
-        ])
-        .unwrap();
+        let a = Alignment::from_letters(&[("a", "AAAA"), ("b", "AAAA"), ("c", "AAAA")]).unwrap();
         let tree = upgma_tree(&a, 0.5).unwrap();
         tree.validate().unwrap();
         assert!(tree.tmrca() > 0.0, "degenerate tree must be given positive height");

@@ -1,0 +1,335 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! package cannot be fetched. This shim implements the subset of the 0.5 API
+//! the workspace's benches use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with honest wall-clock measurement: each
+//! benchmark is warmed up, then timed over batched iterations sized so a
+//! sample takes a meaningful slice of the measurement budget, and the
+//! mean / min / max per-iteration times are printed in the familiar
+//! `time: [low mean high]` format.
+//!
+//! No statistical regression machinery, plotting, or disk persistence is
+//! provided; the numbers themselves are real.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the measurement marker types.
+pub mod measurement {
+    /// Wall-clock time measurement (the only measurement this shim offers).
+    pub struct WallTime;
+}
+
+/// Prevent the optimiser from discarding a value (forwarder to
+/// `std::hint::black_box`).
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Shared sampling configuration.
+#[derive(Debug, Clone, Copy)]
+struct SamplingConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: SamplingConfig,
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, as the real API does
+    /// when the harness is driven by `cargo bench`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup { name: name.into(), config: self.config, _criterion: PhantomData }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.config, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    config: SamplingConfig,
+    _criterion: PhantomData<&'a M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkLabel,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.config, f);
+        self
+    }
+
+    /// Run a benchmark that borrows an input value.
+    pub fn bench_with_input<I, IN, F>(&mut self, id: I, input: &IN, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkLabel,
+        IN: ?Sized,
+        F: FnMut(&mut Bencher, &IN),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.config, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op here; results are printed as they complete).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Conversion of the various id forms the API accepts into a printable label.
+pub trait IntoBenchmarkLabel {
+    /// The label under which results are reported.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    config: SamplingConfig,
+    /// Mean per-iteration nanoseconds of the last `iter` call.
+    last_mean_ns: f64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the closure: warm up, choose a batch size, then collect samples
+    /// of mean per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, tracking a rough
+        // per-iteration estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Size batches so each of the `sample_size` samples takes an equal
+        // share of the measurement budget.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.config.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).floor() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            // Respect the overall budget even if the estimate was far off,
+            // but always collect at least two samples.
+            if measure_start.elapsed() > self.config.measurement_time * 2 && samples.len() >= 2 {
+                break;
+            }
+        }
+        self.last_mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.samples_ns = samples;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: SamplingConfig, mut f: F) {
+    let mut bencher = Bencher { config, last_mean_ns: 0.0, samples_ns: Vec::new() };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{label:<50} (no measurement: Bencher::iter was never called)");
+        return;
+    }
+    let lo = bencher.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = bencher.samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{label:<50} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(bencher.last_mean_ns),
+        format_ns(hi)
+    );
+}
+
+/// Define a function that runs a sequence of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let config = SamplingConfig {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher { config, last_mean_ns: 0.0, samples_ns: Vec::new() };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.last_mean_ns > 0.0);
+        assert!(!b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).into_label(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_label(), "7");
+        assert_eq!("plain".into_label(), "plain");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the real `rayon` package
+//! cannot be fetched. This shim provides the subset of the parallel-iterator
+//! API the workspace uses — `into_par_iter()` over `Range<usize>`,
+//! `par_iter()` over slices, and the `map` / `collect` / `sum` / `reduce`
+//! adaptors — with **real data parallelism**: work is split into contiguous
+//! chunks and executed on scoped OS threads (`std::thread::scope`), one chunk
+//! per available core. Results are always assembled in index order, so the
+//! parallel path is deterministic and bit-identical to the serial path for
+//! order-sensitive reductions assembled chunk-by-chunk.
+//!
+//! Unlike real rayon there is no work-stealing pool: each call spawns its
+//! scoped threads and joins them before returning. For the coarse-grained
+//! work the samplers offload (whole proposals, pattern chunks) the spawn cost
+//! is noise; for very fine-grained items callers should batch, exactly as
+//! they would to amortise rayon's per-item overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The number of worker threads parallel operations will use (the number of
+/// available hardware threads).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// The common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A data source that can be evaluated independently at each index — the
+/// execution model behind every parallel iterator in this shim.
+pub trait ParallelIterator: Sized + Sync {
+    /// The item produced at each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `index`. Must be safe to call concurrently from
+    /// multiple threads (enforced by the `Sync` supertrait).
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute and collect all items in index order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(run_in_chunks(&self))
+    }
+
+    /// Execute and sum the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_in_chunks(&self).into_iter().sum()
+    }
+
+    /// Execute and reduce the items with `op`, starting from `identity()`.
+    /// `op` must be associative for the result to be well defined, as with
+    /// real rayon.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_in_chunks(&self).into_iter().fold(identity(), &op)
+    }
+
+    /// Execute `f` on every item for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Evaluate every index of `source`, chunked across scoped OS threads, and
+/// return the items in index order.
+fn run_in_chunks<T: ParallelIterator>(source: &T) -> Vec<T::Item> {
+    let n = source.par_len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| source.par_get(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(|i| source.par_get(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Conversion into a parallel iterator (`(0..n).into_par_iter()`,
+/// `vec.into_par_iter()` via references).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` over a borrowed collection, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a reference into the collection).
+    type Item: Send + 'data;
+
+    /// Borrowing conversion into a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    fn par_get(&self, index: usize) -> usize {
+        self.range.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Parallel iterator over slice elements.
+pub struct SliceParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self.as_slice() }
+    }
+}
+
+/// The `map` adaptor.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> U {
+        (self.f)(self.base.par_get(index))
+    }
+}
+
+/// Mirror of `rayon::iter` so fully-qualified paths keep working.
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, Map, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let data: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+        let parallel: Vec<f64> = data.par_iter().map(|x| x.sqrt()).collect();
+        let serial: Vec<f64> = data.iter().map(|x| x.sqrt()).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sum_and_reduce_agree_with_serial() {
+        let s: f64 = (0..10_000).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, (10_000.0 * 9_999.0) / 2.0);
+        let m = (0..10_000)
+            .into_par_iter()
+            .map(|i| ((i as f64) * 0.1).sin())
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        let serial =
+            (0..10_000).map(|i| ((i as f64) * 0.1).sin()).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, serial);
+    }
+
+    #[test]
+    fn empty_inputs_work() {
+        let out: Vec<usize> = (0..0).into_par_iter().collect();
+        assert!(out.is_empty());
+        let s: f64 = (0..0).into_par_iter().map(|_| 1.0f64).sum();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -26,10 +26,8 @@ fn main() {
     let mut chains: Vec<Vec<f64>> = Vec::new();
     for seed in [1u32, 2, 3] {
         let mut chain_rng = Mt19937::new(seed);
-        let engine = FelsensteinPruner::new(
-            &alignment,
-            F81::normalized(alignment.base_frequencies()),
-        );
+        let engine =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
         let config = SamplerConfig {
             theta: 1.0,
             burn_in: 0,
@@ -62,8 +60,7 @@ fn main() {
 
     // Cross-chain convergence: truncate all chains past the widest burn-in.
     let max_burn_in = chains.iter().map(|c| detect_burn_in(c, 3.0)).max().unwrap_or(0);
-    let post_chains: Vec<Vec<f64>> =
-        chains.iter().map(|c| c[max_burn_in..].to_vec()).collect();
+    let post_chains: Vec<Vec<f64>> = chains.iter().map(|c| c[max_burn_in..].to_vec()).collect();
     let r_hat = gelman_rubin(&post_chains).expect("at least two chains");
     println!("\nGelman-Rubin R-hat across the three chains: {r_hat:.4}");
     println!("(values near 1.0 indicate the chains agree; > 1.1 indicates insufficient burn-in)");

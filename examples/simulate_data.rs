@@ -34,9 +34,8 @@ fn main() {
     println!("\n# variable sites: {} of {}", alignment.variable_sites(), alignment.n_sites());
 
     // The same machinery supports non-constant demographies.
-    let growing = CoalescentSimulator::new(
-        Demography::exponential(1.0, 3.0).expect("valid growth model"),
-    );
+    let growing =
+        CoalescentSimulator::new(Demography::exponential(1.0, 3.0).expect("valid growth model"));
     let grown = growing.simulate(&mut rng, 12).expect("simulation succeeds");
     println!(
         "\n# with exponential growth (rate 3.0) the tree is shallower: TMRCA {:.4} vs {:.4}",

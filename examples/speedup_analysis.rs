@@ -4,9 +4,7 @@
 //! Run with `cargo run --release -p mpcgs --example speedup_analysis`.
 
 use exec::amdahl::{multichain_time, parallel_burnin_time};
-use mpcgs::perf::{
-    SpeedupModel, Workload, TABLE2_SAMPLES, TABLE3_SEQUENCES, TABLE4_LENGTHS,
-};
+use mpcgs::perf::{SpeedupModel, Workload, TABLE2_SAMPLES, TABLE3_SEQUENCES, TABLE4_LENGTHS};
 
 fn main() {
     let model = SpeedupModel::paper_calibrated();

@@ -64,8 +64,7 @@ fn main() {
         sample_draws: 4_000,
         ..MpcgsConfig::default()
     };
-    let estimator =
-        ThetaEstimator::new(alignment, config).expect("valid mpcgs configuration");
+    let estimator = ThetaEstimator::new(alignment, config).expect("valid mpcgs configuration");
     let mpcgs_estimate = estimator.estimate(&mut rng).expect("mpcgs estimation succeeds");
     println!("\nmpcgs (multi-proposal) estimate:  theta = {:.4}", mpcgs_estimate.theta);
     for (i, it) in mpcgs_estimate.iterations.iter().enumerate() {

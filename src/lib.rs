@@ -1,0 +1,27 @@
+//! Workspace-level integration crate for the mpcgs reproduction.
+//!
+//! The substance of the system lives in the member crates:
+//!
+//! * [`phylo`] — sequences, genealogies, substitution models, and the
+//!   batched, dirty-path-cached Felsenstein likelihood engine;
+//! * [`mcmc`] — RNG streams, log-domain arithmetic, chain diagnostics;
+//! * [`coalescent`] — the Kingman prior and data simulators;
+//! * [`lamarc`] — the single-proposal baseline sampler and the shared
+//!   proposal mechanism;
+//! * [`mpcgs`] — the multi-proposal (Generalized Metropolis–Hastings)
+//!   sampler, the paper's contribution;
+//! * [`exec`] — the data-parallel backend and simulated-device cost models.
+//!
+//! This crate exists to own the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports the member crates for
+//! convenience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use coalescent;
+pub use exec;
+pub use lamarc;
+pub use mcmc;
+pub use mpcgs;
+pub use phylo;

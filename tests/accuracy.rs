@@ -51,20 +51,15 @@ fn baseline_estimate(alignment: &Alignment, seed: u32) -> f64 {
 fn both_estimators_separate_low_theta_from_high_theta() {
     // Average over two replicates per theta to damp sampling noise; the data
     // sets are deliberately information-rich (10 sequences x 250 sites).
-    let low_data: Vec<Alignment> =
-        (0..2).map(|r| simulate(100 + r, 0.4, 10, 250)).collect();
-    let high_data: Vec<Alignment> =
-        (0..2).map(|r| simulate(200 + r, 3.0, 10, 250)).collect();
+    let low_data: Vec<Alignment> = (0..2).map(|r| simulate(100 + r, 0.4, 10, 250)).collect();
+    let high_data: Vec<Alignment> = (0..2).map(|r| simulate(200 + r, 3.0, 10, 250)).collect();
 
     let low_mpcgs: f64 =
         low_data.iter().enumerate().map(|(i, a)| mpcgs_estimate(a, 1_000 + i as u32)).sum::<f64>()
             / low_data.len() as f64;
-    let high_mpcgs: f64 = high_data
-        .iter()
-        .enumerate()
-        .map(|(i, a)| mpcgs_estimate(a, 2_000 + i as u32))
-        .sum::<f64>()
-        / high_data.len() as f64;
+    let high_mpcgs: f64 =
+        high_data.iter().enumerate().map(|(i, a)| mpcgs_estimate(a, 2_000 + i as u32)).sum::<f64>()
+            / high_data.len() as f64;
     assert!(
         high_mpcgs > 2.0 * low_mpcgs,
         "mpcgs must separate theta = 3.0 data ({high_mpcgs:.3}) from theta = 0.4 data ({low_mpcgs:.3})"

@@ -25,14 +25,19 @@ fn simulated_alignment(seed: u32) -> Alignment {
 fn sampled_distributions_agree_between_the_two_samplers() {
     let alignment = simulated_alignment(2_017);
     let initial = upgma_tree(&alignment, 1.0).unwrap();
-    let engine =
-        FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
 
     // Baseline chain.
     let mut rng = Mt19937::new(1);
     let baseline = LamarcSampler::new(
         engine.clone(),
-        SamplerConfig { theta: 1.0, burn_in: 300, samples: 2_500, thinning: 1, ..Default::default() },
+        SamplerConfig {
+            theta: 1.0,
+            burn_in: 300,
+            samples: 2_500,
+            thinning: 1,
+            ..Default::default()
+        },
     )
     .unwrap()
     .run(initial.clone(), &mut rng)
@@ -83,16 +88,14 @@ fn sampled_distributions_agree_between_the_two_samplers() {
     assert!(r_hat < 1.25, "R-hat between the samplers is {r_hat}");
 
     // The data-likelihood levels explored must also be comparable.
-    let base_lik_mean = Summary::of(
-        &baseline.samples.iter().map(|s| s.log_data_likelihood).collect::<Vec<_>>(),
-    )
-    .unwrap()
-    .mean;
-    let gmh_lik_mean = Summary::of(
-        &gmh.samples.iter().map(|s| s.log_data_likelihood).collect::<Vec<_>>(),
-    )
-    .unwrap()
-    .mean;
+    let base_lik_mean =
+        Summary::of(&baseline.samples.iter().map(|s| s.log_data_likelihood).collect::<Vec<_>>())
+            .unwrap()
+            .mean;
+    let gmh_lik_mean =
+        Summary::of(&gmh.samples.iter().map(|s| s.log_data_likelihood).collect::<Vec<_>>())
+            .unwrap()
+            .mean;
     assert!(
         (base_lik_mean - gmh_lik_mean).abs() < 0.05 * base_lik_mean.abs(),
         "mean log-likelihood levels disagree: {base_lik_mean} vs {gmh_lik_mean}"

@@ -29,10 +29,7 @@ fn small_config() -> MpcgsConfig {
 fn simulate_roundtrip_estimate() {
     let mut rng = Mt19937::new(20_160_401);
     let true_theta = 1.0;
-    let tree = CoalescentSimulator::constant(true_theta)
-        .unwrap()
-        .simulate(&mut rng, 8)
-        .unwrap();
+    let tree = CoalescentSimulator::constant(true_theta).unwrap().simulate(&mut rng, 8).unwrap();
     let alignment =
         SequenceSimulator::new(Jc69::new(), 120, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
 
@@ -99,9 +96,18 @@ fn cli_binary_runs_on_a_phylip_file() {
     let path = dir.join("toy.phy");
     std::fs::write(&path, write_phylip(&alignment)).unwrap();
 
-    let exe = env!("CARGO_BIN_EXE_mpcgs");
-    let output = std::process::Command::new(exe)
+    // The binary belongs to the `mpcgs` crate, not this integration crate, so
+    // `CARGO_BIN_EXE_*` is not available here; run it through cargo instead.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = std::process::Command::new(&cargo)
         .args([
+            "run",
+            "-q",
+            "-p",
+            "mpcgs",
+            "--bin",
+            "mpcgs",
+            "--",
             path.to_str().unwrap(),
             "0.5",
             "--samples",
@@ -121,6 +127,9 @@ fn cli_binary_runs_on_a_phylip_file() {
     assert!(stdout.contains("final estimate of theta"), "unexpected output:\n{stdout}");
 
     // Bad invocations fail cleanly.
-    let bad = std::process::Command::new(exe).arg("missing.phy").output().unwrap();
+    let bad = std::process::Command::new(&cargo)
+        .args(["run", "-q", "-p", "mpcgs", "--bin", "mpcgs", "--", "missing.phy"])
+        .output()
+        .unwrap();
     assert!(!bad.status.success());
 }

@@ -1,0 +1,142 @@
+//! Correctness of the batched, dirty-path-cached likelihood engine against
+//! the naive serial pruner, on randomly simulated genealogies and alignments
+//! (the property the whole multi-proposal speedup rests on: caching must be
+//! invisible in the numbers).
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use lamarc::GenealogyProposer;
+use mcmc::rng::Mt19937;
+use phylo::likelihood::LikelihoodEngine;
+use phylo::model::{Jc69, F81};
+use phylo::{Alignment, FelsensteinPruner, GeneTree, TreeProposal};
+
+fn simulate(rng: &mut Mt19937, n: usize, sites: usize, theta: f64) -> (Alignment, GeneTree) {
+    let tree = CoalescentSimulator::constant(theta).unwrap().simulate(rng, n).unwrap();
+    let alignment =
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(rng, &tree).unwrap();
+    (alignment, tree)
+}
+
+/// Batched + dirty-path-cached likelihoods match the naive serial pruner to
+/// 1e-10 across random trees, alignments, proposal sets, and both backends.
+#[test]
+fn batched_engine_matches_naive_pruner_on_random_instances() {
+    let mut rng = Mt19937::new(20_260_731);
+    let theta = 1.0;
+    let proposer = GenealogyProposer::new(theta).unwrap();
+    for &(n, sites) in &[(4usize, 120usize), (8, 300), (16, 500)] {
+        let (alignment, generator) = simulate(&mut rng, n, sites, theta);
+        let engine =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+        let naive =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+
+        // Several rounds against the same generator so the memoised workspace
+        // path (cache hit) is exercised as well as the cold build.
+        for round in 0..3 {
+            let edits: Vec<(GeneTree, Vec<usize>)> = (0..8)
+                .map(|_| {
+                    let phi = proposer.sample_target(&generator, &mut rng);
+                    proposer.propose_with_edit(&generator, phi, &mut rng)
+                })
+                .collect();
+            let proposals: Vec<TreeProposal<'_>> =
+                edits.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
+            let backend = if round % 2 == 0 { Backend::Serial } else { Backend::Rayon };
+            let eval = engine.log_likelihood_batch(backend, &generator, &proposals).unwrap();
+            assert_eq!(eval.generator_cache_hit, round > 0, "round {round}");
+
+            let naive_generator = naive.log_likelihood(&generator).unwrap();
+            assert!(
+                (eval.generator_log_likelihood - naive_generator).abs() < 1e-10,
+                "generator: batched {} vs naive {naive_generator}",
+                eval.generator_log_likelihood
+            );
+            for ((tree, edited), &batched) in edits.iter().zip(&eval.log_likelihoods) {
+                let reference = naive.log_likelihood(tree).unwrap();
+                assert!(
+                    (batched - reference).abs() < 1e-10,
+                    "n={n} sites={sites} round={round} edited={edited:?}: \
+                     batched {batched} vs naive {reference}"
+                );
+            }
+        }
+    }
+}
+
+/// A φ-neighborhood edit reprunes only the edited nodes plus the path from
+/// them to the root — O(path-to-root), not O(n).
+#[test]
+fn neighborhood_edits_reprune_only_the_path_to_the_root() {
+    let mut rng = Mt19937::new(424_243);
+    let theta = 1.0;
+    let proposer = GenealogyProposer::new(theta).unwrap();
+    let (alignment, generator) = simulate(&mut rng, 24, 200, theta);
+    let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+    let workspace = engine.build_workspace(Backend::Serial, &generator).unwrap();
+
+    let mut max_repruned = 0usize;
+    for _ in 0..200 {
+        let phi = proposer.sample_target(&generator, &mut rng);
+        let (proposal, edited) = proposer.propose_with_edit(&generator, phi, &mut rng);
+        let eval = engine.rescore_with_workspace(&workspace, &proposal, &edited).unwrap();
+
+        // Expected dirty set: the edited interior nodes plus every ancestor.
+        let mut dirty: Vec<usize> = Vec::new();
+        for &edit in &edited {
+            let mut cursor = Some(edit);
+            while let Some(node) = cursor {
+                if !proposal.is_tip(node) && !dirty.contains(&node) {
+                    dirty.push(node);
+                }
+                cursor = proposal.parent(node);
+            }
+        }
+        assert_eq!(
+            eval.nodes_repruned,
+            dirty.len(),
+            "edited {edited:?} should reprune exactly its path to the root"
+        );
+        max_repruned = max_repruned.max(eval.nodes_repruned);
+    }
+    // O(path-to-root): strictly below the interior-node count for a 24-tip
+    // tree (23 interior nodes) on every single proposal.
+    assert!(
+        max_repruned < generator.n_internal(),
+        "worst case repruned {max_repruned} of {} interior nodes",
+        generator.n_internal()
+    );
+}
+
+/// The engine-level counters aggregate exactly over a batch.
+#[test]
+fn batch_counters_aggregate_per_proposal_work() {
+    let mut rng = Mt19937::new(99);
+    let theta = 1.0;
+    let proposer = GenealogyProposer::new(theta).unwrap();
+    let (alignment, generator) = simulate(&mut rng, 8, 100, theta);
+    let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+    let workspace = engine.build_workspace(Backend::Serial, &generator).unwrap();
+
+    let edits: Vec<(GeneTree, Vec<usize>)> = (0..16)
+        .map(|_| {
+            let phi = proposer.sample_target(&generator, &mut rng);
+            proposer.propose_with_edit(&generator, phi, &mut rng)
+        })
+        .collect();
+    let proposals: Vec<TreeProposal<'_>> =
+        edits.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
+
+    let per_proposal: usize = proposals
+        .iter()
+        .map(|p| {
+            engine.rescore_with_workspace(&workspace, p.tree, p.edited).unwrap().nodes_repruned
+        })
+        .sum();
+    engine.clear_cache();
+    let eval = engine.log_likelihood_batch(Backend::Rayon, &generator, &proposals).unwrap();
+    assert_eq!(eval.nodes_repruned, per_proposal);
+    assert_eq!(eval.nodes_full_pruned, generator.n_internal());
+    assert_eq!(eval.log_likelihoods.len(), 16);
+}

@@ -3,24 +3,43 @@
 //! created or destroyed, interval summaries stay consistent with the trees
 //! they were taken from, and the proposal mechanism preserves the coalescent
 //! prior for arbitrary (small) problem sizes.
+//!
+//! The properties are exercised by a small hand-rolled case driver (the build
+//! environment cannot fetch `proptest`): each property runs over a couple of
+//! dozen randomly drawn parameter tuples from the same ranges the original
+//! proptest strategies used, with the failing tuple reported on panic.
 
 use coalescent::{CoalescentSimulator, KingmanPrior};
 use lamarc::{GenealogyProposer, HazardModel, ProposalConfig};
 use mcmc::rng::Mt19937;
-use proptest::prelude::*;
+use rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Number of random parameter tuples per property.
+const CASES: usize = 24;
 
-    /// Any number of proposals applied to any simulated starting tree keeps
-    /// the genealogy valid and the tip set fixed.
-    #[test]
-    fn proposals_preserve_structure(
-        seed in 0u32..10_000,
-        n_tips in 3usize..20,
-        theta in 0.1f64..5.0,
-        steps in 1usize..40,
-    ) {
+/// Draw a usize uniformly from `[lo, hi)`.
+fn draw(rng: &mut Mt19937, lo: usize, hi: usize) -> usize {
+    rng.gen_range(lo..hi)
+}
+
+/// Draw an f64 uniformly from `[lo, hi)`.
+fn draw_f64(rng: &mut Mt19937, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen::<f64>() * (hi - lo)
+}
+
+/// Any number of proposals applied to any simulated starting tree keeps the
+/// genealogy valid and the tip set fixed.
+#[test]
+fn proposals_preserve_structure() {
+    let mut meta = Mt19937::new(0xBEEF);
+    for case in 0..CASES {
+        let seed = meta.gen_range(0..10_000u32);
+        let n_tips = draw(&mut meta, 3, 20);
+        let theta = draw_f64(&mut meta, 0.1, 5.0);
+        let steps = draw(&mut meta, 1, 40);
+        let context =
+            format!("case {case}: seed={seed} n_tips={n_tips} theta={theta} steps={steps}");
+
         let mut rng = Mt19937::new(seed);
         let sim = CoalescentSimulator::constant(theta).unwrap();
         let mut tree = sim.simulate(&mut rng, n_tips).unwrap();
@@ -29,72 +48,87 @@ proptest! {
         for _ in 0..steps {
             let target = proposer.sample_target(&tree, &mut rng);
             tree = proposer.propose(&tree, target, &mut rng);
-            prop_assert!(tree.validate().is_ok());
-            prop_assert_eq!(tree.n_tips(), n_tips);
+            assert!(tree.validate().is_ok(), "invalid tree ({context})");
+            assert_eq!(tree.n_tips(), n_tips, "tip count changed ({context})");
         }
-        prop_assert_eq!(tree.tip_labels(), labels);
+        assert_eq!(tree.tip_labels(), labels, "tip labels changed ({context})");
     }
+}
 
-    /// Interval summaries agree with the trees they are extracted from: the
-    /// number of coalescences is n-1, the depth equals the TMRCA, and the
-    /// total branch length matches.
-    #[test]
-    fn interval_summaries_are_consistent(
-        seed in 0u32..10_000,
-        n_tips in 2usize..30,
-        theta in 0.1f64..4.0,
-    ) {
+/// Interval summaries agree with the trees they are extracted from: the
+/// number of coalescences is n-1, the depth equals the TMRCA, and the total
+/// branch length matches.
+#[test]
+fn interval_summaries_are_consistent() {
+    let mut meta = Mt19937::new(0xCAFE);
+    for case in 0..CASES {
+        let seed = meta.gen_range(0..10_000u32);
+        let n_tips = draw(&mut meta, 2, 30);
+        let theta = draw_f64(&mut meta, 0.1, 4.0);
+        let context = format!("case {case}: seed={seed} n_tips={n_tips} theta={theta}");
+
         let mut rng = Mt19937::new(seed);
-        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+        let tree =
+            CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
         let intervals = tree.intervals();
-        prop_assert_eq!(intervals.n_coalescences(), n_tips - 1);
-        prop_assert!((intervals.depth() - tree.tmrca()).abs() < 1e-9);
-        prop_assert!((intervals.total_branch_length() - tree.total_branch_length()).abs() < 1e-6);
+        assert_eq!(intervals.n_coalescences(), n_tips - 1, "{context}");
+        assert!((intervals.depth() - tree.tmrca()).abs() < 1e-9, "{context}");
+        assert!(
+            (intervals.total_branch_length() - tree.total_branch_length()).abs() < 1e-6,
+            "{context}"
+        );
         // The Kingman prior computed from the tree and from the summary agree.
         let prior = KingmanPrior::new(theta).unwrap();
-        prop_assert!((prior.log_prior(&tree) - prior.log_prior_intervals(&intervals)).abs() < 1e-9);
+        assert!(
+            (prior.log_prior(&tree) - prior.log_prior_intervals(&intervals)).abs() < 1e-9,
+            "{context}"
+        );
     }
+}
 
-    /// Both hazard models keep event times inside the window imposed by the
-    /// ancestor node (when one exists).
-    #[test]
-    fn proposals_respect_the_ancestor_bound(
-        seed in 0u32..10_000,
-        n_tips in 4usize..16,
-        hazard_conditional in proptest::bool::ANY,
-    ) {
+/// Both hazard models keep event times inside the window imposed by the
+/// ancestor node (when one exists).
+#[test]
+fn proposals_respect_the_ancestor_bound() {
+    let mut meta = Mt19937::new(0xF00D);
+    for case in 0..CASES {
+        let seed = meta.gen_range(0..10_000u32);
+        let n_tips = draw(&mut meta, 4, 16);
+        let hazard_conditional = meta.gen_bool(0.5);
+        let context =
+            format!("case {case}: seed={seed} n_tips={n_tips} conditional={hazard_conditional}");
+
         let mut rng = Mt19937::new(seed);
         let theta = 1.0;
-        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
-        let hazard = if hazard_conditional { HazardModel::Conditional } else { HazardModel::ActiveOnly };
-        let proposer = GenealogyProposer::with_config(
-            theta,
-            ProposalConfig { hazard, ..Default::default() },
-        )
-        .unwrap();
+        let tree =
+            CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+        let hazard =
+            if hazard_conditional { HazardModel::Conditional } else { HazardModel::ActiveOnly };
+        let proposer =
+            GenealogyProposer::with_config(theta, ProposalConfig { hazard, ..Default::default() })
+                .unwrap();
         for _ in 0..10 {
             let target = proposer.sample_target(&tree, &mut rng);
             let parent = tree.parent(target).unwrap();
             let proposal = proposer.propose(&tree, target, &mut rng);
             if let Some(ancestor) = tree.parent(parent) {
-                prop_assert!(proposal.time(parent) <= tree.time(ancestor) + 1e-9);
+                assert!(proposal.time(parent) <= tree.time(ancestor) + 1e-9, "{context}");
             }
-            prop_assert!(proposal.time(target) <= proposal.time(parent));
+            assert!(proposal.time(target) <= proposal.time(parent), "{context}");
         }
     }
 }
 
-/// The long-run Gibbs check on a fixed size (kept out of proptest so its cost
-/// is paid once): repeatedly accepted proposals must preserve the Kingman
-/// prior's mean TMRCA.
+/// The long-run Gibbs check on a fixed size (kept out of the case driver so
+/// its cost is paid once): repeatedly accepted proposals must preserve the
+/// Kingman prior's mean TMRCA.
 #[test]
 fn gibbs_chain_matches_kingman_expectation_for_five_tips() {
     let theta = 1.0;
     let n_tips = 5;
     let mut rng = Mt19937::new(424_242);
     let proposer = GenealogyProposer::new(theta).unwrap();
-    let mut tree =
-        CoalescentSimulator::constant(5.0).unwrap().simulate(&mut rng, n_tips).unwrap();
+    let mut tree = CoalescentSimulator::constant(5.0).unwrap().simulate(&mut rng, n_tips).unwrap();
     let (burn_in, samples) = (1_000, 12_000);
     let mut sum = 0.0;
     for step in 0..(burn_in + samples) {
