@@ -1,18 +1,19 @@
-//! Criterion benchmarks of the two samplers: cost per retained genealogy
-//! sample for the single-proposal baseline and the multi-proposal sampler at
-//! several proposal-set sizes (the wall-clock counterpart of Tables 2–4; the
-//! modelled speedups live in the table harness binaries).
+//! Criterion benchmarks of the two sampler strategies: cost per retained
+//! genealogy sample for the single-proposal baseline and the multi-proposal
+//! sampler at several proposal-set sizes (the wall-clock counterpart of
+//! Tables 2–4; the modelled speedups live in the table harness binaries).
+//!
+//! Both strategies are built through the `Session` facade but the engine and
+//! the starting genealogy are constructed once outside the timing loop, so
+//! the measurement covers sampling work only.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 use benchkit::{harness_rng, simulate_alignment};
 use exec::Backend;
-use lamarc::{LamarcSampler, SamplerConfig};
-use mpcgs::sampler::MultiProposalSampler;
-use mpcgs::MpcgsConfig;
-use phylo::model::F81;
-use phylo::{upgma_tree, FelsensteinPruner};
+use lamarc::run::NullObserver;
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
 
 const SAMPLES_PER_RUN: usize = 200;
 
@@ -24,20 +25,24 @@ fn bench_baseline(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-baseline", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
-    let initial = upgma_tree(&alignment, 1.0).unwrap();
-    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
-    let config = SamplerConfig {
-        theta: 1.0,
-        burn_in: 0,
-        samples: SAMPLES_PER_RUN,
-        thinning: 1,
-        ..Default::default()
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        burn_in_draws: 0,
+        sample_draws: SAMPLES_PER_RUN,
+        ..MpcgsConfig::default()
     };
-    let sampler = LamarcSampler::new(engine, config).unwrap();
+    let session = Session::builder()
+        .alignment(alignment)
+        .strategy(SamplerStrategy::Baseline)
+        .config(config)
+        .build()
+        .unwrap();
+    let mut sampler = session.make_sampler(config.initial_theta).unwrap();
+    let initial = session.starting_tree().unwrap();
     group.bench_function("200_samples_12seq_200bp", |b| {
         b.iter(|| {
             let mut run_rng = harness_rng("bench-baseline-run", 1);
-            sampler.run(initial.clone(), &mut run_rng).unwrap()
+            sampler.run(initial.clone(), &mut run_rng, &mut NullObserver).unwrap()
         })
     });
     group.finish();
@@ -51,10 +56,7 @@ fn bench_multiproposal(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     let mut rng = harness_rng("bench-gmh", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 12, 200);
-    let initial = upgma_tree(&alignment, 1.0).unwrap();
     for &proposals in &[4usize, 16] {
-        let engine =
-            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
         let config = MpcgsConfig {
             initial_theta: 1.0,
             proposals_per_iteration: proposals,
@@ -64,14 +66,21 @@ fn bench_multiproposal(c: &mut Criterion) {
             backend: Backend::Rayon,
             ..Default::default()
         };
-        let sampler = MultiProposalSampler::new(engine, config).unwrap();
+        let session = Session::builder()
+            .alignment(alignment.clone())
+            .strategy(SamplerStrategy::MultiProposal)
+            .config(config)
+            .build()
+            .unwrap();
+        let mut sampler = session.make_sampler(config.initial_theta).unwrap();
+        let initial = session.starting_tree().unwrap();
         group.bench_with_input(
             BenchmarkId::new("200_samples_12seq_200bp", proposals),
-            &initial,
-            |b, initial| {
+            &proposals,
+            |b, &proposals| {
                 b.iter(|| {
                     let mut run_rng = harness_rng("bench-gmh-run", proposals as u64);
-                    sampler.run(initial.clone(), &mut run_rng).unwrap()
+                    sampler.run(initial.clone(), &mut run_rng, &mut NullObserver).unwrap()
                 })
             },
         );

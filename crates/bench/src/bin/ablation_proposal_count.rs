@@ -11,7 +11,7 @@ use std::time::Instant;
 use benchkit::{harness_rng, render_table, simulate_alignment};
 use exec::Backend;
 use mcmc::diagnostics::effective_sample_size;
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mpcgs::{MpcgsConfig, Session};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -31,19 +31,22 @@ fn main() {
             backend: Backend::Rayon,
             ..Default::default()
         };
-        let estimator =
-            ThetaEstimator::new(alignment.clone(), config).expect("valid configuration");
+        let mut session = Session::builder()
+            .alignment(alignment.clone())
+            .config(config)
+            .build()
+            .expect("valid configuration");
         let start = Instant::now();
         let mut run_rng = harness_rng("ablation-proposals-run", n as u64);
-        let estimate = estimator.estimate(&mut run_rng).expect("estimation succeeds");
+        let estimate = session.run(&mut run_rng).expect("estimation succeeds");
         let elapsed = start.elapsed().as_secs_f64();
         let it = &estimate.iterations[0];
         // Re-run the chain statistics from the recorded iteration.
         rows.push(vec![
             format!("{n}"),
             format!("{:.3}", estimate.theta),
-            format!("{:.3}", it.move_rate),
-            format!("{}", it.stats.likelihood_evaluations),
+            format!("{:.3}", it.acceptance_rate),
+            format!("{}", it.counters.likelihood_evaluations),
             format!("{:.1}", 1e6 * elapsed / samples as f64),
         ]);
     }

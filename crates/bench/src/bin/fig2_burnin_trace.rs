@@ -1,34 +1,37 @@
 //! Figure 2 — a Markov chain converging from a poor starting state
 //! (burn-in).
 //!
-//! Runs the baseline genealogy sampler from a deliberately bad starting tree
+//! Runs a baseline-strategy session from a deliberately bad starting tree
 //! and prints the trace of `ln P(D|G)` so the burn-in transient is visible,
 //! together with the automatic burn-in estimate and effective sample size.
 
 use benchkit::{harness_rng, simulate_alignment};
-use lamarc::{LamarcSampler, SamplerConfig};
 use mcmc::diagnostics::{detect_burn_in, effective_sample_size};
-use phylo::model::F81;
-use phylo::{upgma_tree, FelsensteinPruner};
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
+use phylo::upgma_tree;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let transitions = if quick { 1_500 } else { 6_000 };
     let mut rng = harness_rng("fig2", 0);
     let alignment = simulate_alignment(&mut rng, 1.0, 10, 150);
-    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
-    let config = SamplerConfig {
-        theta: 1.0,
-        burn_in: 0,
-        samples: transitions,
-        thinning: 1,
-        ..Default::default()
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        burn_in_draws: 0,
+        sample_draws: transitions,
+        ..MpcgsConfig::default()
     };
-    let sampler = LamarcSampler::new(engine, config).expect("valid configuration");
     // A poor start: the UPGMA tree stretched far too tall.
     let mut initial = upgma_tree(&alignment, 1.0).expect("UPGMA succeeds");
     initial.scale_times(40.0);
-    let run = sampler.run(initial, &mut rng).expect("sampler run succeeds");
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .strategy(SamplerStrategy::Baseline)
+        .config(config)
+        .initial_tree(initial)
+        .build()
+        .expect("valid configuration");
+    let run = session.run_chain(&mut rng).expect("sampler run succeeds");
 
     let trace = run.trace.all();
     let burn_in = detect_burn_in(trace, 3.0);
@@ -60,4 +63,8 @@ fn main() {
         trace.len() - burn_in
     );
     println!("acceptance rate: {:.3}", run.acceptance_rate());
+    println!(
+        "workspace commits on accept: {} ({} nodes promoted)",
+        run.counters.workspace_commits, run.counters.nodes_committed
+    );
 }

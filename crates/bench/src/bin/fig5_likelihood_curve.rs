@@ -1,7 +1,7 @@
 //! Figure 5 — a relative-likelihood curve with true θ = 1.0 and driving
 //! θ₀ = 0.01.
 //!
-//! Simulates one data set at θ = 1.0, runs the multi-proposal sampler with a
+//! Simulates one data set at θ = 1.0, runs a multi-proposal session with a
 //! deliberately bad driving value of 0.01 (the paper's setup) and prints the
 //! relative-likelihood curve L(θ) over a log-spaced grid together with an
 //! ASCII rendering. Values of θ near the true value should carry far higher
@@ -9,7 +9,7 @@
 
 use benchkit::{harness_rng, simulate_alignment};
 use exec::Backend;
-use mpcgs::{MpcgsConfig, RelativeLikelihood, ThetaEstimator};
+use mpcgs::{MpcgsConfig, RelativeLikelihood, Session};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -27,9 +27,10 @@ fn main() {
         backend: Backend::Rayon,
         ..Default::default()
     };
-    let estimator = ThetaEstimator::new(alignment, config).expect("valid configuration");
+    let mut session =
+        Session::builder().alignment(alignment).config(config).build().expect("valid session");
     let grid = RelativeLikelihood::log_grid(0.01, 10.0, 40);
-    let curve = estimator.likelihood_curve(&mut rng, &grid).expect("curve evaluation succeeds");
+    let curve = session.likelihood_curve(&mut rng, &grid).expect("curve evaluation succeeds");
 
     println!("Figure 5: relative log-likelihood curve, true theta = 1.0, driving theta0 = 0.01\n");
     println!("  {:>10}  {:>14}  curve", "theta", "ln L(theta)");

@@ -12,9 +12,8 @@
 
 use benchkit::{harness_rng, render_table, simulate_alignment};
 use exec::amdahl::{multichain_efficiency, multichain_time, parallel_burnin_time};
-use lamarc::multi_chain::{run_multi_chain, MultiChainConfig, MultiChainRun};
-use phylo::model::F81;
-use phylo::{upgma_tree, FelsensteinPruner};
+use mpcgs::{run_multi_chain, ModelSpec, MultiChainConfig, MultiChainRun};
+use phylo::Dataset;
 
 fn ideal_table(b: f64, n: f64, title: &str) -> String {
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 64]
@@ -51,19 +50,13 @@ fn main() {
     let mut rng = harness_rng("fig6", 0);
     let (n_seq, sites, burn_in, total_samples) =
         if quick { (6, 80, 100, 600) } else { (10, 150, 400, 2_400) };
-    let alignment = simulate_alignment(&mut rng, 1.0, n_seq, sites);
-    let initial = upgma_tree(&alignment, 1.0).expect("UPGMA succeeds");
+    let dataset = Dataset::single(simulate_alignment(&mut rng, 1.0, n_seq, sites));
 
     let mut rows = Vec::new();
     for p in [1usize, 2, 4] {
         let config = MultiChainConfig { n_chains: p, burn_in, total_samples, theta: 1.0 };
-        let run = run_multi_chain(
-            || FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies())),
-            &initial,
-            &config,
-            2_016,
-        )
-        .expect("multi-chain run succeeds");
+        let run = run_multi_chain(&dataset, ModelSpec::F81Empirical, &config, 2_016)
+            .expect("multi-chain run succeeds");
         rows.push(vec![
             format!("{p}"),
             format!("{}", run.pooled.len()),

@@ -5,12 +5,14 @@
 //! {0.5, 1, 2, 3, 4} (12 sequences × 200 bp), runs both estimators on each
 //! data set, and reports per-θ means, standard deviations and the Pearson
 //! correlation between true and estimated values (r = 0.905 in the paper).
-//! Run with `--quick` for a faster, smaller sweep.
+//! Both estimators are the same `Session` facade with different sampler
+//! strategies. Run with `--quick` for a faster, smaller sweep.
 
 use benchkit::{harness_rng, mean_and_sd, pearson_correlation, render_table, simulate_alignment};
 use exec::Backend;
-use lamarc::{EmConfig, LamarcEstimator};
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mcmc::rng::Mt19937;
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
+use phylo::Alignment;
 
 struct Scale {
     replicates: usize,
@@ -19,6 +21,33 @@ struct Scale {
     samples: usize,
     burn_in: usize,
     em_iterations: usize,
+}
+
+fn estimate(
+    alignment: &Alignment,
+    strategy: SamplerStrategy,
+    scale: &Scale,
+    rng: &mut Mt19937,
+) -> f64 {
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: scale.em_iterations,
+        proposals_per_iteration: 16,
+        draws_per_iteration: 16,
+        burn_in_draws: scale.burn_in,
+        sample_draws: scale.samples,
+        backend: Backend::Rayon,
+        ..MpcgsConfig::default()
+    };
+    Session::builder()
+        .alignment(alignment.clone())
+        .strategy(strategy)
+        .config(config)
+        .build()
+        .expect("valid configuration")
+        .run(rng)
+        .expect("estimation succeeds")
+        .theta
 }
 
 fn main() {
@@ -57,35 +86,18 @@ fn main() {
             let alignment =
                 simulate_alignment(&mut rng, true_theta, scale.n_sequences, scale.sites);
 
-            let lamarc_config = EmConfig {
-                initial_theta: 1.0,
-                em_iterations: scale.em_iterations,
-                burn_in: scale.burn_in,
-                samples: scale.samples,
-                thinning: 1,
-                ..Default::default()
-            };
-            let lamarc_estimate = LamarcEstimator::new(alignment.clone(), lamarc_config)
-                .expect("valid baseline configuration")
-                .estimate(&mut rng)
-                .expect("baseline estimation succeeds");
-            lamarc_estimates.push(lamarc_estimate.theta);
-
-            let mpcgs_config = MpcgsConfig {
-                initial_theta: 1.0,
-                em_iterations: scale.em_iterations,
-                proposals_per_iteration: 16,
-                draws_per_iteration: 16,
-                burn_in_draws: scale.burn_in,
-                sample_draws: scale.samples,
-                backend: Backend::Rayon,
-                ..Default::default()
-            };
-            let mpcgs_estimate = ThetaEstimator::new(alignment, mpcgs_config)
-                .expect("valid mpcgs configuration")
-                .estimate(&mut rng)
-                .expect("mpcgs estimation succeeds");
-            mpcgs_estimates.push(mpcgs_estimate.theta);
+            lamarc_estimates.push(estimate(
+                &alignment,
+                SamplerStrategy::Baseline,
+                &scale,
+                &mut rng,
+            ));
+            mpcgs_estimates.push(estimate(
+                &alignment,
+                SamplerStrategy::MultiProposal,
+                &scale,
+                &mut rng,
+            ));
 
             truth_series.push(true_theta);
             lamarc_series.push(*lamarc_estimates.last().unwrap());

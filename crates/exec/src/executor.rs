@@ -6,6 +6,9 @@
 //! thread pool. This mirrors the structure of the CUDA implementation, where
 //! the same loops are expressed as kernels with one thread per item.
 
+use std::fmt;
+use std::str::FromStr;
+
 use rayon::prelude::*;
 
 /// Where data-parallel work runs.
@@ -16,6 +19,29 @@ pub enum Backend {
     /// Run on the global rayon thread pool.
     #[default]
     Rayon,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Serial => "serial",
+            Backend::Rayon => "rayon",
+        })
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    /// Parse a CLI-style backend name (`serial` or `rayon`, case
+    /// insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "serial" => Ok(Backend::Serial),
+            "rayon" => Ok(Backend::Rayon),
+            other => Err(format!("unknown backend {other:?} (expected \"serial\" or \"rayon\")")),
+        }
+    }
 }
 
 impl Backend {
@@ -123,5 +149,14 @@ mod tests {
         assert_eq!(Backend::Serial.threads(), 1);
         assert!(Backend::Rayon.threads() >= 1);
         assert_eq!(Backend::default(), Backend::Rayon);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [Backend::Serial, Backend::Rayon] {
+            assert_eq!(backend.to_string().parse::<Backend>().unwrap(), backend);
+        }
+        assert_eq!("SERIAL".parse::<Backend>().unwrap(), Backend::Serial);
+        assert!("cuda".parse::<Backend>().is_err());
     }
 }

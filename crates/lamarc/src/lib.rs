@@ -11,29 +11,35 @@
 //!   feasible intervals (Figures 7–9).
 //! * [`target`] — the posterior pieces: `ln P(D|G)` (via the `phylo` pruner)
 //!   and `ln P(G|θ)` (via the `coalescent` prior), combined per Eq. 24.
+//! * [`run`] — the unified sampler-strategy API: the
+//!   [`run::GenealogySampler`] trait with its [`run::RunReport`] outcome and
+//!   the [`run::RunObserver`] streaming event hooks, the vocabulary every
+//!   chain driver (the `mpcgs::Session` facade, the benches, the CLI) speaks.
 //! * [`sampler`] — the standard Metropolis–Hastings genealogy sampler with
-//!   the acceptance ratio of Eq. 28.
+//!   the acceptance ratio of Eq. 28, as one `GenealogySampler` strategy
+//!   (commit-on-accept included: accepted moves promote their dirty path into
+//!   the engine's cached workspace).
 //! * [`mle`] — the relative-likelihood curve `L(θ)` of Eq. 26 over sampled
 //!   genealogies and the step-halving gradient ascent of Algorithm 2.
-//! * [`em`] — the expectation–maximisation driver: run a chain with the
-//!   driving θ₀, maximise `L(θ)`, replace θ₀, repeat.
-//! * [`multi_chain`] — the multiple-independent-chains work-around of
-//!   Section 3 (each chain pays its own burn-in), provided as the scalability
-//!   baseline that Figure 6 criticises.
+//!
+//! The per-crate EM and multi-chain driver loops that used to live here were
+//! superseded by the `mpcgs::Session` facade, which drives any
+//! `GenealogySampler` through the same expectation–maximisation loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod em;
 pub mod mle;
-pub mod multi_chain;
 pub mod proposal;
+pub mod run;
 pub mod sampler;
 pub mod target;
 
-pub use em::{EmConfig, EmEstimate, EmIteration, LamarcEstimator};
 pub use mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
-pub use multi_chain::{MultiChainConfig, MultiChainRun};
 pub use proposal::{GenealogyProposer, HazardModel, ProposalConfig};
-pub use sampler::{GenealogySample, LamarcSampler, SamplerConfig, SamplerRun};
+pub use run::{
+    ChainInfo, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver, RunReport,
+    StepReport,
+};
+pub use sampler::{GenealogySample, LamarcSampler, SamplerConfig};
 pub use target::GenealogyTarget;

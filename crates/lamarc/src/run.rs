@@ -1,0 +1,292 @@
+//! The unified sampler-strategy API.
+//!
+//! Both genealogy samplers in this workspace — the single-proposal baseline
+//! ([`LamarcSampler`](crate::sampler::LamarcSampler)) and the multi-proposal
+//! Generalized-MH sampler (`mpcgs::MultiProposalSampler`) — drive the same
+//! outer loop: start from a genealogy, repeatedly apply a transition kernel,
+//! record draws, and hand back samples plus work counters. This module gives
+//! that loop one vocabulary so the two kernels become interchangeable
+//! *strategies* behind a `Session` facade:
+//!
+//! * [`GenealogySampler`] — the strategy trait: `begin`/`step`/`finish` for
+//!   streaming control, plus a default [`GenealogySampler::run`] that drives
+//!   a whole chain and reports progress to a [`RunObserver`].
+//! * [`RunReport`] / [`RunCounters`] — the unified outcome type: retained
+//!   samples, the full trace, and one set of acceptance/caching counters
+//!   shared by every strategy (replacing the per-crate `SamplerRun` /
+//!   `GmhRunStats` types).
+//! * [`RunObserver`] — the streaming event-hook API: burn-in progress,
+//!   per-iteration trace points, EM updates and final diagnostics, replacing
+//!   ad-hoc printing in drivers.
+
+use mcmc::chain::Trace;
+use rand::RngCore;
+
+use phylo::tree::CoalescentIntervals;
+use phylo::{GeneTree, PhyloError};
+
+use crate::sampler::GenealogySample;
+
+/// Work counters collected during a chain run, shared by every sampler
+/// strategy. For the baseline sampler one *iteration* is one MH transition
+/// and one *draw* is recorded per transition; for the multi-proposal sampler
+/// one iteration constructs a whole proposal set and records `M` index draws.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Kernel iterations (MH transitions / proposal-set constructions).
+    pub iterations: usize,
+    /// Proposals generated.
+    pub proposals_generated: usize,
+    /// Data-likelihood evaluations performed.
+    pub likelihood_evaluations: usize,
+    /// Output draws recorded (burn-in included).
+    pub draws: usize,
+    /// Draws that moved away from the generator state: accepted transitions
+    /// for the baseline, index draws landing off the generator for GMH.
+    pub accepted: usize,
+    /// Interior nodes recomputed along dirty paths by the batched likelihood
+    /// engine (proposal scoring).
+    pub nodes_repruned: usize,
+    /// Interior nodes recomputed by full prunes (generator workspace builds
+    /// on cache misses).
+    pub nodes_full_pruned: usize,
+    /// Interior nodes recomputed while promoting accepted proposals into the
+    /// cached generator workspace (commit-on-accept).
+    pub nodes_committed: usize,
+    /// Batch evaluations whose generator workspace was served from the
+    /// engine's cache.
+    pub generator_cache_hits: usize,
+    /// Accepted moves promoted into the cached workspace instead of being
+    /// repaid with a full re-prune.
+    pub workspace_commits: usize,
+}
+
+impl RunCounters {
+    /// Fraction of draws that moved away from the generator state (the
+    /// acceptance rate of the baseline, the move rate of the index chain for
+    /// the multi-proposal sampler).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.draws == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.draws as f64
+        }
+    }
+
+    /// Interior-node recomputations actually performed per likelihood
+    /// evaluation: dirty paths, amortised generator rebuilds, and the dirty
+    /// paths replayed by commit-on-accept promotions.
+    pub fn nodes_pruned_per_evaluation(&self) -> f64 {
+        if self.likelihood_evaluations == 0 {
+            0.0
+        } else {
+            (self.nodes_repruned + self.nodes_full_pruned + self.nodes_committed) as f64
+                / self.likelihood_evaluations as f64
+        }
+    }
+}
+
+/// The unified outcome of one chain run, whichever strategy produced it.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Retained post-burn-in samples (interval summaries plus data
+    /// likelihoods).
+    pub samples: Vec<GenealogySample>,
+    /// Trace of `ln P(D|G)` of the sampled state at every draw, burn-in
+    /// included.
+    pub trace: Trace,
+    /// Work counters.
+    pub counters: RunCounters,
+    /// The final genealogy (used to seed follow-up chains).
+    pub final_tree: GeneTree,
+}
+
+impl RunReport {
+    /// Fraction of draws that moved away from the generator state.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.counters.acceptance_rate()
+    }
+
+    /// The interval summaries of the retained samples (what the maximisation
+    /// stage consumes).
+    pub fn interval_summaries(&self) -> Vec<CoalescentIntervals> {
+        self.samples.iter().map(|s| s.intervals.clone()).collect()
+    }
+
+    /// Mean `ln P(D|G)` over the retained samples (NaN when none were kept).
+    pub fn mean_log_data_likelihood(&self) -> f64 {
+        self.samples.iter().map(|s| s.log_data_likelihood).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Static description of a chain, handed to observers when it starts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainInfo {
+    /// The strategy driving the chain (e.g. `"baseline"`, `"gmh"`).
+    pub strategy: &'static str,
+    /// The driving θ.
+    pub theta: f64,
+    /// Draws that will be discarded as burn-in.
+    pub burn_in_draws: usize,
+    /// Total draws the chain will record (burn-in included).
+    pub total_draws: usize,
+}
+
+/// Progress of one kernel iteration, handed to observers after each step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Draws recorded so far (burn-in included).
+    pub draws_done: usize,
+    /// Total draws the chain will record.
+    pub total_draws: usize,
+    /// Draws discarded as burn-in.
+    pub burn_in_draws: usize,
+    /// `ln P(D|G)` of the most recently drawn state.
+    pub log_likelihood: f64,
+}
+
+impl StepReport {
+    /// Whether the chain is still inside its burn-in phase.
+    pub fn in_burn_in(&self) -> bool {
+        self.draws_done <= self.burn_in_draws
+    }
+}
+
+/// One expectation–maximisation round's outcome, handed to observers by EM
+/// drivers (the session facade) after the maximisation stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmUpdate {
+    /// EM iteration index (0-based).
+    pub iteration: usize,
+    /// The driving θ the chain ran with.
+    pub driving_theta: f64,
+    /// The maximiser of the relative likelihood (next driving value).
+    pub estimate: f64,
+    /// Acceptance/move rate of the chain.
+    pub acceptance_rate: f64,
+    /// Mean `ln P(D|G)` over the retained samples.
+    pub mean_log_data_likelihood: f64,
+}
+
+/// Streaming hooks into a run. All methods default to no-ops, so an observer
+/// implements only the events it cares about. Drivers report: chain start →
+/// (burn-in progress during burn-in, a trace point per kernel iteration) →
+/// chain end with final diagnostics; EM drivers additionally report one
+/// [`EmUpdate`] per maximisation stage.
+pub trait RunObserver {
+    /// A chain is about to run.
+    fn on_chain_start(&mut self, _info: &ChainInfo) {}
+
+    /// Progress through the burn-in phase (emitted after each kernel
+    /// iteration that ends inside burn-in).
+    fn on_burn_in_progress(&mut self, _draws_done: usize, _burn_in_total: usize) {}
+
+    /// A per-iteration trace point (emitted after every kernel iteration,
+    /// burn-in included).
+    fn on_iteration(&mut self, _step: &StepReport) {}
+
+    /// An EM round finished its maximisation stage.
+    fn on_em_update(&mut self, _update: &EmUpdate) {}
+
+    /// The chain finished; final diagnostics are in the report.
+    fn on_chain_end(&mut self, _report: &RunReport) {}
+}
+
+/// The observer that observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// A genealogy-sampling strategy: anything that can drive the Figure 11
+/// chain loop (propose → score → select) and produce a unified [`RunReport`].
+///
+/// The trait is object safe — drivers hold `Box<dyn GenealogySampler>` and
+/// select the strategy by configuration. Implementations carry their own
+/// chain state between [`GenealogySampler::begin`] and
+/// [`GenealogySampler::finish`], so a sampler can also be driven one
+/// [`GenealogySampler::step`] at a time (one MH transition, or one whole
+/// proposal set for the multi-proposal kernel).
+pub trait GenealogySampler {
+    /// Short strategy name (`"baseline"`, `"gmh"`).
+    fn strategy(&self) -> &'static str;
+
+    /// Static chain description (sizing and driving value).
+    fn chain_info(&self) -> ChainInfo;
+
+    /// Reset the chain state to a fresh starting genealogy.
+    fn begin(&mut self, initial: GeneTree) -> Result<(), PhyloError>;
+
+    /// Whether the configured draw budget has been consumed (true before
+    /// [`GenealogySampler::begin`]).
+    fn is_done(&self) -> bool;
+
+    /// Advance the chain by one kernel iteration, recording its draws.
+    fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError>;
+
+    /// Consume the accumulated chain state into a [`RunReport`].
+    fn finish(&mut self) -> Result<RunReport, PhyloError>;
+
+    /// Run a whole chain from `initial`, reporting progress to `observer`.
+    ///
+    /// The default drives `begin` → `step`* → `finish` and emits the
+    /// documented [`RunObserver`] event sequence.
+    fn run(
+        &mut self,
+        initial: GeneTree,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, PhyloError> {
+        self.begin(initial)?;
+        observer.on_chain_start(&self.chain_info());
+        while !self.is_done() {
+            let step = self.step(rng)?;
+            if step.in_burn_in() {
+                observer.on_burn_in_progress(step.draws_done, step.burn_in_draws);
+            }
+            observer.on_iteration(&step);
+        }
+        let report = self.finish()?;
+        observer.on_chain_end(&report);
+        Ok(report)
+    }
+}
+
+/// The error every strategy reports when stepped without an active chain
+/// (shared by `GenealogySampler` implementations across crates).
+pub fn no_active_chain() -> PhyloError {
+    PhyloError::InvalidState {
+        message: "no active chain: call begin() (or run()) before step()/finish()".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_rates_handle_empty_runs() {
+        let c = RunCounters::default();
+        assert_eq!(c.acceptance_rate(), 0.0);
+        assert_eq!(c.nodes_pruned_per_evaluation(), 0.0);
+        let c = RunCounters { draws: 8, accepted: 2, ..Default::default() };
+        assert!((c.acceptance_rate() - 0.25).abs() < 1e-12);
+        let c = RunCounters {
+            likelihood_evaluations: 10,
+            nodes_repruned: 30,
+            nodes_full_pruned: 10,
+            nodes_committed: 10,
+            ..Default::default()
+        };
+        assert!((c.nodes_pruned_per_evaluation() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_report_burn_in_flag() {
+        let mut step =
+            StepReport { draws_done: 5, total_draws: 100, burn_in_draws: 10, log_likelihood: -1.0 };
+        assert!(step.in_burn_in());
+        step.draws_done = 11;
+        assert!(!step.in_burn_in());
+    }
+}

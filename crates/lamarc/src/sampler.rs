@@ -7,16 +7,27 @@
 //! terms cancel because the proposal draws from the prior). Sampled
 //! genealogies are reduced to their coalescent-interval summaries, which is
 //! all the maximisation stage needs (Section 5.1.3).
+//!
+//! The sampler is one of the two interchangeable strategies behind the
+//! [`GenealogySampler`] trait: one [`GenealogySampler::step`] is one MH
+//! transition, and a full [`GenealogySampler::run`] produces the unified
+//! [`RunReport`]. Accepted moves are *committed* into the likelihood engine's
+//! cached generator workspace (promoting the accepted proposal's dirty path
+//! instead of repaying a full re-prune), so accepted and rejected transitions
+//! alike cost O(path-to-root) node recomputations.
 
 use exec::Backend;
 use mcmc::chain::Trace;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use phylo::likelihood::{LikelihoodEngine, TreeProposal};
 use phylo::tree::CoalescentIntervals;
 use phylo::{GeneTree, PhyloError};
 
 use crate::proposal::{GenealogyProposer, ProposalConfig};
+use crate::run::{
+    no_active_chain, ChainInfo, GenealogySampler, RunCounters, RunReport, StepReport,
+};
 use crate::target::GenealogyTarget;
 
 /// Configuration of a single-chain run.
@@ -46,6 +57,13 @@ impl Default for SamplerConfig {
     }
 }
 
+impl SamplerConfig {
+    /// Total transitions one chain performs (burn-in plus thinned samples).
+    pub fn total_transitions(&self) -> usize {
+        self.burn_in + self.samples * self.thinning.max(1)
+    }
+}
+
 /// One retained genealogy, reduced to what the maximiser needs.
 #[derive(Debug, Clone)]
 pub struct GenealogySample {
@@ -55,41 +73,14 @@ pub struct GenealogySample {
     pub log_data_likelihood: f64,
 }
 
-/// The outcome of a chain run.
+/// In-flight chain state between `begin()` and `finish()`.
 #[derive(Debug, Clone)]
-pub struct SamplerRun {
-    /// Retained samples (post burn-in, thinned).
-    pub samples: Vec<GenealogySample>,
-    /// Trace of `ln P(D|G)` at every transition, burn-in included.
-    pub trace: Trace,
-    /// Accepted transitions.
-    pub accepted: usize,
-    /// Attempted transitions.
-    pub attempted: usize,
-    /// Interior nodes recomputed along dirty paths by the incremental
-    /// likelihood engine (proposal scoring).
-    pub nodes_repruned: usize,
-    /// Interior nodes recomputed by full prunes (generator workspace
-    /// rebuilds after accepted moves).
-    pub nodes_full_pruned: usize,
-    /// The final genealogy (used to seed follow-up chains).
-    pub final_tree: GeneTree,
-}
-
-impl SamplerRun {
-    /// Fraction of proposals accepted.
-    pub fn acceptance_rate(&self) -> f64 {
-        if self.attempted == 0 {
-            0.0
-        } else {
-            self.accepted as f64 / self.attempted as f64
-        }
-    }
-
-    /// The interval summaries of the retained samples.
-    pub fn interval_summaries(&self) -> Vec<CoalescentIntervals> {
-        self.samples.iter().map(|s| s.intervals.clone()).collect()
-    }
+struct BaselineChain {
+    current: GeneTree,
+    trace: Trace,
+    samples: Vec<GenealogySample>,
+    counters: RunCounters,
+    transitions_done: usize,
 }
 
 /// The baseline LAMARC-style sampler.
@@ -98,6 +89,7 @@ pub struct LamarcSampler<E> {
     target: GenealogyTarget<E>,
     proposer: GenealogyProposer,
     config: SamplerConfig,
+    chain: Option<BaselineChain>,
 }
 
 impl<E: LikelihoodEngine> LamarcSampler<E> {
@@ -105,7 +97,7 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
     pub fn new(engine: E, config: SamplerConfig) -> Result<Self, PhyloError> {
         let target = GenealogyTarget::new(engine, config.theta)?;
         let proposer = GenealogyProposer::with_config(config.theta, config.proposal)?;
-        Ok(LamarcSampler { target, proposer, config })
+        Ok(LamarcSampler { target, proposer, config, chain: None })
     }
 
     /// The configuration.
@@ -118,63 +110,107 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
         &self.target
     }
 
-    /// Run the chain from the given starting genealogy.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        initial: GeneTree,
-        rng: &mut R,
-    ) -> Result<SamplerRun, PhyloError> {
+    /// One MH transition (Eq. 28), including commit-on-accept.
+    fn transition(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
         let thinning = self.config.thinning.max(1);
-        let total = self.config.burn_in + self.config.samples * thinning;
-        let mut current = initial;
-        let mut trace = Trace::with_burn_in(self.config.burn_in);
-        let mut samples = Vec::with_capacity(self.config.samples);
-        let mut accepted = 0usize;
-        let mut nodes_repruned = 0usize;
-        let mut nodes_full_pruned = 0usize;
-
-        for step in 0..total {
-            let target_node = self.proposer.sample_target(&current, rng);
-            let (proposal, edited) = self.proposer.propose_with_edit(&current, target_node, rng);
-            // Score the proposal through the batched engine: the generator's
-            // partials are cached inside the engine across consecutive
-            // rejections, so a transition costs one dirty path (O(log n)
-            // nodes) instead of a full prune — the incremental evaluation the
-            // paper credits serial LAMARC with (Section 5.2.2).
-            let eval = self.target.log_data_likelihood_batch(
-                Backend::Serial,
-                &current,
-                &[TreeProposal { tree: &proposal, edited: &edited }],
-            )?;
-            let mut current_loglik = eval.generator_log_likelihood;
-            let proposal_loglik = eval.log_likelihoods[0];
-            nodes_repruned += eval.nodes_repruned;
-            nodes_full_pruned += eval.nodes_full_pruned;
-            // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r).
-            let log_ratio = proposal_loglik - current_loglik;
-            if log_ratio >= 0.0 || rng.gen::<f64>().ln() < log_ratio {
-                current = proposal;
-                current_loglik = proposal_loglik;
-                accepted += 1;
-            }
-            trace.push(current_loglik);
-            if step >= self.config.burn_in && (step - self.config.burn_in).is_multiple_of(thinning)
+        let chain = self.chain.as_mut().ok_or_else(no_active_chain)?;
+        let target_node = self.proposer.sample_target(&chain.current, rng);
+        let (proposal, edited) = self.proposer.propose_with_edit(&chain.current, target_node, rng);
+        // Score the proposal through the batched engine: the generator's
+        // partials are cached inside the engine across transitions, so a
+        // proposal costs one dirty path (O(log n) nodes) instead of a full
+        // prune — the incremental evaluation the paper credits serial LAMARC
+        // with (Section 5.2.2).
+        let eval = self.target.log_data_likelihood_batch(
+            Backend::Serial,
+            &chain.current,
+            &[TreeProposal { tree: &proposal, edited: &edited }],
+        )?;
+        let mut current_loglik = eval.generator_log_likelihood;
+        let proposal_loglik = eval.log_likelihoods[0];
+        chain.counters.iterations += 1;
+        chain.counters.proposals_generated += 1;
+        chain.counters.likelihood_evaluations += 1;
+        chain.counters.nodes_repruned += eval.nodes_repruned;
+        chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
+        chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
+        // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r).
+        let log_ratio = proposal_loglik - current_loglik;
+        if log_ratio >= 0.0 || rng.gen::<f64>().ln() < log_ratio {
+            // Commit-on-accept: promote the accepted proposal's dirty path
+            // into the cached generator workspace so the next transition's
+            // generator is a cache hit instead of a full re-prune.
+            if let Some(nodes) =
+                self.target.engine().commit_accepted(&chain.current, &proposal, &edited)?
             {
-                samples.push(GenealogySample {
-                    intervals: current.intervals(),
-                    log_data_likelihood: current_loglik,
-                });
+                chain.counters.workspace_commits += 1;
+                chain.counters.nodes_committed += nodes;
             }
+            chain.current = proposal;
+            current_loglik = proposal_loglik;
+            chain.counters.accepted += 1;
         }
+        chain.trace.push(current_loglik);
+        let step = chain.transitions_done;
+        if step >= self.config.burn_in && (step - self.config.burn_in).is_multiple_of(thinning) {
+            chain.samples.push(GenealogySample {
+                intervals: chain.current.intervals(),
+                log_data_likelihood: current_loglik,
+            });
+        }
+        chain.counters.draws += 1;
+        chain.transitions_done += 1;
+        Ok(StepReport {
+            draws_done: chain.transitions_done,
+            total_draws: self.config.total_transitions(),
+            burn_in_draws: self.config.burn_in,
+            log_likelihood: current_loglik,
+        })
+    }
+}
 
-        Ok(SamplerRun {
-            samples,
-            trace,
-            accepted,
-            attempted: total,
-            nodes_repruned,
-            nodes_full_pruned,
-            final_tree: current,
+impl<E: LikelihoodEngine> GenealogySampler for LamarcSampler<E> {
+    fn strategy(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn chain_info(&self) -> ChainInfo {
+        ChainInfo {
+            strategy: self.strategy(),
+            theta: self.config.theta,
+            burn_in_draws: self.config.burn_in,
+            total_draws: self.config.total_transitions(),
+        }
+    }
+
+    fn begin(&mut self, initial: GeneTree) -> Result<(), PhyloError> {
+        self.chain = Some(BaselineChain {
+            current: initial,
+            trace: Trace::with_burn_in(self.config.burn_in),
+            samples: Vec::with_capacity(self.config.samples),
+            counters: RunCounters::default(),
+            transitions_done: 0,
+        });
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.chain
+            .as_ref()
+            .is_none_or(|chain| chain.transitions_done >= self.config.total_transitions())
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
+        self.transition(rng)
+    }
+
+    fn finish(&mut self) -> Result<RunReport, PhyloError> {
+        let chain = self.chain.take().ok_or_else(no_active_chain)?;
+        Ok(RunReport {
+            samples: chain.samples,
+            trace: chain.trace,
+            counters: chain.counters,
+            final_tree: chain.current,
         })
     }
 }
@@ -182,6 +218,7 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::NullObserver;
     use coalescent::{CoalescentSimulator, KingmanPrior, SequenceSimulator};
     use mcmc::rng::Mt19937;
     use phylo::model::{Jc69, F81};
@@ -205,23 +242,65 @@ mod tests {
             thinning: 2,
             proposal: ProposalConfig::default(),
         };
-        let sampler = LamarcSampler::new(engine, config).unwrap();
+        let mut sampler = LamarcSampler::new(engine, config).unwrap();
         let initial = upgma_tree(&alignment, 1.0).unwrap();
-        let run = sampler.run(initial, &mut rng).unwrap();
+        let run = sampler.run(initial, &mut rng, &mut NullObserver).unwrap();
         assert_eq!(run.samples.len(), 200);
-        assert_eq!(run.attempted, 50 + 400);
+        assert_eq!(run.counters.draws, 50 + 400);
+        assert_eq!(run.counters.iterations, 450);
         assert_eq!(run.trace.len(), 450);
         assert!(run.acceptance_rate() > 0.0 && run.acceptance_rate() <= 1.0);
         assert_eq!(run.interval_summaries().len(), 200);
-        // The incremental engine recomputes only dirty paths per proposal;
-        // full prunes happen at most once per accepted move (plus the first).
+        // Commit-on-accept: the engine pays exactly one full prune (the
+        // initial workspace build); every accepted move is promoted along its
+        // dirty path and every transition thereafter is a cache hit.
         let n_internal = run.final_tree.n_internal();
-        assert!(run.nodes_repruned > 0);
-        assert!(run.nodes_repruned <= run.attempted * n_internal);
-        assert!(run.nodes_full_pruned <= (run.accepted + 1) * n_internal);
+        assert!(run.counters.nodes_repruned > 0);
+        assert!(run.counters.nodes_repruned <= run.counters.draws * n_internal);
+        assert_eq!(run.counters.nodes_full_pruned, n_internal);
+        assert_eq!(run.counters.workspace_commits, run.counters.accepted);
+        assert!(run.counters.nodes_committed > 0);
+        assert!(run.counters.nodes_committed < run.counters.accepted * n_internal);
+        assert_eq!(run.counters.generator_cache_hits, run.counters.draws - 1);
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.config().samples, 200);
         assert_eq!(sampler.target().theta(), 1.0);
+    }
+
+    #[test]
+    fn stepping_matches_a_whole_run_exactly() {
+        // Driving the chain one step at a time is the same chain as run():
+        // identical RNG stream, identical trace, identical counters.
+        let mut rng = Mt19937::new(4_242);
+        let alignment = simulated_data(&mut rng, 5, 50, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let config =
+            SamplerConfig { theta: 1.0, burn_in: 20, samples: 60, ..SamplerConfig::default() };
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+
+        let mut whole = LamarcSampler::new(engine.clone(), config).unwrap();
+        let mut rng_a = Mt19937::new(7);
+        let run_a = whole.run(initial.clone(), &mut rng_a, &mut NullObserver).unwrap();
+
+        let mut stepped = LamarcSampler::new(engine, config).unwrap();
+        assert!(stepped.is_done(), "no chain is active before begin()");
+        assert!(stepped.step(&mut Mt19937::new(0)).is_err());
+        assert!(stepped.finish().is_err());
+        let mut rng_b = Mt19937::new(7);
+        stepped.begin(initial).unwrap();
+        let mut steps = 0;
+        while !stepped.is_done() {
+            let report = stepped.step(&mut rng_b).unwrap();
+            steps += 1;
+            assert_eq!(report.draws_done, steps);
+            assert_eq!(report.total_draws, config.total_transitions());
+        }
+        let run_b = stepped.finish().unwrap();
+        assert_eq!(steps, config.total_transitions());
+        assert_eq!(run_a.trace.all(), run_b.trace.all());
+        assert_eq!(run_a.counters, run_b.counters);
+        assert_eq!(whole.strategy(), "baseline");
+        assert_eq!(whole.chain_info().total_draws, config.total_transitions());
     }
 
     #[test]
@@ -237,7 +316,7 @@ mod tests {
             thinning: 1,
             proposal: ProposalConfig::default(),
         };
-        let sampler = LamarcSampler::new(engine, config).unwrap();
+        let mut sampler = LamarcSampler::new(engine, config).unwrap();
         // A deliberately terrible start: a random tree stretched far too tall.
         let mut initial = CoalescentSimulator::constant(1.0)
             .unwrap()
@@ -247,7 +326,7 @@ mod tests {
             )
             .unwrap();
         initial.scale_times(30.0);
-        let run = sampler.run(initial, &mut rng).unwrap();
+        let run = sampler.run(initial, &mut rng, &mut NullObserver).unwrap();
         let first = run.trace.all()[0];
         let last_mean: f64 = run.trace.all().iter().rev().take(100).sum::<f64>() / 100.0;
         assert!(
@@ -274,7 +353,7 @@ mod tests {
             thinning: 1,
             proposal: ProposalConfig::default(),
         };
-        let sampler = LamarcSampler::new(engine, config).unwrap();
+        let mut sampler = LamarcSampler::new(engine, config).unwrap();
         let initial = CoalescentSimulator::constant(theta)
             .unwrap()
             .simulate_labelled(
@@ -282,7 +361,7 @@ mod tests {
                 &["1", "2", "3", "4", "5"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
             )
             .unwrap();
-        let run = sampler.run(initial, &mut rng).unwrap();
+        let run = sampler.run(initial, &mut rng, &mut NullObserver).unwrap();
         let mean_depth: f64 =
             run.samples.iter().map(|s| s.intervals.depth()).sum::<f64>() / run.samples.len() as f64;
         let expected = KingmanPrior::new(theta).unwrap().expected_tmrca(5);

@@ -24,6 +24,10 @@ pub struct MpcgsConfig {
     /// Draws retained per chain (the "number of genealogical samples" swept
     /// in Table 2).
     pub sample_draws: usize,
+    /// Thinning applied by the baseline (single-proposal) strategy: keep
+    /// every `thinning`-th post-burn-in transition. The multi-proposal
+    /// strategy records every index draw and ignores this field.
+    pub thinning: usize,
     /// Proposal-mechanism configuration.
     pub proposal: ProposalConfig,
     /// Gradient-ascent configuration for the maximisation stage.
@@ -45,6 +49,7 @@ impl Default for MpcgsConfig {
             draws_per_iteration: 32,
             burn_in_draws: 1_000,
             sample_draws: 10_000,
+            thinning: 1,
             proposal: ProposalConfig::default(),
             ascent: GradientAscentConfig::default(),
             backend: Backend::Rayon,

@@ -7,13 +7,18 @@
 //! likelihood evaluation — becomes embarrassingly parallel (Sections 4 and
 //! 5). The crate builds on the substrates in this workspace:
 //!
-//! * `phylo` for sequences, genealogies and the pruning likelihood;
+//! * `phylo` for sequences, the multi-locus [`Dataset`] model, genealogies
+//!   and the batched pruning likelihood;
 //! * `coalescent` for the Kingman prior and the data simulators;
 //! * `mcmc` for the random-number streams and log-domain arithmetic;
 //! * `lamarc` for the shared neighborhood-resimulation proposal, the
-//!   relative-likelihood maximiser and the baseline sampler;
+//!   relative-likelihood maximiser, the baseline sampler and the unified
+//!   [`GenealogySampler`] strategy API;
 //! * `exec` for the data-parallel backend and the simulated-device cost
 //!   model.
+//!
+//! Everything is driven through one facade: a [`Session`] built as
+//! dataset → model → sampler strategy → backend → observers.
 //!
 //! # Quick start
 //!
@@ -21,7 +26,7 @@
 //! use coalescent::{CoalescentSimulator, SequenceSimulator};
 //! use mcmc::rng::Mt19937;
 //! use phylo::model::Jc69;
-//! use mpcgs::{MpcgsConfig, ThetaEstimator};
+//! use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
 //!
 //! // Simulate a small data set with known theta = 1.0 (the paper's Section
 //! // 6.1 workflow: ms + seq-gen).
@@ -39,9 +44,16 @@
 //!     burn_in_draws: 64,
 //!     sample_draws: 256,
 //!     proposals_per_iteration: 8,
+//!     draws_per_iteration: 8,
 //!     ..MpcgsConfig::default()
 //! };
-//! let estimate = ThetaEstimator::new(alignment, config).unwrap().estimate(&mut rng).unwrap();
+//! let mut session = Session::builder()
+//!     .alignment(alignment)
+//!     .strategy(SamplerStrategy::MultiProposal)
+//!     .config(config)
+//!     .build()
+//!     .unwrap();
+//! let estimate = session.run(&mut rng).unwrap();
 //! assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
 //! ```
 
@@ -49,17 +61,28 @@
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod em;
+pub mod multi_chain;
+pub mod observers;
 pub mod perf;
 pub mod sampler;
+pub mod session;
 
 pub use config::MpcgsConfig;
-pub use em::{MpcgsEstimate, MpcgsIteration, ThetaEstimator};
+pub use multi_chain::{run_multi_chain, MultiChainConfig, MultiChainRun};
+pub use observers::{ChainSummaryPrinter, EmProgressPrinter};
 pub use perf::{CachingReport, SpeedupModel, Workload};
-pub use sampler::{GmhRunStats, MultiProposalSampler, MultiProposalSamplerRun};
+pub use sampler::MultiProposalSampler;
+pub use session::{
+    EmIterationReport, ModelSpec, SamplerStrategy, Session, SessionBuilder, SessionReport,
+};
 
 // Re-export the pieces of the shared machinery that form part of the public
 // API surface of the sampler, so downstream users only need this crate.
 pub use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
 pub use lamarc::proposal::{GenealogyProposer, HazardModel, ProposalConfig};
+pub use lamarc::run::{
+    ChainInfo, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver, RunReport,
+    StepReport,
+};
 pub use lamarc::sampler::GenealogySample;
+pub use phylo::{Dataset, Locus};

@@ -1,62 +1,79 @@
 //! The `mpcgs` command-line program.
 //!
 //! The original program is invoked as `./mpcgs <seqdata.phy> <init theta>`
-//! (Section 5.1.1); this binary keeps that positional interface and adds a
-//! few optional flags for chain sizing so the examples and benches can drive
-//! short runs.
+//! (Section 5.1.1); this binary keeps that positional interface, accepts
+//! *several* PHYLIP files for multi-locus runs (each file becomes one locus
+//! of the shared [`Dataset`]), and adds flags for chain sizing, sampler
+//! strategy and execution backend. All the work runs through the
+//! [`Session`] facade with an [`EmProgressPrinter`] observer streaming the
+//! per-iteration history.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use exec::Backend;
 use mcmc::rng::Mt19937;
 use phylo::io::phylip::parse_phylip;
 use phylo::likelihood::ExecutionMode;
+use phylo::{Dataset, Locus};
 
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mpcgs::{EmProgressPrinter, MpcgsConfig, SamplerStrategy, Session};
 
 struct CliArgs {
-    phylip_path: String,
+    phylip_paths: Vec<String>,
     initial_theta: f64,
     samples: usize,
     burn_in: usize,
     proposals: usize,
     em_iterations: usize,
     seed: u32,
-    serial: bool,
+    strategy: SamplerStrategy,
+    backend: Backend,
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: mpcgs <seqdata.phy> <init-theta> [options]\n\
+        "usage: mpcgs <seqdata.phy>... <init-theta> [options]\n\
+         \n\
+         Each PHYLIP file becomes one locus; several files run a multi-locus\n\
+         estimation over their shared sequence names.\n\
          \n\
          options:\n\
-           --samples <n>      retained genealogy samples per chain (default 10000)\n\
-           --burn-in <n>      burn-in draws per chain (default 1000)\n\
-           --proposals <n>    proposals per Generalized-MH iteration (default 32)\n\
-           --em <n>           EM iterations (default 3)\n\
-           --seed <n>         host RNG seed (default 20160401)\n\
-           --serial           disable thread-level parallelism"
+           --samples <n>        retained genealogy samples per chain (default 10000)\n\
+           --burn-in <n>        burn-in draws per chain (default 1000)\n\
+           --proposals <n>      proposals per Generalized-MH iteration (default 32)\n\
+           --em <n>             EM iterations (default 3)\n\
+           --seed <n>           host RNG seed (default 20160401)\n\
+           --strategy <name>    sampler strategy: gmh | baseline (default gmh)\n\
+           --backend <name>     execution backend: serial | rayon (default rayon)"
     );
 }
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
-    if args.len() < 2 {
-        return Err("expected a PHYLIP file and an initial theta".to_string());
+    // Leading positional arguments: one or more PHYLIP files, then theta.
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() && !args[i].starts_with("--") {
+        positionals.push(args[i].clone());
+        i += 1;
     }
-    let phylip_path = args[0].clone();
+    if positionals.len() < 2 {
+        return Err("expected at least one PHYLIP file and an initial theta".to_string());
+    }
+    let theta_text = positionals.pop().expect("at least two positionals");
     let initial_theta: f64 =
-        args[1].parse().map_err(|_| format!("invalid initial theta {:?}", args[1]))?;
+        theta_text.parse().map_err(|_| format!("invalid initial theta {theta_text:?}"))?;
     let mut cli = CliArgs {
-        phylip_path,
+        phylip_paths: positionals,
         initial_theta,
         samples: 10_000,
         burn_in: 1_000,
         proposals: 32,
         em_iterations: 3,
         seed: 20_160_401,
-        serial: false,
+        strategy: SamplerStrategy::MultiProposal,
+        backend: Backend::Rayon,
     };
-    let mut i = 2;
     while i < args.len() {
         let flag = args[i].as_str();
         let mut take_value = |name: &str| -> Result<String, String> {
@@ -82,7 +99,18 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--seed" => {
                 cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
             }
-            "--serial" => cli.serial = true,
+            "--strategy" => {
+                cli.strategy = match take_value("--strategy")?.to_ascii_lowercase().as_str() {
+                    "gmh" | "multiproposal" | "multi-proposal" => SamplerStrategy::MultiProposal,
+                    "baseline" | "lamarc" => SamplerStrategy::Baseline,
+                    other => {
+                        return Err(format!(
+                            "unknown strategy {other:?} (expected \"gmh\" or \"baseline\")"
+                        ))
+                    }
+                }
+            }
+            "--backend" => cli.backend = take_value("--backend")?.parse::<Backend>()?,
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -90,16 +118,33 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     Ok(cli)
 }
 
+fn load_dataset(paths: &[String]) -> Result<Dataset, String> {
+    let mut loci = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let alignment =
+            parse_phylip(&text).map_err(|e| format!("cannot parse PHYLIP input {path}: {e}"))?;
+        let name = Path::new(path)
+            .file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        loci.push(Locus::new(name, alignment));
+    }
+    Dataset::new(loci).map_err(|e| format!("inconsistent loci: {e}"))
+}
+
 fn run(cli: CliArgs) -> Result<(), String> {
-    let text = std::fs::read_to_string(&cli.phylip_path)
-        .map_err(|e| format!("cannot read {}: {e}", cli.phylip_path))?;
-    let alignment = parse_phylip(&text).map_err(|e| format!("cannot parse PHYLIP input: {e}"))?;
+    let dataset = load_dataset(&cli.phylip_paths)?;
     println!(
-        "mpcgs: {} sequences x {} sites, initial theta {}",
-        alignment.n_sequences(),
-        alignment.n_sites(),
+        "mpcgs: {} locus/loci, {} sequences, {} total sites, initial theta {}",
+        dataset.n_loci(),
+        dataset.n_sequences(),
+        dataset.total_sites(),
         cli.initial_theta
     );
+    for locus in dataset.loci() {
+        println!("  locus {:<12} {} sites", locus.name(), locus.n_sites());
+    }
 
     let config = MpcgsConfig {
         initial_theta: cli.initial_theta,
@@ -108,27 +153,24 @@ fn run(cli: CliArgs) -> Result<(), String> {
         draws_per_iteration: cli.proposals,
         burn_in_draws: cli.burn_in,
         sample_draws: cli.samples,
-        backend: if cli.serial { Backend::Serial } else { Backend::Rayon },
+        backend: cli.backend,
         ..MpcgsConfig::default()
     };
-    let estimator = ThetaEstimator::new(alignment, config)
-        .map_err(|e| format!("invalid configuration: {e}"))?
-        .with_execution(if cli.serial { ExecutionMode::Serial } else { ExecutionMode::Parallel });
+    let execution = match cli.backend {
+        Backend::Serial => ExecutionMode::Serial,
+        Backend::Rayon => ExecutionMode::Parallel,
+    };
+    let mut session = Session::builder()
+        .dataset(dataset)
+        .strategy(cli.strategy)
+        .config(config)
+        .execution(execution)
+        .observe(EmProgressPrinter::new())
+        .build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
 
     let mut rng = Mt19937::new(cli.seed);
-    let estimate = estimator.estimate(&mut rng).map_err(|e| format!("estimation failed: {e}"))?;
-
-    println!("\n  iter   driving-theta      estimate   move-rate   mean ln P(D|G)");
-    for (i, it) in estimate.iterations.iter().enumerate() {
-        println!(
-            "  {:>4}   {:>13.6}   {:>11.6}   {:>9.3}   {:>14.3}",
-            i + 1,
-            it.driving_theta,
-            it.estimate,
-            it.move_rate,
-            it.mean_log_data_likelihood
-        );
-    }
+    let estimate = session.run(&mut rng).map_err(|e| format!("estimation failed: {e}"))?;
     println!("\nfinal estimate of theta: {:.6}", estimate.theta);
     Ok(())
 }

@@ -6,17 +6,20 @@
 //! *work* performed is `P·B + N` transitions instead of `B + N`, which is the
 //! Amdahl-style inefficiency the paper's Figure 6 illustrates and that the
 //! multi-proposal sampler removes. This module implements the work-around
-//! faithfully (each chain really does run, on its own thread) and reports the
+//! faithfully on top of the [`Session`] facade — each chain really is a
+//! baseline-strategy session running on its own thread — and reports the
 //! work accounting so the Figure 6 harness can compare measured against
 //! idealised costs.
 
 use mcmc::rng::{Mt19937, SplitMix64};
 
-use phylo::likelihood::LikelihoodEngine;
+use exec::Backend;
+use lamarc::run::RunReport;
 use phylo::tree::CoalescentIntervals;
-use phylo::{GeneTree, PhyloError};
+use phylo::{Dataset, PhyloError};
 
-use crate::sampler::{LamarcSampler, SamplerConfig, SamplerRun};
+use crate::config::MpcgsConfig;
+use crate::session::{ModelSpec, SamplerStrategy, Session};
 
 /// Configuration of a multi-chain run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,7 +28,9 @@ pub struct MultiChainConfig {
     pub n_chains: usize,
     /// Burn-in transitions per chain (`B`).
     pub burn_in: usize,
-    /// Total pooled samples wanted across all chains (`N`).
+    /// Total pooled samples wanted across all chains (`N`). Each chain
+    /// retains `⌈N/P⌉` samples, so when `P` does not divide `N` the pool
+    /// slightly overshoots this target rather than undershooting it.
     pub total_samples: usize,
     /// The driving θ.
     pub theta: f64,
@@ -40,13 +45,15 @@ impl Default for MultiChainConfig {
 /// The outcome of a multi-chain run.
 #[derive(Debug, Clone)]
 pub struct MultiChainRun {
-    /// The per-chain runs.
-    pub chains: Vec<SamplerRun>,
-    /// Pooled post-burn-in interval summaries across all chains.
+    /// The per-chain unified run reports.
+    pub chains: Vec<RunReport>,
+    /// Pooled post-burn-in interval summaries across all chains
+    /// (`P·⌈N/P⌉` entries — at least the requested `N`).
     pub pooled: Vec<CoalescentIntervals>,
-    /// Transitions performed per chain (`B + N/P`).
+    /// Transitions performed per chain (`B + ⌈N/P⌉`).
     pub transitions_per_chain: usize,
-    /// Total transitions performed across all chains (`P·B + N`).
+    /// Total transitions performed across all chains (`P·B + P·⌈N/P⌉`,
+    /// i.e. `P·B + N` when `P` divides `N`).
     pub total_transitions: usize,
 }
 
@@ -64,18 +71,16 @@ impl MultiChainRun {
     }
 }
 
-/// Run `P` independent chains over clones of the same likelihood engine and
-/// pool their samples. Each chain gets a decorrelated RNG stream derived from
-/// `seed`.
-pub fn run_multi_chain<E>(
-    engine_factory: impl Fn() -> E + Sync,
-    initial: &GeneTree,
+/// Run `P` independent baseline-strategy chains over the same dataset and
+/// pool their samples. Each chain gets a decorrelated RNG stream derived
+/// from `seed` and runs on its own thread — with one chain per processor
+/// this is exactly the work-around of Section 3.
+pub fn run_multi_chain(
+    dataset: &Dataset,
+    model: ModelSpec,
     config: &MultiChainConfig,
     seed: u64,
-) -> Result<MultiChainRun, PhyloError>
-where
-    E: LikelihoodEngine,
-{
+) -> Result<MultiChainRun, PhyloError> {
     if config.n_chains == 0 {
         return Err(PhyloError::InvalidParameter {
             name: "n_chains",
@@ -84,31 +89,33 @@ where
         });
     }
     let per_chain_samples = config.total_samples.div_ceil(config.n_chains);
-    let sampler_config = SamplerConfig {
-        theta: config.theta,
-        burn_in: config.burn_in,
-        samples: per_chain_samples,
+    let chain_config = MpcgsConfig {
+        initial_theta: config.theta,
+        em_iterations: 1,
+        burn_in_draws: config.burn_in,
+        sample_draws: per_chain_samples,
         thinning: 1,
-        proposal: Default::default(),
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
     };
 
     // Derive one independent seed per chain up front.
     let mut seeder = SplitMix64::new(seed);
     let seeds: Vec<u32> = (0..config.n_chains).map(|_| seeder.next_seed32()).collect();
 
-    // Run the chains on scoped threads: with one chain per processor this is
-    // exactly the work-around of Section 3.
-    let chain_results: Vec<Result<SamplerRun, PhyloError>> = std::thread::scope(|scope| {
+    let chain_results: Vec<Result<RunReport, PhyloError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .iter()
             .map(|&chain_seed| {
-                let engine = engine_factory();
-                let tree = initial.clone();
-                let cfg = sampler_config;
                 scope.spawn(move || {
+                    let mut session = Session::builder()
+                        .dataset(dataset.clone())
+                        .model(model)
+                        .strategy(SamplerStrategy::Baseline)
+                        .config(chain_config)
+                        .build()?;
                     let mut rng = Mt19937::new(chain_seed);
-                    let sampler = LamarcSampler::new(engine, cfg)?;
-                    sampler.run(tree, &mut rng)
+                    session.run_chain(&mut rng)
                 })
             })
             .collect();
@@ -133,30 +140,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
     use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
     use mcmc::diagnostics::gelman_rubin;
     use phylo::model::Jc69;
-    use phylo::{upgma_tree, Alignment, FelsensteinPruner};
+    use phylo::Alignment;
 
-    fn simulated_alignment(seed: u32, n: usize, sites: usize, theta: f64) -> Alignment {
+    fn simulated_dataset(seed: u32, n: usize, sites: usize, theta: f64) -> Dataset {
         let mut rng = Mt19937::new(seed);
         let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n).unwrap();
-        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
+        let alignment: Alignment = SequenceSimulator::new(Jc69::new(), sites, 1.0)
+            .unwrap()
+            .simulate(&mut rng, &tree)
+            .unwrap();
+        Dataset::single(alignment)
     }
 
     #[test]
     fn pooled_samples_and_work_accounting() {
-        let alignment = simulated_alignment(61, 5, 60, 1.0);
-        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let dataset = simulated_dataset(61, 5, 60, 1.0);
         let config = MultiChainConfig { n_chains: 3, burn_in: 50, total_samples: 300, theta: 1.0 };
-        let run = run_multi_chain(
-            || FelsensteinPruner::new(&alignment, Jc69::new()),
-            &initial,
-            &config,
-            99,
-        )
-        .unwrap();
+        let run = run_multi_chain(&dataset, ModelSpec::Jc69, &config, 99).unwrap();
         assert_eq!(run.chains.len(), 3);
         assert_eq!(run.pooled.len(), 300);
         assert_eq!(run.transitions_per_chain, 50 + 100);
@@ -164,21 +168,19 @@ mod tests {
         // The ideal parallel cost matches B + N/P.
         assert_eq!(MultiChainRun::ideal_parallel_cost(&config), 150.0);
         assert!((run.burn_in_fraction(&config) - 150.0 / 450.0).abs() < 1e-12);
+        // Every chain is a unified run report with full counters.
+        for chain in &run.chains {
+            assert_eq!(chain.counters.draws, 150);
+            assert!(chain.acceptance_rate() > 0.0);
+        }
     }
 
     #[test]
     fn chains_converge_to_the_same_distribution() {
-        let alignment = simulated_alignment(67, 6, 80, 1.0);
-        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let dataset = simulated_dataset(67, 6, 80, 1.0);
         let config =
             MultiChainConfig { n_chains: 3, burn_in: 300, total_samples: 2_400, theta: 1.0 };
-        let run = run_multi_chain(
-            || FelsensteinPruner::new(&alignment, Jc69::new()),
-            &initial,
-            &config,
-            7,
-        )
-        .unwrap();
+        let run = run_multi_chain(&dataset, ModelSpec::Jc69, &config, 7).unwrap();
         // Gelman-Rubin on the per-chain tree depths.
         let depth_chains: Vec<Vec<f64>> = run
             .chains
@@ -198,19 +200,12 @@ mod tests {
     fn more_chains_mean_more_total_burn_in_work() {
         // The point of Figure 6: pooled sample size is fixed, but the burn-in
         // work scales with the chain count.
-        let alignment = simulated_alignment(71, 4, 40, 1.0);
-        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let dataset = simulated_dataset(71, 4, 40, 1.0);
         let mut totals = Vec::new();
         for p in [1usize, 2, 4] {
             let config =
                 MultiChainConfig { n_chains: p, burn_in: 40, total_samples: 120, theta: 1.0 };
-            let run = run_multi_chain(
-                || FelsensteinPruner::new(&alignment, Jc69::new()),
-                &initial,
-                &config,
-                3,
-            )
-            .unwrap();
+            let run = run_multi_chain(&dataset, ModelSpec::Jc69, &config, 3).unwrap();
             totals.push(run.total_transitions);
         }
         assert!(totals[0] < totals[1] && totals[1] < totals[2]);
@@ -218,15 +213,8 @@ mod tests {
 
     #[test]
     fn zero_chains_is_rejected() {
-        let alignment = simulated_alignment(73, 4, 40, 1.0);
-        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let dataset = simulated_dataset(73, 4, 40, 1.0);
         let config = MultiChainConfig { n_chains: 0, ..Default::default() };
-        assert!(run_multi_chain(
-            || FelsensteinPruner::new(&alignment, Jc69::new()),
-            &initial,
-            &config,
-            1,
-        )
-        .is_err());
+        assert!(run_multi_chain(&dataset, ModelSpec::Jc69, &config, 1).is_err());
     }
 }

@@ -1,0 +1,100 @@
+//! Ready-made [`RunObserver`] implementations.
+//!
+//! These replace the ad-hoc printing the CLI, examples and bench harnesses
+//! used to hand-roll around their driver loops: attach them through
+//! [`SessionBuilder::observe`](crate::SessionBuilder::observe) and the
+//! session streams the events.
+
+use lamarc::run::{ChainInfo, EmUpdate, RunObserver, RunReport};
+
+/// Prints one table row per EM round (the CLI's per-iteration history),
+/// emitting the header lazily before the first row.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmProgressPrinter {
+    printed_header: bool,
+}
+
+impl EmProgressPrinter {
+    /// A fresh printer (header not yet emitted).
+    pub fn new() -> Self {
+        EmProgressPrinter::default()
+    }
+}
+
+impl RunObserver for EmProgressPrinter {
+    fn on_em_update(&mut self, update: &EmUpdate) {
+        if !self.printed_header {
+            println!("\n  iter   driving-theta      estimate   accept-rate   mean ln P(D|G)");
+            self.printed_header = true;
+        }
+        println!(
+            "  {:>4}   {:>13.6}   {:>11.6}   {:>11.3}   {:>14.3}",
+            update.iteration + 1,
+            update.driving_theta,
+            update.estimate,
+            update.acceptance_rate,
+            update.mean_log_data_likelihood
+        );
+    }
+}
+
+/// Prints a one-line banner when each chain starts and a diagnostics line
+/// when it ends (acceptance rate plus the caching counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainSummaryPrinter;
+
+impl ChainSummaryPrinter {
+    /// A chain-summary printer.
+    pub fn new() -> Self {
+        ChainSummaryPrinter
+    }
+}
+
+impl RunObserver for ChainSummaryPrinter {
+    fn on_chain_start(&mut self, info: &ChainInfo) {
+        println!(
+            "chain [{}]: {} draws ({} burn-in) at driving theta {:.6}",
+            info.strategy, info.total_draws, info.burn_in_draws, info.theta
+        );
+    }
+
+    fn on_chain_end(&mut self, report: &RunReport) {
+        let c = &report.counters;
+        println!(
+            "chain done: acceptance {:.3}, {:.2} nodes pruned/evaluation, \
+             {} cache hits, {} commits",
+            report.acceptance_rate(),
+            c.nodes_pruned_per_evaluation(),
+            c.generator_cache_hits,
+            c.workspace_commits
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printers_consume_events_without_panicking() {
+        let mut em = EmProgressPrinter::new();
+        let update = EmUpdate {
+            iteration: 0,
+            driving_theta: 1.0,
+            estimate: 1.2,
+            acceptance_rate: 0.4,
+            mean_log_data_likelihood: -120.0,
+        };
+        em.on_em_update(&update);
+        em.on_em_update(&update);
+        assert!(em.printed_header);
+
+        let mut chain = ChainSummaryPrinter::new();
+        chain.on_chain_start(&ChainInfo {
+            strategy: "gmh",
+            theta: 1.0,
+            burn_in_draws: 10,
+            total_draws: 100,
+        });
+    }
+}

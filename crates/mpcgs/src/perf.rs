@@ -18,7 +18,7 @@
 //!   Figure 16.
 //! * The **baseline updates likelihoods incrementally** (only the O(log n)
 //!   nodes on the path affected by a proposal), whereas the GPU kernel
-//!   "simply recalculate[s] the likelihood of every node in every tree"
+//!   "simply recalculate\[s\] the likelihood of every node in every tree"
 //!   (Section 5.2.2). Larger trees therefore cost the device proportionally
 //!   more than the host, and per-thread traversal state spills past the
 //!   register budget, eroding the speedup as the number of sequences grows —
@@ -35,17 +35,18 @@
 
 use exec::{DeviceModel, DeviceSpec, HostModel, KernelLaunch};
 
-use crate::sampler::GmhRunStats;
+use lamarc::run::RunCounters;
 
 /// Observed effectiveness of the batched engine's dirty-path caching,
-/// derived from the work counters a run collects ([`GmhRunStats`]). Where
+/// derived from the work counters a run collects ([`RunCounters`]). Where
 /// [`SpeedupModel`] *models* the paper's GPU-versus-host ratios, this report
 /// measures what the likelihood engine actually recomputed, making the
 /// caching layer observable in benchmarks and logs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachingReport {
-    /// Interior nodes recomputed per likelihood evaluation (dirty paths plus
-    /// amortised generator workspace rebuilds).
+    /// Interior nodes recomputed per likelihood evaluation (dirty paths,
+    /// amortised generator workspace rebuilds, and commit-on-accept
+    /// promotions).
     pub nodes_per_evaluation: f64,
     /// Interior nodes a fresh full prune recomputes (the naive per-proposal
     /// cost).
@@ -64,7 +65,7 @@ pub struct CachingReport {
 impl CachingReport {
     /// Build a report from run counters and the interior-node count of the
     /// genealogies scored.
-    pub fn from_stats(stats: &GmhRunStats, n_internal: usize) -> Self {
+    pub fn from_stats(stats: &RunCounters, n_internal: usize) -> Self {
         let nodes_per_evaluation = stats.nodes_pruned_per_evaluation();
         let reprune_fraction =
             if n_internal == 0 { 0.0 } else { nodes_per_evaluation / n_internal as f64 };
@@ -412,15 +413,17 @@ mod tests {
 
     #[test]
     fn caching_report_summarises_run_counters() {
-        let stats = GmhRunStats {
+        let stats = RunCounters {
             iterations: 10,
             proposals_generated: 80,
             likelihood_evaluations: 80,
             draws: 80,
-            moved: 40,
+            accepted: 40,
             nodes_repruned: 240,    // 3 nodes per dirty path
             nodes_full_pruned: 110, // 10 full prunes of 11 interior nodes
+            nodes_committed: 0,
             generator_cache_hits: 4,
+            workspace_commits: 0,
         };
         let report = CachingReport::from_stats(&stats, 11);
         assert!((report.nodes_per_evaluation - 350.0 / 80.0).abs() < 1e-12);
@@ -432,12 +435,12 @@ mod tests {
 
     #[test]
     fn caching_report_handles_empty_runs() {
-        let report = CachingReport::from_stats(&GmhRunStats::default(), 11);
+        let report = CachingReport::from_stats(&RunCounters::default(), 11);
         assert_eq!(report.nodes_per_evaluation, 0.0);
         assert_eq!(report.reprune_fraction, 0.0);
         assert_eq!(report.estimated_kernel_speedup, 1.0);
         assert_eq!(report.generator_cache_hit_rate, 0.0);
-        let degenerate = CachingReport::from_stats(&GmhRunStats::default(), 0);
+        let degenerate = CachingReport::from_stats(&RunCounters::default(), 0);
         assert_eq!(degenerate.reprune_fraction, 0.0);
     }
 

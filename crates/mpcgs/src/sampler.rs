@@ -18,16 +18,26 @@
 //! 4. The index chain is sampled `M` times from the stationary weights
 //!    `w_i ∝ P(D|G̃_i)` (Eq. 31) using a log-domain categorical draw; each
 //!    draw is an output sample, stored as its coalescent-interval summary.
-//! 5. The last drawn state becomes the generator for the next iteration.
+//! 5. The last drawn state becomes the generator for the next iteration —
+//!    and is *committed* into the likelihood engine's cached workspace along
+//!    its dirty path, so a moved generator costs O(path) instead of a full
+//!    re-prune at the next iteration.
+//!
+//! The sampler is the second [`GenealogySampler`] strategy: one
+//! [`GenealogySampler::step`] is one whole proposal-set iteration, and a full
+//! run produces the same unified [`RunReport`] as the baseline.
 
 use exec::Backend;
 use mcmc::chain::Trace;
 use mcmc::logdomain::log_sum_exp;
 use mcmc::rng::dist::log_categorical;
 use mcmc::rng::StreamBank;
-use rand::Rng;
+use rand::RngCore;
 
 use lamarc::proposal::GenealogyProposer;
+use lamarc::run::{
+    no_active_chain, ChainInfo, GenealogySampler, RunCounters, RunReport, StepReport,
+};
 use lamarc::sampler::GenealogySample;
 use lamarc::target::GenealogyTarget;
 use phylo::likelihood::{LikelihoodEngine, TreeProposal};
@@ -35,67 +45,14 @@ use phylo::{GeneTree, NodeId, PhyloError};
 
 use crate::config::MpcgsConfig;
 
-/// Work counters collected during a run (consumed by the performance model
-/// and the bench harnesses).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GmhRunStats {
-    /// Generalized-MH iterations (proposal-set constructions).
-    pub iterations: usize,
-    /// Proposals generated.
-    pub proposals_generated: usize,
-    /// Data-likelihood evaluations performed.
-    pub likelihood_evaluations: usize,
-    /// Index draws performed.
-    pub draws: usize,
-    /// Draws whose sampled index differed from the generator.
-    pub moved: usize,
-    /// Interior nodes recomputed along dirty paths by the batched likelihood
-    /// engine (one path per proposal evaluation).
-    pub nodes_repruned: usize,
-    /// Interior nodes recomputed by full prunes (generator workspace builds
-    /// on cache misses).
-    pub nodes_full_pruned: usize,
-    /// Iterations whose generator workspace was served from the engine's
-    /// cache (the generator was unchanged since the previous iteration).
-    pub generator_cache_hits: usize,
-}
-
-impl GmhRunStats {
-    /// Fraction of draws that moved away from the generator state (the
-    /// multi-proposal analogue of an acceptance rate).
-    pub fn move_rate(&self) -> f64 {
-        if self.draws == 0 {
-            0.0
-        } else {
-            self.moved as f64 / self.draws as f64
-        }
-    }
-
-    /// Interior-node recomputations actually performed per likelihood
-    /// evaluation (dirty paths plus amortised generator rebuilds).
-    pub fn nodes_pruned_per_evaluation(&self) -> f64 {
-        if self.likelihood_evaluations == 0 {
-            0.0
-        } else {
-            (self.nodes_repruned + self.nodes_full_pruned) as f64
-                / self.likelihood_evaluations as f64
-        }
-    }
-}
-
-/// The outcome of one multi-proposal chain run.
+/// In-flight chain state between `begin()` and `finish()`.
 #[derive(Debug, Clone)]
-pub struct MultiProposalSamplerRun {
-    /// Retained post-burn-in samples (interval summaries plus data
-    /// likelihoods).
-    pub samples: Vec<GenealogySample>,
-    /// Trace of `ln P(D|G)` of the sampled state at every draw, burn-in
-    /// included.
-    pub trace: Trace,
-    /// Work counters.
-    pub stats: GmhRunStats,
-    /// The final generator genealogy.
-    pub final_tree: GeneTree,
+struct GmhChain {
+    generator: GeneTree,
+    trace: Trace,
+    samples: Vec<GenealogySample>,
+    counters: RunCounters,
+    draws_done: usize,
 }
 
 /// The multi-proposal sampler bound to a likelihood engine and a driving θ.
@@ -105,6 +62,12 @@ pub struct MultiProposalSampler<E> {
     proposer: GenealogyProposer,
     config: MpcgsConfig,
     streams: StreamBank,
+    /// Monotone epoch for the detached per-proposal streams. Deliberately
+    /// *not* reset by `begin()`: a sampler reused across chains must keep
+    /// drawing fresh stream epochs, or the chains would replay identical
+    /// proposal sets and be silently correlated.
+    epoch: u64,
+    chain: Option<GmhChain>,
 }
 
 impl<E: LikelihoodEngine> MultiProposalSampler<E> {
@@ -126,7 +89,7 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         let target = GenealogyTarget::new(engine, theta)?;
         let proposer = GenealogyProposer::with_config(theta, config.proposal)?;
         let streams = StreamBank::new(config.stream_seed, config.proposals_per_iteration);
-        Ok(MultiProposalSampler { target, proposer, config, streams })
+        Ok(MultiProposalSampler { target, proposer, config, streams, epoch: 0, chain: None })
     }
 
     /// The driving θ.
@@ -139,105 +102,160 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         &self.config
     }
 
-    /// Run the chain from the given starting genealogy. The host RNG drives
-    /// the auxiliary variable φ and the index draws; the per-proposal streams
-    /// are derived deterministically from the configured stream seed.
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        initial: GeneTree,
-        rng: &mut R,
-    ) -> Result<MultiProposalSamplerRun, PhyloError> {
+    /// One Generalized-MH iteration: build a proposal set, batch-score it,
+    /// sample the index chain `M` times, and commit the last drawn state.
+    fn gmh_iteration(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
         let n_proposals = self.config.proposals_per_iteration;
         let m_draws = self.config.draws_per_iteration.max(1);
         let total_draws = self.config.total_draws();
         let backend: Backend = self.config.backend;
+        if self.chain.is_none() {
+            return Err(no_active_chain());
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let chain = self.chain.as_mut().expect("checked above");
+        chain.counters.iterations += 1;
 
-        let mut generator = initial;
-        let mut samples = Vec::with_capacity(self.config.sample_draws);
-        let mut trace = Trace::with_burn_in(self.config.burn_in_draws);
-        let mut stats = GmhRunStats::default();
+        // Step 1: the auxiliary variable φ (host RNG).
+        let phi = self.proposer.sample_target(&chain.generator, rng);
 
-        let mut draws_done = 0usize;
-        let mut epoch = 0u64;
-        while draws_done < total_draws {
-            epoch += 1;
-            stats.iterations += 1;
-
-            // Step 1: the auxiliary variable φ (host RNG).
-            let phi = self.proposer.sample_target(&generator, rng);
-
-            // Step 2: the proposal kernel. One logical thread per proposal;
-            // each thread owns a detached RNG stream and reports the edited
-            // φ-neighborhood alongside the proposed tree.
-            let generator_ref = &generator;
+        // Step 2: the proposal kernel. One logical thread per proposal; each
+        // thread owns a detached RNG stream and reports the edited
+        // φ-neighborhood alongside the proposed tree.
+        let set: Vec<(GeneTree, Vec<NodeId>)> = {
+            let generator_ref = &chain.generator;
             let proposer = &self.proposer;
             let streams = &self.streams;
-            let set: Vec<(GeneTree, Vec<NodeId>)> = backend.map_indexed(n_proposals, move |slot| {
+            backend.map_indexed(n_proposals, move |slot| {
                 let mut stream = streams.detached(epoch, slot);
                 proposer.propose_with_edit(generator_ref, phi, &mut stream)
-            });
+            })
+        };
 
-            // Step 3: the data-likelihood kernel, batched: the whole proposal
-            // set is scored against the generator in one call. The engine
-            // reuses the generator's cached partials for everything outside
-            // each proposal's dirty path, and the generator workspace itself
-            // is memoised across iterations whose generator did not move.
-            let proposal_refs: Vec<TreeProposal<'_>> =
-                set.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
-            let eval =
-                self.target.log_data_likelihood_batch(backend, &generator, &proposal_refs)?;
-            drop(proposal_refs);
-            let generator_loglik = eval.generator_log_likelihood;
-            stats.proposals_generated += n_proposals;
-            stats.likelihood_evaluations += n_proposals;
-            stats.nodes_repruned += eval.nodes_repruned;
-            stats.nodes_full_pruned += eval.nodes_full_pruned;
-            stats.generator_cache_hits += eval.generator_cache_hit as usize;
-            // The generator joins the set with its cached likelihood.
-            let generator_index = set.len();
-            let mut log_weights: Vec<f64> = eval.log_likelihoods.clone();
-            log_weights.push(generator_loglik);
-            let usable = log_sum_exp(&log_weights).is_finite();
+        // Step 3: the data-likelihood kernel, batched: the whole proposal set
+        // is scored against the generator in one call. The engine reuses the
+        // generator's cached partials for everything outside each proposal's
+        // dirty path, and the generator workspace itself is memoised across
+        // iterations (unchanged generators hit the cache; moved generators
+        // are committed in step 5).
+        let proposal_refs: Vec<TreeProposal<'_>> =
+            set.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
+        let eval =
+            self.target.log_data_likelihood_batch(backend, &chain.generator, &proposal_refs)?;
+        drop(proposal_refs);
+        let generator_loglik = eval.generator_log_likelihood;
+        chain.counters.proposals_generated += n_proposals;
+        chain.counters.likelihood_evaluations += n_proposals;
+        chain.counters.nodes_repruned += eval.nodes_repruned;
+        chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
+        chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
+        // The generator joins the set with its cached likelihood.
+        let generator_index = set.len();
+        let mut log_weights: Vec<f64> = eval.log_likelihoods.clone();
+        log_weights.push(generator_loglik);
+        let usable = log_sum_exp(&log_weights).is_finite();
 
-            // Step 4: sample the index chain M times.
-            let mut last_index = generator_index;
-            for _ in 0..m_draws {
-                if draws_done >= total_draws {
-                    break;
-                }
-                let idx = if usable {
-                    log_categorical(rng, &log_weights).unwrap_or(generator_index)
-                } else {
-                    generator_index
-                };
-                if idx != generator_index {
-                    stats.moved += 1;
-                }
-                let (tree, loglik) = if idx == generator_index {
-                    (&generator, generator_loglik)
-                } else {
-                    (&set[idx].0, eval.log_likelihoods[idx])
-                };
-                trace.push(loglik);
-                if draws_done >= self.config.burn_in_draws {
-                    samples.push(GenealogySample {
-                        intervals: tree.intervals(),
-                        log_data_likelihood: loglik,
-                    });
-                }
-                stats.draws += 1;
-                draws_done += 1;
-                last_index = idx;
+        // Step 4: sample the index chain M times.
+        let mut last_index = generator_index;
+        let mut last_loglik = generator_loglik;
+        for _ in 0..m_draws {
+            if chain.draws_done >= total_draws {
+                break;
             }
-
-            // Step 5: the last sample generates the next proposal set.
-            if last_index != generator_index {
-                let mut set = set;
-                generator = set.swap_remove(last_index).0;
+            let idx = if usable {
+                log_categorical(rng, &log_weights).unwrap_or(generator_index)
+            } else {
+                generator_index
+            };
+            if idx != generator_index {
+                chain.counters.accepted += 1;
             }
+            let (tree, loglik) = if idx == generator_index {
+                (&chain.generator, generator_loglik)
+            } else {
+                (&set[idx].0, eval.log_likelihoods[idx])
+            };
+            chain.trace.push(loglik);
+            if chain.draws_done >= self.config.burn_in_draws {
+                chain.samples.push(GenealogySample {
+                    intervals: tree.intervals(),
+                    log_data_likelihood: loglik,
+                });
+            }
+            chain.counters.draws += 1;
+            chain.draws_done += 1;
+            last_index = idx;
+            last_loglik = loglik;
         }
 
-        Ok(MultiProposalSamplerRun { samples, trace, stats, final_tree: generator })
+        // Step 5: the last sample generates the next proposal set. Commit it
+        // into the engine's cached workspace so the move costs one dirty path
+        // rather than a full generator rebuild next iteration.
+        if last_index != generator_index {
+            let (accepted, edited) = &set[last_index];
+            if let Some(nodes) =
+                self.target.engine().commit_accepted(&chain.generator, accepted, edited)?
+            {
+                chain.counters.workspace_commits += 1;
+                chain.counters.nodes_committed += nodes;
+            }
+            let mut set = set;
+            chain.generator = set.swap_remove(last_index).0;
+        }
+
+        Ok(StepReport {
+            draws_done: chain.draws_done,
+            total_draws,
+            burn_in_draws: self.config.burn_in_draws,
+            log_likelihood: last_loglik,
+        })
+    }
+}
+
+impl<E: LikelihoodEngine> GenealogySampler for MultiProposalSampler<E> {
+    fn strategy(&self) -> &'static str {
+        "gmh"
+    }
+
+    fn chain_info(&self) -> ChainInfo {
+        ChainInfo {
+            strategy: self.strategy(),
+            theta: self.theta(),
+            burn_in_draws: self.config.burn_in_draws,
+            total_draws: self.config.total_draws(),
+        }
+    }
+
+    fn begin(&mut self, initial: GeneTree) -> Result<(), PhyloError> {
+        // Note: `self.epoch` carries over, so chains run back to back on one
+        // sampler draw from disjoint stream epochs.
+        self.chain = Some(GmhChain {
+            generator: initial,
+            trace: Trace::with_burn_in(self.config.burn_in_draws),
+            samples: Vec::with_capacity(self.config.sample_draws),
+            counters: RunCounters::default(),
+            draws_done: 0,
+        });
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.chain.as_ref().is_none_or(|chain| chain.draws_done >= self.config.total_draws())
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
+        self.gmh_iteration(rng)
+    }
+
+    fn finish(&mut self) -> Result<RunReport, PhyloError> {
+        let chain = self.chain.take().ok_or_else(no_active_chain)?;
+        Ok(RunReport {
+            samples: chain.samples,
+            trace: chain.trace,
+            counters: chain.counters,
+            final_tree: chain.generator,
+        })
     }
 }
 
@@ -245,6 +263,7 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
 mod tests {
     use super::*;
     use coalescent::{CoalescentSimulator, KingmanPrior, SequenceSimulator};
+    use lamarc::run::NullObserver;
     use lamarc::sampler::{LamarcSampler, SamplerConfig};
     use mcmc::diagnostics::Summary;
     use mcmc::rng::Mt19937;
@@ -273,28 +292,80 @@ mod tests {
         let mut rng = Mt19937::new(71);
         let alignment = simulated_alignment(&mut rng, 6, 60, 1.0);
         let engine = FelsensteinPruner::new(&alignment, Jc69::new());
-        let sampler = MultiProposalSampler::new(engine, small_config()).unwrap();
+        let mut sampler = MultiProposalSampler::new(engine, small_config()).unwrap();
         let initial = upgma_tree(&alignment, 1.0).unwrap();
-        let run = sampler.run(initial, &mut rng).unwrap();
+        let run = sampler.run(initial, &mut rng, &mut NullObserver).unwrap();
         assert_eq!(run.samples.len(), 400);
-        assert_eq!(run.stats.draws, 440);
+        assert_eq!(run.counters.draws, 440);
         assert_eq!(run.trace.len(), 440);
-        assert_eq!(run.stats.iterations, 55);
-        assert_eq!(run.stats.proposals_generated, 55 * 8);
-        assert_eq!(run.stats.likelihood_evaluations, 55 * 8);
-        assert!(run.stats.move_rate() > 0.0);
-        // Dirty-path caching: every proposal evaluation reprunes only the
-        // edited neighborhood's path to the root, never the whole tree, and
-        // the average per-evaluation work (including generator rebuilds)
-        // stays below a full prune.
+        assert_eq!(run.counters.iterations, 55);
+        assert_eq!(run.counters.proposals_generated, 55 * 8);
+        assert_eq!(run.counters.likelihood_evaluations, 55 * 8);
+        assert!(run.acceptance_rate() > 0.0);
+        // Dirty-path caching plus commit-on-accept: every proposal evaluation
+        // reprunes only the edited neighborhood's path to the root, the
+        // generator workspace is built in full exactly once, and every moved
+        // generator is promoted along its dirty path.
         let n_internal = run.final_tree.n_internal();
-        assert!(run.stats.nodes_repruned > 0);
-        assert!(run.stats.nodes_repruned < run.stats.likelihood_evaluations * n_internal);
-        assert!(run.stats.nodes_full_pruned >= n_internal);
-        assert!(run.stats.nodes_pruned_per_evaluation() < n_internal as f64);
+        assert!(run.counters.nodes_repruned > 0);
+        assert!(run.counters.nodes_repruned < run.counters.likelihood_evaluations * n_internal);
+        assert_eq!(run.counters.nodes_full_pruned, n_internal);
+        assert_eq!(run.counters.generator_cache_hits, run.counters.iterations - 1);
+        assert!(run.counters.workspace_commits > 0);
+        assert!(run.counters.nodes_committed > 0);
+        assert!(run.counters.nodes_pruned_per_evaluation() < n_internal as f64);
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.theta(), 1.0);
         assert_eq!(sampler.config().proposals_per_iteration, 8);
+        assert_eq!(sampler.strategy(), "gmh");
+        assert_eq!(sampler.chain_info().total_draws, 440);
+    }
+
+    #[test]
+    fn stepping_matches_a_whole_run_exactly() {
+        let mut rng = Mt19937::new(4_711);
+        let alignment = simulated_alignment(&mut rng, 5, 40, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config = small_config();
+
+        let mut whole = MultiProposalSampler::new(engine.clone(), config).unwrap();
+        let mut rng_a = Mt19937::new(11);
+        let run_a = whole.run(initial.clone(), &mut rng_a, &mut NullObserver).unwrap();
+
+        let mut stepped = MultiProposalSampler::new(engine, config).unwrap();
+        assert!(stepped.is_done(), "no chain is active before begin()");
+        assert!(stepped.step(&mut Mt19937::new(0)).is_err());
+        assert!(stepped.finish().is_err());
+        let mut rng_b = Mt19937::new(11);
+        stepped.begin(initial).unwrap();
+        while !stepped.is_done() {
+            stepped.step(&mut rng_b).unwrap();
+        }
+        let run_b = stepped.finish().unwrap();
+        assert_eq!(run_a.trace.all(), run_b.trace.all());
+        assert_eq!(run_a.counters, run_b.counters);
+    }
+
+    #[test]
+    fn reused_samplers_keep_advancing_the_proposal_streams() {
+        // begin() must not rewind the stream epochs: two chains run back to
+        // back on one sampler — even with an identical host RNG — have to
+        // draw distinct proposal sets, or pooled diagnostics over the chains
+        // would be silently correlated.
+        let mut rng = Mt19937::new(313);
+        let alignment = simulated_alignment(&mut rng, 5, 40, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config = MpcgsConfig { burn_in_draws: 0, sample_draws: 64, ..small_config() };
+        let mut sampler = MultiProposalSampler::new(engine, config).unwrap();
+        let first = sampler.run(initial.clone(), &mut Mt19937::new(9), &mut NullObserver).unwrap();
+        let second = sampler.run(initial, &mut Mt19937::new(9), &mut NullObserver).unwrap();
+        assert_ne!(
+            first.trace.all(),
+            second.trace.all(),
+            "a reused sampler must not replay the previous chain's proposal streams"
+        );
     }
 
     #[test]
@@ -314,11 +385,13 @@ mod tests {
         let mut rng_a = Mt19937::new(1234);
         let run_a = MultiProposalSampler::new(engine.clone(), serial_cfg)
             .unwrap()
-            .run(initial.clone(), &mut rng_a)
+            .run(initial.clone(), &mut rng_a, &mut NullObserver)
             .unwrap();
         let mut rng_b = Mt19937::new(1234);
-        let run_b =
-            MultiProposalSampler::new(engine, rayon_cfg).unwrap().run(initial, &mut rng_b).unwrap();
+        let run_b = MultiProposalSampler::new(engine, rayon_cfg)
+            .unwrap()
+            .run(initial, &mut rng_b, &mut NullObserver)
+            .unwrap();
 
         // Identical seeds and identical deterministic streams: the outputs
         // must match exactly, which also proves the backend does not change
@@ -349,7 +422,7 @@ mod tests {
             backend: Backend::Serial,
             ..Default::default()
         };
-        let sampler = MultiProposalSampler::new(engine, config).unwrap();
+        let mut sampler = MultiProposalSampler::new(engine, config).unwrap();
         let initial = CoalescentSimulator::constant(theta)
             .unwrap()
             .simulate_labelled(
@@ -357,7 +430,7 @@ mod tests {
                 &["1", "2", "3", "4", "5"].iter().map(|s| s.to_string()).collect::<Vec<_>>(),
             )
             .unwrap();
-        let run = sampler.run(initial, &mut rng).unwrap();
+        let run = sampler.run(initial, &mut rng, &mut NullObserver).unwrap();
         let depths: Vec<f64> = run.samples.iter().map(|s| s.intervals.depth()).collect();
         let mean_depth = Summary::of(&depths).unwrap().mean;
         let expected = KingmanPrior::new(theta).unwrap().expected_tmrca(5);
@@ -365,7 +438,7 @@ mod tests {
             (mean_depth / expected - 1.0).abs() < 0.35,
             "mean sampled depth {mean_depth} vs prior expectation {expected}"
         );
-        assert!(run.stats.move_rate() > 0.5, "flat weights should move freely");
+        assert!(run.acceptance_rate() > 0.5, "flat weights should move freely");
     }
 
     #[test]
@@ -373,7 +446,8 @@ mod tests {
         // The headline correctness property (Section 6.1): the multi-proposal
         // sampler must target the same posterior as the single-proposal
         // baseline. Compare the mean sampled tree depth of the two samplers
-        // on the same data and driving value.
+        // on the same data and driving value — through the shared
+        // GenealogySampler trait, since the two are interchangeable.
         let mut rng = Mt19937::new(83);
         let alignment = simulated_alignment(&mut rng, 6, 100, 1.0);
         let engine =
@@ -389,9 +463,6 @@ mod tests {
             backend: Backend::Serial,
             ..Default::default()
         };
-        let gmh = MultiProposalSampler::new(engine.clone(), gmh_config).unwrap();
-        let gmh_run = gmh.run(initial.clone(), &mut rng).unwrap();
-
         let baseline_config = SamplerConfig {
             theta: 1.0,
             burn_in: 400,
@@ -399,14 +470,17 @@ mod tests {
             thinning: 1,
             proposal: Default::default(),
         };
-        let baseline = LamarcSampler::new(engine, baseline_config).unwrap();
-        let baseline_run = baseline.run(initial, &mut rng).unwrap();
-
-        let gmh_depths: Vec<f64> = gmh_run.samples.iter().map(|s| s.intervals.depth()).collect();
-        let base_depths: Vec<f64> =
-            baseline_run.samples.iter().map(|s| s.intervals.depth()).collect();
-        let gmh_mean = Summary::of(&gmh_depths).unwrap().mean;
-        let base_mean = Summary::of(&base_depths).unwrap().mean;
+        let mut strategies: Vec<Box<dyn GenealogySampler>> = vec![
+            Box::new(MultiProposalSampler::new(engine.clone(), gmh_config).unwrap()),
+            Box::new(LamarcSampler::new(engine, baseline_config).unwrap()),
+        ];
+        let mut means = Vec::new();
+        for sampler in &mut strategies {
+            let run = sampler.run(initial.clone(), &mut rng, &mut NullObserver).unwrap();
+            let depths: Vec<f64> = run.samples.iter().map(|s| s.intervals.depth()).collect();
+            means.push(Summary::of(&depths).unwrap().mean);
+        }
+        let (gmh_mean, base_mean) = (means[0], means[1]);
         assert!(
             (gmh_mean / base_mean - 1.0).abs() < 0.2,
             "mean depths disagree: GMH {gmh_mean} vs baseline {base_mean}"
@@ -423,10 +497,5 @@ mod tests {
         let bad_theta = MpcgsConfig { initial_theta: -1.0, ..small_config() };
         assert!(MultiProposalSampler::new(engine.clone(), bad_theta).is_err());
         assert!(MultiProposalSampler::with_theta(engine, small_config(), 0.0).is_err());
-    }
-
-    #[test]
-    fn stats_move_rate_handles_zero_draws() {
-        assert_eq!(GmhRunStats::default().move_rate(), 0.0);
     }
 }

@@ -1,0 +1,618 @@
+//! The `Session` facade: one entry point for every θ-estimation workload.
+//!
+//! A [`Session`] owns the full Figure 11 loop — propose → batch-score →
+//! select → maximise — over any [`Dataset`] (single- or multi-locus), any
+//! substitution [`ModelSpec`], either sampler strategy behind the
+//! [`GenealogySampler`] trait, either execution [`Backend`], and any number
+//! of streaming [`RunObserver`]s. It replaces the per-crate driver loops the
+//! workspace used to carry (`lamarc::em`, `mpcgs::em`, ad-hoc example/bench
+//! loops): the CLI, the examples and the figure/table harnesses all build a
+//! [`SessionBuilder`] and differ only in configuration.
+//!
+//! ```text
+//! SessionBuilder: dataset → model → sampler strategy → backend → observers
+//! ```
+//!
+//! The facade is also the seam later backends plug into: a GPU or SIMD
+//! engine only has to stand behind [`GenealogySampler`] (or the likelihood
+//! engine it wraps) to become a selectable strategy.
+
+use exec::Backend;
+use rand::{Rng, RngCore};
+
+use lamarc::mle::{maximize_relative_likelihood, RelativeLikelihood};
+use lamarc::run::{
+    ChainInfo, EmUpdate, GenealogySampler, RunCounters, RunObserver, RunReport, StepReport,
+};
+use lamarc::sampler::{LamarcSampler, SamplerConfig};
+use phylo::likelihood::{ExecutionMode, MultiLocusEngine};
+use phylo::model::{Jc69, SubstitutionModel, F81};
+use phylo::{upgma_tree, Alignment, Dataset, GeneTree, PhyloError};
+
+use crate::config::MpcgsConfig;
+use crate::sampler::MultiProposalSampler;
+
+/// Which transition kernel drives the chain. Both strategies target the same
+/// posterior (Section 6.1); they differ in how the work is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerStrategy {
+    /// The single-proposal Metropolis–Hastings baseline (LAMARC, Section
+    /// 4.2).
+    Baseline,
+    /// The multi-proposal Generalized Metropolis–Hastings sampler (the
+    /// paper's contribution, Section 4.3).
+    #[default]
+    MultiProposal,
+}
+
+impl SamplerStrategy {
+    /// The short name the strategy reports through
+    /// [`GenealogySampler::strategy`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            SamplerStrategy::Baseline => "baseline",
+            SamplerStrategy::MultiProposal => "gmh",
+        }
+    }
+}
+
+/// Substitution model selection. Models taking empirical inputs estimate
+/// them per locus, so every locus is scored under its own base composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelSpec {
+    /// Jukes–Cantor 1969: uniform frequencies, one rate.
+    Jc69,
+    /// Felsenstein 1981 with base frequencies estimated from each locus (the
+    /// model the paper's Eq. 20 uses, with π "approximated by the relative
+    /// frequency of each nucleotide in all the sampling data").
+    #[default]
+    F81Empirical,
+}
+
+/// One expectation–maximisation round's record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmIterationReport {
+    /// The driving θ used for this chain.
+    pub driving_theta: f64,
+    /// The maximiser of the relative likelihood (next driving value).
+    pub estimate: f64,
+    /// Acceptance/move rate of the chain.
+    pub acceptance_rate: f64,
+    /// Mean `ln P(D|G)` over the retained samples.
+    pub mean_log_data_likelihood: f64,
+    /// Unified work counters of the chain.
+    pub counters: RunCounters,
+}
+
+impl EmIterationReport {
+    /// Record the observer-facing [`EmUpdate`] plus the chain's counters, so
+    /// the two views of a round cannot drift apart.
+    fn from_update(update: &EmUpdate, counters: RunCounters) -> Self {
+        EmIterationReport {
+            driving_theta: update.driving_theta,
+            estimate: update.estimate,
+            acceptance_rate: update.acceptance_rate,
+            mean_log_data_likelihood: update.mean_log_data_likelihood,
+            counters,
+        }
+    }
+}
+
+/// The outcome of a full session run (the EM loop of Figure 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The final θ̂.
+    pub theta: f64,
+    /// Per-iteration records.
+    pub iterations: Vec<EmIterationReport>,
+}
+
+impl SessionReport {
+    /// Whether the estimate stabilised (relative change between the last two
+    /// EM iterations below `tolerance`).
+    pub fn converged(&self, tolerance: f64) -> bool {
+        if self.iterations.len() < 2 {
+            return false;
+        }
+        let last = self.iterations[self.iterations.len() - 1].estimate;
+        let prev = self.iterations[self.iterations.len() - 2].estimate;
+        ((last - prev) / prev.max(f64::MIN_POSITIVE)).abs() < tolerance
+    }
+
+    /// Total likelihood evaluations across all EM iterations.
+    pub fn total_likelihood_evaluations(&self) -> usize {
+        self.iterations.iter().map(|i| i.counters.likelihood_evaluations).sum()
+    }
+}
+
+/// Broadcasts every event to a set of boxed observers.
+struct FanOut<'a>(&'a mut [Box<dyn RunObserver>]);
+
+impl RunObserver for FanOut<'_> {
+    fn on_chain_start(&mut self, info: &ChainInfo) {
+        for observer in self.0.iter_mut() {
+            observer.on_chain_start(info);
+        }
+    }
+
+    fn on_burn_in_progress(&mut self, draws_done: usize, burn_in_total: usize) {
+        for observer in self.0.iter_mut() {
+            observer.on_burn_in_progress(draws_done, burn_in_total);
+        }
+    }
+
+    fn on_iteration(&mut self, step: &StepReport) {
+        for observer in self.0.iter_mut() {
+            observer.on_iteration(step);
+        }
+    }
+
+    fn on_em_update(&mut self, update: &EmUpdate) {
+        for observer in self.0.iter_mut() {
+            observer.on_em_update(update);
+        }
+    }
+
+    fn on_chain_end(&mut self, report: &RunReport) {
+        for observer in self.0.iter_mut() {
+            observer.on_chain_end(report);
+        }
+    }
+}
+
+/// Staged construction of a [`Session`]:
+/// dataset → model → sampler strategy → backend → observers.
+///
+/// Every stage has a sensible default except the dataset; `build()` validates
+/// the combination up front.
+#[derive(Default)]
+pub struct SessionBuilder {
+    dataset: Option<Dataset>,
+    model: ModelSpec,
+    strategy: SamplerStrategy,
+    config: MpcgsConfig,
+    execution: ExecutionMode,
+    initial_tree: Option<GeneTree>,
+    observers: Vec<Box<dyn RunObserver>>,
+}
+
+impl SessionBuilder {
+    /// An empty builder (equivalent to `Session::builder()`).
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// The (possibly multi-locus) dataset to analyse. Required.
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Single-locus convenience: wrap one alignment as the dataset.
+    pub fn alignment(self, alignment: Alignment) -> Self {
+        self.dataset(Dataset::single(alignment))
+    }
+
+    /// The substitution model (default [`ModelSpec::F81Empirical`]).
+    pub fn model(mut self, model: ModelSpec) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The sampler strategy (default [`SamplerStrategy::MultiProposal`]).
+    pub fn strategy(mut self, strategy: SamplerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Chain sizing, θ₀, EM rounds and stream seeding. Note this replaces
+    /// the whole configuration, including the backend — call
+    /// [`SessionBuilder::backend`] afterwards to override it.
+    pub fn config(mut self, config: MpcgsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Where the proposal-parallel loops run (overrides `config.backend`).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// How each locus engine executes its per-site work
+    /// ([`ExecutionMode::Parallel`] mirrors the per-site threads of the CUDA
+    /// data-likelihood kernel).
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
+    /// Override the starting genealogy G₀ (default: the UPGMA tree of the
+    /// primary locus, Section 5.1.3).
+    pub fn initial_tree(mut self, tree: GeneTree) -> Self {
+        self.initial_tree = Some(tree);
+        self
+    }
+
+    /// Attach a streaming observer; may be called repeatedly, events fan out
+    /// to every observer in attachment order.
+    pub fn observe(mut self, observer: impl RunObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validate and assemble the session.
+    pub fn build(self) -> Result<Session, PhyloError> {
+        let dataset = self.dataset.ok_or(PhyloError::Empty { what: "session dataset" })?;
+        self.config.validate()?;
+        if let Some(tree) = &self.initial_tree {
+            tree.validate()?;
+            if tree.n_tips() != dataset.n_sequences() {
+                return Err(PhyloError::InvalidTree {
+                    message: format!(
+                        "initial tree has {} tips but the dataset covers {} sequences",
+                        tree.n_tips(),
+                        dataset.n_sequences()
+                    ),
+                });
+            }
+        }
+        Ok(Session {
+            dataset,
+            model: self.model,
+            strategy: self.strategy,
+            config: self.config,
+            execution: self.execution,
+            initial_tree: self.initial_tree,
+            observers: self.observers,
+        })
+    }
+}
+
+/// A configured θ-estimation session: the single facade every driver (CLI,
+/// examples, bench harnesses) runs through. See the crate-level quick start.
+pub struct Session {
+    dataset: Dataset,
+    model: ModelSpec,
+    strategy: SamplerStrategy,
+    config: MpcgsConfig,
+    execution: ExecutionMode,
+    initial_tree: Option<GeneTree>,
+    observers: Vec<Box<dyn RunObserver>>,
+}
+
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The dataset under analysis.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MpcgsConfig {
+        &self.config
+    }
+
+    /// The selected sampler strategy.
+    pub fn strategy(&self) -> SamplerStrategy {
+        self.strategy
+    }
+
+    /// The selected substitution model.
+    pub fn model(&self) -> ModelSpec {
+        self.model
+    }
+
+    /// The starting genealogy G₀: the configured override, or the UPGMA tree
+    /// of the primary locus (Section 5.1.3).
+    pub fn starting_tree(&self) -> Result<GeneTree, PhyloError> {
+        match &self.initial_tree {
+            Some(tree) => Ok(tree.clone()),
+            None => upgma_tree(self.dataset.primary_alignment(), 1.0),
+        }
+    }
+
+    /// Build the configured strategy as a boxed [`GenealogySampler`] driving
+    /// the given θ. Exposed so callers can drive chains step by step; most
+    /// should use [`Session::run`] or [`Session::run_chain`].
+    pub fn make_sampler(&self, theta: f64) -> Result<Box<dyn GenealogySampler>, PhyloError> {
+        match self.model {
+            ModelSpec::Jc69 => self.make_sampler_with(theta, |_| Jc69::new()),
+            ModelSpec::F81Empirical => {
+                self.make_sampler_with(theta, |a| F81::normalized(a.base_frequencies()))
+            }
+        }
+    }
+
+    fn make_sampler_with<M, F>(
+        &self,
+        theta: f64,
+        model_for: F,
+    ) -> Result<Box<dyn GenealogySampler>, PhyloError>
+    where
+        M: SubstitutionModel + 'static,
+        F: Fn(&Alignment) -> M,
+    {
+        let engine = MultiLocusEngine::new(&self.dataset, model_for).with_mode(self.execution);
+        Ok(match self.strategy {
+            SamplerStrategy::Baseline => {
+                let config = SamplerConfig {
+                    theta,
+                    burn_in: self.config.burn_in_draws,
+                    samples: self.config.sample_draws,
+                    thinning: self.config.thinning,
+                    proposal: self.config.proposal,
+                };
+                Box::new(LamarcSampler::new(engine, config)?)
+            }
+            SamplerStrategy::MultiProposal => {
+                Box::new(MultiProposalSampler::with_theta(engine, self.config, theta)?)
+            }
+        })
+    }
+
+    /// Run the full estimator: `em_iterations` rounds of sampling (the
+    /// expectation stage) each followed by maximisation of the relative
+    /// likelihood of Eq. 26, chaining driving values and starting trees
+    /// across rounds (Figure 11). Observers receive the chain events of each
+    /// round plus one [`EmUpdate`] per maximisation.
+    pub fn run<R: Rng>(&mut self, rng: &mut R) -> Result<SessionReport, PhyloError> {
+        let rng: &mut dyn RngCore = rng;
+        let mut theta = self.config.initial_theta;
+        let mut iterations = Vec::with_capacity(self.config.em_iterations);
+        let mut current_tree = Some(self.starting_tree()?);
+
+        for em_round in 0..self.config.em_iterations {
+            // A fresh sampler per round, exactly as the pre-facade drivers
+            // built one — the bit-identity contract in tests/session_api.rs
+            // depends on it. The per-proposal stream epochs therefore restart
+            // each round (with the same stream_seed); rounds stay
+            // decorrelated because the host RNG advances across rounds, so φ,
+            // the generators being resimulated, and the index draws all
+            // differ even where raw stream states coincide.
+            let mut sampler = self.make_sampler(theta)?;
+            let initial = current_tree.take().expect("a starting tree is always available");
+            let mut fan = FanOut(&mut self.observers);
+            let report = sampler.run(initial, rng, &mut fan)?;
+
+            let summaries = report.interval_summaries();
+            let relative = RelativeLikelihood::new(theta, &summaries).map_err(|e| {
+                PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+            })?;
+            let estimate = maximize_relative_likelihood(&relative, &self.config.ascent);
+            let update = EmUpdate {
+                iteration: em_round,
+                driving_theta: theta,
+                estimate,
+                acceptance_rate: report.acceptance_rate(),
+                mean_log_data_likelihood: report.mean_log_data_likelihood(),
+            };
+            fan.on_em_update(&update);
+            iterations.push(EmIterationReport::from_update(&update, report.counters));
+            theta = estimate.max(1e-9);
+            current_tree = Some(report.final_tree);
+        }
+
+        Ok(SessionReport { theta, iterations })
+    }
+
+    /// Run a single chain at the configured θ₀ — no maximisation stage — and
+    /// return the unified [`RunReport`] (trace, samples, counters). This is
+    /// what diagnostics, benches and the multi-chain work-around build on.
+    pub fn run_chain<R: Rng>(&mut self, rng: &mut R) -> Result<RunReport, PhyloError> {
+        let rng: &mut dyn RngCore = rng;
+        let mut sampler = self.make_sampler(self.config.initial_theta)?;
+        let initial = self.starting_tree()?;
+        let mut fan = FanOut(&mut self.observers);
+        sampler.run(initial, rng, &mut fan)
+    }
+
+    /// Evaluate the relative-likelihood curve for one chain run (Figure 5):
+    /// run a single chain with the configured driving value and return
+    /// `(θ, ln L(θ))` pairs over the grid.
+    pub fn likelihood_curve<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        grid: &[f64],
+    ) -> Result<Vec<(f64, f64)>, PhyloError> {
+        let report = self.run_chain(rng)?;
+        let summaries = report.interval_summaries();
+        let relative =
+            RelativeLikelihood::new(self.config.initial_theta, &summaries).map_err(|e| {
+                PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+            })?;
+        Ok(relative.curve(grid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use mcmc::rng::Mt19937;
+    use phylo::Locus;
+
+    fn simulated_alignment(rng: &mut Mt19937, n: usize, sites: usize, theta: f64) -> Alignment {
+        let tree = CoalescentSimulator::constant(theta).unwrap().simulate(rng, n).unwrap();
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(rng, &tree).unwrap()
+    }
+
+    fn small_config() -> MpcgsConfig {
+        MpcgsConfig {
+            initial_theta: 0.5,
+            em_iterations: 2,
+            proposals_per_iteration: 8,
+            draws_per_iteration: 8,
+            burn_in_draws: 80,
+            sample_draws: 600,
+            backend: Backend::Serial,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn session_runs_and_chains_the_driving_value() {
+        let mut rng = Mt19937::new(91);
+        let alignment = simulated_alignment(&mut rng, 6, 80, 1.0);
+        let mut session =
+            Session::builder().alignment(alignment).config(small_config()).build().unwrap();
+        assert_eq!(session.dataset().n_sequences(), 6);
+        assert_eq!(session.config().em_iterations, 2);
+        assert_eq!(session.strategy(), SamplerStrategy::MultiProposal);
+        assert_eq!(session.model(), ModelSpec::F81Empirical);
+        let estimate = session.run(&mut rng).unwrap();
+        assert_eq!(estimate.iterations.len(), 2);
+        assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+        assert!(
+            (estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs() < 1e-12
+        );
+        assert!(estimate.total_likelihood_evaluations() > 0);
+        for it in &estimate.iterations {
+            assert!(it.acceptance_rate > 0.0);
+            assert!(it.mean_log_data_likelihood.is_finite());
+        }
+        let _ = estimate.converged(0.5);
+    }
+
+    #[test]
+    fn estimate_lands_in_a_plausible_range() {
+        let mut rng = Mt19937::new(97);
+        let alignment = simulated_alignment(&mut rng, 8, 150, 1.0);
+        let config = MpcgsConfig { sample_draws: 1_200, ..small_config() };
+        let mut session = Session::builder().alignment(alignment).config(config).build().unwrap();
+        let estimate = session.run(&mut rng).unwrap();
+        assert!(
+            estimate.theta > 0.05 && estimate.theta < 10.0,
+            "estimate {} is implausible for data simulated at theta = 1",
+            estimate.theta
+        );
+    }
+
+    #[test]
+    fn baseline_strategy_estimates_through_the_same_facade() {
+        let mut rng = Mt19937::new(59);
+        let alignment = simulated_alignment(&mut rng, 8, 150, 1.0);
+        let config = MpcgsConfig {
+            initial_theta: 0.1,
+            em_iterations: 2,
+            burn_in_draws: 200,
+            sample_draws: 1_500,
+            ..small_config()
+        };
+        let mut session = Session::builder()
+            .alignment(alignment)
+            .strategy(SamplerStrategy::Baseline)
+            .config(config)
+            .build()
+            .unwrap();
+        let estimate = session.run(&mut rng).unwrap();
+        assert_eq!(estimate.iterations.len(), 2);
+        assert!(
+            estimate.theta > 0.05 && estimate.theta < 10.0,
+            "estimate {} is implausible for data simulated at theta = 1",
+            estimate.theta
+        );
+        for it in &estimate.iterations {
+            assert!(it.acceptance_rate > 0.0 && it.acceptance_rate <= 1.0);
+            // The baseline pays one full prune and commits every accept.
+            assert_eq!(it.counters.workspace_commits, it.counters.accepted);
+        }
+    }
+
+    #[test]
+    fn likelihood_curve_peaks_away_from_a_tiny_driving_value() {
+        // Figure 5's qualitative shape: with a driving value far below the
+        // truth, the relative-likelihood curve must rise away from theta0.
+        let mut rng = Mt19937::new(101);
+        let alignment = simulated_alignment(&mut rng, 6, 120, 1.0);
+        let config = MpcgsConfig {
+            initial_theta: 0.05,
+            em_iterations: 1,
+            sample_draws: 800,
+            ..small_config()
+        };
+        let mut session = Session::builder().alignment(alignment).config(config).build().unwrap();
+        let grid = RelativeLikelihood::log_grid(0.05, 5.0, 20);
+        let curve = session.likelihood_curve(&mut rng, &grid).unwrap();
+        assert_eq!(curve.len(), 20);
+        let at_driving = curve[0].1;
+        let best = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert!(
+            best.1 > at_driving,
+            "curve should rise away from the driving value: best {best:?} vs {at_driving}"
+        );
+        assert!(best.0 > 0.05);
+    }
+
+    #[test]
+    fn multi_locus_sessions_run_over_shared_individuals() {
+        let mut rng = Mt19937::new(2_026);
+        let first = simulated_alignment(&mut rng, 5, 60, 1.0);
+        // A second locus over the same individuals (names 1..=5 from the
+        // simulator), simulated independently.
+        let names: Vec<String> = first.names().iter().map(|s| s.to_string()).collect();
+        let tree2 = CoalescentSimulator::constant(1.0)
+            .unwrap()
+            .simulate_labelled(&mut rng, &names)
+            .unwrap();
+        let second = SequenceSimulator::new(Jc69::new(), 90, 1.0)
+            .unwrap()
+            .simulate(&mut rng, &tree2)
+            .unwrap();
+        let dataset =
+            Dataset::new(vec![Locus::new("l0", first), Locus::new("l1", second)]).unwrap();
+        let config = MpcgsConfig {
+            em_iterations: 1,
+            burn_in_draws: 40,
+            sample_draws: 300,
+            ..small_config()
+        };
+        let mut session = Session::builder().dataset(dataset).config(config).build().unwrap();
+        let estimate = session.run(&mut rng).unwrap();
+        assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+        assert!(estimate.iterations[0].mean_log_data_likelihood.is_finite());
+    }
+
+    #[test]
+    fn invalid_sessions_are_rejected_up_front() {
+        let mut rng = Mt19937::new(103);
+        let alignment = simulated_alignment(&mut rng, 4, 40, 1.0);
+        // Missing dataset.
+        assert!(Session::builder().config(small_config()).build().is_err());
+        // Degenerate configuration.
+        let bad = MpcgsConfig { em_iterations: 0, ..small_config() };
+        assert!(Session::builder().alignment(alignment.clone()).config(bad).build().is_err());
+        // Initial tree over the wrong tip count.
+        let mut other_rng = Mt19937::new(1);
+        let wrong =
+            CoalescentSimulator::constant(1.0).unwrap().simulate(&mut other_rng, 7).unwrap();
+        assert!(Session::builder()
+            .alignment(alignment)
+            .config(small_config())
+            .initial_tree(wrong)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn converged_logic() {
+        let it = |estimate: f64| EmIterationReport {
+            driving_theta: 1.0,
+            estimate,
+            acceptance_rate: 0.5,
+            mean_log_data_likelihood: -5.0,
+            counters: RunCounters::default(),
+        };
+        let single = SessionReport { theta: 1.0, iterations: vec![it(1.0)] };
+        assert!(!single.converged(0.1));
+        let stable = SessionReport { theta: 1.01, iterations: vec![it(1.0), it(1.01)] };
+        assert!(stable.converged(0.05));
+        assert!(!stable.converged(0.001));
+        assert_eq!(SamplerStrategy::Baseline.name(), "baseline");
+        assert_eq!(SamplerStrategy::MultiProposal.name(), "gmh");
+    }
+}

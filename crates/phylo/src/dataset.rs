@@ -1,0 +1,162 @@
+//! The multi-locus data model.
+//!
+//! LAMARC estimates θ from several unlinked loci at once: each locus is an
+//! independent alignment over the same set of individuals, and the per-locus
+//! data likelihoods multiply (sum in log domain). A [`Dataset`] is an ordered
+//! collection of named [`Locus`] alignments sharing one sequence-name set, the
+//! input the session layer feeds to
+//! [`MultiLocusEngine`](crate::likelihood::MultiLocusEngine).
+//!
+//! A single-alignment analysis is just the one-locus special case
+//! ([`Dataset::single`]); every consumer of a `Dataset` behaves identically to
+//! the pre-multi-locus code path in that case.
+
+use crate::alignment::Alignment;
+use crate::error::PhyloError;
+
+/// One locus: a named alignment over the dataset's shared individuals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Locus {
+    name: String,
+    alignment: Alignment,
+}
+
+impl Locus {
+    /// Create a named locus.
+    pub fn new(name: impl Into<String>, alignment: Alignment) -> Self {
+        Locus { name: name.into(), alignment }
+    }
+
+    /// The locus name (typically the source file stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The locus alignment.
+    pub fn alignment(&self) -> &Alignment {
+        &self.alignment
+    }
+
+    /// Number of sites in this locus.
+    pub fn n_sites(&self) -> usize {
+        self.alignment.n_sites()
+    }
+}
+
+/// A multi-locus dataset: one or more loci over one shared set of sequence
+/// names. Loci may differ in length and base composition but must cover the
+/// same individuals, because one genealogy is scored against all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    loci: Vec<Locus>,
+}
+
+impl Dataset {
+    /// Build a dataset from named loci.
+    ///
+    /// Fails if no locus is given or if any locus covers a different set of
+    /// sequence names than the first (order within an alignment is free; the
+    /// likelihood engine maps tips to rows by name).
+    pub fn new(loci: Vec<Locus>) -> Result<Self, PhyloError> {
+        if loci.is_empty() {
+            return Err(PhyloError::Empty { what: "dataset (no loci)" });
+        }
+        let mut reference: Vec<&str> = loci[0].alignment.names();
+        reference.sort_unstable();
+        for locus in &loci[1..] {
+            let mut names: Vec<&str> = locus.alignment.names();
+            names.sort_unstable();
+            if names != reference {
+                return Err(PhyloError::InvalidTree {
+                    message: format!(
+                        "locus {:?} covers sequences {names:?} but locus {:?} covers {reference:?}; \
+                         all loci must share one sequence-name set",
+                        locus.name, loci[0].name
+                    ),
+                });
+            }
+        }
+        Ok(Dataset { loci })
+    }
+
+    /// The single-locus dataset every pre-multi-locus workflow reduces to.
+    pub fn single(alignment: Alignment) -> Self {
+        Dataset { loci: vec![Locus::new("locus0", alignment)] }
+    }
+
+    /// The loci, in input order.
+    pub fn loci(&self) -> &[Locus] {
+        &self.loci
+    }
+
+    /// Number of loci.
+    pub fn n_loci(&self) -> usize {
+        self.loci.len()
+    }
+
+    /// One locus by index.
+    pub fn locus(&self, i: usize) -> &Locus {
+        &self.loci[i]
+    }
+
+    /// Number of sequences (identical across loci by construction).
+    pub fn n_sequences(&self) -> usize {
+        self.loci[0].alignment.n_sequences()
+    }
+
+    /// Total sites summed over loci.
+    pub fn total_sites(&self) -> usize {
+        self.loci.iter().map(|l| l.n_sites()).sum()
+    }
+
+    /// Whether more than one locus is present.
+    pub fn is_multi_locus(&self) -> bool {
+        self.loci.len() > 1
+    }
+
+    /// The alignment whose sequence order defines the canonical tip set (the
+    /// first locus; used e.g. to build the UPGMA starting genealogy).
+    pub fn primary_alignment(&self) -> &Alignment {
+        self.loci[0].alignment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alignment(pairs: &[(&str, &str)]) -> Alignment {
+        Alignment::from_letters(pairs).unwrap()
+    }
+
+    #[test]
+    fn single_locus_dataset() {
+        let a = alignment(&[("a", "ACGT"), ("b", "ACGA")]);
+        let d = Dataset::single(a.clone());
+        assert_eq!(d.n_loci(), 1);
+        assert!(!d.is_multi_locus());
+        assert_eq!(d.n_sequences(), 2);
+        assert_eq!(d.total_sites(), 4);
+        assert_eq!(d.primary_alignment(), &a);
+        assert_eq!(d.locus(0).name(), "locus0");
+    }
+
+    #[test]
+    fn multi_locus_dataset_validates_shared_names() {
+        let l1 = Locus::new("mt", alignment(&[("a", "ACGT"), ("b", "ACGA")]));
+        let l2 = Locus::new("nuc", alignment(&[("b", "AC"), ("a", "GT")]));
+        let d = Dataset::new(vec![l1.clone(), l2]).unwrap();
+        assert_eq!(d.n_loci(), 2);
+        assert!(d.is_multi_locus());
+        assert_eq!(d.total_sites(), 6);
+        assert_eq!(d.loci()[0].n_sites(), 4);
+
+        let mismatched = Locus::new("bad", alignment(&[("a", "AC"), ("c", "GT")]));
+        assert!(Dataset::new(vec![l1, mismatched]).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        assert!(Dataset::new(vec![]).is_err());
+    }
+}

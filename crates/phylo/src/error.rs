@@ -56,6 +56,12 @@ pub enum PhyloError {
         /// Constraint that was violated.
         constraint: &'static str,
     },
+    /// An API was driven through an invalid state sequence (e.g. stepping a
+    /// sampler whose chain was never begun).
+    InvalidState {
+        /// Description of the misuse.
+        message: String,
+    },
 }
 
 impl fmt::Display for PhyloError {
@@ -83,6 +89,7 @@ impl fmt::Display for PhyloError {
             PhyloError::InvalidParameter { name, value, constraint } => {
                 write!(f, "invalid parameter {name}={value}: must satisfy {constraint}")
             }
+            PhyloError::InvalidState { message } => write!(f, "invalid state: {message}"),
         }
     }
 }
@@ -118,6 +125,9 @@ mod tests {
         let e =
             PhyloError::InvalidParameter { name: "theta", value: -2.0, constraint: "theta > 0" };
         assert!(e.to_string().contains("theta"));
+
+        let e = PhyloError::InvalidState { message: "no active chain".into() };
+        assert!(e.to_string().contains("no active chain"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`patterns`] — site-pattern compression: identical alignment columns are
 //!   collapsed with multiplicities so the likelihood loop touches each
 //!   distinct pattern once.
+//! * [`dataset`] — the multi-locus data model: a [`dataset::Dataset`] of
+//!   named [`dataset::Locus`] alignments over one shared individual set,
+//!   scored by [`likelihood::MultiLocusEngine`] as a sum of per-locus data
+//!   likelihoods (LAMARC's multi-locus θ estimation).
 //! * [`io`] — PHYLIP alignment and Newick tree readers/writers (the input
 //!   formats of the original program and of `ms`/`seq-gen`).
 //! * [`tree`] — the genealogy tree arena: binary coalescent trees with node
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod alignment;
+pub mod dataset;
 pub mod distance;
 pub mod error;
 pub mod io;
@@ -47,10 +52,11 @@ pub mod tree;
 pub mod upgma;
 
 pub use alignment::Alignment;
+pub use dataset::{Dataset, Locus};
 pub use error::PhyloError;
 pub use likelihood::{
     BatchEvaluation, DirtyEvaluation, FelsensteinPruner, LikelihoodEngine, LikelihoodWorkspace,
-    TreeProposal,
+    MultiLocusEngine, TreeProposal,
 };
 pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;

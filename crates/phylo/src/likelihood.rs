@@ -29,12 +29,14 @@
 //!   the engine, so consecutive evaluations against an unchanged generator
 //!   (rejected moves, repeated index draws) skip the full prune entirely.
 
+use std::cell::RefCell;
 use std::sync::Mutex;
 
 use exec::Backend;
 use rayon::prelude::*;
 
 use crate::alignment::Alignment;
+use crate::dataset::Dataset;
 use crate::error::PhyloError;
 use crate::model::SubstitutionModel;
 use crate::nucleotide::Nucleotide;
@@ -119,6 +121,25 @@ pub trait LikelihoodEngine: Send + Sync {
             generator_cache_hit: false,
         })
     }
+
+    /// Promote an accepted proposal into the engine's cached generator state
+    /// (*commit-on-accept*): after a sampler accepts `accepted` (derived from
+    /// `generator` by editing the nodes in `edited`), the engine may update
+    /// its memoised workspace along the dirty path instead of letting the
+    /// next batch evaluation rebuild it with a full prune.
+    ///
+    /// Returns `Ok(Some(n))` — `n` interior nodes recomputed — when the
+    /// engine's cache now reflects `accepted`, and `Ok(None)` when the engine
+    /// has no cache to promote (the next batch pays a full prune, exactly the
+    /// pre-commit behaviour). Engines without caching keep the default no-op.
+    fn commit_accepted(
+        &self,
+        _generator: &GeneTree,
+        _accepted: &GeneTree,
+        _edited: &[NodeId],
+    ) -> Result<Option<usize>, PhyloError> {
+        Ok(None)
+    }
 }
 
 /// How the per-site work of the reference path is executed.
@@ -201,6 +222,122 @@ impl LikelihoodWorkspace {
 struct GeneratorCache {
     tree: GeneTree,
     workspace: LikelihoodWorkspace,
+}
+
+/// Per-thread scratch for dirty-path evaluations, pooled so the hot loop
+/// performs zero heap allocations per rescore once warm. The marker vectors
+/// (`dirty_mark`, `dirty_index`, `matrices`) are kept in their neutral state
+/// between calls by targeted cleanup over the (small) dirty set, so reuse
+/// costs O(path), not O(nodes).
+#[derive(Debug, Default)]
+struct RescoreScratch {
+    /// `true` for nodes in the current dirty set, indexed by node id.
+    dirty_mark: Vec<bool>,
+    /// Slot of each dirty node in the overlay buffers (`usize::MAX` = clean).
+    dirty_index: Vec<usize>,
+    /// The dirty set as `(depth-from-root, node)`, sorted children-first.
+    dirty: Vec<(usize, NodeId)>,
+    /// Transition matrices for the children of dirty nodes.
+    matrices: Vec<Option<[[f64; 4]; 4]>>,
+    /// Overlay partial likelihoods, `[dirty-slot × PATTERN_CHUNK × 4]`.
+    overlay_partials: Vec<f64>,
+    /// Overlay log scales, `[dirty-slot × PATTERN_CHUNK]`.
+    overlay_scales: Vec<f64>,
+    /// One node's worth of partials, the combine kernel's output row.
+    partial_row: Vec<f64>,
+    /// One node's worth of scales, the combine kernel's output row.
+    scale_row: Vec<f64>,
+}
+
+impl RescoreScratch {
+    /// Grow the node-indexed vectors to cover `n_nodes` and the overlay
+    /// buffers to cover `n_dirty` slots. Growth never shrinks, so a warmed-up
+    /// thread allocates nothing.
+    fn reserve(&mut self, n_nodes: usize, n_dirty: usize) {
+        if self.dirty_mark.len() < n_nodes {
+            self.dirty_mark.resize(n_nodes, false);
+            self.dirty_index.resize(n_nodes, usize::MAX);
+            self.matrices.resize(n_nodes, None);
+        }
+        if self.overlay_partials.len() < n_dirty * PATTERN_CHUNK * 4 {
+            self.overlay_partials.resize(n_dirty * PATTERN_CHUNK * 4, 0.0);
+            self.overlay_scales.resize(n_dirty * PATTERN_CHUNK, 0.0);
+        }
+        if self.partial_row.len() < PATTERN_CHUNK * 4 {
+            self.partial_row.resize(PATTERN_CHUNK * 4, 0.0);
+            self.scale_row.resize(PATTERN_CHUNK, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static RESCORE_SCRATCH: RefCell<RescoreScratch> = RefCell::new(RescoreScratch::default());
+}
+
+/// Number of edges between `node` and the root.
+fn depth_from_root(tree: &GeneTree, node: NodeId) -> usize {
+    let mut depth = 0;
+    let mut cursor = node;
+    while let Some(parent) = tree.parent(cursor) {
+        depth += 1;
+        cursor = parent;
+    }
+    depth
+}
+
+/// Mark the dirty region of `tree` for the given edit: every edited interior
+/// node plus all of its ancestors (a changed node time also changes the
+/// branch to its parent, so invalidation always propagates to the root).
+/// Fills `dirty` with `(depth, node)` sorted children-before-parents,
+/// `dirty_index` with each node's slot, and `matrices` with the transition
+/// matrices of the children of dirty nodes. The three node-indexed vectors
+/// must be in their neutral state on entry; `clear_dirty_marks` restores it.
+fn mark_dirty_region<M: SubstitutionModel>(
+    model: &M,
+    tree: &GeneTree,
+    edited: &[NodeId],
+    scratch: &mut RescoreScratch,
+) {
+    scratch.dirty.clear();
+    for &edit in edited {
+        let mut cursor = Some(edit);
+        while let Some(node) = cursor {
+            if !tree.is_tip(node) {
+                if scratch.dirty_mark[node] {
+                    break;
+                }
+                scratch.dirty_mark[node] = true;
+                scratch.dirty.push((depth_from_root(tree, node), node));
+            }
+            cursor = tree.parent(node);
+        }
+    }
+    // Children-before-parents: a parent is strictly closer to the root than
+    // any of its descendants, so descending depth is a topological order.
+    scratch.dirty.sort_unstable_by(|a, b| b.cmp(a));
+    for (slot, &(_, node)) in scratch.dirty.iter().enumerate() {
+        scratch.dirty_index[node] = slot;
+        let (a, b) = tree.children(node).expect("dirty nodes are interior");
+        for child in [a, b] {
+            if scratch.matrices[child].is_none() {
+                let t = tree.branch_length(child).expect("child of an interior node");
+                scratch.matrices[child] = Some(model.transition_matrix(t.max(0.0)));
+            }
+        }
+    }
+}
+
+/// Undo `mark_dirty_region`'s writes so the scratch is neutral for the next
+/// rescore on this thread. O(dirty set), not O(nodes).
+fn clear_dirty_marks(tree: &GeneTree, scratch: &mut RescoreScratch) {
+    for i in 0..scratch.dirty.len() {
+        let node = scratch.dirty[i].1;
+        scratch.dirty_mark[node] = false;
+        scratch.dirty_index[node] = usize::MAX;
+        let (a, b) = tree.children(node).expect("dirty nodes are interior");
+        scratch.matrices[a] = None;
+        scratch.matrices[b] = None;
+    }
 }
 
 /// The outcome of scoring a single edited tree against a cached workspace.
@@ -616,83 +753,146 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         }
 
         let n_nodes = proposal.n_nodes();
-        // Mark the dirty region: every edited interior node plus all of its
-        // ancestors (a changed node time also changes the branch to its
-        // parent, so invalidation always propagates to the root).
-        let mut dirty_mark = vec![false; n_nodes];
-        for &edit in edited {
-            let mut cursor = Some(edit);
-            while let Some(node) = cursor {
-                if !proposal.is_tip(node) {
-                    if dirty_mark[node] {
-                        break;
+        RESCORE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.reserve(n_nodes, 0);
+            mark_dirty_region(&self.model, proposal, edited, scratch);
+            let n_dirty = scratch.dirty.len();
+            scratch.reserve(n_nodes, n_dirty);
+
+            let root = proposal.root();
+            debug_assert!(scratch.dirty_mark[root], "the dirty path always reaches the root");
+            let mut total = 0.0;
+            {
+                // Split the scratch into its independent buffers so the
+                // overlay can be read (children) and written (parent) without
+                // aliasing the output rows.
+                let RescoreScratch {
+                    dirty,
+                    dirty_index,
+                    matrices,
+                    overlay_partials,
+                    overlay_scales,
+                    partial_row,
+                    scale_row,
+                    ..
+                } = scratch;
+                for chunk in &workspace.chunks {
+                    let len = chunk.len;
+                    for (di, &(_, node)) in dirty.iter().enumerate() {
+                        let (a, b) = proposal.children(node).expect("dirty nodes are interior");
+                        let ma = matrices[a].expect("children of dirty nodes have matrices");
+                        let mb = matrices[b].expect("children of dirty nodes have matrices");
+                        let (pa, sa) =
+                            read_rows(chunk, overlay_partials, overlay_scales, dirty_index, a, len);
+                        let (pb, sb) =
+                            read_rows(chunk, overlay_partials, overlay_scales, dirty_index, b, len);
+                        self.combine_children_rows(
+                            &ma,
+                            &mb,
+                            pa,
+                            pb,
+                            sa,
+                            sb,
+                            &mut partial_row[..len * 4],
+                            &mut scale_row[..len],
+                        );
+                        overlay_partials[di * PATTERN_CHUNK * 4..di * PATTERN_CHUNK * 4 + len * 4]
+                            .copy_from_slice(&partial_row[..len * 4]);
+                        overlay_scales[di * PATTERN_CHUNK..di * PATTERN_CHUNK + len]
+                            .copy_from_slice(&scale_row[..len]);
                     }
-                    dirty_mark[node] = true;
+                    let root_slot = dirty_index[root];
+                    total += self.chunk_root_log_likelihood(
+                        &overlay_partials[root_slot * PATTERN_CHUNK * 4..],
+                        &overlay_scales[root_slot * PATTERN_CHUNK..],
+                        chunk.start,
+                        len,
+                    );
                 }
-                cursor = proposal.parent(node);
             }
+            clear_dirty_marks(proposal, scratch);
+            Ok(DirtyEvaluation { log_likelihood: total, nodes_repruned: n_dirty })
+        })
+    }
+
+    /// Promote an accepted proposal into the memoised generator workspace:
+    /// recompute the dirty-path partials *in place* in the cached chunks
+    /// (children before parents, exactly the arithmetic a full prune performs
+    /// on those nodes, so the committed workspace is bit-identical to a fresh
+    /// build of `accepted`) and re-key the cache to the accepted tree.
+    ///
+    /// Returns the number of interior nodes recomputed, or `None` when there
+    /// is no cached workspace keyed to `generator` (the next batch evaluation
+    /// rebuilds from scratch, the pre-commit behaviour).
+    pub fn commit_to_cache(
+        &self,
+        generator: &GeneTree,
+        accepted: &GeneTree,
+        edited: &[NodeId],
+    ) -> Result<Option<usize>, PhyloError> {
+        let mut slot = self.cache.lock().expect("likelihood cache poisoned");
+        let cache = match slot.as_mut() {
+            Some(cache) if cache.tree == *generator => cache,
+            _ => return Ok(None),
+        };
+        if accepted.n_nodes() != cache.workspace.n_nodes() {
+            return Err(PhyloError::InvalidTree {
+                message: format!(
+                    "accepted tree has {} nodes but the cached workspace covers {}",
+                    accepted.n_nodes(),
+                    cache.workspace.n_nodes()
+                ),
+            });
         }
-        // Evaluate dirty nodes children-before-parents.
-        let dirty: Vec<NodeId> =
-            proposal.post_order().into_iter().filter(|&n| dirty_mark[n]).collect();
-        let mut dirty_index = vec![usize::MAX; n_nodes];
-        for (i, &node) in dirty.iter().enumerate() {
-            dirty_index[node] = i;
-        }
-        // Transition matrices are needed only for the children of dirty
-        // nodes; branch lengths come from the *proposal* tree.
-        let mut matrices: Vec<Option<[[f64; 4]; 4]>> = vec![None; n_nodes];
-        for &node in &dirty {
-            let (a, b) = proposal.children(node).expect("dirty nodes are interior");
-            for child in [a, b] {
-                let t = proposal.branch_length(child).expect("child of an interior node");
-                matrices[child] = Some(self.model.transition_matrix(t.max(0.0)));
-            }
+        if edited.is_empty() {
+            cache.tree = accepted.clone();
+            return Ok(Some(0));
         }
 
-        let root = proposal.root();
-        debug_assert!(dirty_mark[root], "the dirty path always reaches the root");
-        let n_dirty = dirty.len();
-        let mut total = 0.0;
-        // Overlay buffers sized to the dirty set only, reused across chunks.
-        let mut overlay_partials = vec![0.0f64; n_dirty * PATTERN_CHUNK * 4];
-        let mut overlay_scales = vec![0.0f64; n_dirty * PATTERN_CHUNK];
-        let mut partial_row = vec![0.0f64; PATTERN_CHUNK * 4];
-        let mut scale_row = vec![0.0f64; PATTERN_CHUNK];
-        for chunk in &workspace.chunks {
-            let len = chunk.len;
-            for (di, &node) in dirty.iter().enumerate() {
-                let (a, b) = proposal.children(node).expect("dirty nodes are interior");
-                let ma = matrices[a].expect("children of dirty nodes have matrices");
-                let mb = matrices[b].expect("children of dirty nodes have matrices");
-                let (pa, sa) =
-                    read_rows(chunk, &overlay_partials, &overlay_scales, &dirty_index, a, len);
-                let (pb, sb) =
-                    read_rows(chunk, &overlay_partials, &overlay_scales, &dirty_index, b, len);
-                self.combine_children_rows(
-                    &ma,
-                    &mb,
-                    pa,
-                    pb,
-                    sa,
-                    sb,
-                    &mut partial_row[..len * 4],
-                    &mut scale_row[..len],
+        let n_nodes = accepted.n_nodes();
+        let n_dirty = RESCORE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.reserve(n_nodes, 0);
+            mark_dirty_region(&self.model, accepted, edited, scratch);
+            let RescoreScratch { dirty, matrices, partial_row, scale_row, .. } = &mut *scratch;
+            for chunk in &mut cache.workspace.chunks {
+                let len = chunk.len;
+                for &(_, node) in dirty.iter() {
+                    let (a, b) = accepted.children(node).expect("dirty nodes are interior");
+                    let ma = matrices[a].expect("children of dirty nodes have matrices");
+                    let mb = matrices[b].expect("children of dirty nodes have matrices");
+                    self.combine_children_rows(
+                        &ma,
+                        &mb,
+                        &chunk.partials[chunk.partial_offset(a)..chunk.partial_offset(a) + len * 4],
+                        &chunk.partials[chunk.partial_offset(b)..chunk.partial_offset(b) + len * 4],
+                        &chunk.scales[chunk.scale_offset(a)..chunk.scale_offset(a) + len],
+                        &chunk.scales[chunk.scale_offset(b)..chunk.scale_offset(b) + len],
+                        &mut partial_row[..len * 4],
+                        &mut scale_row[..len],
+                    );
+                    let offset = chunk.partial_offset(node);
+                    chunk.partials[offset..offset + len * 4]
+                        .copy_from_slice(&partial_row[..len * 4]);
+                    let soffset = chunk.scale_offset(node);
+                    chunk.scales[soffset..soffset + len].copy_from_slice(&scale_row[..len]);
+                }
+                chunk.log_likelihood = self.chunk_root_log_likelihood(
+                    &chunk.partials[chunk.partial_offset(accepted.root())..],
+                    &chunk.scales[chunk.scale_offset(accepted.root())..],
+                    chunk.start,
+                    len,
                 );
-                overlay_partials[di * PATTERN_CHUNK * 4..di * PATTERN_CHUNK * 4 + len * 4]
-                    .copy_from_slice(&partial_row[..len * 4]);
-                overlay_scales[di * PATTERN_CHUNK..di * PATTERN_CHUNK + len]
-                    .copy_from_slice(&scale_row[..len]);
             }
-            let root_slot = dirty_index[root];
-            total += self.chunk_root_log_likelihood(
-                &overlay_partials[root_slot * PATTERN_CHUNK * 4..],
-                &overlay_scales[root_slot * PATTERN_CHUNK..],
-                chunk.start,
-                len,
-            );
-        }
-        Ok(DirtyEvaluation { log_likelihood: total, nodes_repruned: n_dirty })
+            let n_dirty = dirty.len();
+            clear_dirty_marks(accepted, scratch);
+            n_dirty
+        });
+        cache.workspace.log_likelihood =
+            cache.workspace.chunks.iter().map(|chunk| chunk.log_likelihood).sum();
+        cache.tree = accepted.clone();
+        Ok(Some(n_dirty))
     }
 
     /// Drop the memoised generator workspace (mainly useful for measuring
@@ -788,6 +988,150 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
             nodes_full_pruned,
             generator_cache_hit,
         })
+    }
+
+    /// Commit-on-accept: promote the accepted proposal's dirty path into the
+    /// memoised generator workspace (see
+    /// [`FelsensteinPruner::commit_to_cache`]).
+    fn commit_accepted(
+        &self,
+        generator: &GeneTree,
+        accepted: &GeneTree,
+        edited: &[NodeId],
+    ) -> Result<Option<usize>, PhyloError> {
+        self.commit_to_cache(generator, accepted, edited)
+    }
+}
+
+/// A likelihood engine over a multi-locus [`Dataset`]: one pattern-compressed
+/// [`FelsensteinPruner`] (and therefore one cached [`LikelihoodWorkspace`])
+/// per locus, with every evaluation batched (locus × proposal) through the
+/// same dirty-path machinery and the per-locus log likelihoods summed —
+/// LAMARC's multi-locus θ estimation, where unlinked loci contribute
+/// independent data likelihoods for the same driving parameter.
+///
+/// With a single locus the engine is numerically bit-identical to the bare
+/// pruner: every result is a one-term sum. Clones start with cold caches
+/// (see [`FelsensteinPruner`]'s `Clone`).
+#[derive(Debug, Clone)]
+pub struct MultiLocusEngine<M> {
+    names: Vec<String>,
+    engines: Vec<FelsensteinPruner<M>>,
+}
+
+impl<M: SubstitutionModel> MultiLocusEngine<M> {
+    /// Build an engine for `dataset`, instantiating one substitution model
+    /// per locus through `model_for` (so e.g. empirical base frequencies can
+    /// be estimated per locus).
+    pub fn new(dataset: &Dataset, model_for: impl Fn(&Alignment) -> M) -> Self {
+        let mut names = Vec::with_capacity(dataset.n_loci());
+        let mut engines = Vec::with_capacity(dataset.n_loci());
+        for locus in dataset.loci() {
+            names.push(locus.name().to_string());
+            engines.push(FelsensteinPruner::new(locus.alignment(), model_for(locus.alignment())));
+        }
+        MultiLocusEngine { names, engines }
+    }
+
+    /// Select the execution mode of every per-locus pruner.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.engines = self.engines.into_iter().map(|e| e.with_mode(mode)).collect();
+        self
+    }
+
+    /// Number of loci.
+    pub fn n_loci(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The locus names, in dataset order.
+    pub fn locus_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The per-locus pruners, in dataset order.
+    pub fn locus_engines(&self) -> &[FelsensteinPruner<M>] {
+        &self.engines
+    }
+
+    /// `ln P(D_l|G)` for each locus separately (the terms
+    /// [`LikelihoodEngine::log_likelihood`] sums).
+    pub fn log_likelihood_per_locus(&self, tree: &GeneTree) -> Result<Vec<f64>, PhyloError> {
+        self.engines.iter().map(|e| e.log_likelihood(tree)).collect()
+    }
+
+    /// Drop every locus's memoised generator workspace.
+    pub fn clear_cache(&self) {
+        for engine in &self.engines {
+            engine.clear_cache();
+        }
+    }
+}
+
+impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
+    /// `ln P(D|G) = Σ_l ln P(D_l|G)` — unlinked loci are independent given
+    /// the genealogy's driving parameter.
+    fn log_likelihood(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
+        let mut total = 0.0;
+        for engine in &self.engines {
+            total += engine.log_likelihood(tree)?;
+        }
+        Ok(total)
+    }
+
+    /// Batch the (locus × proposal) grid through each locus's dirty-path
+    /// engine and sum the per-locus evaluations element-wise. Loci are
+    /// walked in sequence with the proposal-parallel batch inside each (so
+    /// `backend` parallelism saturates once `proposals ≥ cores`; flattening
+    /// the full grid into one dispatch for many-small-loci datasets is a
+    /// roadmap item). Work counters aggregate across loci; the generator
+    /// counts as cached only when every locus's workspace was served from
+    /// its memo.
+    fn log_likelihood_batch(
+        &self,
+        backend: Backend,
+        generator: &GeneTree,
+        proposals: &[TreeProposal<'_>],
+    ) -> Result<BatchEvaluation, PhyloError> {
+        let mut total = BatchEvaluation {
+            generator_log_likelihood: 0.0,
+            log_likelihoods: vec![0.0; proposals.len()],
+            nodes_repruned: 0,
+            nodes_full_pruned: 0,
+            generator_cache_hit: true,
+        };
+        for engine in &self.engines {
+            let eval = engine.log_likelihood_batch(backend, generator, proposals)?;
+            total.generator_log_likelihood += eval.generator_log_likelihood;
+            for (sum, term) in total.log_likelihoods.iter_mut().zip(&eval.log_likelihoods) {
+                *sum += term;
+            }
+            total.nodes_repruned += eval.nodes_repruned;
+            total.nodes_full_pruned += eval.nodes_full_pruned;
+            total.generator_cache_hit &= eval.generator_cache_hit;
+        }
+        Ok(total)
+    }
+
+    /// Commit the accepted move into every locus's cached workspace. Returns
+    /// the total interior nodes recomputed across loci, or `None` if any
+    /// locus had no cache to promote (the loci that did commit stay
+    /// committed; the others rebuild on the next batch).
+    fn commit_accepted(
+        &self,
+        generator: &GeneTree,
+        accepted: &GeneTree,
+        edited: &[NodeId],
+    ) -> Result<Option<usize>, PhyloError> {
+        let mut total = 0usize;
+        let mut all = true;
+        for engine in &self.engines {
+            match engine.commit_to_cache(generator, accepted, edited)? {
+                Some(nodes) => total += nodes,
+                None => all = false,
+            }
+        }
+        Ok(if all { Some(total) } else { None })
     }
 }
 
@@ -1223,5 +1567,169 @@ mod tests {
         assert_eq!(slow.nodes_repruned, tree.n_internal());
         assert!(fast.nodes_repruned < slow.nodes_repruned);
         assert_eq!(BatchEvaluation::naive_node_cost(tree.n_internal(), 1), 2 * tree.n_internal());
+        // The default commit hook is a no-op.
+        assert!(!slow.generator_cache_hit);
+        assert_eq!(
+            naive.commit_accepted(&tree, proposals[0].tree, proposals[0].edited).unwrap(),
+            None
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-on-accept.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn commit_promotes_the_accepted_tree_into_the_cache() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let target = tree.non_root_internal_nodes()[0];
+        let (accepted, edited) = perturb(&tree, target, 0.02);
+        let proposals = [TreeProposal { tree: &accepted, edited: &edited }];
+
+        // Warm the cache against the generator, then commit the accepted move.
+        let first = pruner.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        let committed = pruner.commit_to_cache(&tree, &accepted, &edited).unwrap();
+        assert!(committed.is_some_and(|n| n > 0 && n < tree.n_internal()));
+
+        // The next batch against the accepted tree is served from the
+        // promoted cache (no full prune) and is bit-identical to a cold
+        // rebuild of the same tree.
+        let promoted = pruner.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        assert!(promoted.generator_cache_hit);
+        assert_eq!(promoted.nodes_full_pruned, 0);
+        assert_eq!(promoted.generator_log_likelihood, first.log_likelihoods[0]);
+
+        let cold = FelsensteinPruner::new(&alignment, Jc69::new());
+        let rebuilt = cold.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        assert_eq!(promoted.generator_log_likelihood, rebuilt.generator_log_likelihood);
+        // Committed partials must keep serving correct dirty-path rescoring.
+        let next_target = accepted.non_root_internal_nodes()[1];
+        let (next, next_edited) = perturb(&accepted, next_target, -0.004);
+        let next_proposals = [TreeProposal { tree: &next, edited: &next_edited }];
+        let via_cache =
+            pruner.log_likelihood_batch(Backend::Serial, &accepted, &next_proposals).unwrap();
+        let naive = cold.log_likelihood(&next).unwrap();
+        assert!((via_cache.log_likelihoods[0] - naive).abs() < 1e-10);
+    }
+
+    #[test]
+    fn commit_without_a_matching_cache_is_a_no_op() {
+        let (alignment, tree) = five_tip_fixture();
+        let pruner = FelsensteinPruner::new(&alignment, Jc69::new());
+        let target = tree.non_root_internal_nodes()[0];
+        let (accepted, edited) = perturb(&tree, target, 0.02);
+        // Cold engine: nothing to promote.
+        assert_eq!(pruner.commit_to_cache(&tree, &accepted, &edited).unwrap(), None);
+        // Cache keyed to a different generator: nothing to promote.
+        pruner.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        assert_eq!(pruner.commit_to_cache(&tree, &accepted, &edited).unwrap(), None);
+        // Empty edit commits trivially (re-keys only).
+        assert_eq!(pruner.commit_to_cache(&accepted, &accepted, &[]).unwrap(), Some(0));
+        // Arena mismatch is an error.
+        let small = two_tip_tree(0.1, 0.1, 0.2);
+        assert!(pruner.commit_to_cache(&accepted, &small, &[0]).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-locus engine.
+    // ------------------------------------------------------------------
+
+    use crate::dataset::{Dataset, Locus};
+
+    fn three_locus_fixture() -> (Dataset, GeneTree) {
+        let (first, tree) = five_tip_fixture();
+        let second = Alignment::from_letters(&[
+            ("t0", "GGTTAACCGGTTAACC"),
+            ("t1", "GGTTAACCGGTAAACC"),
+            ("t2", "GGTAAACCGGTTAACC"),
+            ("t3", "GGTTAACCGGTTAACG"),
+            ("t4", "CGTTAACCGGTTAACC"),
+        ])
+        .unwrap();
+        let third = Alignment::from_letters(&[
+            ("t0", "ATATATAT"),
+            ("t1", "ATATATAA"),
+            ("t2", "ATATATAT"),
+            ("t3", "ATGTATAT"),
+            ("t4", "ATATCTAT"),
+        ])
+        .unwrap();
+        let dataset = Dataset::new(vec![
+            Locus::new("l0", first),
+            Locus::new("l1", second),
+            Locus::new("l2", third),
+        ])
+        .unwrap();
+        (dataset, tree)
+    }
+
+    #[test]
+    fn multi_locus_log_likelihood_is_the_sum_of_per_locus_terms() {
+        let (dataset, tree) = three_locus_fixture();
+        let engine = MultiLocusEngine::new(&dataset, |a| F81::normalized(a.base_frequencies()));
+        assert_eq!(engine.n_loci(), 3);
+        assert_eq!(engine.locus_names(), &["l0", "l1", "l2"]);
+        let total = engine.log_likelihood(&tree).unwrap();
+        let per_locus = engine.log_likelihood_per_locus(&tree).unwrap();
+        let manual: f64 = dataset
+            .loci()
+            .iter()
+            .map(|locus| {
+                FelsensteinPruner::new(
+                    locus.alignment(),
+                    F81::normalized(locus.alignment().base_frequencies()),
+                )
+                .log_likelihood(&tree)
+                .unwrap()
+            })
+            .sum();
+        assert!((total - manual).abs() < 1e-10, "{total} vs {manual}");
+        assert!((total - per_locus.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_locus_batch_sums_per_locus_batches_and_counters() {
+        let (dataset, tree) = three_locus_fixture();
+        let engine = MultiLocusEngine::new(&dataset, |_| Jc69::new());
+        let edits: Vec<(GeneTree, Vec<NodeId>)> =
+            tree.non_root_internal_nodes().iter().map(|&t| perturb(&tree, t, 0.015)).collect();
+        let proposals: Vec<TreeProposal<'_>> =
+            edits.iter().map(|(t, e)| TreeProposal { tree: t, edited: e }).collect();
+
+        let eval = engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(!eval.generator_cache_hit);
+        assert_eq!(eval.nodes_full_pruned, 3 * tree.n_internal());
+        for ((proposal, _), &batched) in edits.iter().zip(&eval.log_likelihoods) {
+            let manual: f64 = dataset
+                .loci()
+                .iter()
+                .map(|locus| {
+                    FelsensteinPruner::new(locus.alignment(), Jc69::new())
+                        .log_likelihood(proposal)
+                        .unwrap()
+                })
+                .sum();
+            assert!((batched - manual).abs() < 1e-10, "{batched} vs {manual}");
+        }
+
+        // Second round: every locus workspace is memoised.
+        let again = engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(again.generator_cache_hit);
+        assert_eq!(again.nodes_full_pruned, 0);
+        assert_eq!(again.log_likelihoods, eval.log_likelihoods);
+
+        // Commit an accepted proposal across all loci and score against it.
+        let (accepted, edited) = (&edits[0].0, &edits[0].1);
+        let committed = engine.commit_accepted(&tree, accepted, edited).unwrap();
+        assert!(committed.is_some_and(|n| n > 0));
+        let promoted = engine.log_likelihood_batch(Backend::Serial, accepted, &[]).unwrap();
+        assert!(promoted.generator_cache_hit);
+        assert_eq!(promoted.generator_log_likelihood, eval.log_likelihoods[0]);
+
+        engine.clear_cache();
+        let cold = engine.log_likelihood_batch(Backend::Serial, accepted, &[]).unwrap();
+        assert!(!cold.generator_cache_hit);
+        assert_eq!(cold.generator_log_likelihood, promoted.generator_log_likelihood);
     }
 }

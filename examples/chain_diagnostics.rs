@@ -2,14 +2,18 @@
 //! Gelman–Rubin statistic applied to the genealogy samplers (the practical
 //! counterpart of Section 2.3's discussion of burn-in and convergence).
 //!
-//! Run with `cargo run --release -p mpcgs --example chain_diagnostics`.
+//! Each chain is a baseline-strategy `Session` started from a deliberately
+//! poor genealogy; the traces come from the unified `RunReport`.
+//!
+//! Run with `cargo run --release --example chain_diagnostics`.
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
-use lamarc::{LamarcSampler, SamplerConfig};
 use mcmc::diagnostics::{detect_burn_in, effective_sample_size, gelman_rubin, Summary};
 use mcmc::rng::Mt19937;
-use phylo::model::{Jc69, F81};
-use phylo::{upgma_tree, FelsensteinPruner};
+use phylo::model::Jc69;
+use phylo::upgma_tree;
+
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
 
 fn main() {
     let mut rng = Mt19937::new(31);
@@ -23,22 +27,25 @@ fn main() {
         .expect("sequence simulation succeeds");
 
     // Run three chains from a deliberately poor start.
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        burn_in_draws: 0,
+        sample_draws: 3_000,
+        ..MpcgsConfig::default()
+    };
     let mut chains: Vec<Vec<f64>> = Vec::new();
     for seed in [1u32, 2, 3] {
         let mut chain_rng = Mt19937::new(seed);
-        let engine =
-            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
-        let config = SamplerConfig {
-            theta: 1.0,
-            burn_in: 0,
-            samples: 3_000,
-            thinning: 1,
-            ..Default::default()
-        };
-        let sampler = LamarcSampler::new(engine, config).expect("valid configuration");
         let mut initial = upgma_tree(&alignment, 1.0).expect("UPGMA succeeds");
         initial.scale_times(25.0);
-        let run = sampler.run(initial, &mut chain_rng).expect("sampler run succeeds");
+        let mut session = Session::builder()
+            .alignment(alignment.clone())
+            .strategy(SamplerStrategy::Baseline)
+            .config(config)
+            .initial_tree(initial)
+            .build()
+            .expect("valid configuration");
+        let run = session.run_chain(&mut chain_rng).expect("sampler run succeeds");
         chains.push(run.trace.all().to_vec());
     }
 

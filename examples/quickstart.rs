@@ -1,13 +1,14 @@
-//! Quickstart: simulate a small data set with a known θ, estimate θ with the
-//! multi-proposal sampler, and print the per-iteration history.
+//! Quickstart: simulate a small data set with a known θ, estimate θ through
+//! the unified `Session` facade, and stream the per-iteration history with a
+//! run observer.
 //!
-//! Run with `cargo run --release -p mpcgs --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use mcmc::rng::Mt19937;
 use phylo::model::Jc69;
 
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mpcgs::{EmProgressPrinter, MpcgsConfig, SamplerStrategy, Session};
 
 fn main() {
     let true_theta = 1.0;
@@ -29,7 +30,8 @@ fn main() {
         alignment.n_sites()
     );
 
-    // 2. Estimate theta with the multi-proposal sampler.
+    // 2. Build a session — dataset, strategy and chain sizing — with an
+    //    observer printing each EM round, and run it.
     let config = MpcgsConfig {
         initial_theta: 0.1,
         em_iterations: 2,
@@ -39,18 +41,14 @@ fn main() {
         sample_draws: 3_000,
         ..MpcgsConfig::default()
     };
-    let estimator = ThetaEstimator::new(alignment, config).expect("valid configuration");
-    let estimate = estimator.estimate(&mut rng).expect("estimation succeeds");
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .strategy(SamplerStrategy::MultiProposal)
+        .config(config)
+        .observe(EmProgressPrinter::new())
+        .build()
+        .expect("valid configuration");
+    let estimate = session.run(&mut rng).expect("estimation succeeds");
 
-    println!("\n  iter   driving theta   estimate   move rate");
-    for (i, it) in estimate.iterations.iter().enumerate() {
-        println!(
-            "  {:>4}   {:>13.4}   {:>8.4}   {:>9.3}",
-            i + 1,
-            it.driving_theta,
-            it.estimate,
-            it.move_rate
-        );
-    }
     println!("\nfinal estimate: theta = {:.4} (true value {true_theta})", estimate.theta);
 }

@@ -12,6 +12,7 @@ use mcmc::rng::Mt19937;
 use phylo::io::newick::write_newick;
 use phylo::io::phylip::write_phylip;
 use phylo::model::{BaseFrequencies, F84};
+use phylo::{Dataset, Locus};
 
 fn main() {
     let mut rng = Mt19937::new(7);
@@ -41,5 +42,19 @@ fn main() {
         "\n# with exponential growth (rate 3.0) the tree is shallower: TMRCA {:.4} vs {:.4}",
         grown.tmrca(),
         tree.tmrca()
+    );
+
+    // Several independently evolved alignments over the same individuals
+    // form one multi-locus Dataset — the input `Session` (and the CLI, given
+    // several PHYLIP files) estimates a shared theta from.
+    let second = seqsim.simulate(&mut rng, &tree).expect("sequence simulation succeeds");
+    let dataset =
+        Dataset::new(vec![Locus::new("locus-a", alignment), Locus::new("locus-b", second)])
+            .expect("loci share one name set");
+    println!(
+        "\n# multi-locus dataset: {} loci x {} sequences, {} total sites",
+        dataset.n_loci(),
+        dataset.n_sequences(),
+        dataset.total_sites()
     );
 }

@@ -1,15 +1,16 @@
-//! Side-by-side θ estimation: the baseline single-proposal sampler versus the
-//! multi-proposal sampler on the same simulated data (the comparison behind
-//! Table 1 / Figure 13), plus the relative-likelihood curve of Figure 5.
+//! Side-by-side θ estimation: the baseline single-proposal strategy versus
+//! the multi-proposal strategy on the same simulated data (the comparison
+//! behind Table 1 / Figure 13), plus the relative-likelihood curve of
+//! Figure 5 — all through the one `Session` facade, switching only the
+//! sampler strategy.
 //!
-//! Run with `cargo run --release -p mpcgs --example theta_estimation`.
+//! Run with `cargo run --release --example theta_estimation`.
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
-use lamarc::{EmConfig, LamarcEstimator};
 use mcmc::rng::Mt19937;
 use phylo::model::Jc69;
 
-use mpcgs::{MpcgsConfig, RelativeLikelihood, ThetaEstimator};
+use mpcgs::{MpcgsConfig, RelativeLikelihood, SamplerStrategy, Session};
 
 fn main() {
     let true_theta = 2.0;
@@ -28,33 +29,6 @@ fn main() {
         alignment.n_sites()
     );
 
-    // Baseline estimator (single-proposal Metropolis-Hastings).
-    let baseline = LamarcEstimator::new(
-        alignment.clone(),
-        EmConfig {
-            initial_theta: 0.5,
-            em_iterations: 2,
-            burn_in: 400,
-            samples: 4_000,
-            thinning: 1,
-            ..Default::default()
-        },
-    )
-    .expect("valid baseline configuration")
-    .estimate(&mut rng)
-    .expect("baseline estimation succeeds");
-    println!("baseline (LAMARC-style) estimate: theta = {:.4}", baseline.theta);
-    for (i, it) in baseline.iterations.iter().enumerate() {
-        println!(
-            "   iteration {}: driving {:.4} -> estimate {:.4} (acceptance {:.2})",
-            i + 1,
-            it.driving_theta,
-            it.estimate,
-            it.acceptance_rate
-        );
-    }
-
-    // Multi-proposal estimator.
     let config = MpcgsConfig {
         initial_theta: 0.5,
         em_iterations: 2,
@@ -64,23 +38,42 @@ fn main() {
         sample_draws: 4_000,
         ..MpcgsConfig::default()
     };
-    let estimator = ThetaEstimator::new(alignment, config).expect("valid mpcgs configuration");
-    let mpcgs_estimate = estimator.estimate(&mut rng).expect("mpcgs estimation succeeds");
-    println!("\nmpcgs (multi-proposal) estimate:  theta = {:.4}", mpcgs_estimate.theta);
-    for (i, it) in mpcgs_estimate.iterations.iter().enumerate() {
-        println!(
-            "   iteration {}: driving {:.4} -> estimate {:.4} (move rate {:.2})",
-            i + 1,
-            it.driving_theta,
-            it.estimate,
-            it.move_rate
-        );
+
+    // The two strategies are interchangeable behind the facade: same
+    // dataset, same configuration, different transition kernel.
+    for (label, strategy, rate_label) in [
+        ("baseline (LAMARC-style)", SamplerStrategy::Baseline, "acceptance"),
+        ("mpcgs (multi-proposal)", SamplerStrategy::MultiProposal, "move rate"),
+    ] {
+        let mut session = Session::builder()
+            .alignment(alignment.clone())
+            .strategy(strategy)
+            .config(config)
+            .build()
+            .expect("valid configuration");
+        let estimate = session.run(&mut rng).expect("estimation succeeds");
+        println!("{label} estimate: theta = {:.4}", estimate.theta);
+        for (i, it) in estimate.iterations.iter().enumerate() {
+            println!(
+                "   iteration {}: driving {:.4} -> estimate {:.4} ({rate_label} {:.2})",
+                i + 1,
+                it.driving_theta,
+                it.estimate,
+                it.acceptance_rate
+            );
+        }
+        println!();
     }
 
-    // The relative-likelihood curve around the final estimate (Figure 5).
+    // The relative-likelihood curve around the driving value (Figure 5).
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .config(config)
+        .build()
+        .expect("valid configuration");
     let grid = RelativeLikelihood::log_grid(0.2, 8.0, 16);
-    let curve = estimator.likelihood_curve(&mut rng, &grid).expect("curve evaluation succeeds");
-    println!("\nrelative log-likelihood curve (driving theta = 0.5):");
+    let curve = session.likelihood_curve(&mut rng, &grid).expect("curve evaluation succeeds");
+    println!("relative log-likelihood curve (driving theta = 0.5):");
     for (theta, lnl) in curve {
         println!("   theta {:>7.3}   ln L {:>9.3}", theta, lnl);
     }

@@ -6,10 +6,11 @@
 //!   batched, dirty-path-cached Felsenstein likelihood engine;
 //! * [`mcmc`] — RNG streams, log-domain arithmetic, chain diagnostics;
 //! * [`coalescent`] — the Kingman prior and data simulators;
-//! * [`lamarc`] — the single-proposal baseline sampler and the shared
-//!   proposal mechanism;
+//! * [`lamarc`] — the single-proposal baseline sampler, the shared proposal
+//!   mechanism, and the unified `GenealogySampler` strategy API;
 //! * [`mpcgs`] — the multi-proposal (Generalized Metropolis–Hastings)
-//!   sampler, the paper's contribution;
+//!   sampler, the paper's contribution, and the `Session` facade every
+//!   driver (CLI, examples, benches) runs through;
 //! * [`exec`] — the data-parallel backend and simulated-device cost models.
 //!
 //! This crate exists to own the cross-crate integration tests (`tests/`) and

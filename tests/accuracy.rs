@@ -6,12 +6,11 @@
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::Backend;
-use lamarc::{EmConfig, LamarcEstimator};
 use mcmc::rng::Mt19937;
 use phylo::model::Jc69;
 use phylo::Alignment;
 
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
 
 fn simulate(seed: u32, true_theta: f64, n: usize, sites: usize) -> Alignment {
     let mut rng = Mt19937::new(seed);
@@ -19,7 +18,7 @@ fn simulate(seed: u32, true_theta: f64, n: usize, sites: usize) -> Alignment {
     SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
 }
 
-fn mpcgs_estimate(alignment: &Alignment, seed: u32) -> f64 {
+fn estimate(alignment: &Alignment, strategy: SamplerStrategy, seed: u32) -> f64 {
     let config = MpcgsConfig {
         initial_theta: 1.0,
         em_iterations: 2,
@@ -31,20 +30,23 @@ fn mpcgs_estimate(alignment: &Alignment, seed: u32) -> f64 {
         ..MpcgsConfig::default()
     };
     let mut rng = Mt19937::new(seed);
-    ThetaEstimator::new(alignment.clone(), config).unwrap().estimate(&mut rng).unwrap().theta
+    Session::builder()
+        .alignment(alignment.clone())
+        .strategy(strategy)
+        .config(config)
+        .build()
+        .unwrap()
+        .run(&mut rng)
+        .unwrap()
+        .theta
+}
+
+fn mpcgs_estimate(alignment: &Alignment, seed: u32) -> f64 {
+    estimate(alignment, SamplerStrategy::MultiProposal, seed)
 }
 
 fn baseline_estimate(alignment: &Alignment, seed: u32) -> f64 {
-    let config = EmConfig {
-        initial_theta: 1.0,
-        em_iterations: 2,
-        burn_in: 150,
-        samples: 1_200,
-        thinning: 1,
-        ..Default::default()
-    };
-    let mut rng = Mt19937::new(seed);
-    LamarcEstimator::new(alignment.clone(), config).unwrap().estimate(&mut rng).unwrap().theta
+    estimate(alignment, SamplerStrategy::Baseline, seed)
 }
 
 #[test]

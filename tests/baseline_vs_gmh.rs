@@ -2,18 +2,17 @@
 //! (Generalized Metropolis–Hastings) sampler targets the same posterior as
 //! the conventional single-proposal sampler, so their post-burn-in sampled
 //! genealogy distributions must agree — while the multi-proposal sampler
-//! exposes its work as parallelisable proposal batches.
+//! exposes its work as parallelisable proposal batches. Both run through the
+//! same `Session` facade, differing only in the configured strategy.
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::Backend;
-use lamarc::{LamarcSampler, SamplerConfig};
 use mcmc::diagnostics::{gelman_rubin, Summary};
 use mcmc::rng::Mt19937;
-use phylo::model::{Jc69, F81};
-use phylo::{upgma_tree, Alignment, FelsensteinPruner};
+use phylo::model::Jc69;
+use phylo::Alignment;
 
-use mpcgs::sampler::MultiProposalSampler;
-use mpcgs::MpcgsConfig;
+use mpcgs::{ModelSpec, MpcgsConfig, RunReport, SamplerStrategy, Session};
 
 fn simulated_alignment(seed: u32) -> Alignment {
     let mut rng = Mt19937::new(seed);
@@ -21,45 +20,42 @@ fn simulated_alignment(seed: u32) -> Alignment {
     SequenceSimulator::new(Jc69::new(), 150, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
 }
 
+fn run_chain(
+    alignment: &Alignment,
+    strategy: SamplerStrategy,
+    model: ModelSpec,
+    config: MpcgsConfig,
+    seed: u32,
+) -> RunReport {
+    let mut rng = Mt19937::new(seed);
+    Session::builder()
+        .alignment(alignment.clone())
+        .strategy(strategy)
+        .model(model)
+        .config(config)
+        .build()
+        .unwrap()
+        .run_chain(&mut rng)
+        .unwrap()
+}
+
 #[test]
 fn sampled_distributions_agree_between_the_two_samplers() {
     let alignment = simulated_alignment(2_017);
-    let initial = upgma_tree(&alignment, 1.0).unwrap();
-    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 300,
+        sample_draws: 2_500,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    };
 
-    // Baseline chain.
-    let mut rng = Mt19937::new(1);
-    let baseline = LamarcSampler::new(
-        engine.clone(),
-        SamplerConfig {
-            theta: 1.0,
-            burn_in: 300,
-            samples: 2_500,
-            thinning: 1,
-            ..Default::default()
-        },
-    )
-    .unwrap()
-    .run(initial.clone(), &mut rng)
-    .unwrap();
-
-    // Multi-proposal chain.
-    let mut rng = Mt19937::new(2);
-    let gmh = MultiProposalSampler::new(
-        engine,
-        MpcgsConfig {
-            initial_theta: 1.0,
-            proposals_per_iteration: 8,
-            draws_per_iteration: 8,
-            burn_in_draws: 300,
-            sample_draws: 2_500,
-            backend: Backend::Serial,
-            ..MpcgsConfig::default()
-        },
-    )
-    .unwrap()
-    .run(initial, &mut rng)
-    .unwrap();
+    let baseline =
+        run_chain(&alignment, SamplerStrategy::Baseline, ModelSpec::F81Empirical, config, 1);
+    let gmh =
+        run_chain(&alignment, SamplerStrategy::MultiProposal, ModelSpec::F81Empirical, config, 2);
 
     let base_depths: Vec<f64> = baseline.samples.iter().map(|s| s.intervals.depth()).collect();
     let gmh_depths: Vec<f64> = gmh.samples.iter().map(|s| s.intervals.depth()).collect();
@@ -109,9 +105,7 @@ fn multi_proposal_work_is_batched_for_parallel_execution() {
     // not depend on acceptance behaviour, so the work arrives in
     // embarrassingly parallel batches of N.
     let alignment = simulated_alignment(2_018);
-    let initial = upgma_tree(&alignment, 1.0).unwrap();
     for n in [2usize, 8, 16] {
-        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
         let config = MpcgsConfig {
             initial_theta: 1.0,
             proposals_per_iteration: n,
@@ -121,13 +115,15 @@ fn multi_proposal_work_is_batched_for_parallel_execution() {
             backend: Backend::Serial,
             ..MpcgsConfig::default()
         };
-        let mut rng = Mt19937::new(n as u32);
-        let run = MultiProposalSampler::new(engine, config)
-            .unwrap()
-            .run(initial.clone(), &mut rng)
-            .unwrap();
-        assert_eq!(run.stats.iterations, 160 / n);
-        assert_eq!(run.stats.likelihood_evaluations, run.stats.iterations * n);
-        assert_eq!(run.stats.draws, 160);
+        let run = run_chain(
+            &alignment,
+            SamplerStrategy::MultiProposal,
+            ModelSpec::Jc69,
+            config,
+            n as u32,
+        );
+        assert_eq!(run.counters.iterations, 160 / n);
+        assert_eq!(run.counters.likelihood_evaluations, run.counters.iterations * n);
+        assert_eq!(run.counters.draws, 160);
     }
 }

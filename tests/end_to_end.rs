@@ -1,5 +1,5 @@
 //! End-to-end integration: simulate data (coalescent + sequence evolution),
-//! write and re-read it through the PHYLIP layer, run the full mpcgs
+//! write and re-read it through the PHYLIP layer, run the full session-based
 //! estimator on it, and check the output is a sane θ estimate. This exercises
 //! every crate in the workspace along the same path the `mpcgs` binary takes.
 
@@ -10,7 +10,7 @@ use phylo::io::phylip::{parse_phylip, write_phylip};
 use phylo::likelihood::ExecutionMode;
 use phylo::model::Jc69;
 
-use mpcgs::{MpcgsConfig, ThetaEstimator};
+use mpcgs::{MpcgsConfig, Session};
 
 fn small_config() -> MpcgsConfig {
     MpcgsConfig {
@@ -38,8 +38,8 @@ fn simulate_roundtrip_estimate() {
     let reread = parse_phylip(&text).unwrap();
     assert_eq!(reread, alignment);
 
-    let estimator = ThetaEstimator::new(reread, small_config()).unwrap();
-    let estimate = estimator.estimate(&mut rng).unwrap();
+    let mut session = Session::builder().alignment(reread).config(small_config()).build().unwrap();
+    let estimate = session.run(&mut rng).unwrap();
     assert_eq!(estimate.iterations.len(), 2);
     assert!(
         estimate.theta > 0.02 && estimate.theta < 20.0,
@@ -49,9 +49,9 @@ fn simulate_roundtrip_estimate() {
     // The EM loop must chain its driving values.
     assert!((estimate.iterations[1].driving_theta - estimate.iterations[0].estimate).abs() < 1e-12);
     // Work counters are consistent with the configuration.
-    let stats = estimate.iterations[0].stats;
-    assert_eq!(stats.draws, 900);
-    assert_eq!(stats.proposals_generated, stats.iterations * 8);
+    let counters = estimate.iterations[0].counters;
+    assert_eq!(counters.draws, 900);
+    assert_eq!(counters.proposals_generated, counters.iterations * 8);
 }
 
 #[test]
@@ -61,18 +61,23 @@ fn parallel_likelihood_and_rayon_backend_agree_with_serial() {
     let alignment =
         SequenceSimulator::new(Jc69::new(), 100, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
 
-    let serial_estimator = ThetaEstimator::new(alignment.clone(), small_config())
-        .unwrap()
-        .with_execution(ExecutionMode::Serial);
-    let parallel_config = MpcgsConfig { backend: Backend::Rayon, ..small_config() };
-    let parallel_estimator = ThetaEstimator::new(alignment, parallel_config)
-        .unwrap()
-        .with_execution(ExecutionMode::Parallel);
+    let mut serial_session = Session::builder()
+        .alignment(alignment.clone())
+        .config(small_config())
+        .execution(ExecutionMode::Serial)
+        .build()
+        .unwrap();
+    let mut parallel_session = Session::builder()
+        .alignment(alignment)
+        .config(MpcgsConfig { backend: Backend::Rayon, ..small_config() })
+        .execution(ExecutionMode::Parallel)
+        .build()
+        .unwrap();
 
     let mut rng_a = Mt19937::new(5);
-    let serial = serial_estimator.estimate(&mut rng_a).unwrap();
+    let serial = serial_session.run(&mut rng_a).unwrap();
     let mut rng_b = Mt19937::new(5);
-    let parallel = parallel_estimator.estimate(&mut rng_b).unwrap();
+    let parallel = parallel_session.run(&mut rng_b).unwrap();
 
     // Identical host RNG seeds and identical per-proposal streams: the two
     // runs are deterministic replicas, so the estimates must agree exactly.
@@ -85,16 +90,21 @@ fn parallel_likelihood_and_rayon_backend_agree_with_serial() {
 }
 
 #[test]
-fn cli_binary_runs_on_a_phylip_file() {
-    // Build the same artefacts the CLI consumes and run the binary itself.
+fn cli_binary_runs_on_phylip_files() {
+    // Build the same artefacts the CLI consumes and run the binary itself,
+    // single-locus first, then multi-locus with a --backend override.
     let mut rng = Mt19937::new(3);
     let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 6).unwrap();
     let alignment =
         SequenceSimulator::new(Jc69::new(), 80, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    let second =
+        SequenceSimulator::new(Jc69::new(), 60, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
     let dir = std::env::temp_dir().join("mpcgs_integration_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("toy.phy");
     std::fs::write(&path, write_phylip(&alignment)).unwrap();
+    let path2 = dir.join("toy2.phy");
+    std::fs::write(&path2, write_phylip(&second)).unwrap();
 
     // The binary belongs to the `mpcgs` crate, not this integration crate, so
     // `CARGO_BIN_EXE_*` is not available here; run it through cargo instead.
@@ -118,12 +128,44 @@ fn cli_binary_runs_on_a_phylip_file() {
             "8",
             "--em",
             "1",
-            "--serial",
+            "--backend",
+            "serial",
         ])
         .output()
         .expect("the mpcgs binary runs");
     assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
     let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("final estimate of theta"), "unexpected output:\n{stdout}");
+
+    // Multi-locus invocation: two PHYLIP files, baseline strategy.
+    let multi = std::process::Command::new(&cargo)
+        .args([
+            "run",
+            "-q",
+            "-p",
+            "mpcgs",
+            "--bin",
+            "mpcgs",
+            "--",
+            path.to_str().unwrap(),
+            path2.to_str().unwrap(),
+            "0.5",
+            "--samples",
+            "300",
+            "--burn-in",
+            "50",
+            "--em",
+            "1",
+            "--strategy",
+            "baseline",
+            "--backend",
+            "serial",
+        ])
+        .output()
+        .expect("the mpcgs binary runs");
+    assert!(multi.status.success(), "stderr: {}", String::from_utf8_lossy(&multi.stderr));
+    let stdout = String::from_utf8_lossy(&multi.stdout);
+    assert!(stdout.contains("2 locus/loci"), "unexpected output:\n{stdout}");
     assert!(stdout.contains("final estimate of theta"), "unexpected output:\n{stdout}");
 
     // Bad invocations fail cleanly.

@@ -1,0 +1,351 @@
+//! Acceptance tests for the unified `Session` API:
+//!
+//! 1. single-locus sessions are *bit-identical* (fixed seed) to the
+//!    pre-redesign drivers — the raw samplers driven by hand through the
+//!    pre-facade EM loop;
+//! 2. a multi-locus (3-locus) evaluation matches the sum of independent
+//!    per-locus evaluations to 1e-10;
+//! 3. both `GenealogySampler` strategies are interchangeable behind the
+//!    trait and produce identical traces to their directly-constructed
+//!    counterparts under a fixed seed;
+//! 4. `RunObserver`s receive the documented event sequence.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use lamarc::mle::{maximize_relative_likelihood, RelativeLikelihood};
+use lamarc::run::{
+    ChainInfo, EmUpdate, GenealogySampler, NullObserver, RunObserver, RunReport, StepReport,
+};
+use lamarc::sampler::{LamarcSampler, SamplerConfig};
+use mcmc::rng::Mt19937;
+use phylo::model::{Jc69, F81};
+use phylo::{
+    upgma_tree, Alignment, Dataset, FelsensteinPruner, LikelihoodEngine, Locus, MultiLocusEngine,
+};
+
+use mpcgs::sampler::MultiProposalSampler;
+use mpcgs::{ModelSpec, MpcgsConfig, SamplerStrategy, Session};
+
+fn simulated_alignment(seed: u32, n: usize, sites: usize) -> Alignment {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
+    SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap()
+}
+
+fn small_config() -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 60,
+        sample_draws: 400,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    }
+}
+
+/// The pre-redesign EM driver loop (what `ThetaEstimator::estimate` used to
+/// hard-code): fresh engine + raw `MultiProposalSampler` per round, relative
+/// likelihood maximised over the interval summaries, driving value and
+/// starting tree chained across rounds.
+fn pre_redesign_gmh_em(
+    alignment: &Alignment,
+    config: MpcgsConfig,
+    rng: &mut Mt19937,
+) -> (f64, Vec<f64>, Vec<RunReport>) {
+    let mut theta = config.initial_theta;
+    let mut estimates = Vec::new();
+    let mut reports = Vec::new();
+    let mut current = Some(upgma_tree(alignment, 1.0).unwrap());
+    for _ in 0..config.em_iterations {
+        let engine =
+            FelsensteinPruner::new(alignment, F81::normalized(alignment.base_frequencies()));
+        let mut sampler = MultiProposalSampler::with_theta(engine, config, theta).unwrap();
+        let initial = current.take().unwrap();
+        let report = sampler.run(initial, rng, &mut NullObserver).unwrap();
+        let summaries = report.interval_summaries();
+        let relative = RelativeLikelihood::new(theta, &summaries).unwrap();
+        let estimate = maximize_relative_likelihood(&relative, &config.ascent);
+        estimates.push(estimate);
+        theta = estimate.max(1e-9);
+        current = Some(report.final_tree.clone());
+        reports.push(report);
+    }
+    (theta, estimates, reports)
+}
+
+#[test]
+fn session_is_bit_identical_to_the_pre_redesign_em_driver() {
+    let alignment = simulated_alignment(20_170_529, 6, 90);
+    let config = small_config();
+
+    let mut manual_rng = Mt19937::new(1_000);
+    let (manual_theta, manual_estimates, manual_reports) =
+        pre_redesign_gmh_em(&alignment, config, &mut manual_rng);
+
+    let mut session = Session::builder().alignment(alignment).config(config).build().unwrap();
+    let mut session_rng = Mt19937::new(1_000);
+    let estimate = session.run(&mut session_rng).unwrap();
+
+    // Bit-identical: the facade adds no numerical drift of any kind.
+    assert_eq!(estimate.theta, manual_theta);
+    for (it, (manual_estimate, manual_report)) in
+        estimate.iterations.iter().zip(manual_estimates.iter().zip(&manual_reports))
+    {
+        assert_eq!(it.estimate, *manual_estimate);
+        assert_eq!(it.counters, manual_report.counters);
+        assert_eq!(it.acceptance_rate, manual_report.acceptance_rate());
+        assert_eq!(it.mean_log_data_likelihood, manual_report.mean_log_data_likelihood());
+    }
+}
+
+#[test]
+fn session_chains_are_bit_identical_to_directly_constructed_samplers() {
+    let alignment = simulated_alignment(8_888, 6, 80);
+    let config =
+        MpcgsConfig { initial_theta: 1.0, burn_in_draws: 50, sample_draws: 300, ..small_config() };
+    let initial = upgma_tree(&alignment, 1.0).unwrap();
+
+    // Multi-proposal strategy vs the raw MultiProposalSampler.
+    let mut raw_rng = Mt19937::new(55);
+    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let mut raw = MultiProposalSampler::with_theta(engine, config, config.initial_theta).unwrap();
+    let raw_run = raw.run(initial.clone(), &mut raw_rng, &mut NullObserver).unwrap();
+
+    let mut session =
+        Session::builder().alignment(alignment.clone()).config(config).build().unwrap();
+    let mut session_rng = Mt19937::new(55);
+    let session_run = session.run_chain(&mut session_rng).unwrap();
+    assert_eq!(session_run.trace.all(), raw_run.trace.all());
+    assert_eq!(session_run.counters, raw_run.counters);
+
+    // Baseline strategy vs the raw LamarcSampler.
+    let mut raw_rng = Mt19937::new(77);
+    let engine = FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+    let baseline_config = SamplerConfig {
+        theta: config.initial_theta,
+        burn_in: config.burn_in_draws,
+        samples: config.sample_draws,
+        thinning: config.thinning,
+        proposal: config.proposal,
+    };
+    let mut raw = LamarcSampler::new(engine, baseline_config).unwrap();
+    let raw_run = raw.run(initial, &mut raw_rng, &mut NullObserver).unwrap();
+
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .strategy(SamplerStrategy::Baseline)
+        .config(config)
+        .build()
+        .unwrap();
+    let mut session_rng = Mt19937::new(77);
+    let session_run = session.run_chain(&mut session_rng).unwrap();
+    assert_eq!(session_run.trace.all(), raw_run.trace.all());
+    assert_eq!(session_run.counters, raw_run.counters);
+    let raw_depths: Vec<f64> = raw_run.samples.iter().map(|s| s.intervals.depth()).collect();
+    let session_depths: Vec<f64> =
+        session_run.samples.iter().map(|s| s.intervals.depth()).collect();
+    assert_eq!(raw_depths, session_depths);
+}
+
+#[test]
+fn three_locus_run_matches_the_per_locus_sum() {
+    // Three loci over the same five individuals, independently simulated.
+    let base = simulated_alignment(31_337, 5, 70);
+    let names: Vec<String> = base.names().iter().map(|s| s.to_string()).collect();
+    let mut rng = Mt19937::new(606);
+    let mut loci = vec![Locus::new("l0", base)];
+    for (i, sites) in [(1usize, 50usize), (2, 110)] {
+        let tree = CoalescentSimulator::constant(1.0)
+            .unwrap()
+            .simulate_labelled(&mut rng, &names)
+            .unwrap();
+        let alignment = SequenceSimulator::new(Jc69::new(), sites, 1.0)
+            .unwrap()
+            .simulate(&mut rng, &tree)
+            .unwrap();
+        loci.push(Locus::new(format!("l{i}"), alignment));
+    }
+    let dataset = Dataset::new(loci).unwrap();
+
+    // Run a short 3-locus session chain to generate genealogies the engine
+    // actually visits, then verify the multi-locus likelihood of each
+    // visited state equals the sum of independent per-locus evaluations.
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 1,
+        burn_in_draws: 20,
+        sample_draws: 120,
+        ..small_config()
+    };
+    let mut session = Session::builder()
+        .dataset(dataset.clone())
+        .model(ModelSpec::F81Empirical)
+        .config(config)
+        .build()
+        .unwrap();
+    let run = session.run_chain(&mut rng).unwrap();
+    assert_eq!(run.samples.len(), 120);
+
+    let engine = MultiLocusEngine::new(&dataset, |a| F81::normalized(a.base_frequencies()));
+    let per_locus_engines: Vec<_> = dataset
+        .loci()
+        .iter()
+        .map(|locus| {
+            FelsensteinPruner::new(
+                locus.alignment(),
+                F81::normalized(locus.alignment().base_frequencies()),
+            )
+        })
+        .collect();
+    // The final tree plus a fan of fresh trees over the same tips.
+    let mut trees =
+        vec![run.final_tree.clone(), upgma_tree(dataset.primary_alignment(), 1.0).unwrap()];
+    for _ in 0..8 {
+        trees.push(
+            CoalescentSimulator::constant(1.0)
+                .unwrap()
+                .simulate_labelled(&mut rng, &names)
+                .unwrap(),
+        );
+    }
+    for tree in &trees {
+        let multi = engine.log_likelihood(tree).unwrap();
+        let sum: f64 = per_locus_engines.iter().map(|e| e.log_likelihood(tree).unwrap()).sum();
+        assert!(
+            (multi - sum).abs() < 1e-10,
+            "multi-locus {multi} vs per-locus sum {sum} (diff {})",
+            (multi - sum).abs()
+        );
+    }
+    // The trace the chain recorded is made of exactly such sums: its final
+    // entry equals the committed engine state for the final tree.
+    let last = *run.trace.all().last().unwrap();
+    let sum: f64 =
+        per_locus_engines.iter().map(|e| e.log_likelihood(&run.final_tree).unwrap()).sum();
+    assert!((last - sum).abs() < 1e-10, "final trace point {last} vs per-locus sum {sum}");
+}
+
+#[test]
+fn strategies_are_interchangeable_behind_the_trait() {
+    let alignment = simulated_alignment(99, 5, 60);
+    let config = MpcgsConfig { burn_in_draws: 16, sample_draws: 64, ..small_config() };
+    let session = Session::builder().alignment(alignment.clone()).config(config).build().unwrap();
+    let initial = upgma_tree(&alignment, 1.0).unwrap();
+
+    for strategy in [SamplerStrategy::Baseline, SamplerStrategy::MultiProposal] {
+        let session = Session::builder()
+            .alignment(alignment.clone())
+            .strategy(strategy)
+            .config(config)
+            .build()
+            .unwrap();
+        let mut sampler: Box<dyn GenealogySampler> =
+            session.make_sampler(config.initial_theta).unwrap();
+        assert_eq!(sampler.strategy(), strategy.name());
+        let info = sampler.chain_info();
+        assert_eq!(info.burn_in_draws, 16);
+        assert_eq!(info.total_draws, 80);
+        // Drive the chain step by step through the trait object.
+        let mut rng = Mt19937::new(13);
+        sampler.begin(initial.clone()).unwrap();
+        let mut last = None;
+        while !sampler.is_done() {
+            last = Some(sampler.step(&mut rng).unwrap());
+        }
+        let report = sampler.finish().unwrap();
+        assert_eq!(last.unwrap().draws_done, 80);
+        assert_eq!(report.counters.draws, 80);
+        assert_eq!(report.samples.len(), 64);
+        assert_eq!(report.trace.len(), 80);
+    }
+    drop(session);
+}
+
+/// Events recorded by the observer test, in arrival order.
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    ChainStart { strategy: String, total_draws: usize },
+    BurnIn { draws_done: usize },
+    Iteration { draws_done: usize },
+    ChainEnd { draws: usize },
+    Em { iteration: usize },
+}
+
+#[derive(Clone)]
+struct Recorder(Rc<RefCell<Vec<Event>>>);
+
+impl RunObserver for Recorder {
+    fn on_chain_start(&mut self, info: &ChainInfo) {
+        self.0.borrow_mut().push(Event::ChainStart {
+            strategy: info.strategy.to_string(),
+            total_draws: info.total_draws,
+        });
+    }
+
+    fn on_burn_in_progress(&mut self, draws_done: usize, _burn_in_total: usize) {
+        self.0.borrow_mut().push(Event::BurnIn { draws_done });
+    }
+
+    fn on_iteration(&mut self, step: &StepReport) {
+        self.0.borrow_mut().push(Event::Iteration { draws_done: step.draws_done });
+    }
+
+    fn on_em_update(&mut self, update: &EmUpdate) {
+        self.0.borrow_mut().push(Event::Em { iteration: update.iteration });
+    }
+
+    fn on_chain_end(&mut self, report: &RunReport) {
+        self.0.borrow_mut().push(Event::ChainEnd { draws: report.counters.draws });
+    }
+}
+
+#[test]
+fn observers_receive_the_expected_event_sequence() {
+    let alignment = simulated_alignment(123, 4, 40);
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 2,
+        proposals_per_iteration: 4,
+        draws_per_iteration: 4,
+        burn_in_draws: 8,
+        sample_draws: 16,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    };
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .config(config)
+        .observe(Recorder(events.clone()))
+        .build()
+        .unwrap();
+    let mut rng = Mt19937::new(17);
+    let estimate = session.run(&mut rng).unwrap();
+    assert_eq!(estimate.iterations.len(), 2);
+
+    // Each EM round: 24 draws at 4 per iteration = 6 kernel iterations, the
+    // first two of which end inside burn-in.
+    let expected_per_round = |total: usize| {
+        let mut expected = vec![Event::ChainStart { strategy: "gmh".into(), total_draws: total }];
+        for i in 1..=6usize {
+            let draws_done = i * 4;
+            if draws_done <= 8 {
+                expected.push(Event::BurnIn { draws_done });
+            }
+            expected.push(Event::Iteration { draws_done });
+        }
+        expected.push(Event::ChainEnd { draws: total });
+        expected
+    };
+    let mut expected = Vec::new();
+    for round in 0..2usize {
+        expected.extend(expected_per_round(24));
+        expected.push(Event::Em { iteration: round });
+    }
+    assert_eq!(*events.borrow(), expected);
+}
