@@ -5,6 +5,25 @@
 //! [`Backend`] decides whether that work runs serially or on the rayon
 //! thread pool. This mirrors the structure of the CUDA implementation, where
 //! the same loops are expressed as kernels with one thread per item.
+//!
+//! Backends are selected by value (or parsed from CLI-style names) and
+//! passed down to whatever owns the loop — the seam a device backend plugs
+//! into later:
+//!
+//! ```
+//! use exec::Backend;
+//!
+//! // Parse a user-facing name, inspect it, and run a data-parallel map.
+//! let backend: Backend = "serial".parse().unwrap();
+//! assert_eq!(backend, Backend::Serial);
+//! assert_eq!(backend.threads(), 1);
+//! let squares = backend.map_indexed(4, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//!
+//! // The default backend is the rayon thread pool; results are identical.
+//! assert_eq!(Backend::default(), Backend::Rayon);
+//! assert_eq!(Backend::Rayon.map_indexed(4, |i| i * i), squares);
+//! ```
 
 use std::fmt;
 use std::str::FromStr;
@@ -65,6 +84,32 @@ impl Backend {
         }
     }
 
+    /// Map `f` over the row-major `(row, col)` cells of a `rows × cols` grid
+    /// in **one** flattened dispatch, collecting results in row-major order
+    /// (`result[row * cols + col]`).
+    ///
+    /// This is the helper behind flattened (locus × proposal) likelihood
+    /// batching: scheduling the full grid as a single `rows * cols`-item map
+    /// keeps every worker busy even when one dimension is small, where a
+    /// per-row loop of `cols`-item dispatches would leave threads idle at
+    /// each row boundary.
+    ///
+    /// ```
+    /// use exec::Backend;
+    /// let grid = Backend::Serial.map_grid(2, 3, |row, col| 10 * row + col);
+    /// assert_eq!(grid, vec![0, 1, 2, 10, 11, 12]);
+    /// ```
+    pub fn map_grid<U, F>(&self, rows: usize, cols: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, usize) -> U + Sync + Send,
+    {
+        if cols == 0 {
+            return Vec::new();
+        }
+        self.map_indexed(rows * cols, move |i| f(i / cols, i % cols))
+    }
+
     /// Map `f` over a slice, collecting results in order.
     pub fn map_slice<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -113,6 +158,19 @@ mod tests {
             let out = backend.map_indexed(100, |i| i * i);
             assert_eq!(out.len(), 100);
             assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn map_grid_flattens_row_major_on_both_backends() {
+        for backend in [Backend::Serial, Backend::Rayon] {
+            let grid = backend.map_grid(7, 13, |r, c| (r, c));
+            assert_eq!(grid.len(), 7 * 13);
+            for (i, &(r, c)) in grid.iter().enumerate() {
+                assert_eq!((r, c), (i / 13, i % 13));
+            }
+            assert!(backend.map_grid(0, 13, |r, c| r + c).is_empty());
+            assert!(backend.map_grid(7, 0, |r, c| r + c).is_empty());
         }
     }
 

@@ -3,6 +3,7 @@
 use exec::Backend;
 use lamarc::mle::GradientAscentConfig;
 use lamarc::proposal::ProposalConfig;
+use phylo::likelihood::Kernel;
 use phylo::PhyloError;
 
 /// Full configuration of the mpcgs θ estimator (Figure 11's loop).
@@ -35,6 +36,10 @@ pub struct MpcgsConfig {
     /// Data-parallel backend for proposal generation and likelihood
     /// evaluation (the host-side analogue of the CUDA kernels).
     pub backend: Backend,
+    /// Arithmetic kernel for the likelihood engine's combine loop
+    /// ([`Kernel::Simd`] requires the `simd` cargo feature and degrades to
+    /// the scalar kernel at runtime without it).
+    pub kernel: Kernel,
     /// Master seed for the per-proposal random-number streams (the MTGP32
     /// substitute).
     pub stream_seed: u64,
@@ -53,6 +58,7 @@ impl Default for MpcgsConfig {
             proposal: ProposalConfig::default(),
             ascent: GradientAscentConfig::default(),
             backend: Backend::Rayon,
+            kernel: Kernel::Scalar,
             stream_seed: 0x6D70_6367_7372_7573, // "mpcgsrus"
         }
     }

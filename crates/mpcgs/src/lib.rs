@@ -85,4 +85,4 @@ pub use lamarc::run::{
     StepReport,
 };
 pub use lamarc::sampler::GenealogySample;
-pub use phylo::{Dataset, Locus};
+pub use phylo::{Dataset, Kernel, Locus};

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use exec::Backend;
 use mcmc::rng::Mt19937;
 use phylo::io::phylip::parse_phylip;
-use phylo::likelihood::ExecutionMode;
+use phylo::likelihood::{ExecutionMode, Kernel};
 use phylo::{Dataset, Locus};
 
 use mpcgs::{EmProgressPrinter, MpcgsConfig, SamplerStrategy, Session};
@@ -29,6 +29,7 @@ struct CliArgs {
     seed: u32,
     strategy: SamplerStrategy,
     backend: Backend,
+    kernel: Kernel,
 }
 
 fn print_usage() {
@@ -45,7 +46,10 @@ fn print_usage() {
            --em <n>             EM iterations (default 3)\n\
            --seed <n>           host RNG seed (default 20160401)\n\
            --strategy <name>    sampler strategy: gmh | baseline (default gmh)\n\
-           --backend <name>     execution backend: serial | rayon (default rayon)"
+           --backend <name>     execution backend: serial | rayon (default rayon)\n\
+           --kernel <name>      likelihood combine kernel: scalar | simd (default scalar;\n\
+                                simd requires a build with --features simd and falls back\n\
+                                to scalar otherwise)"
     );
 }
 
@@ -73,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         seed: 20_160_401,
         strategy: SamplerStrategy::MultiProposal,
         backend: Backend::Rayon,
+        kernel: Kernel::Scalar,
     };
     while i < args.len() {
         let flag = args[i].as_str();
@@ -111,6 +116,7 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
             }
             "--backend" => cli.backend = take_value("--backend")?.parse::<Backend>()?,
+            "--kernel" => cli.kernel = take_value("--kernel")?.parse::<Kernel>()?,
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -146,6 +152,17 @@ fn run(cli: CliArgs) -> Result<(), String> {
         println!("  locus {:<12} {} sites", locus.name(), locus.n_sites());
     }
 
+    let effective_kernel = cli.kernel.effective();
+    if effective_kernel != cli.kernel {
+        eprintln!(
+            "note: --kernel {} requested but this binary was built without the `simd` \
+             feature; falling back to the {} kernel \
+             (rebuild with `--features simd` to enable it)",
+            cli.kernel, effective_kernel
+        );
+    }
+    println!("  backend {}, {} kernel", cli.backend, effective_kernel);
+
     let config = MpcgsConfig {
         initial_theta: cli.initial_theta,
         em_iterations: cli.em_iterations,
@@ -154,6 +171,7 @@ fn run(cli: CliArgs) -> Result<(), String> {
         burn_in_draws: cli.burn_in,
         sample_draws: cli.samples,
         backend: cli.backend,
+        kernel: cli.kernel,
         ..MpcgsConfig::default()
     };
     let execution = match cli.backend {

@@ -36,6 +36,7 @@
 use exec::{DeviceModel, DeviceSpec, HostModel, KernelLaunch};
 
 use lamarc::run::RunCounters;
+use phylo::likelihood::Kernel;
 
 /// Observed effectiveness of the batched engine's dirty-path caching,
 /// derived from the work counters a run collects ([`RunCounters`]). Where
@@ -60,12 +61,17 @@ pub struct CachingReport {
     /// Fraction of Generalized-MH iterations whose generator workspace was
     /// served from the engine's memo instead of being rebuilt.
     pub generator_cache_hit_rate: f64,
+    /// The combine kernel that actually ran the node recomputations (the
+    /// *effective* kernel: a SIMD request in a build without the `simd`
+    /// feature is recorded as scalar).
+    pub kernel: Kernel,
 }
 
 impl CachingReport {
-    /// Build a report from run counters and the interior-node count of the
-    /// genealogies scored.
-    pub fn from_stats(stats: &RunCounters, n_internal: usize) -> Self {
+    /// Build a report from run counters, the interior-node count of the
+    /// genealogies scored, and the combine kernel the engine was configured
+    /// with (recorded as its [`Kernel::effective`] resolution).
+    pub fn from_stats(stats: &RunCounters, n_internal: usize, kernel: Kernel) -> Self {
         let nodes_per_evaluation = stats.nodes_pruned_per_evaluation();
         let reprune_fraction =
             if n_internal == 0 { 0.0 } else { nodes_per_evaluation / n_internal as f64 };
@@ -82,6 +88,7 @@ impl CachingReport {
             reprune_fraction,
             estimated_kernel_speedup,
             generator_cache_hit_rate,
+            kernel: kernel.effective(),
         }
     }
 }
@@ -425,22 +432,27 @@ mod tests {
             generator_cache_hits: 4,
             workspace_commits: 0,
         };
-        let report = CachingReport::from_stats(&stats, 11);
+        let report = CachingReport::from_stats(&stats, 11, Kernel::Scalar);
         assert!((report.nodes_per_evaluation - 350.0 / 80.0).abs() < 1e-12);
         assert_eq!(report.full_prune_nodes, 11);
         assert!((report.reprune_fraction - (350.0 / 80.0) / 11.0).abs() < 1e-12);
         assert!(report.estimated_kernel_speedup > 2.0);
         assert!((report.generator_cache_hit_rate - 0.4).abs() < 1e-12);
+        assert_eq!(report.kernel, Kernel::Scalar);
+        // The report records the *effective* kernel: a Simd request without
+        // the feature resolves to Scalar.
+        let simd = CachingReport::from_stats(&stats, 11, Kernel::Simd);
+        assert_eq!(simd.kernel, Kernel::Simd.effective());
     }
 
     #[test]
     fn caching_report_handles_empty_runs() {
-        let report = CachingReport::from_stats(&RunCounters::default(), 11);
+        let report = CachingReport::from_stats(&RunCounters::default(), 11, Kernel::Scalar);
         assert_eq!(report.nodes_per_evaluation, 0.0);
         assert_eq!(report.reprune_fraction, 0.0);
         assert_eq!(report.estimated_kernel_speedup, 1.0);
         assert_eq!(report.generator_cache_hit_rate, 0.0);
-        let degenerate = CachingReport::from_stats(&RunCounters::default(), 0);
+        let degenerate = CachingReport::from_stats(&RunCounters::default(), 0, Kernel::Scalar);
         assert_eq!(degenerate.reprune_fraction, 0.0);
     }
 

@@ -15,7 +15,52 @@
 //!
 //! The facade is also the seam later backends plug into: a GPU or SIMD
 //! engine only has to stand behind [`GenealogySampler`] (or the likelihood
-//! engine it wraps) to become a selectable strategy.
+//! engine it wraps) to become a selectable strategy — the explicit-SIMD
+//! likelihood kernel is already surfaced here as
+//! [`SessionBuilder::kernel`].
+//!
+//! # Quick start
+//!
+//! A deliberately tiny end-to-end estimation (real runs use the defaults in
+//! [`MpcgsConfig`]):
+//!
+//! ```
+//! use exec::Backend;
+//! use mcmc::rng::Mt19937;
+//! use phylo::{Alignment, Kernel};
+//! use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
+//!
+//! let alignment = Alignment::from_letters(&[
+//!     ("a", "ACGTACGTAACCGGTT"),
+//!     ("b", "ACGTACGAAACCGGTA"),
+//!     ("c", "ACGAACGTAACCGGTT"),
+//!     ("d", "TCGTACGTAACCGGTT"),
+//! ])
+//! .unwrap();
+//!
+//! let config = MpcgsConfig {
+//!     initial_theta: 0.5,
+//!     em_iterations: 1,
+//!     burn_in_draws: 16,
+//!     sample_draws: 64,
+//!     proposals_per_iteration: 4,
+//!     draws_per_iteration: 4,
+//!     ..MpcgsConfig::default()
+//! };
+//! let mut session = Session::builder()
+//!     .alignment(alignment)
+//!     .strategy(SamplerStrategy::MultiProposal)
+//!     .config(config)
+//!     .backend(Backend::Serial)
+//!     .kernel(Kernel::Simd) // falls back to scalar without `--features simd`
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut rng = Mt19937::new(7);
+//! let estimate = session.run(&mut rng).unwrap();
+//! assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+//! assert_eq!(estimate.iterations.len(), 1);
+//! ```
 
 use exec::Backend;
 use rand::{Rng, RngCore};
@@ -25,7 +70,7 @@ use lamarc::run::{
     ChainInfo, EmUpdate, GenealogySampler, RunCounters, RunObserver, RunReport, StepReport,
 };
 use lamarc::sampler::{LamarcSampler, SamplerConfig};
-use phylo::likelihood::{ExecutionMode, MultiLocusEngine};
+use phylo::likelihood::{ExecutionMode, Kernel, MultiLocusEngine};
 use phylo::model::{Jc69, SubstitutionModel, F81};
 use phylo::{upgma_tree, Alignment, Dataset, GeneTree, PhyloError};
 
@@ -219,6 +264,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Which arithmetic kernel the likelihood engines combine partials with
+    /// (overrides `config.kernel`). [`Kernel::Simd`] selects the explicit
+    /// four-lane kernel when the `phylo/simd` feature is compiled in and
+    /// degrades to the scalar kernel at runtime otherwise, so the setting is
+    /// portable across builds.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
     /// How each locus engine executes its per-site work
     /// ([`ExecutionMode::Parallel`] mirrors the per-site threads of the CUDA
     /// data-likelihood kernel).
@@ -337,7 +392,9 @@ impl Session {
         M: SubstitutionModel + 'static,
         F: Fn(&Alignment) -> M,
     {
-        let engine = MultiLocusEngine::new(&self.dataset, model_for).with_mode(self.execution);
+        let engine = MultiLocusEngine::new(&self.dataset, model_for)
+            .with_mode(self.execution)
+            .with_kernel(self.config.kernel);
         Ok(match self.strategy {
             SamplerStrategy::Baseline => {
                 let config = SamplerConfig {

@@ -10,6 +10,26 @@
 //! A single-alignment analysis is just the one-locus special case
 //! ([`Dataset::single`]); every consumer of a `Dataset` behaves identically to
 //! the pre-multi-locus code path in that case.
+//!
+//! ```
+//! use phylo::{Alignment, Dataset, Locus};
+//!
+//! let l0 = Alignment::from_letters(&[("a", "ACGT"), ("b", "ACGA")]).unwrap();
+//! let l1 = Alignment::from_letters(&[("b", "GGTTAA"), ("a", "GGTTAC")]).unwrap();
+//! // Loci may differ in length and row order, but must cover the same names.
+//! let dataset = Dataset::new(vec![Locus::new("l0", l0), Locus::new("l1", l1)]).unwrap();
+//! assert_eq!(dataset.n_loci(), 2);
+//! assert_eq!(dataset.n_sequences(), 2);
+//! assert_eq!(dataset.total_sites(), 10);
+//!
+//! // A locus over different individuals is rejected up front.
+//! let stranger = Alignment::from_letters(&[("a", "ACGT"), ("c", "ACGA")]).unwrap();
+//! assert!(Dataset::new(vec![
+//!     Locus::new("l0", Alignment::from_letters(&[("a", "ACGT"), ("b", "ACGA")]).unwrap()),
+//!     Locus::new("l1", stranger),
+//! ])
+//! .is_err());
+//! ```
 
 use crate::alignment::Alignment;
 use crate::error::PhyloError;

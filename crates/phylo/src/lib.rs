@@ -33,7 +33,11 @@
 //!   (Eq. 19–23): a pattern-outer reference path (serial and site-parallel,
 //!   the "data likelihood kernel" of Section 5.2.2) and the batched engine
 //!   with structure-of-arrays [`likelihood::LikelihoodWorkspace`] buffers and
-//!   dirty-path caching for scoring whole proposal sets (Section 4.3).
+//!   dirty-path caching for scoring whole proposal sets (Section 4.3). The
+//!   innermost combine loop is selectable per engine through the
+//!   [`likelihood::Kernel`] seam (scalar, or explicit four-lane SIMD).
+//! * `simd` (behind the `simd` cargo feature) — the hand-rolled `F64x4`
+//!   four-lane vector backing [`likelihood::Kernel::Simd`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +52,8 @@ pub mod model;
 pub mod nucleotide;
 pub mod patterns;
 pub mod sequence;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod tree;
 pub mod upgma;
 
@@ -55,8 +61,8 @@ pub use alignment::Alignment;
 pub use dataset::{Dataset, Locus};
 pub use error::PhyloError;
 pub use likelihood::{
-    BatchEvaluation, DirtyEvaluation, FelsensteinPruner, LikelihoodEngine, LikelihoodWorkspace,
-    MultiLocusEngine, TreeProposal,
+    BatchEvaluation, DirtyEvaluation, FelsensteinPruner, Kernel, LikelihoodEngine,
+    LikelihoodWorkspace, MultiLocusEngine, TreeProposal,
 };
 pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;

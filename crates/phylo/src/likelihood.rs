@@ -28,8 +28,47 @@
 //!   every other subtree. The generator workspace itself is memoised inside
 //!   the engine, so consecutive evaluations against an unchanged generator
 //!   (rejected moves, repeated index draws) skip the full prune entirely.
+//!
+//! The innermost arithmetic of both paths — combining two children's
+//! partial rows through their branch transition matrices — sits behind the
+//! [`Kernel`] seam: [`Kernel::Scalar`] is the portable reference loop and
+//! [`Kernel::Simd`] (the `simd` cargo feature) an explicit four-lane
+//! `f64x4` kernel, selected per engine with
+//! [`FelsensteinPruner::with_kernel`] and agreeing with the scalar kernel to
+//! ≤1e-12 relative tolerance.
+//!
+//! Multi-locus datasets are scored by a [`MultiLocusEngine`]: one cached
+//! workspace per locus, every batch flattened over the (locus × proposal)
+//! grid in a single backend dispatch, and per-locus log likelihoods summed
+//! (unlinked loci are independent given the genealogy):
+//!
+//! ```
+//! use phylo::likelihood::{LikelihoodEngine, MultiLocusEngine};
+//! use phylo::model::Jc69;
+//! use phylo::tree::TreeBuilder;
+//! use phylo::{Alignment, Dataset, Locus};
+//!
+//! let l0 = Alignment::from_letters(&[("a", "ACGTACGT"), ("b", "ACGAACGA")]).unwrap();
+//! let l1 = Alignment::from_letters(&[("a", "GGTTA"), ("b", "GGTAA")]).unwrap();
+//! let dataset = Dataset::new(vec![Locus::new("l0", l0), Locus::new("l1", l1)]).unwrap();
+//! let engine = MultiLocusEngine::new(&dataset, |_| Jc69::new());
+//!
+//! let mut builder = TreeBuilder::new();
+//! let a = builder.add_tip("a", 0.0);
+//! let b = builder.add_tip("b", 0.0);
+//! builder.join(a, b, 0.3);
+//! let tree = builder.build().unwrap();
+//!
+//! // The engine's total is exactly the sum of the per-locus terms.
+//! let total = engine.log_likelihood(&tree).unwrap();
+//! let per_locus = engine.log_likelihood_per_locus(&tree).unwrap();
+//! assert_eq!(per_locus.len(), 2);
+//! assert!((total - per_locus.iter().sum::<f64>()).abs() < 1e-12);
+//! ```
 
 use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Mutex;
 
 use exec::Backend;
@@ -151,6 +190,128 @@ pub enum ExecutionMode {
     /// Rayon data parallelism over patterns (the host-side analogue of the
     /// CUDA data-likelihood kernel).
     Parallel,
+}
+
+/// Which arithmetic kernel combines children's partial-likelihood rows (the
+/// innermost loop of every evaluation). Selected at engine construction
+/// ([`FelsensteinPruner::with_kernel`] / [`MultiLocusEngine::with_kernel`])
+/// and surfaced to users as `SessionBuilder::kernel(..)` and the CLI's
+/// `--kernel {scalar,simd}` flag.
+///
+/// [`Kernel::Simd`] is always *selectable*: when the crate was built without
+/// the `simd` cargo feature the request degrades to the scalar kernel at
+/// runtime ([`Kernel::effective`]), so configuration written against a
+/// SIMD-enabled build keeps working — just slower — everywhere else. Both
+/// kernels implement identical per-pattern rescaling; they agree to ≤1e-12
+/// relative tolerance (the difference is floating-point reassociation in the
+/// two 4×4 matrix–vector products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The portable node-outer/pattern-inner loop, autovectorised by the
+    /// compiler where possible.
+    #[default]
+    Scalar,
+    /// The explicit four-lane kernel over `phylo::simd::F64x4`: broadcast
+    /// multiply–adds over column-major transition matrices. Requires the
+    /// `simd` cargo feature; falls back to [`Kernel::Scalar`] otherwise.
+    Simd,
+}
+
+impl Kernel {
+    /// Whether the explicit SIMD kernel was compiled into this binary (the
+    /// `simd` cargo feature).
+    pub fn simd_compiled() -> bool {
+        cfg!(feature = "simd")
+    }
+
+    /// The kernel that will actually run: [`Kernel::Simd`] degrades to
+    /// [`Kernel::Scalar`] when the `simd` feature is not compiled in.
+    pub fn effective(self) -> Kernel {
+        match self {
+            Kernel::Simd if !Kernel::simd_compiled() => Kernel::Scalar,
+            kernel => kernel,
+        }
+    }
+
+    /// Run this kernel's combine loop directly: merge two children's
+    /// partial-likelihood rows (`pa`, `pb`, with cumulative log scales `sa`,
+    /// `sb`) into the parent's row through the children's branch transition
+    /// matrices, renormalising any pattern whose magnitude falls below
+    /// `scale_threshold`.
+    ///
+    /// This is the low-level kernel seam: the engine dispatches every
+    /// workspace build, dirty-path rescore and commit through it, the
+    /// `crates/bench` kernel benchmark measures it in isolation, and an
+    /// accelerator backend would replace exactly this contract. Rows are laid
+    /// out `[pattern × 4]` with one scale per pattern: for `n` patterns
+    /// (`n = out_scales.len()`), `pa`/`pb`/`out_partials` must hold at least
+    /// `4 n` elements and `sa`/`sb` at least `n`. The kernel resolves
+    /// [`Kernel::effective`] itself, so calling [`Kernel::Simd`] without the
+    /// `simd` feature runs the scalar loop.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine_rows(
+        self,
+        scale_threshold: f64,
+        ma: &[[f64; 4]; 4],
+        mb: &[[f64; 4]; 4],
+        pa: &[f64],
+        pb: &[f64],
+        sa: &[f64],
+        sb: &[f64],
+        out_partials: &mut [f64],
+        out_scales: &mut [f64],
+    ) {
+        match self.effective() {
+            Kernel::Scalar => combine_children_rows_scalar(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+            #[cfg(feature = "simd")]
+            Kernel::Simd => combine_children_rows_simd(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+            #[cfg(not(feature = "simd"))]
+            Kernel::Simd => unreachable!("Kernel::effective never yields Simd without the feature"),
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Simd => "simd",
+        })
+    }
+}
+
+impl FromStr for Kernel {
+    type Err = String;
+
+    /// Parse a CLI-style kernel name (`scalar` or `simd`, case insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Kernel::Scalar),
+            "simd" => Ok(Kernel::Simd),
+            other => Err(format!("unknown kernel {other:?} (expected \"scalar\" or \"simd\")")),
+        }
+    }
 }
 
 /// One pattern chunk of a [`LikelihoodWorkspace`]: structure-of-arrays
@@ -359,6 +520,7 @@ pub struct FelsensteinPruner<M> {
     /// Map from sequence name to row index in the patterns.
     name_to_row: std::collections::HashMap<String, usize>,
     mode: ExecutionMode,
+    kernel: Kernel,
     /// Scaling threshold below which partial likelihoods are renormalised.
     scale_threshold: f64,
     /// Memoised generator workspace for the batched engine. Guarded by a
@@ -374,6 +536,7 @@ impl<M: Clone> Clone for FelsensteinPruner<M> {
             patterns: self.patterns.clone(),
             name_to_row: self.name_to_row.clone(),
             mode: self.mode,
+            kernel: self.kernel,
             scale_threshold: self.scale_threshold,
             // Caches are per-engine working state, not semantics: a clone
             // starts cold.
@@ -393,6 +556,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
             patterns,
             name_to_row,
             mode: ExecutionMode::Serial,
+            kernel: Kernel::default(),
             scale_threshold: 1e-100,
             cache: Mutex::new(None),
         }
@@ -409,6 +573,19 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     /// The execution mode in use.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Select the combine kernel ([`Kernel::Simd`] requires the `simd` cargo
+    /// feature and degrades to the scalar kernel without it).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured combine kernel (as requested; see [`Kernel::effective`]
+    /// for what actually runs).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The substitution model in use.
@@ -659,6 +836,8 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     /// The node-outer/pattern-inner kernel: combine two children's partial
     /// rows into the parent's row through the branch transition matrices,
     /// rescaling per pattern where the magnitude drops below the threshold.
+    /// Dispatches through [`Kernel::combine_rows`] according to the
+    /// configured [`Kernel`].
     #[allow(clippy::too_many_arguments)]
     fn combine_children_rows(
         &self,
@@ -671,35 +850,17 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         out_partials: &mut [f64],
         out_scales: &mut [f64],
     ) {
-        let len = out_scales.len();
-        for p in 0..len {
-            let pa4 = &pa[p * 4..p * 4 + 4];
-            let pb4 = &pb[p * 4..p * 4 + 4];
-            let mut vec = [0.0f64; 4];
-            let mut max = 0.0f64;
-            for x in 0..4 {
-                let mut sum_a = 0.0;
-                let mut sum_b = 0.0;
-                for y in 0..4 {
-                    sum_a += ma[x][y] * pa4[y];
-                    sum_b += mb[x][y] * pb4[y];
-                }
-                let v = sum_a * sum_b;
-                vec[x] = v;
-                if v > max {
-                    max = v;
-                }
-            }
-            let mut scale = sa[p] + sb[p];
-            if max > 0.0 && max < self.scale_threshold {
-                for v in &mut vec {
-                    *v /= max;
-                }
-                scale += max.ln();
-            }
-            out_partials[p * 4..p * 4 + 4].copy_from_slice(&vec);
-            out_scales[p] = scale;
-        }
+        self.kernel.combine_rows(
+            self.scale_threshold,
+            ma,
+            mb,
+            pa,
+            pb,
+            sa,
+            sb,
+            out_partials,
+            out_scales,
+        );
     }
 
     /// Weighted `ln P(D|G)` contribution of one chunk given the root's
@@ -902,6 +1063,104 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     }
 }
 
+/// The portable scalar combine kernel: per pattern, two 4×4 matrix–vector
+/// products, a Hadamard product, and the underflow rescale.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn combine_children_rows_scalar(
+    scale_threshold: f64,
+    ma: &[[f64; 4]; 4],
+    mb: &[[f64; 4]; 4],
+    pa: &[f64],
+    pb: &[f64],
+    sa: &[f64],
+    sb: &[f64],
+    out_partials: &mut [f64],
+    out_scales: &mut [f64],
+) {
+    let len = out_scales.len();
+    for p in 0..len {
+        let pa4 = &pa[p * 4..p * 4 + 4];
+        let pb4 = &pb[p * 4..p * 4 + 4];
+        let mut vec = [0.0f64; 4];
+        let mut max = 0.0f64;
+        for x in 0..4 {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            for y in 0..4 {
+                sum_a += ma[x][y] * pa4[y];
+                sum_b += mb[x][y] * pb4[y];
+            }
+            let v = sum_a * sum_b;
+            vec[x] = v;
+            if v > max {
+                max = v;
+            }
+        }
+        let mut scale = sa[p] + sb[p];
+        if max > 0.0 && max < scale_threshold {
+            for v in &mut vec {
+                *v /= max;
+            }
+            scale += max.ln();
+        }
+        out_partials[p * 4..p * 4 + 4].copy_from_slice(&vec);
+        out_scales[p] = scale;
+    }
+}
+
+/// The explicit four-lane combine kernel (`simd` feature): the transition
+/// matrices are transposed to column-major once per node, turning each
+/// matrix–vector product into four broadcast multiply–adds over
+/// [`crate::simd::F64x4`] with no horizontal reduction. The underflow
+/// rescale is *hoisted out of the hot loop*: the main pass is branch-free
+/// (it only records whether any pattern's magnitude fell below the
+/// threshold), and the rare rescaling pass re-reads the stored rows and
+/// applies exactly the scalar kernel's per-pattern renormalisation — so the
+/// two-pass structure changes no values, only control flow. Numerically the
+/// kernel reassociates the matrix–vector products (and contracts them to
+/// fused multiply–adds under `target_feature = "fma"`), so results match the
+/// scalar kernel to ≤1e-12 relative tolerance rather than bit-exactly.
+#[cfg(feature = "simd")]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn combine_children_rows_simd(
+    scale_threshold: f64,
+    ma: &[[f64; 4]; 4],
+    mb: &[[f64; 4]; 4],
+    pa: &[f64],
+    pb: &[f64],
+    sa: &[f64],
+    sb: &[f64],
+    out_partials: &mut [f64],
+    out_scales: &mut [f64],
+) {
+    use crate::simd::F64x4;
+    let ca = F64x4::columns(ma);
+    let cb = F64x4::columns(mb);
+    let len = out_scales.len();
+    let mut needs_rescale = false;
+    for p in 0..len {
+        let va = F64x4::mat_vec(&ca, &pa[p * 4..p * 4 + 4]);
+        let vb = F64x4::mat_vec(&cb, &pb[p * 4..p * 4 + 4]);
+        let v = va * vb;
+        let max = v.max_element();
+        needs_rescale |= max > 0.0 && max < scale_threshold;
+        v.write_to(&mut out_partials[p * 4..p * 4 + 4]);
+        out_scales[p] = sa[p] + sb[p];
+    }
+    if needs_rescale {
+        for p in 0..len {
+            let v = F64x4::from_slice(&out_partials[p * 4..p * 4 + 4]);
+            let max = v.max_element();
+            if max > 0.0 && max < scale_threshold {
+                (v / F64x4::splat(max)).write_to(&mut out_partials[p * 4..p * 4 + 4]);
+                out_scales[p] += max.ln();
+            }
+        }
+    }
+}
+
 /// Borrow node `node`'s partial and scale rows for `len` patterns, from the
 /// overlay when the node is dirty and from the cached chunk otherwise.
 fn read_rows<'a>(
@@ -1039,6 +1298,12 @@ impl<M: SubstitutionModel> MultiLocusEngine<M> {
         self
     }
 
+    /// Select the combine kernel of every per-locus pruner.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.engines = self.engines.into_iter().map(|e| e.with_kernel(kernel)).collect();
+        self
+    }
+
     /// Number of loci.
     pub fn n_loci(&self) -> usize {
         self.engines.len()
@@ -1079,36 +1344,83 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
         Ok(total)
     }
 
-    /// Batch the (locus × proposal) grid through each locus's dirty-path
-    /// engine and sum the per-locus evaluations element-wise. Loci are
-    /// walked in sequence with the proposal-parallel batch inside each (so
-    /// `backend` parallelism saturates once `proposals ≥ cores`; flattening
-    /// the full grid into one dispatch for many-small-loci datasets is a
-    /// roadmap item). Work counters aggregate across loci; the generator
-    /// counts as cached only when every locus's workspace was served from
-    /// its memo.
+    /// Batch the whole (locus × proposal) grid through **one** flattened
+    /// backend dispatch: every locus's generator workspace is first served
+    /// from its memo or rebuilt (the per-locus workspace shard), then all
+    /// `n_loci × n_proposals` dirty-path rescores are mapped in a single
+    /// [`Backend::map_grid`] call and the per-locus log likelihoods summed
+    /// element-wise. Compared with walking loci serially (each with its own
+    /// proposal-parallel inner batch), the flat grid keeps every worker busy
+    /// even when loci are short and proposals are few — many small loci
+    /// saturate the backend exactly the way many proposals do.
+    ///
+    /// Work counters aggregate across loci; the generator counts as cached
+    /// only when every locus's workspace was served from its memo.
     fn log_likelihood_batch(
         &self,
         backend: Backend,
         generator: &GeneTree,
         proposals: &[TreeProposal<'_>],
     ) -> Result<BatchEvaluation, PhyloError> {
-        let mut total = BatchEvaluation {
-            generator_log_likelihood: 0.0,
-            log_likelihoods: vec![0.0; proposals.len()],
-            nodes_repruned: 0,
-            nodes_full_pruned: 0,
-            generator_cache_hit: true,
+        // `with_mode(Parallel)` upgrades the backend exactly as the per-locus
+        // engines would (see `FelsensteinPruner::log_likelihood_batch`).
+        let backend = match self.engines.first().map(FelsensteinPruner::mode) {
+            Some(ExecutionMode::Parallel) => Backend::Rayon,
+            _ => backend,
         };
+
+        // Phase 1 — shard acquisition: take every locus's memoised generator
+        // workspace, rebuilding the stale or missing ones. Rebuilds run their
+        // pattern chunks on `backend`; the common sampler case (unchanged
+        // generator) is a cheap memo hit for every locus.
+        let mut shards = Vec::with_capacity(self.engines.len());
+        let mut nodes_full_pruned = 0;
+        let mut generator_cache_hit = true;
         for engine in &self.engines {
-            let eval = engine.log_likelihood_batch(backend, generator, proposals)?;
-            total.generator_log_likelihood += eval.generator_log_likelihood;
-            for (sum, term) in total.log_likelihoods.iter_mut().zip(&eval.log_likelihoods) {
-                *sum += term;
-            }
+            let taken = { engine.cache.lock().expect("likelihood cache poisoned").take() };
+            let cache = match taken {
+                Some(cache) if cache.tree == *generator => cache,
+                _ => {
+                    nodes_full_pruned += generator.n_internal();
+                    generator_cache_hit = false;
+                    let workspace = engine.build_workspace(backend, generator)?;
+                    GeneratorCache { tree: generator.clone(), workspace }
+                }
+            };
+            shards.push(cache);
+        }
+        let generator_log_likelihood =
+            shards.iter().map(|cache| cache.workspace.log_likelihood).sum();
+
+        // Phase 2 — one flattened dispatch over the (locus × proposal) grid.
+        let n_proposals = proposals.len();
+        let shards_ref = &shards;
+        let results = backend.map_grid(self.engines.len(), n_proposals, |locus, p| {
+            let proposal = &proposals[p];
+            self.engines[locus].rescore_with_workspace(
+                &shards_ref[locus].workspace,
+                proposal.tree,
+                proposal.edited,
+            )
+        });
+
+        // Phase 3 — return every shard to its engine's memo, then reduce the
+        // grid to per-proposal sums (unlinked loci: log likelihoods add).
+        for (engine, cache) in self.engines.iter().zip(shards) {
+            let mut slot = engine.cache.lock().expect("likelihood cache poisoned");
+            *slot = Some(cache);
+        }
+        let mut total = BatchEvaluation {
+            generator_log_likelihood,
+            log_likelihoods: vec![0.0; n_proposals],
+            nodes_repruned: 0,
+            nodes_full_pruned,
+            generator_cache_hit,
+        };
+        for (cell, result) in results.into_iter().enumerate() {
+            let eval = result?;
+            total.log_likelihoods[cell % n_proposals.max(1)] += eval.log_likelihood;
             total.nodes_repruned += eval.nodes_repruned;
-            total.nodes_full_pruned += eval.nodes_full_pruned;
-            total.generator_cache_hit &= eval.generator_cache_hit;
         }
         Ok(total)
     }
@@ -1629,6 +1941,173 @@ mod tests {
         // Arena mismatch is an error.
         let small = two_tip_tree(0.1, 0.1, 0.2);
         assert!(pruner.commit_to_cache(&accepted, &small, &[0]).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel selection (scalar versus explicit SIMD).
+    // ------------------------------------------------------------------
+
+    /// SplitMix64, hand-rolled so these tests need no RNG dependency.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A random alignment and a random coalescent-shaped tree over it:
+    /// random join order, strictly increasing node heights.
+    fn random_fixture(seed: u64, n_tips: usize, n_sites: usize) -> (Alignment, GeneTree) {
+        let mut rng = TestRng(seed);
+        let names: Vec<String> = (0..n_tips).map(|i| format!("s{i}")).collect();
+        let rows: Vec<String> = (0..n_tips)
+            .map(|_| {
+                (0..n_sites).map(|_| ['A', 'C', 'G', 'T'][(rng.next_u64() % 4) as usize]).collect()
+            })
+            .collect();
+        let pairs: Vec<(&str, &str)> =
+            names.iter().zip(&rows).map(|(n, r)| (n.as_str(), r.as_str())).collect();
+        let alignment = Alignment::from_letters(&pairs).unwrap();
+
+        let mut b = TreeBuilder::new();
+        let mut active: Vec<NodeId> = names.iter().map(|n| b.add_tip(n.clone(), 0.0)).collect();
+        let mut height = 0.0;
+        while active.len() > 1 {
+            let i = (rng.next_u64() as usize) % active.len();
+            let x = active.swap_remove(i);
+            let j = (rng.next_u64() as usize) % active.len();
+            let y = active.swap_remove(j);
+            height += 0.01 + 0.2 * rng.next_f64();
+            active.push(b.join(x, y, height));
+        }
+        (alignment, b.build().unwrap())
+    }
+
+    /// `|a - b|` within `tol` relative to the larger magnitude.
+    fn close_rel(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn kernel_names_round_trip_and_effective_fallback() {
+        for kernel in [Kernel::Scalar, Kernel::Simd] {
+            assert_eq!(kernel.to_string().parse::<Kernel>().unwrap(), kernel);
+        }
+        assert_eq!("SIMD".parse::<Kernel>().unwrap(), Kernel::Simd);
+        assert!("avx512".parse::<Kernel>().is_err());
+        assert_eq!(Kernel::default(), Kernel::Scalar);
+        assert_eq!(Kernel::Scalar.effective(), Kernel::Scalar);
+        if Kernel::simd_compiled() {
+            assert_eq!(Kernel::Simd.effective(), Kernel::Simd);
+        } else {
+            // Runtime fallback: a Simd request degrades to the scalar kernel.
+            assert_eq!(Kernel::Simd.effective(), Kernel::Scalar);
+        }
+        assert_eq!(Kernel::simd_compiled(), cfg!(feature = "simd"));
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_kernel_on_random_trees() {
+        // Without the `simd` feature this degenerates to scalar-vs-scalar
+        // (the runtime fallback), which must hold trivially; with the feature
+        // it is the 1e-12 bit-tolerance contract of the explicit kernel.
+        for seed in 1..=8u64 {
+            let n_tips = 4 + (seed as usize % 9);
+            let (alignment, tree) = random_fixture(seed, n_tips, 257);
+            let scalar =
+                FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()));
+            let simd = scalar.clone().with_kernel(Kernel::Simd);
+            assert_eq!(simd.kernel(), Kernel::Simd);
+
+            // Full workspace builds (every interior node through the kernel).
+            let ws_scalar = scalar.build_workspace(Backend::Serial, &tree).unwrap();
+            let ws_simd = simd.build_workspace(Backend::Serial, &tree).unwrap();
+            assert!(
+                close_rel(ws_scalar.log_likelihood(), ws_simd.log_likelihood(), 1e-12),
+                "seed {seed}: {} vs {}",
+                ws_scalar.log_likelihood(),
+                ws_simd.log_likelihood()
+            );
+
+            // Batched dirty-path rescoring of perturbed proposals.
+            let edits: Vec<(GeneTree, Vec<NodeId>)> = tree
+                .non_root_internal_nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| perturb(&tree, t, 0.002 * (i as f64 + 1.0)))
+                .collect();
+            let proposals: Vec<TreeProposal<'_>> =
+                edits.iter().map(|(t, e)| TreeProposal { tree: t, edited: e }).collect();
+            let eval_scalar =
+                scalar.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+            let eval_simd = simd.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+            assert!(close_rel(
+                eval_scalar.generator_log_likelihood,
+                eval_simd.generator_log_likelihood,
+                1e-12
+            ));
+            for (a, b) in eval_scalar.log_likelihoods.iter().zip(&eval_simd.log_likelihoods) {
+                assert!(close_rel(*a, *b, 1e-12), "seed {seed}: {a} vs {b}");
+            }
+            // The kernels differ in arithmetic only; the caching behaviour
+            // (what was repruned) is identical.
+            assert_eq!(eval_scalar.nodes_repruned, eval_simd.nodes_repruned);
+        }
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_through_the_rescale_path() {
+        // A tall caterpillar over identical long sequences drives partials
+        // below the rescale threshold, exercising the underflow branch of
+        // both kernels.
+        let letters = "ACGT".repeat(60);
+        let names: Vec<String> = (0..14).map(|i| format!("s{i}")).collect();
+        let pairs: Vec<(&str, &str)> =
+            names.iter().map(|n| (n.as_str(), letters.as_str())).collect();
+        let alignment = Alignment::from_letters(&pairs).unwrap();
+        let mut b = TreeBuilder::new();
+        let tips: Vec<_> = names.iter().map(|n| b.add_tip(n.clone(), 0.0)).collect();
+        let mut acc = tips[0];
+        for (i, &tip) in tips.iter().enumerate().skip(1) {
+            acc = b.join(acc, tip, 6.0 * i as f64);
+        }
+        let tree = b.build().unwrap();
+
+        let scalar = FelsensteinPruner::new(&alignment, Jc69::new());
+        let simd = scalar.clone().with_kernel(Kernel::Simd);
+        let l_scalar = scalar.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+        let l_simd = simd.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+        assert!(l_scalar.is_finite() && l_scalar < 0.0);
+        assert!(close_rel(l_scalar, l_simd, 1e-12), "{l_scalar} vs {l_simd}");
+    }
+
+    #[test]
+    fn commit_on_accept_preserves_kernel_consistency() {
+        // Commit-on-accept recomputes dirty paths with the engine's own
+        // kernel: a committed cache must keep matching a cold rebuild under
+        // the same kernel selection.
+        let (alignment, tree) = five_tip_fixture();
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new()).with_kernel(Kernel::Simd);
+        let target = tree.non_root_internal_nodes()[0];
+        let (accepted, edited) = perturb(&tree, target, 0.015);
+        let proposals = [TreeProposal { tree: &accepted, edited: &edited }];
+        engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        engine.commit_to_cache(&tree, &accepted, &edited).unwrap().unwrap();
+        let promoted = engine.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        assert!(promoted.generator_cache_hit);
+
+        let cold = FelsensteinPruner::new(&alignment, Jc69::new()).with_kernel(Kernel::Simd);
+        let rebuilt = cold.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        assert_eq!(promoted.generator_log_likelihood, rebuilt.generator_log_likelihood);
     }
 
     // ------------------------------------------------------------------

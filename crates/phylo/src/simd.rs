@@ -1,0 +1,195 @@
+//! A hand-rolled four-lane `f64` vector for the explicit-SIMD likelihood
+//! kernel (enabled by the `simd` cargo feature).
+//!
+//! The build environment is offline and the workspace compiles on stable
+//! Rust, so neither `std::simd` (nightly) nor an external SIMD crate is
+//! available. [`F64x4`] is the portable substitute: a `#[repr(transparent)]`
+//! wrapper over `[f64; 4]` whose lane-wise operations are written as fixed
+//! four-iteration loops that LLVM lowers to vector instructions for whatever
+//! width the target offers (two 128-bit ops under baseline SSE2, one 256-bit
+//! op under AVX). No `unsafe`, no intrinsics, no platform gates — the same
+//! source is correct everywhere and fast wherever the backend can vectorise.
+//!
+//! The only operation with a semantic choice is [`F64x4::mul_add`]: when the
+//! target guarantees hardware FMA (`target_feature = "fma"`) it contracts to
+//! a fused multiply–add per lane; otherwise it is a plain multiply-then-add,
+//! because `f64::mul_add` without hardware support falls back to a libm call
+//! per lane and would be dramatically *slower* than the scalar kernel.
+//!
+//! Four lanes is exactly one conditional-likelihood vector (one probability
+//! per nucleotide), which is why the structure-of-arrays
+//! `[node × pattern × 4]` layout of
+//! [`LikelihoodWorkspace`](crate::likelihood::LikelihoodWorkspace) makes the
+//! SIMD kernel a local change: each pattern's four lanes are already
+//! contiguous in memory.
+
+use std::ops::{Add, Div, Mul};
+
+/// Four `f64` lanes, operated on element-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `value`.
+    #[inline(always)]
+    pub fn splat(value: f64) -> Self {
+        F64x4([value; 4])
+    }
+
+    /// Load four lanes from the first four elements of `slice`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f64]) -> Self {
+        F64x4([slice[0], slice[1], slice[2], slice[3]])
+    }
+
+    /// Store the four lanes into the first four elements of `out`.
+    #[inline(always)]
+    pub fn write_to(self, out: &mut [f64]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+
+    /// `self * b + c`, lane-wise. Contracts to hardware FMA when the target
+    /// guarantees it; otherwise an unfused multiply-then-add (see the module
+    /// docs for why the libm `f64::mul_add` fallback is avoided).
+    #[inline(always)]
+    pub fn mul_add(self, b: F64x4, c: F64x4) -> F64x4 {
+        #[cfg(target_feature = "fma")]
+        {
+            F64x4([
+                self.0[0].mul_add(b.0[0], c.0[0]),
+                self.0[1].mul_add(b.0[1], c.0[1]),
+                self.0[2].mul_add(b.0[2], c.0[2]),
+                self.0[3].mul_add(b.0[3], c.0[3]),
+            ])
+        }
+        #[cfg(not(target_feature = "fma"))]
+        {
+            self * b + c
+        }
+    }
+
+    /// The largest lane (the per-pattern magnitude the rescaling check
+    /// inspects).
+    #[inline(always)]
+    pub fn max_element(self) -> f64 {
+        let m01 = self.0[0].max(self.0[1]);
+        let m23 = self.0[2].max(self.0[3]);
+        m01.max(m23)
+    }
+
+    /// The four columns of a row-major 4×4 matrix, as one vector per column.
+    /// This is the layout the matrix–vector product wants: the product
+    /// `M·p` becomes `Σ_y column_y(M) * splat(p[y])`, four broadcast
+    /// multiply–adds with no horizontal reduction.
+    #[inline(always)]
+    pub fn columns(matrix: &[[f64; 4]; 4]) -> [F64x4; 4] {
+        let mut cols = [F64x4::splat(0.0); 4];
+        for (y, col) in cols.iter_mut().enumerate() {
+            *col = F64x4([matrix[0][y], matrix[1][y], matrix[2][y], matrix[3][y]]);
+        }
+        cols
+    }
+
+    /// `M·p` for a row-major matrix already split into [`F64x4::columns`]:
+    /// four broadcast multiply–adds, accumulated in the same `y = 0..4` order
+    /// as the scalar kernel's inner loop.
+    #[inline(always)]
+    pub fn mat_vec(cols: &[F64x4; 4], p: &[f64]) -> F64x4 {
+        let mut acc = cols[0] * F64x4::splat(p[0]);
+        acc = cols[1].mul_add(F64x4::splat(p[1]), acc);
+        acc = cols[2].mul_add(F64x4::splat(p[2]), acc);
+        cols[3].mul_add(F64x4::splat(p[3]), acc)
+    }
+}
+
+impl Add for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+impl Div for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn div(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] / rhs.0[0],
+            self.0[1] / rhs.0[1],
+            self.0[2] / rhs.0[2],
+            self.0[3] / rhs.0[3],
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_matches_scalar() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([0.5, 0.25, 2.0, -1.0]);
+        assert_eq!((a + b).0, [1.5, 2.25, 5.0, 3.0]);
+        assert_eq!((a * b).0, [0.5, 0.5, 6.0, -4.0]);
+        assert_eq!((a / b).0, [2.0, 8.0, 1.5, -4.0]);
+        let c = F64x4::splat(1.0);
+        let fma = a.mul_add(b, c);
+        for i in 0..4 {
+            assert!((fma.0[i] - (a.0[i] * b.0[i] + c.0[i])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn loads_stores_and_max() {
+        let data = [0.1, 0.9, 0.4, 0.2, 99.0];
+        let v = F64x4::from_slice(&data);
+        assert_eq!(v.0, [0.1, 0.9, 0.4, 0.2]);
+        assert_eq!(v.max_element(), 0.9);
+        let mut out = [0.0; 5];
+        v.write_to(&mut out);
+        assert_eq!(out, [0.1, 0.9, 0.4, 0.2, 0.0]);
+        assert_eq!(F64x4::splat(7.0).0, [7.0; 4]);
+        assert_eq!(F64x4::default().0, [0.0; 4]);
+    }
+
+    #[test]
+    fn mat_vec_matches_the_scalar_product() {
+        let m = [
+            [0.7, 0.1, 0.1, 0.1],
+            [0.1, 0.7, 0.1, 0.1],
+            [0.2, 0.1, 0.6, 0.1],
+            [0.1, 0.2, 0.1, 0.6],
+        ];
+        let p = [0.3, 0.1, 0.5, 0.1];
+        let cols = F64x4::columns(&m);
+        let fast = F64x4::mat_vec(&cols, &p);
+        for (row, &lane) in m.iter().zip(&fast.0) {
+            let scalar: f64 = row.iter().zip(&p).map(|(&m, &p)| m * p).sum();
+            assert!((lane - scalar).abs() < 1e-15, "{lane} vs {scalar}");
+        }
+    }
+}

@@ -1,10 +1,17 @@
 //! Speedup analysis: the device/host cost model behind Tables 2–4 and the
-//! Amdahl argument of Section 3, printed for interactive exploration.
+//! Amdahl argument of Section 3, printed alongside a *measured* caching
+//! report from a real `Session` run — the modelled GPU-versus-host ratios
+//! next to what this implementation's dirty-path engine actually saves.
 //!
-//! Run with `cargo run --release -p mpcgs --example speedup_analysis`.
+//! Run with `cargo run --release --example speedup_analysis`.
 
+use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::amdahl::{multichain_time, parallel_burnin_time};
+use mcmc::rng::Mt19937;
+use phylo::model::Jc69;
+
 use mpcgs::perf::{SpeedupModel, Workload, TABLE2_SAMPLES, TABLE3_SEQUENCES, TABLE4_LENGTHS};
+use mpcgs::{CachingReport, Kernel, MpcgsConfig, Session};
 
 fn main() {
     let model = SpeedupModel::paper_calibrated();
@@ -41,4 +48,55 @@ fn main() {
             parallel_burnin_time(1_000.0, 10_000.0, p)
         );
     }
+
+    // Where the model predicts, a Session measures: run one real chain on a
+    // paper-shaped workload and report what the dirty-path cache saved.
+    let mut rng = Mt19937::new(20_160_401);
+    let tree = CoalescentSimulator::constant(1.0)
+        .expect("valid theta")
+        .simulate(&mut rng, reference.n_sequences)
+        .expect("simulation succeeds");
+    let alignment = SequenceSimulator::new(Jc69::new(), reference.sequence_length, 1.0)
+        .expect("valid simulator")
+        .simulate(&mut rng, &tree)
+        .expect("sequence simulation succeeds");
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 1,
+        proposals_per_iteration: reference.proposals_per_iteration,
+        draws_per_iteration: reference.proposals_per_iteration,
+        burn_in_draws: 200,
+        sample_draws: 2_000,
+        kernel: Kernel::Simd, // falls back to scalar without --features simd
+        ..MpcgsConfig::default()
+    };
+    let mut session = Session::builder()
+        .alignment(alignment)
+        .config(config)
+        .build()
+        .expect("valid configuration");
+    let report = session.run_chain(&mut rng).expect("chain run succeeds");
+    let caching = CachingReport::from_stats(
+        &report.counters,
+        reference.interior_nodes(),
+        session.config().kernel,
+    );
+    println!(
+        "\nmeasured caching on one {}x{} bp chain ({} kernel, {} evaluations):",
+        reference.n_sequences,
+        reference.sequence_length,
+        caching.kernel,
+        report.counters.likelihood_evaluations
+    );
+    println!(
+        "   {:.2} of {} interior nodes recomputed per evaluation ({:.1}% of a full prune)",
+        caching.nodes_per_evaluation,
+        caching.full_prune_nodes,
+        100.0 * caching.reprune_fraction
+    );
+    println!(
+        "   node-recomputation speedup over naive pruning: {:.1}x, generator memo hit rate {:.1}%",
+        caching.estimated_kernel_speedup,
+        100.0 * caching.generator_cache_hit_rate
+    );
 }

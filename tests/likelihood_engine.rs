@@ -140,3 +140,95 @@ fn batch_counters_aggregate_per_proposal_work() {
     assert_eq!(eval.nodes_full_pruned, generator.n_internal());
     assert_eq!(eval.log_likelihoods.len(), 16);
 }
+
+/// The flattened (locus × proposal) grid dispatch of `MultiLocusEngine`
+/// equals the serial per-locus loop (independent per-locus engines, summed
+/// by hand) to 1e-10 for every grid shape from 1×1 to 4×8, on both backends.
+#[test]
+fn flattened_locus_proposal_grid_matches_the_serial_per_locus_loop() {
+    use phylo::likelihood::MultiLocusEngine;
+    use phylo::{Dataset, Locus};
+
+    let mut rng = Mt19937::new(20_260_801);
+    let theta = 1.0;
+    let proposer = GenealogyProposer::new(theta).unwrap();
+
+    for n_loci in 1..=4usize {
+        // One genealogy over shared individuals; loci of different lengths
+        // simulated independently on their own trees (unlinked loci).
+        let (first, generator) = simulate(&mut rng, 6, 90, theta);
+        let names: Vec<String> = first.names().iter().map(|s| s.to_string()).collect();
+        let mut loci = vec![Locus::new("l0", first)];
+        for l in 1..n_loci {
+            let locus_tree = CoalescentSimulator::constant(theta)
+                .unwrap()
+                .simulate_labelled(&mut rng, &names)
+                .unwrap();
+            let alignment = SequenceSimulator::new(Jc69::new(), 40 + 25 * l, 1.0)
+                .unwrap()
+                .simulate(&mut rng, &locus_tree)
+                .unwrap();
+            loci.push(Locus::new(format!("l{l}"), alignment));
+        }
+        let dataset = Dataset::new(loci).unwrap();
+
+        for n_proposals in 1..=8usize {
+            let edits: Vec<(GeneTree, Vec<usize>)> = (0..n_proposals)
+                .map(|_| {
+                    let phi = proposer.sample_target(&generator, &mut rng);
+                    proposer.propose_with_edit(&generator, phi, &mut rng)
+                })
+                .collect();
+            let proposals: Vec<TreeProposal<'_>> =
+                edits.iter().map(|(tree, edited)| TreeProposal { tree, edited }).collect();
+
+            // The serial reference: one independent engine per locus, each
+            // batch evaluated on its own, summed element-wise by hand.
+            let mut reference_generator = 0.0;
+            let mut reference = vec![0.0; n_proposals];
+            for locus in dataset.loci() {
+                let engine = FelsensteinPruner::new(
+                    locus.alignment(),
+                    F81::normalized(locus.alignment().base_frequencies()),
+                );
+                let eval =
+                    engine.log_likelihood_batch(Backend::Serial, &generator, &proposals).unwrap();
+                reference_generator += eval.generator_log_likelihood;
+                for (sum, term) in reference.iter_mut().zip(&eval.log_likelihoods) {
+                    *sum += term;
+                }
+            }
+
+            for backend in [Backend::Serial, Backend::Rayon] {
+                let engine =
+                    MultiLocusEngine::new(&dataset, |a| F81::normalized(a.base_frequencies()));
+                let flat = engine.log_likelihood_batch(backend, &generator, &proposals).unwrap();
+                assert!(
+                    (flat.generator_log_likelihood - reference_generator).abs() < 1e-10,
+                    "{n_loci} loci x {n_proposals} proposals on {backend}: generator {} vs {}",
+                    flat.generator_log_likelihood,
+                    reference_generator
+                );
+                assert_eq!(flat.log_likelihoods.len(), n_proposals);
+                for (p, (&flattened, &serial)) in
+                    flat.log_likelihoods.iter().zip(&reference).enumerate()
+                {
+                    assert!(
+                        (flattened - serial).abs() < 1e-10,
+                        "{n_loci} loci x {n_proposals} proposals on {backend}, proposal {p}: \
+                         flattened {flattened} vs serial {serial}"
+                    );
+                }
+                assert!(!flat.generator_cache_hit, "fresh engines start cold");
+                assert_eq!(flat.nodes_full_pruned, n_loci * generator.n_internal());
+
+                // A second evaluation is served entirely from the per-locus
+                // workspace shards.
+                let again = engine.log_likelihood_batch(backend, &generator, &proposals).unwrap();
+                assert!(again.generator_cache_hit);
+                assert_eq!(again.nodes_full_pruned, 0);
+                assert_eq!(again.log_likelihoods, flat.log_likelihoods);
+            }
+        }
+    }
+}
