@@ -1,0 +1,77 @@
+//! Criterion smoke benchmark of ensemble chain dispatch: the same fixed
+//! per-chain workload sharded across 2/4/8 chains, dispatched round-robin
+//! (`Backend::Serial`) versus one scoped worker thread per chain
+//! (`Backend::Rayon`). With coarse chains and one core per chain the
+//! parallel dispatch should approach the ideal `B + N/P` wall-clock of
+//! Section 3 — the measured counterpart of the Figure 6 arithmetic. (On a
+//! single-core host the rayon rows instead show the pure scoped-thread
+//! overhead per ensemble round; results are bit-identical either way, which
+//! tests/ensemble.rs pins down.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use benchkit::{harness_rng, simulate_alignment};
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use mpcgs::ensemble::EnsembleSpec;
+use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
+
+/// Retained draws per chain — per-chain work is held fixed, so doubling the
+/// chain count doubles total work; parallel dispatch should hold wall-clock
+/// roughly flat until the cores run out.
+const SAMPLES_PER_CHAIN: usize = 150;
+const BURN_IN_PER_CHAIN: usize = 50;
+
+fn bench_chain_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_dispatch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    let mut rng = harness_rng("bench-ensemble", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, 10, 150);
+
+    for &chains in &[2usize, 4, 8] {
+        for &backend in &[Backend::Serial, Backend::Rayon] {
+            let config = MpcgsConfig {
+                initial_theta: 1.0,
+                burn_in_draws: BURN_IN_PER_CHAIN,
+                sample_draws: SAMPLES_PER_CHAIN,
+                proposals_per_iteration: 8,
+                draws_per_iteration: 8,
+                // Within-chain work stays serial; `chain_dispatch` below is
+                // the only thing that varies, so the serial-vs-rayon gap
+                // measures chain scheduling alone.
+                backend: Backend::Serial,
+                ..MpcgsConfig::default()
+            };
+            let mut session = Session::builder()
+                .alignment(alignment.clone())
+                .strategy(SamplerStrategy::MultiProposal)
+                .config(config)
+                .ensemble(EnsembleSpec {
+                    n_chains: chains,
+                    chain_dispatch: Some(backend),
+                    ..EnsembleSpec::independent(chains)
+                })
+                .build()
+                .expect("valid ensemble session");
+            group.bench_function(
+                BenchmarkId::new(format!("{backend}"), format!("{chains}_chains")),
+                |b| {
+                    b.iter(|| {
+                        session
+                            .run_ensemble(&mut Mt19937::new(1))
+                            .expect("ensemble run succeeds")
+                            .total_transitions()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_dispatch);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 
 use benchkit::{harness_rng, render_table, simulate_alignment};
 use exec::amdahl::{multichain_efficiency, multichain_time, parallel_burnin_time};
-use mpcgs::{run_multi_chain, ModelSpec, MultiChainConfig, MultiChainRun};
+use mpcgs::{run_multi_chain, ModelSpec, MultiChainConfig};
 use phylo::Dataset;
 
 fn ideal_table(b: f64, n: f64, title: &str) -> String {
@@ -62,8 +62,8 @@ fn main() {
             format!("{}", run.pooled.len()),
             format!("{}", run.transitions_per_chain),
             format!("{}", run.total_transitions),
-            format!("{:.1}%", 100.0 * run.burn_in_fraction(&config)),
-            format!("{:.0}", MultiChainRun::ideal_parallel_cost(&config)),
+            format!("{:.1}%", 100.0 * run.burn_in_fraction()),
+            format!("{:.0}", run.ideal_parallel_cost()),
         ]);
     }
     println!(

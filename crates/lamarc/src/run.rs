@@ -59,6 +59,12 @@ pub struct RunCounters {
     /// Accepted moves promoted into the cached workspace instead of being
     /// repaid with a full re-prune.
     pub workspace_commits: usize,
+    /// Replica-exchange swaps attempted between ensemble chains (zero for a
+    /// single chain or an `Independent` ensemble).
+    pub swap_attempts: usize,
+    /// Replica-exchange swaps accepted (Metropolis acceptance in log
+    /// domain over the rungs' inverse temperatures).
+    pub swaps_accepted: usize,
 }
 
 impl RunCounters {
@@ -84,10 +90,39 @@ impl RunCounters {
                 / self.likelihood_evaluations as f64
         }
     }
+
+    /// Fraction of attempted replica-exchange swaps that were accepted
+    /// (0.0 when none were attempted).
+    pub fn swap_acceptance_rate(&self) -> f64 {
+        if self.swap_attempts == 0 {
+            0.0
+        } else {
+            self.swaps_accepted as f64 / self.swap_attempts as f64
+        }
+    }
+
+    /// Element-wise sum of two counter sets (used by ensemble drivers to
+    /// aggregate per-chain counters into one pooled view).
+    pub fn merged(&self, other: &RunCounters) -> RunCounters {
+        RunCounters {
+            iterations: self.iterations + other.iterations,
+            proposals_generated: self.proposals_generated + other.proposals_generated,
+            likelihood_evaluations: self.likelihood_evaluations + other.likelihood_evaluations,
+            draws: self.draws + other.draws,
+            accepted: self.accepted + other.accepted,
+            nodes_repruned: self.nodes_repruned + other.nodes_repruned,
+            nodes_full_pruned: self.nodes_full_pruned + other.nodes_full_pruned,
+            nodes_committed: self.nodes_committed + other.nodes_committed,
+            generator_cache_hits: self.generator_cache_hits + other.generator_cache_hits,
+            workspace_commits: self.workspace_commits + other.workspace_commits,
+            swap_attempts: self.swap_attempts + other.swap_attempts,
+            swaps_accepted: self.swaps_accepted + other.swaps_accepted,
+        }
+    }
 }
 
 /// The unified outcome of one chain run, whichever strategy produced it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Retained post-burn-in samples (interval summaries plus data
     /// likelihoods).
@@ -130,6 +165,11 @@ pub struct ChainInfo {
     pub burn_in_draws: usize,
     /// Total draws the chain will record (burn-in included).
     pub total_draws: usize,
+    /// Position of this chain within its ensemble. A lone chain (and every
+    /// chain outside the ensemble layer) reports index 0; a sharded sampler
+    /// re-tags the infos of its member chains so one observer can tell the
+    /// per-chain event streams apart.
+    pub chain_index: usize,
 }
 
 /// Progress of one kernel iteration, handed to observers after each step.
@@ -207,7 +247,11 @@ impl RunObserver for NullObserver {}
 /// [`GenealogySampler::finish`], so a sampler can also be driven one
 /// [`GenealogySampler::step`] at a time (one MH transition, or one whole
 /// proposal set for the multi-proposal kernel).
-pub trait GenealogySampler {
+///
+/// The `Send` supertrait lets ensemble drivers shard boxed strategies across
+/// scoped worker threads (one chain per thread); both built-in strategies are
+/// plain owned data and satisfy it for free.
+pub trait GenealogySampler: Send {
     /// Short strategy name (`"baseline"`, `"gmh"`).
     fn strategy(&self) -> &'static str;
 
@@ -223,6 +267,39 @@ pub trait GenealogySampler {
 
     /// Advance the chain by one kernel iteration, recording its draws.
     fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError>;
+
+    /// The chain's current genealogy and its `ln P(D|G)`, or `None` when no
+    /// draw has been recorded yet (before [`GenealogySampler::begin`] or the
+    /// first [`GenealogySampler::step`]).
+    ///
+    /// This is one half of the replica-exchange seam: an ensemble driver
+    /// reads the states of two rungs, decides a Metropolis swap in log
+    /// domain, and writes the states back with
+    /// [`GenealogySampler::replace_state`].
+    fn current_state(&self) -> Option<(GeneTree, f64)>;
+
+    /// Just the `ln P(D|G)` of the chain's current state — what a swap
+    /// *decision* needs, without cloning the genealogy. The default derives
+    /// it from [`GenealogySampler::current_state`]; implementations override
+    /// it to skip the tree clone.
+    fn current_log_likelihood(&self) -> Option<f64> {
+        self.current_state().map(|(_, loglik)| loglik)
+    }
+
+    /// Replace the chain's current genealogy with `tree`, whose
+    /// `ln P(D|G)` is `log_likelihood` (the other half of the
+    /// replica-exchange seam — swap drivers already hold both halves of the
+    /// pair). Implementations adopt the tree as the next generator/current
+    /// state and must report the given likelihood from
+    /// [`GenealogySampler::current_state`] /
+    /// [`GenealogySampler::current_log_likelihood`] until the next step, so
+    /// the read-back surface never pairs a swapped-in tree with the previous
+    /// state's likelihood. Engine-side caches are refreshed lazily on the
+    /// next step (one full prune, exactly as a fresh
+    /// [`GenealogySampler::begin`] would pay).
+    ///
+    /// Errors when no chain is active.
+    fn replace_state(&mut self, tree: GeneTree, log_likelihood: f64) -> Result<(), PhyloError>;
 
     /// Consume the accumulated chain state into a [`RunReport`].
     fn finish(&mut self) -> Result<RunReport, PhyloError>;
@@ -279,6 +356,46 @@ mod tests {
             ..Default::default()
         };
         assert!((c.nodes_pruned_per_evaluation() - 5.0).abs() < 1e-12);
+        assert_eq!(RunCounters::default().swap_acceptance_rate(), 0.0);
+        let swapping = RunCounters { swap_attempts: 8, swaps_accepted: 2, ..Default::default() };
+        assert!((swapping.swap_acceptance_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_counters_sum_every_field() {
+        let a = RunCounters {
+            iterations: 1,
+            proposals_generated: 2,
+            likelihood_evaluations: 3,
+            draws: 4,
+            accepted: 5,
+            nodes_repruned: 6,
+            nodes_full_pruned: 7,
+            nodes_committed: 8,
+            generator_cache_hits: 9,
+            workspace_commits: 10,
+            swap_attempts: 11,
+            swaps_accepted: 12,
+        };
+        let doubled = a.merged(&a);
+        assert_eq!(
+            doubled,
+            RunCounters {
+                iterations: 2,
+                proposals_generated: 4,
+                likelihood_evaluations: 6,
+                draws: 8,
+                accepted: 10,
+                nodes_repruned: 12,
+                nodes_full_pruned: 14,
+                nodes_committed: 16,
+                generator_cache_hits: 18,
+                workspace_commits: 20,
+                swap_attempts: 22,
+                swaps_accepted: 24,
+            }
+        );
+        assert_eq!(a.merged(&RunCounters::default()), a);
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl SamplerConfig {
 }
 
 /// One retained genealogy, reduced to what the maximiser needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenealogySample {
     /// The coalescent-interval summary of the sampled genealogy.
     pub intervals: CoalescentIntervals,
@@ -81,6 +81,10 @@ struct BaselineChain {
     samples: Vec<GenealogySample>,
     counters: RunCounters,
     transitions_done: usize,
+    /// `ln P(D|G)` of a state installed by `replace_state` (replica
+    /// exchange), reported by the read-back surface until the next
+    /// transition recomputes the likelihood itself.
+    swapped_loglik: Option<f64>,
 }
 
 /// The baseline LAMARC-style sampler.
@@ -100,6 +104,15 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
         Ok(LamarcSampler { target, proposer, config, chain: None })
     }
 
+    /// Temper the sampler's target with inverse temperature `beta` (β = 1/T):
+    /// the chain then samples the power posterior `P(D|G)^β · P(G|θ)` — the
+    /// heated-rung target of a replica-exchange ensemble. β = 1 is
+    /// bit-identical to the untempered sampler.
+    pub fn with_inverse_temperature(mut self, beta: f64) -> Result<Self, PhyloError> {
+        self.target = self.target.with_inverse_temperature(beta)?;
+        Ok(self)
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SamplerConfig {
         &self.config
@@ -114,6 +127,9 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
     fn transition(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
         let thinning = self.config.thinning.max(1);
         let chain = self.chain.as_mut().ok_or_else(no_active_chain)?;
+        // A swapped-in state's likelihood is recomputed below (the engine
+        // cache misses on the new tree), so the override expires here.
+        chain.swapped_loglik = None;
         let target_node = self.proposer.sample_target(&chain.current, rng);
         let (proposal, edited) = self.proposer.propose_with_edit(&chain.current, target_node, rng);
         // Score the proposal through the batched engine: the generator's
@@ -134,8 +150,10 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
         chain.counters.nodes_repruned += eval.nodes_repruned;
         chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
         chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
-        // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r).
-        let log_ratio = proposal_loglik - current_loglik;
+        // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r). A heated rung
+        // (β < 1) flattens the ratio to r^β; the prior terms cancel at any β
+        // because the proposal draws from the conditional coalescent prior.
+        let log_ratio = self.target.beta() * (proposal_loglik - current_loglik);
         if log_ratio >= 0.0 || rng.gen::<f64>().ln() < log_ratio {
             // Commit-on-accept: promote the accepted proposal's dirty path
             // into the cached generator workspace so the next transition's
@@ -180,6 +198,7 @@ impl<E: LikelihoodEngine> GenealogySampler for LamarcSampler<E> {
             theta: self.config.theta,
             burn_in_draws: self.config.burn_in,
             total_draws: self.config.total_transitions(),
+            chain_index: 0,
         }
     }
 
@@ -190,6 +209,7 @@ impl<E: LikelihoodEngine> GenealogySampler for LamarcSampler<E> {
             samples: Vec::with_capacity(self.config.samples),
             counters: RunCounters::default(),
             transitions_done: 0,
+            swapped_loglik: None,
         });
         Ok(())
     }
@@ -202,6 +222,30 @@ impl<E: LikelihoodEngine> GenealogySampler for LamarcSampler<E> {
 
     fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
         self.transition(rng)
+    }
+
+    fn current_state(&self) -> Option<(GeneTree, f64)> {
+        let chain = self.chain.as_ref()?;
+        // A freshly swapped-in state carries its own likelihood; otherwise
+        // the last trace entry is ln P(D|G) of the current state (before the
+        // first transition there is none to report).
+        let loglik = chain.swapped_loglik.or_else(|| chain.trace.all().last().copied())?;
+        Some((chain.current.clone(), loglik))
+    }
+
+    fn current_log_likelihood(&self) -> Option<f64> {
+        let chain = self.chain.as_ref()?;
+        chain.swapped_loglik.or_else(|| chain.trace.all().last().copied())
+    }
+
+    fn replace_state(&mut self, tree: GeneTree, log_likelihood: f64) -> Result<(), PhyloError> {
+        let chain = self.chain.as_mut().ok_or_else(no_active_chain)?;
+        // The engine's cached workspace still describes the old state; the
+        // next transition's batch detects the mismatch and repays one full
+        // prune, so no eager rescore is needed here.
+        chain.current = tree;
+        chain.swapped_loglik = Some(log_likelihood);
+        Ok(())
     }
 
     fn finish(&mut self) -> Result<RunReport, PhyloError> {

@@ -4,6 +4,15 @@
 //! computed by Felsenstein pruning over the alignment, and the coalescent
 //! prior `P(G|θ)` of Eq. 18. Their product (sum in log domain) is the
 //! unnormalised posterior `P(G|D,θ)` that both samplers target.
+//!
+//! A target optionally carries an inverse temperature β ∈ (0, 1]: a heated
+//! rung of a replica-exchange (MC³) ensemble targets the *power posterior*
+//! `P(D|G)^β · P(G|θ)` — the data likelihood is flattened, the prior stays
+//! cold. Because both built-in proposal mechanisms draw from the conditional
+//! coalescent prior, the prior terms of the Hastings ratio still cancel at
+//! any β, so within-chain acceptance simply scales the log-likelihood
+//! difference by β. At β = 1 every formula reduces bit-identically to the
+//! untempered sampler.
 
 use coalescent::KingmanPrior;
 use exec::Backend;
@@ -11,22 +20,47 @@ use phylo::likelihood::{BatchEvaluation, LikelihoodEngine, TreeProposal};
 use phylo::{GeneTree, PhyloError};
 
 /// The sampler target: data likelihood plus coalescent prior for a fixed
-/// driving θ.
+/// driving θ, optionally tempered by an inverse temperature β.
 #[derive(Debug, Clone)]
 pub struct GenealogyTarget<E> {
     engine: E,
     prior: KingmanPrior,
+    beta: f64,
 }
 
 impl<E: LikelihoodEngine> GenealogyTarget<E> {
-    /// Create a target from a likelihood engine and a driving θ.
+    /// Create a target from a likelihood engine and a driving θ (untempered,
+    /// β = 1).
     pub fn new(engine: E, theta: f64) -> Result<Self, PhyloError> {
         let prior = KingmanPrior::new(theta).map_err(|_| PhyloError::InvalidParameter {
             name: "theta",
             value: theta,
             constraint: "theta > 0",
         })?;
-        Ok(GenealogyTarget { engine, prior })
+        Ok(GenealogyTarget { engine, prior, beta: 1.0 })
+    }
+
+    /// Temper the target with inverse temperature `beta` (β = 1/T). The
+    /// heated target is the power posterior `P(D|G)^β · P(G|θ)`.
+    ///
+    /// Errors unless `0 < beta ≤ 1` (a rung hotter than the cold chain
+    /// flattens the data likelihood; β > 1 would sharpen it, which no
+    /// exchange schedule in this workspace uses).
+    pub fn with_inverse_temperature(mut self, beta: f64) -> Result<Self, PhyloError> {
+        if !(beta > 0.0 && beta <= 1.0 && beta.is_finite()) {
+            return Err(PhyloError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                constraint: "0 < beta <= 1",
+            });
+        }
+        self.beta = beta;
+        Ok(self)
+    }
+
+    /// The inverse temperature β (1.0 for an untempered target).
+    pub fn beta(&self) -> f64 {
+        self.beta
     }
 
     /// The driving θ.
@@ -64,6 +98,12 @@ impl<E: LikelihoodEngine> GenealogyTarget<E> {
     /// `ln P(D|G) + ln P(G|θ)`, the unnormalised log posterior of Eq. 24.
     pub fn log_posterior(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
         Ok(self.log_data_likelihood(tree)? + self.log_prior(tree))
+    }
+
+    /// `β · ln P(D|G) + ln P(G|θ)`, the tempered (power-posterior) target a
+    /// heated replica-exchange rung samples.
+    pub fn tempered_log_posterior(&self, tree: &GeneTree) -> Result<f64, PhyloError> {
+        Ok(self.beta * self.log_data_likelihood(tree)? + self.log_prior(tree))
     }
 }
 
@@ -106,6 +146,29 @@ mod tests {
         let alignment = Alignment::from_letters(&[("a", "ACGT"), ("b", "ACGA")]).unwrap();
         let engine = FelsensteinPruner::new(&alignment, Jc69::new());
         assert!(GenealogyTarget::new(engine, 0.0).is_err());
+    }
+
+    #[test]
+    fn tempering_flattens_only_the_data_term() {
+        let (target, tree) = setup();
+        assert_eq!(target.beta(), 1.0);
+        let cold = target.clone();
+        let heated = target.with_inverse_temperature(0.25).unwrap();
+        assert_eq!(heated.beta(), 0.25);
+        let data = heated.log_data_likelihood(&tree).unwrap();
+        let prior = heated.log_prior(&tree);
+        let tempered = heated.tempered_log_posterior(&tree).unwrap();
+        assert!((tempered - (0.25 * data + prior)).abs() < 1e-12);
+        // β = 1 is the untempered posterior, bit for bit.
+        assert_eq!(cold.tempered_log_posterior(&tree).unwrap(), cold.log_posterior(&tree).unwrap());
+    }
+
+    #[test]
+    fn invalid_beta_is_rejected() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let (target, _) = setup();
+            assert!(target.with_inverse_temperature(bad).is_err(), "beta {bad} must be rejected");
+        }
     }
 
     #[test]

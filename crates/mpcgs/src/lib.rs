@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod ensemble;
 pub mod multi_chain;
 pub mod observers;
 pub mod perf;
@@ -68,6 +69,9 @@ pub mod sampler;
 pub mod session;
 
 pub use config::MpcgsConfig;
+pub use ensemble::{
+    Ensemble, EnsembleBuilder, EnsembleReport, EnsembleSpec, ExchangePolicy, ShardedSampler,
+};
 pub use multi_chain::{run_multi_chain, MultiChainConfig, MultiChainRun};
 pub use observers::{ChainSummaryPrinter, EmProgressPrinter};
 pub use perf::{CachingReport, SpeedupModel, Workload};

@@ -17,7 +17,16 @@ use phylo::io::phylip::parse_phylip;
 use phylo::likelihood::{ExecutionMode, Kernel};
 use phylo::{Dataset, Locus};
 
-use mpcgs::{EmProgressPrinter, MpcgsConfig, SamplerStrategy, Session};
+use mpcgs::{
+    EmProgressPrinter, EnsembleSpec, ExchangePolicy, MpcgsConfig, SamplerStrategy, Session,
+};
+
+/// Which exchange policy the CLI builds for a multi-chain run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExchangeKind {
+    Independent,
+    Ladder,
+}
 
 struct CliArgs {
     phylip_paths: Vec<String>,
@@ -30,6 +39,10 @@ struct CliArgs {
     strategy: SamplerStrategy,
     backend: Backend,
     kernel: Kernel,
+    chains: usize,
+    exchange: Option<ExchangeKind>,
+    swap_interval: Option<usize>,
+    hottest: Option<f64>,
 }
 
 fn print_usage() {
@@ -49,7 +62,14 @@ fn print_usage() {
            --backend <name>     execution backend: serial | rayon (default rayon)\n\
            --kernel <name>      likelihood combine kernel: scalar | simd (default scalar;\n\
                                 simd requires a build with --features simd and falls back\n\
-                                to scalar otherwise)"
+                                to scalar otherwise)\n\
+           --chains <n>         shard each run across n chains (default 1: single chain)\n\
+           --exchange <name>    ensemble exchange policy: independent | ladder\n\
+                                (default independent; ladder runs MC3 replica exchange\n\
+                                on a geometric temperature ladder)\n\
+           --swap-interval <n>  rounds between replica-exchange swap attempts\n\
+                                (ladder only, default 10)\n\
+           --hottest <t>        temperature of the hottest ladder rung (default 4.0)"
     );
 }
 
@@ -78,6 +98,10 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         strategy: SamplerStrategy::MultiProposal,
         backend: Backend::Rayon,
         kernel: Kernel::Scalar,
+        chains: 1,
+        exchange: None,
+        swap_interval: None,
+        hottest: None,
     };
     while i < args.len() {
         let flag = args[i].as_str();
@@ -117,9 +141,55 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--backend" => cli.backend = take_value("--backend")?.parse::<Backend>()?,
             "--kernel" => cli.kernel = take_value("--kernel")?.parse::<Kernel>()?,
+            "--chains" => {
+                cli.chains =
+                    take_value("--chains")?.parse().map_err(|e| format!("--chains: {e}"))?;
+                if cli.chains == 0 {
+                    return Err("--chains: at least one chain is required".to_string());
+                }
+            }
+            "--exchange" => {
+                cli.exchange = match take_value("--exchange")?.to_ascii_lowercase().as_str() {
+                    "independent" => Some(ExchangeKind::Independent),
+                    "ladder" | "temperature-ladder" | "mc3" => Some(ExchangeKind::Ladder),
+                    other => {
+                        return Err(format!(
+                            "unknown exchange policy {other:?} (expected \"independent\" or \
+                             \"ladder\")"
+                        ))
+                    }
+                }
+            }
+            "--swap-interval" => {
+                cli.swap_interval = Some(
+                    take_value("--swap-interval")?
+                        .parse()
+                        .map_err(|e| format!("--swap-interval: {e}"))?,
+                )
+            }
+            "--hottest" => {
+                cli.hottest =
+                    Some(take_value("--hottest")?.parse().map_err(|e| format!("--hottest: {e}"))?)
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
+    }
+    // Ensemble flags only act when more than one chain runs — reject
+    // combinations the run would otherwise silently ignore.
+    if cli.chains <= 1 {
+        if cli.exchange.is_some() {
+            return Err("--exchange requires --chains > 1".to_string());
+        }
+        if cli.swap_interval.is_some() || cli.hottest.is_some() {
+            return Err(
+                "--swap-interval/--hottest require --chains > 1 and --exchange ladder".to_string()
+            );
+        }
+    } else if cli.exchange != Some(ExchangeKind::Ladder)
+        && (cli.swap_interval.is_some() || cli.hottest.is_some())
+    {
+        return Err("--swap-interval/--hottest only apply with --exchange ladder".to_string());
     }
     Ok(cli)
 }
@@ -178,14 +248,42 @@ fn run(cli: CliArgs) -> Result<(), String> {
         Backend::Serial => ExecutionMode::Serial,
         Backend::Rayon => ExecutionMode::Parallel,
     };
-    let mut session = Session::builder()
+    let mut builder = Session::builder()
         .dataset(dataset)
         .strategy(cli.strategy)
         .config(config)
         .execution(execution)
-        .observe(EmProgressPrinter::new())
-        .build()
-        .map_err(|e| format!("invalid configuration: {e}"))?;
+        .observe(EmProgressPrinter::new());
+    if cli.chains > 1 {
+        let exchange = match cli.exchange.unwrap_or(ExchangeKind::Independent) {
+            ExchangeKind::Independent => ExchangePolicy::Independent,
+            ExchangeKind::Ladder => ExchangePolicy::geometric_ladder(
+                cli.chains,
+                cli.hottest.unwrap_or(4.0),
+                cli.swap_interval.unwrap_or(10),
+            ),
+        };
+        println!(
+            "  ensemble: {} chains, {} exchange{}",
+            cli.chains,
+            exchange.name(),
+            match &exchange {
+                ExchangePolicy::TemperatureLadder { temperatures, swap_interval } => format!(
+                    " (temperatures {:?}, swap every {} rounds)",
+                    temperatures.iter().map(|t| (t * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                    swap_interval
+                ),
+                ExchangePolicy::Independent => String::new(),
+            }
+        );
+        builder = builder.ensemble(EnsembleSpec {
+            n_chains: cli.chains,
+            exchange,
+            ensemble_seed: cli.seed as u64,
+            ..EnsembleSpec::default()
+        });
+    }
+    let mut session = builder.build().map_err(|e| format!("invalid configuration: {e}"))?;
 
     let mut rng = Mt19937::new(cli.seed);
     let estimate = session.run(&mut rng).map_err(|e| format!("estimation failed: {e}"))?;

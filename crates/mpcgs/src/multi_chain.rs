@@ -1,24 +1,28 @@
-//! The multiple-independent-chains work-around (Section 3, Figure 6).
+//! The multiple-independent-chains work-around (Section 3, Figure 6) — now a
+//! thin compatibility wrapper over the first-class ensemble layer.
 //!
 //! The conventional way to parallelise an MCMC sampler is to run `P`
 //! independent chains — each with its own burn-in — and pool the post-burn-in
 //! samples. The pooled sample size is what matters for the estimate, but the
 //! *work* performed is `P·B + N` transitions instead of `B + N`, which is the
 //! Amdahl-style inefficiency the paper's Figure 6 illustrates and that the
-//! multi-proposal sampler removes. This module implements the work-around
-//! faithfully on top of the [`Session`] facade — each chain really is a
-//! baseline-strategy session running on its own thread — and reports the
-//! work accounting so the Figure 6 harness can compare measured against
-//! idealised costs.
-
-use mcmc::rng::{Mt19937, SplitMix64};
+//! multi-proposal sampler removes. [`run_multi_chain`] keeps the historical
+//! signature, but the chains now run as an
+//! [`ExchangePolicy::Independent`](crate::ensemble::ExchangePolicy) ensemble
+//! behind a [`ShardedSampler`](crate::ensemble::ShardedSampler): per-chain
+//! RNG streams from one deterministic bank, parallel chain dispatch on the
+//! execution backend, and the work accounting derived from the resulting
+//! [`EnsembleReport`] rather than re-derived from configuration.
 
 use exec::Backend;
+use mcmc::rng::Mt19937;
+
 use lamarc::run::RunReport;
 use phylo::tree::CoalescentIntervals;
 use phylo::{Dataset, PhyloError};
 
 use crate::config::MpcgsConfig;
+use crate::ensemble::{EnsembleReport, EnsembleSpec, ExchangePolicy};
 use crate::session::{ModelSpec, SamplerStrategy, Session};
 
 /// Configuration of a multi-chain run.
@@ -42,11 +46,14 @@ impl Default for MultiChainConfig {
     }
 }
 
-/// The outcome of a multi-chain run.
-#[derive(Debug, Clone)]
+/// The outcome of a multi-chain run: the aggregated [`EnsembleReport`] plus
+/// the Section 3 work accounting, every figure of which is derived from what
+/// the chains actually did.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiChainRun {
-    /// The per-chain unified run reports.
-    pub chains: Vec<RunReport>,
+    /// The full ensemble report (per-chain run reports, pooled θ estimate,
+    /// aggregate counters, cross-chain diagnostics).
+    pub report: EnsembleReport,
     /// Pooled post-burn-in interval summaries across all chains
     /// (`P·⌈N/P⌉` entries — at least the requested `N`).
     pub pooled: Vec<CoalescentIntervals>,
@@ -58,23 +65,33 @@ pub struct MultiChainRun {
 }
 
 impl MultiChainRun {
-    /// The idealised per-chain cost `B + N/P` of Section 3 for this
-    /// configuration (what a wall-clock measurement would approach with one
-    /// chain per processor).
-    pub fn ideal_parallel_cost(config: &MultiChainConfig) -> f64 {
-        config.burn_in as f64 + config.total_samples as f64 / config.n_chains as f64
+    /// The per-chain unified run reports.
+    pub fn chains(&self) -> &[RunReport] {
+        &self.report.chains
     }
 
-    /// Fraction of all work spent in burn-in.
-    pub fn burn_in_fraction(&self, config: &MultiChainConfig) -> f64 {
-        (config.n_chains * config.burn_in) as f64 / self.total_transitions as f64
+    /// The idealised per-chain cost `B + N/P` of Section 3 for this run
+    /// (what a wall-clock measurement would approach with one chain per
+    /// processor), derived from the ensemble report's measured pool and
+    /// burn-in rather than from configuration.
+    pub fn ideal_parallel_cost(&self) -> f64 {
+        self.report.ideal_parallel_cost()
+    }
+
+    /// Fraction of all performed work spent in burn-in, derived from the
+    /// ensemble report's measured transition counts.
+    pub fn burn_in_fraction(&self) -> f64 {
+        self.report.burn_in_fraction()
     }
 }
 
 /// Run `P` independent baseline-strategy chains over the same dataset and
 /// pool their samples. Each chain gets a decorrelated RNG stream derived
-/// from `seed` and runs on its own thread — with one chain per processor
-/// this is exactly the work-around of Section 3.
+/// from `seed` and runs on its own scoped thread — with one chain per
+/// processor this is exactly the work-around of Section 3. Implemented as an
+/// [`ExchangePolicy::Independent`] ensemble; callers wanting chain-level
+/// control (exchange schedules, observers, strategy choice) should use
+/// [`crate::ensemble::EnsembleBuilder`] directly.
 pub fn run_multi_chain(
     dataset: &Dataset,
     model: ModelSpec,
@@ -95,46 +112,39 @@ pub fn run_multi_chain(
         burn_in_draws: config.burn_in,
         sample_draws: per_chain_samples,
         thinning: 1,
+        // Within-chain work stays serial; the parallelism is across chains
+        // (one scoped thread per chain), exactly as the work-around runs one
+        // chain per processor.
         backend: Backend::Serial,
         ..MpcgsConfig::default()
     };
+    let spec = EnsembleSpec {
+        n_chains: config.n_chains,
+        exchange: ExchangePolicy::Independent,
+        ensemble_seed: seed,
+        // One scoped thread per chain — the work-around's one chain per
+        // processor — while each chain's inner loops stay serial.
+        chain_dispatch: Some(Backend::Rayon),
+    };
 
-    // Derive one independent seed per chain up front.
-    let mut seeder = SplitMix64::new(seed);
-    let seeds: Vec<u32> = (0..config.n_chains).map(|_| seeder.next_seed32()).collect();
+    let mut session = Session::builder()
+        .dataset(dataset.clone())
+        .model(model)
+        .strategy(SamplerStrategy::Baseline)
+        .config(chain_config)
+        .ensemble(spec)
+        .build()?;
+    // Chains consume their own deterministic streams; the host RNG is
+    // call-compatibility only.
+    let report = session.run_ensemble(&mut Mt19937::new(1))?;
 
-    let chain_results: Vec<Result<RunReport, PhyloError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&chain_seed| {
-                scope.spawn(move || {
-                    let mut session = Session::builder()
-                        .dataset(dataset.clone())
-                        .model(model)
-                        .strategy(SamplerStrategy::Baseline)
-                        .config(chain_config)
-                        .build()?;
-                    let mut rng = Mt19937::new(chain_seed);
-                    session.run_chain(&mut rng)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("chain thread panicked")).collect()
-    });
-
-    let mut chains = Vec::with_capacity(config.n_chains);
-    for result in chain_results {
-        chains.push(result?);
-    }
-    let pooled: Vec<CoalescentIntervals> =
-        chains.iter().flat_map(|run| run.samples.iter().map(|s| s.intervals.clone())).collect();
-    let transitions_per_chain = config.burn_in + per_chain_samples;
-    Ok(MultiChainRun {
-        pooled,
-        transitions_per_chain,
-        total_transitions: transitions_per_chain * config.n_chains,
-        chains,
-    })
+    // Chain dispatch above runs chains on scoped threads, but the work
+    // accounting is what Figure 6 cares about: every chain paid its own
+    // burn-in.
+    let pooled = report.pooled_interval_summaries();
+    let transitions_per_chain = report.transitions_per_chain();
+    let total_transitions = report.total_transitions();
+    Ok(MultiChainRun { report, pooled, transitions_per_chain, total_transitions })
 }
 
 #[cfg(test)]
@@ -161,18 +171,23 @@ mod tests {
         let dataset = simulated_dataset(61, 5, 60, 1.0);
         let config = MultiChainConfig { n_chains: 3, burn_in: 50, total_samples: 300, theta: 1.0 };
         let run = run_multi_chain(&dataset, ModelSpec::Jc69, &config, 99).unwrap();
-        assert_eq!(run.chains.len(), 3);
+        assert_eq!(run.chains().len(), 3);
         assert_eq!(run.pooled.len(), 300);
         assert_eq!(run.transitions_per_chain, 50 + 100);
         assert_eq!(run.total_transitions, 450);
-        // The ideal parallel cost matches B + N/P.
-        assert_eq!(MultiChainRun::ideal_parallel_cost(&config), 150.0);
-        assert!((run.burn_in_fraction(&config) - 150.0 / 450.0).abs() < 1e-12);
-        // Every chain is a unified run report with full counters.
-        for chain in &run.chains {
+        // The work accounting now derives from the ensemble report and
+        // matches the idealised arithmetic B + N/P.
+        assert_eq!(run.ideal_parallel_cost(), 150.0);
+        assert!((run.burn_in_fraction() - 150.0 / 450.0).abs() < 1e-12);
+        // Every chain is a unified run report with full counters; no swaps
+        // happen between independent chains.
+        for chain in run.chains() {
             assert_eq!(chain.counters.draws, 150);
             assert!(chain.acceptance_rate() > 0.0);
         }
+        assert_eq!(run.report.counters.swap_attempts, 0);
+        // The ensemble layer also hands back the pooled estimate directly.
+        assert!(run.report.pooled_theta().unwrap() > 0.0);
     }
 
     #[test]
@@ -183,12 +198,15 @@ mod tests {
         let run = run_multi_chain(&dataset, ModelSpec::Jc69, &config, 7).unwrap();
         // Gelman-Rubin on the per-chain tree depths.
         let depth_chains: Vec<Vec<f64>> = run
-            .chains
+            .chains()
             .iter()
             .map(|c| c.samples.iter().map(|s| s.intervals.depth()).collect())
             .collect();
         let r_hat = gelman_rubin(&depth_chains).unwrap();
         assert!(r_hat < 1.2, "chains disagree: R-hat = {r_hat}");
+        // The report's own R-hat (over log-likelihood traces) agrees.
+        let report_r_hat = run.report.r_hat().unwrap();
+        assert!(report_r_hat < 1.2, "report R-hat = {report_r_hat}");
 
         // The pooled estimate is usable by the maximiser.
         let rl = RelativeLikelihood::new(1.0, &run.pooled).unwrap();

@@ -53,8 +53,8 @@ impl ChainSummaryPrinter {
 impl RunObserver for ChainSummaryPrinter {
     fn on_chain_start(&mut self, info: &ChainInfo) {
         println!(
-            "chain [{}]: {} draws ({} burn-in) at driving theta {:.6}",
-            info.strategy, info.total_draws, info.burn_in_draws, info.theta
+            "chain {} [{}]: {} draws ({} burn-in) at driving theta {:.6}",
+            info.chain_index, info.strategy, info.total_draws, info.burn_in_draws, info.theta
         );
     }
 
@@ -95,6 +95,7 @@ mod tests {
             theta: 1.0,
             burn_in_draws: 10,
             total_draws: 100,
+            chain_index: 0,
         });
     }
 }

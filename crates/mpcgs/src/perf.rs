@@ -431,6 +431,7 @@ mod tests {
             nodes_committed: 0,
             generator_cache_hits: 4,
             workspace_commits: 0,
+            ..RunCounters::default()
         };
         let report = CachingReport::from_stats(&stats, 11, Kernel::Scalar);
         assert!((report.nodes_per_evaluation - 350.0 / 80.0).abs() < 1e-12);

@@ -53,6 +53,10 @@ struct GmhChain {
     samples: Vec<GenealogySample>,
     counters: RunCounters,
     draws_done: usize,
+    /// `ln P(D|G)` of a generator installed by `replace_state` (replica
+    /// exchange), reported by the read-back surface until the next
+    /// iteration recomputes the likelihood itself.
+    swapped_loglik: Option<f64>,
 }
 
 /// The multi-proposal sampler bound to a likelihood engine and a driving θ.
@@ -97,6 +101,15 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         self.target.theta()
     }
 
+    /// Temper the sampler's target with inverse temperature `beta` (β = 1/T):
+    /// the index chain's stationary weights become `w_i ∝ P(D|G̃_i)^β` — the
+    /// heated-rung target of a replica-exchange ensemble. β = 1 is
+    /// bit-identical to the untempered sampler.
+    pub fn with_inverse_temperature(mut self, beta: f64) -> Result<Self, PhyloError> {
+        self.target = self.target.with_inverse_temperature(beta)?;
+        Ok(self)
+    }
+
     /// The configuration.
     pub fn config(&self) -> &MpcgsConfig {
         &self.config
@@ -116,6 +129,10 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         let epoch = self.epoch;
         let chain = self.chain.as_mut().expect("checked above");
         chain.counters.iterations += 1;
+        // A swapped-in generator's likelihood is recomputed below (the
+        // engine cache misses on the new tree), so the override expires
+        // here.
+        chain.swapped_loglik = None;
 
         // Step 1: the auxiliary variable φ (host RNG).
         let phi = self.proposer.sample_target(&chain.generator, rng);
@@ -150,10 +167,16 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         chain.counters.nodes_repruned += eval.nodes_repruned;
         chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
         chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
-        // The generator joins the set with its cached likelihood.
+        // The generator joins the set with its cached likelihood. Selection
+        // runs under the (possibly tempered) target — `w_i ∝ P(D|G̃_i)^β`,
+        // i.e. log weights scaled by β — while traces and samples record the
+        // untempered ln P(D|G̃_i). β = 1 multiplies by 1.0, which is
+        // bit-identical to the untempered sampler.
+        let beta = self.target.beta();
         let generator_index = set.len();
-        let mut log_weights: Vec<f64> = eval.log_likelihoods.clone();
-        log_weights.push(generator_loglik);
+        let mut log_weights: Vec<f64> =
+            eval.log_likelihoods.iter().map(|&loglik| beta * loglik).collect();
+        log_weights.push(beta * generator_loglik);
         let usable = log_sum_exp(&log_weights).is_finite();
 
         // Step 4: sample the index chain M times.
@@ -224,6 +247,7 @@ impl<E: LikelihoodEngine> GenealogySampler for MultiProposalSampler<E> {
             theta: self.theta(),
             burn_in_draws: self.config.burn_in_draws,
             total_draws: self.config.total_draws(),
+            chain_index: 0,
         }
     }
 
@@ -236,6 +260,7 @@ impl<E: LikelihoodEngine> GenealogySampler for MultiProposalSampler<E> {
             samples: Vec::with_capacity(self.config.sample_draws),
             counters: RunCounters::default(),
             draws_done: 0,
+            swapped_loglik: None,
         });
         Ok(())
     }
@@ -246,6 +271,31 @@ impl<E: LikelihoodEngine> GenealogySampler for MultiProposalSampler<E> {
 
     fn step(&mut self, rng: &mut dyn RngCore) -> Result<StepReport, PhyloError> {
         self.gmh_iteration(rng)
+    }
+
+    fn current_state(&self) -> Option<(GeneTree, f64)> {
+        let chain = self.chain.as_ref()?;
+        // A freshly swapped-in generator carries its own likelihood;
+        // otherwise the generator is the last drawn state and the last trace
+        // entry is its ln P(D|G) (before the first iteration there is
+        // nothing to report).
+        let loglik = chain.swapped_loglik.or_else(|| chain.trace.all().last().copied())?;
+        Some((chain.generator.clone(), loglik))
+    }
+
+    fn current_log_likelihood(&self) -> Option<f64> {
+        let chain = self.chain.as_ref()?;
+        chain.swapped_loglik.or_else(|| chain.trace.all().last().copied())
+    }
+
+    fn replace_state(&mut self, tree: GeneTree, log_likelihood: f64) -> Result<(), PhyloError> {
+        let chain = self.chain.as_mut().ok_or_else(no_active_chain)?;
+        // The engine's memoised generator workspace now describes the old
+        // generator; the next iteration's batch detects the mismatch and
+        // repays one full prune.
+        chain.generator = tree;
+        chain.swapped_loglik = Some(log_likelihood);
+        Ok(())
     }
 
     fn finish(&mut self) -> Result<RunReport, PhyloError> {

@@ -75,6 +75,7 @@ use phylo::model::{Jc69, SubstitutionModel, F81};
 use phylo::{upgma_tree, Alignment, Dataset, GeneTree, PhyloError};
 
 use crate::config::MpcgsConfig;
+use crate::ensemble::{EnsembleReport, EnsembleSpec, ShardedSampler};
 use crate::sampler::MultiProposalSampler;
 
 /// Which transition kernel drives the chain. Both strategies target the same
@@ -219,6 +220,7 @@ pub struct SessionBuilder {
     execution: ExecutionMode,
     initial_tree: Option<GeneTree>,
     observers: Vec<Box<dyn RunObserver>>,
+    ensemble: Option<EnsembleSpec>,
 }
 
 impl SessionBuilder {
@@ -296,10 +298,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Shard every run of this session across an ensemble of chains (the
+    /// paper's "many communicating chains" axis): the configured strategy is
+    /// replicated per chain behind one [`ShardedSampler`], stepped in
+    /// parallel on the session backend, with pooled samples feeding the
+    /// maximisation stage. See [`crate::ensemble`] for the exchange
+    /// policies.
+    pub fn ensemble(mut self, spec: EnsembleSpec) -> Self {
+        self.ensemble = Some(spec);
+        self
+    }
+
     /// Validate and assemble the session.
     pub fn build(self) -> Result<Session, PhyloError> {
         let dataset = self.dataset.ok_or(PhyloError::Empty { what: "session dataset" })?;
         self.config.validate()?;
+        if let Some(spec) = &self.ensemble {
+            spec.validate()?;
+        }
         if let Some(tree) = &self.initial_tree {
             tree.validate()?;
             if tree.n_tips() != dataset.n_sequences() {
@@ -320,6 +336,7 @@ impl SessionBuilder {
             execution: self.execution,
             initial_tree: self.initial_tree,
             observers: self.observers,
+            ensemble: self.ensemble,
         })
     }
 }
@@ -334,6 +351,7 @@ pub struct Session {
     execution: ExecutionMode,
     initial_tree: Option<GeneTree>,
     observers: Vec<Box<dyn RunObserver>>,
+    ensemble: Option<EnsembleSpec>,
 }
 
 impl Session {
@@ -371,21 +389,57 @@ impl Session {
         }
     }
 
+    /// The ensemble specification, when the session shards its runs.
+    pub fn ensemble_spec(&self) -> Option<&EnsembleSpec> {
+        self.ensemble.as_ref()
+    }
+
+    /// Replace the ensemble specification (`None` reverts to single-chain
+    /// runs). Used by [`crate::ensemble::EnsembleBuilder`].
+    pub fn set_ensemble(&mut self, spec: Option<EnsembleSpec>) {
+        self.ensemble = spec;
+    }
+
     /// Build the configured strategy as a boxed [`GenealogySampler`] driving
-    /// the given θ. Exposed so callers can drive chains step by step; most
-    /// should use [`Session::run`] or [`Session::run_chain`].
+    /// the given θ. When an [`EnsembleSpec`] is configured this is a
+    /// [`ShardedSampler`] over the whole ensemble; otherwise the bare
+    /// per-chain strategy. Exposed so callers can drive chains step by step;
+    /// most should use [`Session::run`] or [`Session::run_chain`].
     pub fn make_sampler(&self, theta: f64) -> Result<Box<dyn GenealogySampler>, PhyloError> {
+        match &self.ensemble {
+            Some(spec) => Ok(Box::new(ShardedSampler::from_session(self, spec, theta)?)),
+            None => self.make_chain_sampler(theta, 1.0, 0),
+        }
+    }
+
+    /// Build one member chain of an ensemble: the configured strategy at
+    /// driving θ, tempered with inverse temperature `beta` (β = 1 is the
+    /// untempered target), with the proposal stream seed decorrelated by
+    /// `chain_index`. Chain 0 at β = 1 is **bit-identical** to the sampler a
+    /// plain (non-ensemble) session builds — that is the compatibility
+    /// contract the ensemble layer's determinism tests pin down.
+    pub fn make_chain_sampler(
+        &self,
+        theta: f64,
+        beta: f64,
+        chain_index: usize,
+    ) -> Result<Box<dyn GenealogySampler>, PhyloError> {
+        let mut config = self.config;
+        // Weyl-sequence offset: chain 0 keeps the configured seed exactly,
+        // every other chain gets a decorrelated proposal stream family.
+        config.stream_seed ^= (chain_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         match self.model {
-            ModelSpec::Jc69 => self.make_sampler_with(theta, |_| Jc69::new()),
-            ModelSpec::F81Empirical => {
-                self.make_sampler_with(theta, |a| F81::normalized(a.base_frequencies()))
-            }
+            ModelSpec::Jc69 => self.make_sampler_with(config, theta, beta, |_| Jc69::new()),
+            ModelSpec::F81Empirical => self
+                .make_sampler_with(config, theta, beta, |a| F81::normalized(a.base_frequencies())),
         }
     }
 
     fn make_sampler_with<M, F>(
         &self,
+        config: MpcgsConfig,
         theta: f64,
+        beta: f64,
         model_for: F,
     ) -> Result<Box<dyn GenealogySampler>, PhyloError>
     where
@@ -394,21 +448,24 @@ impl Session {
     {
         let engine = MultiLocusEngine::new(&self.dataset, model_for)
             .with_mode(self.execution)
-            .with_kernel(self.config.kernel);
+            .with_kernel(config.kernel);
         Ok(match self.strategy {
             SamplerStrategy::Baseline => {
-                let config = SamplerConfig {
+                let sampler_config = SamplerConfig {
                     theta,
-                    burn_in: self.config.burn_in_draws,
-                    samples: self.config.sample_draws,
-                    thinning: self.config.thinning,
-                    proposal: self.config.proposal,
+                    burn_in: config.burn_in_draws,
+                    samples: config.sample_draws,
+                    thinning: config.thinning,
+                    proposal: config.proposal,
                 };
-                Box::new(LamarcSampler::new(engine, config)?)
+                Box::new(
+                    LamarcSampler::new(engine, sampler_config)?.with_inverse_temperature(beta)?,
+                )
             }
-            SamplerStrategy::MultiProposal => {
-                Box::new(MultiProposalSampler::with_theta(engine, self.config, theta)?)
-            }
+            SamplerStrategy::MultiProposal => Box::new(
+                MultiProposalSampler::with_theta(engine, config, theta)?
+                    .with_inverse_temperature(beta)?,
+            ),
         })
     }
 
@@ -423,18 +480,37 @@ impl Session {
         let mut iterations = Vec::with_capacity(self.config.em_iterations);
         let mut current_tree = Some(self.starting_tree()?);
 
+        // An ensemble session builds its sharded sampler once and retunes it
+        // between rounds, so the per-chain host RNG streams keep advancing
+        // across EM rounds (the multi-chain analogue of the shared host RNG
+        // below).
+        let mut sharded = match &self.ensemble {
+            Some(spec) => Some(ShardedSampler::from_session(self, spec, theta)?),
+            None => None,
+        };
+
         for em_round in 0..self.config.em_iterations {
-            // A fresh sampler per round, exactly as the pre-facade drivers
-            // built one — the bit-identity contract in tests/session_api.rs
-            // depends on it. The per-proposal stream epochs therefore restart
-            // each round (with the same stream_seed); rounds stay
-            // decorrelated because the host RNG advances across rounds, so φ,
-            // the generators being resimulated, and the index draws all
-            // differ even where raw stream states coincide.
-            let mut sampler = self.make_sampler(theta)?;
             let initial = current_tree.take().expect("a starting tree is always available");
-            let mut fan = FanOut(&mut self.observers);
-            let report = sampler.run(initial, rng, &mut fan)?;
+            let report = match sharded.as_mut() {
+                Some(sampler) => {
+                    sampler.retune(self, theta)?;
+                    let mut fan = FanOut(&mut self.observers);
+                    sampler.run(initial, rng, &mut fan)?
+                }
+                None => {
+                    // A fresh sampler per round, exactly as the pre-facade
+                    // drivers built one — the bit-identity contract in
+                    // tests/session_api.rs depends on it. The per-proposal
+                    // stream epochs therefore restart each round (with the
+                    // same stream_seed); rounds stay decorrelated because the
+                    // host RNG advances across rounds, so φ, the generators
+                    // being resimulated, and the index draws all differ even
+                    // where raw stream states coincide.
+                    let mut sampler = self.make_chain_sampler(theta, 1.0, 0)?;
+                    let mut fan = FanOut(&mut self.observers);
+                    sampler.run(initial, rng, &mut fan)?
+                }
+            };
 
             let summaries = report.interval_summaries();
             let relative = RelativeLikelihood::new(theta, &summaries).map_err(|e| {
@@ -448,7 +524,7 @@ impl Session {
                 acceptance_rate: report.acceptance_rate(),
                 mean_log_data_likelihood: report.mean_log_data_likelihood(),
             };
-            fan.on_em_update(&update);
+            FanOut(&mut self.observers).on_em_update(&update);
             iterations.push(EmIterationReport::from_update(&update, report.counters));
             theta = estimate.max(1e-9);
             current_tree = Some(report.final_tree);
@@ -466,6 +542,32 @@ impl Session {
         let initial = self.starting_tree()?;
         let mut fan = FanOut(&mut self.observers);
         sampler.run(initial, rng, &mut fan)
+    }
+
+    /// Run one full ensemble pass at the configured θ₀ and return the
+    /// aggregated [`EnsembleReport`] (per-chain reports, pooled θ estimate,
+    /// swap counters, cross-chain R̂). Requires an [`EnsembleSpec`]
+    /// (configure one with [`SessionBuilder::ensemble`]).
+    ///
+    /// Observers see the tagged per-chain event stream documented on
+    /// [`ShardedSampler`]. The host RNG seeds nothing here — every chain
+    /// consumes its own deterministic stream from the spec — but the
+    /// parameter is kept so ensemble and single-chain drivers stay
+    /// call-compatible.
+    pub fn run_ensemble<R: Rng>(&mut self, rng: &mut R) -> Result<EnsembleReport, PhyloError> {
+        let spec = self.ensemble.clone().ok_or_else(|| PhyloError::InvalidState {
+            message: "run_ensemble requires an ensemble spec \
+                      (SessionBuilder::ensemble or Ensemble::builder)"
+                .to_string(),
+        })?;
+        let rng: &mut dyn RngCore = rng;
+        let mut sampler = ShardedSampler::from_session(self, &spec, self.config.initial_theta)?;
+        let initial = self.starting_tree()?;
+        let mut fan = FanOut(&mut self.observers);
+        sampler.run(initial, rng, &mut fan)?;
+        sampler.take_ensemble_report().ok_or_else(|| PhyloError::InvalidState {
+            message: "ensemble run finished without a report".to_string(),
+        })
     }
 
     /// Evaluate the relative-likelihood curve for one chain run (Figure 5):

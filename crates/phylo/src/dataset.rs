@@ -34,17 +34,42 @@
 use crate::alignment::Alignment;
 use crate::error::PhyloError;
 
-/// One locus: a named alignment over the dataset's shared individuals.
+/// One locus: a named alignment over the dataset's shared individuals, with
+/// an optional relative mutation-rate scalar.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Locus {
     name: String,
     alignment: Alignment,
+    relative_rate: f64,
 }
 
 impl Locus {
-    /// Create a named locus.
+    /// Create a named locus with the default relative rate 1.0.
     pub fn new(name: impl Into<String>, alignment: Alignment) -> Self {
-        Locus { name: name.into(), alignment }
+        Locus { name: name.into(), alignment, relative_rate: 1.0 }
+    }
+
+    /// Create a named locus with an explicit relative mutation rate — the
+    /// LAMARC-style per-locus *driving value* scalar. A locus with rate `r`
+    /// is scored as if its sequences evolved at `r` times the dataset's
+    /// reference rate, i.e. against `θ·r`: the likelihood engine multiplies
+    /// every branch length by `r` before building transition matrices.
+    ///
+    /// Fails unless `rate` is finite and strictly positive. Rate 1.0 is
+    /// bit-identical to [`Locus::new`].
+    pub fn with_rate(
+        name: impl Into<String>,
+        alignment: Alignment,
+        rate: f64,
+    ) -> Result<Self, PhyloError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(PhyloError::InvalidParameter {
+                name: "relative_rate",
+                value: rate,
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(Locus { name: name.into(), alignment, relative_rate: rate })
     }
 
     /// The locus name (typically the source file stem).
@@ -55,6 +80,12 @@ impl Locus {
     /// The locus alignment.
     pub fn alignment(&self) -> &Alignment {
         &self.alignment
+    }
+
+    /// The relative mutation rate of this locus (1.0 unless set with
+    /// [`Locus::with_rate`]).
+    pub fn relative_rate(&self) -> f64 {
+        self.relative_rate
     }
 
     /// Number of sites in this locus.
@@ -178,5 +209,19 @@ mod tests {
     #[test]
     fn empty_dataset_is_rejected() {
         assert!(Dataset::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn relative_rates_default_and_validate() {
+        let a = alignment(&[("a", "ACGT"), ("b", "ACGA")]);
+        assert_eq!(Locus::new("l", a.clone()).relative_rate(), 1.0);
+        let fast = Locus::with_rate("fast", a.clone(), 2.5).unwrap();
+        assert_eq!(fast.relative_rate(), 2.5);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                Locus::with_rate("bad", a.clone(), bad).is_err(),
+                "rate {bad} must be rejected"
+            );
+        }
     }
 }

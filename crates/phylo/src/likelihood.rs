@@ -455,6 +455,7 @@ fn depth_from_root(tree: &GeneTree, node: NodeId) -> usize {
 /// must be in their neutral state on entry; `clear_dirty_marks` restores it.
 fn mark_dirty_region<M: SubstitutionModel>(
     model: &M,
+    rate: f64,
     tree: &GeneTree,
     edited: &[NodeId],
     scratch: &mut RescoreScratch,
@@ -482,7 +483,7 @@ fn mark_dirty_region<M: SubstitutionModel>(
         for child in [a, b] {
             if scratch.matrices[child].is_none() {
                 let t = tree.branch_length(child).expect("child of an interior node");
-                scratch.matrices[child] = Some(model.transition_matrix(t.max(0.0)));
+                scratch.matrices[child] = Some(model.transition_matrix((t * rate).max(0.0)));
             }
         }
     }
@@ -521,6 +522,10 @@ pub struct FelsensteinPruner<M> {
     name_to_row: std::collections::HashMap<String, usize>,
     mode: ExecutionMode,
     kernel: Kernel,
+    /// Relative mutation rate: every branch length is multiplied by this
+    /// before entering the substitution model, so a locus with rate `r` is
+    /// scored against `θ·r` (LAMARC's per-locus driving value).
+    rate: f64,
     /// Scaling threshold below which partial likelihoods are renormalised.
     scale_threshold: f64,
     /// Memoised generator workspace for the batched engine. Guarded by a
@@ -537,6 +542,7 @@ impl<M: Clone> Clone for FelsensteinPruner<M> {
             name_to_row: self.name_to_row.clone(),
             mode: self.mode,
             kernel: self.kernel,
+            rate: self.rate,
             scale_threshold: self.scale_threshold,
             // Caches are per-engine working state, not semantics: a clone
             // starts cold.
@@ -557,9 +563,28 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
             name_to_row,
             mode: ExecutionMode::Serial,
             kernel: Kernel::default(),
+            rate: 1.0,
             scale_threshold: 1e-100,
             cache: Mutex::new(None),
         }
+    }
+
+    /// Select the relative mutation rate: every branch length is multiplied
+    /// by `rate` before transition matrices are built, scoring this engine's
+    /// locus against `θ·rate`. Rate 1.0 (the default) is bit-identical to an
+    /// unscaled engine. Callers validate the rate
+    /// ([`crate::Locus::with_rate`] enforces finite and > 0); the engine
+    /// clears its cached workspace because cached partials embed the old
+    /// rate.
+    pub fn with_relative_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self.clear_cache();
+        self
+    }
+
+    /// The relative mutation rate in use.
+    pub fn relative_rate(&self) -> f64 {
+        self.rate
     }
 
     /// Select the execution mode: [`ExecutionMode::Parallel`] runs the
@@ -644,10 +669,14 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         Ok(())
     }
 
-    /// Per-branch transition matrices for every node of `tree`.
+    /// Per-branch transition matrices for every node of `tree`, with branch
+    /// lengths scaled by the engine's relative rate.
     fn transition_matrices(&self, tree: &GeneTree) -> Vec<Option<[[f64; 4]; 4]>> {
         (0..tree.n_nodes())
-            .map(|node| tree.branch_length(node).map(|t| self.model.transition_matrix(t.max(0.0))))
+            .map(|node| {
+                tree.branch_length(node)
+                    .map(|t| self.model.transition_matrix((t * self.rate).max(0.0)))
+            })
             .collect()
     }
 
@@ -917,7 +946,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         RESCORE_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             scratch.reserve(n_nodes, 0);
-            mark_dirty_region(&self.model, proposal, edited, scratch);
+            mark_dirty_region(&self.model, self.rate, proposal, edited, scratch);
             let n_dirty = scratch.dirty.len();
             scratch.reserve(n_nodes, n_dirty);
 
@@ -1015,7 +1044,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         let n_dirty = RESCORE_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             scratch.reserve(n_nodes, 0);
-            mark_dirty_region(&self.model, accepted, edited, scratch);
+            mark_dirty_region(&self.model, self.rate, accepted, edited, scratch);
             let RescoreScratch { dirty, matrices, partial_row, scale_row, .. } = &mut *scratch;
             for chunk in &mut cache.workspace.chunks {
                 let len = chunk.len;
@@ -1281,13 +1310,18 @@ pub struct MultiLocusEngine<M> {
 impl<M: SubstitutionModel> MultiLocusEngine<M> {
     /// Build an engine for `dataset`, instantiating one substitution model
     /// per locus through `model_for` (so e.g. empirical base frequencies can
-    /// be estimated per locus).
+    /// be estimated per locus). Each per-locus pruner inherits its locus's
+    /// relative mutation rate ([`crate::Locus::with_rate`]), so a locus with
+    /// rate `r` is scored against `θ·r`.
     pub fn new(dataset: &Dataset, model_for: impl Fn(&Alignment) -> M) -> Self {
         let mut names = Vec::with_capacity(dataset.n_loci());
         let mut engines = Vec::with_capacity(dataset.n_loci());
         for locus in dataset.loci() {
             names.push(locus.name().to_string());
-            engines.push(FelsensteinPruner::new(locus.alignment(), model_for(locus.alignment())));
+            engines.push(
+                FelsensteinPruner::new(locus.alignment(), model_for(locus.alignment()))
+                    .with_relative_rate(locus.relative_rate()),
+            );
         }
         MultiLocusEngine { names, engines }
     }
@@ -2210,5 +2244,95 @@ mod tests {
         let cold = engine.log_likelihood_batch(Backend::Serial, accepted, &[]).unwrap();
         assert!(!cold.generator_cache_hit);
         assert_eq!(cold.generator_log_likelihood, promoted.generator_log_likelihood);
+    }
+
+    #[test]
+    fn relative_rate_one_is_bit_identical() {
+        // The per-locus driving-value seam must be invisible at rate 1.0:
+        // bit-identical full prunes, dirty-path rescores and commits.
+        let (alignment, tree) = five_tip_fixture();
+        let plain = FelsensteinPruner::new(&alignment, Jc69::new());
+        let rated = FelsensteinPruner::new(&alignment, Jc69::new()).with_relative_rate(1.0);
+        assert_eq!(rated.relative_rate(), 1.0);
+        assert_eq!(plain.log_likelihood(&tree).unwrap(), rated.log_likelihood(&tree).unwrap());
+        let target = tree.non_root_internal_nodes()[0];
+        let (proposal, edited) = perturb(&tree, target, 0.015);
+        let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+        let a = plain.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        let b = rated.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert_eq!(a.generator_log_likelihood, b.generator_log_likelihood);
+        assert_eq!(a.log_likelihoods, b.log_likelihoods);
+        plain.commit_to_cache(&tree, &proposal, &edited).unwrap().unwrap();
+        rated.commit_to_cache(&tree, &proposal, &edited).unwrap().unwrap();
+        let a2 = plain.log_likelihood_batch(Backend::Serial, &proposal, &[]).unwrap();
+        let b2 = rated.log_likelihood_batch(Backend::Serial, &proposal, &[]).unwrap();
+        assert_eq!(a2.generator_log_likelihood, b2.generator_log_likelihood);
+    }
+
+    #[test]
+    fn relative_rate_equals_scaling_branch_lengths() {
+        // Scoring at rate r must equal scoring the tree with every time
+        // multiplied by r (JC69 and F81 are time-reversible in t·rate), on
+        // the reference path, the batched path, and after commits.
+        let (alignment, tree) = five_tip_fixture();
+        let rate = 1.75;
+        let rated = FelsensteinPruner::new(&alignment, Jc69::new()).with_relative_rate(rate);
+        let mut scaled_tree = tree.clone();
+        scaled_tree.scale_times(rate);
+        let reference = FelsensteinPruner::new(&alignment, Jc69::new());
+        let direct = rated.log_likelihood(&tree).unwrap();
+        let via_scaling = reference.log_likelihood(&scaled_tree).unwrap();
+        assert!(
+            (direct - via_scaling).abs() < 1e-10,
+            "rate-scaled {direct} vs branch-scaled {via_scaling}"
+        );
+
+        // Dirty-path rescoring agrees too.
+        let target = tree.non_root_internal_nodes()[0];
+        let (proposal, edited) = perturb(&tree, target, 0.015);
+        let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+        let eval = rated.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        let mut scaled_proposal = proposal.clone();
+        scaled_proposal.scale_times(rate);
+        let manual = reference.log_likelihood(&scaled_proposal).unwrap();
+        assert!((eval.log_likelihoods[0] - manual).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multi_locus_engine_scores_each_locus_at_its_own_rate() {
+        let (dataset, tree) = three_locus_fixture();
+        let rates = [1.0, 2.0, 0.5];
+        let rated_loci: Vec<Locus> = dataset
+            .loci()
+            .iter()
+            .zip(rates)
+            .map(|(locus, rate)| {
+                Locus::with_rate(locus.name(), locus.alignment().clone(), rate).unwrap()
+            })
+            .collect();
+        let rated_dataset = Dataset::new(rated_loci).unwrap();
+        let engine = MultiLocusEngine::new(&rated_dataset, |_| Jc69::new());
+        let per_locus = engine.log_likelihood_per_locus(&tree).unwrap();
+        for ((locus, rate), &got) in dataset.loci().iter().zip(rates).zip(&per_locus) {
+            let mut scaled = tree.clone();
+            scaled.scale_times(rate);
+            let manual = FelsensteinPruner::new(locus.alignment(), Jc69::new())
+                .log_likelihood(&scaled)
+                .unwrap();
+            assert!(
+                (got - manual).abs() < 1e-10,
+                "locus {} at rate {rate}: {got} vs {manual}",
+                locus.name()
+            );
+        }
+        // And the total is still the sum.
+        let total = engine.log_likelihood(&tree).unwrap();
+        assert!((total - per_locus.iter().sum::<f64>()).abs() < 1e-12);
+        // A rate-2 locus with mutations is not scored like a rate-1 locus.
+        let unrated = MultiLocusEngine::new(&dataset, |_| Jc69::new());
+        assert!(
+            (unrated.log_likelihood(&tree).unwrap() - total).abs() > 1e-9,
+            "distinct rates must change the score"
+        );
     }
 }

@@ -1,0 +1,388 @@
+//! Integration tests of the ensemble layer: sharded multi-chain sampling
+//! behind the `GenealogySampler` trait.
+//!
+//! The contracts pinned down here are the ones the ensemble API is built on:
+//!
+//! * **Backend determinism** — chains own their RNG streams, so serial and
+//!   rayon chain dispatch produce bit-identical `EnsembleReport`s (and the
+//!   result is therefore independent of thread count).
+//! * **Single-chain compatibility** — a one-chain `Independent` ensemble is
+//!   bit-identical to driving the same session through `Session::run_chain`
+//!   with the ensemble's chain-0 stream.
+//! * **Replica-exchange sanity** — with identical temperatures the Metropolis
+//!   swap rule accepts every attempt; with a real ladder the acceptance rate
+//!   is a proper fraction and the run still estimates θ.
+//! * **Pooled diagnostics** — Gelman–Rubin R̂ over identical-target chains
+//!   approaches 1 on long runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use mpcgs::ensemble::{EnsembleBuilder, EnsembleSpec, ExchangePolicy, ShardedSampler};
+use mpcgs::{
+    ChainInfo, GenealogySampler, MpcgsConfig, RunObserver, RunReport, SamplerStrategy, Session,
+};
+use phylo::model::Jc69;
+use phylo::{Alignment, Dataset};
+
+fn simulated_dataset(seed: u32, n: usize, sites: usize, theta: f64) -> Dataset {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n).unwrap();
+    let alignment: Alignment =
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    Dataset::single(alignment)
+}
+
+fn small_config(backend: Backend) -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 1,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 40,
+        sample_draws: 160,
+        backend,
+        ..MpcgsConfig::default()
+    }
+}
+
+fn session(dataset: &Dataset, backend: Backend, strategy: SamplerStrategy) -> Session {
+    Session::builder()
+        .dataset(dataset.clone())
+        .strategy(strategy)
+        .config(small_config(backend))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn independent_ensemble_is_bit_identical_across_backends() {
+    // The acceptance criterion of the ensemble redesign: a 4-chain
+    // independent ensemble with a fixed seed produces bit-identical
+    // EnsembleReports under serial (round-robin) and rayon (one scoped
+    // thread per chain) dispatch — which also makes the result independent
+    // of thread count, since every chain owns its RNG stream and engine.
+    let dataset = simulated_dataset(211, 6, 80, 1.0);
+    let spec = EnsembleSpec { n_chains: 4, ensemble_seed: 42, ..EnsembleSpec::independent(4) };
+    for strategy in [SamplerStrategy::MultiProposal, SamplerStrategy::Baseline] {
+        let mut serial = session(&dataset, Backend::Serial, strategy);
+        serial.set_ensemble(Some(spec.clone()));
+        let report_serial = serial.run_ensemble(&mut Mt19937::new(1)).unwrap();
+
+        let mut rayon = session(&dataset, Backend::Rayon, strategy);
+        rayon.set_ensemble(Some(spec.clone()));
+        let report_rayon = rayon.run_ensemble(&mut Mt19937::new(999)).unwrap();
+
+        assert_eq!(
+            report_serial, report_rayon,
+            "{strategy:?}: serial and rayon chain dispatch must be bit-identical"
+        );
+
+        // Decoupled dispatch — serial within-chain work sharded across one
+        // scoped thread per chain — is the same ensemble too.
+        let mut decoupled = session(&dataset, Backend::Serial, strategy);
+        decoupled.set_ensemble(Some(EnsembleSpec {
+            chain_dispatch: Some(Backend::Rayon),
+            ..spec.clone()
+        }));
+        let report_decoupled = decoupled.run_ensemble(&mut Mt19937::new(7)).unwrap();
+        assert_eq!(
+            report_serial, report_decoupled,
+            "{strategy:?}: chain_dispatch must not change results"
+        );
+        assert_eq!(report_serial.n_chains(), 4);
+        assert_eq!(report_serial.pooled_samples.len(), 4 * 160);
+        assert_eq!(report_serial.counters.swap_attempts, 0);
+        assert!(report_serial.pooled_theta().unwrap() > 0.0);
+        // Chains are genuinely decorrelated, not clones of one stream.
+        assert_ne!(report_serial.chains[0].trace.all(), report_serial.chains[1].trace.all());
+    }
+}
+
+#[test]
+fn single_chain_independent_ensemble_matches_run_chain() {
+    // A one-chain ensemble must collapse to exactly the single-chain code
+    // path: same sampler construction (chain 0 keeps the configured proposal
+    // stream seed, β = 1), same host randomness (the ensemble's chain-0
+    // stream), bit-identical RunReport.
+    let dataset = simulated_dataset(223, 5, 60, 1.0);
+    let spec = EnsembleSpec { n_chains: 1, ensemble_seed: 77, ..EnsembleSpec::independent(1) };
+
+    let mut ensemble_session = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    ensemble_session.set_ensemble(Some(spec.clone()));
+    let report = ensemble_session.run_ensemble(&mut Mt19937::new(5)).unwrap();
+    assert_eq!(report.n_chains(), 1);
+
+    let mut plain = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    let mut chain0_rng = spec.chain_rngs().remove(0);
+    let direct: RunReport = plain.run_chain(&mut chain0_rng).unwrap();
+
+    assert_eq!(report.chains[0], direct, "1-chain ensemble must equal Session::run_chain");
+    // The pooled view is the one chain's samples verbatim.
+    assert_eq!(report.pooled_samples, direct.samples);
+}
+
+#[test]
+fn identical_temperatures_accept_every_swap() {
+    // With a flat ladder the swap rule's log acceptance is exactly zero, so
+    // every attempted swap must be accepted — the Metropolis-in-log-domain
+    // sanity check.
+    let dataset = simulated_dataset(227, 5, 60, 1.0);
+    let mut s = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    s.set_ensemble(Some(EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![1.0, 1.0, 1.0],
+            swap_interval: 1,
+        },
+        ensemble_seed: 9,
+        chain_dispatch: None,
+    }));
+    let report = s.run_ensemble(&mut Mt19937::new(2)).unwrap();
+    assert!(report.counters.swap_attempts > 0, "swaps must have been attempted");
+    assert_eq!(
+        report.counters.swaps_accepted, report.counters.swap_attempts,
+        "identical temperatures must accept every swap"
+    );
+    assert_eq!(report.swap_acceptance_rate(), 1.0);
+    // All rungs are cold here, so all chains pool.
+    assert_eq!(report.pooled_samples.len(), 3 * 160);
+}
+
+#[test]
+fn geometric_ladder_runs_and_swaps_sensibly() {
+    let dataset = simulated_dataset(229, 6, 80, 1.0);
+    let mut s = session(&dataset, Backend::Rayon, SamplerStrategy::MultiProposal);
+    s.set_ensemble(Some(EnsembleSpec {
+        n_chains: 4,
+        exchange: ExchangePolicy::geometric_ladder(4, 4.0, 2),
+        ensemble_seed: 13,
+        chain_dispatch: None,
+    }));
+    let report = s.run_ensemble(&mut Mt19937::new(3)).unwrap();
+    assert_eq!(report.temperatures.len(), 4);
+    assert_eq!(report.temperatures[0], 1.0);
+    assert!((report.temperatures[3] - 4.0).abs() < 1e-12);
+    assert!(report.temperatures.windows(2).all(|w| w[0] < w[1]));
+    assert!(report.counters.swap_attempts > 0);
+    assert!(report.counters.swaps_accepted <= report.counters.swap_attempts);
+    // Only the cold rung pools samples on a heated ladder.
+    assert_eq!(report.pooled_samples.len(), 160);
+    assert_eq!(report.pooled_samples, report.cold_chain().samples);
+    assert!(report.pooled_theta().unwrap() > 0.0);
+    // Heated rungs move at least as freely as the cold chain on average:
+    // just sanity-check every chain made progress.
+    for chain in &report.chains {
+        assert!(chain.acceptance_rate() > 0.0);
+        assert_eq!(chain.counters.draws, 200);
+    }
+}
+
+#[test]
+fn r_hat_approaches_one_for_identical_target_chains() {
+    let dataset = simulated_dataset(233, 6, 80, 1.0);
+    let config =
+        MpcgsConfig { burn_in_draws: 200, sample_draws: 1_200, ..small_config(Backend::Rayon) };
+    let mut s = Session::builder()
+        .dataset(dataset.clone())
+        .config(config)
+        .ensemble(EnsembleSpec { n_chains: 4, ensemble_seed: 17, ..EnsembleSpec::independent(4) })
+        .build()
+        .unwrap();
+    let report = s.run_ensemble(&mut Mt19937::new(4)).unwrap();
+    let r_hat = report.r_hat().expect("four estimation chains give an R-hat");
+    assert!(r_hat < 1.2, "identical-target chains should converge: R-hat = {r_hat}");
+    // A single estimation chain has no between-chain diagnostic.
+    let mut single = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    single.set_ensemble(Some(EnsembleSpec { n_chains: 1, ..EnsembleSpec::independent(1) }));
+    let single_report = single.run_ensemble(&mut Mt19937::new(4)).unwrap();
+    assert!(single_report.r_hat().is_none());
+}
+
+#[test]
+fn ensemble_builder_and_em_estimation_run_end_to_end() {
+    // The EnsembleBuilder facade plus the full EM loop over pooled samples:
+    // Session::run shards every round and chains the pooled maximiser.
+    let dataset = simulated_dataset(239, 6, 100, 1.0);
+    let config = MpcgsConfig { em_iterations: 2, ..small_config(Backend::Rayon) };
+    let base = Session::builder().dataset(dataset.clone()).config(config).build().unwrap();
+    let ensemble = EnsembleBuilder::new()
+        .session(base)
+        .chains(3)
+        .exchange(ExchangePolicy::Independent)
+        .seed(21)
+        .build()
+        .unwrap();
+    let mut em_session = ensemble.into_session();
+    let estimate = em_session.run(&mut Mt19937::new(6)).unwrap();
+    assert_eq!(estimate.iterations.len(), 2);
+    assert!(estimate.theta > 0.0 && estimate.theta.is_finite());
+    // Counters aggregate across all three chains: 200 draws per chain/round.
+    for iteration in &estimate.iterations {
+        assert_eq!(iteration.counters.draws, 3 * 200);
+    }
+}
+
+/// Records which chain indices the observer saw start and end, plus the
+/// per-iteration event stream.
+#[derive(Clone, Default)]
+struct ChainTagRecorder {
+    started: Rc<RefCell<Vec<usize>>>,
+    ended: Rc<RefCell<Vec<usize>>>,
+    thetas: Rc<RefCell<Vec<f64>>>,
+    iterations: Rc<RefCell<usize>>,
+    burn_in_events: Rc<RefCell<usize>>,
+}
+
+impl RunObserver for ChainTagRecorder {
+    fn on_chain_start(&mut self, info: &ChainInfo) {
+        self.started.borrow_mut().push(info.chain_index);
+        self.thetas.borrow_mut().push(info.theta);
+    }
+
+    fn on_burn_in_progress(&mut self, _draws_done: usize, _burn_in_total: usize) {
+        *self.burn_in_events.borrow_mut() += 1;
+    }
+
+    fn on_iteration(&mut self, _step: &mpcgs::StepReport) {
+        *self.iterations.borrow_mut() += 1;
+    }
+
+    fn on_chain_end(&mut self, report: &RunReport) {
+        self.ended.borrow_mut().push(report.counters.draws);
+    }
+}
+
+#[test]
+fn observers_see_tagged_per_chain_events() {
+    let dataset = simulated_dataset(241, 5, 60, 1.0);
+    let recorder = ChainTagRecorder::default();
+    let mut s = Session::builder()
+        .dataset(dataset)
+        .config(small_config(Backend::Serial))
+        .ensemble(EnsembleSpec { n_chains: 3, ensemble_seed: 23, ..EnsembleSpec::independent(3) })
+        .observe(recorder.clone())
+        .build()
+        .unwrap();
+    s.run_ensemble(&mut Mt19937::new(7)).unwrap();
+    assert_eq!(*recorder.started.borrow(), vec![0, 1, 2], "starts are tagged in rung order");
+    assert_eq!(recorder.ended.borrow().len(), 3, "one end event per chain");
+    assert!(recorder.thetas.borrow().iter().all(|&t| t == 1.0));
+    // Segmented dispatch must not starve per-iteration hooks: the observer
+    // sees the cold chain's full event stream — one on_iteration per GMH
+    // iteration (200 draws / 8 per iteration) and burn-in progress through
+    // the 40 burn-in draws (5 iterations).
+    assert_eq!(*recorder.iterations.borrow(), 200_usize.div_ceil(8));
+    assert_eq!(*recorder.burn_in_events.borrow(), 40_usize.div_ceil(8));
+}
+
+#[test]
+fn sharded_sampler_is_a_genealogy_sampler() {
+    // Drive the ensemble through the trait surface directly: begin / step /
+    // finish, current_state, and the pooled RunReport contract.
+    let dataset = simulated_dataset(251, 5, 60, 1.0);
+    let s = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    let spec = EnsembleSpec { n_chains: 2, ensemble_seed: 31, ..EnsembleSpec::independent(2) };
+    let mut sampler = ShardedSampler::from_session(&s, &spec, 1.0).unwrap();
+    assert_eq!(sampler.strategy(), "ensemble");
+    assert_eq!(sampler.n_chains(), 2);
+    assert_eq!(sampler.temperatures(), &[1.0, 1.0]);
+    let infos = sampler.chain_infos();
+    assert_eq!(infos.len(), 2);
+    assert_eq!(infos[0].chain_index, 0);
+    assert_eq!(infos[1].chain_index, 1);
+
+    // Stepping before begin errors, exactly like the single-chain samplers.
+    let mut rng = Mt19937::new(8);
+    assert!(sampler.is_done());
+    assert!(sampler.step(&mut rng).is_err());
+    assert!(sampler.current_state().is_none());
+
+    sampler.begin(s.starting_tree().unwrap()).unwrap();
+    let mut steps = 0;
+    while !sampler.is_done() {
+        let step = sampler.step(&mut rng).unwrap();
+        assert!(step.draws_done <= step.total_draws);
+        steps += 1;
+    }
+    // Independent chains need no synchronization barrier, so one dispatch
+    // segment drives every chain to completion.
+    assert_eq!(steps, 1, "independent ensembles run in a single dispatch segment");
+    let (tree, loglik) = sampler.current_state().expect("state after stepping");
+    tree.validate().unwrap();
+    assert!(loglik.is_finite());
+    let pooled = sampler.finish().unwrap();
+    assert_eq!(pooled.samples.len(), 2 * 160);
+    let report = sampler.take_ensemble_report().expect("finish leaves an ensemble report");
+    assert_eq!(report.pooled_run_report().samples.len(), pooled.samples.len());
+    assert_eq!(report.transitions_per_chain(), 200);
+    assert_eq!(report.total_transitions(), 400);
+    assert!((report.burn_in_fraction() - 80.0 / 400.0).abs() < 1e-12);
+    assert_eq!(report.ideal_parallel_cost(), 40.0 + 160.0);
+}
+
+#[test]
+fn invalid_specs_are_rejected() {
+    let dataset = simulated_dataset(257, 4, 40, 1.0);
+    let base = || session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+
+    // Zero chains.
+    assert!(EnsembleSpec { n_chains: 0, ..EnsembleSpec::default() }.validate().is_err());
+    // Ladder length mismatch.
+    assert!(EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![1.0, 2.0],
+            swap_interval: 1
+        },
+        ..EnsembleSpec::default()
+    }
+    .validate()
+    .is_err());
+    // Hot rung 0.
+    assert!(EnsembleSpec {
+        n_chains: 2,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![2.0, 4.0],
+            swap_interval: 1
+        },
+        ..EnsembleSpec::default()
+    }
+    .validate()
+    .is_err());
+    // Temperature below 1 or non-finite; zero swap interval.
+    for temps in [vec![1.0, 0.5], vec![1.0, f64::NAN]] {
+        assert!(EnsembleSpec {
+            n_chains: 2,
+            exchange: ExchangePolicy::TemperatureLadder { temperatures: temps, swap_interval: 1 },
+            ..EnsembleSpec::default()
+        }
+        .validate()
+        .is_err());
+    }
+    assert!(EnsembleSpec {
+        n_chains: 2,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![1.0, 2.0],
+            swap_interval: 0
+        },
+        ..EnsembleSpec::default()
+    }
+    .validate()
+    .is_err());
+
+    // SessionBuilder::ensemble validates at build time.
+    assert!(Session::builder()
+        .dataset(dataset.clone())
+        .config(small_config(Backend::Serial))
+        .ensemble(EnsembleSpec { n_chains: 0, ..EnsembleSpec::default() })
+        .build()
+        .is_err());
+    // EnsembleBuilder requires a session.
+    assert!(EnsembleBuilder::new().chains(2).build().is_err());
+    // run_ensemble without a spec is an error.
+    assert!(base().run_ensemble(&mut Mt19937::new(1)).is_err());
+}
