@@ -30,45 +30,123 @@ use std::str::FromStr;
 
 use rayon::prelude::*;
 
+use crate::device::DeviceSpec;
+use crate::device::GridProfile;
+#[cfg(feature = "device")]
+use crate::device::Queue;
+
+/// Modelled arithmetic charged per item for submissions that arrive without
+/// a [`GridProfile`] (plain `map_indexed`/`map_slice`/reductions on the
+/// device backend): the order of a small per-item task. Profiled grid
+/// submissions — the likelihood hot path — never use this.
+#[cfg(feature = "device")]
+const UNPROFILED_ITEM_FLOPS: f64 = 1_000.0;
+
 /// Where data-parallel work runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Backend {
     /// Run everything on the calling thread.
     Serial,
     /// Run on the global rayon thread pool.
     #[default]
     Rayon,
+    /// Route every dispatch through the simulated accelerator command queue
+    /// ([`crate::device::Queue`], `device` cargo feature): submissions are
+    /// coalesced into batched kernel launches, executed synchronously on the
+    /// host (bit-identical to [`Backend::Serial`]), and charged against this
+    /// [`DeviceSpec`]'s cost model. The dress rehearsal for a real GPU
+    /// backend behind the same seam.
+    #[cfg(feature = "device")]
+    Device(DeviceSpec),
 }
 
 impl fmt::Display for Backend {
+    /// CLI-style name. Round-trips through [`Backend::from_str`] for
+    /// `Serial`, `Rayon` and the device *presets*; a device backend over a
+    /// custom [`DeviceSpec`] renders as plain `"device"`, which re-parses to
+    /// the Kepler preset — custom specs are a programmatic-API-only
+    /// construction and have no spellable name.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Backend::Serial => "serial",
-            Backend::Rayon => "rayon",
-        })
+        match self {
+            Backend::Serial => f.write_str("serial"),
+            Backend::Rayon => f.write_str("rayon"),
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => match spec.preset_name() {
+                Some(name) => write!(f, "device:{name}"),
+                None => f.write_str("device"),
+            },
+        }
     }
 }
 
 impl FromStr for Backend {
     type Err = String;
 
-    /// Parse a CLI-style backend name (`serial` or `rayon`, case
-    /// insensitive).
+    /// Parse a CLI-style backend name (case insensitive): `serial`, `rayon`,
+    /// or — with the `device` feature — `device` (Kepler-class default) and
+    /// `device:<preset>` (`device:kepler` / `device:modern`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
             "serial" => Ok(Backend::Serial),
             "rayon" => Ok(Backend::Rayon),
-            other => Err(format!("unknown backend {other:?} (expected \"serial\" or \"rayon\")")),
+            name if name == "device" || name.starts_with("device:") => {
+                let preset = name.strip_prefix("device:").unwrap_or("kepler");
+                let spec = DeviceSpec::from_preset(preset).ok_or_else(|| {
+                    format!("unknown device preset {preset:?} (expected \"kepler\" or \"modern\")")
+                })?;
+                #[cfg(feature = "device")]
+                {
+                    Ok(Backend::Device(spec))
+                }
+                #[cfg(not(feature = "device"))]
+                {
+                    let _ = spec;
+                    Err("backend \"device\" requires a build with the `device` feature \
+                         (rebuild with `--features device`)"
+                        .to_string())
+                }
+            }
+            other => Err(format!(
+                "unknown backend {other:?} (expected \"serial\", \"rayon\" or \"device[:preset]\")"
+            )),
         }
     }
 }
 
 impl Backend {
-    /// The number of worker threads this backend will use.
+    /// The device backend over `spec` (`device` cargo feature). The spelled
+    /// constructor every driver uses: `Backend::device(DeviceSpec::kepler())`.
+    #[cfg(feature = "device")]
+    pub fn device(spec: DeviceSpec) -> Backend {
+        Backend::Device(spec)
+    }
+
+    /// The device spec this backend dispatches through, when it is the
+    /// device backend. Always `None` without the `device` feature, so
+    /// downstream report plumbing needs no feature gates.
+    pub fn device_spec(&self) -> Option<DeviceSpec> {
+        match self {
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => Some(*spec),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the device backend.
+    pub fn is_device(&self) -> bool {
+        self.device_spec().is_some()
+    }
+
+    /// The number of *host* worker threads this backend will use. The device
+    /// backend executes its queue on the calling thread (the simulated
+    /// device's parallelism lives in the cost model, not in host threads).
     pub fn threads(&self) -> usize {
         match self {
             Backend::Serial => 1,
             Backend::Rayon => rayon::current_num_threads(),
+            #[cfg(feature = "device")]
+            Backend::Device(_) => 1,
         }
     }
 
@@ -81,6 +159,14 @@ impl Backend {
         match self {
             Backend::Serial => (0..n).map(f).collect(),
             Backend::Rayon => (0..n).into_par_iter().map(f).collect(),
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => Queue::submit(
+                spec,
+                &GridProfile::uniform(n, UNPROFILED_ITEM_FLOPS),
+                false,
+                n,
+                || (0..n).map(f).collect(),
+            ),
         }
     }
 
@@ -104,10 +190,46 @@ impl Backend {
         U: Send,
         F: Fn(usize, usize) -> U + Sync + Send,
     {
-        if cols == 0 {
+        self.map_grid_profiled(None, rows, cols, f)
+    }
+
+    /// [`Backend::map_grid`] with an optional [`GridProfile`] describing the
+    /// kernel launch the grid *stands for*. `Serial` and `Rayon` ignore the
+    /// profile entirely (it never changes results); the device backend uses
+    /// it to account the submission as one batched launch of
+    /// `profile.logical_threads` device threads — the seam through which the
+    /// likelihood engine reports the paper's one-thread-per-(proposal, site)
+    /// mapping, whose thread count (not the closure-grid size) drives
+    /// occupancy and latency hiding. Without a profile the device backend
+    /// charges a nominal per-item cost.
+    pub fn map_grid_profiled<U, F>(
+        &self,
+        profile: Option<&GridProfile>,
+        rows: usize,
+        cols: usize,
+        f: F,
+    ) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, usize) -> U + Sync + Send,
+    {
+        #[cfg(not(feature = "device"))]
+        let _ = profile;
+        if rows == 0 || cols == 0 {
             return Vec::new();
         }
-        self.map_indexed(rows * cols, move |i| f(i / cols, i % cols))
+        match self {
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => {
+                let n = rows * cols;
+                let default = GridProfile::uniform(n, UNPROFILED_ITEM_FLOPS);
+                let profile = profile.copied().unwrap_or(default);
+                Queue::submit(spec, &profile, true, n, move || {
+                    (0..n).map(|i| f(i / cols, i % cols)).collect()
+                })
+            }
+            _ => self.map_indexed(rows * cols, move |i| f(i / cols, i % cols)),
+        }
     }
 
     /// Map `f` over the elements of a mutable slice, collecting results in
@@ -142,6 +264,16 @@ impl Backend {
     {
         match self {
             Backend::Serial => items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect(),
+            // One simulated device shared by every item: chain-level dispatch
+            // serialises through the command queue on the calling thread.
+            // This is host-side orchestration, not device work — the device
+            // sees only the grids the items themselves submit — so no launch
+            // is charged here (and the items' own submissions stay on this
+            // thread, where the queue accounts them).
+            #[cfg(feature = "device")]
+            Backend::Device(_) => {
+                items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect()
+            }
             Backend::Rayon => std::thread::scope(|scope| {
                 let f = &f;
                 let handles: Vec<_> = items
@@ -164,6 +296,14 @@ impl Backend {
         match self {
             Backend::Serial => items.iter().map(f).collect(),
             Backend::Rayon => items.par_iter().map(f).collect(),
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => Queue::submit(
+                spec,
+                &GridProfile::uniform(items.len(), UNPROFILED_ITEM_FLOPS),
+                false,
+                items.len(),
+                || items.iter().map(f).collect(),
+            ),
         }
     }
 
@@ -176,6 +316,14 @@ impl Backend {
         match self {
             Backend::Serial => (0..n).map(f).sum(),
             Backend::Rayon => (0..n).into_par_iter().map(f).sum(),
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => Queue::submit(
+                spec,
+                &GridProfile::uniform(n, UNPROFILED_ITEM_FLOPS),
+                false,
+                n,
+                || (0..n).map(f).sum(),
+            ),
         }
     }
 
@@ -188,6 +336,14 @@ impl Backend {
         match self {
             Backend::Serial => (0..n).map(f).fold(f64::NEG_INFINITY, f64::max),
             Backend::Rayon => (0..n).into_par_iter().map(f).reduce(|| f64::NEG_INFINITY, f64::max),
+            #[cfg(feature = "device")]
+            Backend::Device(spec) => Queue::submit(
+                spec,
+                &GridProfile::uniform(n, UNPROFILED_ITEM_FLOPS),
+                false,
+                n,
+                || (0..n).map(f).fold(f64::NEG_INFINITY, f64::max),
+            ),
         }
     }
 }
@@ -275,5 +431,112 @@ mod tests {
         }
         assert_eq!("SERIAL".parse::<Backend>().unwrap(), Backend::Serial);
         assert!("cuda".parse::<Backend>().is_err());
+        // "device" parses only when the feature is compiled in, and the
+        // error without it points at the fix.
+        #[cfg(not(feature = "device"))]
+        {
+            let err = "device".parse::<Backend>().unwrap_err();
+            assert!(err.contains("--features device"), "unhelpful error: {err}");
+        }
+    }
+
+    #[test]
+    fn non_device_backends_report_no_spec() {
+        assert_eq!(Backend::Serial.device_spec(), None);
+        assert_eq!(Backend::Rayon.device_spec(), None);
+        assert!(!Backend::Rayon.is_device());
+    }
+
+    #[cfg(feature = "device")]
+    mod device {
+        use super::*;
+        use crate::device::{DeviceSpec, Queue};
+
+        #[test]
+        fn device_backend_parses_displays_and_exposes_its_spec() {
+            let kepler = "device".parse::<Backend>().unwrap();
+            assert_eq!(kepler, Backend::device(DeviceSpec::kepler()));
+            assert_eq!(kepler.to_string(), "device:kepler");
+            assert_eq!(kepler.to_string().parse::<Backend>().unwrap(), kepler);
+            let modern = "device:modern".parse::<Backend>().unwrap();
+            assert_eq!(modern.device_spec(), Some(DeviceSpec::modern()));
+            assert_eq!(modern.to_string().parse::<Backend>().unwrap(), modern);
+            assert!("device:tpu".parse::<Backend>().is_err());
+            assert!(kepler.is_device());
+            assert_eq!(kepler.threads(), 1);
+        }
+
+        #[test]
+        fn device_dispatch_is_bit_identical_to_serial_and_accounted() {
+            // A dedicated thread isolates the thread-local queue accounting.
+            std::thread::spawn(|| {
+                let device = Backend::device(DeviceSpec::kepler());
+                Queue::reset();
+
+                let f = |i: usize| ((i as f64) * 0.37).sin();
+                assert_eq!(device.map_indexed(100, f), Backend::Serial.map_indexed(100, f));
+                let grid = |r: usize, c: usize| ((r * 31 + c) as f64).cos();
+                assert_eq!(device.map_grid(7, 13, grid), Backend::Serial.map_grid(7, 13, grid));
+                let profile = GridProfile::uniform(7 * 13 * 100, 64.0);
+                assert_eq!(
+                    device.map_grid_profiled(Some(&profile), 7, 13, grid),
+                    Backend::Serial.map_grid(7, 13, grid)
+                );
+                let items: Vec<f64> = (0..50).map(|i| i as f64).collect();
+                assert_eq!(
+                    device.map_slice(&items, |x| x.sqrt()),
+                    Backend::Serial.map_slice(&items, |x| x.sqrt())
+                );
+                assert_eq!(device.sum_indexed(500, f), Backend::Serial.sum_indexed(500, f));
+                assert_eq!(device.max_indexed(500, f), Backend::Serial.max_indexed(500, f));
+                let mut a: Vec<usize> = (0..9).collect();
+                let mut b = a.clone();
+                assert_eq!(
+                    device.map_mut(&mut a, |i, x| {
+                        *x += i;
+                        *x
+                    }),
+                    Backend::Serial.map_mut(&mut b, |i, x| {
+                        *x += i;
+                        *x
+                    })
+                );
+                assert_eq!(a, b);
+
+                let stats = Queue::stats();
+                // One launch per dispatch except map_mut (host orchestration).
+                assert_eq!(stats.launches, 6);
+                assert_eq!(stats.grid_batches, 2);
+                // The profiled grid was accounted at its logical size.
+                assert_eq!(
+                    stats.logical_threads,
+                    (100 + 7 * 13 + 7 * 13 * 100 + 50 + 500 + 500) as u64
+                );
+                assert_eq!(stats.host_items, (100 + 7 * 13 + 7 * 13 + 50 + 500 + 500) as u64);
+            })
+            .join()
+            .unwrap();
+        }
+
+        #[test]
+        fn empty_device_dispatches_record_nothing() {
+            std::thread::spawn(|| {
+                let device = Backend::device(DeviceSpec::modern());
+                Queue::reset();
+                assert!(device.map_grid(0, 13, |r, c| r + c).is_empty());
+                assert!(device.map_grid(13, 0, |r, c| r + c).is_empty());
+                // Every dispatch entry point shares the no-op guard, not
+                // just the grid path — an empty map or reduction must not
+                // be charged as a kernel launch.
+                assert!(device.map_indexed(0, |i| i).is_empty());
+                let empty: Vec<f64> = vec![];
+                assert!(device.map_slice(&empty, |&x| x).is_empty());
+                assert_eq!(device.sum_indexed(0, |_| 1.0), 0.0);
+                assert_eq!(device.max_indexed(0, |_| 1.0), f64::NEG_INFINITY);
+                assert!(Queue::stats().is_empty());
+            })
+            .join()
+            .unwrap();
+        }
     }
 }

@@ -1,0 +1,477 @@
+//! Command-line argument parsing for the `mpcgs` binary, as a library
+//! module so every validation rule is unit-testable without spawning a
+//! process.
+//!
+//! The original program is invoked as `./mpcgs <seqdata.phy> <init theta>`
+//! (Section 5.1.1); this parser keeps that positional interface, accepts
+//! *several* PHYLIP files for multi-locus runs, and adds flags for chain
+//! sizing, sampler strategy, execution backend (including the simulated
+//! accelerator, `--backend device` with `--device-spec kepler|modern`),
+//! per-locus relative rates (`--rate <locus>=<r>`) and ensembles.
+
+use std::path::Path;
+
+use exec::Backend;
+#[cfg(feature = "device")]
+use exec::DeviceSpec;
+use phylo::io::phylip::parse_phylip;
+use phylo::likelihood::Kernel;
+use phylo::{Dataset, Locus};
+
+use crate::ensemble::{EnsembleSpec, ExchangePolicy};
+use crate::session::SamplerStrategy;
+
+/// Which exchange policy the CLI builds for a multi-chain run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeKind {
+    /// Fully independent replicated chains.
+    Independent,
+    /// MC³ replica exchange on a geometric temperature ladder.
+    Ladder,
+}
+
+/// Everything the command line configures.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// The PHYLIP input files, one locus each.
+    pub phylip_paths: Vec<String>,
+    /// The initial driving value θ₀ (last positional argument).
+    pub initial_theta: f64,
+    /// Retained genealogy samples per chain.
+    pub samples: usize,
+    /// Burn-in draws per chain.
+    pub burn_in: usize,
+    /// Proposals per Generalized-MH iteration.
+    pub proposals: usize,
+    /// EM iterations.
+    pub em_iterations: usize,
+    /// Host RNG seed.
+    pub seed: u32,
+    /// Sampler strategy.
+    pub strategy: SamplerStrategy,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Likelihood combine kernel.
+    pub kernel: Kernel,
+    /// Number of chains per run (1 = single chain).
+    pub chains: usize,
+    /// Ensemble exchange policy, when given.
+    pub exchange: Option<ExchangeKind>,
+    /// Rounds between replica-exchange swap attempts (ladder only).
+    pub swap_interval: Option<usize>,
+    /// Temperature of the hottest ladder rung (ladder only; validated
+    /// finite and > 1 at parse time).
+    pub hottest: Option<f64>,
+    /// Per-locus relative mutation rates (`--rate <locus>=<r>`), validated
+    /// finite and > 0 at parse time; locus names are checked against the
+    /// loaded dataset by [`apply_rates`].
+    pub rates: Vec<(String, f64)>,
+}
+
+/// Print the usage text to stderr.
+pub fn print_usage() {
+    eprintln!(
+        "usage: mpcgs <seqdata.phy>... <init-theta> [options]\n\
+         \n\
+         Each PHYLIP file becomes one locus; several files run a multi-locus\n\
+         estimation over their shared sequence names.\n\
+         \n\
+         options:\n\
+           --samples <n>        retained genealogy samples per chain (default 10000)\n\
+           --burn-in <n>        burn-in draws per chain (default 1000)\n\
+           --proposals <n>      proposals per Generalized-MH iteration (default 32)\n\
+           --em <n>             EM iterations (default 3)\n\
+           --seed <n>           host RNG seed (default 20160401)\n\
+           --strategy <name>    sampler strategy: gmh | baseline (default gmh)\n\
+           --backend <name>     execution backend: serial | rayon | device (default rayon;\n\
+                                device requires a build with --features device and runs\n\
+                                the simulated accelerator queue, reporting a measured\n\
+                                host-vs-device cost breakdown)\n\
+           --device-spec <name> device preset for --backend device: kepler | modern\n\
+                                (default kepler)\n\
+           --kernel <name>      likelihood combine kernel: scalar | simd (default scalar;\n\
+                                simd requires a build with --features simd and falls back\n\
+                                to scalar otherwise)\n\
+           --rate <locus>=<r>   relative mutation rate for one locus (repeatable; the\n\
+                                locus name is the PHYLIP file stem; r finite and > 0)\n\
+           --chains <n>         shard each run across n chains (default 1: single chain)\n\
+           --exchange <name>    ensemble exchange policy: independent | ladder\n\
+                                (default independent; ladder runs MC3 replica exchange\n\
+                                on a geometric temperature ladder)\n\
+           --swap-interval <n>  rounds between replica-exchange swap attempts\n\
+                                (ladder only, default 10)\n\
+           --hottest <t>        temperature of the hottest ladder rung (default 4.0;\n\
+                                must be finite and > 1)"
+    );
+}
+
+/// Parse `--rate <locus>=<r>` syntax.
+fn parse_rate(text: &str) -> Result<(String, f64), String> {
+    let (name, value) = text.split_once('=').ok_or_else(|| {
+        format!("--rate: expected <locus>=<rate>, got {text:?} (e.g. --rate locus1=2.0)")
+    })?;
+    if name.is_empty() {
+        return Err(format!("--rate: empty locus name in {text:?}"));
+    }
+    let rate: f64 =
+        value.parse().map_err(|_| format!("--rate: invalid rate {value:?} for locus {name:?}"))?;
+    if !(rate.is_finite() && rate > 0.0) {
+        return Err(format!("--rate: rate for locus {name:?} must be finite and > 0, got {rate}"));
+    }
+    Ok((name.to_string(), rate))
+}
+
+/// Parse the command line (everything after the program name).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    // Leading positional arguments: one or more PHYLIP files, then theta.
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() && !args[i].starts_with("--") {
+        positionals.push(args[i].clone());
+        i += 1;
+    }
+    if positionals.len() < 2 {
+        return Err("expected at least one PHYLIP file and an initial theta".to_string());
+    }
+    let theta_text = positionals.pop().expect("at least two positionals");
+    let initial_theta: f64 =
+        theta_text.parse().map_err(|_| format!("invalid initial theta {theta_text:?}"))?;
+    let mut cli = CliArgs {
+        phylip_paths: positionals,
+        initial_theta,
+        samples: 10_000,
+        burn_in: 1_000,
+        proposals: 32,
+        em_iterations: 3,
+        seed: 20_160_401,
+        strategy: SamplerStrategy::MultiProposal,
+        backend: Backend::Rayon,
+        kernel: Kernel::Scalar,
+        chains: 1,
+        exchange: None,
+        swap_interval: None,
+        hottest: None,
+        rates: Vec::new(),
+    };
+    let mut device_spec: Option<String> = None;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag {
+            "--samples" => {
+                cli.samples =
+                    take_value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            "--burn-in" => {
+                cli.burn_in =
+                    take_value("--burn-in")?.parse().map_err(|e| format!("--burn-in: {e}"))?
+            }
+            "--proposals" => {
+                cli.proposals =
+                    take_value("--proposals")?.parse().map_err(|e| format!("--proposals: {e}"))?
+            }
+            "--em" => {
+                cli.em_iterations = take_value("--em")?.parse().map_err(|e| format!("--em: {e}"))?
+            }
+            "--seed" => {
+                cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--strategy" => {
+                cli.strategy = match take_value("--strategy")?.to_ascii_lowercase().as_str() {
+                    "gmh" | "multiproposal" | "multi-proposal" => SamplerStrategy::MultiProposal,
+                    "baseline" | "lamarc" => SamplerStrategy::Baseline,
+                    other => {
+                        return Err(format!(
+                            "unknown strategy {other:?} (expected \"gmh\" or \"baseline\")"
+                        ))
+                    }
+                }
+            }
+            "--backend" => cli.backend = take_value("--backend")?.parse::<Backend>()?,
+            "--device-spec" => device_spec = Some(take_value("--device-spec")?),
+            "--kernel" => cli.kernel = take_value("--kernel")?.parse::<Kernel>()?,
+            "--rate" => cli.rates.push(parse_rate(&take_value("--rate")?)?),
+            "--chains" => {
+                cli.chains =
+                    take_value("--chains")?.parse().map_err(|e| format!("--chains: {e}"))?;
+                if cli.chains == 0 {
+                    return Err("--chains: 0 chains cannot sample anything; pass 1 for a \
+                                single chain or n > 1 for an ensemble"
+                        .to_string());
+                }
+            }
+            "--exchange" => {
+                cli.exchange = match take_value("--exchange")?.to_ascii_lowercase().as_str() {
+                    "independent" => Some(ExchangeKind::Independent),
+                    "ladder" | "temperature-ladder" | "mc3" => Some(ExchangeKind::Ladder),
+                    other => {
+                        return Err(format!(
+                            "unknown exchange policy {other:?} (expected \"independent\" or \
+                             \"ladder\")"
+                        ))
+                    }
+                }
+            }
+            "--swap-interval" => {
+                cli.swap_interval = Some(
+                    take_value("--swap-interval")?
+                        .parse()
+                        .map_err(|e| format!("--swap-interval: {e}"))?,
+                )
+            }
+            "--hottest" => {
+                let hottest: f64 =
+                    take_value("--hottest")?.parse().map_err(|e| format!("--hottest: {e}"))?;
+                if !(hottest.is_finite() && hottest > 1.0) {
+                    return Err(format!(
+                        "--hottest: the hottest rung must be finite and > 1 (a ladder that \
+                         never heats is not a ladder), got {hottest}"
+                    ));
+                }
+                cli.hottest = Some(hottest);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    // Resolve the device preset into the backend.
+    if let Some(preset) = device_spec {
+        if !cli.backend.is_device() {
+            return Err("--device-spec only applies with --backend device".to_string());
+        }
+        #[cfg(feature = "device")]
+        {
+            let spec = DeviceSpec::from_preset(&preset).ok_or_else(|| {
+                format!(
+                    "--device-spec: unknown preset {preset:?} (expected \"kepler\" or \
+                     \"modern\")"
+                )
+            })?;
+            cli.backend = Backend::device(spec);
+        }
+        // Without the feature the backend can never be the device backend,
+        // so the rejection above already returned.
+        #[cfg(not(feature = "device"))]
+        let _ = preset;
+    }
+    // Ensemble flags only act when more than one chain runs — reject
+    // combinations the run would otherwise silently ignore.
+    if cli.chains <= 1 {
+        if cli.exchange.is_some() {
+            return Err("--exchange requires --chains > 1".to_string());
+        }
+        if cli.swap_interval.is_some() || cli.hottest.is_some() {
+            return Err(
+                "--swap-interval/--hottest require --chains > 1 and --exchange ladder".to_string()
+            );
+        }
+    } else if cli.exchange != Some(ExchangeKind::Ladder)
+        && (cli.swap_interval.is_some() || cli.hottest.is_some())
+    {
+        return Err("--swap-interval/--hottest only apply with --exchange ladder".to_string());
+    }
+    Ok(cli)
+}
+
+impl CliArgs {
+    /// The exchange policy of a multi-chain run (`None` when a single chain
+    /// runs). Ladder construction validates the temperature span.
+    pub fn exchange_policy(&self) -> Result<Option<ExchangePolicy>, String> {
+        if self.chains <= 1 {
+            return Ok(None);
+        }
+        let policy = match self.exchange.unwrap_or(ExchangeKind::Independent) {
+            ExchangeKind::Independent => ExchangePolicy::Independent,
+            ExchangeKind::Ladder => ExchangePolicy::geometric_ladder(
+                self.chains,
+                self.hottest.unwrap_or(4.0),
+                self.swap_interval.unwrap_or(10),
+            )
+            .map_err(|e| format!("invalid temperature ladder: {e}"))?,
+        };
+        Ok(Some(policy))
+    }
+
+    /// The ensemble specification of a multi-chain run (`None` when a single
+    /// chain runs).
+    pub fn ensemble_spec(&self) -> Result<Option<EnsembleSpec>, String> {
+        Ok(self.exchange_policy()?.map(|exchange| EnsembleSpec {
+            n_chains: self.chains,
+            exchange,
+            ensemble_seed: self.seed as u64,
+            ..EnsembleSpec::default()
+        }))
+    }
+}
+
+/// Load every PHYLIP file as one locus of a shared [`Dataset`]; the locus
+/// name is the file stem.
+pub fn load_dataset(paths: &[String]) -> Result<Dataset, String> {
+    let mut loci = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let alignment =
+            parse_phylip(&text).map_err(|e| format!("cannot parse PHYLIP input {path}: {e}"))?;
+        let name = Path::new(path)
+            .file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        loci.push(Locus::new(name, alignment));
+    }
+    Dataset::new(loci).map_err(|e| format!("inconsistent loci: {e}"))
+}
+
+/// Apply `--rate <locus>=<r>` assignments to a loaded dataset. Unknown locus
+/// names are rejected (listing the names that exist), repeated assignments
+/// take the last value, loci without an assignment keep rate 1.
+pub fn apply_rates(dataset: Dataset, rates: &[(String, f64)]) -> Result<Dataset, String> {
+    if rates.is_empty() {
+        return Ok(dataset);
+    }
+    let known: Vec<String> = dataset.loci().iter().map(|l| l.name().to_string()).collect();
+    for (name, _) in rates {
+        if !known.iter().any(|k| k == name) {
+            return Err(format!(
+                "--rate: unknown locus {name:?} (loaded loci: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    let loci = dataset
+        .loci()
+        .iter()
+        .map(|locus| {
+            let rate = rates
+                .iter()
+                .rev()
+                .find(|(name, _)| name == locus.name())
+                .map(|&(_, rate)| rate)
+                .unwrap_or_else(|| locus.relative_rate());
+            Locus::with_rate(locus.name(), locus.alignment().clone(), rate)
+                .map_err(|e| format!("--rate: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Dataset::new(loci).map_err(|e| format!("inconsistent loci: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::Alignment;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn parse(line: &str) -> Result<CliArgs, String> {
+        parse_args(&argv(line))
+    }
+
+    #[test]
+    fn positional_interface_and_defaults() {
+        let cli = parse("a.phy b.phy 0.5").unwrap();
+        assert_eq!(cli.phylip_paths, vec!["a.phy", "b.phy"]);
+        assert_eq!(cli.initial_theta, 0.5);
+        assert_eq!(cli.chains, 1);
+        assert_eq!(cli.backend, Backend::Rayon);
+        assert!(cli.rates.is_empty());
+        assert!(cli.ensemble_spec().unwrap().is_none());
+        assert!(parse("a.phy").is_err());
+        assert!(parse("a.phy x").is_err());
+    }
+
+    #[test]
+    fn zero_chains_is_rejected_at_parse_time() {
+        let err = parse("a.phy 1.0 --chains 0").unwrap_err();
+        assert!(err.contains("--chains"), "unhelpful error: {err}");
+        assert!(err.contains("0 chains"), "error should name the problem: {err}");
+    }
+
+    #[test]
+    fn hottest_must_be_finite_and_above_one() {
+        for bad in ["1.0", "0.5", "-2", "nan", "inf"] {
+            let err = parse(&format!("a.phy 1.0 --chains 4 --exchange ladder --hottest {bad}"))
+                .unwrap_err();
+            assert!(err.contains("--hottest"), "unhelpful error for {bad}: {err}");
+        }
+        let cli = parse("a.phy 1.0 --chains 4 --exchange ladder --hottest 8.0").unwrap();
+        let spec = cli.ensemble_spec().unwrap().unwrap();
+        assert_eq!(spec.n_chains, 4);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn ladder_flags_require_a_ladder_ensemble() {
+        assert!(parse("a.phy 1.0 --exchange ladder").is_err());
+        assert!(parse("a.phy 1.0 --hottest 4.0").is_err());
+        assert!(parse("a.phy 1.0 --chains 4 --hottest 4.0").is_err());
+        assert!(parse("a.phy 1.0 --chains 4 --exchange independent --swap-interval 5").is_err());
+        let cli = parse("a.phy 1.0 --chains 4 --exchange ladder --swap-interval 5").unwrap();
+        assert!(matches!(
+            cli.exchange_policy().unwrap(),
+            Some(ExchangePolicy::TemperatureLadder { swap_interval: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rates_round_trip_through_the_parser() {
+        let cli = parse("a.phy b.phy 1.0 --rate a=2.0 --rate b=0.25").unwrap();
+        assert_eq!(cli.rates, vec![("a".to_string(), 2.0), ("b".to_string(), 0.25)]);
+        // Malformed and degenerate rates are rejected with pointed errors.
+        for bad in ["a", "=2.0", "a=", "a=zero", "a=0", "a=-1", "a=nan", "a=inf"] {
+            let err = parse(&format!("a.phy 1.0 --rate {bad}")).unwrap_err();
+            assert!(err.contains("--rate"), "unhelpful error for {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rates_apply_to_known_loci_and_reject_unknown_names() {
+        let alignment = Alignment::from_letters(&[("x", "ACGT"), ("y", "ACGA")]).unwrap();
+        let dataset = Dataset::new(vec![
+            Locus::new("a", alignment.clone()),
+            Locus::new("b", alignment.clone()),
+        ])
+        .unwrap();
+        let rated = apply_rates(dataset.clone(), &[("b".to_string(), 2.0), ("b".to_string(), 3.0)])
+            .unwrap();
+        assert_eq!(rated.locus(0).relative_rate(), 1.0);
+        assert_eq!(rated.locus(1).relative_rate(), 3.0); // last assignment wins
+        let err = apply_rates(dataset.clone(), &[("c".to_string(), 2.0)]).unwrap_err();
+        assert!(err.contains("unknown locus") && err.contains("a, b"), "{err}");
+        // No rates: the dataset passes through untouched.
+        assert_eq!(apply_rates(dataset.clone(), &[]).unwrap(), dataset);
+    }
+
+    #[test]
+    fn device_spec_requires_the_device_backend() {
+        let err = parse("a.phy 1.0 --device-spec kepler").unwrap_err();
+        assert!(err.contains("--backend device"), "{err}");
+        #[cfg(not(feature = "device"))]
+        {
+            let err = parse("a.phy 1.0 --backend device").unwrap_err();
+            assert!(err.contains("--features device"), "{err}");
+        }
+    }
+
+    #[cfg(feature = "device")]
+    #[test]
+    fn device_backend_and_presets_parse() {
+        let cli = parse("a.phy 1.0 --backend device").unwrap();
+        assert_eq!(cli.backend.device_spec(), Some(DeviceSpec::kepler()));
+        let cli = parse("a.phy 1.0 --backend device --device-spec modern").unwrap();
+        assert_eq!(cli.backend.device_spec(), Some(DeviceSpec::modern()));
+        // Order does not matter.
+        let cli = parse("a.phy 1.0 --device-spec modern --backend device").unwrap();
+        assert_eq!(cli.backend.device_spec(), Some(DeviceSpec::modern()));
+        assert!(parse("a.phy 1.0 --backend device --device-spec tpu").is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(parse("a.phy 1.0 --frobnicate").is_err());
+        assert!(parse("a.phy 1.0 --samples").is_err()); // missing value
+    }
+}

@@ -74,22 +74,51 @@ pub enum ExchangePolicy {
     },
 }
 
+/// Whether a rung temperature classifies as *cold* (an estimation chain):
+/// its inverse temperature β rounds to 1 within `1e-9`. Pooling, R̂ and the
+/// parallel-cost accounting all filter rungs through this one predicate, so
+/// a user-supplied ladder whose cold rung reads `1.0 + 1e-12` is treated as
+/// the estimation chain it plainly is rather than silently dropped by an
+/// exact `t == 1.0` comparison.
+pub fn is_cold_rung(temperature: f64) -> bool {
+    (temperature - 1.0).abs() <= 1e-9
+}
+
 impl ExchangePolicy {
     /// A geometrically spaced ladder `1, r, r², …` reaching
     /// `hottest_temperature` at the last rung — the conventional MC³
     /// spacing. With one chain the ladder degenerates to a single cold rung.
+    ///
+    /// Fails unless `hottest_temperature` is finite and strictly above 1
+    /// (a "ladder" that never heats, or cools, is a configuration error
+    /// better caught here than as a generic rung complaint deep inside
+    /// validation) and `swap_interval` is at least 1.
     pub fn geometric_ladder(
         n_chains: usize,
         hottest_temperature: f64,
         swap_interval: usize,
-    ) -> Self {
+    ) -> Result<Self, PhyloError> {
+        if !(hottest_temperature.is_finite() && hottest_temperature > 1.0) {
+            return Err(PhyloError::InvalidParameter {
+                name: "hottest_temperature",
+                value: hottest_temperature,
+                constraint: "finite and > 1.0 (the ladder must heat above the cold chain)",
+            });
+        }
+        if swap_interval == 0 {
+            return Err(PhyloError::InvalidParameter {
+                name: "swap_interval",
+                value: 0.0,
+                constraint: "at least one round between swap attempts",
+            });
+        }
         let temperatures = if n_chains <= 1 {
             vec![1.0; n_chains.max(1)]
         } else {
             let ratio = hottest_temperature.powf(1.0 / (n_chains as f64 - 1.0));
             (0..n_chains).map(|k| ratio.powi(k as i32)).collect()
         };
-        ExchangePolicy::TemperatureLadder { temperatures, swap_interval }
+        Ok(ExchangePolicy::TemperatureLadder { temperatures, swap_interval })
     }
 
     /// Short policy name (`"independent"` / `"ladder"`).
@@ -107,6 +136,15 @@ impl ExchangePolicy {
             ExchangePolicy::Independent => vec![1.0; n_chains],
             ExchangePolicy::TemperatureLadder { temperatures, .. } => temperatures.clone(),
         }
+    }
+
+    /// One flag per rung: `true` for the estimation (cold) chains — the
+    /// rungs whose samples pool and whose traces feed cross-chain
+    /// diagnostics. Built once at validation time ([`is_cold_rung`]) and
+    /// carried through [`EnsembleReport::cold_rungs`] so every consumer
+    /// classifies identically.
+    pub fn cold_mask(&self, n_chains: usize) -> Vec<bool> {
+        self.temperatures(n_chains).iter().map(|&t| is_cold_rung(t)).collect()
     }
 
     fn validate(&self, n_chains: usize) -> Result<(), PhyloError> {
@@ -130,14 +168,16 @@ impl ExchangePolicy {
                     });
                 }
                 for (k, &t) in temperatures.iter().enumerate() {
-                    if !(t.is_finite() && t >= 1.0) {
+                    // A rung a hair *below* 1.0 still classifies cold; only
+                    // genuinely sub-cold or non-finite rungs are invalid.
+                    if !(t.is_finite() && (t >= 1.0 || is_cold_rung(t))) {
                         return Err(PhyloError::InvalidParameter {
                             name: "temperature",
                             value: t,
                             constraint: "every rung finite and >= 1.0",
                         });
                     }
-                    if k == 0 && t != 1.0 {
+                    if k == 0 && !is_cold_rung(t) {
                         return Err(PhyloError::InvalidParameter {
                             name: "temperature",
                             value: t,
@@ -202,9 +242,22 @@ impl EnsembleSpec {
         self.exchange.validate(self.n_chains)
     }
 
-    /// The per-chain inverse temperatures βₖ = 1/Tₖ.
+    /// The per-chain inverse temperatures βₖ = 1/Tₖ. Rungs that classify as
+    /// cold ([`is_cold_rung`]) are snapped to β = 1 exactly, so a ladder
+    /// whose cold rung was written as `1.0 + 1e-12` samples the untempered
+    /// posterior its pooled samples are treated as coming from.
     pub fn betas(&self) -> Vec<f64> {
-        self.exchange.temperatures(self.n_chains).iter().map(|t| 1.0 / t).collect()
+        self.exchange
+            .temperatures(self.n_chains)
+            .iter()
+            .map(|&t| if is_cold_rung(t) { 1.0 } else { 1.0 / t })
+            .collect()
+    }
+
+    /// One flag per rung: `true` for the estimation (cold) chains. See
+    /// [`ExchangePolicy::cold_mask`].
+    pub fn cold_mask(&self) -> Vec<bool> {
+        self.exchange.cold_mask(self.n_chains)
     }
 
     /// The deterministic per-chain host RNG streams (`n_chains` generators,
@@ -234,6 +287,13 @@ pub struct EnsembleReport {
     pub chains: Vec<RunReport>,
     /// Per-chain temperatures (all 1.0 for an independent ensemble).
     pub temperatures: Vec<f64>,
+    /// Per-chain cold-rung classification ([`is_cold_rung`], built at
+    /// validation): the estimation chains whose samples pool and whose
+    /// traces feed cross-chain diagnostics.
+    pub cold_rungs: Vec<bool>,
+    /// The measured host-vs-device cost breakdown, when the run dispatched
+    /// through `Backend::Device` (`device` feature; `None` otherwise).
+    pub device: Option<exec::DeviceReport>,
     /// The driving θ the ensemble ran with.
     pub driving_theta: f64,
     /// Burn-in draws discarded per chain.
@@ -285,8 +345,8 @@ impl EnsembleReport {
         let traces: Vec<Vec<f64>> = self
             .chains
             .iter()
-            .zip(&self.temperatures)
-            .filter(|(_, &t)| t == 1.0)
+            .zip(&self.cold_rungs)
+            .filter(|(_, &cold)| cold)
             .map(|(c, _)| c.trace.post_burn_in().to_vec())
             .collect();
         gelman_rubin(&traces).ok()
@@ -328,7 +388,7 @@ impl EnsembleReport {
     /// payoff is mixing, not throughput) and the ideal cost equals the cold
     /// chain's own draw count.
     pub fn ideal_parallel_cost(&self) -> f64 {
-        let estimation = self.temperatures.iter().filter(|&&t| t == 1.0).count();
+        let estimation = self.cold_rungs.iter().filter(|&&cold| cold).count();
         if estimation == 0 {
             return 0.0;
         }
@@ -372,6 +432,7 @@ pub struct ShardedSampler {
     shards: Vec<Shard>,
     betas: Vec<f64>,
     temperatures: Vec<f64>,
+    cold_rungs: Vec<bool>,
     swap_interval: Option<usize>,
     swap_rng: Mt19937,
     backend: Backend,
@@ -381,6 +442,11 @@ pub struct ShardedSampler {
     swap_attempts: usize,
     swaps_accepted: usize,
     last_ensemble: Option<EnsembleReport>,
+    /// When the within-chain backend is the device backend: its spec, plus
+    /// the queue baseline snapshotted at `begin()` so `finish()` can report
+    /// exactly this run's host-vs-device cost breakdown.
+    device_spec: Option<exec::DeviceSpec>,
+    device_baseline: exec::DeviceStats,
 }
 
 impl ShardedSampler {
@@ -394,8 +460,24 @@ impl ShardedSampler {
         theta: f64,
     ) -> Result<ShardedSampler, PhyloError> {
         spec.validate()?;
+        let session_backend = session.config().backend;
+        let chain_backend = spec.chain_dispatch.unwrap_or(session_backend);
+        // The device backend's accounting (and the one simulated device the
+        // chains share) serialises chain dispatch through the command queue
+        // on the calling thread; scoped worker threads would submit to
+        // queues nobody reads. Reject the combination instead of silently
+        // losing the cost breakdown.
+        if session_backend.is_device() && matches!(chain_backend, Backend::Rayon) {
+            return Err(PhyloError::InvalidState {
+                message: "chain_dispatch: Rayon cannot shard chains whose within-chain \
+                          backend is the device backend (the simulated device is one \
+                          command queue; drop chain_dispatch or use Serial)"
+                    .to_string(),
+            });
+        }
         let betas = spec.betas();
         let temperatures = spec.exchange.temperatures(spec.n_chains);
+        let cold_rungs = spec.cold_mask();
         let swap_interval = match &spec.exchange {
             ExchangePolicy::Independent => None,
             ExchangePolicy::TemperatureLadder { swap_interval, .. } => Some(*swap_interval),
@@ -409,15 +491,18 @@ impl ShardedSampler {
             shards,
             betas,
             temperatures,
+            cold_rungs,
             swap_interval,
             swap_rng: spec.swap_rng(),
-            backend: spec.chain_dispatch.unwrap_or(session.config().backend),
+            backend: chain_backend,
             driving_theta: theta,
             burn_in_draws: session.config().burn_in_draws,
             ascent: session.config().ascent,
             swap_attempts: 0,
             swaps_accepted: 0,
             last_ensemble: None,
+            device_spec: session_backend.device_spec(),
+            device_baseline: exec::DeviceStats::default(),
         })
     }
 
@@ -434,7 +519,9 @@ impl ShardedSampler {
     /// Rebuild the per-chain samplers at a new driving θ (used by the EM
     /// driver between rounds) while *keeping* the per-chain host RNG streams,
     /// so successive rounds draw fresh randomness. A no-op when θ is
-    /// unchanged and the samplers have not been consumed.
+    /// unchanged — callers must still `begin()` (or `run()`, which does)
+    /// before stepping again, since a finished round leaves the samplers
+    /// consumed either way.
     pub fn retune(&mut self, session: &Session, theta: f64) -> Result<(), PhyloError> {
         if theta == self.driving_theta {
             return Ok(());
@@ -587,6 +674,9 @@ impl GenealogySampler for ShardedSampler {
         self.swap_attempts = 0;
         self.swaps_accepted = 0;
         self.last_ensemble = None;
+        if self.device_spec.is_some() {
+            self.device_baseline = crate::session::device_queue_stats();
+        }
         Ok(())
     }
 
@@ -634,20 +724,29 @@ impl GenealogySampler for ShardedSampler {
         }
         // Pool the estimation chains: every chain when independent, the cold
         // rungs of a ladder (heated rungs sample a flattened posterior and
-        // would bias the estimate).
+        // would bias the estimate). Classification comes from the cold mask
+        // built at validation, so near-1.0 rungs are not silently dropped.
         let pooled_samples: Vec<GenealogySample> = chains
             .iter()
-            .zip(&self.temperatures)
-            .filter(|(_, &t)| t == 1.0)
+            .zip(&self.cold_rungs)
+            .filter(|(_, &cold)| cold)
             .flat_map(|(c, _)| c.samples.iter().cloned())
             .collect();
         let mut counters =
             chains.iter().fold(RunCounters::default(), |acc, chain| acc.merged(&chain.counters));
         counters.swap_attempts = self.swap_attempts;
         counters.swaps_accepted = self.swaps_accepted;
+        let device = self.device_spec.map(|spec| {
+            exec::DeviceReport::new(
+                spec,
+                crate::session::device_queue_stats().delta(&self.device_baseline),
+            )
+        });
         let report = EnsembleReport {
             chains,
             temperatures: self.temperatures.clone(),
+            cold_rungs: self.cold_rungs.clone(),
+            device,
             driving_theta: self.driving_theta,
             burn_in_draws: self.burn_in_draws,
             pooled_samples,
@@ -854,7 +953,7 @@ mod tests {
 
     #[test]
     fn geometric_ladder_spans_one_to_hottest() {
-        let policy = ExchangePolicy::geometric_ladder(4, 8.0, 5);
+        let policy = ExchangePolicy::geometric_ladder(4, 8.0, 5).unwrap();
         let ExchangePolicy::TemperatureLadder { temperatures, swap_interval } = &policy else {
             panic!("geometric_ladder builds a ladder");
         };
@@ -869,8 +968,72 @@ mod tests {
             .unwrap();
 
         // Degenerate single-rung ladder is just a cold chain.
-        let single = ExchangePolicy::geometric_ladder(1, 8.0, 1);
+        let single = ExchangePolicy::geometric_ladder(1, 8.0, 1).unwrap();
         assert_eq!(single.temperatures(1), vec![1.0]);
+    }
+
+    #[test]
+    fn geometric_ladder_rejects_degenerate_spans_at_construction() {
+        // A ladder that never heats (or cools, or is not a number) is a
+        // configuration error caught with a pointed message, not a generic
+        // rung complaint from deep inside validation.
+        for bad in [1.0, 0.5, 0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ExchangePolicy::geometric_ladder(4, bad, 5).unwrap_err();
+            assert!(
+                err.to_string().contains("hottest_temperature"),
+                "unhelpful error for hottest {bad}: {err}"
+            );
+            // The check also protects the degenerate single-chain form.
+            assert!(ExchangePolicy::geometric_ladder(1, bad, 5).is_err());
+        }
+        // Swap interval 0 is caught at construction too.
+        let err = ExchangePolicy::geometric_ladder(4, 8.0, 0).unwrap_err();
+        assert!(err.to_string().contains("swap_interval"), "{err}");
+    }
+
+    #[test]
+    fn cold_rung_classification_tolerates_float_noise() {
+        assert!(is_cold_rung(1.0));
+        assert!(is_cold_rung(1.0 + 1e-12));
+        assert!(is_cold_rung(1.0 - 1e-12));
+        assert!(!is_cold_rung(1.0 + 1e-6));
+        assert!(!is_cold_rung(2.0));
+        assert!(!is_cold_rung(f64::NAN));
+
+        // A user-supplied ladder whose cold rung carries float noise
+        // validates, classifies cold, and snaps to beta = 1 exactly.
+        let spec = EnsembleSpec {
+            n_chains: 3,
+            exchange: ExchangePolicy::TemperatureLadder {
+                temperatures: vec![1.0 + 1e-12, 1.0 - 1e-12, 4.0],
+                swap_interval: 2,
+            },
+            ..EnsembleSpec::default()
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.cold_mask(), vec![true, true, false]);
+        assert_eq!(spec.betas(), vec![1.0, 1.0, 0.25]);
+
+        // A genuinely sub-cold rung is still invalid.
+        let bad = EnsembleSpec {
+            n_chains: 2,
+            exchange: ExchangePolicy::TemperatureLadder {
+                temperatures: vec![1.0, 0.5],
+                swap_interval: 2,
+            },
+            ..EnsembleSpec::default()
+        };
+        assert!(bad.validate().is_err());
+        // And rung 0 must classify cold.
+        let hot_first = EnsembleSpec {
+            n_chains: 2,
+            exchange: ExchangePolicy::TemperatureLadder {
+                temperatures: vec![2.0, 4.0],
+                swap_interval: 2,
+            },
+            ..EnsembleSpec::default()
+        };
+        assert!(hot_first.validate().is_err());
     }
 
     #[test]

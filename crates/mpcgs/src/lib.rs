@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod config;
 pub mod ensemble;
 pub mod multi_chain;
@@ -70,7 +71,8 @@ pub mod session;
 
 pub use config::MpcgsConfig;
 pub use ensemble::{
-    Ensemble, EnsembleBuilder, EnsembleReport, EnsembleSpec, ExchangePolicy, ShardedSampler,
+    is_cold_rung, Ensemble, EnsembleBuilder, EnsembleReport, EnsembleSpec, ExchangePolicy,
+    ShardedSampler,
 };
 pub use multi_chain::{run_multi_chain, MultiChainConfig, MultiChainRun};
 pub use observers::{ChainSummaryPrinter, EmProgressPrinter};
@@ -90,3 +92,8 @@ pub use lamarc::run::{
 };
 pub use lamarc::sampler::GenealogySample;
 pub use phylo::{Dataset, Kernel, Locus};
+
+// The execution-backend surface a driver needs to select and report on the
+// simulated accelerator: the backend enum, its device spec presets, and the
+// cost-breakdown report the runs attach.
+pub use exec::{Backend, DeviceReport, DeviceSpec, DeviceStats};

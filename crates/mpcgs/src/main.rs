@@ -1,216 +1,22 @@
 //! The `mpcgs` command-line program.
 //!
-//! The original program is invoked as `./mpcgs <seqdata.phy> <init theta>`
-//! (Section 5.1.1); this binary keeps that positional interface, accepts
-//! *several* PHYLIP files for multi-locus runs (each file becomes one locus
-//! of the shared [`Dataset`]), and adds flags for chain sizing, sampler
-//! strategy and execution backend. All the work runs through the
-//! [`Session`] facade with an [`EmProgressPrinter`] observer streaming the
-//! per-iteration history.
+//! Argument parsing and validation live in [`mpcgs::cli`] (unit-tested as a
+//! library); this binary wires the parsed configuration into the [`Session`]
+//! facade with an [`EmProgressPrinter`] observer streaming the per-iteration
+//! history, and prints the device cost breakdown when the run dispatched
+//! through the simulated accelerator backend.
 
-use std::path::Path;
 use std::process::ExitCode;
 
 use exec::Backend;
 use mcmc::rng::Mt19937;
-use phylo::io::phylip::parse_phylip;
-use phylo::likelihood::{ExecutionMode, Kernel};
-use phylo::{Dataset, Locus};
+use phylo::likelihood::ExecutionMode;
 
-use mpcgs::{
-    EmProgressPrinter, EnsembleSpec, ExchangePolicy, MpcgsConfig, SamplerStrategy, Session,
-};
-
-/// Which exchange policy the CLI builds for a multi-chain run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExchangeKind {
-    Independent,
-    Ladder,
-}
-
-struct CliArgs {
-    phylip_paths: Vec<String>,
-    initial_theta: f64,
-    samples: usize,
-    burn_in: usize,
-    proposals: usize,
-    em_iterations: usize,
-    seed: u32,
-    strategy: SamplerStrategy,
-    backend: Backend,
-    kernel: Kernel,
-    chains: usize,
-    exchange: Option<ExchangeKind>,
-    swap_interval: Option<usize>,
-    hottest: Option<f64>,
-}
-
-fn print_usage() {
-    eprintln!(
-        "usage: mpcgs <seqdata.phy>... <init-theta> [options]\n\
-         \n\
-         Each PHYLIP file becomes one locus; several files run a multi-locus\n\
-         estimation over their shared sequence names.\n\
-         \n\
-         options:\n\
-           --samples <n>        retained genealogy samples per chain (default 10000)\n\
-           --burn-in <n>        burn-in draws per chain (default 1000)\n\
-           --proposals <n>      proposals per Generalized-MH iteration (default 32)\n\
-           --em <n>             EM iterations (default 3)\n\
-           --seed <n>           host RNG seed (default 20160401)\n\
-           --strategy <name>    sampler strategy: gmh | baseline (default gmh)\n\
-           --backend <name>     execution backend: serial | rayon (default rayon)\n\
-           --kernel <name>      likelihood combine kernel: scalar | simd (default scalar;\n\
-                                simd requires a build with --features simd and falls back\n\
-                                to scalar otherwise)\n\
-           --chains <n>         shard each run across n chains (default 1: single chain)\n\
-           --exchange <name>    ensemble exchange policy: independent | ladder\n\
-                                (default independent; ladder runs MC3 replica exchange\n\
-                                on a geometric temperature ladder)\n\
-           --swap-interval <n>  rounds between replica-exchange swap attempts\n\
-                                (ladder only, default 10)\n\
-           --hottest <t>        temperature of the hottest ladder rung (default 4.0)"
-    );
-}
-
-fn parse_args(args: &[String]) -> Result<CliArgs, String> {
-    // Leading positional arguments: one or more PHYLIP files, then theta.
-    let mut positionals = Vec::new();
-    let mut i = 0;
-    while i < args.len() && !args[i].starts_with("--") {
-        positionals.push(args[i].clone());
-        i += 1;
-    }
-    if positionals.len() < 2 {
-        return Err("expected at least one PHYLIP file and an initial theta".to_string());
-    }
-    let theta_text = positionals.pop().expect("at least two positionals");
-    let initial_theta: f64 =
-        theta_text.parse().map_err(|_| format!("invalid initial theta {theta_text:?}"))?;
-    let mut cli = CliArgs {
-        phylip_paths: positionals,
-        initial_theta,
-        samples: 10_000,
-        burn_in: 1_000,
-        proposals: 32,
-        em_iterations: 3,
-        seed: 20_160_401,
-        strategy: SamplerStrategy::MultiProposal,
-        backend: Backend::Rayon,
-        kernel: Kernel::Scalar,
-        chains: 1,
-        exchange: None,
-        swap_interval: None,
-        hottest: None,
-    };
-    while i < args.len() {
-        let flag = args[i].as_str();
-        let mut take_value = |name: &str| -> Result<String, String> {
-            i += 1;
-            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
-        };
-        match flag {
-            "--samples" => {
-                cli.samples =
-                    take_value("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?
-            }
-            "--burn-in" => {
-                cli.burn_in =
-                    take_value("--burn-in")?.parse().map_err(|e| format!("--burn-in: {e}"))?
-            }
-            "--proposals" => {
-                cli.proposals =
-                    take_value("--proposals")?.parse().map_err(|e| format!("--proposals: {e}"))?
-            }
-            "--em" => {
-                cli.em_iterations = take_value("--em")?.parse().map_err(|e| format!("--em: {e}"))?
-            }
-            "--seed" => {
-                cli.seed = take_value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
-            "--strategy" => {
-                cli.strategy = match take_value("--strategy")?.to_ascii_lowercase().as_str() {
-                    "gmh" | "multiproposal" | "multi-proposal" => SamplerStrategy::MultiProposal,
-                    "baseline" | "lamarc" => SamplerStrategy::Baseline,
-                    other => {
-                        return Err(format!(
-                            "unknown strategy {other:?} (expected \"gmh\" or \"baseline\")"
-                        ))
-                    }
-                }
-            }
-            "--backend" => cli.backend = take_value("--backend")?.parse::<Backend>()?,
-            "--kernel" => cli.kernel = take_value("--kernel")?.parse::<Kernel>()?,
-            "--chains" => {
-                cli.chains =
-                    take_value("--chains")?.parse().map_err(|e| format!("--chains: {e}"))?;
-                if cli.chains == 0 {
-                    return Err("--chains: at least one chain is required".to_string());
-                }
-            }
-            "--exchange" => {
-                cli.exchange = match take_value("--exchange")?.to_ascii_lowercase().as_str() {
-                    "independent" => Some(ExchangeKind::Independent),
-                    "ladder" | "temperature-ladder" | "mc3" => Some(ExchangeKind::Ladder),
-                    other => {
-                        return Err(format!(
-                            "unknown exchange policy {other:?} (expected \"independent\" or \
-                             \"ladder\")"
-                        ))
-                    }
-                }
-            }
-            "--swap-interval" => {
-                cli.swap_interval = Some(
-                    take_value("--swap-interval")?
-                        .parse()
-                        .map_err(|e| format!("--swap-interval: {e}"))?,
-                )
-            }
-            "--hottest" => {
-                cli.hottest =
-                    Some(take_value("--hottest")?.parse().map_err(|e| format!("--hottest: {e}"))?)
-            }
-            other => return Err(format!("unknown option {other:?}")),
-        }
-        i += 1;
-    }
-    // Ensemble flags only act when more than one chain runs — reject
-    // combinations the run would otherwise silently ignore.
-    if cli.chains <= 1 {
-        if cli.exchange.is_some() {
-            return Err("--exchange requires --chains > 1".to_string());
-        }
-        if cli.swap_interval.is_some() || cli.hottest.is_some() {
-            return Err(
-                "--swap-interval/--hottest require --chains > 1 and --exchange ladder".to_string()
-            );
-        }
-    } else if cli.exchange != Some(ExchangeKind::Ladder)
-        && (cli.swap_interval.is_some() || cli.hottest.is_some())
-    {
-        return Err("--swap-interval/--hottest only apply with --exchange ladder".to_string());
-    }
-    Ok(cli)
-}
-
-fn load_dataset(paths: &[String]) -> Result<Dataset, String> {
-    let mut loci = Vec::with_capacity(paths.len());
-    for path in paths {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let alignment =
-            parse_phylip(&text).map_err(|e| format!("cannot parse PHYLIP input {path}: {e}"))?;
-        let name = Path::new(path)
-            .file_stem()
-            .map(|stem| stem.to_string_lossy().into_owned())
-            .unwrap_or_else(|| path.clone());
-        loci.push(Locus::new(name, alignment));
-    }
-    Dataset::new(loci).map_err(|e| format!("inconsistent loci: {e}"))
-}
+use mpcgs::cli::{apply_rates, load_dataset, parse_args, print_usage, CliArgs};
+use mpcgs::{EmProgressPrinter, ExchangePolicy, MpcgsConfig, Session};
 
 fn run(cli: CliArgs) -> Result<(), String> {
-    let dataset = load_dataset(&cli.phylip_paths)?;
+    let dataset = apply_rates(load_dataset(&cli.phylip_paths)?, &cli.rates)?;
     println!(
         "mpcgs: {} locus/loci, {} sequences, {} total sites, initial theta {}",
         dataset.n_loci(),
@@ -219,7 +25,16 @@ fn run(cli: CliArgs) -> Result<(), String> {
         cli.initial_theta
     );
     for locus in dataset.loci() {
-        println!("  locus {:<12} {} sites", locus.name(), locus.n_sites());
+        let rate = locus.relative_rate();
+        if rate == 1.0 {
+            println!("  locus {:<12} {} sites", locus.name(), locus.n_sites());
+        } else {
+            println!(
+                "  locus {:<12} {} sites, relative rate {rate}",
+                locus.name(),
+                locus.n_sites()
+            );
+        }
     }
 
     let effective_kernel = cli.kernel.effective();
@@ -244,9 +59,11 @@ fn run(cli: CliArgs) -> Result<(), String> {
         kernel: cli.kernel,
         ..MpcgsConfig::default()
     };
+    // Within-locus site parallelism mirrors the backend choice; the device
+    // backend schedules its own queue, so it keeps the serial mode.
     let execution = match cli.backend {
-        Backend::Serial => ExecutionMode::Serial,
         Backend::Rayon => ExecutionMode::Parallel,
+        _ => ExecutionMode::Serial,
     };
     let mut builder = Session::builder()
         .dataset(dataset)
@@ -254,20 +71,12 @@ fn run(cli: CliArgs) -> Result<(), String> {
         .config(config)
         .execution(execution)
         .observe(EmProgressPrinter::new());
-    if cli.chains > 1 {
-        let exchange = match cli.exchange.unwrap_or(ExchangeKind::Independent) {
-            ExchangeKind::Independent => ExchangePolicy::Independent,
-            ExchangeKind::Ladder => ExchangePolicy::geometric_ladder(
-                cli.chains,
-                cli.hottest.unwrap_or(4.0),
-                cli.swap_interval.unwrap_or(10),
-            ),
-        };
+    if let Some(spec) = cli.ensemble_spec()? {
         println!(
             "  ensemble: {} chains, {} exchange{}",
-            cli.chains,
-            exchange.name(),
-            match &exchange {
+            spec.n_chains,
+            spec.exchange.name(),
+            match &spec.exchange {
                 ExchangePolicy::TemperatureLadder { temperatures, swap_interval } => format!(
                     " (temperatures {:?}, swap every {} rounds)",
                     temperatures.iter().map(|t| (t * 100.0).round() / 100.0).collect::<Vec<_>>(),
@@ -276,17 +85,15 @@ fn run(cli: CliArgs) -> Result<(), String> {
                 ExchangePolicy::Independent => String::new(),
             }
         );
-        builder = builder.ensemble(EnsembleSpec {
-            n_chains: cli.chains,
-            exchange,
-            ensemble_seed: cli.seed as u64,
-            ..EnsembleSpec::default()
-        });
+        builder = builder.ensemble(spec);
     }
     let mut session = builder.build().map_err(|e| format!("invalid configuration: {e}"))?;
 
     let mut rng = Mt19937::new(cli.seed);
     let estimate = session.run(&mut rng).map_err(|e| format!("estimation failed: {e}"))?;
+    if let Some(device) = &estimate.device {
+        println!("\n{}", device.summary());
+    }
     println!("\nfinal estimate of theta: {:.6}", estimate.theta);
     Ok(())
 }

@@ -65,6 +65,10 @@ pub struct CachingReport {
     /// *effective* kernel: a SIMD request in a build without the `simd`
     /// feature is recorded as scalar).
     pub kernel: Kernel,
+    /// The measured host-vs-device cost breakdown, when the run dispatched
+    /// through `Backend::Device` (`device` feature). Attached with
+    /// [`CachingReport::with_device`]; `None` otherwise.
+    pub device: Option<exec::DeviceReport>,
 }
 
 impl CachingReport {
@@ -89,7 +93,16 @@ impl CachingReport {
             estimated_kernel_speedup,
             generator_cache_hit_rate,
             kernel: kernel.effective(),
+            device: None,
         }
+    }
+
+    /// Attach the device-queue cost breakdown of the run this report
+    /// summarises (a [`exec::DeviceReport`] built from the queue stats the
+    /// run accumulated).
+    pub fn with_device(mut self, device: exec::DeviceReport) -> Self {
+        self.device = Some(device);
+        self
     }
 }
 
@@ -444,6 +457,10 @@ mod tests {
         // the feature resolves to Scalar.
         let simd = CachingReport::from_stats(&stats, 11, Kernel::Simd);
         assert_eq!(simd.kernel, Kernel::Simd.effective());
+        // The device section is opt-in, attached from the run's queue stats.
+        assert!(report.device.is_none());
+        let section = exec::DeviceReport::new(DeviceSpec::kepler(), exec::DeviceStats::default());
+        assert_eq!(report.with_device(section).device, Some(section));
     }
 
     #[test]

@@ -144,6 +144,20 @@ impl EmIterationReport {
     }
 }
 
+/// This thread's cumulative device-queue accounting: the real queue snapshot
+/// when the `device` feature is compiled in, an empty (always-zero) snapshot
+/// otherwise — so report plumbing needs no feature gates at its call sites.
+pub(crate) fn device_queue_stats() -> exec::DeviceStats {
+    #[cfg(feature = "device")]
+    {
+        exec::Queue::stats()
+    }
+    #[cfg(not(feature = "device"))]
+    {
+        exec::DeviceStats::default()
+    }
+}
+
 /// The outcome of a full session run (the EM loop of Figure 11).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
@@ -151,6 +165,10 @@ pub struct SessionReport {
     pub theta: f64,
     /// Per-iteration records.
     pub iterations: Vec<EmIterationReport>,
+    /// The measured host-vs-device cost breakdown of the whole run, when the
+    /// session backend was `Backend::Device` (`device` feature; `None`
+    /// otherwise).
+    pub device: Option<exec::DeviceReport>,
 }
 
 impl SessionReport {
@@ -479,6 +497,8 @@ impl Session {
         let mut theta = self.config.initial_theta;
         let mut iterations = Vec::with_capacity(self.config.em_iterations);
         let mut current_tree = Some(self.starting_tree()?);
+        let device_spec = self.config.backend.device_spec();
+        let device_baseline = device_spec.map(|_| device_queue_stats());
 
         // An ensemble session builds its sharded sampler once and retunes it
         // between rounds, so the per-chain host RNG streams keep advancing
@@ -530,7 +550,10 @@ impl Session {
             current_tree = Some(report.final_tree);
         }
 
-        Ok(SessionReport { theta, iterations })
+        let device = device_spec.zip(device_baseline).map(|(spec, baseline)| {
+            exec::DeviceReport::new(spec, device_queue_stats().delta(&baseline))
+        });
+        Ok(SessionReport { theta, iterations, device })
     }
 
     /// Run a single chain at the configured θ₀ — no maximisation stage — and
@@ -766,9 +789,10 @@ mod tests {
             mean_log_data_likelihood: -5.0,
             counters: RunCounters::default(),
         };
-        let single = SessionReport { theta: 1.0, iterations: vec![it(1.0)] };
+        let single = SessionReport { theta: 1.0, iterations: vec![it(1.0)], device: None };
         assert!(!single.converged(0.1));
-        let stable = SessionReport { theta: 1.01, iterations: vec![it(1.0), it(1.01)] };
+        let stable =
+            SessionReport { theta: 1.01, iterations: vec![it(1.0), it(1.01)], device: None };
         assert!(stable.converged(0.05));
         assert!(!stable.converged(0.001));
         assert_eq!(SamplerStrategy::Baseline.name(), "baseline");

@@ -1231,10 +1231,12 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
     ) -> Result<BatchEvaluation, PhyloError> {
         // `with_mode(Parallel)` asks for site-parallel evaluation regardless
         // of how the caller schedules the outer loop: upgrade the backend so
-        // the knob keeps meaning what it meant on the reference path.
+        // the knob keeps meaning what it meant on the reference path. The
+        // device backend schedules (and accounts) its own queue, so it is
+        // never silently replaced — device dispatch wins over the mode knob.
         let backend = match self.mode {
-            ExecutionMode::Parallel => Backend::Rayon,
-            ExecutionMode::Serial => backend,
+            ExecutionMode::Parallel if !backend.is_device() => Backend::Rayon,
+            _ => backend,
         };
         // Reuse the memoised workspace when the generator is unchanged; on a
         // hit the cache entry (tree key included) is kept intact so nothing
@@ -1249,8 +1251,18 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
         };
         let nodes_full_pruned = if generator_cache_hit { 0 } else { generator.n_internal() };
 
+        // One logical device thread per (proposal, pattern) pair (see the
+        // profiled grid dispatch in `MultiLocusEngine::log_likelihood_batch`;
+        // this is the single-locus degenerate case of the same submission).
+        let profile = exec::GridProfile::pruning(
+            proposals.len() * self.n_patterns(),
+            generator.n_internal(),
+            generator.n_nodes(),
+            generator.n_tips(),
+        );
         let workspace_ref = &cache.workspace;
-        let results = backend.map_slice(proposals, move |proposal| {
+        let results = backend.map_grid_profiled(Some(&profile), 1, proposals.len(), |_, p| {
+            let proposal = &proposals[p];
             self.rescore_with_workspace(workspace_ref, proposal.tree, proposal.edited)
         });
 
@@ -1397,9 +1409,10 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
         proposals: &[TreeProposal<'_>],
     ) -> Result<BatchEvaluation, PhyloError> {
         // `with_mode(Parallel)` upgrades the backend exactly as the per-locus
-        // engines would (see `FelsensteinPruner::log_likelihood_batch`).
+        // engines would (see `FelsensteinPruner::log_likelihood_batch`); the
+        // device backend is never silently replaced.
         let backend = match self.engines.first().map(FelsensteinPruner::mode) {
-            Some(ExecutionMode::Parallel) => Backend::Rayon,
+            Some(ExecutionMode::Parallel) if !backend.is_device() => Backend::Rayon,
             _ => backend,
         };
 
@@ -1427,16 +1440,35 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
             shards.iter().map(|cache| cache.workspace.log_likelihood).sum();
 
         // Phase 2 — one flattened dispatch over the (locus × proposal) grid.
+        // The submission is profiled as the kernel launch it stands for: one
+        // logical device thread per (proposal, pattern) pair across every
+        // locus — the paper's one-thread-per-(proposal, site) mapping on
+        // pattern-compressed data — so the device backend's occupancy and
+        // latency-hiding accounting sees the (locus × proposal ×
+        // pattern-chunk) thread count, not the closure-grid size. Serial and
+        // rayon ignore the profile entirely.
         let n_proposals = proposals.len();
+        let total_patterns: usize = self.engines.iter().map(FelsensteinPruner::n_patterns).sum();
+        let profile = exec::GridProfile::pruning(
+            n_proposals * total_patterns,
+            generator.n_internal(),
+            generator.n_nodes(),
+            generator.n_tips(),
+        );
         let shards_ref = &shards;
-        let results = backend.map_grid(self.engines.len(), n_proposals, |locus, p| {
-            let proposal = &proposals[p];
-            self.engines[locus].rescore_with_workspace(
-                &shards_ref[locus].workspace,
-                proposal.tree,
-                proposal.edited,
-            )
-        });
+        let results = backend.map_grid_profiled(
+            Some(&profile),
+            self.engines.len(),
+            n_proposals,
+            |locus, p| {
+                let proposal = &proposals[p];
+                self.engines[locus].rescore_with_workspace(
+                    &shards_ref[locus].workspace,
+                    proposal.tree,
+                    proposal.edited,
+                )
+            },
+        );
 
         // Phase 3 — return every shard to its engine's memo, then reduce the
         // grid to per-proposal sums (unlinked loci: log likelihoods add).

@@ -76,7 +76,7 @@ fn main() {
     let mut ladder = EnsembleBuilder::new()
         .session(session())
         .chains(4)
-        .exchange(ExchangePolicy::geometric_ladder(4, 4.0, 5))
+        .exchange(ExchangePolicy::geometric_ladder(4, 4.0, 5).expect("valid ladder"))
         .seed(7)
         .build()
         .expect("valid ensemble");

@@ -60,6 +60,13 @@ fn main() {
         .expect("valid simulator")
         .simulate(&mut rng, &tree)
         .expect("sequence simulation succeeds");
+    // With `--features device` the measured chain runs on the simulated
+    // accelerator backend (bit-identical results) and the caching report
+    // additionally carries the queue's host-vs-device cost breakdown.
+    #[cfg(feature = "device")]
+    let backend = exec::Backend::device(exec::DeviceSpec::kepler());
+    #[cfg(not(feature = "device"))]
+    let backend = exec::Backend::default();
     let config = MpcgsConfig {
         initial_theta: 1.0,
         em_iterations: 1,
@@ -68,6 +75,7 @@ fn main() {
         burn_in_draws: 200,
         sample_draws: 2_000,
         kernel: Kernel::Simd, // falls back to scalar without --features simd
+        backend,
         ..MpcgsConfig::default()
     };
     let mut session = Session::builder()
@@ -75,12 +83,19 @@ fn main() {
         .config(config)
         .build()
         .expect("valid configuration");
+    #[cfg(feature = "device")]
+    let device_baseline = exec::Queue::stats();
     let report = session.run_chain(&mut rng).expect("chain run succeeds");
     let caching = CachingReport::from_stats(
         &report.counters,
         reference.interior_nodes(),
         session.config().kernel,
     );
+    #[cfg(feature = "device")]
+    let caching = caching.with_device(exec::DeviceReport::new(
+        exec::DeviceSpec::kepler(),
+        exec::Queue::stats().delta(&device_baseline),
+    ));
     println!(
         "\nmeasured caching on one {}x{} bp chain ({} kernel, {} evaluations):",
         reference.n_sequences,
@@ -99,4 +114,7 @@ fn main() {
         caching.estimated_kernel_speedup,
         100.0 * caching.generator_cache_hit_rate
     );
+    if let Some(device) = &caching.device {
+        println!("\n{}", device.summary());
+    }
 }

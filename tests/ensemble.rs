@@ -158,7 +158,7 @@ fn geometric_ladder_runs_and_swaps_sensibly() {
     let mut s = session(&dataset, Backend::Rayon, SamplerStrategy::MultiProposal);
     s.set_ensemble(Some(EnsembleSpec {
         n_chains: 4,
-        exchange: ExchangePolicy::geometric_ladder(4, 4.0, 2),
+        exchange: ExchangePolicy::geometric_ladder(4, 4.0, 2).expect("valid ladder"),
         ensemble_seed: 13,
         chain_dispatch: None,
     }));
@@ -179,6 +179,52 @@ fn geometric_ladder_runs_and_swaps_sensibly() {
         assert!(chain.acceptance_rate() > 0.0);
         assert_eq!(chain.counters.draws, 200);
     }
+}
+
+#[test]
+fn near_cold_rungs_classify_as_estimation_chains() {
+    // A user-supplied ladder whose cold rungs carry float noise (1 ± 1e-12)
+    // must not be silently dropped from pooling and diagnostics by an exact
+    // t == 1.0 comparison: both near-cold rungs pool, feed R-hat, and count
+    // toward the ideal parallel cost.
+    let dataset = simulated_dataset(241, 6, 80, 1.0);
+    let mut s = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    s.set_ensemble(Some(EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![1.0 + 1e-12, 1.0 - 1e-12, 4.0],
+            swap_interval: 4,
+        },
+        ensemble_seed: 23,
+        chain_dispatch: None,
+    }));
+    let report = s.run_ensemble(&mut Mt19937::new(8)).unwrap();
+    assert_eq!(report.cold_rungs, vec![true, true, false]);
+    // Both near-cold rungs pool — 2 x 160 retained draws, not 0 and not 480.
+    assert_eq!(report.pooled_samples.len(), 2 * 160);
+    // Two estimation chains are enough for a between-chain R-hat.
+    assert!(report.r_hat().is_some(), "near-cold rungs must feed R-hat");
+    // And the ideal-cost accounting divides the pool by the two cold rungs.
+    let expected = 40.0 + (2.0 * 160.0) / 2.0;
+    assert!((report.ideal_parallel_cost() - expected).abs() < 1e-9);
+    assert!(report.pooled_theta().unwrap() > 0.0);
+
+    // Contrast: the same ladder with an exactly-cold rung 0 only is also
+    // classified through the mask (1 estimation chain -> no R-hat).
+    let mut single_cold = session(&dataset, Backend::Serial, SamplerStrategy::MultiProposal);
+    single_cold.set_ensemble(Some(EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::TemperatureLadder {
+            temperatures: vec![1.0, 2.0, 4.0],
+            swap_interval: 4,
+        },
+        ensemble_seed: 23,
+        chain_dispatch: None,
+    }));
+    let single_report = single_cold.run_ensemble(&mut Mt19937::new(8)).unwrap();
+    assert_eq!(single_report.cold_rungs, vec![true, false, false]);
+    assert_eq!(single_report.pooled_samples.len(), 160);
+    assert!(single_report.r_hat().is_none());
 }
 
 #[test]
