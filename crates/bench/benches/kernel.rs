@@ -1,6 +1,7 @@
 //! Microbenchmark of the likelihood *combine kernel* (the innermost loop of
 //! every evaluation, Section 5.2.2): the scalar node-outer/pattern-inner
-//! loop versus the explicit four-lane SIMD kernel, measured three ways —
+//! loop versus the explicit four-lane SIMD kernel versus the runtime-probed
+//! `Kernel::Auto` (AVX2/FMA multiversioned) variant, measured three ways —
 //! the pure kernel in isolation (through the public [`Kernel::combine_rows`]
 //! seam), full workspace builds, and batched dirty-path rescoring, serial
 //! and rayon.
@@ -109,7 +110,7 @@ fn bench_pure_kernel(c: &mut Criterion) {
         let rows = kernel_rows(len);
         let mut op = vec![0.0; len * 4];
         let mut os = vec![0.0; len];
-        for kernel in [Kernel::Scalar, Kernel::Simd] {
+        for kernel in [Kernel::Scalar, Kernel::Simd, Kernel::Auto] {
             group.bench_with_input(
                 BenchmarkId::new(kernel.to_string(), len),
                 &kernel,
@@ -133,7 +134,7 @@ fn bench_engine_paths(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     for &sites in &SITES {
         let fixture = fixture(sites);
-        for kernel in [Kernel::Scalar, Kernel::Simd] {
+        for kernel in [Kernel::Scalar, Kernel::Simd, Kernel::Auto] {
             for (backend_label, backend) in [("serial", Backend::Serial), ("rayon", Backend::Rayon)]
             {
                 let engine = engine_for(&fixture, kernel);
@@ -168,6 +169,12 @@ fn throughput_summary() {
         cfg!(target_feature = "avx2"),
         cfg!(target_feature = "fma"),
     );
+    let host = phylo::likelihood::host_cpu_features();
+    println!(
+        "runtime: Kernel::Auto resolves to {} (host cpu: {})",
+        Kernel::Auto.variant(),
+        if host.is_empty() { "baseline".to_string() } else { host.join("+") }
+    );
     if !Kernel::simd_compiled() {
         println!(
             "kernel summary: built WITHOUT --features simd; Kernel::Simd falls back to \
@@ -184,9 +191,9 @@ fn throughput_summary() {
     let mut op = vec![0.0; len * 4];
     let mut os = vec![0.0; len];
     let reps = 80_000;
-    let mut best = [f64::MAX; 2];
+    let mut best = [f64::MAX; 3];
     for _ in 0..7 {
-        for (slot, kernel) in [Kernel::Scalar, Kernel::Simd].into_iter().enumerate() {
+        for (slot, kernel) in [Kernel::Scalar, Kernel::Simd, Kernel::Auto].into_iter().enumerate() {
             let t0 = Instant::now();
             for _ in 0..reps {
                 run_kernel(kernel, &rows, &mut op, &mut os);
@@ -196,12 +203,17 @@ fn throughput_summary() {
         }
     }
     let patterns = (len * reps) as f64;
-    let speedup = best[0] / best[1];
+    let speedup = best[0] / best[2];
     println!("pure kernel ({len} patterns/call, {reps} calls, min of 7 rounds):");
     println!("  scalar: {:>8.1} Mpatterns/s", patterns / best[0] / 1e6);
     println!("  simd  : {:>8.1} Mpatterns/s", patterns / best[1] / 1e6);
     println!(
-        "  simd/scalar: {speedup:.2}x  ({})",
+        "  auto  : {:>8.1} Mpatterns/s ({})",
+        patterns / best[2] / 1e6,
+        Kernel::Auto.variant()
+    );
+    println!(
+        "  auto/scalar: {speedup:.2}x  ({})",
         if speedup >= 1.5 {
             "meets the >=1.5x acceptance bar"
         } else {
@@ -213,9 +225,11 @@ fn throughput_summary() {
     for &sites in &SITES {
         let fixture = fixture(sites);
         let reps = 30;
-        let mut best = [f64::MAX; 2];
+        let mut best = [f64::MAX; 3];
         for _ in 0..5 {
-            for (slot, kernel) in [Kernel::Scalar, Kernel::Simd].into_iter().enumerate() {
+            for (slot, kernel) in
+                [Kernel::Scalar, Kernel::Simd, Kernel::Auto].into_iter().enumerate()
+            {
                 let engine = engine_for(&fixture, kernel);
                 let _ = full_prune(&engine, &fixture, Backend::Serial);
                 let t0 = Instant::now();
@@ -226,10 +240,12 @@ fn throughput_summary() {
             }
         }
         println!(
-            "full prune ({N_TAXA} taxa x {sites} bp): scalar {:.3} ms, simd {:.3} ms, {:.2}x",
+            "full prune ({N_TAXA} taxa x {sites} bp): scalar {:.3} ms, simd {:.3} ms, \
+             auto {:.3} ms, auto/scalar {:.2}x",
             best[0] * 1e3,
             best[1] * 1e3,
-            best[0] / best[1]
+            best[2] * 1e3,
+            best[0] / best[2]
         );
     }
 }

@@ -10,6 +10,7 @@
 use rand::Rng;
 
 use mcmc::rng::dist::categorical;
+use phylo::likelihood::effective_branch_length;
 use phylo::model::SubstitutionModel;
 use phylo::{Alignment, GeneTree, Nucleotide, Sequence};
 
@@ -82,7 +83,7 @@ impl<M: SubstitutionModel> SequenceSimulator<M> {
         parent: &[Nucleotide],
         t: f64,
     ) -> Vec<Nucleotide> {
-        let scaled = (t * self.branch_scale).max(0.0);
+        let scaled = effective_branch_length(t, self.branch_scale);
         // One transition matrix per branch; rows are categorical samplers.
         let matrix = self.model.transition_matrix(scaled);
         parent

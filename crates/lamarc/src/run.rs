@@ -56,6 +56,13 @@ pub struct RunCounters {
     /// Batch evaluations whose generator workspace was served from the
     /// engine's cache.
     pub generator_cache_hits: usize,
+    /// Edge transition matrices served from the per-workspace
+    /// [`phylo::likelihood::EdgeMatrixCache`] during batch evaluations
+    /// (workspace rebuilds and dirty-path rescores).
+    pub matrix_cache_hits: usize,
+    /// Edge transition matrices recomputed during batch evaluations because
+    /// the edge's effective branch length changed (or the cache was cold).
+    pub matrix_cache_misses: usize,
     /// Accepted moves promoted into the cached workspace instead of being
     /// repaid with a full re-prune.
     pub workspace_commits: usize,
@@ -91,6 +98,17 @@ impl RunCounters {
         }
     }
 
+    /// Fraction of edge transition-matrix consults served from the
+    /// per-workspace cache (0.0 when no consults happened).
+    pub fn matrix_cache_hit_rate(&self) -> f64 {
+        let consults = self.matrix_cache_hits + self.matrix_cache_misses;
+        if consults == 0 {
+            0.0
+        } else {
+            self.matrix_cache_hits as f64 / consults as f64
+        }
+    }
+
     /// Fraction of attempted replica-exchange swaps that were accepted
     /// (0.0 when none were attempted).
     pub fn swap_acceptance_rate(&self) -> f64 {
@@ -114,6 +132,8 @@ impl RunCounters {
             nodes_full_pruned: self.nodes_full_pruned + other.nodes_full_pruned,
             nodes_committed: self.nodes_committed + other.nodes_committed,
             generator_cache_hits: self.generator_cache_hits + other.generator_cache_hits,
+            matrix_cache_hits: self.matrix_cache_hits + other.matrix_cache_hits,
+            matrix_cache_misses: self.matrix_cache_misses + other.matrix_cache_misses,
             workspace_commits: self.workspace_commits + other.workspace_commits,
             swap_attempts: self.swap_attempts + other.swap_attempts,
             swaps_accepted: self.swaps_accepted + other.swaps_accepted,
@@ -356,6 +376,10 @@ mod tests {
             ..Default::default()
         };
         assert!((c.nodes_pruned_per_evaluation() - 5.0).abs() < 1e-12);
+        assert_eq!(RunCounters::default().matrix_cache_hit_rate(), 0.0);
+        let caching =
+            RunCounters { matrix_cache_hits: 3, matrix_cache_misses: 1, ..Default::default() };
+        assert!((caching.matrix_cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(RunCounters::default().swap_acceptance_rate(), 0.0);
         let swapping = RunCounters { swap_attempts: 8, swaps_accepted: 2, ..Default::default() };
         assert!((swapping.swap_acceptance_rate() - 0.25).abs() < 1e-12);
@@ -373,6 +397,8 @@ mod tests {
             nodes_full_pruned: 7,
             nodes_committed: 8,
             generator_cache_hits: 9,
+            matrix_cache_hits: 13,
+            matrix_cache_misses: 14,
             workspace_commits: 10,
             swap_attempts: 11,
             swaps_accepted: 12,
@@ -390,6 +416,8 @@ mod tests {
                 nodes_full_pruned: 14,
                 nodes_committed: 16,
                 generator_cache_hits: 18,
+                matrix_cache_hits: 26,
+                matrix_cache_misses: 28,
                 workspace_commits: 20,
                 swap_attempts: 22,
                 swaps_accepted: 24,

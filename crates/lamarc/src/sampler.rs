@@ -150,6 +150,8 @@ impl<E: LikelihoodEngine> LamarcSampler<E> {
         chain.counters.nodes_repruned += eval.nodes_repruned;
         chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
         chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
+        chain.counters.matrix_cache_hits += eval.matrix_cache_hits;
+        chain.counters.matrix_cache_misses += eval.matrix_cache_misses;
         // Eq. 28: r = P(D|G') / P(D|G); accept with min(1, r). A heated rung
         // (β < 1) flattens the ratio to r^β; the prior terms cancel at any β
         // because the proposal draws from the conditional coalescent prior.
@@ -306,9 +308,63 @@ mod tests {
         assert!(run.counters.nodes_committed > 0);
         assert!(run.counters.nodes_committed < run.counters.accepted * n_internal);
         assert_eq!(run.counters.generator_cache_hits, run.counters.draws - 1);
+        // Edge transition-matrix memoisation: some dirty-path edges keep
+        // their effective lengths across transitions, so hits accumulate,
+        // while the cold initial build and every resimulated neighborhood
+        // edge pay a recomputation. (On a 6-taxon tree the neighborhood
+        // covers most of the tree, so misses still dominate here — the
+        // >80% steady-state rate needs the deep trees the perf trajectory
+        // benchmarks.)
+        assert!(run.counters.matrix_cache_hits > 0);
+        assert!(run.counters.matrix_cache_misses >= run.final_tree.n_nodes() - 1);
+        let rate = run.counters.matrix_cache_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0, "matrix cache hit rate {rate}");
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.config().samples, 200);
         assert_eq!(sampler.target().theta(), 1.0);
+    }
+
+    #[test]
+    fn replace_state_repays_a_full_rebuild_with_a_cold_matrix_cache() {
+        // Replica exchange installs a foreign tree without touching the
+        // engine cache: the next transition must repay one full prune, and
+        // because the swapped-in tree shares no branch lengths with the old
+        // state the edge transition-matrix cache cannot serve that rebuild.
+        let mut rng = Mt19937::new(53);
+        let alignment = simulated_data(&mut rng, 6, 60, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let config = SamplerConfig {
+            theta: 1.0,
+            burn_in: 0,
+            samples: 10,
+            thinning: 1,
+            proposal: ProposalConfig::default(),
+        };
+        let mut sampler = LamarcSampler::new(engine, config).unwrap();
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        sampler.begin(initial).unwrap();
+        sampler.step(&mut rng).unwrap();
+        let swapped = CoalescentSimulator::constant(1.0)
+            .unwrap()
+            .simulate_labelled(
+                &mut rng,
+                &alignment.names().iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        sampler.replace_state(swapped, -1.0).unwrap();
+        assert_eq!(sampler.current_log_likelihood(), Some(-1.0));
+        sampler.step(&mut rng).unwrap();
+        let run = sampler.finish().unwrap();
+        let n_internal = run.final_tree.n_internal();
+        let n_edges = run.final_tree.n_nodes() - 1;
+        // Two full prunes: the initial build and the post-swap rebuild.
+        assert_eq!(run.counters.nodes_full_pruned, 2 * n_internal);
+        assert_eq!(run.counters.generator_cache_hits, 0);
+        // Both prunes ran against a cold (or useless) matrix cache, so the
+        // misses cover at least two full trees' worth of edges and the hit
+        // rate stays far below the steady-state regime.
+        assert!(run.counters.matrix_cache_misses >= 2 * n_edges);
+        assert!(run.counters.matrix_cache_hit_rate() < 0.5);
     }
 
     #[test]

@@ -89,9 +89,11 @@ pub fn print_usage() {
                                 host-vs-device cost breakdown)\n\
            --device-spec <name> device preset for --backend device: kepler | modern\n\
                                 (default kepler)\n\
-           --kernel <name>      likelihood combine kernel: scalar | simd (default scalar;\n\
-                                simd requires a build with --features simd and falls back\n\
-                                to scalar otherwise)\n\
+           --kernel <name>      likelihood combine kernel: scalar | simd | auto\n\
+                                (default auto: probe the CPU at startup and use the\n\
+                                AVX2+FMA combine loop when available; simd and auto\n\
+                                require a build with --features simd and fall back to\n\
+                                scalar otherwise)\n\
            --rate <locus>=<r>   relative mutation rate for one locus (repeatable; the\n\
                                 locus name is the PHYLIP file stem; r finite and > 0)\n\
            --chains <n>         shard each run across n chains (default 1: single chain)\n\
@@ -146,7 +148,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         seed: 20_160_401,
         strategy: SamplerStrategy::MultiProposal,
         backend: Backend::Rayon,
-        kernel: Kernel::Scalar,
+        kernel: Kernel::Auto,
         chains: 1,
         exchange: None,
         swap_interval: None,

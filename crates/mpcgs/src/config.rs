@@ -36,9 +36,11 @@ pub struct MpcgsConfig {
     /// Data-parallel backend for proposal generation and likelihood
     /// evaluation (the host-side analogue of the CUDA kernels).
     pub backend: Backend,
-    /// Arithmetic kernel for the likelihood engine's combine loop
-    /// ([`Kernel::Simd`] requires the `simd` cargo feature and degrades to
-    /// the scalar kernel at runtime without it).
+    /// Arithmetic kernel for the likelihood engine's combine loop. The
+    /// default [`Kernel::Auto`] probes the CPU at engine construction and
+    /// selects the AVX2+FMA combine loop when the host supports it;
+    /// [`Kernel::Simd`] and [`Kernel::Auto`] require the `simd` cargo
+    /// feature and degrade to the scalar kernel without it.
     pub kernel: Kernel,
     /// Master seed for the per-proposal random-number streams (the MTGP32
     /// substitute).
@@ -58,7 +60,7 @@ impl Default for MpcgsConfig {
             proposal: ProposalConfig::default(),
             ascent: GradientAscentConfig::default(),
             backend: Backend::Rayon,
-            kernel: Kernel::Scalar,
+            kernel: Kernel::Auto,
             stream_seed: 0x6D70_6367_7372_7573, // "mpcgsrus"
         }
     }

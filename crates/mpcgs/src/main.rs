@@ -46,7 +46,17 @@ fn run(cli: CliArgs) -> Result<(), String> {
             cli.kernel, effective_kernel
         );
     }
-    println!("  backend {}, {} kernel", cli.backend, effective_kernel);
+    let variant = cli.kernel.variant();
+    if cli.kernel == phylo::likelihood::Kernel::Auto {
+        let features = phylo::likelihood::host_cpu_features();
+        println!(
+            "  backend {}, {variant} kernel (auto; host cpu: {})",
+            cli.backend,
+            if features.is_empty() { "baseline".to_string() } else { features.join("+") }
+        );
+    } else {
+        println!("  backend {}, {variant} kernel", cli.backend);
+    }
 
     let config = MpcgsConfig {
         initial_theta: cli.initial_theta,

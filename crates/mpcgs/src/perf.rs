@@ -36,7 +36,7 @@
 use exec::{DeviceModel, DeviceSpec, HostModel, KernelLaunch};
 
 use lamarc::run::RunCounters;
-use phylo::likelihood::Kernel;
+use phylo::likelihood::{Kernel, KernelVariant};
 
 /// Observed effectiveness of the batched engine's dirty-path caching,
 /// derived from the work counters a run collects ([`RunCounters`]). Where
@@ -61,10 +61,15 @@ pub struct CachingReport {
     /// Fraction of Generalized-MH iterations whose generator workspace was
     /// served from the engine's memo instead of being rebuilt.
     pub generator_cache_hit_rate: f64,
-    /// The combine kernel that actually ran the node recomputations (the
-    /// *effective* kernel: a SIMD request in a build without the `simd`
-    /// feature is recorded as scalar).
-    pub kernel: Kernel,
+    /// Fraction of per-edge transition-matrix consults served from the
+    /// workspace's [`phylo::likelihood::EdgeMatrixCache`] instead of being
+    /// recomputed (0.0 when the run consulted no matrices).
+    pub matrix_cache_hit_rate: f64,
+    /// The combine-kernel variant that actually ran the node recomputations
+    /// (the [`Kernel::variant`] resolution: a SIMD request in a build
+    /// without the `simd` feature is recorded as scalar, and `auto` records
+    /// the runtime-probed variant).
+    pub kernel: KernelVariant,
     /// The measured host-vs-device cost breakdown, when the run dispatched
     /// through `Backend::Device` (`device` feature). Attached with
     /// [`CachingReport::with_device`]; `None` otherwise.
@@ -74,7 +79,7 @@ pub struct CachingReport {
 impl CachingReport {
     /// Build a report from run counters, the interior-node count of the
     /// genealogies scored, and the combine kernel the engine was configured
-    /// with (recorded as its [`Kernel::effective`] resolution).
+    /// with (recorded as its [`Kernel::variant`] resolution).
     pub fn from_stats(stats: &RunCounters, n_internal: usize, kernel: Kernel) -> Self {
         let nodes_per_evaluation = stats.nodes_pruned_per_evaluation();
         let reprune_fraction =
@@ -92,7 +97,8 @@ impl CachingReport {
             reprune_fraction,
             estimated_kernel_speedup,
             generator_cache_hit_rate,
-            kernel: kernel.effective(),
+            matrix_cache_hit_rate: stats.matrix_cache_hit_rate(),
+            kernel: kernel.variant(),
             device: None,
         }
     }
@@ -443,6 +449,8 @@ mod tests {
             nodes_full_pruned: 110, // 10 full prunes of 11 interior nodes
             nodes_committed: 0,
             generator_cache_hits: 4,
+            matrix_cache_hits: 90,
+            matrix_cache_misses: 10,
             workspace_commits: 0,
             ..RunCounters::default()
         };
@@ -452,11 +460,15 @@ mod tests {
         assert!((report.reprune_fraction - (350.0 / 80.0) / 11.0).abs() < 1e-12);
         assert!(report.estimated_kernel_speedup > 2.0);
         assert!((report.generator_cache_hit_rate - 0.4).abs() < 1e-12);
-        assert_eq!(report.kernel, Kernel::Scalar);
-        // The report records the *effective* kernel: a Simd request without
-        // the feature resolves to Scalar.
+        assert!((report.matrix_cache_hit_rate - 0.9).abs() < 1e-12);
+        assert_eq!(report.kernel, KernelVariant::Scalar);
+        // The report records the *resolved* kernel variant: a Simd request
+        // without the feature resolves to Scalar, and an Auto request
+        // records whatever the runtime probe selected.
         let simd = CachingReport::from_stats(&stats, 11, Kernel::Simd);
-        assert_eq!(simd.kernel, Kernel::Simd.effective());
+        assert_eq!(simd.kernel, Kernel::Simd.variant());
+        let auto = CachingReport::from_stats(&stats, 11, Kernel::Auto);
+        assert_eq!(auto.kernel, Kernel::Auto.variant());
         // The device section is opt-in, attached from the run's queue stats.
         assert!(report.device.is_none());
         let section = exec::DeviceReport::new(DeviceSpec::kepler(), exec::DeviceStats::default());
@@ -470,6 +482,8 @@ mod tests {
         assert_eq!(report.reprune_fraction, 0.0);
         assert_eq!(report.estimated_kernel_speedup, 1.0);
         assert_eq!(report.generator_cache_hit_rate, 0.0);
+        assert_eq!(report.matrix_cache_hit_rate, 0.0);
+        assert_eq!(report.kernel, KernelVariant::Scalar);
         let degenerate = CachingReport::from_stats(&RunCounters::default(), 0, Kernel::Scalar);
         assert_eq!(degenerate.reprune_fraction, 0.0);
     }

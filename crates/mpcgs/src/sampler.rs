@@ -167,6 +167,8 @@ impl<E: LikelihoodEngine> MultiProposalSampler<E> {
         chain.counters.nodes_repruned += eval.nodes_repruned;
         chain.counters.nodes_full_pruned += eval.nodes_full_pruned;
         chain.counters.generator_cache_hits += eval.generator_cache_hit as usize;
+        chain.counters.matrix_cache_hits += eval.matrix_cache_hits;
+        chain.counters.matrix_cache_misses += eval.matrix_cache_misses;
         // The generator joins the set with its cached likelihood. Selection
         // runs under the (possibly tempered) target — `w_i ∝ P(D|G̃_i)^β`,
         // i.e. log weights scaled by β — while traces and samples record the
@@ -364,6 +366,15 @@ mod tests {
         assert!(run.counters.workspace_commits > 0);
         assert!(run.counters.nodes_committed > 0);
         assert!(run.counters.nodes_pruned_per_evaluation() < n_internal as f64);
+        // Edge transition-matrix memoisation: edges whose effective lengths
+        // survive a proposal hit the cache, while the cold initial build and
+        // every resimulated neighborhood edge pay a recomputation. (Tiny
+        // 6-taxon trees keep the rate low; the >80% steady-state regime is
+        // exercised by the perf-trajectory benchmark's deep trees.)
+        assert!(run.counters.matrix_cache_hits > 0);
+        assert!(run.counters.matrix_cache_misses >= run.final_tree.n_nodes() - 1);
+        let rate = run.counters.matrix_cache_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0, "matrix cache hit rate {rate}");
         run.final_tree.validate().unwrap();
         assert_eq!(sampler.theta(), 1.0);
         assert_eq!(sampler.config().proposals_per_iteration, 8);

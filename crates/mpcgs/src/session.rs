@@ -15,9 +15,9 @@
 //!
 //! The facade is also the seam later backends plug into: a GPU or SIMD
 //! engine only has to stand behind [`GenealogySampler`] (or the likelihood
-//! engine it wraps) to become a selectable strategy — the explicit-SIMD
-//! likelihood kernel is already surfaced here as
-//! [`SessionBuilder::kernel`].
+//! engine it wraps) to become a selectable strategy — the likelihood
+//! combine kernel (scalar, explicit four-lane SIMD, or runtime-dispatched
+//! `auto`) is already surfaced here as [`SessionBuilder::kernel`].
 //!
 //! # Quick start
 //!
@@ -285,9 +285,11 @@ impl SessionBuilder {
     }
 
     /// Which arithmetic kernel the likelihood engines combine partials with
-    /// (overrides `config.kernel`). [`Kernel::Simd`] selects the explicit
-    /// four-lane kernel when the `phylo/simd` feature is compiled in and
-    /// degrades to the scalar kernel at runtime otherwise, so the setting is
+    /// (overrides `config.kernel`). The default [`Kernel::Auto`] probes the
+    /// CPU once at engine construction and selects the AVX2+FMA combine
+    /// loop when the host supports it; [`Kernel::Simd`] pins the portable
+    /// four-lane kernel. Both require the `phylo/simd` feature and degrade
+    /// to the scalar kernel at runtime without it, so the setting is
     /// portable across builds.
     pub fn kernel(mut self, kernel: Kernel) -> Self {
         self.config.kernel = kernel;

@@ -35,11 +35,19 @@
 //!   with structure-of-arrays [`likelihood::LikelihoodWorkspace`] buffers and
 //!   dirty-path caching for scoring whole proposal sets (Section 4.3). The
 //!   innermost combine loop is selectable per engine through the
-//!   [`likelihood::Kernel`] seam (scalar, or explicit four-lane SIMD).
+//!   [`likelihood::Kernel`] seam (scalar, explicit four-lane SIMD, or
+//!   runtime-dispatched `auto`), and per-edge transition matrices are
+//!   memoised in an [`likelihood::EdgeMatrixCache`] keyed on effective
+//!   branch length.
 //! * `simd` (behind the `simd` cargo feature) — the hand-rolled `F64x4`
-//!   four-lane vector backing [`likelihood::Kernel::Simd`].
+//!   four-lane vector backing [`likelihood::Kernel::Simd`], plus the
+//!   runtime AVX2+FMA dispatch behind [`likelihood::Kernel::Auto`].
+//!
+//! `unsafe` is denied crate-wide; the single, safety-documented exception is
+//! the `simd::dispatch` module, which must call a `#[target_feature]`
+//! function behind a runtime CPUID probe.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;
@@ -61,8 +69,8 @@ pub use alignment::Alignment;
 pub use dataset::{Dataset, Locus};
 pub use error::PhyloError;
 pub use likelihood::{
-    BatchEvaluation, DirtyEvaluation, FelsensteinPruner, Kernel, LikelihoodEngine,
-    LikelihoodWorkspace, MultiLocusEngine, TreeProposal,
+    BatchEvaluation, DirtyEvaluation, EdgeMatrixCache, FelsensteinPruner, Kernel, KernelVariant,
+    LikelihoodEngine, LikelihoodWorkspace, MultiLocusEngine, TreeProposal,
 };
 pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;

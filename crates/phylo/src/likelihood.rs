@@ -117,6 +117,13 @@ pub struct BatchEvaluation {
     pub nodes_full_pruned: usize,
     /// Whether the generator workspace was reused from the engine's cache.
     pub generator_cache_hit: bool,
+    /// Edge transition matrices served from the [`EdgeMatrixCache`] instead
+    /// of being recomputed, across the workspace (re)build and every
+    /// dirty-path rescore of this batch.
+    pub matrix_cache_hits: usize,
+    /// Edge transition matrices that had to be recomputed because their
+    /// effective branch length changed (or the cache was cold).
+    pub matrix_cache_misses: usize,
 }
 
 impl BatchEvaluation {
@@ -158,6 +165,8 @@ pub trait LikelihoodEngine: Send + Sync {
             nodes_repruned,
             nodes_full_pruned: generator.n_internal(),
             generator_cache_hit: false,
+            matrix_cache_hits: 0,
+            matrix_cache_misses: 0,
         })
     }
 
@@ -196,25 +205,134 @@ pub enum ExecutionMode {
 /// innermost loop of every evaluation). Selected at engine construction
 /// ([`FelsensteinPruner::with_kernel`] / [`MultiLocusEngine::with_kernel`])
 /// and surfaced to users as `SessionBuilder::kernel(..)` and the CLI's
-/// `--kernel {scalar,simd}` flag.
+/// `--kernel {scalar,simd,auto}` flag.
 ///
-/// [`Kernel::Simd`] is always *selectable*: when the crate was built without
-/// the `simd` cargo feature the request degrades to the scalar kernel at
-/// runtime ([`Kernel::effective`]), so configuration written against a
-/// SIMD-enabled build keeps working — just slower — everywhere else. Both
-/// kernels implement identical per-pattern rescaling; they agree to ≤1e-12
-/// relative tolerance (the difference is floating-point reassociation in the
+/// Every request is always *selectable*: when the crate was built without
+/// the `simd` cargo feature, [`Kernel::Simd`] and [`Kernel::Auto`] degrade
+/// to the scalar kernel at runtime ([`Kernel::effective`]), so configuration
+/// written against a SIMD-enabled build keeps working — just slower —
+/// everywhere else. [`Kernel::Auto`] (the default) additionally probes the
+/// CPU at startup and, on an AVX2+FMA host, routes the combine loop through
+/// a variant compiled specifically for those features — recovering the
+/// throughput a `RUSTFLAGS="-C target-feature=+avx2,+fma"` build gets
+/// statically (see [`Kernel::variant`]). All kernels implement identical
+/// per-pattern rescaling; they agree to ≤1e-12 relative tolerance (the
+/// difference is floating-point reassociation and FMA contraction in the
 /// two 4×4 matrix–vector products).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// The portable node-outer/pattern-inner loop, autovectorised by the
     /// compiler where possible.
-    #[default]
     Scalar,
     /// The explicit four-lane kernel over `phylo::simd::F64x4`: broadcast
-    /// multiply–adds over column-major transition matrices. Requires the
-    /// `simd` cargo feature; falls back to [`Kernel::Scalar`] otherwise.
+    /// multiply–adds over column-major transition matrices, compiled at the
+    /// crate's baseline feature level. Requires the `simd` cargo feature;
+    /// falls back to [`Kernel::Scalar`] otherwise.
     Simd,
+    /// Probe the CPU at runtime and pick the fastest compiled-in kernel:
+    /// the AVX2+FMA-multiversioned four-lane kernel when the host supports
+    /// it, the baseline four-lane kernel otherwise, and the scalar kernel
+    /// when the `simd` feature is absent.
+    #[default]
+    Auto,
+}
+
+/// The concrete combine-loop implementation a [`Kernel`] request resolves to
+/// on this binary and this CPU ([`Kernel::variant`]). This is what perf
+/// reports record: `Kernel::Auto` says what was *asked*, `KernelVariant`
+/// says what *ran*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// The portable scalar loop.
+    Scalar,
+    /// The four-lane `F64x4` loop at the crate's baseline codegen features.
+    Simd,
+    /// The four-lane loop compiled for AVX2+FMA, selected after a runtime
+    /// CPUID probe (only reachable from [`Kernel::Auto`] on a supporting
+    /// x86-64 host).
+    SimdFma,
+}
+
+impl fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Simd => "simd",
+            KernelVariant::SimdFma => "simd+avx2+fma",
+        })
+    }
+}
+
+impl KernelVariant {
+    /// Run this variant's combine loop. Same contract as
+    /// [`Kernel::combine_rows`], but with the dispatch already resolved —
+    /// engines resolve once at construction and call this in the hot loop.
+    /// In a build without the `simd` feature the SIMD variants (which
+    /// [`Kernel::variant`] never produces there) degrade to the scalar loop.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine_rows(
+        self,
+        scale_threshold: f64,
+        ma: &[[f64; 4]; 4],
+        mb: &[[f64; 4]; 4],
+        pa: &[f64],
+        pb: &[f64],
+        sa: &[f64],
+        sb: &[f64],
+        out_partials: &mut [f64],
+        out_scales: &mut [f64],
+    ) {
+        match self {
+            KernelVariant::Scalar => combine_children_rows_scalar(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+            #[cfg(feature = "simd")]
+            KernelVariant::Simd => crate::simd::combine_rows_f64x4::<false>(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+            #[cfg(feature = "simd")]
+            KernelVariant::SimdFma => crate::simd::dispatch::combine_rows_avx2_fma(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+            #[cfg(not(feature = "simd"))]
+            KernelVariant::Simd | KernelVariant::SimdFma => combine_children_rows_scalar(
+                scale_threshold,
+                ma,
+                mb,
+                pa,
+                pb,
+                sa,
+                sb,
+                out_partials,
+                out_scales,
+            ),
+        }
+    }
 }
 
 impl Kernel {
@@ -224,12 +342,38 @@ impl Kernel {
         cfg!(feature = "simd")
     }
 
-    /// The kernel that will actually run: [`Kernel::Simd`] degrades to
-    /// [`Kernel::Scalar`] when the `simd` feature is not compiled in.
+    /// The kernel that will actually run: [`Kernel::Simd`] and
+    /// [`Kernel::Auto`] degrade to [`Kernel::Scalar`] when the `simd`
+    /// feature is not compiled in. See [`Kernel::variant`] for the further
+    /// runtime resolution of [`Kernel::Auto`].
     pub fn effective(self) -> Kernel {
-        match self {
-            Kernel::Simd if !Kernel::simd_compiled() => Kernel::Scalar,
-            kernel => kernel,
+        if Kernel::simd_compiled() {
+            self
+        } else {
+            Kernel::Scalar
+        }
+    }
+
+    /// Resolve this request to the concrete combine-loop implementation for
+    /// this binary and this CPU. [`Kernel::Auto`] probes
+    /// `is_x86_feature_detected!("avx2")`/`("fma")` (cached by `std`, so the
+    /// resolution is cheap enough to repeat) and selects the
+    /// AVX2+FMA-multiversioned loop when both are present.
+    pub fn variant(self) -> KernelVariant {
+        match self.effective() {
+            Kernel::Scalar => KernelVariant::Scalar,
+            #[cfg(feature = "simd")]
+            Kernel::Simd => KernelVariant::Simd,
+            #[cfg(feature = "simd")]
+            Kernel::Auto => {
+                if crate::simd::dispatch::avx2_fma_supported() {
+                    KernelVariant::SimdFma
+                } else {
+                    KernelVariant::Simd
+                }
+            }
+            #[cfg(not(feature = "simd"))]
+            _ => KernelVariant::Scalar,
         }
     }
 
@@ -246,8 +390,9 @@ impl Kernel {
     /// out `[pattern × 4]` with one scale per pattern: for `n` patterns
     /// (`n = out_scales.len()`), `pa`/`pb`/`out_partials` must hold at least
     /// `4 n` elements and `sa`/`sb` at least `n`. The kernel resolves
-    /// [`Kernel::effective`] itself, so calling [`Kernel::Simd`] without the
-    /// `simd` feature runs the scalar loop.
+    /// [`Kernel::variant`] itself, so calling [`Kernel::Simd`] without the
+    /// `simd` feature runs the scalar loop and [`Kernel::Auto`] runs the
+    /// fastest loop this host supports.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn combine_rows(
@@ -262,33 +407,17 @@ impl Kernel {
         out_partials: &mut [f64],
         out_scales: &mut [f64],
     ) {
-        match self.effective() {
-            Kernel::Scalar => combine_children_rows_scalar(
-                scale_threshold,
-                ma,
-                mb,
-                pa,
-                pb,
-                sa,
-                sb,
-                out_partials,
-                out_scales,
-            ),
-            #[cfg(feature = "simd")]
-            Kernel::Simd => combine_children_rows_simd(
-                scale_threshold,
-                ma,
-                mb,
-                pa,
-                pb,
-                sa,
-                sb,
-                out_partials,
-                out_scales,
-            ),
-            #[cfg(not(feature = "simd"))]
-            Kernel::Simd => unreachable!("Kernel::effective never yields Simd without the feature"),
-        }
+        self.variant().combine_rows(
+            scale_threshold,
+            ma,
+            mb,
+            pa,
+            pb,
+            sa,
+            sb,
+            out_partials,
+            out_scales,
+        )
     }
 }
 
@@ -297,6 +426,7 @@ impl fmt::Display for Kernel {
         f.write_str(match self {
             Kernel::Scalar => "scalar",
             Kernel::Simd => "simd",
+            Kernel::Auto => "auto",
         })
     }
 }
@@ -304,14 +434,54 @@ impl fmt::Display for Kernel {
 impl FromStr for Kernel {
     type Err = String;
 
-    /// Parse a CLI-style kernel name (`scalar` or `simd`, case insensitive).
+    /// Parse a CLI-style kernel name (`scalar`, `simd` or `auto`, case
+    /// insensitive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "scalar" => Ok(Kernel::Scalar),
             "simd" => Ok(Kernel::Simd),
-            other => Err(format!("unknown kernel {other:?} (expected \"scalar\" or \"simd\")")),
+            "auto" => Ok(Kernel::Auto),
+            other => {
+                Err(format!("unknown kernel {other:?} (expected \"scalar\", \"simd\" or \"auto\")"))
+            }
         }
     }
+}
+
+/// The SIMD-relevant CPU features detected on this host at runtime, for perf
+/// reports and the CLI's startup banner. Empty off x86/x86-64. The probe is
+/// the safe `is_x86_feature_detected!` macro, independent of what the binary
+/// was *compiled* for — compare with [`Kernel::simd_compiled`] and
+/// `cfg!(target_feature = ...)` to see the compile-time side.
+pub fn host_cpu_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        for (name, detected) in [
+            ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if detected {
+                features.push(name);
+            }
+        }
+    }
+    features
+}
+
+/// The effective branch length entering the substitution model: the raw
+/// branch length scaled by the engine's relative mutation rate, clamped to
+/// zero (coalescent time arithmetic can produce `-0.0` or tiny negative
+/// differences). Every transition matrix in the crate — full prune,
+/// dirty-path scratch fill, commit promotion, and the sequence simulator —
+/// is keyed on this exact value, and the [`EdgeMatrixCache`] memoises on its
+/// bit pattern, so the computation must not drift between call sites.
+#[inline]
+pub fn effective_branch_length(branch_length: f64, rate: f64) -> f64 {
+    (branch_length * rate).max(0.0)
 }
 
 /// One pattern chunk of a [`LikelihoodWorkspace`]: structure-of-arrays
@@ -345,6 +515,71 @@ impl PatternChunk {
     }
 }
 
+/// Per-workspace memo of branch transition matrices, keyed on the bit
+/// pattern of each node's *effective branch length*
+/// ([`effective_branch_length`]). A coalescent proposal retimes a handful of
+/// nodes, so the overwhelming majority of edges keep their exact branch
+/// length across evaluations — their matrices (a `transition_prob` call per
+/// entry: `exp`, divisions, model-specific branching) need never be
+/// recomputed. The cache is correct by construction: a transition matrix is
+/// a pure function of the effective branch length, so a key match implies
+/// value equality regardless of how the topology around the edge changed.
+///
+/// Lifecycle: built alongside the workspace (seeding from the previous
+/// workspace's cache when the engine rebuilds after a generator swap),
+/// consulted read-only by every dirty-path scratch fill (rescores of
+/// different proposals run concurrently over one workspace), and promoted on
+/// [`FelsensteinPruner::commit_to_cache`] alongside the partials — the
+/// accepted proposal's recomputed edges overwrite their slots, every other
+/// entry stays valid because its branch length did not change.
+#[derive(Debug, Clone)]
+pub struct EdgeMatrixCache {
+    /// `effective_branch_length.to_bits()` per node; [`Self::NO_EDGE`] marks
+    /// an empty slot. The sentinel is a NaN bit pattern, and
+    /// [`effective_branch_length`] never returns NaN (`f64::max` discards a
+    /// NaN operand), so no real key collides with it.
+    keys: Vec<u64>,
+    /// The memoised matrix per node, valid where `keys` is not the sentinel.
+    matrices: Vec<[[f64; 4]; 4]>,
+}
+
+impl EdgeMatrixCache {
+    const NO_EDGE: u64 = u64::MAX;
+
+    /// An empty cache covering `n_nodes` tree nodes.
+    pub fn with_nodes(n_nodes: usize) -> Self {
+        EdgeMatrixCache {
+            keys: vec![Self::NO_EDGE; n_nodes],
+            matrices: vec![[[0.0; 4]; 4]; n_nodes],
+        }
+    }
+
+    /// Number of tree nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of populated entries.
+    pub fn n_entries(&self) -> usize {
+        self.keys.iter().filter(|&&k| k != Self::NO_EDGE).count()
+    }
+
+    /// The memoised matrix for `node` if its effective branch length still
+    /// has the bit pattern `key`.
+    #[inline]
+    fn lookup(&self, node: NodeId, key: u64) -> Option<&[[f64; 4]; 4]> {
+        (self.keys[node] == key).then(|| &self.matrices[node])
+    }
+
+    /// Memoise `matrix` as `node`'s transition matrix for the effective
+    /// branch length with bit pattern `key`.
+    #[inline]
+    fn store(&mut self, node: NodeId, key: u64, matrix: [[f64; 4]; 4]) {
+        self.keys[node] = key;
+        self.matrices[node] = matrix;
+    }
+}
+
 /// Reusable pattern-major partial-likelihood storage for one genealogy: the
 /// cached state the batched engine's dirty-path evaluations read from.
 #[derive(Debug, Clone)]
@@ -354,6 +589,9 @@ pub struct LikelihoodWorkspace {
     chunks: Vec<PatternChunk>,
     /// Weighted total `ln P(D|G)` over all patterns.
     log_likelihood: f64,
+    /// Memoised per-edge transition matrices for the genealogy this
+    /// workspace was built from (see [`EdgeMatrixCache`]).
+    edge_matrices: EdgeMatrixCache,
 }
 
 impl LikelihoodWorkspace {
@@ -375,6 +613,11 @@ impl LikelihoodWorkspace {
     /// The `ln P(D|G)` of the genealogy this workspace was built from.
     pub fn log_likelihood(&self) -> f64 {
         self.log_likelihood
+    }
+
+    /// The per-edge transition-matrix memo attached to this workspace.
+    pub fn edge_matrices(&self) -> &EdgeMatrixCache {
+        &self.edge_matrices
     }
 }
 
@@ -451,15 +694,21 @@ fn depth_from_root(tree: &GeneTree, node: NodeId) -> usize {
 /// branch to its parent, so invalidation always propagates to the root).
 /// Fills `dirty` with `(depth, node)` sorted children-before-parents,
 /// `dirty_index` with each node's slot, and `matrices` with the transition
-/// matrices of the children of dirty nodes. The three node-indexed vectors
-/// must be in their neutral state on entry; `clear_dirty_marks` restores it.
+/// matrices of the children of dirty nodes — served from `edge_matrices`
+/// where the child's effective branch length is unchanged, recomputed
+/// otherwise. The cache is read-only here (rescores of different proposals
+/// run concurrently over one workspace); only `commit_to_cache` promotes.
+/// Returns `(cache hits, cache misses)` over those child matrices. The three
+/// node-indexed vectors must be in their neutral state on entry;
+/// `clear_dirty_marks` restores it.
 fn mark_dirty_region<M: SubstitutionModel>(
     model: &M,
     rate: f64,
     tree: &GeneTree,
     edited: &[NodeId],
+    edge_matrices: Option<&EdgeMatrixCache>,
     scratch: &mut RescoreScratch,
-) {
+) -> (usize, usize) {
     scratch.dirty.clear();
     for &edit in edited {
         let mut cursor = Some(edit);
@@ -477,16 +726,29 @@ fn mark_dirty_region<M: SubstitutionModel>(
     // Children-before-parents: a parent is strictly closer to the root than
     // any of its descendants, so descending depth is a topological order.
     scratch.dirty.sort_unstable_by(|a, b| b.cmp(a));
+    let mut hits = 0;
+    let mut misses = 0;
     for (slot, &(_, node)) in scratch.dirty.iter().enumerate() {
         scratch.dirty_index[node] = slot;
         let (a, b) = tree.children(node).expect("dirty nodes are interior");
         for child in [a, b] {
             if scratch.matrices[child].is_none() {
                 let t = tree.branch_length(child).expect("child of an interior node");
-                scratch.matrices[child] = Some(model.transition_matrix((t * rate).max(0.0)));
+                let eff = effective_branch_length(t, rate);
+                match edge_matrices.and_then(|cache| cache.lookup(child, eff.to_bits())) {
+                    Some(matrix) => {
+                        hits += 1;
+                        scratch.matrices[child] = Some(*matrix);
+                    }
+                    None => {
+                        misses += 1;
+                        scratch.matrices[child] = Some(model.transition_matrix(eff));
+                    }
+                }
             }
         }
     }
+    (hits, misses)
 }
 
 /// Undo `mark_dirty_region`'s writes so the scratch is neutral for the next
@@ -510,6 +772,12 @@ pub struct DirtyEvaluation {
     /// Interior nodes recomputed (the edited nodes plus the path to the
     /// root); the rest were reused from the workspace.
     pub nodes_repruned: usize,
+    /// Child transition matrices served from the workspace's
+    /// [`EdgeMatrixCache`] (the edge's effective branch length matched).
+    pub matrix_cache_hits: usize,
+    /// Child transition matrices recomputed because the edit changed the
+    /// edge's effective branch length (or the slot was empty).
+    pub matrix_cache_misses: usize,
 }
 
 /// Felsenstein-pruning likelihood engine bound to one alignment and one
@@ -522,6 +790,9 @@ pub struct FelsensteinPruner<M> {
     name_to_row: std::collections::HashMap<String, usize>,
     mode: ExecutionMode,
     kernel: Kernel,
+    /// The concrete combine loop `kernel` resolved to at construction
+    /// ([`Kernel::variant`]), cached so the hot loops skip the CPU probe.
+    variant: KernelVariant,
     /// Relative mutation rate: every branch length is multiplied by this
     /// before entering the substitution model, so a locus with rate `r` is
     /// scored against `θ·r` (LAMARC's per-locus driving value).
@@ -542,6 +813,7 @@ impl<M: Clone> Clone for FelsensteinPruner<M> {
             name_to_row: self.name_to_row.clone(),
             mode: self.mode,
             kernel: self.kernel,
+            variant: self.variant,
             rate: self.rate,
             scale_threshold: self.scale_threshold,
             // Caches are per-engine working state, not semantics: a clone
@@ -563,6 +835,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
             name_to_row,
             mode: ExecutionMode::Serial,
             kernel: Kernel::default(),
+            variant: Kernel::default().variant(),
             rate: 1.0,
             scale_threshold: 1e-100,
             cache: Mutex::new(None),
@@ -601,16 +874,25 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     }
 
     /// Select the combine kernel ([`Kernel::Simd`] requires the `simd` cargo
-    /// feature and degrades to the scalar kernel without it).
+    /// feature and degrades to the scalar kernel without it;
+    /// [`Kernel::Auto`], the default, additionally probes the CPU). The
+    /// request is resolved to its concrete [`KernelVariant`] here, once.
     pub fn with_kernel(mut self, kernel: Kernel) -> Self {
         self.kernel = kernel;
+        self.variant = kernel.variant();
         self
     }
 
-    /// The configured combine kernel (as requested; see [`Kernel::effective`]
-    /// for what actually runs).
+    /// The configured combine kernel (as requested; see
+    /// [`FelsensteinPruner::kernel_variant`] for what actually runs).
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// The concrete combine loop the configured kernel resolved to on this
+    /// binary and CPU.
+    pub fn kernel_variant(&self) -> KernelVariant {
+        self.variant
     }
 
     /// The substitution model in use.
@@ -670,14 +952,55 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     }
 
     /// Per-branch transition matrices for every node of `tree`, with branch
-    /// lengths scaled by the engine's relative rate.
+    /// lengths scaled by the engine's relative rate. Fresh computation, no
+    /// memo — this is the reference path's oracle, kept independent of the
+    /// [`EdgeMatrixCache`] so equivalence tests compare against uncached
+    /// arithmetic.
     fn transition_matrices(&self, tree: &GeneTree) -> Vec<Option<[[f64; 4]; 4]>> {
         (0..tree.n_nodes())
             .map(|node| {
                 tree.branch_length(node)
-                    .map(|t| self.model.transition_matrix((t * self.rate).max(0.0)))
+                    .map(|t| self.model.transition_matrix(effective_branch_length(t, self.rate)))
             })
             .collect()
+    }
+
+    /// Per-branch transition matrices for every node of `tree`, served from
+    /// `seed` (a previous workspace's [`EdgeMatrixCache`]) where the node's
+    /// effective branch length is unchanged. Returns the matrices, the fresh
+    /// cache describing exactly this tree, and the `(hits, misses)` counts.
+    #[allow(clippy::type_complexity)]
+    fn transition_matrices_cached(
+        &self,
+        tree: &GeneTree,
+        seed: Option<&EdgeMatrixCache>,
+    ) -> (Vec<Option<[[f64; 4]; 4]>>, EdgeMatrixCache, usize, usize) {
+        let n_nodes = tree.n_nodes();
+        let mut cache = EdgeMatrixCache::with_nodes(n_nodes);
+        let seed = seed.filter(|seed| seed.n_nodes() == n_nodes);
+        let mut hits = 0;
+        let mut misses = 0;
+        let matrices = (0..n_nodes)
+            .map(|node| {
+                tree.branch_length(node).map(|t| {
+                    let eff = effective_branch_length(t, self.rate);
+                    let key = eff.to_bits();
+                    let matrix = match seed.and_then(|seed| seed.lookup(node, key)) {
+                        Some(matrix) => {
+                            hits += 1;
+                            *matrix
+                        }
+                        None => {
+                            misses += 1;
+                            self.model.transition_matrix(eff)
+                        }
+                    };
+                    cache.store(node, key, matrix);
+                    matrix
+                })
+            })
+            .collect();
+        (matrices, cache, hits, misses)
     }
 
     // ------------------------------------------------------------------
@@ -787,10 +1110,25 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         backend: Backend,
         tree: &GeneTree,
     ) -> Result<LikelihoodWorkspace, PhyloError> {
+        self.build_workspace_seeded(backend, tree, None).map(|(workspace, _, _)| workspace)
+    }
+
+    /// [`FelsensteinPruner::build_workspace`], seeding the transition
+    /// matrices from a previous workspace's [`EdgeMatrixCache`]. Returns the
+    /// workspace plus the matrix-cache `(hits, misses)` of the build: after
+    /// a generator swap most branch lengths usually differ, so a genuinely
+    /// new tree scores ~zero hits, while a rebuild of a lightly edited tree
+    /// reuses almost everything.
+    fn build_workspace_seeded(
+        &self,
+        backend: Backend,
+        tree: &GeneTree,
+        seed: Option<&EdgeMatrixCache>,
+    ) -> Result<(LikelihoodWorkspace, usize, usize), PhyloError> {
         self.check_tree(tree)?;
         let tip_rows = self.tip_rows(tree)?;
         let order = tree.post_order();
-        let matrices = self.transition_matrices(tree);
+        let (matrices, edge_matrices, hits, misses) = self.transition_matrices_cached(tree, seed);
 
         let n_patterns = self.patterns.n_patterns();
         let n_chunks = n_patterns.div_ceil(PATTERN_CHUNK).max(1);
@@ -800,7 +1138,17 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
             self.build_chunk(tree, &order, &matrices, &tip_rows, start, len)
         });
         let log_likelihood = chunks.iter().map(|chunk| chunk.log_likelihood).sum();
-        Ok(LikelihoodWorkspace { n_nodes: tree.n_nodes(), n_patterns, chunks, log_likelihood })
+        Ok((
+            LikelihoodWorkspace {
+                n_nodes: tree.n_nodes(),
+                n_patterns,
+                chunks,
+                log_likelihood,
+                edge_matrices,
+            },
+            hits,
+            misses,
+        ))
     }
 
     /// Fill one pattern chunk by a node-outer/pattern-inner full prune.
@@ -865,8 +1213,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     /// The node-outer/pattern-inner kernel: combine two children's partial
     /// rows into the parent's row through the branch transition matrices,
     /// rescaling per pattern where the magnitude drops below the threshold.
-    /// Dispatches through [`Kernel::combine_rows`] according to the
-    /// configured [`Kernel`].
+    /// Dispatches through the [`KernelVariant`] resolved at construction.
     #[allow(clippy::too_many_arguments)]
     fn combine_children_rows(
         &self,
@@ -879,7 +1226,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         out_partials: &mut [f64],
         out_scales: &mut [f64],
     ) {
-        self.kernel.combine_rows(
+        self.variant.combine_rows(
             self.scale_threshold,
             ma,
             mb,
@@ -939,6 +1286,8 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
             return Ok(DirtyEvaluation {
                 log_likelihood: workspace.log_likelihood,
                 nodes_repruned: 0,
+                matrix_cache_hits: 0,
+                matrix_cache_misses: 0,
             });
         }
 
@@ -946,7 +1295,14 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         RESCORE_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             scratch.reserve(n_nodes, 0);
-            mark_dirty_region(&self.model, self.rate, proposal, edited, scratch);
+            let (matrix_cache_hits, matrix_cache_misses) = mark_dirty_region(
+                &self.model,
+                self.rate,
+                proposal,
+                edited,
+                Some(&workspace.edge_matrices),
+                scratch,
+            );
             let n_dirty = scratch.dirty.len();
             scratch.reserve(n_nodes, n_dirty);
 
@@ -1002,7 +1358,12 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
                 }
             }
             clear_dirty_marks(proposal, scratch);
-            Ok(DirtyEvaluation { log_likelihood: total, nodes_repruned: n_dirty })
+            Ok(DirtyEvaluation {
+                log_likelihood: total,
+                nodes_repruned: n_dirty,
+                matrix_cache_hits,
+                matrix_cache_misses,
+            })
         })
     }
 
@@ -1044,7 +1405,14 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         let n_dirty = RESCORE_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             scratch.reserve(n_nodes, 0);
-            mark_dirty_region(&self.model, self.rate, accepted, edited, scratch);
+            mark_dirty_region(
+                &self.model,
+                self.rate,
+                accepted,
+                edited,
+                Some(&cache.workspace.edge_matrices),
+                scratch,
+            );
             let RescoreScratch { dirty, matrices, partial_row, scale_row, .. } = &mut *scratch;
             for chunk in &mut cache.workspace.chunks {
                 let len = chunk.len;
@@ -1074,6 +1442,22 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
                     chunk.start,
                     len,
                 );
+            }
+            // Promote alongside the partials: re-key every child edge of the
+            // dirty path in the workspace's matrix memo. These are exactly
+            // the edges whose branch lengths the edit can have changed (a
+            // retimed node moves its own branch and its children's branches,
+            // and both endpoints of such an edge are on the dirty path), so
+            // after this loop every memo entry again matches its node's
+            // effective branch length in `accepted`.
+            for &(_, node) in dirty.iter() {
+                let (a, b) = accepted.children(node).expect("dirty nodes are interior");
+                for child in [a, b] {
+                    let t = accepted.branch_length(child).expect("child of an interior node");
+                    let key = effective_branch_length(t, self.rate).to_bits();
+                    let matrix = matrices[child].expect("children of dirty nodes have matrices");
+                    cache.workspace.edge_matrices.store(child, key, matrix);
+                }
             }
             let n_dirty = dirty.len();
             clear_dirty_marks(accepted, scratch);
@@ -1138,58 +1522,6 @@ fn combine_children_rows_scalar(
     }
 }
 
-/// The explicit four-lane combine kernel (`simd` feature): the transition
-/// matrices are transposed to column-major once per node, turning each
-/// matrix–vector product into four broadcast multiply–adds over
-/// [`crate::simd::F64x4`] with no horizontal reduction. The underflow
-/// rescale is *hoisted out of the hot loop*: the main pass is branch-free
-/// (it only records whether any pattern's magnitude fell below the
-/// threshold), and the rare rescaling pass re-reads the stored rows and
-/// applies exactly the scalar kernel's per-pattern renormalisation — so the
-/// two-pass structure changes no values, only control flow. Numerically the
-/// kernel reassociates the matrix–vector products (and contracts them to
-/// fused multiply–adds under `target_feature = "fma"`), so results match the
-/// scalar kernel to ≤1e-12 relative tolerance rather than bit-exactly.
-#[cfg(feature = "simd")]
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn combine_children_rows_simd(
-    scale_threshold: f64,
-    ma: &[[f64; 4]; 4],
-    mb: &[[f64; 4]; 4],
-    pa: &[f64],
-    pb: &[f64],
-    sa: &[f64],
-    sb: &[f64],
-    out_partials: &mut [f64],
-    out_scales: &mut [f64],
-) {
-    use crate::simd::F64x4;
-    let ca = F64x4::columns(ma);
-    let cb = F64x4::columns(mb);
-    let len = out_scales.len();
-    let mut needs_rescale = false;
-    for p in 0..len {
-        let va = F64x4::mat_vec(&ca, &pa[p * 4..p * 4 + 4]);
-        let vb = F64x4::mat_vec(&cb, &pb[p * 4..p * 4 + 4]);
-        let v = va * vb;
-        let max = v.max_element();
-        needs_rescale |= max > 0.0 && max < scale_threshold;
-        v.write_to(&mut out_partials[p * 4..p * 4 + 4]);
-        out_scales[p] = sa[p] + sb[p];
-    }
-    if needs_rescale {
-        for p in 0..len {
-            let v = F64x4::from_slice(&out_partials[p * 4..p * 4 + 4]);
-            let max = v.max_element();
-            if max > 0.0 && max < scale_threshold {
-                (v / F64x4::splat(max)).write_to(&mut out_partials[p * 4..p * 4 + 4]);
-                out_scales[p] += max.ln();
-            }
-        }
-    }
-}
-
 /// Borrow node `node`'s partial and scale rows for `len` patterns, from the
 /// overlay when the node is dirty and from the cached chunk otherwise.
 fn read_rows<'a>(
@@ -1242,13 +1574,21 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
         // hit the cache entry (tree key included) is kept intact so nothing
         // is cloned on the hot path.
         let taken = { self.cache.lock().expect("likelihood cache poisoned").take() };
-        let (cache, generator_cache_hit) = match taken {
-            Some(cache) if cache.tree == *generator => (cache, true),
-            _ => {
-                let workspace = self.build_workspace(backend, generator)?;
-                (GeneratorCache { tree: generator.clone(), workspace }, false)
-            }
-        };
+        let (cache, generator_cache_hit, mut matrix_cache_hits, mut matrix_cache_misses) =
+            match taken {
+                Some(cache) if cache.tree == *generator => (cache, true, 0, 0),
+                stale => {
+                    // A rebuild seeds its edge matrices from the stale
+                    // workspace: after `replace_state` swapped in an
+                    // unrelated tree nearly everything misses, but a
+                    // rebuild of a near-identical generator reuses most
+                    // edges.
+                    let seed = stale.as_ref().map(|cache| &cache.workspace.edge_matrices);
+                    let (workspace, hits, misses) =
+                        self.build_workspace_seeded(backend, generator, seed)?;
+                    (GeneratorCache { tree: generator.clone(), workspace }, false, hits, misses)
+                }
+            };
         let nodes_full_pruned = if generator_cache_hit { 0 } else { generator.n_internal() };
 
         // One logical device thread per (proposal, pattern) pair (see the
@@ -1280,6 +1620,8 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
             let eval = result?;
             log_likelihoods.push(eval.log_likelihood);
             nodes_repruned += eval.nodes_repruned;
+            matrix_cache_hits += eval.matrix_cache_hits;
+            matrix_cache_misses += eval.matrix_cache_misses;
         }
         Ok(BatchEvaluation {
             generator_log_likelihood,
@@ -1287,6 +1629,8 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
             nodes_repruned,
             nodes_full_pruned,
             generator_cache_hit,
+            matrix_cache_hits,
+            matrix_cache_misses,
         })
     }
 
@@ -1423,14 +1767,20 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
         let mut shards = Vec::with_capacity(self.engines.len());
         let mut nodes_full_pruned = 0;
         let mut generator_cache_hit = true;
+        let mut matrix_cache_hits = 0;
+        let mut matrix_cache_misses = 0;
         for engine in &self.engines {
             let taken = { engine.cache.lock().expect("likelihood cache poisoned").take() };
             let cache = match taken {
                 Some(cache) if cache.tree == *generator => cache,
-                _ => {
+                stale => {
                     nodes_full_pruned += generator.n_internal();
                     generator_cache_hit = false;
-                    let workspace = engine.build_workspace(backend, generator)?;
+                    let seed = stale.as_ref().map(|cache| &cache.workspace.edge_matrices);
+                    let (workspace, hits, misses) =
+                        engine.build_workspace_seeded(backend, generator, seed)?;
+                    matrix_cache_hits += hits;
+                    matrix_cache_misses += misses;
                     GeneratorCache { tree: generator.clone(), workspace }
                 }
             };
@@ -1482,11 +1832,15 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
             nodes_repruned: 0,
             nodes_full_pruned,
             generator_cache_hit,
+            matrix_cache_hits,
+            matrix_cache_misses,
         };
         for (cell, result) in results.into_iter().enumerate() {
             let eval = result?;
             total.log_likelihoods[cell % n_proposals.max(1)] += eval.log_likelihood;
             total.nodes_repruned += eval.nodes_repruned;
+            total.matrix_cache_hits += eval.matrix_cache_hits;
+            total.matrix_cache_misses += eval.matrix_cache_misses;
         }
         Ok(total)
     }
@@ -2065,20 +2419,31 @@ mod tests {
 
     #[test]
     fn kernel_names_round_trip_and_effective_fallback() {
-        for kernel in [Kernel::Scalar, Kernel::Simd] {
+        for kernel in [Kernel::Scalar, Kernel::Simd, Kernel::Auto] {
             assert_eq!(kernel.to_string().parse::<Kernel>().unwrap(), kernel);
         }
         assert_eq!("SIMD".parse::<Kernel>().unwrap(), Kernel::Simd);
+        assert_eq!("Auto".parse::<Kernel>().unwrap(), Kernel::Auto);
         assert!("avx512".parse::<Kernel>().is_err());
-        assert_eq!(Kernel::default(), Kernel::Scalar);
-        assert_eq!(Kernel::Scalar.effective(), Kernel::Scalar);
+        assert_eq!(Kernel::default(), Kernel::Auto);
+        assert_eq!(Kernel::Scalar.variant(), KernelVariant::Scalar);
         if Kernel::simd_compiled() {
+            assert_eq!(Kernel::Scalar.effective(), Kernel::Scalar);
             assert_eq!(Kernel::Simd.effective(), Kernel::Simd);
+            assert_eq!(Kernel::Auto.effective(), Kernel::Auto);
+            assert_eq!(Kernel::Simd.variant(), KernelVariant::Simd);
+            // Auto resolves by CPU probe: either four-lane variant is legal,
+            // scalar is not (the feature is compiled in).
+            assert_ne!(Kernel::Auto.variant(), KernelVariant::Scalar);
         } else {
-            // Runtime fallback: a Simd request degrades to the scalar kernel.
-            assert_eq!(Kernel::Simd.effective(), Kernel::Scalar);
+            // Runtime fallback: every request degrades to the scalar kernel.
+            for kernel in [Kernel::Scalar, Kernel::Simd, Kernel::Auto] {
+                assert_eq!(kernel.effective(), Kernel::Scalar);
+                assert_eq!(kernel.variant(), KernelVariant::Scalar);
+            }
         }
         assert_eq!(Kernel::simd_compiled(), cfg!(feature = "simd"));
+        assert_eq!(KernelVariant::SimdFma.to_string(), "simd+avx2+fma");
     }
 
     #[test]
@@ -2174,6 +2539,174 @@ mod tests {
         let cold = FelsensteinPruner::new(&alignment, Jc69::new()).with_kernel(Kernel::Simd);
         let rebuilt = cold.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
         assert_eq!(promoted.generator_log_likelihood, rebuilt.generator_log_likelihood);
+    }
+
+    #[test]
+    fn auto_kernel_matches_scalar_kernel_on_random_trees() {
+        // The runtime-dispatched kernel must stay within the same 1e-12
+        // contract as the pinned SIMD kernel, whatever variant the CPU probe
+        // selected (on a non-AVX2 host this exercises the four-lane
+        // fallback; without the feature it is scalar-vs-scalar).
+        for seed in 11..=16u64 {
+            let n_tips = 5 + (seed as usize % 7);
+            let (alignment, tree) = random_fixture(seed, n_tips, 301);
+            let scalar =
+                FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()))
+                    .with_kernel(Kernel::Scalar);
+            let auto = scalar.clone().with_kernel(Kernel::Auto);
+
+            let l_scalar = scalar.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+            let l_auto = auto.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+            assert!(close_rel(l_scalar, l_auto, 1e-12), "seed {seed}: {l_scalar} vs {l_auto}");
+
+            let edits: Vec<(GeneTree, Vec<NodeId>)> = tree
+                .non_root_internal_nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| perturb(&tree, t, 0.003 * (i as f64 + 1.0)))
+                .collect();
+            let proposals: Vec<TreeProposal<'_>> =
+                edits.iter().map(|(t, e)| TreeProposal { tree: t, edited: e }).collect();
+            let eval_scalar =
+                scalar.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+            let eval_auto = auto.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+            assert!(close_rel(
+                eval_scalar.generator_log_likelihood,
+                eval_auto.generator_log_likelihood,
+                1e-12
+            ));
+            for (a, b) in eval_scalar.log_likelihoods.iter().zip(&eval_auto.log_likelihoods) {
+                assert!(close_rel(*a, *b, 1e-12), "seed {seed}: {a} vs {b}");
+            }
+            assert_eq!(eval_scalar.nodes_repruned, eval_auto.nodes_repruned);
+        }
+    }
+
+    #[test]
+    fn auto_kernel_matches_scalar_through_the_rescale_path() {
+        // Same underflow fixture as the pinned-SIMD rescale test: a tall
+        // caterpillar drives partials through the rescale branch of whatever
+        // variant the probe selected.
+        let letters = "ACGT".repeat(60);
+        let names: Vec<String> = (0..14).map(|i| format!("s{i}")).collect();
+        let pairs: Vec<(&str, &str)> =
+            names.iter().map(|n| (n.as_str(), letters.as_str())).collect();
+        let alignment = Alignment::from_letters(&pairs).unwrap();
+        let mut b = TreeBuilder::new();
+        let tips: Vec<_> = names.iter().map(|n| b.add_tip(n.clone(), 0.0)).collect();
+        let mut acc = tips[0];
+        for (i, &tip) in tips.iter().enumerate().skip(1) {
+            acc = b.join(acc, tip, 6.0 * i as f64);
+        }
+        let tree = b.build().unwrap();
+
+        let scalar = FelsensteinPruner::new(&alignment, Jc69::new()).with_kernel(Kernel::Scalar);
+        let auto = scalar.clone().with_kernel(Kernel::Auto);
+        let l_scalar = scalar.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+        let l_auto = auto.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+        assert!(l_scalar.is_finite() && l_scalar < 0.0);
+        assert!(close_rel(l_scalar, l_auto, 1e-12), "{l_scalar} vs {l_auto}");
+    }
+
+    // ------------------------------------------------------------------
+    // Edge transition-matrix memoisation.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn memoised_matrices_stay_bit_identical_over_accept_reject_cycles() {
+        // Drive the engine the way a sampler does — propose, score, commit
+        // on accept, discard on reject — at a non-unit relative rate, and
+        // require the memoised generator likelihood to stay *bit-identical*
+        // to a cold engine rebuilding the same tree from nothing. Any stale
+        // or mis-keyed cached matrix breaks exact equality immediately.
+        let (alignment, start) = random_fixture(97, 9, 222);
+        let engine =
+            FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()))
+                .with_relative_rate(1.7);
+        let mut rng = TestRng(0xFEED);
+        let mut tree = start;
+        let mut total_hits = 0usize;
+        for round in 0..24 {
+            let targets = tree.non_root_internal_nodes();
+            let target = targets[(rng.next_u64() as usize) % targets.len()];
+            let delta = 0.004 + 0.01 * rng.next_f64();
+            let (proposal, edited) = perturb(&tree, target, delta);
+            let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+            let eval = engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+            total_hits += eval.matrix_cache_hits;
+
+            // Memoised generator score == cold full rebuild, bit for bit.
+            let cold =
+                FelsensteinPruner::new(&alignment, F81::normalized(alignment.base_frequencies()))
+                    .with_relative_rate(1.7);
+            let fresh = cold.build_workspace(Backend::Serial, &tree).unwrap().log_likelihood();
+            assert_eq!(
+                eval.generator_log_likelihood, fresh,
+                "round {round}: memoised generator drifted from a fresh build"
+            );
+            // Proposal scores stay within the kernel contract of the naive
+            // reference path (a different summation order, so not bitwise).
+            let naive = cold.log_likelihood(&proposal).unwrap();
+            assert!(close_rel(eval.log_likelihoods[0], naive, 1e-10), "round {round}");
+
+            if rng.next_u64().is_multiple_of(2) {
+                engine.commit_to_cache(&tree, &proposal, &edited).unwrap();
+                tree = proposal;
+            }
+        }
+        assert!(total_hits > 0, "accept/reject cycling never hit the edge-matrix cache");
+    }
+
+    #[test]
+    fn matrix_cache_counters_track_hits_and_misses() {
+        let (alignment, tree) = random_fixture(41, 8, 180);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let target = tree.non_root_internal_nodes()[0];
+        let (proposal, edited) = perturb(&tree, target, 0.02);
+        let proposals = [TreeProposal { tree: &proposal, edited: &edited }];
+        let n_edges = tree.n_nodes() - 1;
+
+        // Cold build: every edge matrix is a miss; the workspace cache ends
+        // up holding one entry per non-root node.
+        let first = engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(first.matrix_cache_misses >= n_edges);
+
+        // Steady state: the generator workspace is memoised, and dirty-path
+        // rescoring serves the unchanged edges of the dirty path from the
+        // cache — strictly positive hits.
+        let second = engine.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        assert!(second.generator_cache_hit);
+        assert!(second.matrix_cache_hits > 0, "dirty-path rescore must hit the cache");
+        // The retimed target's incident edges changed length: some misses.
+        assert!(second.matrix_cache_misses > 0);
+
+        // A structurally different generator (every branch length differs)
+        // invalidates every key: the seeded rebuild scores zero hits and
+        // recomputes all edges.
+        let (_, other) = random_fixture(42, 8, 180);
+        let replaced = engine.log_likelihood_batch(Backend::Serial, &other, &[]).unwrap();
+        assert!(!replaced.generator_cache_hit);
+        assert_eq!(replaced.matrix_cache_hits, 0, "no key can survive a full retiming");
+        assert_eq!(replaced.matrix_cache_misses, n_edges);
+
+        // Proposals against the replacement generator hit its fresh cache.
+        let (next, next_edited) = perturb(&other, other.non_root_internal_nodes()[0], 0.02);
+        let next_proposals = [TreeProposal { tree: &next, edited: &next_edited }];
+        let warm = engine.log_likelihood_batch(Backend::Serial, &other, &next_proposals).unwrap();
+        assert!(warm.generator_cache_hit);
+        assert!(warm.matrix_cache_hits > 0);
+    }
+
+    #[test]
+    fn workspace_edge_cache_is_populated_by_builds() {
+        let (alignment, tree) = five_tip_fixture();
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let ws = engine.build_workspace(Backend::Serial, &tree).unwrap();
+        assert_eq!(ws.edge_matrices().n_nodes(), tree.n_nodes());
+        assert_eq!(ws.edge_matrices().n_entries(), tree.n_nodes() - 1);
+        let empty = EdgeMatrixCache::with_nodes(4);
+        assert_eq!(empty.n_entries(), 0);
+        assert_eq!(empty.n_nodes(), 4);
     }
 
     // ------------------------------------------------------------------

@@ -12,6 +12,7 @@
 //! recalculate" (Section 5.2.2) — both paths are provided by the likelihood
 //! engine so the trade-off can be benchmarked.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::alignment::Alignment;
@@ -32,19 +33,35 @@ pub struct SitePatterns {
 
 impl SitePatterns {
     /// Compress an alignment into its site patterns.
+    ///
+    /// Columns are first packed two bits per base into a flat `u64` buffer
+    /// (the Section 5.1.3 encoding: 32 sequences per word), site-major, so
+    /// deduplication hashes and compares word slices borrowed from that one
+    /// buffer — no per-site `Vec<Nucleotide>` materialises for the repeated
+    /// columns that make compression worthwhile. Only the first occurrence
+    /// of each pattern expands back to nucleotides, and patterns keep their
+    /// first-occurrence order.
     pub fn from_alignment(alignment: &Alignment) -> Self {
         let n_sites = alignment.n_sites();
         let n_sequences = alignment.n_sequences();
-        let mut index: HashMap<Vec<Nucleotide>, usize> = HashMap::new();
+        let words = n_sequences.div_ceil(32).max(1);
+        let mut packed = vec![0u64; n_sites * words];
+        for (row, seq) in alignment.sequences().iter().enumerate() {
+            let word = row / 32;
+            let shift = 2 * (row % 32);
+            for (site, bases) in packed.chunks_exact_mut(words).enumerate() {
+                bases[word] |= (seq.base(site).index() as u64) << shift;
+            }
+        }
+        let mut index: HashMap<&[u64], usize> = HashMap::new();
         let mut patterns: Vec<Vec<Nucleotide>> = Vec::new();
         let mut weights: Vec<usize> = Vec::new();
-        for site in 0..n_sites {
-            let column = alignment.column(site);
-            match index.get(&column) {
-                Some(&i) => weights[i] += 1,
-                None => {
-                    index.insert(column.clone(), patterns.len());
-                    patterns.push(column);
+        for (site, key) in packed.chunks_exact(words).enumerate() {
+            match index.entry(key) {
+                Entry::Occupied(slot) => weights[*slot.get()] += 1,
+                Entry::Vacant(slot) => {
+                    slot.insert(patterns.len());
+                    patterns.push(alignment.column(site));
                     weights.push(1);
                 }
             }
@@ -130,6 +147,72 @@ mod tests {
         assert_eq!(p.compression_ratio(), 1.0);
         assert_eq!(p.pattern(0), &[Nucleotide::A, Nucleotide::C]);
         assert_eq!(p.weight(0), 1);
+    }
+
+    #[test]
+    fn packing_handles_more_than_one_word_of_sequences() {
+        // 35 sequences > 32 forces the two-word packed-column path; the
+        // alignment is built so sites 0 and 2 collide in word 0 (first 32
+        // rows identical) but differ in word 1 (rows 32+), which a buggy
+        // one-word dedup would conflate.
+        let n_seqs = 35usize;
+        let rows: Vec<(String, String)> = (0..n_seqs)
+            .map(|r| {
+                let third = if r >= 32 { 'T' } else { 'A' };
+                (format!("s{r}"), format!("AC{third}A"))
+            })
+            .collect();
+        let named: Vec<(&str, &str)> = rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        let a = Alignment::from_letters(&named).unwrap();
+        let p = SitePatterns::from_alignment(&a);
+        // Columns: 0 = all A, 1 = all C, 2 = A×32 then T×3, 3 = all A.
+        assert_eq!(p.n_patterns(), 3);
+        assert_eq!(p.weights().iter().sum::<usize>(), 4);
+        // First-occurrence order: all-A first, then all-C, then the mixed one.
+        assert!(p.pattern(0).iter().all(|&b| b == Nucleotide::A));
+        assert_eq!(p.weight(0), 2);
+        assert!(p.pattern(1).iter().all(|&b| b == Nucleotide::C));
+        assert_eq!(p.pattern(2)[31], Nucleotide::A);
+        assert_eq!(p.pattern(2)[32], Nucleotide::T);
+        // Each pattern still expands to one base per sequence.
+        for i in 0..p.n_patterns() {
+            assert_eq!(p.pattern(i).len(), n_seqs);
+        }
+    }
+
+    #[test]
+    fn packed_dedup_matches_the_naive_column_map() {
+        // Randomised cross-check against a straightforward Vec-keyed dedup.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let letters = ['A', 'C', 'G', 'T'];
+        for n_seqs in [1usize, 2, 31, 32, 33, 40] {
+            let n_sites = 64;
+            let rows: Vec<(String, String)> = (0..n_seqs)
+                .map(|r| {
+                    let seq: String =
+                        (0..n_sites).map(|_| letters[(next() % 3) as usize]).collect();
+                    (format!("s{r}"), seq)
+                })
+                .collect();
+            let named: Vec<(&str, &str)> =
+                rows.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+            let a = Alignment::from_letters(&named).unwrap();
+            let p = SitePatterns::from_alignment(&a);
+            let mut naive: HashMap<Vec<Nucleotide>, usize> = HashMap::new();
+            for site in 0..a.n_sites() {
+                *naive.entry(a.column(site)).or_insert(0) += 1;
+            }
+            assert_eq!(p.n_patterns(), naive.len(), "{n_seqs} sequences");
+            for i in 0..p.n_patterns() {
+                assert_eq!(naive.get(p.pattern(i)), Some(&p.weight(i)), "{n_seqs} sequences");
+            }
+        }
     }
 
     #[test]

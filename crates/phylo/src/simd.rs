@@ -16,6 +16,17 @@
 //! because `f64::mul_add` without hardware support falls back to a libm call
 //! per lane and would be dramatically *slower* than the scalar kernel.
 //!
+//! The `dispatch` module closes the gap between that compile-time choice
+//! and the hardware the binary actually lands on: the combine loop is
+//! compiled a second time inside a `#[target_feature(enable = "avx2,fma")]`
+//! function (with the fused multiply–add forced on), and
+//! [`likelihood::Kernel::Auto`](crate::likelihood::Kernel::Auto) routes to it
+//! after probing the CPU at runtime — so a default build reaches the same
+//! 256-bit FMA code path a `RUSTFLAGS="-C target-feature=+avx2,+fma"` build
+//! gets statically. That module is the one place in the crate allowed to use
+//! `unsafe` (calling a `#[target_feature]` function), guarded by the runtime
+//! probe.
+//!
 //! Four lanes is exactly one conditional-likelihood vector (one probability
 //! per nucleotide), which is why the structure-of-arrays
 //! `[node × pattern × 4]` layout of
@@ -69,6 +80,24 @@ impl F64x4 {
         }
     }
 
+    /// `self * b + c`, lane-wise, *always* fused. Only reachable from code
+    /// compiled with hardware FMA in scope (the `dispatch` module's
+    /// `#[target_feature]` variant of the combine loop), where `f64::mul_add`
+    /// lowers to one `vfmadd` instruction rather than a libm call. The
+    /// `cfg(target_feature)` test used by [`F64x4::mul_add`] reflects the
+    /// *crate-wide* codegen options, not the enclosing function's
+    /// `#[target_feature]` attributes, which is why this explicit variant
+    /// exists.
+    #[inline(always)]
+    pub fn fused_mul_add(self, b: F64x4, c: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0].mul_add(b.0[0], c.0[0]),
+            self.0[1].mul_add(b.0[1], c.0[1]),
+            self.0[2].mul_add(b.0[2], c.0[2]),
+            self.0[3].mul_add(b.0[3], c.0[3]),
+        ])
+    }
+
     /// The largest lane (the per-pattern magnitude the rescaling check
     /// inspects).
     #[inline(always)]
@@ -100,6 +129,185 @@ impl F64x4 {
         acc = cols[1].mul_add(F64x4::splat(p[1]), acc);
         acc = cols[2].mul_add(F64x4::splat(p[2]), acc);
         cols[3].mul_add(F64x4::splat(p[3]), acc)
+    }
+
+    /// [`F64x4::mat_vec`] with the accumulation forced through
+    /// [`F64x4::fused_mul_add`]; same `y = 0..4` order. For use inside the
+    /// `dispatch` module's `#[target_feature]` combine loop only.
+    #[inline(always)]
+    pub fn mat_vec_fma(cols: &[F64x4; 4], p: &[f64]) -> F64x4 {
+        let mut acc = cols[0] * F64x4::splat(p[0]);
+        acc = cols[1].fused_mul_add(F64x4::splat(p[1]), acc);
+        acc = cols[2].fused_mul_add(F64x4::splat(p[2]), acc);
+        cols[3].fused_mul_add(F64x4::splat(p[3]), acc)
+    }
+}
+
+/// The explicit four-lane combine loop shared by `Kernel::Simd` and the
+/// runtime-dispatched AVX2+FMA variant: the transition matrices are
+/// transposed to column-major once per node, turning each matrix–vector
+/// product into four broadcast multiply–adds with no horizontal reduction.
+/// The underflow rescale is *hoisted out of the hot loop*: the main pass is
+/// branch-free (it only records whether any pattern's magnitude fell below
+/// the threshold), and the rare rescaling pass re-reads the stored rows and
+/// applies exactly the scalar kernel's per-pattern renormalisation — so the
+/// two-pass structure changes no values, only control flow. Numerically the
+/// kernel reassociates the matrix–vector products (and contracts them to
+/// fused multiply–adds when `FUSED`, or when the whole crate is compiled
+/// with `target_feature = "fma"`), so results match the scalar kernel to
+/// ≤1e-12 relative tolerance rather than bit-exactly.
+///
+/// `FUSED` selects [`F64x4::mat_vec_fma`] over [`F64x4::mat_vec`]; it is
+/// only set by the `dispatch` module, whose `#[target_feature]` context
+/// makes the fused form a hardware instruction.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn combine_rows_f64x4<const FUSED: bool>(
+    scale_threshold: f64,
+    ma: &[[f64; 4]; 4],
+    mb: &[[f64; 4]; 4],
+    pa: &[f64],
+    pb: &[f64],
+    sa: &[f64],
+    sb: &[f64],
+    out_partials: &mut [f64],
+    out_scales: &mut [f64],
+) {
+    let ca = F64x4::columns(ma);
+    let cb = F64x4::columns(mb);
+    let len = out_scales.len();
+    let mut needs_rescale = false;
+    for p in 0..len {
+        let (va, vb) = if FUSED {
+            (
+                F64x4::mat_vec_fma(&ca, &pa[p * 4..p * 4 + 4]),
+                F64x4::mat_vec_fma(&cb, &pb[p * 4..p * 4 + 4]),
+            )
+        } else {
+            (F64x4::mat_vec(&ca, &pa[p * 4..p * 4 + 4]), F64x4::mat_vec(&cb, &pb[p * 4..p * 4 + 4]))
+        };
+        let v = va * vb;
+        let max = v.max_element();
+        needs_rescale |= max > 0.0 && max < scale_threshold;
+        v.write_to(&mut out_partials[p * 4..p * 4 + 4]);
+        out_scales[p] = sa[p] + sb[p];
+    }
+    if needs_rescale {
+        for p in 0..len {
+            let v = F64x4::from_slice(&out_partials[p * 4..p * 4 + 4]);
+            let max = v.max_element();
+            if max > 0.0 && max < scale_threshold {
+                (v / F64x4::splat(max)).write_to(&mut out_partials[p * 4..p * 4 + 4]);
+                out_scales[p] += max.ln();
+            }
+        }
+    }
+}
+
+/// Runtime CPU dispatch for the combine loop: the one place in the crate
+/// where `unsafe` is permitted, because calling a `#[target_feature]`
+/// function requires an unsafe block whose soundness obligation — "the
+/// features the callee was compiled for are present on this CPU" — is
+/// discharged by the [`avx2_fma_supported`] probe.
+///
+/// [`avx2_fma_supported`]: dispatch::avx2_fma_supported
+#[allow(unsafe_code)]
+pub(crate) mod dispatch {
+    /// Whether this CPU supports both AVX2 and FMA (always `false` off
+    /// x86/x86-64). `std` caches the CPUID probe, so calling this per
+    /// kernel invocation costs one relaxed atomic load.
+    #[inline]
+    pub fn avx2_fma_supported() -> bool {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        {
+            false
+        }
+    }
+
+    /// The combine loop compiled for AVX2+FMA: every `F64x4` op becomes one
+    /// 256-bit instruction and every multiply–add one `vfmadd`, regardless
+    /// of the crate-wide codegen baseline.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn combine_rows_avx2_fma_impl(
+        scale_threshold: f64,
+        ma: &[[f64; 4]; 4],
+        mb: &[[f64; 4]; 4],
+        pa: &[f64],
+        pb: &[f64],
+        sa: &[f64],
+        sb: &[f64],
+        out_partials: &mut [f64],
+        out_scales: &mut [f64],
+    ) {
+        super::combine_rows_f64x4::<true>(
+            scale_threshold,
+            ma,
+            mb,
+            pa,
+            pb,
+            sa,
+            sb,
+            out_partials,
+            out_scales,
+        );
+    }
+
+    /// Safe entry point for the AVX2+FMA combine loop. Re-checks the CPU
+    /// probe so the function is sound for *any* caller — on a host without
+    /// the features (or off x86 entirely) it degrades to the baseline
+    /// four-lane loop instead of executing unsupported instructions.
+    /// `Kernel::Auto` only selects this path after the probe succeeded, so
+    /// the hot path never takes the fallback branch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn combine_rows_avx2_fma(
+        scale_threshold: f64,
+        ma: &[[f64; 4]; 4],
+        mb: &[[f64; 4]; 4],
+        pa: &[f64],
+        pb: &[f64],
+        sa: &[f64],
+        sb: &[f64],
+        out_partials: &mut [f64],
+        out_scales: &mut [f64],
+    ) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        if avx2_fma_supported() {
+            // SAFETY: `avx2_fma_supported()` just confirmed via CPUID that
+            // this CPU executes AVX2 and FMA instructions, which are exactly
+            // the features `combine_rows_avx2_fma_impl` is compiled for.
+            unsafe {
+                combine_rows_avx2_fma_impl(
+                    scale_threshold,
+                    ma,
+                    mb,
+                    pa,
+                    pb,
+                    sa,
+                    sb,
+                    out_partials,
+                    out_scales,
+                );
+            }
+            return;
+        }
+        super::combine_rows_f64x4::<false>(
+            scale_threshold,
+            ma,
+            mb,
+            pa,
+            pb,
+            sa,
+            sb,
+            out_partials,
+            out_scales,
+        );
     }
 }
 
@@ -174,6 +382,52 @@ mod tests {
         assert_eq!(out, [0.1, 0.9, 0.4, 0.2, 0.0]);
         assert_eq!(F64x4::splat(7.0).0, [7.0; 4]);
         assert_eq!(F64x4::default().0, [0.0; 4]);
+    }
+
+    #[test]
+    fn fused_and_unfused_combine_loops_agree() {
+        // The dispatched AVX2+FMA loop reassociates nothing beyond what the
+        // baseline four-lane loop already does; fusing only removes one
+        // rounding per multiply–add, so the two variants agree to ~1e-15.
+        let ma = [
+            [0.7, 0.1, 0.1, 0.1],
+            [0.1, 0.7, 0.1, 0.1],
+            [0.2, 0.1, 0.6, 0.1],
+            [0.1, 0.2, 0.1, 0.6],
+        ];
+        let mb = [
+            [0.6, 0.2, 0.1, 0.1],
+            [0.1, 0.6, 0.2, 0.1],
+            [0.1, 0.1, 0.7, 0.1],
+            [0.2, 0.1, 0.1, 0.6],
+        ];
+        let len = 37;
+        let pa: Vec<f64> = (0..len * 4).map(|i| 1e-150 + ((i * 37) % 100) as f64 / 150.0).collect();
+        let pb: Vec<f64> = (0..len * 4).map(|i| 1e-150 + ((i * 53) % 100) as f64 / 150.0).collect();
+        let sa = vec![0.0; len];
+        let sb = vec![0.0; len];
+        let mut base_p = vec![0.0; len * 4];
+        let mut base_s = vec![0.0; len];
+        combine_rows_f64x4::<false>(1e-100, &ma, &mb, &pa, &pb, &sa, &sb, &mut base_p, &mut base_s);
+        let mut disp_p = vec![0.0; len * 4];
+        let mut disp_s = vec![0.0; len];
+        dispatch::combine_rows_avx2_fma(
+            1e-100,
+            &ma,
+            &mb,
+            &pa,
+            &pb,
+            &sa,
+            &sb,
+            &mut disp_p,
+            &mut disp_s,
+        );
+        for (b, d) in base_p.iter().zip(&disp_p) {
+            assert!((b - d).abs() <= 1e-12 * b.abs().max(1.0), "{b} vs {d}");
+        }
+        for (b, d) in base_s.iter().zip(&disp_s) {
+            assert!((b - d).abs() <= 1e-12 * b.abs().max(1.0), "{b} vs {d}");
+        }
     }
 
     #[test]

@@ -114,6 +114,10 @@ fn main() {
         caching.estimated_kernel_speedup,
         100.0 * caching.generator_cache_hit_rate
     );
+    println!(
+        "   edge transition-matrix cache hit rate {:.1}%",
+        100.0 * caching.matrix_cache_hit_rate
+    );
     if let Some(device) = &caching.device {
         println!("\n{}", device.summary());
     }
