@@ -16,6 +16,9 @@
 //! * **ensemble** — effective samples per second of a short
 //!   Generalized-MH chain (Geyer initial-sequence ESS over the post
 //!   burn-in trace divided by sampling wall-clock).
+//! * **serve** — job-queue drain rate of the service layer (jobs/s and
+//!   p50/p99 job latency for a flood of small complete estimation jobs,
+//!   serial pool vs threaded pool).
 //!
 //! `--check-against <baseline.json>` compares the current run to a
 //! committed artefact and exits non-zero on a >15% regression
@@ -334,6 +337,63 @@ fn ensemble_section(opts: &Opts) -> Json {
 }
 
 // ---------------------------------------------------------------------------
+// Section 5: serve-layer job-queue throughput.
+
+fn serve_section(opts: &Opts) -> Json {
+    // Many small-but-real jobs (a complete 1-round EM estimate each), so the
+    // queue machinery — locking, quantum preemption, event fan-in — is a
+    // visible fraction of the cost. The full run floods the queue past the
+    // 1k-job acceptance mark; the deeper sweep lives in `serve_throughput`.
+    let n_jobs = if opts.smoke { 200 } else { 2_000 };
+    let workers = std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4);
+    let mut rng = harness_rng("perf-trajectory-serve", 0);
+    let alignment = simulate_alignment(&mut rng, 1.0, 5, 40);
+    let dataset = mpcgs::Dataset::single(alignment);
+    let config = MpcgsConfig {
+        initial_theta: 1.0,
+        em_iterations: 1,
+        proposals_per_iteration: 4,
+        draws_per_iteration: 4,
+        burn_in_draws: 8,
+        sample_draws: 24,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    };
+    let drain = |backend: Backend, workers: usize| {
+        let mut queue = mpcgs::JobQueue::new(mpcgs::ServeConfig { backend, workers, quantum: 4 });
+        for k in 0..n_jobs {
+            queue.submit(mpcgs::JobSpec::new(
+                format!("job-{k}"),
+                dataset.clone(),
+                config,
+                20_160_401 + k as u32,
+            ));
+        }
+        let report = queue.run();
+        assert_eq!(report.completed(), n_jobs, "every queued job must complete");
+        report
+    };
+    let serial = drain(Backend::Serial, 1);
+    let threaded = drain(Backend::Rayon, workers);
+    println!(
+        "serve queue ({n_jobs} jobs): serial {:.0} jobs/s, threaded x{workers} {:.0} jobs/s, \
+         threaded p50 {:.4} s p99 {:.4} s",
+        serial.jobs_per_sec(),
+        threaded.jobs_per_sec(),
+        threaded.latency_quantile(0.5),
+        threaded.latency_quantile(0.99)
+    );
+    Json::Object(vec![
+        ("jobs".to_string(), Json::Number(n_jobs as f64)),
+        ("workers".to_string(), Json::Number(workers as f64)),
+        ("serial_jobs_per_sec".to_string(), Json::Number(serial.jobs_per_sec())),
+        ("threaded_jobs_per_sec".to_string(), Json::Number(threaded.jobs_per_sec())),
+        ("threaded_p50_s".to_string(), Json::Number(threaded.latency_quantile(0.5))),
+        ("threaded_p99_s".to_string(), Json::Number(threaded.latency_quantile(0.99))),
+    ])
+}
+
+// ---------------------------------------------------------------------------
 // Baseline comparison.
 
 /// A gated metric: dotted path into the artefact, and whether bigger is
@@ -422,6 +482,7 @@ fn run(opts: &Opts) -> Result<(), String> {
     let full_prune = full_prune_section(opts);
     let dirty_path = dirty_path_section(opts);
     let ensemble = ensemble_section(opts);
+    let serve = serve_section(opts);
 
     let artefact = Json::Object(vec![
         ("schema".to_string(), Json::string(SCHEMA)),
@@ -442,6 +503,7 @@ fn run(opts: &Opts) -> Result<(), String> {
         ("full_prune".to_string(), full_prune),
         ("dirty_path".to_string(), dirty_path),
         ("ensemble".to_string(), ensemble),
+        ("serve".to_string(), serve),
     ]);
 
     let out_path = match opts.out.as_deref() {

@@ -38,8 +38,8 @@ pub mod target;
 pub use mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
 pub use proposal::{GenealogyProposer, HazardModel, ProposalConfig};
 pub use run::{
-    ChainInfo, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver, RunReport,
-    StepReport,
+    ChainInfo, ChainSnapshot, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver,
+    RunReport, StepReport,
 };
 pub use sampler::{GenealogySample, LamarcSampler, SamplerConfig};
 pub use target::GenealogyTarget;

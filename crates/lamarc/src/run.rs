@@ -228,12 +228,62 @@ pub struct EmUpdate {
     pub mean_log_data_likelihood: f64,
 }
 
+/// A strategy-agnostic snapshot of one in-flight chain, sufficient to
+/// recreate the chain *bit-identically* on a fresh sampler: resuming from a
+/// snapshot and stepping to completion must reproduce the exact
+/// [`RunReport`] (trace, samples, and counters) an uninterrupted run would
+/// have produced, provided the driving RNG streams are restored to the same
+/// positions.
+///
+/// The snapshot captures everything a sampler accumulates between
+/// [`GenealogySampler::begin`] and [`GenealogySampler::finish`], plus two
+/// fields that exist only for bit-exactness:
+///
+/// * `stream_epoch` — the multi-proposal sampler's detached-stream epoch
+///   counter (proposal randomness is derived from `(epoch, slot)`, so the
+///   resumed sampler must continue from the same epoch). The baseline
+///   sampler records 0 and ignores it on import.
+/// * `engine_cache_tree` — the tree the likelihood engine's generator
+///   workspace was keyed to at snapshot time. After a replica-exchange
+///   [`GenealogySampler::replace_state`] this is the *pre-swap* tree (not
+///   the chain's current tree), and before the first step it is `None`;
+///   importing primes the engine with exactly this tree so cache-hit/miss
+///   counters replay identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSnapshot {
+    /// The chain's current genealogy (the next generator).
+    pub tree: GeneTree,
+    /// All trace values recorded so far (burn-in included).
+    pub trace_values: Vec<f64>,
+    /// The trace's burn-in boundary.
+    pub trace_burn_in: usize,
+    /// Retained post-burn-in samples.
+    pub samples: Vec<GenealogySample>,
+    /// Work counters accumulated so far.
+    pub counters: RunCounters,
+    /// Draws recorded so far (transitions for the baseline strategy).
+    pub draws_done: usize,
+    /// A pending `replace_state` likelihood override, if the snapshot was
+    /// taken between a replica-exchange swap and the next step.
+    pub swapped_loglik: Option<f64>,
+    /// The multi-proposal sampler's detached-stream epoch (0 for strategies
+    /// without detached streams).
+    pub stream_epoch: u64,
+    /// The tree the engine's cached generator workspace described at
+    /// snapshot time (`None` for a cold cache).
+    pub engine_cache_tree: Option<GeneTree>,
+}
+
 /// Streaming hooks into a run. All methods default to no-ops, so an observer
 /// implements only the events it cares about. Drivers report: chain start →
 /// (burn-in progress during burn-in, a trace point per kernel iteration) →
 /// chain end with final diagnostics; EM drivers additionally report one
 /// [`EmUpdate`] per maximisation stage.
-pub trait RunObserver {
+///
+/// The `Send` supertrait lets multi-session drivers (the serve layer's
+/// worker pool) move observer-carrying sessions across worker threads;
+/// observers needing shared interior state use `Arc<Mutex<…>>`.
+pub trait RunObserver: Send {
     /// A chain is about to run.
     fn on_chain_start(&mut self, _info: &ChainInfo) {}
 
@@ -320,6 +370,32 @@ pub trait GenealogySampler: Send {
     ///
     /// Errors when no chain is active.
     fn replace_state(&mut self, tree: GeneTree, log_likelihood: f64) -> Result<(), PhyloError>;
+
+    /// Export the in-flight chain as a [`ChainSnapshot`], or `None` when no
+    /// chain is active (or the strategy does not support checkpointing).
+    ///
+    /// A snapshot restored with [`GenealogySampler::import_chain`] on a
+    /// freshly built sampler of the same strategy and configuration must
+    /// continue the chain bit-identically.
+    fn export_chain(&self) -> Option<ChainSnapshot> {
+        None
+    }
+
+    /// Restore an in-flight chain from a [`ChainSnapshot`] previously
+    /// produced by [`GenealogySampler::export_chain`] on an identically
+    /// configured sampler, priming engine-side caches so the resumed chain
+    /// replays the uninterrupted run exactly — counters included.
+    ///
+    /// The default errors: strategies that do not opt in cannot be resumed.
+    fn import_chain(&mut self, snapshot: ChainSnapshot) -> Result<(), PhyloError> {
+        let _ = snapshot;
+        Err(PhyloError::InvalidState {
+            message: format!(
+                "the {:?} strategy does not support checkpoint import",
+                self.strategy()
+            ),
+        })
+    }
 
     /// Consume the accumulated chain state into a [`RunReport`].
     fn finish(&mut self) -> Result<RunReport, PhyloError>;

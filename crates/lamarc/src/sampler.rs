@@ -26,7 +26,7 @@ use phylo::{GeneTree, PhyloError};
 
 use crate::proposal::{GenealogyProposer, ProposalConfig};
 use crate::run::{
-    no_active_chain, ChainInfo, GenealogySampler, RunCounters, RunReport, StepReport,
+    no_active_chain, ChainInfo, ChainSnapshot, GenealogySampler, RunCounters, RunReport, StepReport,
 };
 use crate::target::GenealogyTarget;
 
@@ -250,6 +250,40 @@ impl<E: LikelihoodEngine> GenealogySampler for LamarcSampler<E> {
         Ok(())
     }
 
+    fn export_chain(&self) -> Option<ChainSnapshot> {
+        let chain = self.chain.as_ref()?;
+        Some(ChainSnapshot {
+            tree: chain.current.clone(),
+            trace_values: chain.trace.all().to_vec(),
+            trace_burn_in: chain.trace.burn_in(),
+            samples: chain.samples.clone(),
+            counters: chain.counters,
+            draws_done: chain.transitions_done,
+            swapped_loglik: chain.swapped_loglik,
+            // The baseline strategy has no detached proposal streams.
+            stream_epoch: 0,
+            engine_cache_tree: self.target.engine().cached_generator(),
+        })
+    }
+
+    fn import_chain(&mut self, snapshot: ChainSnapshot) -> Result<(), PhyloError> {
+        // Prime the engine with the tree its workspace was keyed to at
+        // snapshot time (possibly not `snapshot.tree` after a replica
+        // exchange), so cache-hit/miss counters replay identically.
+        self.target.engine().prime_cache(snapshot.engine_cache_tree.as_ref())?;
+        let mut trace = Trace::from_values(snapshot.trace_values);
+        trace.set_burn_in(snapshot.trace_burn_in);
+        self.chain = Some(BaselineChain {
+            current: snapshot.tree,
+            trace,
+            samples: snapshot.samples,
+            counters: snapshot.counters,
+            transitions_done: snapshot.draws_done,
+            swapped_loglik: snapshot.swapped_loglik,
+        });
+        Ok(())
+    }
+
     fn finish(&mut self) -> Result<RunReport, PhyloError> {
         let chain = self.chain.take().ok_or_else(no_active_chain)?;
         Ok(RunReport {
@@ -401,6 +435,46 @@ mod tests {
         assert_eq!(run_a.counters, run_b.counters);
         assert_eq!(whole.strategy(), "baseline");
         assert_eq!(whole.chain_info().total_draws, config.total_transitions());
+    }
+
+    #[test]
+    fn export_import_resumes_the_chain_bit_identically() {
+        // Checkpoint/resume contract: stop after k transitions, rebuild the
+        // sampler from scratch, import the snapshot, restore the host RNG by
+        // position, and the finished run must equal the uninterrupted run
+        // bit-for-bit — trace, samples, final tree, and every counter.
+        let mut rng = Mt19937::new(59);
+        let alignment = simulated_data(&mut rng, 6, 60, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let config =
+            SamplerConfig { theta: 1.0, burn_in: 20, samples: 60, ..SamplerConfig::default() };
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+
+        let mut uninterrupted = LamarcSampler::new(engine.clone(), config).unwrap();
+        let mut rng_a = Mt19937::new(17);
+        let run_a = uninterrupted.run(initial.clone(), &mut rng_a, &mut NullObserver).unwrap();
+
+        let mut first_half = LamarcSampler::new(engine.clone(), config).unwrap();
+        assert!(first_half.export_chain().is_none(), "no chain active before begin()");
+        let mut rng_b = Mt19937::new(17);
+        first_half.begin(initial).unwrap();
+        for _ in 0..33 {
+            first_half.step(&mut rng_b).unwrap();
+        }
+        let snapshot = first_half.export_chain().unwrap();
+        assert_eq!(snapshot.draws_done, 33);
+        assert_eq!(snapshot.stream_epoch, 0);
+        drop(first_half);
+
+        let mut resumed = LamarcSampler::new(engine, config).unwrap();
+        resumed.import_chain(snapshot).unwrap();
+        let mut rng_c = Mt19937::new(17);
+        rng_c.discard(rng_b.position());
+        while !resumed.is_done() {
+            resumed.step(&mut rng_c).unwrap();
+        }
+        let run_b = resumed.finish().unwrap();
+        assert_eq!(run_a, run_b);
     }
 
     #[test]

@@ -21,11 +21,20 @@ const LOWER_MASK: u32 = 0x7fff_ffff;
 pub struct Mt19937 {
     state: [u32; N],
     index: usize,
+    /// Raw 32-bit outputs emitted since the last (re)seed. Every consumer
+    /// path (`next_f64`, `next_u64`, `fill_bytes`, …) funnels through
+    /// [`Mt19937::next_u32_raw`], so this single counter is an exact stream
+    /// position: reseeding an identically seeded generator and discarding
+    /// `position()` outputs reproduces the generator bit for bit.
+    emitted: u64,
 }
 
 impl std::fmt::Debug for Mt19937 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937").field("index", &self.index).finish_non_exhaustive()
+        f.debug_struct("Mt19937")
+            .field("index", &self.index)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
     }
 }
 
@@ -33,7 +42,7 @@ impl Mt19937 {
     /// Create a generator from a 32-bit seed using the reference
     /// `init_genrand` routine.
     pub fn new(seed: u32) -> Self {
-        let mut mt = Mt19937 { state: [0u32; N], index: N + 1 };
+        let mut mt = Mt19937 { state: [0u32; N], index: N + 1, emitted: 0 };
         mt.reseed(seed);
         mt
     }
@@ -75,6 +84,7 @@ impl Mt19937 {
         }
         mt.state[0] = 0x8000_0000;
         mt.index = N;
+        mt.emitted = 0;
         mt
     }
 
@@ -87,6 +97,22 @@ impl Mt19937 {
                 (1_812_433_253u32.wrapping_mul(prev ^ (prev >> 30))).wrapping_add(i as u32);
         }
         self.index = N;
+        self.emitted = 0;
+    }
+
+    /// Number of raw 32-bit outputs emitted since the last (re)seed — the
+    /// generator's exact stream position. Together with the original seed
+    /// this is a complete, portable serialisation of the generator:
+    /// `reseed`/reconstruct then [`Mt19937::discard`] by this amount.
+    pub fn position(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Advance the generator by `n` raw 32-bit outputs, discarding them.
+    pub fn discard(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u32_raw();
+        }
     }
 
     fn generate_block(&mut self) {
@@ -109,6 +135,7 @@ impl Mt19937 {
         }
         let mut y = self.state[self.index];
         self.index += 1;
+        self.emitted += 1;
         // Tempering.
         y ^= y >> 11;
         y ^= (y << 7) & 0x9d2c_5680;
@@ -251,6 +278,53 @@ mod tests {
         a.reseed(99);
         let second: Vec<u32> = (0..5).map(|_| a.next_u32_raw()).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn position_counts_every_output_path() {
+        let mut mt = Mt19937::new(42);
+        assert_eq!(mt.position(), 0);
+        mt.next_u32_raw();
+        assert_eq!(mt.position(), 1);
+        mt.next_f64(); // two raw outputs
+        assert_eq!(mt.position(), 3);
+        mt.next_u64(); // two raw outputs
+        assert_eq!(mt.position(), 5);
+        let mut buf = [0u8; 7]; // two raw outputs (one full word + remainder)
+        mt.fill_bytes(&mut buf);
+        assert_eq!(mt.position(), 7);
+        mt.reseed(42);
+        assert_eq!(mt.position(), 0);
+    }
+
+    #[test]
+    fn reseed_and_discard_restores_the_exact_suffix() {
+        let mut original = Mt19937::new(20_160_401);
+        for _ in 0..1_000 {
+            original.next_f64();
+        }
+        let position = original.position();
+        let mut restored = Mt19937::new(20_160_401);
+        restored.discard(position);
+        assert_eq!(restored.position(), position);
+        // The restored generator emits the exact suffix — including across
+        // a block-regeneration boundary (1000 doubles = 2000 raws > 624).
+        for _ in 0..2_000 {
+            assert_eq!(restored.next_u32_raw(), original.next_u32_raw());
+        }
+    }
+
+    #[test]
+    fn seed_array_construction_starts_at_position_zero() {
+        let mt = Mt19937::from_seed_array(&[0x123, 0x234, 0x345, 0x456]);
+        assert_eq!(mt.position(), 0);
+        let mut a = Mt19937::seed_from_u64(0xDEAD_BEEF);
+        a.discard(3);
+        let mut b = Mt19937::seed_from_u64(0xDEAD_BEEF);
+        b.next_u32_raw();
+        b.next_u32_raw();
+        b.next_u32_raw();
+        assert_eq!(a.next_u32_raw(), b.next_u32_raw());
     }
 
     #[test]

@@ -14,6 +14,12 @@ use super::{Mt19937, SplitMix64};
 #[derive(Debug, Clone)]
 pub struct StreamBank {
     streams: Vec<Mt19937>,
+    /// The 32-bit seed each stream was created from, retained so that
+    /// [`StreamBank::seek`] can rewind a stream in place and replay to any
+    /// recorded position — including streams appended later by
+    /// [`StreamBank::ensure_len`], whose seeds are not derivable from
+    /// `(master_seed, index)` alone.
+    seeds: Vec<u32>,
     master_seed: u64,
 }
 
@@ -24,8 +30,9 @@ impl StreamBank {
     /// Create a bank of `n` streams derived from `master_seed`.
     pub fn new(master_seed: u64, n: usize) -> Self {
         let mut seeder = SplitMix64::new(master_seed);
-        let streams = (0..n).map(|_| Mt19937::new(seeder.next_seed32())).collect();
-        StreamBank { streams, master_seed }
+        let seeds: Vec<u32> = (0..n).map(|_| seeder.next_seed32()).collect();
+        let streams = seeds.iter().map(|&seed| Mt19937::new(seed)).collect();
+        StreamBank { streams, seeds, master_seed }
     }
 
     /// Number of streams in the bank.
@@ -83,8 +90,42 @@ impl StreamBank {
             seeder.next(); // advance past seeds that conceptually belong to existing streams
         }
         while self.streams.len() < n {
-            self.streams.push(Mt19937::new(seeder.next_seed32()));
+            let seed = seeder.next_seed32();
+            self.seeds.push(seed);
+            self.streams.push(Mt19937::new(seed));
         }
+    }
+
+    /// The exact stream position (raw 32-bit outputs emitted) of every
+    /// stream, in bank order. Together with the master seed and the stream
+    /// count this is a complete serialisation of the bank's consumable
+    /// state: feed the vector back through [`StreamBank::seek`] to restore.
+    pub fn positions(&self) -> Vec<u64> {
+        self.streams.iter().map(Mt19937::position).collect()
+    }
+
+    /// Rewind every stream to its seed and replay it to the recorded
+    /// position, so each restored stream emits the exact suffix the original
+    /// would have emitted next.
+    ///
+    /// Errors (with the mismatching shape) when `positions.len()` differs
+    /// from the bank's stream count — the caller is resuming a checkpoint
+    /// against a bank of a different shape.
+    pub fn seek(&mut self, positions: &[u64]) -> Result<(), String> {
+        if positions.len() != self.streams.len() {
+            return Err(format!(
+                "stream position mismatch: checkpoint recorded {} stream position(s) but this \
+                 bank has {} stream(s)",
+                positions.len(),
+                self.streams.len()
+            ));
+        }
+        for ((stream, &seed), &position) in self.streams.iter_mut().zip(&self.seeds).zip(positions)
+        {
+            stream.reseed(seed);
+            stream.discard(position);
+        }
+        Ok(())
     }
 }
 
@@ -143,6 +184,53 @@ mod tests {
         // Growing to a smaller size is a no-op.
         bank.ensure_len(3);
         assert_eq!(bank.len(), 10);
+    }
+
+    #[test]
+    fn seek_restores_the_exact_suffix_of_every_stream() {
+        let mut bank = StreamBank::new(0xC0FF_EE00, 4);
+        // Advance each stream by a different amount, crossing the MT19937
+        // block boundary on stream 3.
+        for (i, n) in [3usize, 0, 17, 700].iter().enumerate() {
+            for _ in 0..*n {
+                bank.stream_mut(i).next_u32();
+            }
+        }
+        let positions = bank.positions();
+        assert_eq!(positions, vec![3, 0, 17, 700]);
+        // The expected suffixes, drawn from the live bank.
+        let expected: Vec<Vec<u32>> =
+            (0..4).map(|i| (0..64).map(|_| bank.stream_mut(i).next_u32()).collect()).collect();
+        // Restore a fresh bank to the recorded positions.
+        let mut restored = StreamBank::new(0xC0FF_EE00, 4);
+        restored.seek(&positions).unwrap();
+        assert_eq!(restored.positions(), positions);
+        for (i, suffix) in expected.iter().enumerate() {
+            let emitted: Vec<u32> = (0..64).map(|_| restored.stream_mut(i).next_u32()).collect();
+            assert_eq!(&emitted, suffix, "stream {i} diverged after seek");
+        }
+    }
+
+    #[test]
+    fn seek_covers_streams_grown_by_ensure_len() {
+        let mut bank = StreamBank::new(9, 2);
+        bank.ensure_len(5);
+        for _ in 0..11 {
+            bank.stream_mut(4).next_u32();
+        }
+        let positions = bank.positions();
+        let expected = bank.stream_mut(4).next_u32();
+        let mut restored = StreamBank::new(9, 2);
+        restored.ensure_len(5);
+        restored.seek(&positions).unwrap();
+        assert_eq!(restored.stream_mut(4).next_u32(), expected);
+    }
+
+    #[test]
+    fn seek_rejects_a_shape_mismatch() {
+        let mut bank = StreamBank::new(1, 3);
+        let err = bank.seek(&[0, 0]).unwrap_err();
+        assert!(err.contains("2 stream position(s)") && err.contains("3 stream(s)"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::path::Path;
 
+use codec::Json;
 use exec::Backend;
 #[cfg(feature = "device")]
 use exec::DeviceSpec;
@@ -18,7 +19,9 @@ use phylo::io::phylip::parse_phylip;
 use phylo::likelihood::Kernel;
 use phylo::{Dataset, Locus};
 
+use crate::config::MpcgsConfig;
 use crate::ensemble::{EnsembleSpec, ExchangePolicy};
+use crate::serve::{JobSpec, ServeConfig};
 use crate::session::SamplerStrategy;
 
 /// Which exchange policy the CLI builds for a multi-chain run.
@@ -66,6 +69,13 @@ pub struct CliArgs {
     /// finite and > 0 at parse time; locus names are checked against the
     /// loaded dataset by [`apply_rates`].
     pub rates: Vec<(String, f64)>,
+    /// Write a checkpoint every this many runner increments
+    /// (`--checkpoint-every`; requires `--checkpoint-path`).
+    pub checkpoint_every: Option<usize>,
+    /// Where checkpoints are written (`--checkpoint-path`).
+    pub checkpoint_path: Option<String>,
+    /// Resume a run from this checkpoint file (`--resume`).
+    pub resume: Option<String>,
 }
 
 /// Print the usage text to stderr.
@@ -103,7 +113,25 @@ pub fn print_usage() {
            --swap-interval <n>  rounds between replica-exchange swap attempts\n\
                                 (ladder only, default 10)\n\
            --hottest <t>        temperature of the hottest ladder rung (default 4.0;\n\
-                                must be finite and > 1)"
+                                must be finite and > 1)\n\
+           --checkpoint-every <n>  write a checkpoint every n sampler increments\n\
+                                (requires --checkpoint-path; an increment is one kernel\n\
+                                step, or one dispatch segment for an ensemble)\n\
+           --checkpoint-path <file> where the checkpoint JSON is written (atomically\n\
+                                replaced at each interval; resumable with --resume)\n\
+           --resume <file>      continue bit-identically from a checkpoint written by\n\
+                                --checkpoint-path (the run configuration must match)\n\
+         \n\
+         job-queue mode:\n\
+           mpcgs serve <jobs.json | -> [--workers <n>] [--backend <name>] [--quantum <n>]\n\
+         \n\
+         Drains a queue of estimation jobs over a fixed worker pool, streaming\n\
+         per-job progress. The spec file (or stdin, with \"-\") is a JSON document:\n\
+           {{\"workers\": 4, \"backend\": \"rayon\", \"quantum\": 64,\n\
+            \"jobs\": [{{\"name\": \"j0\", \"phylip\": [\"data.phy\"], \"theta\": 1.0,\n\
+                      \"seed\": 7, \"samples\": 1000, \"burn_in\": 100, \"em\": 3,\n\
+                      \"strategy\": \"gmh\", \"chains\": 1}}, ...]}}\n\
+         Command-line --workers/--backend/--quantum override the file's values."
     );
 }
 
@@ -154,6 +182,9 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         swap_interval: None,
         hottest: None,
         rates: Vec::new(),
+        checkpoint_every: None,
+        checkpoint_path: None,
+        resume: None,
     };
     let mut device_spec: Option<String> = None;
     while i < args.len() {
@@ -235,9 +266,27 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 }
                 cli.hottest = Some(hottest);
             }
+            "--checkpoint-every" => {
+                let every: usize = take_value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every: the interval must be at least 1 \
+                                increment"
+                        .to_string());
+                }
+                cli.checkpoint_every = Some(every);
+            }
+            "--checkpoint-path" => cli.checkpoint_path = Some(take_value("--checkpoint-path")?),
+            "--resume" => cli.resume = Some(take_value("--resume")?),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
+    }
+    if cli.checkpoint_every.is_some() && cli.checkpoint_path.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-path (somewhere to write the \
+             checkpoint)"
+            .to_string());
     }
     // Resolve the device preset into the backend.
     if let Some(preset) = device_spec {
@@ -359,6 +408,215 @@ pub fn apply_rates(dataset: Dataset, rates: &[(String, f64)]) -> Result<Dataset,
     Dataset::new(loci).map_err(|e| format!("inconsistent loci: {e}"))
 }
 
+/// Everything `mpcgs serve` configures from its command line (the job specs
+/// themselves come from the spec file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// The job spec file path, or `"-"` for stdin.
+    pub job_path: String,
+    /// `--workers` override (file value or default 1 otherwise).
+    pub workers: Option<usize>,
+    /// `--backend` override for the worker pool dispatch.
+    pub backend: Option<Backend>,
+    /// `--quantum` override (runner increments per scheduling slice).
+    pub quantum: Option<usize>,
+}
+
+/// Parse the arguments after `mpcgs serve`.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut serve =
+        ServeArgs { job_path: String::new(), workers: None, backend: None, quantum: None };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take_value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag {
+            "--workers" => {
+                let workers: usize =
+                    take_value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers: the pool needs at least one worker".to_string());
+                }
+                serve.workers = Some(workers);
+            }
+            "--backend" => serve.backend = Some(take_value("--backend")?.parse::<Backend>()?),
+            "--quantum" => {
+                let quantum: usize =
+                    take_value("--quantum")?.parse().map_err(|e| format!("--quantum: {e}"))?;
+                if quantum == 0 {
+                    return Err("--quantum: a scheduling slice must cover at least one \
+                                increment"
+                        .to_string());
+                }
+                serve.quantum = Some(quantum);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("serve: unknown option {other:?}"))
+            }
+            positional if serve.job_path.is_empty() => serve.job_path = positional.to_string(),
+            extra => return Err(format!("serve: unexpected argument {extra:?}")),
+        }
+        i += 1;
+    }
+    if serve.job_path.is_empty() {
+        return Err("serve: expected a job spec file (or \"-\" for stdin)".to_string());
+    }
+    Ok(serve)
+}
+
+fn job_field_usize(job: &Json, key: &str, default: usize, name: &str) -> Result<usize, String> {
+    match job.get(key) {
+        None => Ok(default),
+        Some(value) => {
+            let x = value
+                .as_f64()
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .ok_or_else(|| format!("job {name:?}: {key:?} must be a non-negative integer"))?;
+            Ok(x as usize)
+        }
+    }
+}
+
+/// Parse a serve job spec document (see [`print_usage`] for the shape) into
+/// the pool configuration and the fully loaded jobs. `overrides` (the
+/// command-line `--workers`/`--backend`/`--quantum`) win over the file's
+/// top-level values; PHYLIP paths are loaded relative to the working
+/// directory.
+pub fn parse_job_file(
+    text: &str,
+    overrides: &ServeArgs,
+) -> Result<(ServeConfig, Vec<JobSpec>), String> {
+    let doc = Json::parse(text).map_err(|e| format!("job spec file is not valid JSON: {e}"))?;
+    let mut config = ServeConfig::default();
+    if let Some(workers) = doc.get("workers") {
+        config.workers = workers
+            .as_f64()
+            .filter(|x| *x >= 1.0 && x.fract() == 0.0)
+            .ok_or("job spec: \"workers\" must be a positive integer")?
+            as usize;
+    }
+    if let Some(backend) = doc.get("backend") {
+        config.backend = backend
+            .as_str()
+            .ok_or("job spec: \"backend\" must be a string")?
+            .parse::<Backend>()
+            .map_err(|e| format!("job spec: {e}"))?;
+    }
+    if let Some(quantum) = doc.get("quantum") {
+        config.quantum = quantum
+            .as_f64()
+            .filter(|x| *x >= 1.0 && x.fract() == 0.0)
+            .ok_or("job spec: \"quantum\" must be a positive integer")?
+            as usize;
+    }
+    if let Some(workers) = overrides.workers {
+        config.workers = workers;
+    }
+    if let Some(backend) = overrides.backend {
+        config.backend = backend;
+    }
+    if let Some(quantum) = overrides.quantum {
+        config.quantum = quantum;
+    }
+
+    let jobs_json = doc
+        .get("jobs")
+        .and_then(Json::as_array)
+        .ok_or("job spec: expected a top-level \"jobs\" array")?;
+    let mut jobs = Vec::with_capacity(jobs_json.len());
+    for (k, job) in jobs_json.iter().enumerate() {
+        let name = match job.get("name").and_then(Json::as_str) {
+            Some(name) => name.to_string(),
+            None => format!("job-{k}"),
+        };
+        let phylip: Vec<String> = job
+            .get("phylip")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("job {name:?}: expected a \"phylip\" array of file paths"))?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("job {name:?}: \"phylip\" entries must be strings"))
+            })
+            .collect::<Result<_, _>>()?;
+        let theta = job
+            .get("theta")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("job {name:?}: expected a numeric \"theta\""))?;
+        if !(theta.is_finite() && theta > 0.0) {
+            return Err(format!("job {name:?}: theta must be finite and > 0, got {theta}"));
+        }
+        let dataset = load_dataset(&phylip).map_err(|e| format!("job {name:?}: {e}"))?;
+        let proposals = job_field_usize(job, "proposals", 32, &name)?;
+        // Jobs default to the serial backend — the pool supplies the
+        // parallelism; per-job "backend" opts into nested dispatch.
+        let mut job_backend = Backend::Serial;
+        if let Some(backend) = job.get("backend") {
+            job_backend = backend
+                .as_str()
+                .ok_or_else(|| format!("job {name:?}: \"backend\" must be a string"))?
+                .parse::<Backend>()
+                .map_err(|e| format!("job {name:?}: {e}"))?;
+        }
+        let mpcgs_config = MpcgsConfig {
+            initial_theta: theta,
+            em_iterations: job_field_usize(job, "em", 3, &name)?,
+            proposals_per_iteration: proposals,
+            draws_per_iteration: proposals,
+            burn_in_draws: job_field_usize(job, "burn_in", 1_000, &name)?,
+            sample_draws: job_field_usize(job, "samples", 10_000, &name)?,
+            backend: job_backend,
+            ..MpcgsConfig::default()
+        };
+        let strategy = match job.get("strategy").and_then(Json::as_str) {
+            None | Some("gmh") => SamplerStrategy::MultiProposal,
+            Some("baseline") => SamplerStrategy::Baseline,
+            Some(other) => {
+                return Err(format!(
+                    "job {name:?}: unknown strategy {other:?} (expected \"gmh\" or \"baseline\")"
+                ))
+            }
+        };
+        let chains = job_field_usize(job, "chains", 1, &name)?;
+        let ensemble = if chains > 1 {
+            let exchange = match job.get("exchange").and_then(Json::as_str) {
+                None | Some("independent") => ExchangePolicy::Independent,
+                Some("ladder") => ExchangePolicy::geometric_ladder(
+                    chains,
+                    job.get("hottest").and_then(Json::as_f64).unwrap_or(4.0),
+                    job_field_usize(job, "swap_interval", 10, &name)?,
+                )
+                .map_err(|e| format!("job {name:?}: invalid temperature ladder: {e}"))?,
+                Some(other) => {
+                    return Err(format!(
+                        "job {name:?}: unknown exchange policy {other:?} (expected \
+                         \"independent\" or \"ladder\")"
+                    ))
+                }
+            };
+            Some(EnsembleSpec {
+                n_chains: chains,
+                exchange,
+                ensemble_seed: job_field_usize(job, "seed", 20_160_401, &name)? as u64,
+                ..EnsembleSpec::default()
+            })
+        } else {
+            None
+        };
+        let mut spec = JobSpec::new(name.clone(), dataset, mpcgs_config, 0);
+        spec.seed = u32::try_from(job_field_usize(job, "seed", 20_160_401, &name)?)
+            .map_err(|_| format!("job {name:?}: seed does not fit in 32 bits"))?;
+        spec.strategy = strategy;
+        spec.ensemble = ensemble;
+        jobs.push(spec);
+    }
+    Ok((config, jobs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +733,98 @@ mod tests {
     fn unknown_options_are_rejected() {
         assert!(parse("a.phy 1.0 --frobnicate").is_err());
         assert!(parse("a.phy 1.0 --samples").is_err()); // missing value
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let cli = parse("a.phy 1.0 --checkpoint-every 50 --checkpoint-path run.ckpt").unwrap();
+        assert_eq!(cli.checkpoint_every, Some(50));
+        assert_eq!(cli.checkpoint_path.as_deref(), Some("run.ckpt"));
+        assert!(cli.resume.is_none());
+
+        let cli = parse("a.phy 1.0 --resume run.ckpt").unwrap();
+        assert_eq!(cli.resume.as_deref(), Some("run.ckpt"));
+
+        let err = parse("a.phy 1.0 --checkpoint-every 50").unwrap_err();
+        assert!(err.contains("--checkpoint-path"), "unpointed error: {err}");
+        let err = parse("a.phy 1.0 --checkpoint-every 0 --checkpoint-path x").unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "unpointed error: {err}");
+    }
+
+    #[test]
+    fn serve_args_parse_with_overrides() {
+        let serve =
+            parse_serve_args(&argv("jobs.json --workers 4 --backend rayon --quantum 16")).unwrap();
+        assert_eq!(serve.job_path, "jobs.json");
+        assert_eq!(serve.workers, Some(4));
+        assert_eq!(serve.backend, Some(Backend::Rayon));
+        assert_eq!(serve.quantum, Some(16));
+
+        let stdin = parse_serve_args(&argv("-")).unwrap();
+        assert_eq!(stdin.job_path, "-");
+        assert!(stdin.workers.is_none());
+
+        assert!(parse_serve_args(&argv("")).is_err());
+        assert!(parse_serve_args(&argv("jobs.json extra.json")).is_err());
+        assert!(parse_serve_args(&argv("jobs.json --workers 0")).is_err());
+        assert!(parse_serve_args(&argv("jobs.json --quantum 0")).is_err());
+        assert!(parse_serve_args(&argv("jobs.json --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn job_files_parse_with_defaults_and_pointed_errors() {
+        let dir = std::env::temp_dir().join("mpcgs-cli-jobfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let phy = dir.join("tiny.phy");
+        std::fs::write(&phy, " 4 8\nseq_a     ACGTACGT\nseq_b     ACGTACGA\nseq_c     ACGAACGT\nseq_d     TCGTACGT\n").unwrap();
+        let phy = phy.to_string_lossy().into_owned();
+
+        let no_overrides =
+            ServeArgs { job_path: "-".to_string(), workers: None, backend: None, quantum: None };
+        let text = format!(
+            r#"{{"workers": 3, "quantum": 8,
+                "jobs": [
+                  {{"name": "plain", "phylip": ["{phy}"], "theta": 0.5,
+                    "samples": 64, "burn_in": 16, "em": 1, "seed": 9}},
+                  {{"phylip": ["{phy}"], "theta": 1.0, "chains": 2, "exchange": "ladder",
+                    "hottest": 2.0, "swap_interval": 5, "strategy": "baseline"}}
+                ]}}"#
+        );
+        let (config, jobs) = parse_job_file(&text, &no_overrides).unwrap();
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.quantum, 8);
+        assert_eq!(config.backend, Backend::Serial);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "plain");
+        assert_eq!(jobs[0].seed, 9);
+        assert_eq!(jobs[0].config.sample_draws, 64);
+        assert_eq!(jobs[0].config.initial_theta, 0.5);
+        assert!(jobs[0].ensemble.is_none());
+        assert_eq!(jobs[1].name, "job-1"); // unnamed jobs get an index name
+        assert_eq!(jobs[1].strategy, SamplerStrategy::Baseline);
+        let spec = jobs[1].ensemble.as_ref().unwrap();
+        assert_eq!(spec.n_chains, 2);
+        spec.validate().unwrap();
+
+        // Command-line overrides win over the file.
+        let overrides = ServeArgs {
+            job_path: "-".to_string(),
+            workers: Some(7),
+            backend: Some(Backend::Rayon),
+            quantum: Some(2),
+        };
+        let (config, _) = parse_job_file(&text, &overrides).unwrap();
+        assert_eq!((config.workers, config.backend, config.quantum), (7, Backend::Rayon, 2));
+
+        // Pointed errors name the job and the field.
+        let err = parse_job_file(r#"{"jobs": [{"name": "x", "theta": 1.0}]}"#, &no_overrides)
+            .unwrap_err();
+        assert!(err.contains("\"x\"") && err.contains("phylip"), "unpointed error: {err}");
+        let err =
+            parse_job_file(&format!(r#"{{"jobs": [{{"phylip": ["{phy}"]}}]}}"#), &no_overrides)
+                .unwrap_err();
+        assert!(err.contains("theta"), "unpointed error: {err}");
+        assert!(parse_job_file("not json", &no_overrides).is_err());
+        assert!(parse_job_file("{}", &no_overrides).is_err());
     }
 }

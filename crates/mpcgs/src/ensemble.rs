@@ -41,7 +41,8 @@ use rand::{Rng, RngCore};
 
 use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
 use lamarc::run::{
-    no_active_chain, ChainInfo, GenealogySampler, RunCounters, RunObserver, RunReport, StepReport,
+    no_active_chain, ChainInfo, ChainSnapshot, GenealogySampler, RunCounters, RunObserver,
+    RunReport, StepReport,
 };
 use lamarc::sampler::GenealogySample;
 use mcmc::diagnostics::gelman_rubin;
@@ -417,6 +418,31 @@ struct Shard {
     rng: Mt19937,
 }
 
+/// A whole in-flight ensemble, frozen mid-run: one [`ChainSnapshot`] per
+/// rung plus the positions of every deterministic RNG stream the ensemble
+/// consumes (per-chain host streams and the swap-decision stream) and the
+/// replica-exchange counters.
+///
+/// Restoring with [`ShardedSampler::import_ensemble`] on a freshly built
+/// sampler over the same [`EnsembleSpec`] and driving θ continues the run
+/// bit-identically — every rung, every swap decision, every counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSnapshot {
+    /// Per-rung chain snapshots, in rung order.
+    pub chains: Vec<ChainSnapshot>,
+    /// Absolute position of each chain's host RNG stream (outputs emitted
+    /// since seeding).
+    pub chain_rng_positions: Vec<u64>,
+    /// Absolute position of the swap-decision stream.
+    pub swap_rng_position: u64,
+    /// Replica-exchange swaps attempted so far this run.
+    pub swap_attempts: usize,
+    /// Replica-exchange swaps accepted so far this run.
+    pub swaps_accepted: usize,
+    /// The driving θ the ensemble was built at.
+    pub driving_theta: f64,
+}
+
 /// `N` communicating chains behind a single [`GenealogySampler`] surface.
 ///
 /// One [`ShardedSampler::step`] advances *every* chain through one dispatch
@@ -430,6 +456,10 @@ struct Shard {
 /// makes serial and parallel dispatch bit-identical.
 pub struct ShardedSampler {
     shards: Vec<Shard>,
+    /// The spec the ensemble was built from — kept so checkpoint import can
+    /// re-derive every deterministic RNG stream from its seed and fast-forward
+    /// it to the recorded position.
+    spec: EnsembleSpec,
     betas: Vec<f64>,
     temperatures: Vec<f64>,
     cold_rungs: Vec<bool>,
@@ -489,6 +519,7 @@ impl ShardedSampler {
         }
         Ok(ShardedSampler {
             shards,
+            spec: spec.clone(),
             betas,
             temperatures,
             cold_rungs,
@@ -588,6 +619,84 @@ impl ShardedSampler {
             return Err(no_active_chain());
         }
         Ok(cold)
+    }
+
+    /// Export the whole in-flight ensemble as an [`EnsembleSnapshot`], or
+    /// `None` when no run is active (every rung must have an active chain).
+    pub fn export_ensemble(&self) -> Option<EnsembleSnapshot> {
+        let chains: Option<Vec<ChainSnapshot>> =
+            self.shards.iter().map(|shard| shard.sampler.export_chain()).collect();
+        Some(EnsembleSnapshot {
+            chains: chains?,
+            chain_rng_positions: self.shards.iter().map(|shard| shard.rng.position()).collect(),
+            swap_rng_position: self.swap_rng.position(),
+            swap_attempts: self.swap_attempts,
+            swaps_accepted: self.swaps_accepted,
+            driving_theta: self.driving_theta,
+        })
+    }
+
+    /// Restore an in-flight ensemble from a snapshot previously produced by
+    /// [`ShardedSampler::export_ensemble`] on an identically specified
+    /// ensemble at the same driving θ. Every rung's chain is imported, and
+    /// every deterministic RNG stream is re-derived from the spec's seed and
+    /// fast-forwarded to its recorded position, so the resumed ensemble
+    /// replays the uninterrupted run bit-for-bit — swap decisions included.
+    ///
+    /// Errors point at the exact mismatch: rung count, RNG stream count, or
+    /// driving θ.
+    pub fn import_ensemble(&mut self, snapshot: EnsembleSnapshot) -> Result<(), PhyloError> {
+        if snapshot.chains.len() != self.shards.len() {
+            return Err(PhyloError::InvalidState {
+                message: format!(
+                    "checkpoint shape mismatch: the snapshot holds {} chain(s) but this \
+                     ensemble runs {} chain(s)",
+                    snapshot.chains.len(),
+                    self.shards.len()
+                ),
+            });
+        }
+        if snapshot.chain_rng_positions.len() != self.shards.len() {
+            return Err(PhyloError::InvalidState {
+                message: format!(
+                    "checkpoint shape mismatch: the snapshot records {} host RNG position(s) \
+                     but this ensemble runs {} chain(s)",
+                    snapshot.chain_rng_positions.len(),
+                    self.shards.len()
+                ),
+            });
+        }
+        if snapshot.driving_theta != self.driving_theta {
+            return Err(PhyloError::InvalidState {
+                message: format!(
+                    "checkpoint mismatch: the snapshot was taken at driving theta {} but this \
+                     ensemble was built at {}",
+                    snapshot.driving_theta, self.driving_theta
+                ),
+            });
+        }
+        let fresh_rngs = self.spec.chain_rngs();
+        for (((shard, chain), mut rng), &position) in self
+            .shards
+            .iter_mut()
+            .zip(snapshot.chains)
+            .zip(fresh_rngs)
+            .zip(&snapshot.chain_rng_positions)
+        {
+            shard.sampler.import_chain(chain)?;
+            rng.discard(position);
+            shard.rng = rng;
+        }
+        let mut swap_rng = self.spec.swap_rng();
+        swap_rng.discard(snapshot.swap_rng_position);
+        self.swap_rng = swap_rng;
+        self.swap_attempts = snapshot.swap_attempts;
+        self.swaps_accepted = snapshot.swaps_accepted;
+        self.last_ensemble = None;
+        if self.device_spec.is_some() {
+            self.device_baseline = crate::session::device_queue_stats();
+        }
+        Ok(())
     }
 
     /// The ensemble report of the most recent finished run, consuming it.

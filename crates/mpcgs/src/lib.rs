@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod config;
 pub mod ensemble;
@@ -67,19 +68,23 @@ pub mod multi_chain;
 pub mod observers;
 pub mod perf;
 pub mod sampler;
+pub mod serve;
 pub mod session;
 
+pub use checkpoint::{CheckpointState, SessionCheckpoint, CHECKPOINT_FORMAT};
 pub use config::MpcgsConfig;
 pub use ensemble::{
-    is_cold_rung, Ensemble, EnsembleBuilder, EnsembleReport, EnsembleSpec, ExchangePolicy,
-    ShardedSampler,
+    is_cold_rung, Ensemble, EnsembleBuilder, EnsembleReport, EnsembleSnapshot, EnsembleSpec,
+    ExchangePolicy, ShardedSampler,
 };
 pub use multi_chain::{run_multi_chain, MultiChainConfig, MultiChainRun};
 pub use observers::{ChainSummaryPrinter, EmProgressPrinter};
 pub use perf::{CachingReport, SpeedupModel, Workload};
 pub use sampler::MultiProposalSampler;
+pub use serve::{JobOutcome, JobQueue, JobSpec, ServeConfig, ServeEvent, ServeReport};
 pub use session::{
     EmIterationReport, ModelSpec, SamplerStrategy, Session, SessionBuilder, SessionReport,
+    SessionRunner,
 };
 
 // Re-export the pieces of the shared machinery that form part of the public
@@ -87,8 +92,8 @@ pub use session::{
 pub use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
 pub use lamarc::proposal::{GenealogyProposer, HazardModel, ProposalConfig};
 pub use lamarc::run::{
-    ChainInfo, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver, RunReport,
-    StepReport,
+    ChainInfo, ChainSnapshot, EmUpdate, GenealogySampler, NullObserver, RunCounters, RunObserver,
+    RunReport, StepReport,
 };
 pub use lamarc::sampler::GenealogySample;
 pub use phylo::{Dataset, Kernel, Locus};

@@ -36,7 +36,7 @@ use rand::RngCore;
 
 use lamarc::proposal::GenealogyProposer;
 use lamarc::run::{
-    no_active_chain, ChainInfo, GenealogySampler, RunCounters, RunReport, StepReport,
+    no_active_chain, ChainInfo, ChainSnapshot, GenealogySampler, RunCounters, RunReport, StepReport,
 };
 use lamarc::sampler::GenealogySample;
 use lamarc::target::GenealogyTarget;
@@ -300,6 +300,40 @@ impl<E: LikelihoodEngine> GenealogySampler for MultiProposalSampler<E> {
         Ok(())
     }
 
+    fn export_chain(&self) -> Option<ChainSnapshot> {
+        let chain = self.chain.as_ref()?;
+        Some(ChainSnapshot {
+            tree: chain.generator.clone(),
+            trace_values: chain.trace.all().to_vec(),
+            trace_burn_in: chain.trace.burn_in(),
+            samples: chain.samples.clone(),
+            counters: chain.counters,
+            draws_done: chain.draws_done,
+            swapped_loglik: chain.swapped_loglik,
+            stream_epoch: self.epoch,
+            engine_cache_tree: self.target.engine().cached_generator(),
+        })
+    }
+
+    fn import_chain(&mut self, snapshot: ChainSnapshot) -> Result<(), PhyloError> {
+        // Prime the engine with the tree its workspace was keyed to at
+        // snapshot time (possibly not `snapshot.tree` after a replica
+        // exchange), so cache-hit/miss counters replay identically.
+        self.target.engine().prime_cache(snapshot.engine_cache_tree.as_ref())?;
+        self.epoch = snapshot.stream_epoch;
+        let mut trace = Trace::from_values(snapshot.trace_values);
+        trace.set_burn_in(snapshot.trace_burn_in);
+        self.chain = Some(GmhChain {
+            generator: snapshot.tree,
+            trace,
+            samples: snapshot.samples,
+            counters: snapshot.counters,
+            draws_done: snapshot.draws_done,
+            swapped_loglik: snapshot.swapped_loglik,
+        });
+        Ok(())
+    }
+
     fn finish(&mut self) -> Result<RunReport, PhyloError> {
         let chain = self.chain.take().ok_or_else(no_active_chain)?;
         Ok(RunReport {
@@ -406,6 +440,44 @@ mod tests {
         let run_b = stepped.finish().unwrap();
         assert_eq!(run_a.trace.all(), run_b.trace.all());
         assert_eq!(run_a.counters, run_b.counters);
+    }
+
+    #[test]
+    fn export_import_resumes_the_chain_bit_identically() {
+        // Checkpoint/resume contract for the multi-proposal strategy: the
+        // snapshot must carry the detached-stream epoch as well as the chain
+        // accumulators, so the resumed sampler draws the same proposal sets
+        // and finishes bit-for-bit equal to the uninterrupted run.
+        let mut rng = Mt19937::new(101);
+        let alignment = simulated_alignment(&mut rng, 5, 40, 1.0);
+        let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+        let initial = upgma_tree(&alignment, 1.0).unwrap();
+        let config = small_config();
+
+        let mut uninterrupted = MultiProposalSampler::new(engine.clone(), config).unwrap();
+        let mut rng_a = Mt19937::new(23);
+        let run_a = uninterrupted.run(initial.clone(), &mut rng_a, &mut NullObserver).unwrap();
+
+        let mut first_half = MultiProposalSampler::new(engine.clone(), config).unwrap();
+        assert!(first_half.export_chain().is_none(), "no chain active before begin()");
+        let mut rng_b = Mt19937::new(23);
+        first_half.begin(initial).unwrap();
+        for _ in 0..21 {
+            first_half.step(&mut rng_b).unwrap();
+        }
+        let snapshot = first_half.export_chain().unwrap();
+        assert_eq!(snapshot.stream_epoch, 21);
+        drop(first_half);
+
+        let mut resumed = MultiProposalSampler::new(engine, config).unwrap();
+        resumed.import_chain(snapshot).unwrap();
+        let mut rng_c = Mt19937::new(23);
+        rng_c.discard(rng_b.position());
+        while !resumed.is_done() {
+            resumed.step(&mut rng_c).unwrap();
+        }
+        let run_b = resumed.finish().unwrap();
+        assert_eq!(run_a, run_b);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Sampler-as-a-service: a job queue scheduling many θ-estimation runs over
+//! a fixed worker pool.
+//!
+//! The unit of work is a [`JobSpec`] — a dataset plus the full sampler
+//! configuration (strategy, model, [`MpcgsConfig`], optional
+//! [`EnsembleSpec`], host seed). A [`JobQueue`] accepts any number of specs
+//! and [`JobQueue::run`] drains them over `workers` pool slots dispatched
+//! through [`exec::Backend::map_mut`] — the same seam that shards ensemble
+//! chains, so `Backend::Serial` gives a deterministic single-threaded drain
+//! and `Backend::Rayon` one OS thread per worker slot.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! submit → queued ─pop─▶ running ──step×quantum──▶ finished → outcome
+//!             ▲                        │
+//!             └──────── preempted ◀────┘   (unfinished after a quantum:
+//!                                           parked back on the queue)
+//! ```
+//!
+//! Each job runs as a [`SessionRunner`] advanced in *quantum*-sized slices
+//! (so many queued jobs share few workers fairly), and every runner
+//! increment goes through the preemptible [`GenealogySampler`] seam — which
+//! is also what makes any job checkpointable mid-flight. Because a
+//! [`SessionRunner`] driven to completion is bit-identical to
+//! [`Session::run`], a 1-job queue reproduces a plain session run exactly,
+//! regardless of quantum or worker count.
+//!
+//! Progress surfaces as a [`ServeEvent`] stream: each job's session carries
+//! a forwarding [`RunObserver`] that fans per-chain and per-EM-round events
+//! into one shared sink tagged with the job name, and the queue drains the
+//! sink to the caller's callback as workers go.
+//!
+//! [`GenealogySampler`]: lamarc::run::GenealogySampler
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use exec::Backend;
+use lamarc::run::{ChainInfo, EmUpdate, RunObserver};
+use phylo::{Dataset, GeneTree, PhyloError};
+
+use crate::config::MpcgsConfig;
+use crate::ensemble::EnsembleSpec;
+use crate::session::{ModelSpec, SamplerStrategy, Session, SessionReport, SessionRunner};
+
+/// One queued estimation run: everything needed to build and drive a
+/// [`Session`].
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The name progress events and the outcome are tagged with.
+    pub name: String,
+    /// The dataset to analyse.
+    pub dataset: Dataset,
+    /// Chain sizing, θ₀, EM rounds, backend, kernel.
+    pub config: MpcgsConfig,
+    /// The sampler strategy.
+    pub strategy: SamplerStrategy,
+    /// The substitution model.
+    pub model: ModelSpec,
+    /// Shard the job across an ensemble, when given.
+    pub ensemble: Option<EnsembleSpec>,
+    /// Override the starting genealogy G₀ (default: UPGMA).
+    pub initial_tree: Option<GeneTree>,
+    /// The host RNG seed.
+    pub seed: u32,
+}
+
+impl JobSpec {
+    /// A single-chain GMH job over `dataset` with the given config — the
+    /// common case; adjust the public fields for anything richer.
+    pub fn new(name: impl Into<String>, dataset: Dataset, config: MpcgsConfig, seed: u32) -> Self {
+        JobSpec {
+            name: name.into(),
+            dataset,
+            config,
+            strategy: SamplerStrategy::default(),
+            model: ModelSpec::default(),
+            ensemble: None,
+            initial_tree: None,
+            seed,
+        }
+    }
+
+    /// Build the job's session, fanning its observer events into `sink`
+    /// tagged with the job name.
+    fn build_session(&self, sink: &EventSink) -> Result<Session, PhyloError> {
+        let mut builder = Session::builder()
+            .dataset(self.dataset.clone())
+            .model(self.model)
+            .strategy(self.strategy)
+            .config(self.config)
+            .observe(JobTap { job: self.name.clone(), sink: Arc::clone(sink) });
+        if let Some(spec) = &self.ensemble {
+            builder = builder.ensemble(spec.clone());
+        }
+        if let Some(tree) = &self.initial_tree {
+            builder = builder.initial_tree(tree.clone());
+        }
+        builder.build()
+    }
+}
+
+/// How the pool schedules: dispatch backend, worker count, and the
+/// preemption quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// The dispatch seam worker slots run through: [`Backend::Serial`] for a
+    /// deterministic in-thread drain, [`Backend::Rayon`] for one OS thread
+    /// per worker.
+    pub backend: Backend,
+    /// Pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Runner increments (kernel steps / dispatch segments) a job gets per
+    /// scheduling slice before it is parked back on the queue (clamped to at
+    /// least 1). Small quanta share workers finely; large quanta amortise
+    /// queue traffic.
+    pub quantum: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { backend: Backend::Serial, workers: 1, quantum: 64 }
+    }
+}
+
+/// A progress event from the serve layer, tagged with the job it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// The job was picked up by a worker; emitted before any of the job's
+    /// chain events (a job that fails to build emits this and then
+    /// [`ServeEvent::JobFailed`]).
+    JobStarted {
+        /// The job's name.
+        job: String,
+    },
+    /// One of the job's chains began (ensemble jobs emit one per rung).
+    ChainStarted {
+        /// The job's name.
+        job: String,
+        /// The rung index (0 for single-chain jobs).
+        chain_index: usize,
+    },
+    /// The job finished an EM round's maximisation stage.
+    EmRound {
+        /// The job's name.
+        job: String,
+        /// The 0-based EM round.
+        iteration: usize,
+        /// The round's driving θ.
+        driving_theta: f64,
+        /// The maximiser (next round's driving value).
+        estimate: f64,
+    },
+    /// The job completed.
+    JobFinished {
+        /// The job's name.
+        job: String,
+        /// The final θ̂.
+        theta: f64,
+    },
+    /// The job failed; the queue keeps draining the others.
+    JobFailed {
+        /// The job's name.
+        job: String,
+        /// The failure rendered for display.
+        error: String,
+    },
+}
+
+type EventSink = Arc<Mutex<Vec<ServeEvent>>>;
+
+/// The forwarding [`RunObserver`] each job's session carries: fans the
+/// session's event stream into the queue's shared sink, tagged by job name.
+struct JobTap {
+    job: String,
+    sink: EventSink,
+}
+
+impl RunObserver for JobTap {
+    fn on_chain_start(&mut self, info: &ChainInfo) {
+        self.sink.lock().expect("serve event sink poisoned").push(ServeEvent::ChainStarted {
+            job: self.job.clone(),
+            chain_index: info.chain_index,
+        });
+    }
+
+    fn on_em_update(&mut self, update: &EmUpdate) {
+        self.sink.lock().expect("serve event sink poisoned").push(ServeEvent::EmRound {
+            job: self.job.clone(),
+            iteration: update.iteration,
+            driving_theta: update.driving_theta,
+            estimate: update.estimate,
+        });
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// The final report, or the failure rendered for display.
+    pub result: Result<SessionReport, String>,
+    /// Scheduling slices the job consumed (1 = never preempted).
+    pub slices: usize,
+    /// Seconds from [`JobQueue::run`] start to this job's completion.
+    pub latency_seconds: f64,
+}
+
+impl JobOutcome {
+    fn failed(name: &str, error: &PhyloError, slices: usize, latency_seconds: f64) -> JobOutcome {
+        JobOutcome {
+            name: name.to_string(),
+            result: Err(error.to_string()),
+            slices,
+            latency_seconds,
+        }
+    }
+}
+
+/// The queue's drain summary: per-job outcomes (submission order) plus the
+/// throughput figures benchkit's serve lane records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock seconds for the whole drain.
+    pub wall_seconds: f64,
+    /// The pool size the drain ran with.
+    pub workers: usize,
+    /// The dispatch backend the drain ran with.
+    pub backend: Backend,
+}
+
+impl ServeReport {
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.outcomes.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-job latency in seconds, by the
+    /// nearest-rank method; 0 for an empty drain.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut latencies: Vec<f64> =
+            self.outcomes.iter().map(|outcome| outcome.latency_seconds).collect();
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = (q.clamp(0.0, 1.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank]
+    }
+
+    /// Number of jobs that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|outcome| outcome.result.is_ok()).count()
+    }
+
+    /// Number of jobs that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.completed()
+    }
+}
+
+/// A job parked on (or popped from) the scheduling queue.
+struct Job {
+    index: usize,
+    spec: JobSpec,
+    runner: Option<SessionRunner>,
+    slices: usize,
+}
+
+/// The job queue: submit [`JobSpec`]s, then [`JobQueue::run`] drains them
+/// over the configured worker pool. See the module docs for the lifecycle.
+pub struct JobQueue {
+    config: ServeConfig,
+    pending: Vec<JobSpec>,
+}
+
+impl JobQueue {
+    /// An empty queue over the given pool configuration.
+    pub fn new(config: ServeConfig) -> JobQueue {
+        JobQueue { config, pending: Vec::new() }
+    }
+
+    /// Park a job on the queue (runs in submission order, subject to
+    /// preemption).
+    pub fn submit(&mut self, spec: JobSpec) {
+        self.pending.push(spec);
+    }
+
+    /// Number of jobs waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Drain every queued job, discarding progress events.
+    pub fn run(&mut self) -> ServeReport {
+        self.run_with(|_| {})
+    }
+
+    /// Drain every queued job, streaming [`ServeEvent`]s to `on_event` as
+    /// workers progress. Job failures become [`JobOutcome`]s (and
+    /// [`ServeEvent::JobFailed`] events), never a queue-wide error — a bad
+    /// job must not take down its neighbours.
+    pub fn run_with<F>(&mut self, on_event: F) -> ServeReport
+    where
+        F: Fn(&ServeEvent) + Sync,
+    {
+        let sink: EventSink = Arc::default();
+        let jobs: VecDeque<Job> = self
+            .pending
+            .drain(..)
+            .enumerate()
+            .map(|(index, spec)| Job { index, spec, runner: None, slices: 0 })
+            .collect();
+        let n_jobs = jobs.len();
+        let quantum = self.config.quantum.max(1);
+        let workers = self.config.workers.max(1).min(n_jobs.max(1));
+        let queue = Mutex::new(jobs);
+        let results: Mutex<Vec<Option<JobOutcome>>> =
+            Mutex::new((0..n_jobs).map(|_| None).collect());
+        let started = Instant::now();
+
+        let drain_events = |sink: &EventSink| {
+            let batch: Vec<ServeEvent> =
+                std::mem::take(&mut *sink.lock().expect("serve event sink poisoned"));
+            for event in &batch {
+                on_event(event);
+            }
+        };
+
+        let mut slots: Vec<usize> = (0..workers).collect();
+        self.config.backend.map_mut(&mut slots, |_, _| {
+            loop {
+                let Some(mut job) = queue.lock().expect("serve queue poisoned").pop_front() else {
+                    break;
+                };
+                job.slices += 1;
+                // First slice: build the session + runner (round 0 begins
+                // here, so construction cost is part of the job's first
+                // quantum, not the submit path).
+                if job.runner.is_none() {
+                    // Announce before building: the runner's construction
+                    // already emits per-chain events through the tap, and
+                    // those must arrive after the job's own start marker.
+                    sink.lock()
+                        .expect("serve event sink poisoned")
+                        .push(ServeEvent::JobStarted { job: job.spec.name.clone() });
+                    let built = job
+                        .spec
+                        .build_session(&sink)
+                        .and_then(|session| session.into_runner(job.spec.seed));
+                    match built {
+                        Ok(runner) => {
+                            job.runner = Some(runner);
+                        }
+                        Err(error) => {
+                            record_failure(&results, &sink, &job, &error, &started);
+                            drain_events(&sink);
+                            continue;
+                        }
+                    }
+                }
+                let runner = job.runner.as_mut().expect("runner built above");
+                let mut finished = false;
+                let mut failure: Option<PhyloError> = None;
+                for _ in 0..quantum {
+                    match runner.step() {
+                        Ok(true) => {
+                            finished = true;
+                            break;
+                        }
+                        Ok(false) => {}
+                        Err(error) => {
+                            failure = Some(error);
+                            break;
+                        }
+                    }
+                }
+                if let Some(error) = failure {
+                    record_failure(&results, &sink, &job, &error, &started);
+                } else if finished {
+                    let report = runner
+                        .report()
+                        .cloned()
+                        .expect("a finished runner always carries its report");
+                    sink.lock().expect("serve event sink poisoned").push(ServeEvent::JobFinished {
+                        job: job.spec.name.clone(),
+                        theta: report.theta,
+                    });
+                    results.lock().expect("serve results poisoned")[job.index] = Some(JobOutcome {
+                        name: job.spec.name.clone(),
+                        result: Ok(report),
+                        slices: job.slices,
+                        latency_seconds: started.elapsed().as_secs_f64(),
+                    });
+                } else {
+                    queue.lock().expect("serve queue poisoned").push_back(job);
+                }
+                drain_events(&sink);
+            }
+        });
+
+        drain_events(&sink);
+        let outcomes = results
+            .into_inner()
+            .expect("serve results poisoned")
+            .into_iter()
+            .map(|outcome| outcome.expect("every job records exactly one outcome"))
+            .collect();
+        ServeReport {
+            outcomes,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            workers,
+            backend: self.config.backend,
+        }
+    }
+}
+
+fn record_failure(
+    results: &Mutex<Vec<Option<JobOutcome>>>,
+    sink: &EventSink,
+    job: &Job,
+    error: &PhyloError,
+    started: &Instant,
+) {
+    sink.lock()
+        .expect("serve event sink poisoned")
+        .push(ServeEvent::JobFailed { job: job.spec.name.clone(), error: error.to_string() });
+    results.lock().expect("serve results poisoned")[job.index] = Some(JobOutcome::failed(
+        &job.spec.name,
+        error,
+        job.slices,
+        started.elapsed().as_secs_f64(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalescent::{CoalescentSimulator, SequenceSimulator};
+    use mcmc::rng::Mt19937;
+    use phylo::model::Jc69;
+
+    fn tiny_dataset(seed: u32) -> Dataset {
+        let mut rng = Mt19937::new(seed);
+        let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, 5).unwrap();
+        let alignment = SequenceSimulator::new(Jc69::new(), 40, 1.0)
+            .unwrap()
+            .simulate(&mut rng, &tree)
+            .unwrap();
+        Dataset::single(alignment)
+    }
+
+    fn tiny_config() -> MpcgsConfig {
+        MpcgsConfig {
+            initial_theta: 0.5,
+            em_iterations: 1,
+            proposals_per_iteration: 4,
+            draws_per_iteration: 4,
+            burn_in_draws: 8,
+            sample_draws: 32,
+            backend: Backend::Serial,
+            ..MpcgsConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_job_queue_is_bit_identical_to_session_run() {
+        let dataset = tiny_dataset(11);
+        let config = tiny_config();
+        let mut direct =
+            Session::builder().dataset(dataset.clone()).config(config).build().unwrap();
+        let baseline = direct.run(&mut Mt19937::new(3)).unwrap();
+
+        // Tiny quantum: the job is preempted many times along the way.
+        for quantum in [1, 3, 1_000] {
+            let mut queue = JobQueue::new(ServeConfig { quantum, ..ServeConfig::default() });
+            queue.submit(JobSpec::new("solo", dataset.clone(), config, 3));
+            let report = queue.run();
+            assert_eq!(report.outcomes.len(), 1);
+            let outcome = &report.outcomes[0];
+            assert_eq!(outcome.result.as_ref().unwrap(), &baseline);
+            if quantum == 1_000 {
+                assert_eq!(outcome.slices, 1, "a huge quantum never preempts a tiny job");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_threaded_pools_produce_identical_outcomes() {
+        let specs: Vec<JobSpec> = (0..6)
+            .map(|k| {
+                JobSpec::new(
+                    format!("job-{k}"),
+                    tiny_dataset(20 + k as u32),
+                    tiny_config(),
+                    k as u32,
+                )
+            })
+            .collect();
+        let run = |backend: Backend, workers: usize| {
+            let mut queue = JobQueue::new(ServeConfig { backend, workers, quantum: 2 });
+            for spec in &specs {
+                queue.submit(spec.clone());
+            }
+            queue.run()
+        };
+        let serial = run(Backend::Serial, 1);
+        let threaded = run(Backend::Rayon, 3);
+        assert_eq!(serial.outcomes.len(), 6);
+        assert_eq!(serial.completed(), 6);
+        // Jobs own their RNG streams, so pool shape cannot change results.
+        for (a, b) in serial.outcomes.iter().zip(&threaded.outcomes) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.result, b.result);
+        }
+        assert!(serial.jobs_per_sec() > 0.0);
+        assert!(serial.latency_quantile(0.99) >= serial.latency_quantile(0.5));
+    }
+
+    #[test]
+    fn events_are_tagged_by_job_and_failures_do_not_poison_the_queue() {
+        let mut queue = JobQueue::new(ServeConfig::default());
+        queue.submit(JobSpec::new("good", tiny_dataset(31), tiny_config(), 1));
+        // em_iterations = 0 fails session validation at build time.
+        let bad_config = MpcgsConfig { em_iterations: 0, ..tiny_config() };
+        queue.submit(JobSpec::new("bad", tiny_dataset(32), bad_config, 2));
+        assert_eq!(queue.len(), 2);
+
+        let events: Mutex<Vec<ServeEvent>> = Mutex::new(Vec::new());
+        let report = queue.run_with(|event| events.lock().unwrap().push(event.clone()));
+        assert!(queue.is_empty());
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 1);
+        assert!(report.outcomes[0].result.is_ok());
+        let error = report.outcomes[1].result.as_ref().unwrap_err();
+        assert!(!error.is_empty());
+
+        let events = events.into_inner().unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ServeEvent::EmRound { job, iteration: 0, .. } if job == "good"
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ServeEvent::JobFinished { job, .. } if job == "good"
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServeEvent::JobFailed { job, .. } if job == "bad")));
+        // Start/chain events carry the tag too, and the start marker
+        // precedes the job's chain events.
+        let position = |pred: &dyn Fn(&ServeEvent) -> bool| {
+            events.iter().position(pred).expect("event present")
+        };
+        let started = position(&|e| matches!(e, ServeEvent::JobStarted { job } if job == "good"));
+        let chain = position(
+            &|e| matches!(e, ServeEvent::ChainStarted { job, chain_index: 0 } if job == "good"),
+        );
+        assert!(started < chain, "JobStarted must precede the job's chain events");
+    }
+
+    #[test]
+    fn ensemble_jobs_run_through_the_same_queue() {
+        let mut queue = JobQueue::new(ServeConfig { quantum: 4, ..ServeConfig::default() });
+        let mut spec = JobSpec::new("sharded", tiny_dataset(41), tiny_config(), 5);
+        spec.ensemble = Some(EnsembleSpec::independent(2));
+        queue.submit(spec);
+        let report = queue.run();
+        assert_eq!(report.completed(), 1);
+        let session_report = report.outcomes[0].result.as_ref().unwrap();
+        assert!(session_report.theta > 0.0 && session_report.theta.is_finite());
+    }
+}

@@ -63,6 +63,7 @@
 //! ```
 
 use exec::Backend;
+use mcmc::rng::Mt19937;
 use rand::{Rng, RngCore};
 
 use lamarc::mle::{maximize_relative_likelihood, RelativeLikelihood};
@@ -74,6 +75,7 @@ use phylo::likelihood::{ExecutionMode, Kernel, MultiLocusEngine};
 use phylo::model::{Jc69, SubstitutionModel, F81};
 use phylo::{upgma_tree, Alignment, Dataset, GeneTree, PhyloError};
 
+use crate::checkpoint::{CheckpointState, SessionCheckpoint};
 use crate::config::MpcgsConfig;
 use crate::ensemble::{EnsembleReport, EnsembleSpec, ShardedSampler};
 use crate::sampler::MultiProposalSampler;
@@ -611,6 +613,386 @@ impl Session {
             })?;
         Ok(relative.curve(grid))
     }
+
+    /// Convert the session into a preemptible [`SessionRunner`] seeded with
+    /// `seed`: the incremental form of [`Session::run`] (which internally
+    /// does `Mt19937::new(seed)` host seeding in the CLI driver). Stepping
+    /// the runner to completion is bit-identical to `run` with the same host
+    /// RNG.
+    pub fn into_runner(self, seed: u32) -> Result<SessionRunner, PhyloError> {
+        SessionRunner::start(self, seed)
+    }
+
+    /// Convert the session into a [`SessionRunner`] continuing from a
+    /// [`SessionCheckpoint`], bit-identically to the run that produced it.
+    ///
+    /// The session must match the checkpoint: same sampler strategy and (for
+    /// ensemble checkpoints) an [`EnsembleSpec`] equal to the one the
+    /// checkpoint was taken under — mismatches fail with pointed errors
+    /// rather than silently continuing a different run. Observer events that
+    /// fired before the checkpoint are **not** replayed; the resumed runner
+    /// emits events from the checkpointed iteration onward.
+    pub fn resume(self, checkpoint: &SessionCheckpoint) -> Result<SessionRunner, PhyloError> {
+        SessionRunner::resume(self, checkpoint)
+    }
+}
+
+/// The sampler + EM-round state of a [`SessionRunner`]'s round in flight.
+enum RunnerMode {
+    /// A plain single-chain session: a fresh sampler per EM round, stepped
+    /// with the host RNG.
+    Single { sampler: Box<dyn GenealogySampler> },
+    /// A sharded session: one [`ShardedSampler`] retuned across rounds,
+    /// advanced a dispatch segment at a time.
+    Ensemble { sampler: Box<ShardedSampler> },
+}
+
+/// A [`Session`] run unrolled into resumable increments: the same Figure 11
+/// loop as [`Session::run`], but advanced one kernel step (single chain) or
+/// one dispatch segment (ensemble) per [`SessionRunner::step`] call, so a
+/// driver can preempt the run at any point — and freeze it with
+/// [`SessionRunner::checkpoint`].
+///
+/// # Bit-identity contract
+///
+/// Driving a runner to completion produces a [`SessionReport`] equal
+/// bit-for-bit to `Session::run` with the same host RNG seed, and a runner
+/// torn down at any step and rebuilt via [`Session::resume`] continues the
+/// run bit-identically — the fault-injection tests kill runs at randomized
+/// iteration counts to pin this down. The one exception is the *device*
+/// accounting attached to `Backend::Device` runs: queue statistics are
+/// thread-cumulative wall-clock style counters and restart at resume, so
+/// checkpoint equality is only guaranteed for the sampling results, not the
+/// simulated-device cost report.
+///
+/// # Round atomicity
+///
+/// EM round transitions (finish → maximise → retune/rebuild → begin) happen
+/// *inside* the [`SessionRunner::step`] call that completes the round's last
+/// iteration. The runner is therefore always either mid-round with every
+/// chain active — where [`SessionRunner::checkpoint`] is guaranteed to
+/// succeed — or finished.
+pub struct SessionRunner {
+    session: Session,
+    seed: u32,
+    host_rng: Mt19937,
+    theta: f64,
+    em_round: usize,
+    iterations: Vec<EmIterationReport>,
+    mode: RunnerMode,
+    device_spec: Option<exec::DeviceSpec>,
+    device_baseline: Option<exec::DeviceStats>,
+    finished: Option<SessionReport>,
+}
+
+impl SessionRunner {
+    /// Begin round 0 (the `begin` + `on_chain_start` prologue of
+    /// [`Session::run`]'s first iteration).
+    fn start(session: Session, seed: u32) -> Result<SessionRunner, PhyloError> {
+        let theta = session.config.initial_theta;
+        let device_spec = session.config.backend.device_spec();
+        let device_baseline = device_spec.map(|_| device_queue_stats());
+        let initial = session.starting_tree()?;
+        let mode = match &session.ensemble {
+            Some(spec) => RunnerMode::Ensemble {
+                sampler: Box::new(ShardedSampler::from_session(&session, spec, theta)?),
+            },
+            None => RunnerMode::Single { sampler: session.make_chain_sampler(theta, 1.0, 0)? },
+        };
+        let mut runner = SessionRunner {
+            session,
+            seed,
+            host_rng: Mt19937::new(seed),
+            theta,
+            em_round: 0,
+            iterations: Vec::new(),
+            mode,
+            device_spec,
+            device_baseline,
+            finished: None,
+        };
+        runner.begin_round(initial)?;
+        Ok(runner)
+    }
+
+    fn resume(
+        session: Session,
+        checkpoint: &SessionCheckpoint,
+    ) -> Result<SessionRunner, PhyloError> {
+        if checkpoint.strategy != session.strategy.name() {
+            return Err(PhyloError::InvalidState {
+                message: format!(
+                    "checkpoint mismatch: the checkpoint was taken under the {:?} strategy but \
+                     this session is configured for {:?}",
+                    checkpoint.strategy,
+                    session.strategy.name()
+                ),
+            });
+        }
+        let device_spec = session.config.backend.device_spec();
+        let device_baseline = device_spec.map(|_| device_queue_stats());
+        let mode = match &checkpoint.state {
+            CheckpointState::SingleChain(snapshot) => {
+                if let Some(spec) = &session.ensemble {
+                    return Err(PhyloError::InvalidState {
+                        message: format!(
+                            "checkpoint mismatch: the checkpoint froze a single-chain run but \
+                             this session shards across {} chain(s)",
+                            spec.n_chains
+                        ),
+                    });
+                }
+                let mut sampler = session.make_chain_sampler(checkpoint.theta, 1.0, 0)?;
+                sampler.import_chain(snapshot.clone())?;
+                RunnerMode::Single { sampler }
+            }
+            CheckpointState::Ensemble { spec, snapshot } => {
+                match &session.ensemble {
+                    Some(configured) if configured == spec => {}
+                    Some(configured) => {
+                        return Err(PhyloError::InvalidState {
+                            message: format!(
+                                "checkpoint mismatch: the checkpoint's ensemble spec \
+                                 ({} chain(s), {} exchange) differs from this session's \
+                                 ({} chain(s), {} exchange)",
+                                spec.n_chains,
+                                spec.exchange.name(),
+                                configured.n_chains,
+                                configured.exchange.name()
+                            ),
+                        });
+                    }
+                    None => {
+                        return Err(PhyloError::InvalidState {
+                            message: format!(
+                                "checkpoint mismatch: the checkpoint froze a {}-chain ensemble \
+                                 but this session runs a single chain",
+                                spec.n_chains
+                            ),
+                        });
+                    }
+                }
+                let mut sampler = ShardedSampler::from_session(&session, spec, checkpoint.theta)?;
+                sampler.import_ensemble(snapshot.clone())?;
+                RunnerMode::Ensemble { sampler: Box::new(sampler) }
+            }
+        };
+        let mut host_rng = Mt19937::new(checkpoint.seed);
+        host_rng.discard(checkpoint.host_rng_position);
+        Ok(SessionRunner {
+            session,
+            seed: checkpoint.seed,
+            host_rng,
+            theta: checkpoint.theta,
+            em_round: checkpoint.em_round,
+            iterations: checkpoint.iterations.clone(),
+            mode,
+            device_spec,
+            device_baseline,
+            finished: None,
+        })
+    }
+
+    /// `begin` the current round's chain(s) on `initial` and emit the
+    /// matching `on_chain_start` event(s).
+    fn begin_round(&mut self, initial: GeneTree) -> Result<(), PhyloError> {
+        match &mut self.mode {
+            RunnerMode::Single { sampler } => {
+                sampler.begin(initial)?;
+                FanOut(&mut self.session.observers).on_chain_start(&sampler.chain_info());
+            }
+            RunnerMode::Ensemble { sampler } => {
+                sampler.begin(initial)?;
+                let mut fan = FanOut(&mut self.session.observers);
+                for info in sampler.chain_infos() {
+                    fan.on_chain_start(&info);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the whole EM run has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The final report, once [`SessionRunner::is_finished`].
+    pub fn report(&self) -> Option<&SessionReport> {
+        self.finished.as_ref()
+    }
+
+    /// The host RNG seed the run was started with.
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// The driving θ of the round in flight (or the final θ̂ when finished).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The EM round in flight (0-based; equals the configured round count
+    /// when finished).
+    pub fn em_round(&self) -> usize {
+        self.em_round
+    }
+
+    /// The session being driven.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Advance the run by one increment — one kernel step for a single
+    /// chain, one dispatch segment for an ensemble — completing the EM round
+    /// (maximise, retune, begin the next round) within the same call when
+    /// the increment was the round's last. Returns `true` once the whole run
+    /// is finished; stepping a finished runner is a no-op returning `true`.
+    pub fn step(&mut self) -> Result<bool, PhyloError> {
+        if self.finished.is_some() {
+            return Ok(true);
+        }
+        let round_done = match &mut self.mode {
+            RunnerMode::Single { sampler } => {
+                let step = sampler.step(&mut self.host_rng)?;
+                let mut fan = FanOut(&mut self.session.observers);
+                if step.in_burn_in() {
+                    fan.on_burn_in_progress(step.draws_done, step.burn_in_draws);
+                }
+                fan.on_iteration(&step);
+                sampler.is_done()
+            }
+            RunnerMode::Ensemble { sampler } => {
+                let steps = sampler.step_segment()?;
+                let mut fan = FanOut(&mut self.session.observers);
+                for step in steps {
+                    if step.in_burn_in() {
+                        fan.on_burn_in_progress(step.draws_done, step.burn_in_draws);
+                    }
+                    fan.on_iteration(&step);
+                }
+                sampler.is_done()
+            }
+        };
+        if round_done {
+            self.complete_round()?;
+        }
+        Ok(self.finished.is_some())
+    }
+
+    /// Drive the run to completion and return the final report — the
+    /// incremental equivalent of [`Session::run`].
+    pub fn run_to_completion(&mut self) -> Result<SessionReport, PhyloError> {
+        while !self.step()? {}
+        Ok(self.finished.clone().expect("step() reported completion"))
+    }
+
+    /// The round's epilogue, mirroring the tail of [`Session::run`]'s loop
+    /// body: finish the chain(s), maximise the relative likelihood, record
+    /// the round, then either begin the next round or seal the final report.
+    fn complete_round(&mut self) -> Result<(), PhyloError> {
+        let report = match &mut self.mode {
+            RunnerMode::Single { sampler } => {
+                let report = sampler.finish()?;
+                FanOut(&mut self.session.observers).on_chain_end(&report);
+                report
+            }
+            RunnerMode::Ensemble { sampler } => {
+                let pooled = sampler.finish()?;
+                if let Some(ensemble) = sampler.ensemble_report() {
+                    let mut fan = FanOut(&mut self.session.observers);
+                    for chain in &ensemble.chains {
+                        fan.on_chain_end(chain);
+                    }
+                }
+                pooled
+            }
+        };
+
+        let summaries = report.interval_summaries();
+        let relative = RelativeLikelihood::new(self.theta, &summaries).map_err(|e| {
+            PhyloError::InvalidTree { message: format!("relative likelihood failed: {e}") }
+        })?;
+        let estimate = maximize_relative_likelihood(&relative, &self.session.config.ascent);
+        let update = EmUpdate {
+            iteration: self.em_round,
+            driving_theta: self.theta,
+            estimate,
+            acceptance_rate: report.acceptance_rate(),
+            mean_log_data_likelihood: report.mean_log_data_likelihood(),
+        };
+        FanOut(&mut self.session.observers).on_em_update(&update);
+        self.iterations.push(EmIterationReport::from_update(&update, report.counters));
+        self.theta = estimate.max(1e-9);
+        self.em_round += 1;
+
+        if self.em_round >= self.session.config.em_iterations {
+            let device = self.device_spec.zip(self.device_baseline).map(|(spec, baseline)| {
+                exec::DeviceReport::new(spec, device_queue_stats().delta(&baseline))
+            });
+            self.finished = Some(SessionReport {
+                theta: self.theta,
+                iterations: self.iterations.clone(),
+                device,
+            });
+            return Ok(());
+        }
+
+        // Begin the next round on the finished round's final tree, exactly
+        // as Session::run chains `current_tree` across rounds.
+        match &mut self.mode {
+            RunnerMode::Single { sampler } => {
+                *sampler = self.session.make_chain_sampler(self.theta, 1.0, 0)?;
+            }
+            RunnerMode::Ensemble { sampler } => {
+                sampler.retune(&self.session, self.theta)?;
+            }
+        }
+        self.begin_round(report.final_tree)
+    }
+
+    /// Freeze the run: the EM position plus the full chain (or ensemble)
+    /// state as a [`SessionCheckpoint`]. Only a run in flight can be frozen
+    /// — a finished runner has nothing left to resume and errors here (its
+    /// [`SessionRunner::report`] is the deliverable).
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, PhyloError> {
+        if self.finished.is_some() {
+            return Err(PhyloError::InvalidState {
+                message: "the run is finished: there is no in-flight state to checkpoint"
+                    .to_string(),
+            });
+        }
+        let state = match &self.mode {
+            RunnerMode::Single { sampler } => CheckpointState::SingleChain(
+                sampler.export_chain().ok_or_else(no_active_chain_for_checkpoint)?,
+            ),
+            RunnerMode::Ensemble { sampler } => CheckpointState::Ensemble {
+                spec: self
+                    .session
+                    .ensemble
+                    .clone()
+                    .expect("an ensemble runner always carries a spec"),
+                snapshot: sampler.export_ensemble().ok_or_else(no_active_chain_for_checkpoint)?,
+            },
+        };
+        Ok(SessionCheckpoint {
+            strategy: self.session.strategy.name().to_string(),
+            seed: self.seed,
+            host_rng_position: self.host_rng.position(),
+            theta: self.theta,
+            em_round: self.em_round,
+            iterations: self.iterations.clone(),
+            state,
+        })
+    }
+}
+
+fn no_active_chain_for_checkpoint() -> PhyloError {
+    PhyloError::InvalidState {
+        message: "checkpoint requires an active chain on every rung (the runner keeps rounds \
+                  atomic, so this indicates a strategy that does not support export)"
+            .to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -780,6 +1162,96 @@ mod tests {
             .initial_tree(wrong)
             .build()
             .is_err());
+    }
+
+    fn two_sessions(config: MpcgsConfig) -> (Session, Session) {
+        let mut rng = Mt19937::new(4_242);
+        let alignment = simulated_alignment(&mut rng, 6, 60, 1.0);
+        let a = Session::builder().alignment(alignment.clone()).config(config).build().unwrap();
+        let b = Session::builder().alignment(alignment).config(config).build().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn runner_matches_session_run_bit_for_bit() {
+        let config = MpcgsConfig {
+            em_iterations: 2,
+            burn_in_draws: 24,
+            sample_draws: 120,
+            ..small_config()
+        };
+        let (mut direct, incremental) = two_sessions(config);
+        let seed = 77;
+        let baseline = direct.run(&mut Mt19937::new(seed)).unwrap();
+        let resumable = incremental.into_runner(seed).unwrap().run_to_completion().unwrap();
+        assert_eq!(baseline, resumable);
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_run_is_bit_identical() {
+        let config = MpcgsConfig {
+            em_iterations: 2,
+            burn_in_draws: 24,
+            sample_draws: 120,
+            ..small_config()
+        };
+        let (uninterrupted, interrupted) = two_sessions(config);
+        let seed = 31;
+        let baseline = uninterrupted.into_runner(seed).unwrap().run_to_completion().unwrap();
+
+        // Kill the run mid-flight, round-trip the checkpoint through its
+        // JSON text, resume on a freshly built session, and finish.
+        let mut runner = interrupted.into_runner(seed).unwrap();
+        for _ in 0..13 {
+            assert!(!runner.step().unwrap());
+        }
+        let text = runner.checkpoint().unwrap().to_pretty();
+        drop(runner);
+
+        let checkpoint = SessionCheckpoint::parse(&text).unwrap();
+        let (_, fresh) = two_sessions(config);
+        let resumed = fresh.resume(&checkpoint).unwrap().run_to_completion().unwrap();
+        assert_eq!(baseline, resumed);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_sessions_with_pointed_errors() {
+        let config = MpcgsConfig { em_iterations: 1, ..small_config() };
+        let (session, other) = two_sessions(config);
+        let runner = session.into_runner(5).unwrap();
+        let checkpoint = runner.checkpoint().unwrap();
+
+        // Wrong strategy.
+        let mut rng = Mt19937::new(4_242);
+        let alignment = simulated_alignment(&mut rng, 6, 60, 1.0);
+        let baseline_session = Session::builder()
+            .alignment(alignment)
+            .strategy(SamplerStrategy::Baseline)
+            .config(config)
+            .build()
+            .unwrap();
+        let err = baseline_session.resume(&checkpoint).err().expect("resume must fail").to_string();
+        assert!(err.contains("gmh") && err.contains("baseline"), "unpointed error: {err}");
+
+        // Single-chain checkpoint into an ensemble session.
+        let mut ensembled = other;
+        ensembled.set_ensemble(Some(EnsembleSpec::independent(2)));
+        let err = ensembled.resume(&checkpoint).err().expect("resume must fail").to_string();
+        assert!(err.contains("single-chain"), "unpointed error: {err}");
+    }
+
+    #[test]
+    fn finished_runner_rejects_checkpoint_and_steps_as_noop() {
+        let config =
+            MpcgsConfig { em_iterations: 1, burn_in_draws: 16, sample_draws: 48, ..small_config() };
+        let (session, _) = two_sessions(config);
+        let mut runner = session.into_runner(9).unwrap();
+        runner.run_to_completion().unwrap();
+        assert!(runner.is_finished());
+        assert!(runner.step().unwrap());
+        let err = runner.checkpoint().unwrap_err().to_string();
+        assert!(err.contains("finished"), "unpointed error: {err}");
+        assert!(runner.report().is_some());
     }
 
     #[test]

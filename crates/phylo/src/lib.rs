@@ -76,5 +76,5 @@ pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;
 pub use patterns::SitePatterns;
 pub use sequence::Sequence;
-pub use tree::{CoalescentIntervals, GeneTree, NodeId};
+pub use tree::{CoalescentIntervals, GeneTree, NodeId, NodeRecord};
 pub use upgma::upgma_tree;

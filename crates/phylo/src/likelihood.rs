@@ -188,6 +188,27 @@ pub trait LikelihoodEngine: Send + Sync {
     ) -> Result<Option<usize>, PhyloError> {
         Ok(None)
     }
+
+    /// The genealogy the engine's memoised generator workspace is currently
+    /// keyed to, if any. This is checkpoint state: after a replica-exchange
+    /// swap it is the *pre-swap* tree (the cache goes stale rather than
+    /// being invalidated), so a resumed run must restore exactly this tree —
+    /// not the chain's current tree — to reproduce the original run's cache
+    /// hit/miss trajectory. Engines without a cache return `None`.
+    fn cached_generator(&self) -> Option<GeneTree> {
+        None
+    }
+
+    /// Restore the engine's memoised state to what it would be with its
+    /// cache keyed to `tree` (`None` clears the cache). Because the
+    /// incrementally maintained workspace for a tree is bit-identical to a
+    /// fresh full build of the same tree (the commit-on-accept invariant),
+    /// rebuilding from the checkpointed [`LikelihoodEngine::cached_generator`]
+    /// reproduces the warm state exactly — no partials or matrices need
+    /// serialising. Engines without a cache accept any argument as a no-op.
+    fn prime_cache(&self, _tree: Option<&GeneTree>) -> Result<(), PhyloError> {
+        Ok(())
+    }
 }
 
 /// How the per-site work of the reference path is executed.
@@ -1645,6 +1666,29 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
     ) -> Result<Option<usize>, PhyloError> {
         self.commit_to_cache(generator, accepted, edited)
     }
+
+    fn cached_generator(&self) -> Option<GeneTree> {
+        self.cache.lock().expect("likelihood cache poisoned").as_ref().map(|c| c.tree.clone())
+    }
+
+    /// Rebuild the memoised workspace for `tree` from scratch (serially, so
+    /// the result is backend-independent) and install it. A full build of a
+    /// tree bitwise-equals the incrementally maintained warm workspace for
+    /// that tree — partials by the commit-on-accept invariant, edge-matrix
+    /// keys because the memo is re-keyed to describe exactly the cached tree
+    /// on every commit, and the matrices because they are pure functions of
+    /// the key bits — so this restores checkpointed engine state exactly.
+    fn prime_cache(&self, tree: Option<&GeneTree>) -> Result<(), PhyloError> {
+        let cache = match tree {
+            None => None,
+            Some(tree) => {
+                let workspace = self.build_workspace(Backend::Serial, tree)?;
+                Some(GeneratorCache { tree: tree.clone(), workspace })
+            }
+        };
+        *self.cache.lock().expect("likelihood cache poisoned") = cache;
+        Ok(())
+    }
 }
 
 /// A likelihood engine over a multi-locus [`Dataset`]: one pattern-compressed
@@ -1864,6 +1908,21 @@ impl<M: SubstitutionModel> LikelihoodEngine for MultiLocusEngine<M> {
             }
         }
         Ok(if all { Some(total) } else { None })
+    }
+
+    /// The per-locus caches move in lockstep (every batch rebuilds or serves
+    /// all of them against the same generator, and commits promote all or
+    /// roll the stragglers forward on the next batch), so the first locus
+    /// speaks for the ensemble.
+    fn cached_generator(&self) -> Option<GeneTree> {
+        self.engines.first().and_then(LikelihoodEngine::cached_generator)
+    }
+
+    fn prime_cache(&self, tree: Option<&GeneTree>) -> Result<(), PhyloError> {
+        for engine in &self.engines {
+            engine.prime_cache(tree)?;
+        }
+        Ok(())
     }
 }
 
@@ -2361,6 +2420,53 @@ mod tests {
         // Arena mismatch is an error.
         let small = two_tip_tree(0.1, 0.1, 0.2);
         assert!(pruner.commit_to_cache(&accepted, &small, &[0]).is_err());
+    }
+
+    #[test]
+    fn prime_cache_reproduces_the_warm_state_exactly() {
+        // The checkpoint/resume invariant: an engine primed with the tree
+        // its cache was keyed to behaves bit-identically — results AND
+        // cache counters — to the engine that reached that state by
+        // batching and committing.
+        let (alignment, tree) = five_tip_fixture();
+        let warm = FelsensteinPruner::new(&alignment, Jc69::new());
+        let target = tree.non_root_internal_nodes()[0];
+        let (accepted, edited) = perturb(&tree, target, 0.02);
+        let proposals = [TreeProposal { tree: &accepted, edited: &edited }];
+        warm.log_likelihood_batch(Backend::Serial, &tree, &proposals).unwrap();
+        warm.commit_to_cache(&tree, &accepted, &edited).unwrap();
+        assert_eq!(warm.cached_generator().as_ref(), Some(&accepted));
+
+        // "Resume": a cold engine primed with the checkpointed cached tree.
+        let resumed = FelsensteinPruner::new(&alignment, Jc69::new());
+        resumed.prime_cache(Some(&accepted)).unwrap();
+        assert_eq!(resumed.cached_generator().as_ref(), Some(&accepted));
+
+        // The next batch — same generator, new proposals — must agree on
+        // every result and every counter (hits, misses, reprune counts).
+        let next_target = accepted.non_root_internal_nodes()[1];
+        let (next, next_edited) = perturb(&accepted, next_target, -0.004);
+        let next_proposals = [TreeProposal { tree: &next, edited: &next_edited }];
+        let from_warm =
+            warm.log_likelihood_batch(Backend::Serial, &accepted, &next_proposals).unwrap();
+        let from_resumed =
+            resumed.log_likelihood_batch(Backend::Serial, &accepted, &next_proposals).unwrap();
+        assert_eq!(from_warm, from_resumed);
+
+        // A *stale* cache (keyed to the pre-swap tree, as after a replica
+        // exchange) must also be reproducible: counters of the seeded
+        // rebuild agree too.
+        let stale_warm = FelsensteinPruner::new(&alignment, Jc69::new());
+        stale_warm.log_likelihood_batch(Backend::Serial, &accepted, &[]).unwrap();
+        let stale_resumed = FelsensteinPruner::new(&alignment, Jc69::new());
+        stale_resumed.prime_cache(Some(&accepted)).unwrap();
+        let w = stale_warm.log_likelihood_batch(Backend::Serial, &next, &[]).unwrap();
+        let r = stale_resumed.log_likelihood_batch(Backend::Serial, &next, &[]).unwrap();
+        assert_eq!(w, r);
+
+        // Priming with None clears.
+        resumed.prime_cache(None).unwrap();
+        assert_eq!(resumed.cached_generator(), None);
     }
 
     // ------------------------------------------------------------------

@@ -38,9 +38,73 @@ pub struct GeneTree {
     n_tips: usize,
 }
 
+/// A plain-data description of one [`GeneTree`] node, in arena order — the
+/// serialisation surface of a genealogy. [`GeneTree::node_records`] and
+/// [`GeneTree::from_node_records`] round-trip a tree through these records
+/// preserving the exact arena layout (indices, times, labels), which is what
+/// lets a resumed sampler replay bit-identically: node ids recorded in
+/// traces and caches stay valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    /// Parent node id, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// The two children, `None` for a tip.
+    pub children: Option<(NodeId, NodeId)>,
+    /// Node time (0 = present, larger = older).
+    pub time: f64,
+    /// Tip label, `None` for interior nodes.
+    pub label: Option<String>,
+}
+
 impl GeneTree {
     pub(crate) fn from_parts(nodes: Vec<Node>, root: NodeId, n_tips: usize) -> Self {
         GeneTree { nodes, root, n_tips }
+    }
+
+    /// Export the arena as plain records (see [`NodeRecord`]).
+    pub fn node_records(&self) -> Vec<NodeRecord> {
+        self.nodes
+            .iter()
+            .map(|node| NodeRecord {
+                parent: node.parent,
+                children: node.children,
+                time: node.time,
+                label: node.label.clone(),
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from records produced by [`GeneTree::node_records`],
+    /// preserving the exact arena layout. The reconstructed tree is fully
+    /// validated (pointer consistency, reachability, age ordering), so a
+    /// corrupted or hand-edited serialisation is rejected rather than
+    /// silently producing a broken genealogy.
+    pub fn from_node_records(records: Vec<NodeRecord>, root: NodeId) -> Result<Self, PhyloError> {
+        let n_tips = records.iter().filter(|r| r.children.is_none()).count();
+        if n_tips == 0 {
+            return Err(PhyloError::InvalidTree { message: "tree records contain no tips".into() });
+        }
+        if root >= records.len() {
+            return Err(PhyloError::InvalidTree {
+                message: format!("root id {root} out of range for {} nodes", records.len()),
+            });
+        }
+        for record in &records {
+            for id in record.parent.iter().chain(record.children.iter().flat_map(|(a, b)| [a, b])) {
+                if *id >= records.len() {
+                    return Err(PhyloError::InvalidTree {
+                        message: format!("node id {id} out of range for {} nodes", records.len()),
+                    });
+                }
+            }
+        }
+        let nodes = records
+            .into_iter()
+            .map(|r| Node { parent: r.parent, children: r.children, time: r.time, label: r.label })
+            .collect();
+        let tree = GeneTree { nodes, root, n_tips };
+        tree.validate()?;
+        Ok(tree)
     }
 
     /// Number of tips (sampled sequences).
@@ -467,6 +531,36 @@ mod tests {
         let t3 = t.tip_by_label("t3").unwrap();
         let w = t.parent(t3).unwrap();
         t.replace_child(w, t0, t3);
+    }
+
+    #[test]
+    fn node_records_round_trip_preserves_the_exact_arena() {
+        let t = five_tip_tree();
+        let records = t.node_records();
+        assert_eq!(records.len(), t.n_nodes());
+        let rebuilt = GeneTree::from_node_records(records, t.root()).unwrap();
+        assert_eq!(rebuilt, t);
+        assert_eq!(rebuilt.n_tips(), 5);
+        assert_eq!(rebuilt.tip_labels(), t.tip_labels());
+    }
+
+    #[test]
+    fn from_node_records_rejects_corrupted_serialisations() {
+        let t = five_tip_tree();
+        // Out-of-range root.
+        assert!(GeneTree::from_node_records(t.node_records(), t.n_nodes()).is_err());
+        // Out-of-range child pointer.
+        let mut bad = t.node_records();
+        let interior = (0..bad.len()).find(|&i| bad[i].children.is_some()).unwrap();
+        bad[interior].children = Some((0, 999));
+        assert!(GeneTree::from_node_records(bad, t.root()).is_err());
+        // Inconsistent parent pointer.
+        let mut bad = t.node_records();
+        let tip = (0..bad.len()).find(|&i| bad[i].children.is_none()).unwrap();
+        bad[tip].parent = Some(t.root());
+        assert!(GeneTree::from_node_records(bad, t.root()).is_err());
+        // No tips at all.
+        assert!(GeneTree::from_node_records(Vec::new(), 0).is_err());
     }
 
     #[test]

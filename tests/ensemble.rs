@@ -15,8 +15,7 @@
 //! * **Pooled diagnostics** — Gelman–Rubin R̂ over identical-target chains
 //!   approaches 1 on long runs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::Backend;
@@ -276,29 +275,29 @@ fn ensemble_builder_and_em_estimation_run_end_to_end() {
 /// per-iteration event stream.
 #[derive(Clone, Default)]
 struct ChainTagRecorder {
-    started: Rc<RefCell<Vec<usize>>>,
-    ended: Rc<RefCell<Vec<usize>>>,
-    thetas: Rc<RefCell<Vec<f64>>>,
-    iterations: Rc<RefCell<usize>>,
-    burn_in_events: Rc<RefCell<usize>>,
+    started: Arc<Mutex<Vec<usize>>>,
+    ended: Arc<Mutex<Vec<usize>>>,
+    thetas: Arc<Mutex<Vec<f64>>>,
+    iterations: Arc<Mutex<usize>>,
+    burn_in_events: Arc<Mutex<usize>>,
 }
 
 impl RunObserver for ChainTagRecorder {
     fn on_chain_start(&mut self, info: &ChainInfo) {
-        self.started.borrow_mut().push(info.chain_index);
-        self.thetas.borrow_mut().push(info.theta);
+        self.started.lock().unwrap().push(info.chain_index);
+        self.thetas.lock().unwrap().push(info.theta);
     }
 
     fn on_burn_in_progress(&mut self, _draws_done: usize, _burn_in_total: usize) {
-        *self.burn_in_events.borrow_mut() += 1;
+        *self.burn_in_events.lock().unwrap() += 1;
     }
 
     fn on_iteration(&mut self, _step: &mpcgs::StepReport) {
-        *self.iterations.borrow_mut() += 1;
+        *self.iterations.lock().unwrap() += 1;
     }
 
     fn on_chain_end(&mut self, report: &RunReport) {
-        self.ended.borrow_mut().push(report.counters.draws);
+        self.ended.lock().unwrap().push(report.counters.draws);
     }
 }
 
@@ -314,15 +313,15 @@ fn observers_see_tagged_per_chain_events() {
         .build()
         .unwrap();
     s.run_ensemble(&mut Mt19937::new(7)).unwrap();
-    assert_eq!(*recorder.started.borrow(), vec![0, 1, 2], "starts are tagged in rung order");
-    assert_eq!(recorder.ended.borrow().len(), 3, "one end event per chain");
-    assert!(recorder.thetas.borrow().iter().all(|&t| t == 1.0));
+    assert_eq!(*recorder.started.lock().unwrap(), vec![0, 1, 2], "starts are tagged in rung order");
+    assert_eq!(recorder.ended.lock().unwrap().len(), 3, "one end event per chain");
+    assert!(recorder.thetas.lock().unwrap().iter().all(|&t| t == 1.0));
     // Segmented dispatch must not starve per-iteration hooks: the observer
     // sees the cold chain's full event stream — one on_iteration per GMH
     // iteration (200 draws / 8 per iteration) and burn-in progress through
     // the 40 burn-in draws (5 iterations).
-    assert_eq!(*recorder.iterations.borrow(), 200_usize.div_ceil(8));
-    assert_eq!(*recorder.burn_in_events.borrow(), 40_usize.div_ceil(8));
+    assert_eq!(*recorder.iterations.lock().unwrap(), 200_usize.div_ceil(8));
+    assert_eq!(*recorder.burn_in_events.lock().unwrap(), 40_usize.div_ceil(8));
 }
 
 #[test]

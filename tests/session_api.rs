@@ -10,8 +10,7 @@
 //!    counterparts under a fixed seed;
 //! 4. `RunObserver`s receive the documented event sequence.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::Backend;
@@ -277,30 +276,30 @@ enum Event {
 }
 
 #[derive(Clone)]
-struct Recorder(Rc<RefCell<Vec<Event>>>);
+struct Recorder(Arc<Mutex<Vec<Event>>>);
 
 impl RunObserver for Recorder {
     fn on_chain_start(&mut self, info: &ChainInfo) {
-        self.0.borrow_mut().push(Event::ChainStart {
+        self.0.lock().unwrap().push(Event::ChainStart {
             strategy: info.strategy.to_string(),
             total_draws: info.total_draws,
         });
     }
 
     fn on_burn_in_progress(&mut self, draws_done: usize, _burn_in_total: usize) {
-        self.0.borrow_mut().push(Event::BurnIn { draws_done });
+        self.0.lock().unwrap().push(Event::BurnIn { draws_done });
     }
 
     fn on_iteration(&mut self, step: &StepReport) {
-        self.0.borrow_mut().push(Event::Iteration { draws_done: step.draws_done });
+        self.0.lock().unwrap().push(Event::Iteration { draws_done: step.draws_done });
     }
 
     fn on_em_update(&mut self, update: &EmUpdate) {
-        self.0.borrow_mut().push(Event::Em { iteration: update.iteration });
+        self.0.lock().unwrap().push(Event::Em { iteration: update.iteration });
     }
 
     fn on_chain_end(&mut self, report: &RunReport) {
-        self.0.borrow_mut().push(Event::ChainEnd { draws: report.counters.draws });
+        self.0.lock().unwrap().push(Event::ChainEnd { draws: report.counters.draws });
     }
 }
 
@@ -317,7 +316,7 @@ fn observers_receive_the_expected_event_sequence() {
         backend: Backend::Serial,
         ..MpcgsConfig::default()
     };
-    let events = Rc::new(RefCell::new(Vec::new()));
+    let events = Arc::new(Mutex::new(Vec::new()));
     let mut session = Session::builder()
         .alignment(alignment)
         .config(config)
@@ -347,5 +346,5 @@ fn observers_receive_the_expected_event_sequence() {
         expected.extend(expected_per_round(24));
         expected.push(Event::Em { iteration: round });
     }
-    assert_eq!(*events.borrow(), expected);
+    assert_eq!(*events.lock().unwrap(), expected);
 }
