@@ -1,0 +1,104 @@
+//! Criterion benchmark of genealogy snapshots: the copy-on-write
+//! `GeneTree::clone()` over the columnar `phylo::tables` store versus the
+//! legacy pointer-arena deep copy it replaced.
+//!
+//! Two shapes are measured:
+//!
+//! * **clone** — one snapshot of an `n`-tip genealogy. CoW is six `Arc`
+//!   bumps regardless of `n`; the legacy copy scales with the node count.
+//! * **ladder_swap_sweep** — the replica-exchange hot loop: one full sweep
+//!   of adjacent-rung swaps over an 8/16/32-rung ladder, where every swap
+//!   exports both chains' trees (two clones) and installs them crosswise —
+//!   exactly the state traffic `ShardedSampler` pays per exchange segment.
+//!
+//! The `snapshot_then_retime` rows price the deferred side of CoW: the first
+//! mutation after a snapshot materialises the touched column slab, so the
+//! pair (snapshot + one retime) bounds the real per-proposal cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use benchkit::harness_rng;
+use coalescent::CoalescentSimulator;
+use phylo::tree::legacy::LegacyTree;
+use phylo::GeneTree;
+
+fn simulated_tree(tips: usize) -> GeneTree {
+    let mut rng = harness_rng("bench-snapshots", tips as u64);
+    CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, tips).unwrap()
+}
+
+fn legacy_of(tree: &GeneTree) -> LegacyTree {
+    LegacyTree::from_node_records(tree.node_records(), tree.root()).unwrap()
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_snapshots");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for &tips in &[64usize, 512] {
+        let tree = simulated_tree(tips);
+        let legacy = legacy_of(&tree);
+        group.bench_function(BenchmarkId::new("clone_cow", tips), |b| {
+            b.iter(|| black_box(tree.clone()).n_nodes())
+        });
+        group.bench_function(BenchmarkId::new("clone_legacy", tips), |b| {
+            b.iter(|| black_box(legacy.clone()).n_nodes())
+        });
+        let root = tree.root();
+        let root_time = tree.time(root);
+        group.bench_function(BenchmarkId::new("snapshot_then_retime", tips), |b| {
+            b.iter(|| {
+                let mut snap = tree.clone();
+                snap.set_time(root, root_time * 1.5);
+                black_box(snap).n_nodes()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One sweep of adjacent-rung exchanges: every swap clones both replicas'
+/// trees (the export half of `current_state`) and installs them crosswise
+/// (the `replace_state` half).
+fn sweep<T: Clone>(replicas: &mut [T]) {
+    for i in 0..replicas.len() - 1 {
+        let a = replicas[i].clone();
+        let b = replicas[i + 1].clone();
+        replicas[i] = b;
+        replicas[i + 1] = a;
+    }
+}
+
+fn bench_ladder_swaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ladder_swap_sweep");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let tree = simulated_tree(256);
+    for &rungs in &[8usize, 16, 32] {
+        let mut cow: Vec<GeneTree> = (0..rungs).map(|_| tree.clone()).collect();
+        group.bench_function(BenchmarkId::new("cow", format!("{rungs}_rungs")), |b| {
+            b.iter(|| {
+                sweep(&mut cow);
+                black_box(cow.len())
+            })
+        });
+        let legacy = legacy_of(&tree);
+        let mut deep: Vec<LegacyTree> = (0..rungs).map(|_| legacy.clone()).collect();
+        group.bench_function(BenchmarkId::new("legacy", format!("{rungs}_rungs")), |b| {
+            b.iter(|| {
+                sweep(&mut deep);
+                black_box(deep.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone, bench_ladder_swaps);
+criterion_main!(benches);

@@ -13,6 +13,11 @@
 //! * **dirty_path** — nanoseconds per proposal of batched dirty-path
 //!   rescoring on a deep tree, plus the edge transition-matrix cache hit
 //!   rate the run observed (the machine-independent metric).
+//! * **snapshots** — nanoseconds per genealogy snapshot (`GeneTree::clone`
+//!   over the columnar copy-on-write store) versus the legacy pointer-arena
+//!   deep copy, slab allocations per snapshot (exactly zero — the O(1)
+//!   claim, machine-independent), and the per-swap cost of swap-heavy
+//!   8/16/32-rung exchange sweeps.
 //! * **ensemble** — effective samples per second of a short
 //!   Generalized-MH chain (Geyer initial-sequence ESS over the post
 //!   burn-in trace divided by sampling wall-clock).
@@ -34,6 +39,7 @@ use std::time::Instant;
 
 use benchkit::json::Json;
 use benchkit::{harness_rng, simulate_alignment};
+use coalescent::CoalescentSimulator;
 use exec::Backend;
 use lamarc::GenealogyProposer;
 use mcmc::diagnostics::effective_sample_size;
@@ -41,6 +47,7 @@ use mcmc::rng::Mt19937;
 use mpcgs::{MpcgsConfig, SamplerStrategy, Session};
 use phylo::likelihood::{host_cpu_features, LikelihoodEngine};
 use phylo::model::F81;
+use phylo::tree::legacy::LegacyTree;
 use phylo::{upgma_tree, Alignment, FelsensteinPruner, GeneTree, Kernel, NodeId, TreeProposal};
 
 const SCHEMA: &str = "mpcgs-perf-trajectory/v1";
@@ -288,7 +295,110 @@ fn dirty_path_section(opts: &Opts) -> Json {
 }
 
 // ---------------------------------------------------------------------------
-// Section 4: end-to-end chain throughput in effective samples per second.
+// Section 4: genealogy snapshots — the CoW columnar store vs deep copies.
+
+fn snapshots_section(opts: &Opts) -> Json {
+    let tips = 384usize;
+    let (clone_reps, rounds) = if opts.smoke { (2_000, 3) } else { (50_000, 7) };
+    let mut rng = harness_rng("perf-trajectory-snapshots", tips as u64);
+    let tree = CoalescentSimulator::constant(1.0)
+        .expect("valid theta")
+        .simulate(&mut rng, tips)
+        .expect("valid simulation size");
+    let legacy = LegacyTree::from_node_records(tree.node_records(), tree.root())
+        .expect("records round-trip");
+
+    // Snapshot cost, with the O(1) claim checked on the slab ledger: the
+    // timing loop takes `clone_reps × rounds` snapshots and must allocate
+    // (and CoW-materialise) zero slabs — this quotient is the
+    // machine-independent gate.
+    let before = phylo::tables::cow_stats();
+    let snapshot_s = min_seconds_of(rounds, || {
+        for _ in 0..clone_reps {
+            std::hint::black_box(tree.clone());
+        }
+    });
+    let delta = phylo::tables::cow_stats().since(&before);
+    let slab_allocs_per_snapshot =
+        (delta.slab_allocs + delta.slab_cow_clones) as f64 / delta.snapshots.max(1) as f64;
+    let deep_copy_s = min_seconds_of(rounds, || {
+        for _ in 0..clone_reps {
+            std::hint::black_box(legacy.clone());
+        }
+    });
+    let snapshot_ns = snapshot_s / clone_reps as f64 * 1e9;
+    let deep_copy_ns = deep_copy_s / clone_reps as f64 * 1e9;
+    println!(
+        "snapshots ({tips} tips): cow {snapshot_ns:.0} ns, legacy deep copy {deep_copy_ns:.0} ns \
+         ({:.1}x), {slab_allocs_per_snapshot:.4} slab allocs/snapshot",
+        deep_copy_ns / snapshot_ns
+    );
+
+    // Swap-heavy exchange sweeps: every adjacent-rung swap exports both
+    // replicas' trees (two clones, the `current_state` half) and installs
+    // them crosswise (the `replace_state` half) — the state traffic the
+    // sharded sampler pays per exchange segment.
+    let sweep_reps = if opts.smoke { 50 } else { 500 };
+    let mut ladder_rows = Vec::new();
+    let mut ladder32 = (f64::NAN, f64::NAN);
+    for &rungs in &[8usize, 16, 32] {
+        let swaps_per_sweep = (rungs - 1) as f64;
+        let mut cow: Vec<GeneTree> = (0..rungs).map(|_| tree.clone()).collect();
+        let cow_s = min_seconds_of(rounds, || {
+            for _ in 0..sweep_reps {
+                for i in 0..cow.len() - 1 {
+                    let a = cow[i].clone();
+                    let b = cow[i + 1].clone();
+                    cow[i] = b;
+                    cow[i + 1] = a;
+                }
+            }
+            std::hint::black_box(&cow);
+        });
+        let mut deep: Vec<LegacyTree> = (0..rungs).map(|_| legacy.clone()).collect();
+        let legacy_s = min_seconds_of(rounds, || {
+            for _ in 0..sweep_reps {
+                for i in 0..deep.len() - 1 {
+                    let a = deep[i].clone();
+                    let b = deep[i + 1].clone();
+                    deep[i] = b;
+                    deep[i + 1] = a;
+                }
+            }
+            std::hint::black_box(&deep);
+        });
+        let cow_ns = cow_s / (sweep_reps as f64 * swaps_per_sweep) * 1e9;
+        let legacy_ns = legacy_s / (sweep_reps as f64 * swaps_per_sweep) * 1e9;
+        println!(
+            "  ladder {rungs:>2} rungs: cow {cow_ns:.0} ns/swap, legacy {legacy_ns:.0} ns/swap \
+             ({:.1}x)",
+            legacy_ns / cow_ns
+        );
+        ladder_rows.push((
+            format!("rungs_{rungs}"),
+            Json::Object(vec![
+                ("cow_ns_per_swap".to_string(), Json::Number(cow_ns)),
+                ("legacy_ns_per_swap".to_string(), Json::Number(legacy_ns)),
+            ]),
+        ));
+        if rungs == 32 {
+            ladder32 = (cow_ns, legacy_ns);
+        }
+    }
+    Json::Object(vec![
+        ("tips".to_string(), Json::Number(tips as f64)),
+        ("snapshot_ns".to_string(), Json::Number(snapshot_ns)),
+        ("deep_copy_ns".to_string(), Json::Number(deep_copy_ns)),
+        ("deep_copy_over_snapshot".to_string(), Json::Number(deep_copy_ns / snapshot_ns)),
+        ("slab_allocs_per_snapshot".to_string(), Json::Number(slab_allocs_per_snapshot)),
+        ("ladder".to_string(), Json::Object(ladder_rows)),
+        ("ladder32_cow_ns_per_swap".to_string(), Json::Number(ladder32.0)),
+        ("ladder32_legacy_over_cow".to_string(), Json::Number(ladder32.1 / ladder32.0)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Section 5: end-to-end chain throughput in effective samples per second.
 
 fn ensemble_section(opts: &Opts) -> Json {
     let (taxa, sites) = (10usize, if opts.smoke { 100 } else { 200 });
@@ -337,7 +447,7 @@ fn ensemble_section(opts: &Opts) -> Json {
 }
 
 // ---------------------------------------------------------------------------
-// Section 5: serve-layer job-queue throughput.
+// Section 6: serve-layer job-queue throughput.
 
 fn serve_section(opts: &Opts) -> Json {
     // Many small-but-real jobs (a complete 1-round EM estimate each), so the
@@ -405,12 +515,25 @@ struct Gate {
     machine_bound: bool,
 }
 
-const GATES: [Gate; 6] = [
+const GATES: [Gate; 9] = [
     Gate { path: "kernel.scalar_mpatterns_per_s", higher_is_better: true, machine_bound: true },
     Gate { path: "kernel.auto_mpatterns_per_s", higher_is_better: true, machine_bound: true },
     Gate { path: "full_prune.auto_ns", higher_is_better: false, machine_bound: true },
     Gate { path: "dirty_path.ns_per_proposal", higher_is_better: false, machine_bound: true },
     Gate { path: "dirty_path.matrix_cache_hit_rate", higher_is_better: true, machine_bound: false },
+    // Snapshots stay O(1): zero slab traffic per clone (exact, every run)
+    // and the per-snapshot / per-swap wall clocks on comparable hosts.
+    Gate {
+        path: "snapshots.slab_allocs_per_snapshot",
+        higher_is_better: false,
+        machine_bound: false,
+    },
+    Gate { path: "snapshots.snapshot_ns", higher_is_better: false, machine_bound: true },
+    Gate {
+        path: "snapshots.ladder32_cow_ns_per_swap",
+        higher_is_better: false,
+        machine_bound: true,
+    },
     Gate { path: "ensemble.ess_per_s", higher_is_better: true, machine_bound: true },
 ];
 
@@ -481,6 +604,7 @@ fn run(opts: &Opts) -> Result<(), String> {
     let kernel = kernel_section(opts);
     let full_prune = full_prune_section(opts);
     let dirty_path = dirty_path_section(opts);
+    let snapshots = snapshots_section(opts);
     let ensemble = ensemble_section(opts);
     let serve = serve_section(opts);
 
@@ -502,6 +626,7 @@ fn run(opts: &Opts) -> Result<(), String> {
         ("kernel".to_string(), kernel),
         ("full_prune".to_string(), full_prune),
         ("dirty_path".to_string(), dirty_path),
+        ("snapshots".to_string(), snapshots),
         ("ensemble".to_string(), ensemble),
         ("serve".to_string(), serve),
     ]);

@@ -21,9 +21,19 @@
 //!   likelihoods (LAMARC's multi-locus θ estimation).
 //! * [`io`] — PHYLIP alignment and Newick tree readers/writers (the input
 //!   formats of the original program and of `ms`/`seq-gen`).
-//! * [`tree`] — the genealogy tree arena: binary coalescent trees with node
+//! * [`tree`] — the genealogy tree view: binary coalescent trees with node
 //!   times, traversals, neighborhood queries used by the proposal kernel, and
-//!   coalescent-interval extraction.
+//!   coalescent-interval extraction. Since the columnar port it is a thin
+//!   view over [`tables`], so cloning a tree is an O(1) snapshot; the old
+//!   pointer arena survives as [`tree::legacy`], the differential-test
+//!   oracle.
+//! * [`tables`] — the columnar genealogy store: a tskit-style node table
+//!   (parent/left-child/right-sib/time/label-id columns) over slab-backed,
+//!   copy-on-write storage, plus the representation-independent
+//!   [`tables::validate_genealogy_records`] /
+//!   [`tables::assert_valid_genealogy`] structural checkers and the
+//!   thread-local CoW instrumentation ([`tables::cow_stats`]) the O(1)
+//!   snapshot contract is asserted with.
 //! * [`distance`] / [`upgma`] — pairwise distances and UPGMA construction of
 //!   the starting genealogy G₀ (Section 5.1.3).
 //! * [`model`] — nucleotide substitution models (JC69, F81 — the model of
@@ -62,6 +72,7 @@ pub mod patterns;
 pub mod sequence;
 #[cfg(feature = "simd")]
 pub mod simd;
+pub mod tables;
 pub mod tree;
 pub mod upgma;
 
@@ -76,5 +87,6 @@ pub use model::{BaseFrequencies, SubstitutionModel};
 pub use nucleotide::Nucleotide;
 pub use patterns::SitePatterns;
 pub use sequence::Sequence;
+pub use tables::{assert_valid_genealogy, validate_genealogy_records, CowStats, TreeTables};
 pub use tree::{CoalescentIntervals, GeneTree, NodeId, NodeRecord};
 pub use upgma::upgma_tree;

@@ -1,28 +1,35 @@
 //! Incremental construction of genealogies.
 
-use super::{GeneTree, Node, NodeId};
+use super::{GeneTree, NodeId, NodeRecord};
 use crate::error::PhyloError;
 
 /// Builds a [`GeneTree`] by adding tips and joining nodes bottom-up.
 ///
 /// The builder mirrors how a coalescent history is narrated: tips exist at
-/// the present, and each `join` is one coalescent event at a given time.
+/// the present, and each `join` is one coalescent event at a given time. The
+/// accumulated rows are handed to the columnar table constructor on
+/// [`TreeBuilder::build`].
 #[derive(Debug, Default, Clone)]
 pub struct TreeBuilder {
-    nodes: Vec<Node>,
+    rows: Vec<NodeRecord>,
     n_tips: usize,
 }
 
 impl TreeBuilder {
     /// Create an empty builder.
     pub fn new() -> Self {
-        TreeBuilder { nodes: Vec::new(), n_tips: 0 }
+        TreeBuilder { rows: Vec::new(), n_tips: 0 }
     }
 
     /// Add a labelled tip at the given time (0 for contemporary samples).
     pub fn add_tip(&mut self, label: impl Into<String>, time: f64) -> NodeId {
-        let id = self.nodes.len();
-        self.nodes.push(Node { parent: None, children: None, time, label: Some(label.into()) });
+        let id = self.rows.len();
+        self.rows.push(NodeRecord {
+            parent: None,
+            children: None,
+            time,
+            label: Some(label.into()),
+        });
         self.n_tips += 1;
         id
     }
@@ -34,18 +41,18 @@ impl TreeBuilder {
     /// Panics if either node already has a parent or if `a == b`.
     pub fn join(&mut self, a: NodeId, b: NodeId, time: f64) -> NodeId {
         assert_ne!(a, b, "cannot join a node with itself");
-        assert!(self.nodes[a].parent.is_none(), "node {a} already has a parent");
-        assert!(self.nodes[b].parent.is_none(), "node {b} already has a parent");
-        let id = self.nodes.len();
-        self.nodes.push(Node { parent: None, children: Some((a, b)), time, label: None });
-        self.nodes[a].parent = Some(id);
-        self.nodes[b].parent = Some(id);
+        assert!(self.rows[a].parent.is_none(), "node {a} already has a parent");
+        assert!(self.rows[b].parent.is_none(), "node {b} already has a parent");
+        let id = self.rows.len();
+        self.rows.push(NodeRecord { parent: None, children: Some((a, b)), time, label: None });
+        self.rows[a].parent = Some(id);
+        self.rows[b].parent = Some(id);
         id
     }
 
     /// Number of nodes added so far.
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.rows.len()
     }
 
     /// Number of tips added so far.
@@ -55,12 +62,12 @@ impl TreeBuilder {
 
     /// Ids of the nodes that currently have no parent (the "active roots").
     pub fn orphans(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].parent.is_none()).collect()
+        (0..self.rows.len()).filter(|&i| self.rows[i].parent.is_none()).collect()
     }
 
     /// The time of a node added so far.
     pub fn time(&self, node: NodeId) -> f64 {
-        self.nodes[node].time
+        self.rows[node].time
     }
 
     /// Finish building. Fails unless exactly one parentless node remains
@@ -78,9 +85,7 @@ impl TreeBuilder {
                 ),
             });
         }
-        let tree = GeneTree::from_parts(self.nodes, orphans[0], self.n_tips);
-        tree.validate()?;
-        Ok(tree)
+        GeneTree::from_node_records(self.rows, orphans[0])
     }
 }
 

@@ -1,0 +1,336 @@
+//! The pointer-arena genealogy representation the columnar tables replaced,
+//! kept verbatim as the **oracle** of the differential test harness.
+//!
+//! [`LegacyTree`] stores each node as a struct of `Option` pointers — the
+//! representation [`GeneTree`](crate::tree::GeneTree) used before the
+//! `phylo::tables` port. It deep-clones, it interns nothing, and it is
+//! deliberately *not* optimised: its value is that it is simple enough to
+//! trust. The harness in `tests/harness/` replays randomized op tapes
+//! against both representations and asserts bit-identical topology, times,
+//! and serialized records at every step; any divergence is a bug in the
+//! columnar encoding, not here.
+//!
+//! Only the operation surface the samplers actually use is reproduced:
+//! queries, the two surgery primitives, retiming, and the
+//! [`NodeRecord`]-based serialisation (shared with `GeneTree`, so records —
+//! and therefore checkpoint bytes — compare directly).
+
+use super::{NodeId, NodeRecord};
+use crate::error::PhyloError;
+
+/// One node of a legacy genealogy: the original pointer struct.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    parent: Option<NodeId>,
+    children: Option<(NodeId, NodeId)>,
+    time: f64,
+    label: Option<String>,
+}
+
+/// A rooted binary genealogy in the original pointer-arena representation.
+/// See the [module docs](self) for why this exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacyTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    n_tips: usize,
+}
+
+impl LegacyTree {
+    /// Rebuild a tree from records (the same serialisation surface as
+    /// [`GeneTree::from_node_records`](crate::tree::GeneTree::from_node_records)),
+    /// with the same validation.
+    pub fn from_node_records(records: Vec<NodeRecord>, root: NodeId) -> Result<Self, PhyloError> {
+        let n_tips = records.iter().filter(|r| r.children.is_none()).count();
+        if n_tips == 0 {
+            return Err(PhyloError::InvalidTree { message: "tree records contain no tips".into() });
+        }
+        if root >= records.len() {
+            return Err(PhyloError::InvalidTree {
+                message: format!("root id {root} out of range for {} nodes", records.len()),
+            });
+        }
+        for record in &records {
+            for id in record.parent.iter().chain(record.children.iter().flat_map(|(a, b)| [a, b])) {
+                if *id >= records.len() {
+                    return Err(PhyloError::InvalidTree {
+                        message: format!("node id {id} out of range for {} nodes", records.len()),
+                    });
+                }
+            }
+        }
+        let nodes = records
+            .into_iter()
+            .map(|r| Node { parent: r.parent, children: r.children, time: r.time, label: r.label })
+            .collect();
+        let tree = LegacyTree { nodes, root, n_tips };
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Export the arena as plain records, in arena order.
+    pub fn node_records(&self) -> Vec<NodeRecord> {
+        self.nodes
+            .iter()
+            .map(|node| NodeRecord {
+                parent: node.parent,
+                children: node.children,
+                time: node.time,
+                label: node.label.clone(),
+            })
+            .collect()
+    }
+
+    /// Number of tips.
+    pub fn n_tips(&self) -> usize {
+        self.n_tips
+    }
+
+    /// Total number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Whether `node` is a tip.
+    pub fn is_tip(&self, node: NodeId) -> bool {
+        self.nodes[node].children.is_none()
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node].parent
+    }
+
+    /// The two children of an interior node, or `None` for a tip.
+    pub fn children(&self, node: NodeId) -> Option<(NodeId, NodeId)> {
+        self.nodes[node].children
+    }
+
+    /// The sibling of `node`, or `None` for the root.
+    pub fn sibling(&self, node: NodeId) -> Option<NodeId> {
+        let parent = self.parent(node)?;
+        let (a, b) = self.children(parent).expect("parent must be interior");
+        Some(if a == node { b } else { a })
+    }
+
+    /// The time of `node`.
+    pub fn time(&self, node: NodeId) -> f64 {
+        self.nodes[node].time
+    }
+
+    /// Set the time of `node`.
+    pub fn set_time(&mut self, node: NodeId, time: f64) {
+        self.nodes[node].time = time;
+    }
+
+    /// The tip label, if this node is a labelled tip.
+    pub fn label(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node].label.as_deref()
+    }
+
+    /// The branch length above `node`, or `None` for the root.
+    pub fn branch_length(&self, node: NodeId) -> Option<f64> {
+        let parent = self.parent(node)?;
+        Some(self.time(parent) - self.time(node))
+    }
+
+    /// Post-order traversal from the root (children before parents) — the
+    /// identical stack discipline to `GeneTree::post_order`, so traversal
+    /// orders compare bit-for-bit.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.n_nodes());
+        let mut stack = vec![(self.root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded || self.is_tip(node) {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                let (a, b) = self.children(node).expect("interior node");
+                stack.push((b, false));
+                stack.push((a, false));
+            }
+        }
+        order
+    }
+
+    /// The root time.
+    pub fn tmrca(&self) -> f64 {
+        self.time(self.root)
+    }
+
+    /// Sum of all branch lengths.
+    pub fn total_branch_length(&self) -> f64 {
+        (0..self.n_nodes()).filter_map(|i| self.branch_length(i)).sum()
+    }
+
+    /// Multiply every node time by `factor`.
+    pub fn scale_times(&mut self, factor: f64) {
+        for node in &mut self.nodes {
+            node.time *= factor;
+        }
+    }
+
+    /// Re-wire `node` to have children `(a, b)` — the original pointer
+    /// semantics: previous children keep their stale parent pointers.
+    pub fn set_children(&mut self, node: NodeId, a: NodeId, b: NodeId) {
+        assert!(node != a && node != b && a != b, "set_children requires three distinct nodes");
+        self.nodes[node].children = Some((a, b));
+        self.nodes[a].parent = Some(node);
+        self.nodes[b].parent = Some(node);
+    }
+
+    /// Replace `old_child` with `new_child` among the children of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `old_child` is not currently a child of `parent`.
+    pub fn replace_child(&mut self, parent: NodeId, old_child: NodeId, new_child: NodeId) {
+        let (a, b) = self.children(parent).expect("replace_child on a tip");
+        if a == old_child {
+            self.nodes[parent].children = Some((new_child, b));
+        } else if b == old_child {
+            self.nodes[parent].children = Some((a, new_child));
+        } else {
+            panic!("node {old_child} is not a child of {parent}");
+        }
+        self.nodes[new_child].parent = Some(parent);
+    }
+
+    /// Declare `node` to be the root (clearing its parent pointer).
+    pub fn set_root(&mut self, node: NodeId) {
+        self.root = node;
+        self.nodes[node].parent = None;
+    }
+
+    /// The original structural validation: pointer symmetry, reachability,
+    /// node count, age ordering.
+    pub fn validate(&self) -> Result<(), PhyloError> {
+        if self.n_nodes() != 2 * self.n_tips - 1 {
+            return Err(PhyloError::InvalidTree {
+                message: format!(
+                    "expected {} nodes for {} tips, found {}",
+                    2 * self.n_tips - 1,
+                    self.n_tips,
+                    self.n_nodes()
+                ),
+            });
+        }
+        if self.nodes[self.root].parent.is_some() {
+            return Err(PhyloError::InvalidTree { message: "root has a parent".into() });
+        }
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if seen[node] {
+                return Err(PhyloError::InvalidTree {
+                    message: format!("node {node} reachable twice (cycle or shared child)"),
+                });
+            }
+            seen[node] = true;
+            if let Some((a, b)) = self.children(node) {
+                for child in [a, b] {
+                    if self.nodes[child].parent != Some(node) {
+                        return Err(PhyloError::InvalidTree {
+                            message: format!(
+                                "child {child} of {node} has parent {:?}",
+                                self.nodes[child].parent
+                            ),
+                        });
+                    }
+                    if self.time(child) > self.time(node) + 1e-12 {
+                        return Err(PhyloError::InvalidTree {
+                            message: format!(
+                                "child {child} (t={}) is older than parent {node} (t={})",
+                                self.time(child),
+                                self.time(node)
+                            ),
+                        });
+                    }
+                    stack.push(child);
+                }
+            }
+        }
+        if let Some(unreached) = seen.iter().position(|&s| !s) {
+            return Err(PhyloError::InvalidTree {
+                message: format!("node {unreached} is not reachable from the root"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::validate_genealogy_records;
+    use crate::tree::{GeneTree, TreeBuilder};
+
+    fn five_tip_records() -> (Vec<NodeRecord>, NodeId) {
+        let mut b = TreeBuilder::new();
+        let t0 = b.add_tip("t0", 0.0);
+        let t1 = b.add_tip("t1", 0.0);
+        let t2 = b.add_tip("t2", 0.0);
+        let t3 = b.add_tip("t3", 0.0);
+        let t4 = b.add_tip("t4", 0.0);
+        let v = b.join(t0, t1, 1.5);
+        let u = b.join(v, t2, 3.0);
+        let w = b.join(t3, t4, 2.0);
+        let _r = b.join(u, w, 4.0);
+        let tree = b.build().unwrap();
+        (tree.node_records(), tree.root())
+    }
+
+    #[test]
+    fn mirrors_the_columnar_representation_exactly() {
+        let (records, root) = five_tip_records();
+        let legacy = LegacyTree::from_node_records(records.clone(), root).unwrap();
+        let columnar = GeneTree::from_node_records(records.clone(), root).unwrap();
+        assert_eq!(legacy.node_records(), columnar.node_records());
+        assert_eq!(legacy.post_order(), columnar.post_order());
+        assert_eq!(legacy.root(), columnar.root());
+        assert_eq!(legacy.n_tips(), columnar.n_tips());
+        for n in 0..legacy.n_nodes() {
+            assert_eq!(legacy.parent(n), columnar.parent(n));
+            assert_eq!(legacy.children(n), columnar.children(n));
+            assert_eq!(legacy.sibling(n), columnar.sibling(n));
+            assert_eq!(legacy.time(n).to_bits(), columnar.time(n).to_bits());
+            assert_eq!(legacy.label(n), columnar.label(n));
+        }
+        // Both representations satisfy the shared structural contract.
+        validate_genealogy_records(&legacy.node_records(), legacy.root()).unwrap();
+        legacy.validate().unwrap();
+    }
+
+    #[test]
+    fn surgery_matches_the_columnar_surgery() {
+        let (records, root) = five_tip_records();
+        let mut legacy = LegacyTree::from_node_records(records.clone(), root).unwrap();
+        let mut columnar = GeneTree::from_node_records(records, root).unwrap();
+        // The same swap exercised by the GeneTree unit tests.
+        let v = legacy.parent(0).unwrap();
+        let u = legacy.parent(v).unwrap();
+        legacy.set_children(v, 2, 1);
+        legacy.set_children(u, v, 0);
+        legacy.set_time(v, 1.25);
+        columnar.set_children(v, 2, 1);
+        columnar.set_children(u, v, 0);
+        columnar.set_time(v, 1.25);
+        assert_eq!(legacy.node_records(), columnar.node_records());
+        legacy.validate().unwrap();
+        columnar.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_the_same_corrupt_records() {
+        let (records, root) = five_tip_records();
+        assert!(LegacyTree::from_node_records(records.clone(), records.len()).is_err());
+        let mut bad = records.clone();
+        bad[0].parent = Some(root);
+        assert!(LegacyTree::from_node_records(bad, root).is_err());
+        assert!(LegacyTree::from_node_records(Vec::new(), 0).is_err());
+    }
+}

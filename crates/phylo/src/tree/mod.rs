@@ -1,41 +1,75 @@
 //! Genealogy trees.
 //!
-//! A [`GeneTree`] is a rooted, binary coalescent tree stored in an arena:
-//! tips carry the sampled sequences (time 0 unless serially sampled) and each
-//! interior node is a coalescent event with a time measured backwards from
-//! the present (larger = older). This is the `G` of the paper. The structure
-//! supports the queries the samplers need — parents, children, siblings,
-//! post-order traversal for the pruning likelihood, the neighborhood queries
-//! of the proposal kernel (Figures 7–10) — and the in-place surgery the
-//! proposal kernel performs (retiming and re-wiring the target node and its
-//! parent).
+//! A [`GeneTree`] is a rooted, binary coalescent tree: tips carry the sampled
+//! sequences (time 0 unless serially sampled) and each interior node is a
+//! coalescent event with a time measured backwards from the present (larger =
+//! older). This is the `G` of the paper. The structure supports the queries
+//! the samplers need — parents, children, siblings, post-order traversal for
+//! the pruning likelihood, the neighborhood queries of the proposal kernel
+//! (Figures 7–10) — and the in-place surgery the proposal kernel performs
+//! (retiming and re-wiring the target node and its parent).
+//!
+//! Since the columnar port, a `GeneTree` is a thin *view* over
+//! [`TreeTables`] — node ids are unchanged (arena
+//! indices), but the storage is five copy-on-write columns, so
+//! [`GeneTree::clone`] is an O(1) snapshot instead of a deep copy. The
+//! pointer-arena representation it replaced survives as
+//! [`legacy::LegacyTree`], the oracle of the differential test harness.
 
 mod builder;
 mod intervals;
+pub mod legacy;
 
 pub use builder::TreeBuilder;
 pub use intervals::{CoalescentIntervals, Interval};
 
 use crate::error::PhyloError;
+use crate::tables::TreeTables;
 
 /// Index of a node within a [`GeneTree`] arena.
 pub type NodeId = usize;
 
-/// One node of a genealogy.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Node {
-    pub(crate) parent: Option<NodeId>,
-    pub(crate) children: Option<(NodeId, NodeId)>,
-    pub(crate) time: f64,
-    pub(crate) label: Option<String>,
+/// A rooted binary genealogy with node times, backed by columnar
+/// copy-on-write [`TreeTables`].
+///
+/// Cloning takes an O(1) snapshot: the clone shares every column slab with
+/// the original and either side materialises only the slabs it subsequently
+/// mutates. Value semantics are fully preserved — a clone never observes the
+/// original's later writes, and vice versa.
+#[derive(Debug)]
+pub struct GeneTree {
+    tables: TreeTables,
 }
 
-/// A rooted binary genealogy with node times.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GeneTree {
-    nodes: Vec<Node>,
-    root: NodeId,
-    n_tips: usize,
+impl Clone for GeneTree {
+    fn clone(&self) -> Self {
+        GeneTree { tables: self.tables.snapshot() }
+    }
+}
+
+impl PartialEq for GeneTree {
+    /// Semantic equality: same root, tip count, and per-node
+    /// parent/children/time/label. Trees that still share all their storage
+    /// (snapshot never diverged) short-circuit to `true` without touching
+    /// node data — the likelihood engine's generator-memo check rides this
+    /// fast path.
+    fn eq(&self, other: &Self) -> bool {
+        if self.tables.shares_storage_with(&other.tables) {
+            return self.root() == other.root() && self.n_tips() == other.n_tips();
+        }
+        if self.root() != other.root()
+            || self.n_tips() != other.n_tips()
+            || self.n_nodes() != other.n_nodes()
+        {
+            return false;
+        }
+        (0..self.n_nodes()).all(|n| {
+            self.tables.parent_of(n) == other.tables.parent_of(n)
+                && self.tables.children_of(n) == other.tables.children_of(n)
+                && self.tables.time_of(n) == other.tables.time_of(n)
+                && self.tables.label_of(n) == other.tables.label_of(n)
+        })
+    }
 }
 
 /// A plain-data description of one [`GeneTree`] node, in arena order — the
@@ -57,21 +91,16 @@ pub struct NodeRecord {
 }
 
 impl GeneTree {
-    pub(crate) fn from_parts(nodes: Vec<Node>, root: NodeId, n_tips: usize) -> Self {
-        GeneTree { nodes, root, n_tips }
+    /// The columnar node table backing this tree (read-only). Mutation goes
+    /// through the `GeneTree` surgery methods, which preserve copy-on-write
+    /// value semantics.
+    pub fn tables(&self) -> &TreeTables {
+        &self.tables
     }
 
     /// Export the arena as plain records (see [`NodeRecord`]).
     pub fn node_records(&self) -> Vec<NodeRecord> {
-        self.nodes
-            .iter()
-            .map(|node| NodeRecord {
-                parent: node.parent,
-                children: node.children,
-                time: node.time,
-                label: node.label.clone(),
-            })
-            .collect()
+        self.tables.to_records()
     }
 
     /// Rebuild a tree from records produced by [`GeneTree::node_records`],
@@ -84,37 +113,19 @@ impl GeneTree {
         if n_tips == 0 {
             return Err(PhyloError::InvalidTree { message: "tree records contain no tips".into() });
         }
-        if root >= records.len() {
-            return Err(PhyloError::InvalidTree {
-                message: format!("root id {root} out of range for {} nodes", records.len()),
-            });
-        }
-        for record in &records {
-            for id in record.parent.iter().chain(record.children.iter().flat_map(|(a, b)| [a, b])) {
-                if *id >= records.len() {
-                    return Err(PhyloError::InvalidTree {
-                        message: format!("node id {id} out of range for {} nodes", records.len()),
-                    });
-                }
-            }
-        }
-        let nodes = records
-            .into_iter()
-            .map(|r| Node { parent: r.parent, children: r.children, time: r.time, label: r.label })
-            .collect();
-        let tree = GeneTree { nodes, root, n_tips };
+        let tree = GeneTree { tables: TreeTables::from_records(&records, root)? };
         tree.validate()?;
         Ok(tree)
     }
 
     /// Number of tips (sampled sequences).
     pub fn n_tips(&self) -> usize {
-        self.n_tips
+        self.tables.n_tips()
     }
 
     /// Total number of nodes (`2 · n_tips − 1` for a binary tree).
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.tables.n_nodes()
     }
 
     /// Number of interior (coalescent) nodes.
@@ -124,27 +135,27 @@ impl GeneTree {
 
     /// The root node.
     pub fn root(&self) -> NodeId {
-        self.root
+        self.tables.root()
     }
 
     /// Whether `node` is a tip.
     pub fn is_tip(&self, node: NodeId) -> bool {
-        self.nodes[node].children.is_none()
+        self.tables.left_child_of(node).is_none()
     }
 
     /// Whether `node` is the root.
     pub fn is_root(&self, node: NodeId) -> bool {
-        node == self.root
+        node == self.root()
     }
 
     /// The parent of `node`, or `None` for the root.
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.nodes[node].parent
+        self.tables.parent_of(node)
     }
 
     /// The two children of an interior node, or `None` for a tip.
     pub fn children(&self, node: NodeId) -> Option<(NodeId, NodeId)> {
-        self.nodes[node].children
+        self.tables.children_of(node)
     }
 
     /// The sibling of `node` (the other child of its parent), or `None` for
@@ -162,18 +173,18 @@ impl GeneTree {
 
     /// The time of `node` (0 = present, larger = older).
     pub fn time(&self, node: NodeId) -> f64 {
-        self.nodes[node].time
+        self.tables.time_of(node)
     }
 
     /// Set the time of `node`. The caller is responsible for keeping times
     /// consistent with the topology (checked by [`GeneTree::validate`]).
     pub fn set_time(&mut self, node: NodeId, time: f64) {
-        self.nodes[node].time = time;
+        self.tables.set_time_of(node, time);
     }
 
     /// The tip label, if this node is a labelled tip.
     pub fn label(&self, node: NodeId) -> Option<&str> {
-        self.nodes[node].label.as_deref()
+        self.tables.label_of(node)
     }
 
     /// The branch length above `node` (to its parent), or `None` for the root.
@@ -202,7 +213,7 @@ impl GeneTree {
     /// order required by the pruning likelihood (Section 2.4).
     pub fn post_order(&self) -> Vec<NodeId> {
         let mut order = Vec::with_capacity(self.n_nodes());
-        let mut stack = vec![(self.root, false)];
+        let mut stack = vec![(self.root(), false)];
         while let Some((node, expanded)) = stack.pop() {
             if expanded || self.is_tip(node) {
                 order.push(node);
@@ -218,7 +229,7 @@ impl GeneTree {
 
     /// The time of the most recent common ancestor (the root time).
     pub fn tmrca(&self) -> f64 {
-        self.time(self.root)
+        self.time(self.root())
     }
 
     /// Sum of all branch lengths.
@@ -229,9 +240,7 @@ impl GeneTree {
     /// Multiply every node time by `factor` (used when scaling the UPGMA
     /// starting tree by the driving θ, Section 5.1.3).
     pub fn scale_times(&mut self, factor: f64) {
-        for node in &mut self.nodes {
-            node.time *= factor;
-        }
+        self.tables.scale_times(factor);
     }
 
     /// Re-wire `node` to have children `(a, b)`. The children's parent
@@ -241,10 +250,7 @@ impl GeneTree {
     /// dissolved neighborhood, and a full [`GeneTree::validate`] in debug
     /// builds guards against leaving the tree inconsistent.
     pub fn set_children(&mut self, node: NodeId, a: NodeId, b: NodeId) {
-        assert!(node != a && node != b && a != b, "set_children requires three distinct nodes");
-        self.nodes[node].children = Some((a, b));
-        self.nodes[a].parent = Some(node);
-        self.nodes[b].parent = Some(node);
+        self.tables.set_children_of(node, a, b);
     }
 
     /// Replace `old_child` with `new_child` among the children of `parent`.
@@ -252,21 +258,12 @@ impl GeneTree {
     /// # Panics
     /// Panics if `old_child` is not currently a child of `parent`.
     pub fn replace_child(&mut self, parent: NodeId, old_child: NodeId, new_child: NodeId) {
-        let (a, b) = self.children(parent).expect("replace_child on a tip");
-        if a == old_child {
-            self.nodes[parent].children = Some((new_child, b));
-        } else if b == old_child {
-            self.nodes[parent].children = Some((a, new_child));
-        } else {
-            panic!("node {old_child} is not a child of {parent}");
-        }
-        self.nodes[new_child].parent = Some(parent);
+        self.tables.replace_child_of(parent, old_child, new_child);
     }
 
     /// Declare `node` to be the root (clearing its parent pointer).
     pub fn set_root(&mut self, node: NodeId) {
-        self.root = node;
-        self.nodes[node].parent = None;
+        self.tables.set_root_node(node);
     }
 
     /// All node times of interior nodes (the coalescent event times).
@@ -279,26 +276,28 @@ impl GeneTree {
         CoalescentIntervals::from_tree(self)
     }
 
-    /// Check structural invariants: parent/child pointers are mutually
+    /// Check structural invariants: parent/child links are mutually
     /// consistent, every non-root node is reachable from the root, node
-    /// count is `2·n_tips − 1`, and every parent is strictly older than its
-    /// children.
+    /// count is `2·n_tips − 1`, every parent is strictly older than its
+    /// children, and the columnar sibling links carry no stale wiring
+    /// ([`TreeTables::check_links`]).
     pub fn validate(&self) -> Result<(), PhyloError> {
-        if self.n_nodes() != 2 * self.n_tips - 1 {
+        if self.n_nodes() != 2 * self.n_tips() - 1 {
             return Err(PhyloError::InvalidTree {
                 message: format!(
                     "expected {} nodes for {} tips, found {}",
-                    2 * self.n_tips - 1,
-                    self.n_tips,
+                    2 * self.n_tips() - 1,
+                    self.n_tips(),
                     self.n_nodes()
                 ),
             });
         }
-        if self.nodes[self.root].parent.is_some() {
+        if self.parent(self.root()).is_some() {
             return Err(PhyloError::InvalidTree { message: "root has a parent".into() });
         }
+        self.tables.check_links().map_err(|message| PhyloError::InvalidTree { message })?;
         let mut seen = vec![false; self.n_nodes()];
-        let mut stack = vec![self.root];
+        let mut stack = vec![self.root()];
         while let Some(node) = stack.pop() {
             if seen[node] {
                 return Err(PhyloError::InvalidTree {
@@ -308,11 +307,11 @@ impl GeneTree {
             seen[node] = true;
             if let Some((a, b)) = self.children(node) {
                 for child in [a, b] {
-                    if self.nodes[child].parent != Some(node) {
+                    if self.parent(child) != Some(node) {
                         return Err(PhyloError::InvalidTree {
                             message: format!(
                                 "child {child} of {node} has parent {:?}",
-                                self.nodes[child].parent
+                                self.parent(child)
                             ),
                         });
                     }
@@ -471,6 +470,10 @@ mod tests {
         assert!((scaled.total_branch_length() - 29.0).abs() < 1e-12);
         assert_eq!(scaled.tmrca(), 8.0);
         scaled.validate().unwrap();
+        // The clone diverged; the original is untouched (CoW value
+        // semantics).
+        assert_eq!(t.tmrca(), 4.0);
+        assert!((t.total_branch_length() - 14.5).abs() < 1e-12);
     }
 
     #[test]
@@ -582,5 +585,26 @@ mod tests {
         let t0 = t.tip_by_label("t0").unwrap();
         let root = t.root();
         t.set_children(root, t0, t0);
+    }
+
+    #[test]
+    fn clone_is_a_cheap_snapshot_with_value_semantics() {
+        use crate::tables::cow_stats;
+        let mut t = five_tip_tree();
+        let before = cow_stats();
+        let snap = t.clone();
+        let delta = cow_stats().since(&before);
+        assert_eq!(delta.snapshots, 1);
+        assert_eq!(delta.slab_allocs + delta.slab_cow_clones, 0);
+        assert_eq!(snap, t);
+
+        // Diverge the original; the snapshot must be unaffected.
+        let root = t.root();
+        t.set_time(root, 9.0);
+        assert_eq!(snap.tmrca(), 4.0);
+        assert_eq!(t.tmrca(), 9.0);
+        assert_ne!(snap, t);
+        snap.validate().unwrap();
+        t.validate().unwrap();
     }
 }

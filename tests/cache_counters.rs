@@ -1,0 +1,360 @@
+//! Exactness tests for the likelihood-cache counters across copy-on-write
+//! snapshots.
+//!
+//! `GeneTree::clone()` is a CoW snapshot over the columnar `phylo::tables`
+//! storage: clones alias slabs until a mutation diverges them. The engine's
+//! generator memo and per-workspace [`EdgeMatrixCache`] key on tree *values*
+//! (with a storage-pointer fast path), so aliasing must be invisible to the
+//! cache accounting:
+//!
+//! * a snapshot of the cached generator is a cache **hit** with zero matrix
+//!   consults — never a re-count of the edges it shares;
+//! * a mutated snapshot is a cache **miss**, and its rebuild consults each
+//!   edge exactly once, recomputing exactly the retimed edges;
+//! * mutating a snapshot never corrupts the memo keyed to the original;
+//! * at the sampler level the per-round counters obey the conservation
+//!   identity `generator_cache_hits + full_prunes == iterations`, and taking
+//!   a checkpoint (which snapshots every chain tree) after *every* runner
+//!   step leaves all counters bit-identical to an uninterrupted run.
+//!
+//! The matrix-consult arithmetic leans on two facts pinned here: a full
+//! (re)build consults every non-root edge exactly once
+//! (`transition_matrices_cached`), and a dirty-path rescore consults exactly
+//! the unique children of the dirty interior set (`mark_dirty_region`
+//! dedups by child slot).
+
+use std::collections::BTreeSet;
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use lamarc::GenealogyProposer;
+use mcmc::rng::Mt19937;
+use phylo::likelihood::{effective_branch_length, LikelihoodEngine, TreeProposal};
+use phylo::model::Jc69;
+use phylo::tree::NodeId;
+use phylo::{Alignment, Dataset, FelsensteinPruner, GeneTree};
+
+use mpcgs::{EnsembleSpec, ExchangePolicy, MpcgsConfig, SamplerStrategy, Session, SessionReport};
+
+/// A simulated genealogy plus sequences evolved along it, so the tree itself
+/// can serve as the engine's generator.
+fn sim_world(seed: u32, n_tips: usize, sites: usize) -> (GeneTree, Alignment) {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n_tips).unwrap();
+    let alignment =
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    (tree, alignment)
+}
+
+/// The [`EdgeMatrixCache`] key of `node`'s parent edge (`None` at the root),
+/// at the engine's default relative rate.
+fn edge_key(tree: &GeneTree, node: NodeId) -> Option<u64> {
+    tree.branch_length(node).map(|t| effective_branch_length(t, 1.0).to_bits())
+}
+
+/// Non-root nodes whose parent-edge key differs between the two trees — the
+/// exact set a seeded workspace rebuild must recompute.
+fn changed_edges(a: &GeneTree, b: &GeneTree) -> usize {
+    (0..a.n_nodes()).filter(|&n| edge_key(a, n) != edge_key(b, n)).count()
+}
+
+/// The dirty interior set of an edit, exactly as the engine derives it: every
+/// edited node plus all of its ancestors.
+fn dirty_interior(tree: &GeneTree, edited: &[NodeId]) -> Vec<NodeId> {
+    let mut mark = vec![false; tree.n_nodes()];
+    for &edit in edited {
+        let mut cursor = Some(edit);
+        while let Some(node) = cursor {
+            if !tree.is_tip(node) {
+                if mark[node] {
+                    break;
+                }
+                mark[node] = true;
+            }
+            cursor = tree.parent(node);
+        }
+    }
+    (0..tree.n_nodes()).filter(|&n| mark[n]).collect()
+}
+
+/// Score `generator` with a single identity proposal (an empty edit adds no
+/// dirty nodes and no matrix consults), so every counter in the evaluation
+/// describes the generator workspace alone.
+fn score(
+    engine: &FelsensteinPruner<Jc69>,
+    generator: &GeneTree,
+) -> phylo::likelihood::BatchEvaluation {
+    engine
+        .log_likelihood_batch(
+            Backend::Serial,
+            generator,
+            &[TreeProposal { tree: generator, edited: &[] }],
+        )
+        .unwrap()
+}
+
+#[test]
+fn generator_memo_is_exact_across_cow_snapshots() {
+    let (generator, alignment) = sim_world(8101, 6, 60);
+    let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+    let n_internal = generator.n_internal();
+    let n_edges = generator.n_nodes() - 1;
+
+    // Cold build: one full prune, every edge recomputed exactly once.
+    let cold = score(&engine, &generator);
+    assert!(!cold.generator_cache_hit);
+    assert_eq!(cold.nodes_full_pruned, n_internal);
+    assert_eq!((cold.matrix_cache_hits, cold.matrix_cache_misses), (0, n_edges));
+
+    // A CoW snapshot *is* the cached generator: the equality check rides the
+    // shared-storage fast path, and no edge is consulted (in particular, the
+    // aliased slabs are not re-counted as fresh hits).
+    let alias = generator.clone();
+    assert!(alias.tables().shares_storage_with(generator.tables()));
+    let warm = score(&engine, &alias);
+    assert!(warm.generator_cache_hit);
+    assert_eq!(warm.nodes_full_pruned, 0);
+    assert_eq!((warm.matrix_cache_hits, warm.matrix_cache_misses), (0, 0));
+    assert_eq!(warm.generator_log_likelihood.to_bits(), cold.generator_log_likelihood.to_bits());
+
+    // Mutate a snapshot: push the root deeper into the past. Exactly the two
+    // edges below the root change; everything else keeps its slabs shared
+    // with the cached tree.
+    let mut mutated = generator.clone();
+    let root = mutated.root();
+    mutated.set_time(root, generator.time(root) * 1.5);
+    let changed = changed_edges(&generator, &mutated);
+    assert_eq!(changed, 2, "retiming the root touches exactly its two child edges");
+
+    // The divergence stays on the snapshot's side of the CoW boundary: the
+    // memo keyed to the original is untouched and still hits.
+    let untouched = score(&engine, &generator);
+    assert!(untouched.generator_cache_hit);
+    assert_eq!((untouched.matrix_cache_hits, untouched.matrix_cache_misses), (0, 0));
+
+    // The mutated snapshot must MISS — shared slabs are not a value match —
+    // and its seeded rebuild consults each edge exactly once: the unchanged
+    // edges hit, the two retimed edges recompute. No double counting in
+    // either direction.
+    let rebuilt = score(&engine, &mutated);
+    assert!(!rebuilt.generator_cache_hit);
+    assert_eq!(rebuilt.nodes_full_pruned, n_internal);
+    assert_eq!(
+        (rebuilt.matrix_cache_hits, rebuilt.matrix_cache_misses),
+        (n_edges - changed, changed)
+    );
+    // The memo serves stored values, never approximations: the rebuilt
+    // likelihood equals a cold engine's, bit for bit.
+    let fresh = FelsensteinPruner::new(&alignment, Jc69::new());
+    assert_eq!(
+        rebuilt.generator_log_likelihood.to_bits(),
+        fresh.log_likelihood(&mutated).unwrap().to_bits()
+    );
+
+    // And the memo is now keyed to the mutated tree.
+    let rekeyed = score(&engine, &mutated);
+    assert!(rekeyed.generator_cache_hit);
+    assert_eq!((rekeyed.matrix_cache_hits, rekeyed.matrix_cache_misses), (0, 0));
+}
+
+#[test]
+fn dirty_path_rescore_and_commit_count_each_edge_exactly_once() {
+    let (generator, alignment) = sim_world(8103, 8, 60);
+    let engine = FelsensteinPruner::new(&alignment, Jc69::new());
+    let n_edges = generator.n_nodes() - 1;
+    score(&engine, &generator); // warm the memo
+
+    // A real proposal: clone-as-snapshot, then retime/rewire the target's
+    // neighborhood — the exact snapshot-then-mutate sequence the samplers
+    // perform every transition.
+    let proposer = GenealogyProposer::new(1.0).unwrap();
+    let mut rng = Mt19937::new(17);
+    let target = proposer.sample_target(&generator, &mut rng);
+    let (proposal, edited) = proposer.propose_with_edit(&generator, target, &mut rng);
+    assert!(
+        !proposal.tables().shares_storage_with(generator.tables()),
+        "a mutated snapshot must not register as the same storage"
+    );
+
+    // Expected consults: the unique children of the dirty interior set, a
+    // hit exactly when the proposal kept the edge's effective length (the
+    // warm cache's keys describe the generator).
+    let dirty = dirty_interior(&proposal, &edited);
+    let mut consulted = BTreeSet::new();
+    for &node in &dirty {
+        let (a, b) = proposal.children(node).expect("dirty nodes are interior");
+        consulted.insert(a);
+        consulted.insert(b);
+    }
+    let want_hits =
+        consulted.iter().filter(|&&c| edge_key(&proposal, c) == edge_key(&generator, c)).count();
+    let want_misses = consulted.len() - want_hits;
+
+    let eval = engine
+        .log_likelihood_batch(
+            Backend::Serial,
+            &generator,
+            &[TreeProposal { tree: &proposal, edited: &edited }],
+        )
+        .unwrap();
+    assert!(eval.generator_cache_hit);
+    assert_eq!(eval.nodes_repruned, dirty.len());
+    assert_eq!((eval.matrix_cache_hits, eval.matrix_cache_misses), (want_hits, want_misses));
+
+    // Commit-on-accept promotes exactly the dirty path and re-keys the memo
+    // to the accepted tree…
+    let committed = engine.commit_accepted(&generator, &proposal, &edited).unwrap();
+    assert_eq!(committed, Some(dirty.len()));
+    let hit = score(&engine, &proposal);
+    assert!(hit.generator_cache_hit);
+    assert_eq!((hit.matrix_cache_hits, hit.matrix_cache_misses), (0, 0));
+
+    // …so the pre-accept generator — which still shares most slabs with the
+    // accepted tree — is now a miss, and its rebuild reuses exactly the
+    // unchanged edges. Aliasing earns no hit; value identity earns them all.
+    let changed = changed_edges(&generator, &proposal);
+    let back = score(&engine, &generator);
+    assert!(!back.generator_cache_hit);
+    assert_eq!((back.matrix_cache_hits, back.matrix_cache_misses), (n_edges - changed, changed));
+}
+
+fn simulated_dataset(seed: u32, n: usize, sites: usize) -> Dataset {
+    let (_, alignment) = sim_world(seed, n, sites);
+    Dataset::single(alignment)
+}
+
+fn small_config() -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 24,
+        sample_draws: 120,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    }
+}
+
+/// Every batch evaluation either reuses the memoised generator workspace or
+/// pays one full prune of `n_internal` nodes — so at the sampler level,
+/// per round and per pooled ensemble alike:
+/// `generator_cache_hits + nodes_full_pruned / n_internal == iterations`.
+/// A CoW bug that double-counted an aliased generator (or missed one) breaks
+/// this identity immediately.
+fn assert_cache_conservation(report: &SessionReport, n_tips: usize, label: &str) {
+    let n_internal = n_tips - 1;
+    let n_edges = 2 * n_tips - 2;
+    for (round, iteration) in report.iterations.iter().enumerate() {
+        let c = &iteration.counters;
+        assert_eq!(
+            c.nodes_full_pruned % n_internal,
+            0,
+            "{label} round {round}: full-prune node count is not a whole number of prunes"
+        );
+        let full_prunes = c.nodes_full_pruned / n_internal;
+        assert_eq!(
+            c.generator_cache_hits + full_prunes,
+            c.iterations,
+            "{label} round {round}: every iteration is exactly one hit or one full prune"
+        );
+        // Each full prune consults every edge exactly once; dirty-path
+        // rescores only add consults on top.
+        assert!(
+            c.matrix_cache_hits + c.matrix_cache_misses >= full_prunes * n_edges,
+            "{label} round {round}: fewer matrix consults than the full prunes alone require"
+        );
+        assert!(c.matrix_cache_hits > 0, "{label} round {round}: the edge memo never hit");
+    }
+}
+
+#[test]
+fn sampler_counters_satisfy_the_cache_conservation_identity() {
+    let n_tips = 5;
+    for (strategy, label) in
+        [(SamplerStrategy::MultiProposal, "gmh"), (SamplerStrategy::Baseline, "baseline")]
+    {
+        let dataset = simulated_dataset(8105, n_tips, 50);
+        let mut session = Session::builder()
+            .dataset(dataset)
+            .strategy(strategy)
+            .config(small_config())
+            .build()
+            .unwrap();
+        let report = session.run(&mut Mt19937::new(31)).unwrap();
+        assert_cache_conservation(&report, n_tips, label);
+        for iteration in &report.iterations {
+            let c = &iteration.counters;
+            match strategy {
+                // GMH scores the whole proposal set in one batch per
+                // iteration; the baseline scores one proposal per transition.
+                SamplerStrategy::MultiProposal => {
+                    assert_eq!(c.likelihood_evaluations, c.iterations * 8)
+                }
+                SamplerStrategy::Baseline => assert_eq!(c.likelihood_evaluations, c.iterations),
+            }
+        }
+    }
+
+    // The pooled ladder counters obey the same identity: swapped-in
+    // generators (installed as CoW snapshots of a sibling chain's tree) are
+    // full prunes, never spurious hits.
+    let n_tips = 5;
+    let dataset = simulated_dataset(8107, n_tips, 50);
+    let mut session = Session::builder()
+        .dataset(dataset)
+        .strategy(SamplerStrategy::MultiProposal)
+        .config(small_config())
+        .ensemble(EnsembleSpec {
+            n_chains: 3,
+            exchange: ExchangePolicy::geometric_ladder(3, 4.0, 3).unwrap(),
+            ensemble_seed: 99,
+            chain_dispatch: None,
+        })
+        .build()
+        .unwrap();
+    let report = session.run(&mut Mt19937::new(37)).unwrap();
+    assert_cache_conservation(&report, n_tips, "ladder");
+    let swaps: usize = report.iterations.iter().map(|i| i.counters.swap_attempts).sum();
+    assert!(swaps > 0, "the ladder config must actually attempt exchanges");
+}
+
+#[test]
+fn checkpoint_snapshots_do_not_perturb_cache_accounting() {
+    // A checkpoint snapshots every chain's tree and the engine's cached
+    // generator (all CoW clones of live sampler state); the sampler then
+    // keeps mutating the originals. Taking one after *every* runner step
+    // must leave the run — every counter included — bit-identical to an
+    // uninterrupted run.
+    let dataset = simulated_dataset(8109, 5, 50);
+    let spec = EnsembleSpec {
+        n_chains: 3,
+        exchange: ExchangePolicy::geometric_ladder(3, 4.0, 3).unwrap(),
+        ensemble_seed: 55,
+        chain_dispatch: None,
+    };
+    let build = || {
+        Session::builder()
+            .dataset(dataset.clone())
+            .strategy(SamplerStrategy::MultiProposal)
+            .config(small_config())
+            .ensemble(spec.clone())
+            .build()
+            .unwrap()
+    };
+
+    let baseline = build().into_runner(43).unwrap().run_to_completion().unwrap();
+
+    let mut runner = build().into_runner(43).unwrap();
+    while !runner.step().unwrap() {
+        if !runner.is_finished() {
+            let _snapshot = runner.checkpoint().unwrap();
+        }
+    }
+    let snapshotted = runner.run_to_completion().unwrap();
+    assert_eq!(
+        baseline, snapshotted,
+        "mid-run snapshots changed the run (cache counters included)"
+    );
+    assert_cache_conservation(&snapshotted, 5, "snapshotted ladder");
+}

@@ -1,0 +1,157 @@
+//! Golden-fixture tests for the `mpcgs-checkpoint/v1` document format.
+//!
+//! Two small checkpoint documents are committed under `tests/fixtures/`:
+//! one mid-run single-chain GMH session and one mid-run MC³ temperature
+//! ladder. The tests assert, without running a sampler first, that
+//!
+//! 1. each document still parses,
+//! 2. parse → re-encode reproduces the committed bytes **exactly** (so any
+//!    codec drift — field order, float formatting, a renamed key — fails
+//!    immediately), and
+//! 3. resuming a session from the committed document completes and is
+//!    bit-identical to the uninterrupted run,
+//!
+//! which together pin the on-disk format across refactors of the tree
+//! storage (the documents were generated before/alongside the columnar
+//! `phylo::tables` port and must keep resuming unchanged).
+//!
+//! Regenerate with
+//! `MPCGS_REGEN_FIXTURES=1 cargo test --test checkpoint_fixtures` after an
+//! *intentional* format change, and say so in the commit message.
+
+use coalescent::{CoalescentSimulator, SequenceSimulator};
+use exec::Backend;
+use mcmc::rng::Mt19937;
+use phylo::model::Jc69;
+use phylo::{Alignment, Dataset};
+
+use mpcgs::{
+    EnsembleSpec, ExchangePolicy, MpcgsConfig, SamplerStrategy, Session, SessionCheckpoint,
+};
+
+const GMH_FIXTURE: &str = "tests/fixtures/checkpoint_gmh_v1.json";
+const LADDER_FIXTURE: &str = "tests/fixtures/checkpoint_ladder_v1.json";
+
+fn simulated_dataset(seed: u32, n: usize, sites: usize) -> Dataset {
+    let mut rng = Mt19937::new(seed);
+    let tree = CoalescentSimulator::constant(1.0).unwrap().simulate(&mut rng, n).unwrap();
+    let alignment: Alignment =
+        SequenceSimulator::new(Jc69::new(), sites, 1.0).unwrap().simulate(&mut rng, &tree).unwrap();
+    Dataset::single(alignment)
+}
+
+fn small_config() -> MpcgsConfig {
+    MpcgsConfig {
+        initial_theta: 0.5,
+        em_iterations: 2,
+        proposals_per_iteration: 8,
+        draws_per_iteration: 8,
+        burn_in_draws: 24,
+        sample_draws: 120,
+        backend: Backend::Serial,
+        ..MpcgsConfig::default()
+    }
+}
+
+/// The deterministic recipe behind each fixture: dataset seed, session
+/// builder, runner seed, and the number of increments to take before
+/// checkpointing.
+struct FixtureRecipe {
+    path: &'static str,
+    dataset_seed: u32,
+    ensemble: Option<EnsembleSpec>,
+    runner_seed: u32,
+    increments: usize,
+}
+
+fn recipes() -> Vec<FixtureRecipe> {
+    vec![
+        FixtureRecipe {
+            path: GMH_FIXTURE,
+            dataset_seed: 601,
+            ensemble: None,
+            runner_seed: 19,
+            increments: 5,
+        },
+        FixtureRecipe {
+            path: LADDER_FIXTURE,
+            dataset_seed: 603,
+            ensemble: Some(EnsembleSpec {
+                n_chains: 3,
+                exchange: ExchangePolicy::geometric_ladder(3, 4.0, 3).unwrap(),
+                ensemble_seed: 99,
+                chain_dispatch: None,
+            }),
+            runner_seed: 23,
+            increments: 4,
+        },
+    ]
+}
+
+fn build_session(recipe: &FixtureRecipe) -> Session {
+    let dataset = simulated_dataset(recipe.dataset_seed, 5, 50);
+    let mut builder = Session::builder()
+        .dataset(dataset)
+        .strategy(SamplerStrategy::MultiProposal)
+        .config(small_config());
+    if let Some(spec) = &recipe.ensemble {
+        builder = builder.ensemble(spec.clone());
+    }
+    builder.build().unwrap()
+}
+
+/// Produce the checkpoint document the fixture pins: run `increments` runner
+/// steps, then serialize.
+fn generate_document(recipe: &FixtureRecipe) -> String {
+    let mut runner = build_session(recipe).into_runner(recipe.runner_seed).unwrap();
+    for _ in 0..recipe.increments {
+        assert!(!runner.step().unwrap(), "fixture kill point must sit mid-run");
+    }
+    runner.checkpoint().unwrap().to_pretty()
+}
+
+#[test]
+fn golden_fixtures_reencode_byte_exact_and_resume() {
+    if std::env::var_os("MPCGS_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all("tests/fixtures").unwrap();
+        for recipe in recipes() {
+            std::fs::write(recipe.path, generate_document(&recipe)).unwrap();
+        }
+    }
+    for recipe in recipes() {
+        let committed = std::fs::read_to_string(recipe.path)
+            .unwrap_or_else(|e| panic!("missing fixture {} ({e}); see module docs", recipe.path));
+
+        // 1. The document parses and declares the pinned format.
+        let checkpoint = SessionCheckpoint::parse(&committed)
+            .unwrap_or_else(|e| panic!("fixture {} no longer parses: {e}", recipe.path));
+
+        // 2. Byte-exact re-encode: any codec drift fails here.
+        assert_eq!(
+            checkpoint.to_pretty(),
+            committed,
+            "fixture {} re-encodes differently — the checkpoint codec drifted",
+            recipe.path
+        );
+
+        // 3. The current code still produces these exact bytes…
+        assert_eq!(
+            generate_document(&recipe),
+            committed,
+            "fixture {} is no longer what a fresh run checkpoints — \
+             sampler or codec behaviour drifted",
+            recipe.path
+        );
+
+        // 4. …and resuming from the committed document is bit-identical to
+        // the uninterrupted run.
+        let baseline = build_session(&recipe)
+            .into_runner(recipe.runner_seed)
+            .unwrap()
+            .run_to_completion()
+            .unwrap();
+        let resumed =
+            build_session(&recipe).resume(&checkpoint).unwrap().run_to_completion().unwrap();
+        assert_eq!(baseline, resumed, "fixture {} resume diverged", recipe.path);
+    }
+}

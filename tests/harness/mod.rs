@@ -1,0 +1,223 @@
+//! Shared property-test harness for the integration suites.
+//!
+//! Two layers live here:
+//!
+//! * [`CaseDriver`] — a hand-rolled, dependency-free property-test driver:
+//!   seeded MT19937 case generation, a fixed case budget, and greedy
+//!   shrink-on-failure via the [`Shrinkable`] trait. Failures panic with the
+//!   driver label, the master seed, the case index, and the *shrunk* case,
+//!   so every red run is reproducible from its message alone. This is the
+//!   promotion of the ad-hoc "randomized kill points" pattern that used to
+//!   live inside `tests/checkpoint_resume.rs`.
+//! * [`diff`] — the differential op-tape machinery gating the columnar
+//!   genealogy port: randomized proposal/accept/swap/snapshot/checkpoint
+//!   tapes replayed against both tree representations with bit-identical
+//!   assertions at every step.
+//!
+//! Integration-test binaries include the harness with
+//! `#[path = "harness/mod.rs"] mod harness;` — `tests/harness/` itself is
+//! not a test target (no `main.rs`), so the module compiles once into each
+//! suite that uses it.
+
+// Each test binary uses a different subset of the harness surface.
+#![allow(dead_code)]
+
+pub mod diff;
+
+use mcmc::rng::{Mt19937, SplitMix64};
+
+/// A test case the driver knows how to shrink. The default implementation
+/// offers no candidates (no shrinking), which is fine for scalar cases like
+/// a kill point; structured cases (op tapes) override it.
+pub trait Shrinkable: Clone + std::fmt::Debug {
+    /// Strictly "smaller" variants of this case, most aggressive first. The
+    /// driver keeps any candidate that still fails and recurses; candidates
+    /// must eventually bottom out or shrinking is cut off by the driver's
+    /// attempt budget.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+// Parameter tuples shrink element-wise only where it makes sense; the
+// blanket impls below keep scalar-tuple cases (seeds, sizes, rates) usable
+// with the driver without inventing meaningless "smaller" variants.
+impl<A, B> Shrinkable for (A, B)
+where
+    A: Clone + std::fmt::Debug,
+    B: Clone + std::fmt::Debug,
+{
+}
+
+impl<A, B, C> Shrinkable for (A, B, C)
+where
+    A: Clone + std::fmt::Debug,
+    B: Clone + std::fmt::Debug,
+    C: Clone + std::fmt::Debug,
+{
+}
+
+impl<A, B, C, D> Shrinkable for (A, B, C, D)
+where
+    A: Clone + std::fmt::Debug,
+    B: Clone + std::fmt::Debug,
+    C: Clone + std::fmt::Debug,
+    D: Clone + std::fmt::Debug,
+{
+}
+
+impl Shrinkable for usize {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self > 1 {
+            out.push(1);
+            if self / 2 > 1 {
+                out.push(self / 2);
+            }
+            out.push(self - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// A failing case as reported by [`CaseDriver::run_collect`]: the original
+/// failure, the shrunk (minimal surviving) case, and the check's message.
+#[derive(Debug)]
+pub struct Failure<T> {
+    /// Index of the failing case within the driver's budget.
+    pub case_index: usize,
+    /// The case exactly as generated.
+    pub original: T,
+    /// The smallest still-failing case shrinking reached.
+    pub shrunk: T,
+    /// The error returned by the check for `shrunk`.
+    pub error: String,
+    /// How many shrink candidates were evaluated.
+    pub shrink_attempts: usize,
+}
+
+/// Seeded property-test driver: generates `cases` cases from a MT19937
+/// stream derived from (`label`, `seed`), checks each, and shrinks the first
+/// failure to a minimal reproducing case.
+pub struct CaseDriver {
+    label: &'static str,
+    seed: u32,
+    cases: usize,
+    max_shrink_attempts: usize,
+}
+
+impl CaseDriver {
+    /// A driver producing 16 cases by default.
+    pub fn new(label: &'static str, seed: u32) -> Self {
+        CaseDriver { label, seed, cases: 16, max_shrink_attempts: 512 }
+    }
+
+    /// Set the case budget.
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Set the shrink attempt budget.
+    pub fn max_shrink_attempts(mut self, attempts: usize) -> Self {
+        self.max_shrink_attempts = attempts;
+        self
+    }
+
+    /// Per-case RNG: the label hash and master seed feed a SplitMix64 that
+    /// spaces the MT19937 streams, so adding cases or reordering tests never
+    /// shifts another case's randomness.
+    fn case_rng(&self, case_index: usize) -> Mt19937 {
+        let mut mix = SplitMix64::new(
+            (label_hash(self.label) ^ u64::from(self.seed)).wrapping_add(case_index as u64 * 2),
+        );
+        Mt19937::new(mix.next_seed32())
+    }
+
+    /// Run every case, panicking on the first failure with the shrunk
+    /// reproduction. This is the entry point the suites use.
+    pub fn run<T: Shrinkable>(
+        &self,
+        generate: impl Fn(&mut Mt19937) -> T,
+        check: impl Fn(&T) -> Result<(), String>,
+    ) {
+        if let Some(failure) = self.run_collect(generate, check) {
+            panic!(
+                "[{label} seed={seed} case={index}] check failed: {error}\n\
+                 shrunk case ({attempts} shrink attempts): {shrunk:?}\n\
+                 original case: {original:?}",
+                label = self.label,
+                seed = self.seed,
+                index = failure.case_index,
+                error = failure.error,
+                attempts = failure.shrink_attempts,
+                shrunk = failure.shrunk,
+                original = failure.original,
+            );
+        }
+    }
+
+    /// Like [`CaseDriver::run`], but return the shrunk failure instead of
+    /// panicking — used by the forced-failure tests that assert on the
+    /// shrinking itself, and by callers that want to dump a repro artifact.
+    pub fn run_collect<T: Shrinkable>(
+        &self,
+        generate: impl Fn(&mut Mt19937) -> T,
+        check: impl Fn(&T) -> Result<(), String>,
+    ) -> Option<Failure<T>> {
+        for case_index in 0..self.cases {
+            let mut rng = self.case_rng(case_index);
+            let case = generate(&mut rng);
+            if let Err(first_error) = check(&case) {
+                let (shrunk, error, shrink_attempts) =
+                    self.shrink(case.clone(), first_error, &check);
+                return Some(Failure {
+                    case_index,
+                    original: case,
+                    shrunk,
+                    error,
+                    shrink_attempts,
+                });
+            }
+        }
+        None
+    }
+
+    /// Greedy shrink: repeatedly adopt the first candidate that still fails,
+    /// until no candidate fails or the attempt budget runs out.
+    fn shrink<T: Shrinkable>(
+        &self,
+        mut current: T,
+        mut error: String,
+        check: &impl Fn(&T) -> Result<(), String>,
+    ) -> (T, String, usize) {
+        let mut attempts = 0;
+        'outer: loop {
+            for candidate in current.shrink_candidates() {
+                if attempts >= self.max_shrink_attempts {
+                    break 'outer;
+                }
+                attempts += 1;
+                if let Err(candidate_error) = check(&candidate) {
+                    current = candidate;
+                    error = candidate_error;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, error, attempts)
+    }
+}
+
+/// FNV-1a over the label, to keep distinct drivers on distinct MT19937
+/// streams even when they share a numeric seed.
+fn label_hash(label: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in label.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

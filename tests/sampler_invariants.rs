@@ -4,14 +4,20 @@
 //! they were taken from, and the proposal mechanism preserves the coalescent
 //! prior for arbitrary (small) problem sizes.
 //!
-//! The properties are exercised by a small hand-rolled case driver (the build
-//! environment cannot fetch `proptest`): each property runs over a couple of
-//! dozen randomly drawn parameter tuples from the same ranges the original
-//! proptest strategies used, with the failing tuple reported on panic.
+//! The properties run on the shared [`harness::CaseDriver`] (the build
+//! environment cannot fetch `proptest`): each property draws a couple of
+//! dozen parameter tuples from the same ranges the original proptest
+//! strategies used, with seeded generation and the failing (shrunk) tuple
+//! reported on panic.
+
+#[path = "harness/mod.rs"]
+mod harness;
 
 use coalescent::{CoalescentSimulator, KingmanPrior};
+use harness::CaseDriver;
 use lamarc::{GenealogyProposer, HazardModel, ProposalConfig};
 use mcmc::rng::Mt19937;
+use phylo::assert_valid_genealogy;
 use rand::Rng;
 
 /// Number of random parameter tuples per property.
@@ -31,28 +37,38 @@ fn draw_f64(rng: &mut Mt19937, lo: f64, hi: f64) -> f64 {
 /// genealogy valid and the tip set fixed.
 #[test]
 fn proposals_preserve_structure() {
-    let mut meta = Mt19937::new(0xBEEF);
-    for case in 0..CASES {
-        let seed = meta.gen_range(0..10_000u32);
-        let n_tips = draw(&mut meta, 3, 20);
-        let theta = draw_f64(&mut meta, 0.1, 5.0);
-        let steps = draw(&mut meta, 1, 40);
-        let context =
-            format!("case {case}: seed={seed} n_tips={n_tips} theta={theta} steps={steps}");
-
-        let mut rng = Mt19937::new(seed);
-        let sim = CoalescentSimulator::constant(theta).unwrap();
-        let mut tree = sim.simulate(&mut rng, n_tips).unwrap();
-        let labels = tree.tip_labels();
-        let proposer = GenealogyProposer::new(theta).unwrap();
-        for _ in 0..steps {
-            let target = proposer.sample_target(&tree, &mut rng);
-            tree = proposer.propose(&tree, target, &mut rng);
-            assert!(tree.validate().is_ok(), "invalid tree ({context})");
-            assert_eq!(tree.n_tips(), n_tips, "tip count changed ({context})");
-        }
-        assert_eq!(tree.tip_labels(), labels, "tip labels changed ({context})");
-    }
+    CaseDriver::new("proposals-preserve-structure", 0xBEEF).cases(CASES).run(
+        |meta| {
+            (
+                meta.gen_range(0..10_000u32),
+                draw(meta, 3, 20),
+                draw_f64(meta, 0.1, 5.0),
+                draw(meta, 1, 40),
+            )
+        },
+        |&(seed, n_tips, theta, steps)| {
+            let mut rng = Mt19937::new(seed);
+            let sim = CoalescentSimulator::constant(theta).unwrap();
+            let mut tree = sim.simulate(&mut rng, n_tips).unwrap();
+            let labels = tree.tip_labels();
+            let proposer = GenealogyProposer::new(theta).unwrap();
+            for _ in 0..steps {
+                let target = proposer.sample_target(&tree, &mut rng);
+                tree = proposer.propose(&tree, target, &mut rng);
+                tree.validate().map_err(|e| format!("invalid tree: {e}"))?;
+                // The full structural contract, shared with the legacy
+                // representation's suite.
+                assert_valid_genealogy(&tree);
+                if tree.n_tips() != n_tips {
+                    return Err(format!("tip count changed to {}", tree.n_tips()));
+                }
+            }
+            if tree.tip_labels() != labels {
+                return Err("tip labels changed".to_string());
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Interval summaries agree with the trees they are extracted from: the
@@ -60,63 +76,73 @@ fn proposals_preserve_structure() {
 /// branch length matches.
 #[test]
 fn interval_summaries_are_consistent() {
-    let mut meta = Mt19937::new(0xCAFE);
-    for case in 0..CASES {
-        let seed = meta.gen_range(0..10_000u32);
-        let n_tips = draw(&mut meta, 2, 30);
-        let theta = draw_f64(&mut meta, 0.1, 4.0);
-        let context = format!("case {case}: seed={seed} n_tips={n_tips} theta={theta}");
-
-        let mut rng = Mt19937::new(seed);
-        let tree =
-            CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
-        let intervals = tree.intervals();
-        assert_eq!(intervals.n_coalescences(), n_tips - 1, "{context}");
-        assert!((intervals.depth() - tree.tmrca()).abs() < 1e-9, "{context}");
-        assert!(
-            (intervals.total_branch_length() - tree.total_branch_length()).abs() < 1e-6,
-            "{context}"
-        );
-        // The Kingman prior computed from the tree and from the summary agree.
-        let prior = KingmanPrior::new(theta).unwrap();
-        assert!(
-            (prior.log_prior(&tree) - prior.log_prior_intervals(&intervals)).abs() < 1e-9,
-            "{context}"
-        );
-    }
+    CaseDriver::new("interval-summaries", 0xCAFE).cases(CASES).run(
+        |meta| (meta.gen_range(0..10_000u32), draw(meta, 2, 30), draw_f64(meta, 0.1, 4.0)),
+        |&(seed, n_tips, theta)| {
+            let mut rng = Mt19937::new(seed);
+            let tree =
+                CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+            let intervals = tree.intervals();
+            if intervals.n_coalescences() != n_tips - 1 {
+                return Err(format!("{} coalescences", intervals.n_coalescences()));
+            }
+            if (intervals.depth() - tree.tmrca()).abs() >= 1e-9 {
+                return Err(format!("depth {} vs tmrca {}", intervals.depth(), tree.tmrca()));
+            }
+            if (intervals.total_branch_length() - tree.total_branch_length()).abs() >= 1e-6 {
+                return Err("total branch length diverged".to_string());
+            }
+            // The Kingman prior computed from the tree and from the summary
+            // agree.
+            let prior = KingmanPrior::new(theta).unwrap();
+            let from_tree = prior.log_prior(&tree);
+            let from_intervals = prior.log_prior_intervals(&intervals);
+            if (from_tree - from_intervals).abs() >= 1e-9 {
+                return Err(format!("prior {from_tree} vs interval prior {from_intervals}"));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Both hazard models keep event times inside the window imposed by the
 /// ancestor node (when one exists).
 #[test]
 fn proposals_respect_the_ancestor_bound() {
-    let mut meta = Mt19937::new(0xF00D);
-    for case in 0..CASES {
-        let seed = meta.gen_range(0..10_000u32);
-        let n_tips = draw(&mut meta, 4, 16);
-        let hazard_conditional = meta.gen_bool(0.5);
-        let context =
-            format!("case {case}: seed={seed} n_tips={n_tips} conditional={hazard_conditional}");
-
-        let mut rng = Mt19937::new(seed);
-        let theta = 1.0;
-        let tree =
-            CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
-        let hazard =
-            if hazard_conditional { HazardModel::Conditional } else { HazardModel::ActiveOnly };
-        let proposer =
-            GenealogyProposer::with_config(theta, ProposalConfig { hazard, ..Default::default() })
-                .unwrap();
-        for _ in 0..10 {
-            let target = proposer.sample_target(&tree, &mut rng);
-            let parent = tree.parent(target).unwrap();
-            let proposal = proposer.propose(&tree, target, &mut rng);
-            if let Some(ancestor) = tree.parent(parent) {
-                assert!(proposal.time(parent) <= tree.time(ancestor) + 1e-9, "{context}");
+    CaseDriver::new("ancestor-bound", 0xF00D).cases(CASES).run(
+        |meta| (meta.gen_range(0..10_000u32), draw(meta, 4, 16), meta.gen_bool(0.5)),
+        |&(seed, n_tips, hazard_conditional)| {
+            let mut rng = Mt19937::new(seed);
+            let theta = 1.0;
+            let tree =
+                CoalescentSimulator::constant(theta).unwrap().simulate(&mut rng, n_tips).unwrap();
+            let hazard =
+                if hazard_conditional { HazardModel::Conditional } else { HazardModel::ActiveOnly };
+            let proposer = GenealogyProposer::with_config(
+                theta,
+                ProposalConfig { hazard, ..Default::default() },
+            )
+            .unwrap();
+            for _ in 0..10 {
+                let target = proposer.sample_target(&tree, &mut rng);
+                let parent = tree.parent(target).unwrap();
+                let proposal = proposer.propose(&tree, target, &mut rng);
+                if let Some(ancestor) = tree.parent(parent) {
+                    if proposal.time(parent) > tree.time(ancestor) + 1e-9 {
+                        return Err(format!(
+                            "parent time {} above ancestor time {}",
+                            proposal.time(parent),
+                            tree.time(ancestor)
+                        ));
+                    }
+                }
+                if proposal.time(target) > proposal.time(parent) {
+                    return Err("target proposed above its parent".to_string());
+                }
             }
-            assert!(proposal.time(target) <= proposal.time(parent), "{context}");
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// The long-run Gibbs check on a fixed size (kept out of the case driver so
