@@ -1,0 +1,416 @@
+//! Per-file context the rules share: which byte ranges are test code, where
+//! a named module's body lies, and the inline suppression pragmas.
+//!
+//! Everything here works on the token stream from [`crate::lexer`] — braces
+//! inside strings or comments never confuse the region trackers because they
+//! were already swallowed into single tokens.
+
+use crate::lexer::{Token, TokenKind};
+
+/// An inline suppression: `// mpcgs-analyze: allow(d1, reason = "…")`.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id being suppressed (`d1` … `d6`).
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line of the pragma comment itself.
+    pub line: u32,
+    /// 1-based column of the pragma comment.
+    pub col: u32,
+    /// The line whose diagnostics this pragma suppresses: its own line for a
+    /// trailing pragma, the next code line for a standalone one.
+    pub target_line: u32,
+}
+
+/// A pragma that could not be parsed (these are diagnostics themselves).
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// 1-based line of the malformed pragma.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Token stream plus the derived regions and pragmas for one file.
+pub struct FileContext {
+    /// The lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-trivia) tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Parsed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+/// The comment marker every pragma starts with.
+pub const PRAGMA_MARKER: &str = "mpcgs-analyze:";
+
+impl FileContext {
+    /// Build the context for one file.
+    pub fn new(source: &str) -> FileContext {
+        let tokens = crate::lexer::tokenize(source);
+        let sig: Vec<usize> =
+            tokens.iter().enumerate().filter(|(_, t)| t.is_significant()).map(|(i, _)| i).collect();
+        let test_regions = find_test_regions(source, &tokens, &sig);
+        let (pragmas, pragma_errors) = find_pragmas(source, &tokens);
+        FileContext { tokens, sig, test_regions, pragmas, pragma_errors }
+    }
+
+    /// Whether the byte offset lies inside test-only code.
+    pub fn in_test_region(&self, byte: usize) -> bool {
+        self.test_regions.iter().any(|&(start, end)| byte >= start && byte < end)
+    }
+
+    /// The byte range of `mod <name> { … }`, extended backwards over the
+    /// attributes attached to it (so `#[allow(unsafe_code)] mod dispatch`
+    /// is one region). `None` if the module is absent.
+    pub fn module_region(&self, source: &str, name: &str) -> Option<(usize, usize)> {
+        for (si, &ti) in self.sig.iter().enumerate() {
+            if self.tokens[ti].kind != TokenKind::Ident || self.tokens[ti].text(source) != "mod" {
+                continue;
+            }
+            let name_ti = *self.sig.get(si + 1)?;
+            if self.tokens[name_ti].text(source) != name {
+                continue;
+            }
+            let open_ti = *self.sig.get(si + 2)?;
+            if self.tokens[open_ti].text(source) != "{" {
+                continue;
+            }
+            let end = match_brace(source, &self.tokens, &self.sig, si + 2)?;
+            let start_si = attr_run_start(source, &self.tokens, &self.sig, si);
+            return Some((self.tokens[self.sig[start_si]].start, end));
+        }
+        None
+    }
+}
+
+/// Walk backwards from significant index `si` over the item's visibility
+/// (`pub`, `pub(crate)`, `pub(in …)`) and any `#[…]` attribute groups,
+/// returning the significant index where the run starts.
+fn attr_run_start(source: &str, tokens: &[Token], sig: &[usize], mut si: usize) -> usize {
+    loop {
+        if si == 0 {
+            return si;
+        }
+        match tokens[sig[si - 1]].text(source) {
+            "pub" => si -= 1,
+            ")" => {
+                // `pub(crate)` / `pub(in path)`: scan back to the matching
+                // `(` and require `pub` before it.
+                let Some(j) = match_back(source, tokens, sig, si - 1, "(", ")") else {
+                    return si;
+                };
+                if j == 0 || tokens[sig[j - 1]].text(source) != "pub" {
+                    return si;
+                }
+                si = j - 1;
+            }
+            "]" => {
+                // An attribute: scan back to the matching `[` and the `#`
+                // before that.
+                let Some(j) = match_back(source, tokens, sig, si - 1, "[", "]") else {
+                    return si;
+                };
+                if j == 0 || tokens[sig[j - 1]].text(source) != "#" {
+                    return si;
+                }
+                si = j - 1;
+            }
+            _ => return si,
+        }
+    }
+}
+
+/// From the closer at significant index `close_si`, scan backwards to the
+/// significant index of the matching `open` delimiter.
+fn match_back(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    close_si: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_si;
+    loop {
+        let text = tokens[sig[j]].text(source);
+        if text == close {
+            depth += 1;
+        } else if text == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// Find the byte offset one past the `}` matching the `{` at significant
+/// index `open_si`.
+fn match_brace(source: &str, tokens: &[Token], sig: &[usize], open_si: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for &ti in &sig[open_si..] {
+        match tokens[ti].text(source) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(tokens[ti].end);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced file: treat the region as running to the end.
+    Some(source.len())
+}
+
+/// Byte ranges of items annotated `#[cfg(test)]` (any cfg expression that
+/// mentions the bare `test` ident) or `#[test]`.
+fn find_test_regions(source: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut si = 0usize;
+    while si + 1 < sig.len() {
+        // Outer attribute: `#` `[` … `]` (inner `#![…]` attributes are
+        // configuration, not items — skip them).
+        if tokens[sig[si]].text(source) != "#" || tokens[sig[si + 1]].text(source) != "[" {
+            si += 1;
+            continue;
+        }
+        let attr_start = tokens[sig[si]].start;
+        // Collect idents inside the bracket group.
+        let mut depth = 0i32;
+        let mut j = si + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < sig.len() {
+            let t = &tokens[sig[j]];
+            match t.text(source) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if t.kind == TokenKind::Ident {
+                        idents.push(t.text(source));
+                    }
+                }
+            }
+            j += 1;
+        }
+        if j >= sig.len() {
+            break;
+        }
+        let is_test_attr = match idents.split_first() {
+            Some((&"cfg", rest)) => rest.contains(&"test"),
+            Some((&"test", _)) | Some((&"bench", _)) => true,
+            _ => false,
+        };
+        if !is_test_attr {
+            si = j + 1;
+            continue;
+        }
+        // The region runs from the attribute through the end of the item it
+        // annotates: skip further attributes, then either to a `;` at brace
+        // depth zero or through the first balanced `{ … }` block.
+        let mut k = j + 1;
+        while k + 1 < sig.len()
+            && tokens[sig[k]].text(source) == "#"
+            && tokens[sig[k + 1]].text(source) == "["
+        {
+            let mut d = 0i32;
+            let mut m = k + 1;
+            while m < sig.len() {
+                match tokens[sig[m]].text(source) {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        let mut end = source.len();
+        let mut m = k;
+        while m < sig.len() {
+            match tokens[sig[m]].text(source) {
+                ";" => {
+                    end = tokens[sig[m]].end;
+                    break;
+                }
+                "{" => {
+                    end = match_brace(source, tokens, sig, m).unwrap_or(source.len());
+                    break;
+                }
+                _ => m += 1,
+            }
+        }
+        regions.push((attr_start, end));
+        si = j + 1;
+    }
+    regions
+}
+
+/// Extract `// mpcgs-analyze: allow(rule, reason = "…")` pragmas from the
+/// comment tokens.
+fn find_pragmas(source: &str, tokens: &[Token]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text(source).trim_start_matches('/').trim();
+        let Some(body) = text.strip_prefix(PRAGMA_MARKER) else { continue };
+        match parse_allow(body.trim()) {
+            Ok((rule, reason)) => {
+                let trailing = tokens[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|t| t.line == tok.line)
+                    .any(|t| t.is_significant());
+                let target_line = if trailing {
+                    tok.line
+                } else {
+                    tokens[i + 1..]
+                        .iter()
+                        .find(|t| t.is_significant())
+                        .map(|t| t.line)
+                        .unwrap_or(tok.line)
+                };
+                pragmas.push(Pragma { rule, reason, line: tok.line, col: tok.col, target_line });
+            }
+            Err(message) => errors.push(PragmaError { line: tok.line, col: tok.col, message }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parse `allow(<rule>, reason = "<text>")`. The reason is mandatory and
+/// must be non-empty — a suppression without a written justification is
+/// itself a violation.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let inner = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('('))
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| {
+            format!("expected `allow(<rule>, reason = \"…\")` after `{PRAGMA_MARKER}`")
+        })?;
+    let (rule, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "pragma is missing the mandatory `reason = \"…\"` field".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+        return Err(format!("`{rule}` is not a rule id"));
+    }
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('"'))
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| "pragma is missing the mandatory `reason = \"…\"` field".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("pragma reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { inner(); }\n}\nfn after() {}\n";
+        let ctx = FileContext::new(src);
+        assert_eq!(ctx.test_regions.len(), 1);
+        let inner_at = src.find("inner").unwrap();
+        let after_at = src.find("after").unwrap();
+        assert!(ctx.in_test_region(inner_at));
+        assert!(!ctx.in_test_region(after_at));
+        assert!(!ctx.in_test_region(0));
+    }
+
+    #[test]
+    fn test_attr_on_a_single_fn() {
+        let src = "#[test]\nfn unit() { body(); }\nfn not_test() { other(); }\n";
+        let ctx = FileContext::new(src);
+        assert!(ctx.in_test_region(src.find("body").unwrap()));
+        assert!(!ctx.in_test_region(src.find("other").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_attrs_stack() {
+        let src =
+            "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\nmod m { fn f() { g(); } }\n";
+        let ctx = FileContext::new(src);
+        assert!(ctx.in_test_region(src.find("g()").unwrap()));
+    }
+
+    #[test]
+    fn cfg_feature_named_test_string_is_not_a_region() {
+        let src = "#[cfg(feature = \"test-utils\")]\nmod m { fn f() {} }\n";
+        let ctx = FileContext::new(src);
+        assert!(ctx.test_regions.is_empty());
+    }
+
+    #[test]
+    fn module_region_includes_attached_attrs() {
+        let src = "mod other {}\n/// docs\n#[allow(unsafe_code)]\npub(crate) mod dispatch {\n    fn f() {}\n}\nfn tail() {}\n";
+        let ctx = FileContext::new(src);
+        let (start, end) = ctx.module_region(src, "dispatch").unwrap();
+        assert!(start <= src.find("#[allow(unsafe_code)]").unwrap());
+        assert!(end > src.find("fn f").unwrap());
+        assert!(end <= src.find("fn tail").unwrap());
+        assert!(ctx.module_region(src, "missing").is_none());
+    }
+
+    #[test]
+    fn standalone_and_trailing_pragmas_target_the_right_line() {
+        let src = "// mpcgs-analyze: allow(d1, reason = \"standalone\")\nlet a = 1;\nlet b = 2; // mpcgs-analyze: allow(d5, reason = \"trailing\")\n";
+        let ctx = FileContext::new(src);
+        assert_eq!(ctx.pragmas.len(), 2);
+        assert_eq!((ctx.pragmas[0].rule.as_str(), ctx.pragmas[0].target_line), ("d1", 2));
+        assert_eq!((ctx.pragmas[1].rule.as_str(), ctx.pragmas[1].target_line), ("d5", 3));
+        assert!(ctx.pragma_errors.is_empty());
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        for bad in [
+            "// mpcgs-analyze: allow(d1)",
+            "// mpcgs-analyze: allow(d1, reason = \"\")",
+            "// mpcgs-analyze: disallow(d1, reason = \"x\")",
+            "// mpcgs-analyze: allow(d 1, reason = \"x\")",
+        ] {
+            let ctx = FileContext::new(bad);
+            assert_eq!(ctx.pragma_errors.len(), 1, "{bad}");
+            assert!(ctx.pragmas.is_empty(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Diagnostics: the engine's output, rendered in the workspace's pointed
+//! `file:line:col` error style and encodable as JSON for CI artifacts.
+
+use codec::Json;
+
+/// One finding, after pragma application.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired (`d1` … `d6` or `pragma`).
+    pub rule: &'static str,
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to use instead.
+    pub message: String,
+    /// `Some(reason)` when an inline pragma suppressed this diagnostic.
+    pub suppressed: Option<String>,
+}
+
+impl Diagnostic {
+    /// Render in the codebase's pointed diagnostic style.
+    pub fn render(&self) -> String {
+        let mut line =
+            format!("{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message);
+        if let Some(reason) = &self.suppressed {
+            line.push_str(&format!(" — suppressed by pragma: {reason}"));
+        }
+        line
+    }
+
+    /// The JSON encoding used by `mpcgs-analyze --json`.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("rule".to_string(), Json::string(self.rule)),
+            ("file".to_string(), Json::string(self.file.clone())),
+            ("line".to_string(), Json::Number(self.line as f64)),
+            ("col".to_string(), Json::Number(self.col as f64)),
+            ("message".to_string(), Json::string(self.message.clone())),
+            ("suppressed".to_string(), Json::Bool(self.suppressed.is_some())),
+        ];
+        if let Some(reason) = &self.suppressed {
+            members.push(("reason".to_string(), Json::string(reason.clone())));
+        }
+        Json::Object(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_pointed_style() {
+        let d = Diagnostic {
+            rule: "d1",
+            file: "crates/phylo/src/patterns.rs".to_string(),
+            line: 56,
+            col: 22,
+            message: "`HashMap` where order can leak".to_string(),
+            suppressed: None,
+        };
+        assert_eq!(
+            d.render(),
+            "crates/phylo/src/patterns.rs:56:22: [d1] `HashMap` where order can leak"
+        );
+        let json = d.to_json();
+        assert_eq!(json.get("rule").and_then(Json::as_str), Some("d1"));
+        assert_eq!(json.get("suppressed").and_then(Json::as_bool), Some(false));
+        assert!(json.get("reason").is_none());
+    }
+
+    #[test]
+    fn suppressed_rendering_carries_the_reason() {
+        let d = Diagnostic {
+            rule: "d5",
+            file: "a.rs".to_string(),
+            line: 1,
+            col: 2,
+            message: "bare float `==`".to_string(),
+            suppressed: Some("sentinel is exact by construction".to_string()),
+        };
+        assert!(d.render().contains("suppressed by pragma: sentinel"));
+        assert_eq!(
+            d.to_json().get("reason").and_then(Json::as_str),
+            Some("sentinel is exact by construction")
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! A small lossless Rust lexer.
+//!
+//! The rule engine needs to know, for every byte of a source file, whether
+//! it is *code*, a *comment*, or a *literal* — a `HashMap` inside a doc
+//! comment or an error string must never trip a determinism rule. It does
+//! **not** need a parse tree: every invariant in the registry is expressible
+//! over the token stream plus a little brace tracking. So this module
+//! tokenizes exactly — strings (including raw/byte/C strings with any hash
+//! depth), char vs. lifetime disambiguation, nested block comments, raw
+//! identifiers, float vs. integer literals — and guarantees losslessness:
+//! concatenating the token texts reproduces the input byte for byte.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe` is an `Ident` with text `unsafe`).
+    Ident,
+    /// A raw identifier (`r#match`); `text` keeps the `r#` prefix.
+    RawIdent,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// An integer literal, including any suffix (`42`, `0xFF_u32`).
+    Int,
+    /// A float literal, including any suffix (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `//` comment, up to but not including the newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled).
+    BlockComment,
+    /// A run of whitespace.
+    Whitespace,
+    /// A single punctuation character (`==` arrives as two `=` tokens).
+    Punct,
+}
+
+/// One token: kind, byte span, and the 1-based position of its first byte.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based character column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// Whether the token is code the rules should look at (not whitespace,
+    /// not a comment).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Tokenize `source` losslessly. Unterminated constructs (a string or block
+/// comment running off the end of the file) are closed at end of input
+/// rather than reported — the linter lints conventions, not syntax; `rustc`
+/// owns rejecting malformed files.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer { src: source.as_bytes(), text: source, pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        .run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    text: &'s str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token { kind, start, end: self.pos, line, col });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advance one char, maintaining line/col.
+    fn bump(&mut self) {
+        let b = self.src[self.pos];
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+        } else {
+            // Skip over a whole UTF-8 sequence so columns count characters.
+            let mut len = 1;
+            while self.pos + len < self.src.len() && (self.src[self.pos + len] & 0xC0) == 0x80 {
+                len += 1;
+            }
+            self.pos += len;
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.peek(0);
+        if b.is_ascii_whitespace() {
+            while self.pos < self.src.len() && self.peek(0).is_ascii_whitespace() {
+                self.bump();
+            }
+            return TokenKind::Whitespace;
+        }
+        if b == b'/' && self.peek(1) == b'/' {
+            while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            return TokenKind::LineComment;
+        }
+        if b == b'/' && self.peek(1) == b'*' {
+            self.bump_n(2);
+            let mut depth = 1usize;
+            while self.pos < self.src.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump_n(2);
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump_n(2);
+                } else {
+                    self.bump();
+                }
+            }
+            return TokenKind::BlockComment;
+        }
+        // Raw identifiers and raw strings share the `r` prefix.
+        if b == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+            self.bump_n(2);
+            self.eat_ident();
+            return TokenKind::RawIdent;
+        }
+        if let Some(kind) = self.try_string_prefix() {
+            return kind;
+        }
+        if is_ident_start(b) {
+            self.eat_ident();
+            return TokenKind::Ident;
+        }
+        if b.is_ascii_digit() {
+            return self.eat_number();
+        }
+        if b == b'\'' {
+            return self.eat_char_or_lifetime();
+        }
+        if b == b'"' {
+            self.eat_quoted_string();
+            return TokenKind::Str;
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"` prefixes.
+    fn try_string_prefix(&mut self) -> Option<TokenKind> {
+        let b = self.peek(0);
+        if !(b == b'r' || b == b'b' || b == b'c') {
+            return None;
+        }
+        // Byte char: b'…'
+        if b == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            self.eat_quoted(b'\'');
+            return Some(TokenKind::Char);
+        }
+        // Cooked with prefix: b"…" / c"…"
+        if (b == b'b' || b == b'c') && self.peek(1) == b'"' {
+            self.bump();
+            self.eat_quoted_string();
+            return Some(TokenKind::Str);
+        }
+        // Raw forms: r"…", r#…, br"…", br#…, cr"…", cr#…
+        let (raw_at, _two_prefix) = if b == b'r' {
+            (1usize, false)
+        } else if self.peek(1) == b'r' {
+            (2usize, true)
+        } else {
+            return None;
+        };
+        let mut hashes = 0usize;
+        while self.peek(raw_at + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.peek(raw_at + hashes) != b'"' {
+            return None;
+        }
+        self.bump_n(raw_at + hashes + 1);
+        // Scan to `"` followed by `hashes` hash marks.
+        'outer: while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        Some(TokenKind::Str)
+    }
+
+    fn eat_ident(&mut self) {
+        while self.pos < self.src.len() && is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+    }
+
+    fn eat_number(&mut self) -> TokenKind {
+        // Radix-prefixed literals are always integers.
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump_n(2);
+            while is_ident_continue(self.peek(0)) && self.pos < self.src.len() {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A `.` makes it a float — unless it is a range (`1..2`), a method
+        // call (`1.max(2)`), or a field access, which need the next char.
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let sign = matches!(self.peek(1), b'+' | b'-') as usize;
+            if self.peek(1 + sign).is_ascii_digit() {
+                float = true;
+                self.bump_n(1 + sign);
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, …) decides floatness for `2f64`.
+        if is_ident_start(self.peek(0)) {
+            let suffix_start = self.pos;
+            while self.pos < self.src.len() && is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let suffix = &self.text[suffix_start..self.pos];
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn eat_char_or_lifetime(&mut self) -> TokenKind {
+        // A char literal is `'` + (escape | one char) + `'`. A lifetime is
+        // `'` + ident not followed by a closing quote.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            self.eat_ident();
+            return TokenKind::Lifetime;
+        }
+        self.eat_quoted(b'\'');
+        TokenKind::Char
+    }
+
+    fn eat_quoted_string(&mut self) {
+        self.eat_quoted(b'"');
+    }
+
+    /// Consume a `quote`-delimited literal with backslash escapes, starting
+    /// at the opening quote.
+    fn eat_quoted(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == quote {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(src: &str) {
+        let tokens = tokenize(src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.is_significant())
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_tricky_input() {
+        lossless("fn main() { let s = \"a \\\" // not a comment\"; }\n");
+        lossless("let r = r#\"raw \" string\"#; /* outer /* nested */ still */ let x = 1;\n");
+        lossless("let c = 'x'; let nl = '\\''; let life: &'static str = \"y\";\n");
+        lossless("let b = b\"bytes\"; let bc = b'\\xFF'; let cs = c\"cstr\";\n");
+        lossless("let f = 1.0e-3f64; let i = 0xFF_u32; let t = x.0; let r = 0..1;\n");
+        lossless("mod r#match {} // raw ident\nlet π = \"unicode idents\";\n");
+        lossless("let unterminated = \"runs off the end");
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = "// HashMap in a comment\nlet s = \"HashSet in a string\";\nuse std::x;\n";
+        let idents: Vec<String> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert!(idents.iter().all(|t| t != "HashMap" && t != "HashSet"));
+        assert!(idents.iter().any(|t| t == "use"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_field_access() {
+        let k = kinds("a.0 == 1.0; b == 2; c == 1e9; d == 2f64; e == 0x10; f == 1.;");
+        let floats: Vec<&str> =
+            k.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(floats, ["1.0", "1e9", "2f64", "1."]);
+        let ints: Vec<&str> =
+            k.iter().filter(|(k, _)| *k == TokenKind::Int).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(ints, ["0", "2", "0x10"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let k = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(k.iter().any(|(kind, t)| *kind == TokenKind::Lifetime && t == "'a"));
+        assert!(k.iter().any(|(kind, t)| *kind == TokenKind::Char && t == "'a'"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_char_columns() {
+        let src = "ab\n  cd\n";
+        let tokens = tokenize(src);
+        let cd = tokens.iter().find(|t| t.text(src) == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+        // Multi-byte chars count as one column.
+        let src2 = "// π\nx";
+        let tokens2 = tokenize(src2);
+        let x = tokens2.iter().find(|t| t.text(src2) == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 1));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes() {
+        let src = "let s = r##\"quote \"# inside\"##; let after = 1;";
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, t)| *kind == TokenKind::Str && t.contains("inside")));
+        assert!(k.iter().any(|(_, t)| t == "after"));
+    }
+}

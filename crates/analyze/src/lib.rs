@@ -1,0 +1,281 @@
+//! `mpcgs-analyze` — the workspace invariant linter.
+//!
+//! The sampler's strongest guarantees — bit-identical checkpoint/resume,
+//! deterministic MC³ ensembles, the differential op-tape oracle — rest on
+//! conventions the compiler cannot check: no unordered-map iteration in
+//! sampler/codec paths, `unsafe` only inside `phylo::simd::dispatch`, raw
+//! threads only under the `Backend` seam, no wall-clock reads in sampler
+//! state, no bare float equality, RNG streams only via `StreamBank`. This
+//! crate makes those conventions machine-checked: a small lossless Rust
+//! lexer ([`lexer`]), per-file context extraction ([`context`]), and a rule
+//! registry ([`rules`]) producing pointed `file:line:col` diagnostics
+//! ([`diag::Diagnostic`]).
+//!
+//! Violations that are correct by construction carry an inline pragma with
+//! a mandatory written reason:
+//!
+//! ```text
+//! // mpcgs-analyze: allow(d5, reason = "sentinel is exact by construction")
+//! ```
+//!
+//! Like the rest of the workspace tooling, the crate is dependency-free
+//! (JSON output rides [`codec`], the shared serde-free codec). Run it as
+//! `cargo run -p analyze --bin mpcgs-analyze`; see `--explain <rule>` for
+//! each invariant's rationale and docs/ARCHITECTURE.md, "Static analysis &
+//! invariants", for the full story.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use codec::Json;
+
+use context::FileContext;
+use diag::Diagnostic;
+
+/// Directories never scanned: build output, VCS, and the linter's own
+/// seeded-violation fixture corpus.
+const SKIP_RELATIVE: &[&str] = &["target", ".git", "crates/analyze/tests/fixtures"];
+
+/// Analyze one file's source under its workspace-relative path, applying
+/// pragmas and appending the pragma meta-diagnostics.
+pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::new(source);
+    let mut raw = Vec::new();
+    rules::check_all(path, source, &ctx, &mut raw);
+
+    let mut used = vec![false; ctx.pragmas.len()];
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let suppressed = ctx
+            .pragmas
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.rule == d.rule && p.target_line == d.line)
+            .map(|(pi, p)| {
+                used[pi] = true;
+                p.reason.clone()
+            });
+        diags.push(Diagnostic {
+            rule: d.rule,
+            file: path.to_string(),
+            line: d.line,
+            col: d.col,
+            message: d.message,
+            suppressed,
+        });
+    }
+    for e in &ctx.pragma_errors {
+        diags.push(Diagnostic {
+            rule: "pragma",
+            file: path.to_string(),
+            line: e.line,
+            col: e.col,
+            message: e.message.clone(),
+            suppressed: None,
+        });
+    }
+    for (pi, p) in ctx.pragmas.iter().enumerate() {
+        let message = if rules::rule(&p.rule).is_none() {
+            format!("pragma names unknown rule `{}` (see --list for the registry)", p.rule)
+        } else if !used[pi] {
+            format!(
+                "unused pragma: no `{}` diagnostic on line {} to suppress — remove the \
+                 stale exemption",
+                p.rule, p.target_line
+            )
+        } else {
+            continue;
+        };
+        diags.push(Diagnostic {
+            rule: "pragma",
+            file: path.to_string(),
+            line: p.line,
+            col: p.col,
+            message,
+            suppressed: None,
+        });
+    }
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}
+
+/// The result of analyzing a whole workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics, sorted by (file, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// The diagnostics no pragma suppressed — these fail CI.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_none())
+    }
+
+    /// The pragma-suppressed diagnostics (each carries its written reason).
+    pub fn suppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.suppressed.is_some())
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "mpcgs-analyze: {} file(s) scanned, {} diagnostic(s), {} suppressed by pragma",
+            self.files_scanned,
+            self.unsuppressed().count(),
+            self.suppressed().count()
+        )
+    }
+
+    /// The `mpcgs-analyze/v1` JSON artifact.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("format".to_string(), Json::string("mpcgs-analyze/v1")),
+            ("files_scanned".to_string(), Json::Number(self.files_scanned as f64)),
+            ("unsuppressed_count".to_string(), Json::Number(self.unsuppressed().count() as f64)),
+            ("suppressed_count".to_string(), Json::Number(self.suppressed().count() as f64)),
+            (
+                "diagnostics".to_string(),
+                Json::Array(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Analyze every workspace `.rs` file under `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    for (rel, abs) in files {
+        let source = fs::read_to_string(&abs)?;
+        diagnostics.extend(analyze_source(&rel, &source));
+    }
+    // Files were walked in sorted order; keep (file, line, col) ordering.
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report { files_scanned, diagnostics })
+}
+
+/// Every `.rs` file under `root` in deterministic (sorted) order, as
+/// `(workspace-relative path, absolute path)` pairs.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = relative(root, &path);
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_RELATIVE.contains(&rel.as_str()) || name == "target" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_suppresses_exactly_its_rule_and_line() {
+        let src = "use std::collections::HashMap; // mpcgs-analyze: allow(d1, reason = \"lookup only\")\nuse std::collections::HashSet;\n";
+        let diags = analyze_source("crates/phylo/src/patterns.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].suppressed.as_deref(), Some("lookup only"));
+        assert!(diags[1].suppressed.is_none());
+    }
+
+    #[test]
+    fn standalone_pragma_covers_the_next_code_line() {
+        let src =
+            "// mpcgs-analyze: allow(d6, reason = \"root seeding\")\nlet rng = Mt19937::new(1);\n";
+        let diags = analyze_source("crates/mpcgs/src/session.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].suppressed.is_some());
+    }
+
+    #[test]
+    fn unused_and_unknown_pragmas_are_diagnostics() {
+        let src = "// mpcgs-analyze: allow(d1, reason = \"nothing here\")\nlet x = 1;\n// mpcgs-analyze: allow(d99, reason = \"no such rule\")\nlet y = 2;\n";
+        let diags = analyze_source("crates/phylo/src/patterns.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "pragma" && d.suppressed.is_none()));
+        assert!(diags[0].message.contains("unused pragma"));
+        assert!(diags[1].message.contains("unknown rule `d99`"));
+    }
+
+    #[test]
+    fn wrong_rule_pragma_does_not_suppress() {
+        let src =
+            "use std::collections::HashMap; // mpcgs-analyze: allow(d5, reason = \"wrong rule\")\n";
+        let diags = analyze_source("crates/phylo/src/patterns.rs", src);
+        // The d1 diagnostic survives and the d5 pragma is unused.
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.rule == "d1" && d.suppressed.is_none()));
+        assert!(diags.iter().any(|d| d.rule == "pragma" && d.message.contains("unused")));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            files_scanned: 3,
+            diagnostics: analyze_source(
+                "crates/phylo/src/patterns.rs",
+                "use std::collections::HashMap;\n",
+            ),
+        };
+        let json = report.to_json();
+        assert_eq!(json.get("format").and_then(Json::as_str), Some("mpcgs-analyze/v1"));
+        assert_eq!(json.get("unsuppressed_count").and_then(Json::as_f64), Some(1.0));
+        let text = json.to_pretty();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed, json);
+    }
+}

@@ -1,0 +1,119 @@
+//! Golden tests over the seeded-violation fixture corpus, plus the
+//! workspace self-check.
+//!
+//! Each `tests/fixtures/<rule>.rs` file seeds violations of exactly one
+//! rule (and, where natural, a non-violation showing the exemption). The
+//! file is analyzed under a synthetic workspace-relative path that puts it
+//! in the rule's scope, and the rendered diagnostics are compared
+//! line-for-line against `tests/fixtures/<rule>.expected`.
+//!
+//! After an intentional rule change, regenerate the goldens with
+//! `MPCGS_REGEN_FIXTURES=1 cargo test -p analyze --test fixtures` and
+//! review the diff — the same knob the checkpoint-format fixtures use.
+//!
+//! The fixtures directory is excluded from `analyze_workspace`'s walk, so
+//! the seeded violations never pollute the self-check below.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use analyze::diag::Diagnostic;
+
+/// `(fixture stem, synthetic workspace-relative path it is analyzed under)`.
+/// The paths place each fixture inside its rule's scope: determinism paths
+/// for d1/d5/d6, a crate root for d2, and non-allowlisted crates for d3/d4.
+const FIXTURES: &[(&str, &str)] = &[
+    ("d1", "crates/phylo/src/fixture.rs"),
+    ("d2", "crates/mcmc/src/lib.rs"),
+    ("d3", "crates/mcmc/src/fixture.rs"),
+    ("d4", "crates/mpcgs/src/fixture.rs"),
+    ("d5", "crates/mcmc/src/fixture.rs"),
+    ("d6", "crates/lamarc/src/fixture.rs"),
+    ("pragma", "crates/phylo/src/fixture.rs"),
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn render_all(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_goldens() {
+    let dir = fixtures_dir();
+    let regen = std::env::var_os("MPCGS_REGEN_FIXTURES").is_some();
+    let mut divergences = Vec::new();
+    for (stem, synthetic_path) in FIXTURES {
+        let source = fs::read_to_string(dir.join(format!("{stem}.rs"))).unwrap();
+        let diags = analyze::analyze_source(synthetic_path, &source);
+        assert!(
+            diags.iter().any(|d| d.rule == *stem),
+            "fixture {stem} fired no `{stem}` diagnostic:\n{}",
+            render_all(&diags)
+        );
+        let rendered = render_all(&diags);
+        let golden_path = dir.join(format!("{stem}.expected"));
+        if regen {
+            fs::write(&golden_path, &rendered).unwrap();
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path).unwrap_or_default();
+        if rendered != golden {
+            divergences.push(format!("fixture {stem}: expected\n{golden}\ngot\n{rendered}"));
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "{}\nrun `MPCGS_REGEN_FIXTURES=1 cargo test -p analyze --test fixtures` \
+         and review the diff",
+        divergences.join("\n---\n")
+    );
+}
+
+/// Every rule in the registry has a seeded-violation fixture, and every
+/// fixture names a registered rule — the corpus and the registry cannot
+/// drift apart silently.
+#[test]
+fn corpus_covers_the_whole_registry() {
+    let fixture_stems: Vec<&str> = FIXTURES.iter().map(|(s, _)| *s).collect();
+    for rule in analyze::rules::RULES {
+        assert!(
+            fixture_stems.contains(&rule.id),
+            "rule `{}` has no fixture under tests/fixtures/",
+            rule.id
+        );
+    }
+    for stem in &fixture_stems {
+        assert!(analyze::rules::rule(stem).is_some(), "fixture `{stem}` names no registered rule");
+    }
+}
+
+/// The linter runs clean on the actual workspace: zero unsuppressed
+/// diagnostics, and every suppression carries a written reason.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    let report = analyze::analyze_workspace(&root).unwrap();
+    let offenders: Vec<String> = report.unsuppressed().map(Diagnostic::render).collect();
+    assert!(
+        offenders.is_empty(),
+        "workspace has unsuppressed mpcgs-analyze diagnostics:\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — did the walk break?",
+        report.files_scanned
+    );
+    for d in report.suppressed() {
+        let reason = d.suppressed.as_deref().unwrap_or_default();
+        assert!(!reason.trim().is_empty(), "{}: empty suppression reason", d.render());
+    }
+}

@@ -1,0 +1,28 @@
+//! Seeded `d1` violations: unordered collections in a determinism path.
+//! Analyzed under a synthetic `crates/phylo/src/` path by the golden test.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn index(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut map = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        map.insert(*k, i);
+    }
+    map
+}
+
+fn dedup(keys: &[u32]) -> usize {
+    keys.iter().collect::<HashSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may use unordered collections freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn scratch() {
+        let _ = HashSet::<u32>::new();
+    }
+}

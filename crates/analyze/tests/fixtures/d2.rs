@@ -1,0 +1,9 @@
+//! Seeded `d2` violations: a crate root missing `#![deny(unsafe_code)]`,
+//! an `#[allow(unsafe_code)]` escape hatch, and an `unsafe` block outside
+//! the allowlisted `phylo::simd::dispatch` module. Analyzed under a
+//! synthetic `crates/*/src/lib.rs` path by the golden test.
+
+#[allow(unsafe_code)]
+fn peek(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}

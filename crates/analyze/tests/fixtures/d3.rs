@@ -1,0 +1,15 @@
+//! Seeded `d3` violations: raw thread spawning outside `crates/exec`.
+//! Parallelism belongs behind the `Backend` seam (`map_mut`/`map_grid`).
+
+fn fan_out(xs: &mut [f64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(|| *x += 1.0);
+        }
+    });
+}
+
+fn detach() -> i32 {
+    let handle = std::thread::spawn(|| 42);
+    handle.join().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Seeded `d4` violations: wall-clock reads in a sampler-state path.
+//! Timing belongs in bench/serve reporting, never in anything a draw
+//! depends on.
+
+fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    workload();
+    t0.elapsed().as_secs_f64()
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn workload() {}

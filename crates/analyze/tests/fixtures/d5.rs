@@ -1,0 +1,27 @@
+//! Seeded `d5` violations: bare float equality outside test code.
+//! The sanctioned spelling compares bit patterns, as `EdgeMatrixCache`
+//! keying does.
+
+fn same(a: f64, b: f64) -> bool {
+    a == 1.0 || b != 0.5
+}
+
+fn overflowed(x: f64) -> bool {
+    x == f64::INFINITY
+}
+
+fn keyed(a: f64, b: f64) -> bool {
+    // Not a violation: the bit-pattern comparison is the sanctioned form.
+    a.to_bits() == b.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_assertions_are_fine_in_tests() {
+        assert!(super::same(1.0, 1.0));
+        let x = 0.25;
+        assert!(x == 0.25);
+        assert!(super::keyed(x, x));
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded `d6` violations: ad-hoc `Mt19937` construction outside
+//! `mcmc::rng`. Every stream must be checkpoint-accounted: chain/swap
+//! streams come from `StreamBank`, the host RNG from `mcmc::rng::host_rng`.
+
+use mcmc::rng::Mt19937;
+
+fn fresh() -> Mt19937 {
+    Mt19937::new(4357)
+}
+
+fn reseeded() -> Mt19937 {
+    Mt19937::seed_from_u64(99)
+}

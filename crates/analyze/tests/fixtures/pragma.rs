@@ -1,0 +1,19 @@
+//! Seeded pragma mechanics: one correct suppression plus every failure
+//! mode the `pragma` meta-rule reports.
+
+// A used pragma: suppresses the d1 diagnostic below, recording its reason.
+// mpcgs-analyze: allow(d1, reason = "lookup-only scratch map; never iterated")
+use std::collections::HashMap;
+
+// An unused pragma: nothing on the next line fires d4.
+// mpcgs-analyze: allow(d4, reason = "stale exemption")
+fn quiet() {}
+
+// An unknown rule name.
+// mpcgs-analyze: allow(d99, reason = "no such rule")
+fn unknown() {}
+
+// A pragma with no reason: the reason is mandatory, so this suppresses
+// nothing and is itself reported.
+// mpcgs-analyze: allow(d1)
+use std::collections::HashSet;

@@ -326,6 +326,7 @@ impl GenealogyProposer {
             if !len.is_finite() {
                 // ∫_0^∞ ν_a e^{-μ_a u} e^{-μ_{a-1}(∞-u)} du is zero unless the
                 // remaining state has zero tilt (m = 0, a−1 = 1).
+                // mpcgs-analyze: allow(d5, reason = "zero-tilt guard: mu is exactly 0.0 only in the m = 0, a-1 = 1 state where the rate is constructed as the literal zero")
                 return if mu_b == 0.0 { nu_a / mu_a } else { 0.0 };
             }
             return if (mu_a - mu_b).abs() < 1e-12 {
@@ -338,6 +339,7 @@ impl GenealogyProposer {
         let mu_c = self.mu(a - 2, m);
         let nu_b = self.nu(a - 1);
         if !len.is_finite() {
+            // mpcgs-analyze: allow(d5, reason = "zero-tilt guard: mu is exactly 0.0 only in the m = 0, a-1 = 1 state where the rate is constructed as the literal zero")
             return if mu_c == 0.0 { (nu_a / mu_a) * (nu_b / mu_b) } else { 0.0 };
         }
         // Weight = ν_a ν_b ∫∫_{0<u1<u2<len} e^{-μ_a u1 - μ_b (u2-u1) - μ_c (len-u2)} du1 du2,

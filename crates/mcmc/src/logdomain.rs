@@ -26,9 +26,11 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
             max = x;
         }
     }
+    // mpcgs-analyze: allow(d5, reason = "±infinity are exact IEEE sentinels: log-domain zero and overflow have no representation drift")
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
+    // mpcgs-analyze: allow(d5, reason = "±infinity are exact IEEE sentinels: log-domain zero and overflow have no representation drift")
     if max == f64::INFINITY {
         return f64::INFINITY;
     }
@@ -42,6 +44,7 @@ pub fn log_add_exp(a: f64, b: f64) -> f64 {
         return f64::NAN;
     }
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    // mpcgs-analyze: allow(d5, reason = "-infinity is the exact IEEE sentinel for log-domain zero; the guard avoids inf - inf = NaN below")
     if hi == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
@@ -111,11 +114,13 @@ impl LogProb {
 
     /// Whether this represents exactly zero probability.
     pub fn is_zero(self) -> bool {
+        // mpcgs-analyze: allow(d5, reason = "-infinity is the exact IEEE sentinel LogProb::ZERO stores; no computed value is compared")
         self.0 == f64::NEG_INFINITY
     }
 
     /// Whether the stored log value is finite or `-inf` (i.e. not NaN/`+inf`).
     pub fn is_valid(self) -> bool {
+        // mpcgs-analyze: allow(d5, reason = "+infinity is an exact IEEE sentinel (overflowed log-probability), not a computed value")
         !self.0.is_nan() && self.0 != f64::INFINITY
     }
 }

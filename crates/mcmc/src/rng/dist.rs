@@ -115,9 +115,11 @@ pub fn log_categorical<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> Opt
 /// Panics if `p` is outside `[0, 1]`.
 pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     assert!((0.0..=1.0).contains(&p), "binomial p must lie in [0,1], got {p}");
+    // mpcgs-analyze: allow(d5, reason = "degenerate-distribution guard: p = 0 and p = 1 are exact caller-provided constants where the sampler must not consume RNG draws")
     if p == 0.0 || n == 0 {
         return 0;
     }
+    // mpcgs-analyze: allow(d5, reason = "degenerate-distribution guard: p = 0 and p = 1 are exact caller-provided constants where the sampler must not consume RNG draws")
     if p == 1.0 {
         return n;
     }

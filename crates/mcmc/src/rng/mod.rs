@@ -22,3 +22,16 @@ pub mod dist;
 pub use mt19937::Mt19937;
 pub use splitmix::SplitMix64;
 pub use streams::StreamBank;
+
+/// The sanctioned root host-RNG constructor.
+///
+/// Every random stream in a run must be accounted for by the checkpoint
+/// codec: chain and swap streams come from a [`StreamBank`] (whose positions
+/// are serialized), and the one host-level driving RNG comes from here, so
+/// its `(seed, position)` pair can be frozen and replayed. Constructing
+/// `Mt19937` ad hoc anywhere else creates a stream checkpoints cannot
+/// restore — `mpcgs-analyze` rule `d6` enforces that this function, the
+/// bank, tests, and the harness are the only construction sites.
+pub fn host_rng(seed: u32) -> Mt19937 {
+    Mt19937::new(seed)
+}

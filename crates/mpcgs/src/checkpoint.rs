@@ -70,8 +70,9 @@ pub struct SessionCheckpoint {
 /// The chain half of a [`SessionCheckpoint`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum CheckpointState {
-    /// A plain single-chain session.
-    SingleChain(ChainSnapshot),
+    /// A plain single-chain session. Boxed: a full chain snapshot dwarfs the
+    /// ensemble variant (which holds per-rung snapshots behind a `Vec`).
+    SingleChain(Box<ChainSnapshot>),
     /// A sharded session: the spec the ensemble ran under (shape-checked on
     /// resume) plus the per-rung snapshot.
     Ensemble {
@@ -110,6 +111,7 @@ fn decode_usize(json: &Json, key: &str, context: &str) -> Result<usize, PhyloErr
     let x = field(json, key, context)?
         .as_f64()
         .ok_or_else(|| decode_err(format!("checkpoint {context}: field {key:?} is not a count")))?;
+    // mpcgs-analyze: allow(d5, reason = "integrality validation: fract() of a JSON-decoded count is exactly 0.0 iff the value is an integer")
     if x < 0.0 || x.fract() != 0.0 {
         return Err(decode_err(format!(
             "checkpoint {context}: field {key:?} is not a non-negative integer (got {x})"
@@ -554,9 +556,9 @@ impl SessionCheckpoint {
             .as_str()
             .ok_or_else(|| decode_err("checkpoint state: mode is not a string"))?;
         let state = match mode {
-            "single" => CheckpointState::SingleChain(chain_snapshot_from_json(field(
+            "single" => CheckpointState::SingleChain(Box::new(chain_snapshot_from_json(field(
                 state_json, "chain", "state",
-            )?)?),
+            )?)?)),
             "ensemble" => CheckpointState::Ensemble {
                 spec: ensemble_spec_from_json(field(state_json, "spec", "state")?)?,
                 snapshot: ensemble_snapshot_from_json(field(state_json, "ensemble", "state")?)?,

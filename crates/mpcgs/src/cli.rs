@@ -473,6 +473,7 @@ fn job_field_usize(job: &Json, key: &str, default: usize, name: &str) -> Result<
         Some(value) => {
             let x = value
                 .as_f64()
+                // mpcgs-analyze: allow(d5, reason = "integrality validation: fract() of a JSON-decoded count is exactly 0.0 iff the value is an integer")
                 .filter(|x| *x >= 0.0 && x.fract() == 0.0)
                 .ok_or_else(|| format!("job {name:?}: {key:?} must be a non-negative integer"))?;
             Ok(x as usize)
@@ -494,6 +495,7 @@ pub fn parse_job_file(
     if let Some(workers) = doc.get("workers") {
         config.workers = workers
             .as_f64()
+            // mpcgs-analyze: allow(d5, reason = "integrality validation: fract() of a JSON-decoded count is exactly 0.0 iff the value is an integer")
             .filter(|x| *x >= 1.0 && x.fract() == 0.0)
             .ok_or("job spec: \"workers\" must be a positive integer")?
             as usize;
@@ -508,6 +510,7 @@ pub fn parse_job_file(
     if let Some(quantum) = doc.get("quantum") {
         config.quantum = quantum
             .as_f64()
+            // mpcgs-analyze: allow(d5, reason = "integrality validation: fract() of a JSON-decoded count is exactly 0.0 iff the value is an integer")
             .filter(|x| *x >= 1.0 && x.fract() == 0.0)
             .ok_or("job spec: \"quantum\" must be a positive integer")?
             as usize;

@@ -6,6 +6,8 @@
 //! history, and prints the device cost breakdown when the run dispatched
 //! through the simulated accelerator backend.
 
+#![deny(unsafe_code)]
+
 use std::process::ExitCode;
 
 use exec::Backend;
@@ -30,6 +32,7 @@ fn run(cli: CliArgs) -> Result<(), String> {
     );
     for locus in dataset.loci() {
         let rate = locus.relative_rate();
+        // mpcgs-analyze: allow(d5, reason = "display-only branch: 1.0 is the exact default stored when no --rates flag was given, so the comparison never sees a computed value")
         if rate == 1.0 {
             println!("  locus {:<12} {} sites", locus.name(), locus.n_sites());
         } else {

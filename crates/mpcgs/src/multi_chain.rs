@@ -15,7 +15,6 @@
 //! [`EnsembleReport`] rather than re-derived from configuration.
 
 use exec::Backend;
-use mcmc::rng::Mt19937;
 
 use lamarc::run::RunReport;
 use phylo::tree::CoalescentIntervals;
@@ -136,7 +135,7 @@ pub fn run_multi_chain(
         .build()?;
     // Chains consume their own deterministic streams; the host RNG is
     // call-compatibility only.
-    let report = session.run_ensemble(&mut Mt19937::new(1))?;
+    let report = session.run_ensemble(&mut mcmc::rng::host_rng(1))?;
 
     // Chain dispatch above runs chains on scoped threads, but the work
     // accounting is what Figure 6 cares about: every chain paid its own
@@ -153,6 +152,7 @@ mod tests {
     use coalescent::{CoalescentSimulator, SequenceSimulator};
     use lamarc::mle::{maximize_relative_likelihood, GradientAscentConfig, RelativeLikelihood};
     use mcmc::diagnostics::gelman_rubin;
+    use mcmc::rng::Mt19937;
     use phylo::model::Jc69;
     use phylo::Alignment;
 

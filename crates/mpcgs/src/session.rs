@@ -616,7 +616,7 @@ impl Session {
 
     /// Convert the session into a preemptible [`SessionRunner`] seeded with
     /// `seed`: the incremental form of [`Session::run`] (which internally
-    /// does `Mt19937::new(seed)` host seeding in the CLI driver). Stepping
+    /// does `mcmc::rng::host_rng(seed)` host seeding in the CLI driver). Stepping
     /// the runner to completion is bit-identical to `run` with the same host
     /// RNG.
     pub fn into_runner(self, seed: u32) -> Result<SessionRunner, PhyloError> {
@@ -702,7 +702,7 @@ impl SessionRunner {
         let mut runner = SessionRunner {
             session,
             seed,
-            host_rng: Mt19937::new(seed),
+            host_rng: mcmc::rng::host_rng(seed),
             theta,
             em_round: 0,
             iterations: Vec::new(),
@@ -743,7 +743,7 @@ impl SessionRunner {
                     });
                 }
                 let mut sampler = session.make_chain_sampler(checkpoint.theta, 1.0, 0)?;
-                sampler.import_chain(snapshot.clone())?;
+                sampler.import_chain(snapshot.as_ref().clone())?;
                 RunnerMode::Single { sampler }
             }
             CheckpointState::Ensemble { spec, snapshot } => {
@@ -777,7 +777,7 @@ impl SessionRunner {
                 RunnerMode::Ensemble { sampler: Box::new(sampler) }
             }
         };
-        let mut host_rng = Mt19937::new(checkpoint.seed);
+        let mut host_rng = mcmc::rng::host_rng(checkpoint.seed);
         host_rng.discard(checkpoint.host_rng_position);
         Ok(SessionRunner {
             session,
@@ -963,9 +963,9 @@ impl SessionRunner {
             });
         }
         let state = match &self.mode {
-            RunnerMode::Single { sampler } => CheckpointState::SingleChain(
+            RunnerMode::Single { sampler } => CheckpointState::SingleChain(Box::new(
                 sampler.export_chain().ok_or_else(no_active_chain_for_checkpoint)?,
-            ),
+            )),
             RunnerMode::Ensemble { sampler } => CheckpointState::Ensemble {
                 spec: self
                     .session

@@ -807,8 +807,9 @@ pub struct DirtyEvaluation {
 pub struct FelsensteinPruner<M> {
     model: M,
     patterns: SitePatterns,
-    /// Map from sequence name to row index in the patterns.
-    name_to_row: std::collections::HashMap<String, usize>,
+    /// Map from sequence name to row index in the patterns. Ordered so no
+    /// iteration over it can ever depend on a per-process hash seed.
+    name_to_row: std::collections::BTreeMap<String, usize>,
     mode: ExecutionMode,
     kernel: Kernel,
     /// The concrete combine loop `kernel` resolved to at construction

@@ -12,8 +12,8 @@
 //! recalculate" (Section 5.2.2) — both paths are provided by the likelihood
 //! engine so the trade-off can be benchmarked.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 
 use crate::alignment::Alignment;
 use crate::nucleotide::Nucleotide;
@@ -36,10 +36,12 @@ impl SitePatterns {
     ///
     /// Columns are first packed two bits per base into a flat `u64` buffer
     /// (the Section 5.1.3 encoding: 32 sequences per word), site-major, so
-    /// deduplication hashes and compares word slices borrowed from that one
-    /// buffer — no per-site `Vec<Nucleotide>` materialises for the repeated
-    /// columns that make compression worthwhile. Only the first occurrence
-    /// of each pattern expands back to nucleotides, and patterns keep their
+    /// deduplication compares word slices borrowed from that one buffer —
+    /// no per-site `Vec<Nucleotide>` materialises for the repeated columns
+    /// that make compression worthwhile. The index is a `BTreeMap` (ordered,
+    /// hasher-free) so nothing about pattern numbering can ever depend on a
+    /// per-process hash seed; only the first occurrence of each pattern
+    /// expands back to nucleotides, and patterns keep their
     /// first-occurrence order.
     pub fn from_alignment(alignment: &Alignment) -> Self {
         let n_sites = alignment.n_sites();
@@ -53,7 +55,7 @@ impl SitePatterns {
                 bases[word] |= (seq.base(site).index() as u64) << shift;
             }
         }
-        let mut index: HashMap<&[u64], usize> = HashMap::new();
+        let mut index: BTreeMap<&[u64], usize> = BTreeMap::new();
         let mut patterns: Vec<Vec<Nucleotide>> = Vec::new();
         let mut weights: Vec<usize> = Vec::new();
         for (site, key) in packed.chunks_exact(words).enumerate() {
@@ -116,6 +118,8 @@ impl SitePatterns {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
 
     #[test]

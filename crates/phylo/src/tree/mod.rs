@@ -352,7 +352,9 @@ impl GeneTree {
 
     /// The most recent common ancestor of two nodes.
     pub fn mrca(&self, a: NodeId, b: NodeId) -> NodeId {
-        let mut ancestors = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: membership-only today, but keeping the
+        // sampler path free of unordered collections is invariant D1.
+        let mut ancestors = std::collections::BTreeSet::new();
         let mut x = a;
         ancestors.insert(x);
         while let Some(p) = self.parent(x) {

@@ -22,6 +22,7 @@
 use coalescent::{CoalescentSimulator, SequenceSimulator};
 use exec::Backend;
 use mcmc::rng::Mt19937;
+use phylo::likelihood::Kernel;
 use phylo::model::Jc69;
 use phylo::{Alignment, Dataset};
 
@@ -49,6 +50,10 @@ fn small_config() -> MpcgsConfig {
         burn_in_draws: 24,
         sample_draws: 120,
         backend: Backend::Serial,
+        // Pinned: the committed bytes contain sampled likelihoods, and
+        // Kernel::Auto resolves per host (AVX2+FMA contraction shifts the
+        // low bits). Scalar makes the goldens host- and feature-independent.
+        kernel: Kernel::Scalar,
         ..MpcgsConfig::default()
     }
 }
