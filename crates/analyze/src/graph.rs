@@ -1,0 +1,913 @@
+//! The workspace call graph: name-resolved, best-effort, honest about
+//! what it cannot resolve.
+//!
+//! [`build`] flattens every file's [`crate::items::FnItem`]s into one node
+//! table, scans each body's token stream for call sites, and resolves them
+//! against the workspace item index:
+//!
+//! - **Path calls** (`foo(…)`, `serve::record_failure(…)`,
+//!   `JobQueue::new(…)`) resolve through the file's `use` map and then by
+//!   longest-suffix match against the item index. `crate`/`self`/`super`
+//!   prefixes are normalised against the calling file's module path.
+//! - **Method calls** (`x.step(…)`) resolve by receiver-type heuristics:
+//!   `self.m(…)` looks up the enclosing impl's type (falling back to the
+//!   implemented trait's declarations), `Self::m(…)` likewise; any other
+//!   receiver resolves only if exactly one workspace type owns a method of
+//!   that name and the name is not on the common-`std`-method denylist.
+//! - **Unresolved edges are recorded, not dropped** — each carries the call
+//!   text and a reason (`ambiguous`, `unknown receiver`, `external`), so
+//!   the reachability rules can report how much of the cone they actually
+//!   see and fixtures can assert resolution behaviour.
+//!
+//! Reachability ([`CallGraph::reachable_from`]) walks resolved edges only:
+//! an unresolved edge never extends a reachability cone. That makes the
+//! pass *under*-approximate — the documented trade: no false-positive
+//! diagnostics from spurious edges, at the price of known false-negative
+//! classes (dyn-trait dispatch, function pointers, macro-generated calls;
+//! see docs/ARCHITECTURE.md).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::FileContext;
+use crate::items::{FileItems, FnItem};
+use crate::lexer::TokenKind;
+
+/// One analyzed file, owned by the caller, referenced by the graph.
+pub struct FileUnit {
+    /// Workspace-relative path.
+    pub path: String,
+    /// File source.
+    pub source: String,
+    /// Token/region context.
+    pub ctx: FileContext,
+    /// Parsed items.
+    pub items: FileItems,
+}
+
+/// One function node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the owning [`FileUnit`].
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub item: usize,
+    /// Display key, e.g. `mpcgs::serve::JobQueue::run`.
+    pub key: String,
+}
+
+/// Why an edge could not be resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnresolvedReason {
+    /// More than one workspace item matched.
+    Ambiguous,
+    /// A method call whose receiver type is unknown.
+    UnknownReceiver,
+    /// The path points outside the workspace (`std`, shims' std types, …).
+    External,
+    /// Nothing in the workspace matched.
+    Unknown,
+}
+
+/// An edge the resolver declined to draw.
+#[derive(Debug, Clone)]
+pub struct UnresolvedEdge {
+    /// The calling node.
+    pub from: usize,
+    /// The call as written (`x.step` / `serve::record_failure`).
+    pub call: String,
+    /// Why it stayed unresolved.
+    pub reason: UnresolvedReason,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All function nodes, in (file, declaration) order.
+    pub nodes: Vec<FnNode>,
+    /// Resolved adjacency: `edges[n]` lists callee node ids, sorted+deduped.
+    pub edges: Vec<Vec<usize>>,
+    /// Every edge the resolver recorded but declined to draw.
+    pub unresolved: Vec<UnresolvedEdge>,
+}
+
+/// Methods so common on `std` types that a bare `receiver.name(…)` must
+/// never resolve to a workspace method of the same name.
+const STD_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_deref",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "borrow",
+    "borrow_mut",
+    "chain",
+    "chars",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "expect",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "for_each",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into_inner",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_some",
+    "is_none",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "log2",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "next",
+    "ok",
+    "ok_or_else",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powi",
+    "powf",
+    "push",
+    "push_str",
+    "remove",
+    "replace",
+    "resize",
+    "rev",
+    "rotate_left",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_at",
+    "split_off",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_err",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "with_capacity",
+    "write",
+    "zip",
+];
+
+/// Path heads that always point outside the workspace.
+const EXTERNAL_HEADS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "Vec",
+    "String",
+    "Box",
+    "Option",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Result",
+    "Default",
+    "Clone",
+    "Copy",
+    "Iterator",
+    "IntoIterator",
+    "Ord",
+    "PartialOrd",
+    "f64",
+    "f32",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "isize",
+    "bool",
+    "char",
+    "str",
+    "Arc",
+    "Rc",
+    "Mutex",
+    "RefCell",
+    "Cell",
+    "PathBuf",
+    "Path",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "VecDeque",
+    "Instant",
+    "Duration",
+];
+
+/// Rust keywords that look like call heads in `kw (…)` position.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "let", "fn",
+    "unsafe", "where", "impl", "dyn", "ref", "mut", "break", "continue", "await", "box",
+];
+
+#[derive(Debug)]
+enum CallSite {
+    /// `a::b::c(…)` — full path segments, last is the function name.
+    Path { segments: Vec<String>, line: u32 },
+    /// `recv.name(…)` — `self_recv` when the receiver is literally `self`.
+    Method { name: String, self_recv: bool, line: u32 },
+}
+
+/// Build the call graph over every file.
+pub fn build(files: &[FileUnit]) -> CallGraph {
+    let mut nodes = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ii, f) in file.items.fns.iter().enumerate() {
+            nodes.push(FnNode { file: fi, item: ii, key: fn_key(&file.items, f) });
+        }
+    }
+
+    let index = Index::new(files, &nodes);
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut unresolved = Vec::new();
+
+    for (ni, node) in nodes.iter().enumerate() {
+        let file = &files[node.file];
+        let f = &file.items.fns[node.item];
+        let Some((body_start, body_end)) = f.body else { continue };
+        for call in extract_calls(file, body_start, body_end) {
+            match index.resolve(&call, node, files) {
+                Resolution::Node(target) => edges[ni].push(target),
+                Resolution::External => {}
+                Resolution::Unresolved(reason, text, line) => {
+                    unresolved.push(UnresolvedEdge { from: ni, call: text, reason, line });
+                }
+            }
+        }
+        edges[ni].sort_unstable();
+        edges[ni].dedup();
+    }
+
+    CallGraph { nodes, edges, unresolved }
+}
+
+/// Display key for a function: `crate::modules::Type::name`.
+pub fn fn_key(items: &FileItems, f: &FnItem) -> String {
+    let mut parts: Vec<&str> = vec![items.crate_name.as_str()];
+    parts.extend(items.base_modules.iter().map(String::as_str));
+    parts.extend(f.modules.iter().map(String::as_str));
+    if let Some(ty) = &f.self_ty {
+        parts.push(ty.as_str());
+    }
+    parts.push(f.name.as_str());
+    parts.join("::")
+}
+
+impl CallGraph {
+    /// Node ids whose function matches `(self_ty, name)`; a `None` type
+    /// matches free functions only.
+    pub fn find_method(&self, files: &[FileUnit], ty: &str, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &files[n.file].items.fns[n.item];
+                f.name == name && f.self_ty.as_deref() == Some(ty)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node ids of methods named `name` in impls of trait `trait_name`
+    /// (plus the trait's own provided default, if any).
+    pub fn find_trait_method(
+        &self,
+        files: &[FileUnit],
+        trait_name: &str,
+        name: &str,
+    ) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &files[n.file].items.fns[n.item];
+                f.name == name && f.trait_name.as_deref() == Some(trait_name)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node ids of free functions named `name`.
+    pub fn find_free_fn(&self, files: &[FileUnit], name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                let f = &files[n.file].items.fns[n.item];
+                f.name == name && f.self_ty.is_none()
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over resolved edges from `roots`. Returns, for every reachable
+    /// node, the id of the node it was first reached *through* (roots map
+    /// to themselves) — enough to rebuild a root→node chain.
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(r) {
+                slot.insert(r);
+                queue.push(r);
+            }
+        }
+        let mut at = 0;
+        while at < queue.len() {
+            let n = queue[at];
+            at += 1;
+            for &m in &self.edges[n] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(m) {
+                    e.insert(n);
+                    queue.push(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root → … → node`, as display keys.
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, node: usize) -> Vec<String> {
+        let mut chain = vec![node];
+        let mut cur = node;
+        while let Some(&p) = parents.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain.into_iter().map(|n| self.nodes[n].key.clone()).collect()
+    }
+}
+
+enum Resolution {
+    Node(usize),
+    External,
+    Unresolved(UnresolvedReason, String, u32),
+}
+
+struct Index {
+    /// Free functions by name.
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by (type, name) — includes trait-declared methods under the
+    /// trait's name as the type.
+    method_by_ty: BTreeMap<(String, String), Vec<usize>>,
+    /// All method owners by method name (for last-resort unique lookup).
+    owners_by_method: BTreeMap<String, BTreeSet<String>>,
+    /// Full-path suffix index: every node under its reversed segments.
+    all_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Index {
+    fn new(files: &[FileUnit], nodes: &[FnNode]) -> Index {
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut method_by_ty: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut owners_by_method: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut all_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (ni, node) in nodes.iter().enumerate() {
+            let f = &files[node.file].items.fns[node.item];
+            all_by_name.entry(f.name.clone()).or_default().push(ni);
+            match &f.self_ty {
+                Some(ty) => {
+                    method_by_ty.entry((ty.clone(), f.name.clone())).or_default().push(ni);
+                    owners_by_method.entry(f.name.clone()).or_default().insert(ty.clone());
+                }
+                None => free_by_name.entry(f.name.clone()).or_default().push(ni),
+            }
+        }
+        Index { free_by_name, method_by_ty, owners_by_method, all_by_name }
+    }
+
+    fn resolve(&self, call: &CallSite, from: &FnNode, files: &[FileUnit]) -> Resolution {
+        match call {
+            CallSite::Method { name, self_recv, line } => {
+                self.resolve_method(name, *self_recv, from, files, *line)
+            }
+            CallSite::Path { segments, line } => self.resolve_path(segments, from, files, *line),
+        }
+    }
+
+    fn resolve_method(
+        &self,
+        name: &str,
+        self_recv: bool,
+        from: &FnNode,
+        files: &[FileUnit],
+        line: u32,
+    ) -> Resolution {
+        let caller = &files[from.file].items.fns[from.item];
+        if self_recv {
+            if let Some(ty) = &caller.self_ty {
+                if let Some(hits) = self.method_by_ty.get(&(ty.clone(), name.to_string())) {
+                    if hits.len() == 1 {
+                        return Resolution::Node(hits[0]);
+                    }
+                    // Prefer a same-file hit (inherent + trait impls of the
+                    // same type usually share the file).
+                    let same_file: Vec<usize> =
+                        hits.iter().copied().filter(|&h| same_file(files, from, h)).collect();
+                    if same_file.len() == 1 {
+                        return Resolution::Node(same_file[0]);
+                    }
+                    return Resolution::Unresolved(
+                        UnresolvedReason::Ambiguous,
+                        format!("self.{name}"),
+                        line,
+                    );
+                }
+                // Fall back to the implemented trait's declared methods.
+                if let Some(tr) = &caller.trait_name {
+                    if let Some(hits) = self.method_by_ty.get(&(tr.clone(), name.to_string())) {
+                        if hits.len() == 1 {
+                            return Resolution::Node(hits[0]);
+                        }
+                    }
+                }
+            }
+            return Resolution::Unresolved(UnresolvedReason::Unknown, format!("self.{name}"), line);
+        }
+        if STD_METHODS.contains(&name) {
+            return Resolution::External;
+        }
+        match self.owners_by_method.get(name) {
+            Some(owners) if owners.len() == 1 => {
+                let ty = owners.iter().next().expect("non-empty owner set");
+                let hits = &self.method_by_ty[&(ty.clone(), name.to_string())];
+                if hits.len() == 1 {
+                    Resolution::Node(hits[0])
+                } else {
+                    Resolution::Unresolved(UnresolvedReason::Ambiguous, format!("_.{name}"), line)
+                }
+            }
+            Some(_) => {
+                Resolution::Unresolved(UnresolvedReason::Ambiguous, format!("_.{name}"), line)
+            }
+            None => {
+                Resolution::Unresolved(UnresolvedReason::UnknownReceiver, format!("_.{name}"), line)
+            }
+        }
+    }
+
+    fn resolve_path(
+        &self,
+        segments: &[String],
+        from: &FnNode,
+        files: &[FileUnit],
+        line: u32,
+    ) -> Resolution {
+        let file = &files[from.file];
+        let caller = &file.items.fns[from.item];
+        let display = segments.join("::");
+
+        // Normalise the head: `Self` → enclosing type; expand through the
+        // file's use map; resolve `crate`/`self`/`super` against the
+        // calling module.
+        let mut segs: Vec<String> = segments.to_vec();
+        if segs[0] == "Self" {
+            match &caller.self_ty {
+                Some(ty) => segs[0] = ty.clone(),
+                None => {
+                    return Resolution::Unresolved(UnresolvedReason::Unknown, display, line);
+                }
+            }
+        }
+        if let Some(u) =
+            file.items.uses.iter().find(|u| !u.glob && !u.alias.is_empty() && u.alias == segs[0])
+        {
+            let mut expanded = u.path.clone();
+            expanded.extend(segs[1..].iter().cloned());
+            segs = expanded;
+        }
+        while segs.len() > 1 && matches!(segs[0].as_str(), "crate" | "self" | "super") {
+            segs.remove(0);
+        }
+        if segs.len() > 1 && EXTERNAL_HEADS.contains(&segs[0].as_str()) {
+            return Resolution::External;
+        }
+
+        let name = segs.last().expect("non-empty path").clone();
+
+        // Single-segment call: a free function, same module preferred.
+        if segs.len() == 1 {
+            return self.pick_free(&name, from, files, line, &display);
+        }
+
+        // `Type::method` (or `Trait::method`): second-to-last segment names
+        // a type the workspace knows.
+        let penult = &segs[segs.len() - 2];
+        if let Some(hits) = self.method_by_ty.get(&(penult.clone(), name.clone())) {
+            if hits.len() == 1 {
+                return Resolution::Node(hits[0]);
+            }
+            let same_crate: Vec<usize> = hits
+                .iter()
+                .copied()
+                .filter(|&h| {
+                    files[files_node(files, h).0].items.crate_name == file.items.crate_name
+                })
+                .collect();
+            if same_crate.len() == 1 {
+                return Resolution::Node(same_crate[0]);
+            }
+            return Resolution::Unresolved(UnresolvedReason::Ambiguous, display, line);
+        }
+
+        // Module-qualified free function: match candidates whose full
+        // module path ends with the written qualifier.
+        if let Some(cands) = self.free_by_name.get(&name) {
+            let qual: Vec<&String> = segs[..segs.len() - 1].iter().collect();
+            let matching: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let (cf, cfn) = files_node(files, c);
+                    let items = &files[cf].items;
+                    let f = &items.fns[cfn];
+                    let mut full: Vec<&String> = Vec::new();
+                    full.push(&items.crate_name);
+                    full.extend(items.base_modules.iter());
+                    full.extend(f.modules.iter());
+                    full.len() >= qual.len() && full[full.len() - qual.len()..] == qual[..]
+                })
+                .collect();
+            match matching.len() {
+                1 => return Resolution::Node(matching[0]),
+                0 => {}
+                _ => return Resolution::Unresolved(UnresolvedReason::Ambiguous, display, line),
+            }
+        }
+
+        if self.all_by_name.contains_key(&name) {
+            Resolution::Unresolved(UnresolvedReason::Ambiguous, display, line)
+        } else if EXTERNAL_HEADS.contains(&segs[0].as_str()) {
+            Resolution::External
+        } else {
+            Resolution::Unresolved(UnresolvedReason::Unknown, display, line)
+        }
+    }
+
+    fn pick_free(
+        &self,
+        name: &str,
+        from: &FnNode,
+        files: &[FileUnit],
+        line: u32,
+        display: &str,
+    ) -> Resolution {
+        let Some(cands) = self.free_by_name.get(name) else {
+            return Resolution::Unresolved(UnresolvedReason::Unknown, display.to_string(), line);
+        };
+        if cands.len() == 1 {
+            return Resolution::Node(cands[0]);
+        }
+        // Prefer a candidate in the same file, then the same crate.
+        let same_file: Vec<usize> =
+            cands.iter().copied().filter(|&c| same_file(files, from, c)).collect();
+        if same_file.len() == 1 {
+            return Resolution::Node(same_file[0]);
+        }
+        let crate_name = &files[from.file].items.crate_name;
+        let same_crate: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| &files[files_node(files, c).0].items.crate_name == crate_name)
+            .collect();
+        if same_crate.len() == 1 {
+            return Resolution::Node(same_crate[0]);
+        }
+        Resolution::Unresolved(UnresolvedReason::Ambiguous, display.to_string(), line)
+    }
+}
+
+/// Map a node id back to `(file index, fn index)` — nodes are dense, in
+/// (file, fn) order, so a linear scan per call would be wasteful; instead
+/// thread the node table through. (Kept as a free fn so `Index` closures
+/// stay borrow-checker friendly.)
+fn files_node(files: &[FileUnit], node: usize) -> (usize, usize) {
+    let mut remaining = node;
+    for (fi, file) in files.iter().enumerate() {
+        let n = file.items.fns.len();
+        if remaining < n {
+            return (fi, remaining);
+        }
+        remaining -= n;
+    }
+    panic!("node id out of range");
+}
+
+fn same_file(files: &[FileUnit], from: &FnNode, node: usize) -> bool {
+    files_node(files, node).0 == from.file
+}
+
+/// Scan a body's significant tokens for call sites.
+fn extract_calls(file: &FileUnit, body_start: usize, body_end: usize) -> Vec<CallSite> {
+    let ctx = &file.ctx;
+    let src = file.source.as_str();
+    let text = |si: usize| ctx.tokens[ctx.sig[si]].text(src);
+    let kind = |si: usize| ctx.tokens[ctx.sig[si]].kind;
+    let is_ident = |si: usize| matches!(kind(si), TokenKind::Ident | TokenKind::RawIdent);
+    let name_of = |si: usize| {
+        let t = text(si);
+        t.strip_prefix("r#").unwrap_or(t).to_string()
+    };
+    let line_of = |si: usize| ctx.tokens[ctx.sig[si]].line;
+
+    let mut calls = Vec::new();
+    for si in body_start..=body_end.min(ctx.sig.len().saturating_sub(1)) {
+        if text(si) != "(" || si == 0 {
+            continue;
+        }
+        // `name (` — walk the path backwards over `::` pairs, or spot a
+        // turbofish `name :: < … > (` by walking back over the generic
+        // group first.
+        let mut head = si;
+        if text(si - 1) == ">" {
+            // Possible turbofish: find the matching `<` backwards.
+            let mut depth = 0i64;
+            let mut j = si - 1;
+            loop {
+                match text(j) {
+                    ">" => depth += 1,
+                    "<" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 || j + 64 < si {
+                    // Not a plausible turbofish.
+                    j = 0;
+                    break;
+                }
+                j -= 1;
+            }
+            if j >= 2 && text(j - 1) == ":" && text(j - 2) == ":" && j >= 3 && is_ident(j - 3) {
+                head = j - 2; // position of the second `:`; ident is at j-3
+                              // Fall through with the ident at `head - 1`.
+            } else {
+                continue;
+            }
+        }
+        let ident_at = head - 1;
+        if !is_ident(ident_at) {
+            continue;
+        }
+        let base = name_of(ident_at);
+        if CALL_KEYWORDS.contains(&base.as_str()) {
+            continue;
+        }
+        // Macro invocation `name ! (`: not a function call.
+        if ident_at >= 1 && text(ident_at - 1) == "!" {
+            continue;
+        }
+        // Walk back over `:: ident` pairs to collect the full path.
+        let mut segments = vec![base];
+        let mut cursor = ident_at;
+        while cursor >= 3
+            && text(cursor - 1) == ":"
+            && text(cursor - 2) == ":"
+            && is_ident(cursor - 3)
+        {
+            segments.push(name_of(cursor - 3));
+            cursor -= 3;
+        }
+        segments.reverse();
+        // What precedes the path start decides the call form.
+        if cursor >= 1 && text(cursor - 1) == "." {
+            // Method call; only single-segment method names are real Rust
+            // (`x.a::b(…)` does not parse), so bail on longer paths.
+            if segments.len() == 1 {
+                let self_recv = cursor >= 2 && text(cursor - 2) == "self"
+                    // `self.f(…)` but not `x.self.f` (not real Rust) nor
+                    // `other_self.f` — token equality is exact.
+                    && (cursor < 3 || text(cursor - 3) != ".");
+                calls.push(CallSite::Method {
+                    name: segments.pop().expect("single segment"),
+                    self_recv,
+                    line: line_of(ident_at),
+                });
+            }
+            continue;
+        }
+        // Declaration heads (`fn name(`) and attribute-ish positions.
+        if cursor >= 1 && matches!(text(cursor - 1), "fn" | "#" | "[") {
+            continue;
+        }
+        calls.push(CallSite::Path { segments, line: line_of(ident_at) });
+    }
+    calls
+}
+
+/// Build [`FileUnit`]s from `(path, source)` pairs — the seam both
+/// [`crate::analyze_files`] and the unit tests share.
+pub fn units(files: Vec<(String, String)>) -> Vec<FileUnit> {
+    files
+        .into_iter()
+        .map(|(path, source)| {
+            let ctx = FileContext::new(&source);
+            let items = crate::items::parse_items(&path, &source, &ctx);
+            FileUnit { path, source, ctx, items }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Vec<FileUnit>, CallGraph) {
+        let units = units(files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect());
+        let graph = build(&units);
+        (units, graph)
+    }
+
+    fn key(graph: &CallGraph, id: usize) -> &str {
+        &graph.nodes[id].key
+    }
+
+    fn edge_exists(graph: &CallGraph, from_key: &str, to_key: &str) -> bool {
+        let from = graph.nodes.iter().position(|n| n.key == from_key).unwrap();
+        graph.edges[from].iter().any(|&t| key(graph, t) == to_key)
+    }
+
+    #[test]
+    fn diamond_reachability_with_chains() {
+        let (_, graph) = graph_of(&[(
+            "crates/mpcgs/src/session.rs",
+            "pub struct SessionRunner;\nimpl SessionRunner {\n    pub fn step(&mut self) { left(); right(); }\n}\nfn left() { sink(); }\nfn right() { sink(); }\nfn sink() {}\nfn not_reached() { sink(); }\n",
+        )]);
+        assert!(edge_exists(&graph, "mpcgs::session::SessionRunner::step", "mpcgs::session::left"));
+        let roots: Vec<usize> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.key.ends_with("SessionRunner::step"))
+            .map(|(i, _)| i)
+            .collect();
+        let parents = graph.reachable_from(&roots);
+        let sink = graph.nodes.iter().position(|n| n.key.ends_with("::sink")).unwrap();
+        assert!(parents.contains_key(&sink));
+        let not_reached = graph.nodes.iter().position(|n| n.key.ends_with("not_reached")).unwrap();
+        assert!(!parents.contains_key(&not_reached));
+        // The chain runs root → intermediate → sink, deterministically
+        // through `left` (BFS order follows declaration order).
+        let chain = graph.chain(&parents, sink);
+        assert_eq!(
+            chain,
+            ["mpcgs::session::SessionRunner::step", "mpcgs::session::left", "mpcgs::session::sink"]
+        );
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_through_use() {
+        let (_, graph) = graph_of(&[
+            (
+                "crates/mpcgs/src/serve.rs",
+                "use phylo::likelihood::score_tree;\npub fn drain() { score_tree(); phylo::likelihood::rescore(); }\n",
+            ),
+            (
+                "crates/phylo/src/likelihood.rs",
+                "pub fn score_tree() {}\npub fn rescore() {}\n",
+            ),
+        ]);
+        assert!(edge_exists(&graph, "mpcgs::serve::drain", "phylo::likelihood::score_tree"));
+        assert!(edge_exists(&graph, "mpcgs::serve::drain", "phylo::likelihood::rescore"));
+    }
+
+    #[test]
+    fn trait_method_calls_resolve_via_impl_and_self() {
+        let (_, graph) = graph_of(&[(
+            "crates/lamarc/src/sampler.rs",
+            "pub trait GenealogySampler { fn step(&mut self); }\npub struct LamarcSampler;\nimpl GenealogySampler for LamarcSampler {\n    fn step(&mut self) { self.propose(); }\n}\nimpl LamarcSampler {\n    fn propose(&self) {}\n}\n",
+        )]);
+        assert!(edge_exists(
+            &graph,
+            "lamarc::sampler::LamarcSampler::step",
+            "lamarc::sampler::LamarcSampler::propose"
+        ));
+    }
+
+    #[test]
+    fn unresolved_edges_are_recorded_not_dropped() {
+        let (_, graph) = graph_of(&[(
+            "crates/mpcgs/src/ensemble.rs",
+            "pub struct A;\npub struct B;\nimpl A { pub fn go(&self) {} }\nimpl B { pub fn go(&self) {} }\npub fn driver(x: &A) { x.go(); missing_fn(); }\n",
+        )]);
+        // `x.go()` is ambiguous between A::go and B::go; `missing_fn` is
+        // unknown. Both are recorded.
+        assert!(graph
+            .unresolved
+            .iter()
+            .any(|u| u.call == "_.go" && u.reason == UnresolvedReason::Ambiguous));
+        assert!(graph
+            .unresolved
+            .iter()
+            .any(|u| u.call == "missing_fn" && u.reason == UnresolvedReason::Unknown));
+        // And neither extended the graph.
+        let driver = graph.nodes.iter().position(|n| n.key.ends_with("driver")).unwrap();
+        assert!(graph.edges[driver].is_empty());
+    }
+
+    #[test]
+    fn std_method_names_never_resolve_into_the_workspace() {
+        let (_, graph) = graph_of(&[(
+            "crates/phylo/src/tables.rs",
+            "pub struct NodeTable;\nimpl NodeTable { pub fn push(&mut self) {} }\npub fn fill(v: &mut Vec<u32>) { v.push(1); }\n",
+        )]);
+        let fill = graph.nodes.iter().position(|n| n.key.ends_with("::fill")).unwrap();
+        assert!(graph.edges[fill].is_empty(), "Vec::push must not resolve to NodeTable::push");
+    }
+
+    #[test]
+    fn type_qualified_and_self_qualified_calls_resolve() {
+        let (_, graph) = graph_of(&[(
+            "crates/mcmc/src/chain.rs",
+            "pub struct Chain;\nimpl Chain {\n    pub fn new() -> Chain { Chain }\n    pub fn spawn() { Self::new(); }\n}\npub fn make() { Chain::new(); }\n",
+        )]);
+        assert!(edge_exists(&graph, "mcmc::chain::Chain::spawn", "mcmc::chain::Chain::new"));
+        assert!(edge_exists(&graph, "mcmc::chain::make", "mcmc::chain::Chain::new"));
+    }
+
+    #[test]
+    fn turbofish_calls_resolve() {
+        let (_, graph) = graph_of(&[(
+            "crates/codec/src/lib.rs",
+            "pub fn parse_num<T>() {}\npub fn driver() { parse_num::<f64>(); }\n",
+        )]);
+        assert!(edge_exists(&graph, "codec::driver", "codec::parse_num"));
+    }
+}

@@ -408,6 +408,27 @@ mod tests {
         assert_eq!((x.line, x.col), (2, 1));
     }
 
+    /// The item parser walks `use` paths and call paths token-by-token, so
+    /// prefixed strings must be ONE `Str` token (not ident + string) and
+    /// raw idents must be ONE `RawIdent` token even in path position.
+    #[test]
+    fn byte_strings_and_raw_ident_paths_are_single_tokens() {
+        let k = kinds("let x = b\"bytes\"; let y = br#\"raw bytes\"#; let z = br\"rb\";");
+        let strs: Vec<&str> =
+            k.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(strs, ["b\"bytes\"", "br#\"raw bytes\"#", "br\"rb\""]);
+        // No stray `b`/`br` ident tokens left in front of the strings.
+        assert!(!k.iter().any(|(kind, t)| *kind == TokenKind::Ident && (t == "b" || t == "br")));
+
+        let k = kinds("let c = r#type::r#match(1); let e = cr#\"c raw\"#;");
+        let raw: Vec<&str> =
+            k.iter().filter(|(k, _)| *k == TokenKind::RawIdent).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(raw, ["r#type", "r#match"]);
+        assert!(k.iter().any(|(kind, t)| *kind == TokenKind::Str && t == "cr#\"c raw\"#"));
+        // Losslessness holds for all of the above.
+        lossless("let a = b\"x\"; let b = br#\"y\"#; let c = r#type::r#match(1);\n");
+    }
+
     #[test]
     fn raw_strings_with_hashes_swallow_quotes() {
         let src = "let s = r##\"quote \"# inside\"##; let after = 1;";

@@ -27,9 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod context;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
 
 use std::fs;
@@ -47,11 +51,44 @@ const SKIP_RELATIVE: &[&str] = &["target", ".git", "crates/analyze/tests/fixture
 
 /// Analyze one file's source under its workspace-relative path, applying
 /// pragmas and appending the pragma meta-diagnostics.
+///
+/// Runs the per-file rules *and* the graph rules (r1–r3) over this single
+/// file — fixtures seed self-contained roots, so reachability works on one
+/// file too. For cross-crate reachability use [`analyze_files`].
 pub fn analyze_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    let ctx = FileContext::new(source);
-    let mut raw = Vec::new();
-    rules::check_all(path, source, &ctx, &mut raw);
+    let mut report = analyze_files(vec![(path.to_string(), source.to_string())]);
+    std::mem::take(&mut report.diagnostics)
+}
 
+/// Analyze a set of `(workspace-relative path, source)` files as one unit:
+/// per-file token rules, then the workspace call graph and the r1–r3
+/// reachability rules, then per-file pragma application.
+pub fn analyze_files(files: Vec<(String, String)>) -> Report {
+    let units = graph::units(files);
+    let files_scanned = units.len();
+    let mut raw_per_file: Vec<Vec<rules::RawDiag>> = units
+        .iter()
+        .map(|u| {
+            let mut raw = Vec::new();
+            rules::check_all(&u.path, &u.source, &u.ctx, &mut raw);
+            raw
+        })
+        .collect();
+    let call_graph = graph::build(&units);
+    reach::check_reachability(&units, &call_graph, &mut raw_per_file);
+    let mut diagnostics = Vec::new();
+    for (unit, raw) in units.iter().zip(raw_per_file) {
+        diagnostics.extend(apply_pragmas(&unit.path, &unit.ctx, raw));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Report { files_scanned, diagnostics }
+}
+
+/// Apply a file's suppression pragmas to its raw diagnostics and append
+/// the pragma meta-diagnostics (unknown rule, unused pragma, parse error).
+fn apply_pragmas(path: &str, ctx: &FileContext, raw: Vec<rules::RawDiag>) -> Vec<Diagnostic> {
     let mut used = vec![false; ctx.pragmas.len()];
     let mut diags: Vec<Diagnostic> = Vec::new();
     for d in raw {
@@ -153,20 +190,19 @@ impl Report {
     }
 }
 
-/// Analyze every workspace `.rs` file under `root`.
+/// Analyze every workspace `.rs` file under `root` as one unit, so the
+/// r1–r3 reachability cones cross crate boundaries.
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let files = workspace_files(root)?;
-    let files_scanned = files.len();
-    let mut diagnostics = Vec::new();
-    for (rel, abs) in files {
-        let source = fs::read_to_string(&abs)?;
-        diagnostics.extend(analyze_source(&rel, &source));
-    }
-    // Files were walked in sorted order; keep (file, line, col) ordering.
-    diagnostics.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
-    });
-    Ok(Report { files_scanned, diagnostics })
+    Ok(analyze_files(read_workspace(root)?))
+}
+
+/// Read every workspace `.rs` file under `root` into `(relative path,
+/// source)` pairs, in deterministic (sorted) order.
+pub fn read_workspace(root: &Path) -> io::Result<Vec<(String, String)>> {
+    workspace_files(root)?
+        .into_iter()
+        .map(|(rel, abs)| Ok((rel, fs::read_to_string(&abs)?)))
+        .collect()
 }
 
 /// Every `.rs` file under `root` in deterministic (sorted) order, as

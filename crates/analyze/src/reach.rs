@@ -1,0 +1,381 @@
+//! The reachability rule families r1–r3: contracts on everything a root
+//! function can *transitively* call, not just its own body.
+//!
+//! Each rule names a set of roots (by method, trait method, or free
+//! function — see [`RootSpec`]), walks the resolved call graph from them,
+//! and scans every reachable function body for rule-specific sink tokens.
+//! Diagnostics land on the sink and carry the reachability chain, so the
+//! reader sees *why* the function is in scope:
+//!
+//! ```text
+//! crates/phylo/src/tables.rs:88:21: [r1] `.expect(...)` can panic in
+//! `phylo::tables::NodeTable::parent`, reachable from
+//! `mpcgs::session::SessionRunner::step` via mpcgs::session::SessionRunner::step
+//! → phylo::likelihood::FelsensteinPruner::rescore_with_workspace → …
+//! ```
+//!
+//! Because the graph only walks *resolved* edges, the cone is an
+//! under-approximation: dyn-trait dispatch, function pointers, and
+//! macro-generated calls do not extend it (documented false-negative
+//! classes; see docs/ARCHITECTURE.md). The pay-off is that every diagnostic
+//! is backed by a concrete, name-resolved chain — no speculative noise.
+
+use crate::graph::{CallGraph, FileUnit};
+use crate::lexer::TokenKind;
+use crate::rules::RawDiag;
+
+/// How a rule names its reachability roots.
+pub enum RootSpec {
+    /// An inherent or trait-impl method: `Type::name`.
+    Method(&'static str, &'static str),
+    /// Every impl of `Trait::name`, plus the trait's provided default.
+    TraitMethod(&'static str, &'static str),
+    /// A free function by name.
+    FreeFn(&'static str),
+}
+
+/// r1 roots: the runner step path, the serve drain, and the checkpoint
+/// codec — the paths whose panics break fault isolation or resume.
+const R1_ROOTS: &[RootSpec] = &[
+    RootSpec::Method("SessionRunner", "step"),
+    RootSpec::Method("JobQueue", "run"),
+    RootSpec::Method("JobQueue", "run_with"),
+    RootSpec::Method("SessionCheckpoint", "to_json"),
+    RootSpec::Method("SessionCheckpoint", "from_json"),
+    RootSpec::Method("SessionCheckpoint", "parse"),
+];
+
+/// r2 roots: the SIMD combine kernel and the dirty-path rescore — the
+/// per-site hot loop where a stray allocation costs throughput.
+const R2_ROOTS: &[RootSpec] = &[
+    RootSpec::Method("Kernel", "combine_rows"),
+    RootSpec::Method("KernelVariant", "combine_rows"),
+    RootSpec::FreeFn("combine_rows_f64x4"),
+    RootSpec::Method("FelsensteinPruner", "rescore_with_workspace"),
+];
+
+/// r3 roots: every sampler step implementation plus the session runner —
+/// observers and the CLI are the only sanctioned output seams.
+const R3_ROOTS: &[RootSpec] =
+    &[RootSpec::TraitMethod("GenealogySampler", "step"), RootSpec::Method("SessionRunner", "step")];
+
+/// Macros whose expansion can panic.
+const PANIC_MACROS: &[&str] =
+    &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+
+/// Methods that panic on the error/none arm.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Print/stdio macros (r3).
+const PRINT_MACROS: &[&str] = &["print", "println", "eprint", "eprintln", "dbg"];
+
+/// Resolve one rule's root node set.
+fn roots(graph: &CallGraph, files: &[FileUnit], specs: &[RootSpec]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for spec in specs {
+        match spec {
+            RootSpec::Method(ty, name) => out.extend(graph.find_method(files, ty, name)),
+            RootSpec::TraitMethod(tr, name) => {
+                out.extend(graph.find_trait_method(files, tr, name));
+            }
+            RootSpec::FreeFn(name) => out.extend(graph.find_free_fn(files, name)),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether this file is test/driver code by location (mirrors the per-file
+/// rules' axis): such functions neither root nor extend a cone.
+fn is_test_file(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches" || c == "examples")
+        || !path.starts_with("crates/")
+}
+
+/// Run r1–r3 over the workspace graph, appending raw diagnostics into the
+/// per-file buckets.
+pub fn check_reachability(files: &[FileUnit], graph: &CallGraph, out: &mut [Vec<RawDiag>]) {
+    for (rule, specs) in [("r1", R1_ROOTS), ("r2", R2_ROOTS), ("r3", R3_ROOTS)] {
+        let root_set: Vec<usize> = roots(graph, files, specs)
+            .into_iter()
+            .filter(|&n| {
+                let node = &graph.nodes[n];
+                let f = &files[node.file].items.fns[node.item];
+                !f.is_test && !is_test_file(&files[node.file].path)
+            })
+            .collect();
+        let parents = graph.reachable_from(&root_set);
+        for &node_id in parents.keys() {
+            let node = &graph.nodes[node_id];
+            let file = &files[node.file];
+            if is_test_file(&file.path) {
+                continue;
+            }
+            let f = &file.items.fns[node.item];
+            if f.is_test {
+                continue;
+            }
+            let Some((body_start, body_end)) = f.body else { continue };
+            let chain = graph.chain(&parents, node_id);
+            let via = if chain.len() == 1 {
+                format!("`{}` is itself a protected root", chain[0])
+            } else {
+                format!("reachable from `{}` via {}", chain[0], chain.join(" → "))
+            };
+            let sinks = scan_sinks(rule, file, body_start, body_end);
+            for s in sinks {
+                out[node.file].push(RawDiag {
+                    rule,
+                    line: s.line,
+                    col: s.col,
+                    message: format!("{} in `{}`, {via}", s.what, node.key),
+                });
+            }
+        }
+    }
+}
+
+struct Sink {
+    what: String,
+    line: u32,
+    col: u32,
+}
+
+/// Scan one body's significant tokens for `rule`'s sinks.
+fn scan_sinks(rule: &str, file: &FileUnit, body_start: usize, body_end: usize) -> Vec<Sink> {
+    let ctx = &file.ctx;
+    let src = file.source.as_str();
+    let end = body_end.min(ctx.sig.len().saturating_sub(1));
+    let text = |si: usize| ctx.tokens[ctx.sig[si]].text(src);
+    let kind = |si: usize| ctx.tokens[ctx.sig[si]].kind;
+    let at = |si: usize| {
+        let t = &ctx.tokens[ctx.sig[si]];
+        (t.line, t.col)
+    };
+    let mut sinks = Vec::new();
+    let mut push = |what: String, si: usize| {
+        let (line, col) = at(si);
+        sinks.push(Sink { what, line, col });
+    };
+
+    for si in body_start..=end {
+        if kind(si) != TokenKind::Ident {
+            // Slice-index heuristic (r1) triggers on `[`, handled below.
+            if rule == "r1" && text(si) == "[" {
+                if let Some(what) = risky_index(file, si, end) {
+                    push(what, si);
+                }
+            }
+            continue;
+        }
+        let name = text(si);
+        let next = if si < end { text(si + 1) } else { "" };
+        let prev = if si > 0 { text(si - 1) } else { "" };
+        let is_macro = next == "!";
+        let is_method = prev == "." && next == "(";
+        let is_path_head = next == ":" && si + 2 <= end && text(si + 2) == ":";
+        let path_tail = if is_path_head && si + 3 <= end { text(si + 3) } else { "" };
+
+        match rule {
+            "r1" => {
+                if is_method && PANIC_METHODS.contains(&name) {
+                    push(format!("`.{name}(...)` can panic"), si);
+                } else if is_macro && PANIC_MACROS.contains(&name) {
+                    push(format!("`{name}!` can panic"), si);
+                }
+            }
+            "r2" => {
+                if is_path_head && name == "Vec" && matches!(path_tail, "new" | "with_capacity") {
+                    push(format!("`Vec::{path_tail}` allocates"), si);
+                } else if is_path_head
+                    && name == "String"
+                    && matches!(path_tail, "new" | "from" | "with_capacity")
+                {
+                    push(format!("`String::{path_tail}` allocates"), si);
+                } else if is_path_head && name == "Box" && path_tail == "new" {
+                    push("`Box::new` allocates".to_string(), si);
+                } else if is_macro && matches!(name, "vec" | "format") {
+                    push(format!("`{name}!` allocates"), si);
+                } else if is_method && matches!(name, "push" | "to_vec" | "to_string" | "to_owned")
+                {
+                    push(format!("`.{name}(...)` can allocate"), si);
+                }
+            }
+            "r3" => {
+                if is_macro && PRINT_MACROS.contains(&name) {
+                    push(format!("`{name}!` writes to stdio"), si);
+                } else if (name == "fs" && is_path_head)
+                    || (is_path_head && name == "File" && matches!(path_tail, "open" | "create"))
+                {
+                    push("filesystem I/O".to_string(), si);
+                } else if matches!(name, "stdin" | "stdout" | "stderr") && next == "(" {
+                    push(format!("`{name}()` touches stdio"), si);
+                }
+            }
+            _ => {}
+        }
+    }
+    sinks
+}
+
+/// The r1 slice-index heuristic: flag `expr[i ± k]`-shaped indexing —
+/// an index expression containing `+`/`-`/`*` arithmetic — because
+/// off-by-one arithmetic is where unguarded indexing actually panics.
+/// Plain `v[i]` and range slicing `v[a..b]` pass (flagging every index
+/// would drown the signal; the trade is documented as a false-negative
+/// class).
+fn risky_index(file: &FileUnit, open: usize, end: usize) -> Option<String> {
+    let ctx = &file.ctx;
+    let src = file.source.as_str();
+    let text = |si: usize| ctx.tokens[ctx.sig[si]].text(src);
+    let kind = |si: usize| ctx.tokens[ctx.sig[si]].kind;
+    // Only index positions: `[` must directly follow an ident, `]`, or `)`.
+    if open == 0 {
+        return None;
+    }
+    let prev_kind = kind(open - 1);
+    let prev_text = text(open - 1);
+    let indexes = matches!(prev_kind, TokenKind::Ident | TokenKind::RawIdent)
+        || prev_text == "]"
+        || prev_text == ")";
+    if !indexes || prev_text == "#" {
+        return None;
+    }
+    // `#[attr]` — the `[` after `#` never reaches here (prev is `#`), but
+    // closures carrying attributes inside bodies do not either.
+    let mut depth = 0usize;
+    let mut has_arith = false;
+    let mut si = open;
+    while si <= end {
+        let t = text(si);
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "." if depth == 1 && si < end && text(si + 1) == "." => {
+                // A range: slicing, not single-element indexing.
+                return None;
+            }
+            // Arithmetic only between operands (`a - 1`, `i * 4`): a token
+            // with no operand on its left is a unary deref (`v[*slot]`) or
+            // sign, not index arithmetic.
+            "+" | "*" | "-"
+                if depth == 1
+                    && si > open + 1
+                    && (matches!(
+                        kind(si - 1),
+                        TokenKind::Ident | TokenKind::Int | TokenKind::RawIdent
+                    ) || matches!(text(si - 1), ")" | "]")) =>
+            {
+                has_arith = true;
+            }
+            _ => {}
+        }
+        si += 1;
+    }
+    if has_arith {
+        Some("unguarded arithmetic slice index can panic".to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    fn diags_for(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        let units =
+            graph::units(files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect());
+        let g = graph::build(&units);
+        let mut out: Vec<Vec<RawDiag>> = vec![Vec::new(); units.len()];
+        check_reachability(&units, &g, &mut out);
+        let mut flat = Vec::new();
+        for (fi, diags) in out.iter().enumerate() {
+            for d in diags {
+                flat.push((d.rule.to_string(), format!("{}: {}", units[fi].path, d.message)));
+            }
+        }
+        flat
+    }
+
+    #[test]
+    fn r1_fires_transitively_with_chain() {
+        let diags = diags_for(&[(
+            "crates/mpcgs/src/session.rs",
+            "pub struct SessionRunner;\nimpl SessionRunner {\n    pub fn step(&mut self) { helper(); }\n}\nfn helper() { inner(); }\nfn inner(x: Option<u32>) { x.unwrap(); }\nfn unreached(x: Option<u32>) { x.unwrap(); }\n",
+        )]);
+        let r1: Vec<&String> = diags.iter().filter(|(r, _)| r == "r1").map(|(_, m)| m).collect();
+        assert_eq!(r1.len(), 1, "{diags:?}");
+        assert!(r1[0].contains("`.unwrap(...)` can panic"));
+        assert!(r1[0].contains("reachable from `mpcgs::session::SessionRunner::step`"));
+        assert!(r1[0].contains("via mpcgs::session::SessionRunner::step → mpcgs::session::helper → mpcgs::session::inner"));
+    }
+
+    #[test]
+    fn r1_flags_roots_themselves_and_arith_indexing() {
+        let diags = diags_for(&[(
+            "crates/mpcgs/src/session.rs",
+            "pub struct SessionRunner;\nimpl SessionRunner {\n    pub fn step(&mut self, v: &[u32], i: usize) { let _ = v[i - 1]; let _ = v[i]; let _ = &v[1..3]; }\n}\n",
+        )]);
+        let r1: Vec<&String> = diags.iter().filter(|(r, _)| r == "r1").map(|(_, m)| m).collect();
+        assert_eq!(r1.len(), 1, "{diags:?}");
+        assert!(r1[0].contains("unguarded arithmetic slice index"));
+        assert!(r1[0].contains("is itself a protected root"));
+    }
+
+    #[test]
+    fn r2_flags_allocation_in_the_kernel_cone() {
+        let diags = diags_for(&[(
+            "crates/phylo/src/likelihood.rs",
+            "pub struct Kernel;\nimpl Kernel {\n    pub fn combine_rows(&self) { stage(); }\n}\nfn stage() { let mut v = Vec::new(); v.push(1); let s = format!(\"x\"); }\n",
+        )]);
+        let r2: Vec<&String> = diags.iter().filter(|(r, _)| r == "r2").map(|(_, m)| m).collect();
+        assert_eq!(r2.len(), 3, "{diags:?}");
+        assert!(r2.iter().any(|m| m.contains("`Vec::new` allocates")));
+        assert!(r2.iter().any(|m| m.contains("`.push(...)` can allocate")));
+        assert!(r2.iter().any(|m| m.contains("`format!` allocates")));
+    }
+
+    #[test]
+    fn r3_flags_io_from_sampler_steps_across_impls() {
+        let diags = diags_for(&[
+            (
+                "crates/lamarc/src/run.rs",
+                "pub trait GenealogySampler { fn step(&mut self); }\n",
+            ),
+            (
+                "crates/mpcgs/src/sampler.rs",
+                "use lamarc::run::GenealogySampler;\npub struct MultiProposalSampler;\nimpl GenealogySampler for MultiProposalSampler {\n    fn step(&mut self) { trace(); }\n}\nfn trace() { println!(\"tick\"); let _ = std::fs::read(\"x\"); }\n",
+            ),
+        ]);
+        let r3: Vec<&String> = diags.iter().filter(|(r, _)| r == "r3").map(|(_, m)| m).collect();
+        assert_eq!(r3.len(), 2, "{diags:?}");
+        assert!(r3.iter().any(|m| m.contains("`println!` writes to stdio")));
+        assert!(r3.iter().any(|m| m.contains("filesystem I/O")));
+    }
+
+    #[test]
+    fn test_code_neither_roots_nor_extends_cones() {
+        let diags = diags_for(&[(
+            "crates/mpcgs/src/session.rs",
+            "pub struct SessionRunner;\nimpl SessionRunner {\n    pub fn step(&mut self) {}\n}\n#[cfg(test)]\nmod tests {\n    impl super::SessionRunner { pub fn step_test(&mut self) { None::<u32>.unwrap(); } }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unrelated_code_is_out_of_scope() {
+        let diags = diags_for(&[(
+            "crates/bench/src/lib.rs",
+            "pub fn driver(x: Option<u32>) { x.unwrap(); println!(\"ok\"); }\n",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

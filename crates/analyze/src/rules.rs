@@ -133,6 +133,70 @@ pub const RULES: &[RuleInfo] = &[
                   exempt.\n\nSee docs/ARCHITECTURE.md, 'Static analysis & invariants'.",
     },
     RuleInfo {
+        id: "r1",
+        title: "panic-freedom: no unwrap/expect/panic!/assert!/risky indexing reachable from \
+                step, serve drain, or the checkpoint codec",
+        explain: "A panic inside SessionRunner::step, the JobQueue drain, or the \
+                  SessionCheckpoint codec is a fault-isolation bug: it tears down a serve \
+                  job (or the whole process) instead of surfacing a per-job Err outcome, \
+                  and it can leave a checkpoint half-written. The rule walks the resolved \
+                  call graph from those roots and flags every reachable `.unwrap()`, \
+                  `.expect()`, panicking macro (panic!/assert!/unreachable!/todo!/\
+                  unimplemented!), and arithmetic slice index (`v[i - 1]`) — each \
+                  diagnostic shows the call chain that puts the site in scope. Invariants \
+                  that genuinely cannot fail (arena indexes validated at construction) \
+                  carry a pragma with the written reason; debug_assert! is exempt because \
+                  release builds compile it out.\n\nThe cone walks resolved edges only: \
+                  dyn-trait dispatch, function pointers, and macro bodies do not extend it \
+                  (documented false-negative classes).\n\nSee docs/ARCHITECTURE.md, \
+                  'Static analysis & invariants'.",
+    },
+    RuleInfo {
+        id: "r2",
+        title: "no-alloc hot loop: no Vec/String/Box/format! allocation reachable from the \
+                combine kernel or the dirty-path rescore",
+        explain: "The paper's throughput rests on the per-site combine loop staying \
+                  allocation-free: Kernel::combine_rows, the SIMD lanes under it, and \
+                  FelsensteinPruner::rescore_with_workspace run millions of times per \
+                  chain, and a single Vec::new or format! in that cone turns into \
+                  allocator traffic that dwarfs the FLOPs. Workspaces are allocated once \
+                  and reused; growth happens in `reserve`-style cold paths. The rule flags \
+                  Vec::new/with_capacity, String construction, Box::new, vec!/format!, and \
+                  .push/.to_vec/.to_string/.to_owned reachable from the kernel roots. \
+                  Pooled-scratch pushes whose capacity is retained across calls (no \
+                  realloc once warm) carry a pragma saying so.\n\nSee \
+                  docs/ARCHITECTURE.md, 'Static analysis & invariants'.",
+    },
+    RuleInfo {
+        id: "r3",
+        title: "no I/O reachable from sampler step paths: observers and the CLI are the \
+                only output seams",
+        explain: "GenealogySampler::step and SessionRunner::step must be pure state \
+                  transitions: any std::fs call, print macro, or stdio handle reachable \
+                  from them smuggles side effects into the sampler, breaks the serve \
+                  layer's output contract (stdout is the artifact stream), and makes \
+                  cross-host ensemble replicas diverge in behaviour. Progress and \
+                  telemetry route through RunObserver implementations — which the graph \
+                  deliberately does not traverse (dyn dispatch is an unresolved edge), \
+                  making observers the sanctioned seam by construction.\n\nSee \
+                  docs/ARCHITECTURE.md, 'Static analysis & invariants'.",
+    },
+    RuleInfo {
+        id: "r4",
+        title: "golden public-API surface: docs/api-surface.txt must match --api-surface",
+        explain: "`mpcgs-analyze --api-surface` emits a sorted, normalised listing of \
+                  every pub item per crate (fn/struct/enum/trait/…, trait-impl methods \
+                  riding their trait). CI diffs it against the committed \
+                  docs/api-surface.txt; a mismatch fails the build with the exact +/- \
+                  lines and the regen one-liner:\n\n    cargo run -q -p analyze --bin \
+                  mpcgs-analyze -- --api-surface > docs/api-surface.txt\n\nThe point is \
+                  not to freeze the API but to make drift a reviewed artifact: adding, \
+                  removing, or renaming a pub item shows up as a one-line diff in the PR \
+                  instead of an accident discovered downstream. Signatures and generics \
+                  are deliberately ignored so parameter changes do not churn the \
+                  baseline.\n\nSee docs/ARCHITECTURE.md, 'Static analysis & invariants'.",
+    },
+    RuleInfo {
         id: "pragma",
         title: "suppression pragmas must parse, name a real rule, carry a reason, and be used",
         explain: "Inline suppressions look like:\n\n    // mpcgs-analyze: allow(d1, reason \

@@ -1,0 +1,35 @@
+//! Seeded r1 violations: panics reachable from `SessionRunner::step`.
+//!
+//! `step` calls `helper`, which calls `deep` — the `.unwrap()`, `panic!`,
+//! and arithmetic index inside that cone all fire, each diagnostic carrying
+//! the reachability chain. `outside` is not reachable from any r1 root, so
+//! its `.unwrap()` shows the cone is bounded. The suppressed `.expect` at
+//! the end shows a written-reason pragma in action.
+
+pub struct SessionRunner;
+
+impl SessionRunner {
+    pub fn step(&mut self) -> bool {
+        helper(Some(1));
+        true
+    }
+}
+
+fn helper(x: Option<u32>) {
+    deep(x);
+}
+
+fn deep(x: Option<u32>) {
+    let v = [1u32, 2, 3];
+    let i = x.unwrap() as usize;
+    if i > 0 {
+        panic!("value {} out of range", v[i - 1]);
+    }
+    // mpcgs-analyze: allow(r1, reason = "sentinel checked by the branch above")
+    let _ = x.expect("checked above");
+}
+
+/// Not reachable from `step`: no diagnostic, showing the cone is bounded.
+pub fn outside(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

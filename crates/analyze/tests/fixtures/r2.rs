@@ -1,0 +1,27 @@
+//! Seeded r2 violations: allocation reachable from `Kernel::combine_rows`.
+//!
+//! The kernel root calls `stage`, whose `Vec::new`, `.push`, and `format!`
+//! all fire with the chain. `cold_path` is outside the kernel cone, so its
+//! allocations pass — allocation is only banned where the per-site loop
+//! pays for it.
+
+pub struct Kernel;
+
+impl Kernel {
+    pub fn combine_rows(&self, rows: &mut [f64]) {
+        stage(rows);
+    }
+}
+
+fn stage(rows: &mut [f64]) {
+    let mut scratch = Vec::new();
+    scratch.push(rows.len());
+    let _label = format!("{} rows", rows.len());
+}
+
+/// Outside the kernel cone: allocation here is fine.
+pub fn cold_path(n: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    v.push(n);
+    v
+}

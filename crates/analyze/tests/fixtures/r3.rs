@@ -1,0 +1,39 @@
+//! Seeded r3 violations: I/O reachable from a sampler `step` impl.
+//!
+//! The `GenealogySampler::step` impl calls `trace`, whose `println!` and
+//! `std::fs` call both fire. The `RunObserver`-style seam below escapes by
+//! construction: `dyn` dispatch is an unresolved edge the graph refuses to
+//! traverse, so `observe` extends no cone even though a step calls it.
+
+pub trait GenealogySampler {
+    fn step(&mut self) -> bool;
+}
+
+pub struct FixtureSampler;
+
+impl GenealogySampler for FixtureSampler {
+    fn step(&mut self) -> bool {
+        trace("tick");
+        false
+    }
+}
+
+fn trace(message: &str) {
+    println!("{message}");
+    let _ = std::fs::read("progress.log");
+}
+
+/// The sanctioned seam: stdout via an observer trait object. The call is
+/// dyn-dispatched, so the graph records it as unresolved instead of
+/// extending the step cone into the printer.
+pub trait Observer {
+    fn on_event(&mut self, message: &str);
+}
+
+pub struct StdoutObserver;
+
+impl Observer for StdoutObserver {
+    fn on_event(&mut self, message: &str) {
+        println!("{message}");
+    }
+}

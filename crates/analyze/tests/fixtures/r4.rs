@@ -1,0 +1,34 @@
+//! Seeded r4 surface: the pub items below must appear in the normalised
+//! API-surface listing; the private ones must not.
+//!
+//! This fixture is checked differently from r1–r3: the harness computes
+//! `api::surface` over the file and diffs it against an empty baseline via
+//! `api::check`, so the golden records one `r4` diagnostic per pub item —
+//! exactly what CI reports when `docs/api-surface.txt` is stale.
+
+pub struct Exposed;
+
+impl Exposed {
+    pub fn visible(&self) {}
+    fn hidden(&self) {}
+}
+
+pub trait Surface {
+    fn required(&self);
+}
+
+impl Surface for Exposed {
+    fn required(&self) {}
+}
+
+pub fn free() {}
+
+pub(crate) fn internal() {}
+
+struct Private;
+
+pub const LIMIT: usize = 8;
+
+pub mod nested {
+    pub fn inner() {}
+}

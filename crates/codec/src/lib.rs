@@ -248,7 +248,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -285,12 +285,18 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>().map(Json::Number).map_err(|_| self.error("malformed number"))
+        // The scanned range is ASCII by the loop condition, so from_utf8
+        // cannot fail; route the impossible arm to the same parse error
+        // rather than panicking inside the checkpoint codec.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("malformed number"))
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         // Scan at the byte level and copy plain runs in one go: `"` and `\`
         // never occur inside a multi-byte UTF-8 sequence (continuation bytes
@@ -342,7 +348,7 @@ impl Parser<'_> {
         let code = if (0xd800..0xdc00).contains(&first) {
             if self.peek() == Some(b'\\') {
                 self.pos += 1;
-                self.expect(b'u')?;
+                self.expect_byte(b'u')?;
             } else {
                 return Err(self.error("lone high surrogate"));
             }
@@ -370,7 +376,7 @@ impl Parser<'_> {
     }
 
     fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -393,7 +399,7 @@ impl Parser<'_> {
     }
 
     fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -404,7 +410,7 @@ impl Parser<'_> {
             self.skip_whitespace();
             let key = self.parse_string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value()?;
             members.push((key, value));

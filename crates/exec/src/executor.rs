@@ -281,6 +281,7 @@ impl Backend {
                     .enumerate()
                     .map(|(i, item)| scope.spawn(move || f(i, item)))
                     .collect();
+                // mpcgs-analyze: allow(r1, reason = "join() fails only if the worker panicked; re-raising on the dispatching thread beats silently dropping that shard's writes — the serve layer isolates faults per job above this seam")
                 handles.into_iter().map(|h| h.join().expect("map_mut worker panicked")).collect()
             }),
         }

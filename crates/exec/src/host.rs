@@ -24,7 +24,7 @@ impl HostModel {
 
     /// Time in microseconds to retire `ops` operations serially.
     pub fn time_us(&self, ops: f64) -> f64 {
-        assert!(ops >= 0.0, "operation count must be non-negative");
+        debug_assert!(ops >= 0.0, "operation count must be non-negative");
         ops * self.cycles_per_op / (self.clock_ghz * 1_000.0)
     }
 

@@ -92,6 +92,7 @@ impl Mt19937 {
     pub fn reseed(&mut self, seed: u32) {
         self.state[0] = seed;
         for i in 1..N {
+            // mpcgs-analyze: allow(r1, reason = "i ranges over 1..N, so i-1 is in bounds by loop construction (the MT19937 seeding recurrence)")
             let prev = self.state[i - 1];
             self.state[i] =
                 (1_812_433_253u32.wrapping_mul(prev ^ (prev >> 30))).wrapping_add(i as u32);

@@ -277,6 +277,7 @@ impl EnsembleSpec {
         StreamBank::new(self.ensemble_seed, self.n_chains + 1)
             .into_streams()
             .pop()
+            // mpcgs-analyze: allow(r1, reason = "the bank is constructed with n_chains + 1 streams two lines up, so pop() cannot see an empty vec")
             .expect("bank has n_chains + 1 streams")
     }
 }
@@ -751,13 +752,16 @@ impl ShardedSampler {
             .enumerate()
             .filter(|(k, &src)| src != *k)
             .map(|(k, &src)| {
-                let (tree, ll) = self.shards[src]
-                    .sampler
-                    .current_state()
-                    .expect("rungs in the permutation had a state");
-                (k, tree, ll)
+                let (tree, ll) = self.shards[src].sampler.current_state().ok_or_else(|| {
+                    PhyloError::InvalidState {
+                        message: format!(
+                            "swap permutation references rung {src} before its chain began"
+                        ),
+                    }
+                })?;
+                Ok((k, tree, ll))
             })
-            .collect();
+            .collect::<Result<_, PhyloError>>()?;
         for (k, tree, ll) in moved {
             self.shards[k].sampler.replace_state(tree, ll)?;
         }

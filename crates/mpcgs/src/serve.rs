@@ -171,6 +171,15 @@ pub enum ServeEvent {
 
 type EventSink = Arc<Mutex<Vec<ServeEvent>>>;
 
+/// Lock a serve-layer mutex, recovering from poisoning. A worker that
+/// panicked while holding one of these locks has already been (or will be)
+/// recorded as a per-job failure, and the protected data — an event buffer
+/// or the outcome slot table — remains structurally valid, so the drain
+/// keeps serving the surviving jobs instead of propagating the panic.
+fn recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// The forwarding [`RunObserver`] each job's session carries: fans the
 /// session's event stream into the queue's shared sink, tagged by job name.
 struct JobTap {
@@ -180,14 +189,14 @@ struct JobTap {
 
 impl RunObserver for JobTap {
     fn on_chain_start(&mut self, info: &ChainInfo) {
-        self.sink.lock().expect("serve event sink poisoned").push(ServeEvent::ChainStarted {
+        recover(&self.sink).push(ServeEvent::ChainStarted {
             job: self.job.clone(),
             chain_index: info.chain_index,
         });
     }
 
     fn on_em_update(&mut self, update: &EmUpdate) {
-        self.sink.lock().expect("serve event sink poisoned").push(ServeEvent::EmRound {
+        recover(&self.sink).push(ServeEvent::EmRound {
             job: self.job.clone(),
             iteration: update.iteration,
             driving_theta: update.driving_theta,
@@ -252,7 +261,7 @@ impl ServeReport {
         if latencies.is_empty() {
             return 0.0;
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        latencies.sort_by(|a, b| a.total_cmp(b));
         let rank = (q.clamp(0.0, 1.0) * (latencies.len() - 1) as f64).round() as usize;
         latencies[rank]
     }
@@ -331,6 +340,7 @@ impl JobQueue {
             .map(|(index, spec)| Job { index, spec, runner: None, slices: 0 })
             .collect();
         let n_jobs = jobs.len();
+        let names: Vec<String> = jobs.iter().map(|job| job.spec.name.clone()).collect();
         let quantum = self.config.quantum.max(1);
         let workers = self.config.workers.max(1).min(n_jobs.max(1));
         let queue = Mutex::new(jobs);
@@ -339,8 +349,7 @@ impl JobQueue {
         let started = Instant::now();
 
         let drain_events = |sink: &EventSink| {
-            let batch: Vec<ServeEvent> =
-                std::mem::take(&mut *sink.lock().expect("serve event sink poisoned"));
+            let batch: Vec<ServeEvent> = std::mem::take(&mut *recover(sink));
             for event in &batch {
                 on_event(event);
             }
@@ -349,7 +358,7 @@ impl JobQueue {
         let mut slots: Vec<usize> = (0..workers).collect();
         self.config.backend.map_mut(&mut slots, |_, _| {
             loop {
-                let Some(mut job) = queue.lock().expect("serve queue poisoned").pop_front() else {
+                let Some(mut job) = recover(&queue).pop_front() else {
                     break;
                 };
                 job.slices += 1;
@@ -360,9 +369,7 @@ impl JobQueue {
                     // Announce before building: the runner's construction
                     // already emits per-chain events through the tap, and
                     // those must arrive after the job's own start marker.
-                    sink.lock()
-                        .expect("serve event sink poisoned")
-                        .push(ServeEvent::JobStarted { job: job.spec.name.clone() });
+                    recover(&sink).push(ServeEvent::JobStarted { job: job.spec.name.clone() });
                     let built = job
                         .spec
                         .build_session(&sink)
@@ -378,7 +385,17 @@ impl JobQueue {
                         }
                     }
                 }
-                let runner = job.runner.as_mut().expect("runner built above");
+                let Some(runner) = job.runner.as_mut() else {
+                    // Unreachable by construction (the build arm above either
+                    // filled the slot or continued), but a scheduler bug must
+                    // surface as this job's failure, not a pool panic.
+                    let error = PhyloError::InvalidState {
+                        message: format!("job `{}` scheduled without a runner", job.spec.name),
+                    };
+                    record_failure(&results, &sink, &job, &error, &started);
+                    drain_events(&sink);
+                    continue;
+                };
                 let mut finished = false;
                 let mut failure: Option<PhyloError> = None;
                 for _ in 0..quantum {
@@ -397,22 +414,31 @@ impl JobQueue {
                 if let Some(error) = failure {
                     record_failure(&results, &sink, &job, &error, &started);
                 } else if finished {
-                    let report = runner
-                        .report()
-                        .cloned()
-                        .expect("a finished runner always carries its report");
-                    sink.lock().expect("serve event sink poisoned").push(ServeEvent::JobFinished {
-                        job: job.spec.name.clone(),
-                        theta: report.theta,
-                    });
-                    results.lock().expect("serve results poisoned")[job.index] = Some(JobOutcome {
-                        name: job.spec.name.clone(),
-                        result: Ok(report),
-                        slices: job.slices,
-                        latency_seconds: started.elapsed().as_secs_f64(),
-                    });
+                    match runner.report().cloned() {
+                        Some(report) => {
+                            recover(&sink).push(ServeEvent::JobFinished {
+                                job: job.spec.name.clone(),
+                                theta: report.theta,
+                            });
+                            recover(&results)[job.index] = Some(JobOutcome {
+                                name: job.spec.name.clone(),
+                                result: Ok(report),
+                                slices: job.slices,
+                                latency_seconds: started.elapsed().as_secs_f64(),
+                            });
+                        }
+                        None => {
+                            let error = PhyloError::InvalidState {
+                                message: format!(
+                                    "job `{}` finished without producing a report",
+                                    job.spec.name
+                                ),
+                            };
+                            record_failure(&results, &sink, &job, &error, &started);
+                        }
+                    }
                 } else {
-                    queue.lock().expect("serve queue poisoned").push_back(job);
+                    recover(&queue).push_back(job);
                 }
                 drain_events(&sink);
             }
@@ -421,9 +447,22 @@ impl JobQueue {
         drain_events(&sink);
         let outcomes = results
             .into_inner()
-            .expect("serve results poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .into_iter()
-            .map(|outcome| outcome.expect("every job records exactly one outcome"))
+            .enumerate()
+            .map(|(index, outcome)| {
+                // A job that somehow left the drain without recording an
+                // outcome is itself a failed job, not a queue-wide panic.
+                outcome.unwrap_or_else(|| {
+                    let error = PhyloError::InvalidState {
+                        message: format!(
+                            "job `{}` left the drain without an outcome",
+                            names[index]
+                        ),
+                    };
+                    JobOutcome::failed(&names[index], &error, 0, started.elapsed().as_secs_f64())
+                })
+            })
             .collect();
         ServeReport {
             outcomes,
@@ -441,10 +480,9 @@ fn record_failure(
     error: &PhyloError,
     started: &Instant,
 ) {
-    sink.lock()
-        .expect("serve event sink poisoned")
+    recover(sink)
         .push(ServeEvent::JobFailed { job: job.spec.name.clone(), error: error.to_string() });
-    results.lock().expect("serve results poisoned")[job.index] = Some(JobOutcome::failed(
+    recover(results)[job.index] = Some(JobOutcome::failed(
         &job.spec.name,
         error,
         job.slices,

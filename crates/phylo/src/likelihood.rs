@@ -739,6 +739,7 @@ fn mark_dirty_region<M: SubstitutionModel>(
                     break;
                 }
                 scratch.dirty_mark[node] = true;
+                // mpcgs-analyze: allow(r2, reason = "pooled scratch: the vec is cleared, never dropped, so capacity is retained across rescores and no realloc happens once warm")
                 scratch.dirty.push((depth_from_root(tree, node), node));
             }
             cursor = tree.parent(node);
@@ -1297,6 +1298,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     ) -> Result<DirtyEvaluation, PhyloError> {
         if proposal.n_nodes() != workspace.n_nodes() {
             return Err(PhyloError::InvalidTree {
+                // mpcgs-analyze: allow(r2, reason = "cold validation-failure arm: allocates only when the rescore is already aborting with an error")
                 message: format!(
                     "proposal has {} nodes but the cached workspace covers {}",
                     proposal.n_nodes(),
@@ -1404,7 +1406,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
         accepted: &GeneTree,
         edited: &[NodeId],
     ) -> Result<Option<usize>, PhyloError> {
-        let mut slot = self.cache.lock().expect("likelihood cache poisoned");
+        let mut slot = self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let cache = match slot.as_mut() {
             Some(cache) if cache.tree == *generator => cache,
             _ => return Ok(None),
@@ -1494,7 +1496,7 @@ impl<M: SubstitutionModel> FelsensteinPruner<M> {
     /// Drop the memoised generator workspace (mainly useful for measuring
     /// cold-path behaviour).
     pub fn clear_cache(&self) {
-        *self.cache.lock().expect("likelihood cache poisoned") = None;
+        *self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
     }
 }
 
@@ -1595,7 +1597,7 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
         // Reuse the memoised workspace when the generator is unchanged; on a
         // hit the cache entry (tree key included) is kept intact so nothing
         // is cloned on the hot path.
-        let taken = { self.cache.lock().expect("likelihood cache poisoned").take() };
+        let taken = { self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() };
         let (cache, generator_cache_hit, mut matrix_cache_hits, mut matrix_cache_misses) =
             match taken {
                 Some(cache) if cache.tree == *generator => (cache, true, 0, 0),
@@ -1632,7 +1634,7 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
         // Put the cache back for the next evaluation against the same
         // generator (e.g. rejected moves).
         {
-            let mut slot = self.cache.lock().expect("likelihood cache poisoned");
+            let mut slot = self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             *slot = Some(cache);
         }
 
@@ -1669,7 +1671,11 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
     }
 
     fn cached_generator(&self) -> Option<GeneTree> {
-        self.cache.lock().expect("likelihood cache poisoned").as_ref().map(|c| c.tree.clone())
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(|c| c.tree.clone())
     }
 
     /// Rebuild the memoised workspace for `tree` from scratch (serially, so
@@ -1687,7 +1693,7 @@ impl<M: SubstitutionModel> LikelihoodEngine for FelsensteinPruner<M> {
                 Some(GeneratorCache { tree: tree.clone(), workspace })
             }
         };
-        *self.cache.lock().expect("likelihood cache poisoned") = cache;
+        *self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = cache;
         Ok(())
     }
 }
